@@ -1,0 +1,90 @@
+// Design-choice ablation: sensitivity of CKD to the temperature T and the
+// scale weight alpha (the paper fixes T's standard value and alpha = 0.3
+// without a sweep; DESIGN.md calls this out as worth ablating).
+//
+// For one primitive task we train an expert per (T, alpha) cell and report
+// its accuracy and the L1 gap between its logits and the oracle's
+// sub-logits (the quantity L_scale controls).
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_env.h"
+#include "distill/specialize.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "tensor/ops.h"
+
+namespace poe {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchEnv& env = GetBenchEnv(DatasetKind::kCifar100Like);
+  const int task = env.selected_tasks[0];
+  const std::vector<int>& classes = env.data.hierarchy.task_classes(task);
+  Dataset test_local = FilterClasses(env.data.test, classes, true);
+
+  Sequential& library = *env.pool->library();
+  CkdTables tables = PrecomputeCkdTables(ModelLogits(*env.oracle), library,
+                                         env.data.train);
+  Tensor oracle_test_sub =
+      GatherColumns(ModelLogits(*env.oracle)(test_local.images), classes);
+
+  WrnConfig cfg = env.library_config;
+  cfg.ks = env.expert_ks;
+  cfg.num_classes = static_cast<int>(classes.size());
+
+  auto train_cell = [&](float temperature, float alpha, float* acc,
+                        float* l1_gap) {
+    TrainOptions opts = env.expert_options;
+    opts.temperature = temperature;
+    CkdOptions ckd;
+    ckd.alpha = alpha;
+    ckd.use_scale = alpha > 0.0f;
+    Rng rng(42);  // same init for all cells
+    auto head = BuildExpertPart(cfg, env.library_config.conv3_channels(), rng);
+    TrainCkdExpertWithTables(tables, *head, env.data.train, classes, opts,
+                             ckd);
+    LogitFn fn = LibraryHeadLogits(library, *head);
+    *acc = EvaluateAccuracy(fn, test_local);
+    Tensor s = fn(test_local.images);
+    *l1_gap = L1Norm(Sub(s, oracle_test_sub)) /
+              static_cast<float>(test_local.size());
+  };
+
+  std::printf("\n=== CKD hyperparameter sensitivity [%s], task %d ===\n",
+              env.name.c_str(), task);
+
+  TablePrinter t_table({"Temperature T", "Acc(%)", "L1 logit gap"});
+  for (float temperature : {1.0f, 2.0f, 4.0f, 8.0f}) {
+    float acc, gap;
+    train_cell(temperature, 0.3f, &acc, &gap);
+    t_table.AddRow({TablePrinter::Num(temperature, 0),
+                    TablePrinter::Pct(acc), TablePrinter::Num(gap, 3)});
+    std::fflush(stdout);
+  }
+  std::printf("alpha fixed at 0.3:\n%s", t_table.ToString().c_str());
+
+  TablePrinter a_table({"alpha", "Acc(%)", "L1 logit gap"});
+  for (float alpha : {0.0f, 0.1f, 0.3f, 1.0f, 3.0f}) {
+    float acc, gap;
+    train_cell(4.0f, alpha, &acc, &gap);
+    a_table.AddRow({TablePrinter::Num(alpha, 1), TablePrinter::Pct(acc),
+                    TablePrinter::Num(gap, 3)});
+    std::fflush(stdout);
+  }
+  std::printf("T fixed at 4:\n%s", a_table.ToString().c_str());
+  std::printf(
+      "expected shape: larger alpha shrinks the L1 logit gap (better scale "
+      "preservation) with mild accuracy impact; the paper's alpha=0.3 sits "
+      "on the flat part of the accuracy curve.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace poe
+
+int main() {
+  poe::bench::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension ablation: int8 post-training quantization of the pool.
+//
+// The paper notes KD is orthogonal to quantization (Section 2). This bench
+// composes them: every expert (and the library) is quantized to int8,
+// shrinking the pool ~4x below Table 4's float32 volumes, and the accuracy
+// of consolidated task models is re-measured to show the composition costs
+// almost nothing.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_env.h"
+#include "compress/quantize.h"
+#include "core/serialization.h"
+#include "core/task_model.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace poe {
+namespace bench {
+namespace {
+
+void RunDataset(DatasetKind kind) {
+  BenchEnv& env = GetBenchEnv(kind);
+
+  // Float32 baseline volumes.
+  int64_t float_bytes = ModuleStateBytes(*env.pool->library());
+  int64_t int8_bytes = QuantizeModule(*env.pool->library()).nbytes();
+  for (int t = 0; t < env.pool->num_experts(); ++t) {
+    float_bytes += ModuleStateBytes(*env.pool->expert(t));
+    int8_bytes += QuantizeModule(*env.pool->expert(t)).nbytes();
+  }
+
+  // Accuracy before/after quantizing the whole pool, on a 3-task query.
+  std::vector<int> tasks(env.selected_tasks.begin(),
+                         env.selected_tasks.begin() + 3);
+  Dataset test = FilterClasses(
+      env.data.test, env.data.hierarchy.CompositeClasses(tasks), true);
+
+  TaskModel model = env.pool->Query(tasks).ValueOrDie();
+  LogitFn fn = [&](const Tensor& x) { return model.Logits(x); };
+  const float acc_float = EvaluateAccuracy(fn, test);
+
+  // Quantize -> dequantize in place (simulating an int8-stored pool).
+  std::vector<QuantizedModuleState> snapshots;
+  snapshots.push_back(QuantizeModule(*env.pool->library()));
+  DequantizeInto(snapshots.back(), *env.pool->library());
+  for (int t = 0; t < env.pool->num_experts(); ++t) {
+    snapshots.push_back(QuantizeModule(*env.pool->expert(t)));
+    DequantizeInto(snapshots.back(), *env.pool->expert(t));
+  }
+  const float acc_int8 = EvaluateAccuracy(fn, test);
+
+  std::printf("\n=== Quantization ablation [%s] ===\n", env.name.c_str());
+  TablePrinter table({"Pool storage", "Bytes", "Acc on 3-task Q (%)"});
+  table.AddRow({"float32", TablePrinter::HumanBytes(float_bytes),
+                TablePrinter::Pct(acc_float)});
+  table.AddRow({"int8", TablePrinter::HumanBytes(int8_bytes),
+                TablePrinter::Pct(acc_int8)});
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "shape check: ~4x smaller (%.2fx) with <2%% accuracy change "
+      "(|delta|=%.2f%%): %s\n",
+      static_cast<double>(float_bytes) / int8_bytes,
+      100.0 * std::abs(acc_float - acc_int8),
+      (float_bytes > 3 * int8_bytes &&
+       std::abs(acc_float - acc_int8) < 0.02f)
+          ? "holds"
+          : "violated");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace poe
+
+int main() {
+  poe::bench::RunDataset(poe::bench::DatasetKind::kCifar100Like);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared harness running every Section 5.3 consolidation method on one
+// composite task. Used by the Table 3, Figure 6, and Figure 7 benches.
+#ifndef POE_BENCH_COMMON_CONSOLIDATION_H_
+#define POE_BENCH_COMMON_CONSOLIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "bench_env.h"
+#include "distill/trainer.h"
+#include "models/cost.h"
+
+namespace poe {
+namespace bench {
+
+/// Outcome of one method on one composite task.
+struct ConsolidationRun {
+  std::string method;
+  float accuracy = 0.0f;       ///< task-specific accuracy on the Q test set
+  double train_seconds = 0.0;  ///< wall-clock of the service-phase work
+  double seconds_to_best = 0.0;
+  ModelCost cost;
+  std::vector<CurvePoint> curve;  ///< populated when with_curves
+};
+
+/// All methods of Table 3, in the paper's row order.
+std::vector<std::string> AllConsolidationMethods();
+
+/// Runs `methods` (empty = all) for composite task `tasks` and returns one
+/// entry per method. When `with_curves`, training methods evaluate every
+/// epoch to produce Figure 6's accuracy-vs-time curves.
+std::vector<ConsolidationRun> RunConsolidation(
+    BenchEnv& env, const std::vector<int>& tasks, bool with_curves,
+    const std::vector<std::string>& methods = {});
+
+}  // namespace bench
+}  // namespace poe
+
+#endif  // POE_BENCH_COMMON_CONSOLIDATION_H_

@@ -1,0 +1,61 @@
+// Figure 6: accuracy vs wall-clock learning curves of every consolidation
+// method for n(Q) = 5.
+//
+// Paper shape: all training methods need tens-to-hundreds of seconds to
+// reach their best accuracy; PoE reaches its accuracy instantly (train-free
+// assembly), plotted as a point at ~0 seconds.
+#include <cstdio>
+
+#include "common/bench_env.h"
+#include "common/consolidation.h"
+
+namespace poe {
+namespace bench {
+namespace {
+
+void RunDataset(DatasetKind kind) {
+  BenchEnv& env = GetBenchEnv(kind);
+  const auto combo = env.Combos(5, 1).front();
+
+  std::printf("\n=== Figure 6 [%s], n(Q)=5, tasks {", env.name.c_str());
+  for (size_t i = 0; i < combo.size(); ++i)
+    std::printf("%s%d", i ? "," : "", combo[i]);
+  std::printf("} ===\n");
+  std::printf("series: (wall-clock seconds, accuracy%%) per epoch\n\n");
+
+  std::vector<std::string> methods = AllConsolidationMethods();
+  // Oracle has no curve.
+  methods.erase(methods.begin());
+
+  for (ConsolidationRun& run :
+       RunConsolidation(env, combo, /*with_curves=*/true, methods)) {
+    std::printf("%-12s:", run.method.c_str());
+    for (const CurvePoint& p : run.curve) {
+      std::printf(" (%.1fs, %.1f)", p.seconds, 100.0 * p.accuracy);
+    }
+    std::printf("\n");
+  }
+
+  // Re-run just PoE to report assembly latency precisely.
+  auto poe_runs = RunConsolidation(env, combo, false, {"PoE"});
+  std::printf(
+      "\nshape check: PoE reaches %.1f%% in %.4fs (train-free) while every "
+      "training method above needs its full schedule.\n",
+      100.0 * poe_runs[0].accuracy, poe_runs[0].train_seconds);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace poe
+
+int main() {
+  poe::bench::RunDataset(poe::bench::DatasetKind::kCifar100Like);
+  if (poe::bench::BenchScale::FromEnv().paper) {
+    poe::bench::RunDataset(poe::bench::DatasetKind::kTinyImageNetLike);
+  } else {
+    std::printf(
+        "\n[figure6] tiny-imagenet-like skipped in fast mode; set "
+        "POE_BENCH_SCALE=paper to include it.\n");
+  }
+  return 0;
+}

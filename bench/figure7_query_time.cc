@@ -1,0 +1,73 @@
+// Figure 7: wall-clock time to reach each method's best accuracy when
+// building M(Q), as n(Q) grows from 2 to 5.
+//
+// Paper shape: training time grows with n(Q) for every method (more data,
+// bigger students) while PoE stays at ~0 regardless of n(Q).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/bench_env.h"
+#include "common/consolidation.h"
+#include "eval/table.h"
+
+namespace poe {
+namespace bench {
+namespace {
+
+void RunDataset(DatasetKind kind) {
+  BenchEnv& env = GetBenchEnv(kind);
+
+  std::map<std::string, std::vector<double>> seconds;
+  for (int n = 2; n <= 5; ++n) {
+    const auto combo = env.Combos(n, 1).front();
+    std::printf("[figure7] %s n(Q)=%d...\n", env.name.c_str(), n);
+    std::fflush(stdout);
+    std::vector<std::string> methods = AllConsolidationMethods();
+    methods.erase(methods.begin());  // Oracle is not a build method
+    for (ConsolidationRun& run :
+         RunConsolidation(env, combo, /*with_curves=*/true, methods)) {
+      seconds[run.method].push_back(run.seconds_to_best);
+    }
+  }
+
+  std::printf("\n=== Figure 7 [%s]: time (s) to best accuracy ===\n",
+              env.name.c_str());
+  TablePrinter table({"Method", "n(Q)=2", "n(Q)=3", "n(Q)=4", "n(Q)=5"});
+  for (const auto& [method, times] : seconds) {
+    std::vector<std::string> cells = {method};
+    for (double t : times) cells.push_back(TablePrinter::Num(t, 3));
+    table.AddRow(cells);
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  const auto& poe_times = seconds["PoE"];
+  double max_poe = 0, min_train = 1e30;
+  for (double t : poe_times) max_poe = std::max(max_poe, t);
+  for (const auto& [method, times] : seconds) {
+    if (method == "PoE") continue;
+    for (double t : times) min_train = std::min(min_train, t);
+  }
+  std::printf(
+      "shape check (paper: only PoE is realtime): slowest PoE query %.4fs "
+      "vs fastest training run %.2fs -> %s\n",
+      max_poe, min_train,
+      max_poe * 10 < min_train ? "holds" : "violated");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace poe
+
+int main() {
+  poe::bench::RunDataset(poe::bench::DatasetKind::kCifar100Like);
+  if (poe::bench::BenchScale::FromEnv().paper) {
+    poe::bench::RunDataset(poe::bench::DatasetKind::kTinyImageNetLike);
+  } else {
+    std::printf(
+        "\n[figure7] tiny-imagenet-like skipped in fast mode; set "
+        "POE_BENCH_SCALE=paper to include it.\n");
+  }
+  return 0;
+}

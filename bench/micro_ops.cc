@@ -1,0 +1,89 @@
+// Microbenchmarks of the tensor/NN substrate (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  Tensor c = Tensor::Zeros({n, n});
+  for (auto _ : state) {
+    Gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int64_t channels = state.range(0);
+  Rng rng(2);
+  Conv2d conv(channels, channels, 3, 1, 1, rng);
+  Tensor x = Tensor::Randn({32, channels, 8, 8}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const int64_t channels = state.range(0);
+  Rng rng(3);
+  Conv2d conv(channels, channels, 3, 1, 1, rng);
+  Tensor x = Tensor::Randn({32, channels, 8, 8}, rng);
+  Tensor y = conv.Forward(x, true);
+  for (auto _ : state) {
+    conv.ZeroGrad();
+    Tensor gx = conv.Backward(y);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(32);
+
+void BM_BatchNormTraining(benchmark::State& state) {
+  Rng rng(4);
+  BatchNorm2d bn(32);
+  Tensor x = Tensor::Randn({64, 32, 8, 8}, rng);
+  for (auto _ : state) {
+    Tensor y = bn.Forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BatchNormTraining);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(5);
+  Tensor logits = Tensor::Randn({256, 100}, rng);
+  for (auto _ : state) {
+    Tensor p = Softmax2d(logits);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_LinearForward(benchmark::State& state) {
+  Rng rng(6);
+  Linear lin(512, 100, rng);
+  Tensor x = Tensor::Randn({256, 512}, rng);
+  for (auto _ : state) {
+    Tensor y = lin.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_LinearForward);
+
+}  // namespace
+}  // namespace poe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Microbenchmarks of the PoE service phase: query assembly latency, cached
+// queries, and assembled-model inference. Weights are random (latency does
+// not depend on training), so this runs instantly with no cache files.
+#include <benchmark/benchmark.h>
+
+#include "core/expert_pool.h"
+#include "core/query_service.h"
+#include "models/wrn.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+ExpertPool MakePool(int num_tasks) {
+  WrnConfig lib_cfg;
+  lib_cfg.depth = 10;
+  lib_cfg.kc = 1.0;
+  lib_cfg.ks = 1.0;
+  lib_cfg.num_classes = num_tasks * 5;
+  lib_cfg.base_channels = 8;
+  Rng rng(1);
+  auto library = BuildLibraryPart(lib_cfg, rng);
+  std::vector<std::shared_ptr<Sequential>> experts;
+  for (int t = 0; t < num_tasks; ++t) {
+    WrnConfig ecfg = lib_cfg;
+    ecfg.ks = 0.25;
+    ecfg.num_classes = 5;
+    experts.push_back(
+        BuildExpertPart(ecfg, lib_cfg.conv3_channels(), rng));
+  }
+  return ExpertPool(lib_cfg, 0.25, ClassHierarchy::Uniform(num_tasks, 5),
+                    std::move(library), std::move(experts));
+}
+
+void BM_PoolQueryAssembly(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  ExpertPool pool = MakePool(20);
+  std::vector<int> tasks;
+  for (int t = 0; t < nq; ++t) tasks.push_back(t);
+  for (auto _ : state) {
+    auto model = pool.Query(tasks);
+    benchmark::DoNotOptimize(model.ok());
+  }
+}
+BENCHMARK(BM_PoolQueryAssembly)->Arg(1)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_ServiceQueryCached(benchmark::State& state) {
+  ModelQueryService service(MakePool(20), /*cache_capacity=*/16);
+  std::vector<int> tasks = {0, 1, 2};
+  service.Query(tasks).ValueOrDie();
+  for (auto _ : state) {
+    auto model = service.Query(tasks);
+    benchmark::DoNotOptimize(model.ok());
+  }
+}
+BENCHMARK(BM_ServiceQueryCached);
+
+void BM_TaskModelInference(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  ExpertPool pool = MakePool(20);
+  std::vector<int> tasks;
+  for (int t = 0; t < nq; ++t) tasks.push_back(t);
+  TaskModel model = pool.Query(tasks).ValueOrDie();
+  Rng rng(2);
+  Tensor batch = Tensor::Randn({16, 3, 8, 8}, rng);
+  for (auto _ : state) {
+    Tensor logits = model.Logits(batch);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_TaskModelInference)->Arg(1)->Arg(2)->Arg(5);
+
+void BM_PoolSerializationRoundTrip(benchmark::State& state) {
+  ExpertPool pool = MakePool(10);
+  const std::string path = "/tmp/poe_micro_bench.pool";
+  for (auto _ : state) {
+    pool.Save(path);
+    auto loaded = ExpertPool::Load(path);
+    benchmark::DoNotOptimize(loaded.ok());
+  }
+}
+BENCHMARK(BM_PoolSerializationRoundTrip);
+
+}  // namespace
+}  // namespace poe
+
+BENCHMARK_MAIN();

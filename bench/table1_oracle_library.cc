@@ -1,0 +1,86 @@
+// Table 1: accuracy and model sizes of oracles and library student models.
+//
+// Paper reference (CIFAR-100): oracle WRN-40-(4,4) 76.70% / 1.30B FLOPs /
+// 8.97M params; library WRN-16-(1,1) 63.84% / 0.03B / 0.18M.
+// (Tiny-ImageNet): oracle WRN-16-(10,10) 64.49% / 2.42B / 17.24M; library
+// WRN-16-(2,2) 56.96% / 0.10B / 0.72M.
+#include <cstdio>
+#include <map>
+
+#include "common/bench_env.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "models/cost.h"
+
+namespace poe {
+namespace bench {
+namespace {
+
+struct PaperRow {
+  double oracle_acc, library_acc;
+};
+
+void RunDataset(DatasetKind kind, const PaperRow& paper) {
+  BenchEnv& env = GetBenchEnv(kind);
+  const int64_t hw = env.data.config.height;
+
+  const float oracle_acc =
+      EvaluateAccuracy(ModelLogits(*env.oracle), env.data.test);
+
+  ModelCost oracle_cost = CostOfWrn(env.oracle_config, hw, hw);
+  ModelCost library_cost = CostOfWrn(env.library_config, hw, hw);
+
+  // Table 1's library row is the *generic* KD student (the pool only keeps
+  // its conv1..conv3), so train one here to measure its accuracy; memoized
+  // per dataset within this process.
+  static std::map<DatasetKind, float>* lib_acc_cache =
+      new std::map<DatasetKind, float>();
+  float library_acc;
+  auto it = lib_acc_cache->find(kind);
+  if (it != lib_acc_cache->end()) {
+    library_acc = it->second;
+  } else {
+    Rng rng(777);
+    Wrn student(env.library_config, rng);
+    TrainOptions opts = env.baseline_options;
+    opts.epochs += 4;
+    TrainStandardKd(ModelLogits(*env.oracle), student, env.data.train, opts);
+    library_acc = EvaluateAccuracy(ModelLogits(student), env.data.test);
+    (*lib_acc_cache)[kind] = library_acc;
+  }
+
+  std::printf("\n=== Table 1 [%s] ===\n", env.name.c_str());
+  TablePrinter table({"Model", "Arch", "Acc(%)", "paper Acc", "FLOPs",
+                      "Params"});
+  table.AddRow({"Oracle (teacher)", env.oracle_config.ToString(),
+                TablePrinter::Pct(oracle_acc), PaperRef(paper.oracle_acc),
+                TablePrinter::HumanCount(oracle_cost.flops),
+                TablePrinter::HumanCount(oracle_cost.params)});
+  table.AddRow({"Library model (student)", env.library_config.ToString(),
+                TablePrinter::Pct(library_acc), PaperRef(paper.library_acc),
+                TablePrinter::HumanCount(library_cost.flops),
+                TablePrinter::HumanCount(library_cost.params)});
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "shape check: oracle > library accuracy: %s | oracle/library params "
+      "ratio %.1fx (paper ~50x at full scale)\n",
+      oracle_acc > library_acc ? "yes" : "NO",
+      static_cast<double>(oracle_cost.params) / library_cost.params);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace poe
+
+int main() {
+  using poe::bench::DatasetKind;
+  poe::bench::RunDataset(DatasetKind::kCifar100Like, {76.70, 63.84});
+  if (poe::bench::BenchScale::FromEnv().paper) {
+    poe::bench::RunDataset(DatasetKind::kTinyImageNetLike, {64.49, 56.96});
+  } else {
+    std::printf(
+        "\n[table1] tiny-imagenet-like skipped in fast mode; set "
+        "POE_BENCH_SCALE=paper to include it.\n");
+  }
+  return 0;
+}

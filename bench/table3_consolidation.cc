@@ -1,0 +1,114 @@
+// Table 3: accuracy and size of task-specific models built by each
+// consolidation method, for n(Q) = 2..5 primitive tasks.
+//
+// Paper shape (CIFAR-100, n(Q)=2 .. 5):
+//   Oracle 84.25 / 82.94 / 81.82 / 80.82
+//   KD 67.61 / 71.29 / 72.32 / 72.43,  Scratch 72.65 / 71.47 / 70.97 / 70.21
+//   Transfer 77.82 / 77.50 / 74.54 / 73.36
+//   SD+Scratch 57.06 / 48.60 / 43.08 / 39.15
+//   UHC+Scratch 57.57 / 49.73 / 44.49 / 40.83
+//   SD+CKD 73.94 / 71.28 / 69.46 / 67.77, UHC+CKD 73.87 / 71.56 / 70.49 / 68.84
+//   CKD 78.55 / 77.00 / 75.70 / 74.27,  PoE 79.03 / 76.41 / 74.18 / 72.22
+// Key shapes: PoE beats every training method except CKD (and Transfer at
+// small n); SD/UHC+Scratch collapse; PoE params < all trained models.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/bench_env.h"
+#include "common/consolidation.h"
+#include "eval/table.h"
+#include "util/env.h"
+
+namespace poe {
+namespace bench {
+namespace {
+
+void RunDataset(DatasetKind kind) {
+  BenchEnv& env = GetBenchEnv(kind);
+  const BenchScale scale = BenchScale::FromEnv();
+
+  std::printf("\n=== Table 3 [%s] ===\n", env.name.c_str());
+  TablePrinter table({"Method", "n(Q)=2 Acc", "n(Q)=3 Acc", "n(Q)=4 Acc",
+                      "n(Q)=5 Acc", "FLOPs@5", "Params@5"});
+
+  // method -> per-n accuracy average.
+  std::map<std::string, std::vector<double>> acc;
+  std::map<std::string, ConsolidationRun> last_runs;
+  for (int n = 2; n <= 5; ++n) {
+    std::map<std::string, double> sums;
+    std::map<std::string, int> counts;
+    for (const auto& combo : env.Combos(n, scale.combos_per_nq)) {
+      std::printf("[table3] %s n(Q)=%d combo {", env.name.c_str(), n);
+      for (size_t i = 0; i < combo.size(); ++i)
+        std::printf("%s%d", i ? "," : "", combo[i]);
+      std::printf("}...\n");
+      std::fflush(stdout);
+      for (ConsolidationRun& run :
+           RunConsolidation(env, combo, /*with_curves=*/false)) {
+        sums[run.method] += run.accuracy;
+        counts[run.method] += 1;
+        if (n == 5) last_runs[run.method] = run;
+      }
+    }
+    for (const std::string& m : AllConsolidationMethods()) {
+      acc[m].push_back(sums[m] / counts[m]);
+    }
+  }
+
+  for (const std::string& m : AllConsolidationMethods()) {
+    const ConsolidationRun& run = last_runs[m];
+    table.AddRow({m + (m == "CKD" || m == "PoE" ? " (ours)" : ""),
+                  TablePrinter::Pct(acc[m][0]), TablePrinter::Pct(acc[m][1]),
+                  TablePrinter::Pct(acc[m][2]), TablePrinter::Pct(acc[m][3]),
+                  TablePrinter::HumanCount(run.cost.flops),
+                  TablePrinter::HumanCount(run.cost.params)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // Shape checks from the paper's discussion.
+  auto avg = [&](const std::string& m) {
+    double s = 0;
+    for (double v : acc[m]) s += v;
+    return s / acc[m].size();
+  };
+  std::printf("shape checks:\n");
+  std::printf("  PoE > SD+Scratch and UHC+Scratch (merging independent "
+              "models fails): %s\n",
+              (avg("PoE") > avg("SD+Scratch") &&
+               avg("PoE") > avg("UHC+Scratch"))
+                  ? "holds"
+                  : "violated");
+  std::printf("  SD/UHC+CKD > SD/UHC+Scratch (composable experts help): "
+              "%s\n",
+              (avg("SD+CKD") > avg("SD+Scratch") &&
+               avg("UHC+CKD") > avg("UHC+Scratch"))
+                  ? "holds"
+                  : "violated");
+  std::printf("  CKD is the best trained method: %s\n",
+              (avg("CKD") >= avg("Scratch") && avg("CKD") >= avg("KD") &&
+               avg("CKD") >= avg("SD+CKD") && avg("CKD") >= avg("UHC+CKD"))
+                  ? "holds"
+                  : "violated");
+  std::printf("  PoE params below monolithic students (branched "
+              "architecture): %s\n",
+              last_runs["PoE"].cost.params < last_runs["CKD"].cost.params
+                  ? "holds"
+                  : "violated");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace poe
+
+int main() {
+  poe::bench::RunDataset(poe::bench::DatasetKind::kCifar100Like);
+  if (poe::bench::BenchScale::FromEnv().paper) {
+    poe::bench::RunDataset(poe::bench::DatasetKind::kTinyImageNetLike);
+  } else {
+    std::printf(
+        "\n[table3] tiny-imagenet-like skipped in fast mode; set "
+        "POE_BENCH_SCALE=paper to include it.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Table 4: storage volumes of the entire PoE framework vs storing the
+// oracle or all 2^n pre-built specialized models.
+//
+// Paper reference: CIFAR-100 oracle 34.3MB, library 177KB, expert 54.3KB,
+// all-pool 1.23MB, all-specialized >= 54.30GB. Tiny-ImageNet oracle
+// 65.8MB, library 656KB, expert 74.9KB, pool 3.20MB, >= 1198.40TB (34
+// tasks). Shape: pool is 20-30x smaller than the oracle; pre-building all
+// combinations is astronomically larger.
+#include <cstdio>
+#include <string>
+
+#include "common/bench_env.h"
+#include "core/volume.h"
+#include "eval/table.h"
+
+namespace poe {
+namespace bench {
+namespace {
+
+std::string HumanBytesD(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB", "EB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 6) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f%s", bytes, units[u]);
+  return buf;
+}
+
+void RunDataset(DatasetKind kind, const char* paper_row) {
+  BenchEnv& env = GetBenchEnv(kind);
+  VolumeReport report = ComputeVolumeReport(*env.oracle, *env.pool);
+
+  std::printf("\n=== Table 4 [%s] (%d primitive tasks) ===\n",
+              env.name.c_str(), report.num_primitive_tasks);
+  TablePrinter table({"Component", "Volume"});
+  table.AddRow({"Oracle", TablePrinter::HumanBytes(report.oracle_bytes)});
+  table.AddRow(
+      {"PoE: Library", TablePrinter::HumanBytes(report.library_bytes)});
+  table.AddRow({"PoE: Expert (avg)",
+                TablePrinter::HumanBytes(report.avg_expert_bytes)});
+  table.AddRow({"PoE: All (library + experts)",
+                TablePrinter::HumanBytes(report.pool_total_bytes)});
+  table.AddRow({"All specialized (estimation)",
+                ">= " + HumanBytesD(report.all_specialized_estimate_bytes)});
+  std::printf("%s", table.ToString().c_str());
+  std::printf("paper reference: %s\n", paper_row);
+  std::printf(
+      "shape checks: oracle/pool ratio %.1fx (paper ~20-30x): %s | "
+      "all-specialized >> oracle: %s\n",
+      static_cast<double>(report.oracle_bytes) / report.pool_total_bytes,
+      report.oracle_bytes > 5 * report.pool_total_bytes ? "holds"
+                                                        : "violated",
+      report.all_specialized_estimate_bytes > 100.0 * report.oracle_bytes
+          ? "holds"
+          : "violated");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace poe
+
+int main() {
+  poe::bench::RunDataset(
+      poe::bench::DatasetKind::kCifar100Like,
+      "oracle 34.3MB, library 177KB, expert 54.3KB, pool 1.23MB, "
+      "all-specialized >= 54.30GB");
+  if (poe::bench::BenchScale::FromEnv().paper) {
+    poe::bench::RunDataset(
+        poe::bench::DatasetKind::kTinyImageNetLike,
+        "oracle 65.8MB, library 656KB, expert 74.9KB, pool 3.20MB, "
+        "all-specialized >= 1198.40TB (34 tasks)");
+  } else {
+    std::printf(
+        "\n[table4] tiny-imagenet-like skipped in fast mode; set "
+        "POE_BENCH_SCALE=paper to include it.\n");
+  }
+  return 0;
+}

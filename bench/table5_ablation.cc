@@ -1,0 +1,132 @@
+// Table 5: ablation of the CKD loss terms. Pools of experts are trained
+// with L_soft only, L_scale only, or both, then consolidated train-free
+// for n(Q) = 2..5.
+//
+// Paper shape (CIFAR-100): L_soft+L_scale > L_soft only > L_scale only at
+// every n(Q); e.g. n(Q)=2: 79.03 vs 78.17 vs 71.46.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/bench_env.h"
+#include "core/task_model.h"
+#include "distill/specialize.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace poe {
+namespace bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  CkdOptions options;
+};
+
+void RunDataset(DatasetKind kind) {
+  BenchEnv& env = GetBenchEnv(kind);
+  const BenchScale scale = BenchScale::FromEnv();
+
+  CkdOptions soft_only;
+  soft_only.use_scale = false;
+  CkdOptions scale_only;
+  scale_only.use_soft = false;
+  const std::vector<Variant> variants = {
+      {"L_soft only", soft_only},
+      {"L_scale only", scale_only},
+      {"L_soft + L_scale", CkdOptions{}},
+  };
+
+  // Train variant experts for the selected tasks (the "both" variant
+  // re-trains rather than reusing the pool so all variants share setup).
+  Sequential& library = *env.pool->library();
+  CkdTables tables = PrecomputeCkdTables(ModelLogits(*env.oracle), library,
+                                         env.data.train);
+  // variant -> task -> expert head.
+  std::map<std::string, std::map<int, std::shared_ptr<Sequential>>> experts;
+  for (const Variant& v : variants) {
+    for (int t : env.selected_tasks) {
+      const std::vector<int>& classes = env.data.hierarchy.task_classes(t);
+      WrnConfig cfg = env.library_config;
+      cfg.ks = env.expert_ks;
+      cfg.num_classes = static_cast<int>(classes.size());
+      Rng rng(600 + t);  // same init across variants
+      auto head =
+          BuildExpertPart(cfg, env.library_config.conv3_channels(), rng);
+      TrainCkdExpertWithTables(tables, *head, env.data.train, classes,
+                               env.expert_options, v.options);
+      experts[v.name][t] = std::move(head);
+    }
+    std::printf("[table5] trained %zu '%s' experts\n",
+                env.selected_tasks.size(), v.name);
+    std::fflush(stdout);
+  }
+
+  auto consolidate_and_eval = [&](const Variant& v,
+                                  const std::vector<int>& tasks) {
+    std::vector<TaskModel::Branch> branches;
+    for (int t : tasks) {
+      TaskModel::Branch b;
+      b.head = experts[v.name][t];
+      b.classes = env.data.hierarchy.task_classes(t);
+      b.config = env.pool->ExpertConfig(t);
+      branches.push_back(std::move(b));
+    }
+    TaskModel model(env.pool->library(), env.library_config,
+                    std::move(branches));
+    Dataset test = FilterClasses(
+        env.data.test, env.data.hierarchy.CompositeClasses(tasks), true);
+    LogitFn fn = [&](const Tensor& x) { return model.Logits(x); };
+    return EvaluateAccuracy(fn, test);
+  };
+
+  std::printf("\n=== Table 5 [%s] ===\n", env.name.c_str());
+  TablePrinter table({"Method", "n(Q)=2", "n(Q)=3", "n(Q)=4", "n(Q)=5"});
+  std::map<std::string, std::vector<double>> acc;
+  for (const Variant& v : variants) {
+    std::vector<std::string> cells = {v.name};
+    for (int n = 2; n <= 5; ++n) {
+      double sum = 0.0;
+      int count = 0;
+      for (const auto& combo : env.Combos(n, scale.combos_per_nq)) {
+        sum += consolidate_and_eval(v, combo);
+        ++count;
+      }
+      acc[v.name].push_back(sum / count);
+      cells.push_back(TablePrinter::Pct(sum / count));
+    }
+    table.AddRow(cells);
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  auto avg = [&](const char* name) {
+    double s = 0;
+    for (double v : acc[name]) s += v;
+    return s / acc[name].size();
+  };
+  std::printf(
+      "shape check (paper: both > soft-only > scale-only): %.2f > %.2f > "
+      "%.2f -> %s\n",
+      100 * avg("L_soft + L_scale"), 100 * avg("L_soft only"),
+      100 * avg("L_scale only"),
+      (avg("L_soft + L_scale") > avg("L_soft only") &&
+       avg("L_soft only") > avg("L_scale only"))
+          ? "holds"
+          : "check ordering");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace poe
+
+int main() {
+  poe::bench::RunDataset(poe::bench::DatasetKind::kCifar100Like);
+  if (poe::bench::BenchScale::FromEnv().paper) {
+    poe::bench::RunDataset(poe::bench::DatasetKind::kTinyImageNetLike);
+  } else {
+    std::printf(
+        "\n[table5] tiny-imagenet-like skipped in fast mode; set "
+        "POE_BENCH_SCALE=paper to include it.\n");
+  }
+  return 0;
+}

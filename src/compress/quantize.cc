@@ -1,0 +1,93 @@
+#include "compress/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace poe {
+
+QuantizedTensor Quantize(const Tensor& tensor) {
+  QuantizedTensor q;
+  q.shape = tensor.shape();
+  q.values.resize(tensor.numel());
+  float max_abs = 0.0f;
+  const float* p = tensor.data();
+  for (int64_t i = 0; i < tensor.numel(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(p[i]));
+  }
+  q.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  const float inv = 1.0f / q.scale;
+  for (int64_t i = 0; i < tensor.numel(); ++i) {
+    const float v = std::round(p[i] * inv);
+    q.values[i] = static_cast<int8_t>(std::clamp(v, -127.0f, 127.0f));
+  }
+  return q;
+}
+
+Tensor Dequantize(const QuantizedTensor& quantized) {
+  Tensor out(quantized.shape);
+  float* p = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    p[i] = quantized.scale * static_cast<float>(quantized.values[i]);
+  }
+  return out;
+}
+
+int64_t QuantizedModuleState::nbytes() const {
+  int64_t total = 0;
+  for (const QuantizedTensor& t : tensors) total += t.nbytes();
+  return total;
+}
+
+QuantizedModuleState QuantizeModule(Module& module) {
+  QuantizedModuleState state;
+  for (Parameter* p : module.Parameters()) {
+    state.tensors.push_back(Quantize(p->value));
+  }
+  std::vector<Tensor*> buffers;
+  module.CollectBuffers(&buffers);
+  for (Tensor* b : buffers) state.tensors.push_back(Quantize(*b));
+  return state;
+}
+
+Status DequantizeInto(const QuantizedModuleState& state, Module& module) {
+  std::vector<Parameter*> params = module.Parameters();
+  std::vector<Tensor*> buffers;
+  module.CollectBuffers(&buffers);
+  if (state.tensors.size() != params.size() + buffers.size()) {
+    return Status::Corruption("quantized state tensor count mismatch");
+  }
+  size_t i = 0;
+  for (Parameter* p : params) {
+    if (state.tensors[i].shape != p->value.shape()) {
+      return Status::Corruption("quantized tensor shape mismatch");
+    }
+    p->value = Dequantize(state.tensors[i++]);
+  }
+  for (Tensor* b : buffers) {
+    if (state.tensors[i].shape != b->shape()) {
+      return Status::Corruption("quantized buffer shape mismatch");
+    }
+    *b = Dequantize(state.tensors[i++]);
+  }
+  return Status::OK();
+}
+
+float QuantizationError(Module& module) {
+  float worst = 0.0f;
+  for (Parameter* p : module.Parameters()) {
+    Tensor round_trip = Dequantize(Quantize(p->value));
+    worst = std::max(worst, MaxAbsDiff(p->value, round_trip));
+  }
+  std::vector<Tensor*> buffers;
+  module.CollectBuffers(&buffers);
+  for (Tensor* b : buffers) {
+    Tensor round_trip = Dequantize(Quantize(*b));
+    worst = std::max(worst, MaxAbsDiff(*b, round_trip));
+  }
+  return worst;
+}
+
+}  // namespace poe

@@ -1,0 +1,59 @@
+// Post-training int8 quantization of module state (extension feature).
+//
+// The paper notes KD is complementary to quantization and pruning
+// (Section 2); this module implements that composition: expert and library
+// weights can be stored in int8, shrinking the pool ~4x on top of PoE's
+// structural savings, and dequantized on query.
+#ifndef POE_COMPRESS_QUANTIZE_H_
+#define POE_COMPRESS_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/result.h"
+
+namespace poe {
+
+/// A per-tensor symmetric int8 quantization of one tensor:
+/// value ~ scale * q, q in [-127, 127].
+struct QuantizedTensor {
+  std::vector<int64_t> shape;
+  float scale = 1.0f;
+  std::vector<int8_t> values;
+
+  int64_t numel() const { return static_cast<int64_t>(values.size()); }
+  /// Serialized footprint: one int8 per element plus the scale.
+  int64_t nbytes() const { return numel() + static_cast<int64_t>(sizeof(float)); }
+};
+
+/// Quantizes with the symmetric max-abs scale. A zero tensor quantizes to
+/// scale 1 and all-zero values.
+QuantizedTensor Quantize(const Tensor& tensor);
+
+/// Reconstructs the float tensor.
+Tensor Dequantize(const QuantizedTensor& quantized);
+
+/// Quantized snapshot of a whole module (parameters + buffers, in
+/// traversal order).
+struct QuantizedModuleState {
+  std::vector<QuantizedTensor> tensors;
+
+  int64_t nbytes() const;
+};
+
+/// Snapshots `module` in int8.
+QuantizedModuleState QuantizeModule(Module& module);
+
+/// Writes the snapshot back into an identically-structured module.
+/// Fails with Corruption when the structure does not match.
+Status DequantizeInto(const QuantizedModuleState& state, Module& module);
+
+/// Max absolute elementwise reconstruction error over all state tensors of
+/// `module` under int8 round-trip (diagnostic).
+float QuantizationError(Module& module);
+
+}  // namespace poe
+
+#endif  // POE_COMPRESS_QUANTIZE_H_

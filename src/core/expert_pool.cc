@@ -1,0 +1,162 @@
+#include "core/expert_pool.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/serialization.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace poe {
+
+ExpertPool::ExpertPool(WrnConfig library_config, double expert_ks,
+                       ClassHierarchy hierarchy,
+                       std::shared_ptr<Sequential> library,
+                       std::vector<std::shared_ptr<Sequential>> experts)
+    : library_config_(library_config),
+      expert_ks_(expert_ks),
+      hierarchy_(std::move(hierarchy)),
+      library_(std::move(library)),
+      experts_(std::move(experts)) {
+  POE_CHECK(library_ != nullptr);
+  POE_CHECK_EQ(static_cast<int>(experts_.size()), hierarchy_.num_tasks());
+}
+
+WrnConfig ExpertPool::ExpertConfig(int task_id) const {
+  WrnConfig cfg = library_config_;
+  cfg.ks = expert_ks_;
+  cfg.num_classes =
+      static_cast<int>(hierarchy_.task_classes(task_id).size());
+  return cfg;
+}
+
+ExpertPool ExpertPool::Preprocess(const LogitFn& oracle,
+                                  const SyntheticDataset& data,
+                                  const PoeBuildConfig& config, Rng& rng,
+                                  PoeBuildStats* stats) {
+  // The library student is a generic model over the oracle's class set;
+  // the pool's hierarchy may cover a subset of those classes (experts can
+  // be hot-added later), but never classes the oracle does not know.
+  POE_CHECK_GE(config.library_config.num_classes,
+               data.hierarchy.num_classes())
+      << "library student must cover at least the hierarchy's classes";
+
+  // Phase 1: library extraction by standard KD (Eq. 1). The student is a
+  // small generic model; its conv1..conv3 become the shared library.
+  Stopwatch sw;
+  Wrn library_student(config.library_config, rng);
+  TrainStandardKd(oracle, library_student, data.train,
+                  config.library_options);
+  const double library_seconds = sw.ElapsedSeconds();
+  if (config.verbose) {
+    POE_LOG(Info) << "library extraction done in " << library_seconds << "s";
+  }
+
+  std::shared_ptr<Sequential> library = library_student.library_part();
+  // Freeze the shared component: experts never update it.
+  library->SetTrainable(false);
+
+  // Phase 2: expert extraction by CKD, one expert per primitive task.
+  // The oracle and the frozen library are shared teachers: compute their
+  // tables once for all experts.
+  CkdTables tables = PrecomputeCkdTables(oracle, *library, data.train);
+  std::vector<std::shared_ptr<Sequential>> experts;
+  std::vector<double> per_expert;
+  sw.Reset();
+  for (int t = 0; t < data.hierarchy.num_tasks(); ++t) {
+    Stopwatch expert_sw;
+    const std::vector<int>& classes = data.hierarchy.task_classes(t);
+    WrnConfig expert_cfg = config.library_config;
+    expert_cfg.ks = config.expert_ks;
+    expert_cfg.num_classes = static_cast<int>(classes.size());
+    auto head = BuildExpertPart(expert_cfg,
+                                config.library_config.conv3_channels(), rng);
+    TrainCkdExpertWithTables(tables, *head, data.train, classes,
+                             config.expert_options, config.ckd);
+    per_expert.push_back(expert_sw.ElapsedSeconds());
+    if (config.verbose) {
+      POE_LOG(Info) << "expert " << t << " extracted in "
+                    << per_expert.back() << "s";
+    }
+    experts.push_back(std::move(head));
+  }
+  const double experts_seconds = sw.ElapsedSeconds();
+
+  if (stats != nullptr) {
+    stats->library_seconds = library_seconds;
+    stats->experts_seconds = experts_seconds;
+    stats->per_expert_seconds = std::move(per_expert);
+  }
+  return ExpertPool(config.library_config, config.expert_ks,
+                    data.hierarchy, std::move(library), std::move(experts));
+}
+
+Result<TaskModel> ExpertPool::Query(const std::vector<int>& task_ids) const {
+  if (task_ids.empty()) {
+    return Status::InvalidArgument("composite task must be non-empty");
+  }
+  std::unordered_set<int> seen;
+  std::vector<TaskModel::Branch> branches;
+  branches.reserve(task_ids.size());
+  for (int t : task_ids) {
+    if (t < 0 || t >= num_experts()) {
+      return Status::OutOfRange("unknown primitive task id " +
+                                std::to_string(t));
+    }
+    if (!seen.insert(t).second) {
+      return Status::InvalidArgument("duplicate primitive task id " +
+                                     std::to_string(t));
+    }
+    TaskModel::Branch branch;
+    branch.head = experts_[t];
+    branch.classes = hierarchy_.task_classes(t);
+    branch.config = ExpertConfig(t);
+    branches.push_back(std::move(branch));
+  }
+  return TaskModel(library_, library_config_, std::move(branches));
+}
+
+const std::shared_ptr<Sequential>& ExpertPool::expert(int task_id) const {
+  POE_CHECK_GE(task_id, 0);
+  POE_CHECK_LT(task_id, num_experts());
+  return experts_[task_id];
+}
+
+Status ExpertPool::AddExpert(const LogitFn& oracle, const Dataset& full_train,
+                             const std::vector<int>& new_classes,
+                             const TrainOptions& options,
+                             const CkdOptions& ckd, Rng& rng) {
+  if (new_classes.empty()) {
+    return Status::InvalidArgument("new primitive task must be non-empty");
+  }
+  // Extend the hierarchy; FromTasks re-validates the partition.
+  std::vector<std::vector<int>> tasks;
+  for (int t = 0; t < hierarchy_.num_tasks(); ++t) {
+    tasks.push_back(hierarchy_.task_classes(t));
+  }
+  tasks.push_back(new_classes);
+  auto extended = ClassHierarchy::FromTasks(std::move(tasks));
+  if (!extended.ok()) return extended.status();
+
+  WrnConfig expert_cfg = library_config_;
+  expert_cfg.ks = expert_ks_;
+  expert_cfg.num_classes = static_cast<int>(new_classes.size());
+  auto head =
+      BuildExpertPart(expert_cfg, library_config_.conv3_channels(), rng);
+  TrainCkdExpert(oracle, *library_, *head, full_train, new_classes, options,
+                 ckd);
+
+  hierarchy_ = std::move(extended).ValueOrDie();
+  experts_.push_back(std::move(head));
+  return Status::OK();
+}
+
+Status ExpertPool::Save(const std::string& path) const {
+  return SaveExpertPool(*this, path);
+}
+
+Result<ExpertPool> ExpertPool::Load(const std::string& path) {
+  return LoadExpertPool(path);
+}
+
+}  // namespace poe

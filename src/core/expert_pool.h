@@ -1,0 +1,102 @@
+// ExpertPool: the preprocessing-phase product of PoE and the query engine
+// of the service phase.
+#ifndef POE_CORE_EXPERT_POOL_H_
+#define POE_CORE_EXPERT_POOL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/task_model.h"
+#include "data/hierarchy.h"
+#include "data/synthetic.h"
+#include "distill/specialize.h"
+#include "distill/trainer.h"
+#include "eval/metrics.h"
+#include "models/wrn.h"
+#include "util/result.h"
+
+namespace poe {
+
+/// Preprocessing-phase configuration.
+struct PoeBuildConfig {
+  /// Architecture of the library *student* model distilled from oracle
+  /// with standard KD; num_classes must equal the oracle's class count.
+  WrnConfig library_config;
+  /// conv4 widening factor of each expert (paper: 0.25).
+  double expert_ks = 0.25;
+  /// Standard-KD options for the library student.
+  TrainOptions library_options;
+  /// CKD options for expert extraction.
+  TrainOptions expert_options;
+  CkdOptions ckd;
+  bool verbose = false;
+};
+
+/// Timing/diagnostic record of a preprocessing run.
+struct PoeBuildStats {
+  double library_seconds = 0.0;
+  double experts_seconds = 0.0;
+  std::vector<double> per_expert_seconds;
+};
+
+/// A pool of composable experts plus the shared library component
+/// (Figure 1a). Built once from an oracle; then Query() synthesizes a
+/// task-specific model for any composite task in realtime with no
+/// training (Figure 1b).
+class ExpertPool {
+ public:
+  /// Runs the full preprocessing phase:
+  ///  1. library extraction - standard KD from `oracle` into a small
+  ///     generic student, keeping conv1..conv3 as the library;
+  ///  2. expert extraction - per primitive task, CKD of the oracle's
+  ///     sub-logits into a tiny conv4 head on the frozen library.
+  static ExpertPool Preprocess(const LogitFn& oracle,
+                               const SyntheticDataset& data,
+                               const PoeBuildConfig& config, Rng& rng,
+                               PoeBuildStats* stats = nullptr);
+
+  /// Assembles the pieces directly (used by Load and tests).
+  ExpertPool(WrnConfig library_config, double expert_ks,
+             ClassHierarchy hierarchy,
+             std::shared_ptr<Sequential> library,
+             std::vector<std::shared_ptr<Sequential>> experts);
+
+  /// Service phase: builds M(Q) for composite task Q = given primitive
+  /// task ids. Train-free; the returned model aliases pool weights.
+  /// Fails on empty, duplicate, or out-of-range ids.
+  Result<TaskModel> Query(const std::vector<int>& task_ids) const;
+
+  const ClassHierarchy& hierarchy() const { return hierarchy_; }
+  const WrnConfig& library_config() const { return library_config_; }
+  double expert_ks() const { return expert_ks_; }
+  int num_experts() const { return static_cast<int>(experts_.size()); }
+  const std::shared_ptr<Sequential>& library() const { return library_; }
+  const std::shared_ptr<Sequential>& expert(int task_id) const;
+
+  /// Architecture of expert `task_id` (WRN conv4 group + head).
+  WrnConfig ExpertConfig(int task_id) const;
+
+  /// Extends the pool with a new primitive task extracted from the oracle
+  /// (extension feature: hot-adding knowledge without touching existing
+  /// experts). `new_classes` are global class ids not yet covered.
+  Status AddExpert(const LogitFn& oracle, const Dataset& full_train,
+                   const std::vector<int>& new_classes,
+                   const TrainOptions& options, const CkdOptions& ckd,
+                   Rng& rng);
+
+  /// Persistence (versioned binary format, checksummed).
+  Status Save(const std::string& path) const;
+  static Result<ExpertPool> Load(const std::string& path);
+
+ private:
+  WrnConfig library_config_;
+  double expert_ks_ = 0.25;
+  ClassHierarchy hierarchy_;
+  std::shared_ptr<Sequential> library_;
+  std::vector<std::shared_ptr<Sequential>> experts_;
+};
+
+}  // namespace poe
+
+#endif  // POE_CORE_EXPERT_POOL_H_

@@ -1,0 +1,54 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tensor/ops.h"
+
+namespace poe {
+
+Result<QueryPlan> PlanClassQuery(const ClassHierarchy& hierarchy,
+                                 const std::vector<int>& classes) {
+  if (classes.empty()) {
+    return Status::InvalidArgument("class query must be non-empty");
+  }
+  QueryPlan plan;
+  std::unordered_set<int> seen_classes;
+  std::set<int> tasks;
+  for (int c : classes) {
+    if (c < 0 || c >= hierarchy.num_classes()) {
+      return Status::OutOfRange("unknown class id " + std::to_string(c));
+    }
+    if (seen_classes.insert(c).second) {
+      plan.requested_classes.push_back(c);
+      tasks.insert(hierarchy.task_of_class(c));
+    }
+  }
+  plan.task_ids.assign(tasks.begin(), tasks.end());
+  plan.covered_classes = hierarchy.CompositeClasses(plan.task_ids);
+  return plan;
+}
+
+LogitFn RestrictToRequestedClasses(TaskModel& model, const QueryPlan& plan) {
+  // Column index of each requested class within the model's logit order.
+  std::unordered_map<int, int> column_of;
+  const std::vector<int>& covered = model.global_classes();
+  for (size_t i = 0; i < covered.size(); ++i) {
+    column_of.emplace(covered[i], static_cast<int>(i));
+  }
+  std::vector<int> columns;
+  columns.reserve(plan.requested_classes.size());
+  for (int c : plan.requested_classes) {
+    auto it = column_of.find(c);
+    POE_CHECK(it != column_of.end())
+        << "model does not cover requested class " << c;
+    columns.push_back(it->second);
+  }
+  return [&model, columns](const Tensor& images) {
+    return GatherColumns(model.Logits(images), columns);
+  };
+}
+
+}  // namespace poe

@@ -1,0 +1,49 @@
+// Class-level query planning (extension feature).
+//
+// The paper's queries name primitive tasks. Real clients often name
+// *classes* ("cat", "pizza"); the planner maps a class-level request onto
+// the minimal set of primitive tasks covering it and can restrict the
+// assembled model's logits back to exactly the requested classes.
+#ifndef POE_CORE_PLANNER_H_
+#define POE_CORE_PLANNER_H_
+
+#include <vector>
+
+#include "core/task_model.h"
+#include "data/hierarchy.h"
+#include "eval/metrics.h"
+#include "util/result.h"
+
+namespace poe {
+
+/// The plan for a class-level query.
+struct QueryPlan {
+  /// Primitive tasks to assemble (sorted, deduplicated).
+  std::vector<int> task_ids;
+  /// The classes the client asked for (deduplicated, original order).
+  std::vector<int> requested_classes;
+  /// All classes the assembled model will cover (union of the tasks).
+  std::vector<int> covered_classes;
+
+  /// Classes delivered beyond the request (coverage overhead of the
+  /// task-granular pool).
+  int excess_classes() const {
+    return static_cast<int>(covered_classes.size() -
+                            requested_classes.size());
+  }
+};
+
+/// Plans a query for `classes` against `hierarchy`. Fails on empty input
+/// or unknown class ids.
+Result<QueryPlan> PlanClassQuery(const ClassHierarchy& hierarchy,
+                                 const std::vector<int>& classes);
+
+/// Wraps an assembled model so its logit columns are exactly
+/// `plan.requested_classes` (columns of non-requested classes are
+/// dropped). The TaskModel must cover every requested class and must
+/// outlive the returned function.
+LogitFn RestrictToRequestedClasses(TaskModel& model, const QueryPlan& plan);
+
+}  // namespace poe
+
+#endif  // POE_CORE_PLANNER_H_

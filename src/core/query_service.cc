@@ -1,0 +1,63 @@
+#include "core/query_service.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace poe {
+
+ModelQueryService::ModelQueryService(ExpertPool pool, size_t cache_capacity)
+    : pool_(std::move(pool)), cache_capacity_(cache_capacity) {}
+
+Result<std::shared_ptr<TaskModel>> ModelQueryService::Query(
+    const std::vector<int>& task_ids) {
+  Stopwatch clock;
+  CacheKey key = task_ids;
+  std::sort(key.begin(), key.end());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.num_queries++;
+
+  if (cache_capacity_ > 0) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Move to front (most recently used).
+      lru_.splice(lru_.begin(), lru_, it->second);
+      stats_.cache_hits++;
+      const double ms = clock.ElapsedMillis();
+      stats_.total_ms += ms;
+      stats_.max_ms = std::max(stats_.max_ms, ms);
+      return lru_.front().second;
+    }
+  }
+
+  auto assembled = pool_.Query(task_ids);
+  if (!assembled.ok()) return assembled.status();
+  auto model =
+      std::make_shared<TaskModel>(std::move(assembled).ValueOrDie());
+
+  if (cache_capacity_ > 0) {
+    lru_.emplace_front(key, model);
+    index_[key] = lru_.begin();
+    if (lru_.size() > cache_capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+  const double ms = clock.ElapsedMillis();
+  stats_.total_ms += ms;
+  stats_.max_ms = std::max(stats_.max_ms, ms);
+  return model;
+}
+
+QueryStats ModelQueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ModelQueryService::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace poe

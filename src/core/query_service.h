@@ -1,0 +1,65 @@
+// The realtime model-querying service of the introduction's AIaaS scenario.
+#ifndef POE_CORE_QUERY_SERVICE_H_
+#define POE_CORE_QUERY_SERVICE_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/expert_pool.h"
+#include "util/result.h"
+
+namespace poe {
+
+/// Service-side query statistics.
+struct QueryStats {
+  int64_t num_queries = 0;
+  int64_t cache_hits = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+
+  double avg_ms() const {
+    return num_queries > 0 ? total_ms / num_queries : 0.0;
+  }
+};
+
+/// Thread-safe front-end over an ExpertPool: clients submit composite
+/// tasks, the service assembles (or serves from an LRU cache) the
+/// task-specific model and records latency. Assembly is train-free, so
+/// serving is dominated by pointer wiring - this is the system's headline
+/// property (Figures 6-7).
+class ModelQueryService {
+ public:
+  /// `cache_capacity` = 0 disables the assembled-model cache.
+  explicit ModelQueryService(ExpertPool pool, size_t cache_capacity = 0);
+
+  /// Builds M(Q) for the composite task. Task id order does not affect
+  /// caching (keys are sorted) but does affect logit column order of the
+  /// returned model.
+  Result<std::shared_ptr<TaskModel>> Query(const std::vector<int>& task_ids);
+
+  QueryStats stats() const;
+  const ExpertPool& pool() const { return pool_; }
+  size_t cache_size() const;
+
+ private:
+  using CacheKey = std::vector<int>;
+
+  ExpertPool pool_;
+  size_t cache_capacity_;
+  mutable std::mutex mu_;
+  QueryStats stats_;
+  // LRU: most recent at front.
+  std::list<std::pair<CacheKey, std::shared_ptr<TaskModel>>> lru_;
+  std::map<CacheKey,
+           std::list<std::pair<CacheKey, std::shared_ptr<TaskModel>>>::
+               iterator>
+      index_;
+};
+
+}  // namespace poe
+
+#endif  // POE_CORE_QUERY_SERVICE_H_

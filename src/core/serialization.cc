@@ -1,0 +1,275 @@
+#include "core/serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/expert_pool.h"
+#include "util/logging.h"
+
+namespace poe {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'O', 'E', 'P', 'O', 'O', 'L', '1'};
+constexpr uint32_t kVersion = 1;
+
+// Low-level primitives. The on-disk layout is the host's little-endian
+// representation; the format is an internal cache, not an exchange format.
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteTensorData(std::ostream& out, const Tensor& t) {
+  WritePod<int32_t>(out, t.ndim());
+  for (int i = 0; i < t.ndim(); ++i) WritePod<int64_t>(out, t.dim(i));
+  out.write(reinterpret_cast<const char*>(t.data()),
+            sizeof(float) * t.numel());
+}
+
+Status ReadTensorInto(std::istream& in, Tensor* t) {
+  int32_t ndim = 0;
+  if (!ReadPod(in, &ndim) || ndim < 0 || ndim > 8) {
+    return Status::Corruption("bad tensor rank");
+  }
+  std::vector<int64_t> shape(ndim);
+  for (int i = 0; i < ndim; ++i) {
+    if (!ReadPod(in, &shape[i])) return Status::Corruption("bad tensor dim");
+  }
+  if (shape != t->shape()) {
+    return Status::Corruption("tensor shape mismatch: file " +
+                              Tensor::Zeros(shape).ShapeString() +
+                              " vs module " + t->ShapeString());
+  }
+  in.read(reinterpret_cast<char*>(t->data()), sizeof(float) * t->numel());
+  if (!in) return Status::Corruption("truncated tensor data");
+  return Status::OK();
+}
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void WriteWrnConfig(std::ostream& out, const WrnConfig& cfg) {
+  WritePod<int32_t>(out, cfg.depth);
+  WritePod<double>(out, cfg.kc);
+  WritePod<double>(out, cfg.ks);
+  WritePod<int32_t>(out, cfg.num_classes);
+  WritePod<int32_t>(out, cfg.base_channels);
+  WritePod<int32_t>(out, cfg.in_channels);
+}
+
+Status ReadWrnConfig(std::istream& in, WrnConfig* cfg) {
+  int32_t depth, num_classes, base, in_channels;
+  double kc, ks;
+  if (!ReadPod(in, &depth) || !ReadPod(in, &kc) || !ReadPod(in, &ks) ||
+      !ReadPod(in, &num_classes) || !ReadPod(in, &base) ||
+      !ReadPod(in, &in_channels)) {
+    return Status::Corruption("truncated WrnConfig");
+  }
+  cfg->depth = depth;
+  cfg->kc = kc;
+  cfg->ks = ks;
+  cfg->num_classes = num_classes;
+  cfg->base_channels = base;
+  cfg->in_channels = in_channels;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteModuleState(std::ostream& out, Module& module) {
+  std::vector<Parameter*> params = module.Parameters();
+  std::vector<Tensor*> buffers;
+  module.CollectBuffers(&buffers);
+  WritePod<int64_t>(out, static_cast<int64_t>(params.size()));
+  WritePod<int64_t>(out, static_cast<int64_t>(buffers.size()));
+  for (Parameter* p : params) WriteTensorData(out, p->value);
+  for (Tensor* b : buffers) WriteTensorData(out, *b);
+  if (!out) return Status::IoError("failed writing module state");
+  return Status::OK();
+}
+
+Status ReadModuleState(std::istream& in, Module& module) {
+  std::vector<Parameter*> params = module.Parameters();
+  std::vector<Tensor*> buffers;
+  module.CollectBuffers(&buffers);
+  int64_t n_params = 0, n_buffers = 0;
+  if (!ReadPod(in, &n_params) || !ReadPod(in, &n_buffers)) {
+    return Status::Corruption("truncated module header");
+  }
+  if (n_params != static_cast<int64_t>(params.size()) ||
+      n_buffers != static_cast<int64_t>(buffers.size())) {
+    return Status::Corruption("module structure mismatch");
+  }
+  for (Parameter* p : params) POE_RETURN_NOT_OK(ReadTensorInto(in, &p->value));
+  for (Tensor* b : buffers) POE_RETURN_NOT_OK(ReadTensorInto(in, b));
+  return Status::OK();
+}
+
+int64_t ModuleStateBytes(Module& module) {
+  int64_t bytes = 0;
+  for (Parameter* p : module.Parameters()) bytes += p->value.nbytes();
+  std::vector<Tensor*> buffers;
+  module.CollectBuffers(&buffers);
+  for (Tensor* b : buffers) bytes += b->nbytes();
+  return bytes;
+}
+
+Status SaveExpertPool(const ExpertPool& pool, const std::string& path) {
+  std::ostringstream payload;
+  WriteWrnConfig(payload, pool.library_config());
+  WritePod<double>(payload, pool.expert_ks());
+  // Hierarchy.
+  const ClassHierarchy& h = pool.hierarchy();
+  WritePod<int32_t>(payload, h.num_tasks());
+  for (int t = 0; t < h.num_tasks(); ++t) {
+    const auto& classes = h.task_classes(t);
+    WritePod<int32_t>(payload, static_cast<int32_t>(classes.size()));
+    for (int c : classes) WritePod<int32_t>(payload, c);
+  }
+  POE_RETURN_NOT_OK(WriteModuleState(payload, *pool.library()));
+  for (int t = 0; t < pool.num_experts(); ++t) {
+    POE_RETURN_NOT_OK(WriteModuleState(payload, *pool.expert(t)));
+  }
+
+  const std::string bytes = payload.str();
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file.write(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(file, kVersion);
+  WritePod<uint64_t>(file, Fnv1a(bytes));
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file) return Status::IoError("failed writing " + path);
+  return Status::OK();
+}
+
+namespace {
+constexpr char kWrnMagic[8] = {'P', 'O', 'E', 'W', 'R', 'N', '0', '1'};
+}  // namespace
+
+Status SaveWrnModel(Module& wrn, const WrnConfig& config,
+                    const std::string& path) {
+  std::ostringstream payload;
+  WriteWrnConfig(payload, config);
+  POE_RETURN_NOT_OK(WriteModuleState(payload, wrn));
+  const std::string bytes = payload.str();
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file.write(kWrnMagic, sizeof(kWrnMagic));
+  WritePod<uint64_t>(file, Fnv1a(bytes));
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file) return Status::IoError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Wrn>> LoadWrnModel(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open " + path);
+  char magic[8];
+  file.read(magic, sizeof(magic));
+  if (!file || std::memcmp(magic, kWrnMagic, sizeof(kWrnMagic)) != 0) {
+    return Status::Corruption("bad WRN magic in " + path);
+  }
+  uint64_t checksum = 0;
+  if (!ReadPod(file, &checksum)) return Status::Corruption("truncated WRN");
+  std::ostringstream rest;
+  rest << file.rdbuf();
+  const std::string bytes = rest.str();
+  if (Fnv1a(bytes) != checksum) {
+    return Status::Corruption("WRN checksum mismatch in " + path);
+  }
+  std::istringstream in(bytes);
+  WrnConfig cfg;
+  POE_RETURN_NOT_OK(ReadWrnConfig(in, &cfg));
+  Rng rng(0);
+  auto model = std::make_shared<Wrn>(cfg, rng);
+  POE_RETURN_NOT_OK(ReadModuleState(in, *model));
+  return model;
+}
+
+Result<ExpertPool> LoadExpertPool(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open " + path);
+  char magic[8];
+  file.read(magic, sizeof(magic));
+  if (!file || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad pool magic in " + path);
+  }
+  uint32_t version = 0;
+  uint64_t checksum = 0;
+  if (!ReadPod(file, &version) || !ReadPod(file, &checksum)) {
+    return Status::Corruption("truncated pool header");
+  }
+  if (version != kVersion) {
+    return Status::Corruption("unsupported pool version " +
+                              std::to_string(version));
+  }
+  std::ostringstream rest;
+  rest << file.rdbuf();
+  const std::string bytes = rest.str();
+  if (Fnv1a(bytes) != checksum) {
+    return Status::Corruption("pool checksum mismatch in " + path);
+  }
+
+  std::istringstream in(bytes);
+  WrnConfig library_cfg;
+  POE_RETURN_NOT_OK(ReadWrnConfig(in, &library_cfg));
+  double expert_ks = 0.0;
+  if (!ReadPod(in, &expert_ks)) return Status::Corruption("truncated pool");
+  int32_t num_tasks = 0;
+  if (!ReadPod(in, &num_tasks) || num_tasks <= 0 || num_tasks > 100000) {
+    return Status::Corruption("bad task count");
+  }
+  std::vector<std::vector<int>> tasks(num_tasks);
+  for (int t = 0; t < num_tasks; ++t) {
+    int32_t count = 0;
+    if (!ReadPod(in, &count) || count <= 0) {
+      return Status::Corruption("bad task size");
+    }
+    tasks[t].resize(count);
+    for (int i = 0; i < count; ++i) {
+      int32_t c = 0;
+      if (!ReadPod(in, &c)) return Status::Corruption("truncated task");
+      tasks[t][i] = c;
+    }
+  }
+  POE_ASSIGN_OR_RETURN(ClassHierarchy hierarchy,
+                       ClassHierarchy::FromTasks(std::move(tasks)));
+
+  // Rebuild module skeletons from the configs, then load states into them.
+  Rng rng(0);  // weights are overwritten by the load
+  std::shared_ptr<Sequential> library = BuildLibraryPart(library_cfg, rng);
+  POE_RETURN_NOT_OK(ReadModuleState(in, *library));
+  library->SetTrainable(false);
+
+  std::vector<std::shared_ptr<Sequential>> experts;
+  for (int t = 0; t < num_tasks; ++t) {
+    WrnConfig expert_cfg = library_cfg;
+    expert_cfg.ks = expert_ks;
+    expert_cfg.num_classes =
+        static_cast<int>(hierarchy.task_classes(t).size());
+    auto head =
+        BuildExpertPart(expert_cfg, library_cfg.conv3_channels(), rng);
+    POE_RETURN_NOT_OK(ReadModuleState(in, *head));
+    experts.push_back(std::move(head));
+  }
+  return ExpertPool(library_cfg, expert_ks, std::move(hierarchy),
+                    std::move(library), std::move(experts));
+}
+
+}  // namespace poe

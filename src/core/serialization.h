@@ -1,0 +1,44 @@
+// Versioned, checksummed binary persistence for modules and expert pools.
+#ifndef POE_CORE_SERIALIZATION_H_
+#define POE_CORE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "models/wrn.h"
+#include "nn/module.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace poe {
+
+class ExpertPool;
+
+/// Writes all parameter values and buffers (BN running stats) of `module`
+/// in traversal order, each prefixed by its shape.
+Status WriteModuleState(std::ostream& out, Module& module);
+
+/// Reads state written by WriteModuleState into an identically-structured
+/// module; fails with Corruption on any shape mismatch.
+Status ReadModuleState(std::istream& in, Module& module);
+
+/// Serialized byte size of a module's state (without pool headers).
+int64_t ModuleStateBytes(Module& module);
+
+/// Pool file format (little-endian):
+///   magic "POEPOOL1" | version u32 | FNV-1a checksum u64 of the payload |
+///   payload: library WrnConfig, expert_ks, hierarchy, library state,
+///            per-expert state.
+Status SaveExpertPool(const ExpertPool& pool, const std::string& path);
+Result<ExpertPool> LoadExpertPool(const std::string& path);
+
+/// Whole-WRN persistence (config header + state), used to cache trained
+/// oracles between bench runs.
+Status SaveWrnModel(Module& wrn, const WrnConfig& config,
+                    const std::string& path);
+Result<std::shared_ptr<Wrn>> LoadWrnModel(const std::string& path);
+
+}  // namespace poe
+
+#endif  // POE_CORE_SERIALIZATION_H_

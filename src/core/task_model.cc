@@ -1,0 +1,57 @@
+#include "core/task_model.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace poe {
+
+TaskModel::TaskModel(std::shared_ptr<Sequential> library,
+                     WrnConfig library_config, std::vector<Branch> branches)
+    : library_(std::move(library)),
+      library_config_(library_config),
+      branches_(std::move(branches)) {
+  POE_CHECK(library_ != nullptr);
+  POE_CHECK(!branches_.empty());
+  for (const Branch& b : branches_) {
+    POE_CHECK(b.head != nullptr);
+    global_classes_.insert(global_classes_.end(), b.classes.begin(),
+                           b.classes.end());
+  }
+}
+
+Tensor TaskModel::Logits(const Tensor& images) {
+  // Knowledge consolidation by logit concatenation (Section 4.2): the
+  // library runs once, every expert branches off its feature map, and the
+  // branch logits form the unified logit s_Q.
+  Tensor features = library_->Forward(images, /*training=*/false);
+  std::vector<Tensor> parts;
+  parts.reserve(branches_.size());
+  for (const Branch& b : branches_) {
+    parts.push_back(b.head->Forward(features, /*training=*/false));
+  }
+  return ConcatColumns(parts);
+}
+
+std::vector<int> TaskModel::Predict(const Tensor& images) {
+  Tensor logits = Logits(images);
+  std::vector<int> out(logits.dim(0));
+  for (int64_t r = 0; r < logits.dim(0); ++r) {
+    out[r] = global_classes_[ArgmaxRow(logits, r)];
+  }
+  return out;
+}
+
+ModelCost TaskModel::Cost(int64_t in_h, int64_t in_w) const {
+  std::vector<WrnConfig> expert_configs;
+  expert_configs.reserve(branches_.size());
+  for (const Branch& b : branches_) expert_configs.push_back(b.config);
+  return CostOfBranched(library_config_, expert_configs, in_h, in_w);
+}
+
+int64_t TaskModel::NumParams() const {
+  int64_t n = library_->NumParams();
+  for (const Branch& b : branches_) n += b.head->NumParams();
+  return n;
+}
+
+}  // namespace poe

@@ -1,0 +1,63 @@
+// Task-specific model assembled by train-free knowledge consolidation.
+#ifndef POE_CORE_TASK_MODEL_H_
+#define POE_CORE_TASK_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/cost.h"
+#include "models/wrn.h"
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace poe {
+
+/// The branched architecture of Figure 3: a shared library component
+/// (conv1..conv3) feeding n(Q) expert branches (conv4 + head), whose output
+/// logits are concatenated into the unified logit s_Q. Assembly involves no
+/// training and no weight copies - branches alias the pool's modules.
+///
+/// In the paper's notation this is WRN-l-(kc, [ks_1..n(Q)]^T).
+class TaskModel {
+ public:
+  /// One expert branch: the head module, the global classes it predicts,
+  /// and its architecture config (for cost reporting).
+  struct Branch {
+    std::shared_ptr<Sequential> head;
+    std::vector<int> classes;
+    WrnConfig config;
+  };
+
+  TaskModel(std::shared_ptr<Sequential> library, WrnConfig library_config,
+            std::vector<Branch> branches);
+
+  /// Unified logits s_Q: library forward once, each expert branch forward,
+  /// concatenate. Eval mode only (the assembled model is never trained).
+  Tensor Logits(const Tensor& images);
+
+  /// Global class ids corresponding to the logit columns.
+  const std::vector<int>& global_classes() const { return global_classes_; }
+
+  int num_branches() const { return static_cast<int>(branches_.size()); }
+  const Branch& branch(int i) const { return branches_.at(i); }
+  const WrnConfig& library_config() const { return library_config_; }
+
+  /// Predicted global class of each row of `images`.
+  std::vector<int> Predict(const Tensor& images);
+
+  /// Analytic per-image inference cost for in_h x in_w inputs.
+  ModelCost Cost(int64_t in_h, int64_t in_w) const;
+
+  /// Exact parameter count of the assembled network (library + branches).
+  int64_t NumParams() const;
+
+ private:
+  std::shared_ptr<Sequential> library_;
+  WrnConfig library_config_;
+  std::vector<Branch> branches_;
+  std::vector<int> global_classes_;
+};
+
+}  // namespace poe
+
+#endif  // POE_CORE_TASK_MODEL_H_

@@ -1,0 +1,30 @@
+#include "core/volume.h"
+
+#include <cmath>
+
+#include "core/serialization.h"
+
+namespace poe {
+
+VolumeReport ComputeVolumeReport(Module& oracle, const ExpertPool& pool) {
+  VolumeReport report;
+  report.num_primitive_tasks = pool.num_experts();
+  report.oracle_bytes = ModuleStateBytes(oracle);
+  report.library_bytes = ModuleStateBytes(*pool.library());
+  for (int t = 0; t < pool.num_experts(); ++t) {
+    report.experts_total_bytes += ModuleStateBytes(*pool.expert(t));
+  }
+  report.avg_expert_bytes =
+      pool.num_experts() > 0
+          ? report.experts_total_bytes / pool.num_experts()
+          : 0;
+  report.pool_total_bytes = report.library_bytes + report.experts_total_bytes;
+  // One pre-trained specialized model per composite task: at least one
+  // expert-sized model for each of the 2^n non-trivial combinations.
+  report.all_specialized_estimate_bytes =
+      std::ldexp(static_cast<double>(report.avg_expert_bytes),
+                 report.num_primitive_tasks);
+  return report;
+}
+
+}  // namespace poe

@@ -1,0 +1,31 @@
+// Storage-volume accounting (Table 4 of the paper).
+#ifndef POE_CORE_VOLUME_H_
+#define POE_CORE_VOLUME_H_
+
+#include <cstdint>
+
+#include "core/expert_pool.h"
+#include "nn/module.h"
+
+namespace poe {
+
+/// Byte volumes of the PoE framework vs the alternatives.
+struct VolumeReport {
+  int64_t oracle_bytes = 0;
+  int64_t library_bytes = 0;
+  int64_t experts_total_bytes = 0;
+  int64_t avg_expert_bytes = 0;
+  int64_t pool_total_bytes = 0;  ///< library + all experts
+  /// Lower-bound estimate of storing one pre-trained specialized model per
+  /// non-empty composite task: 2^n * (bytes of one specialized model),
+  /// matching the paper's "All specialized (estimation)" column.
+  double all_specialized_estimate_bytes = 0.0;
+  int num_primitive_tasks = 0;
+};
+
+/// Computes the report from live modules (serialized state bytes).
+VolumeReport ComputeVolumeReport(Module& oracle, const ExpertPool& pool);
+
+}  // namespace poe
+
+#endif  // POE_CORE_VOLUME_H_

@@ -1,0 +1,88 @@
+#include "data/augment.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace poe {
+
+void ShiftImage(const float* src, float* dst, int64_t channels, int64_t h,
+                int64_t w, int dy, int dx) {
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        const int64_t sy = y - dy;
+        const int64_t sx = x - dx;
+        dst[(c * h + y) * w + x] =
+            (sy >= 0 && sy < h && sx >= 0 && sx < w)
+                ? src[(c * h + sy) * w + sx]
+                : 0.0f;
+      }
+    }
+  }
+}
+
+void FlipImage(const float* src, float* dst, int64_t channels, int64_t h,
+               int64_t w) {
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        dst[(c * h + y) * w + x] = src[(c * h + y) * w + (w - 1 - x)];
+      }
+    }
+  }
+}
+
+Dataset AugmentDataset(const Dataset& data, const AugmentConfig& config,
+                       Rng& rng) {
+  POE_CHECK_GE(config.copies, 0);
+  POE_CHECK_EQ(data.images.ndim(), 4);
+  const int64_t n = data.size();
+  const int64_t channels = data.images.dim(1);
+  const int64_t h = data.images.dim(2);
+  const int64_t w = data.images.dim(3);
+  const int64_t image_size = channels * h * w;
+
+  Dataset out;
+  out.images = Tensor({n * (1 + config.copies), channels, h, w});
+  out.labels.reserve(n * (1 + config.copies));
+
+  // Originals first.
+  std::memcpy(out.images.data(), data.images.data(),
+              sizeof(float) * data.images.numel());
+  out.labels = data.labels;
+
+  std::vector<float> scratch(image_size);
+  int64_t row = n;
+  for (int copy = 0; copy < config.copies; ++copy) {
+    for (int64_t i = 0; i < n; ++i, ++row) {
+      const float* src = data.images.data() + i * image_size;
+      float* dst = out.images.data() + row * image_size;
+      const int dy =
+          config.max_shift > 0
+              ? static_cast<int>(rng.NextInt(2 * config.max_shift + 1)) -
+                    config.max_shift
+              : 0;
+      const int dx =
+          config.max_shift > 0
+              ? static_cast<int>(rng.NextInt(2 * config.max_shift + 1)) -
+                    config.max_shift
+              : 0;
+      ShiftImage(src, dst, channels, h, w, dy, dx);
+      if (config.horizontal_flip && rng.NextInt(2) == 1) {
+        std::memcpy(scratch.data(), dst, sizeof(float) * image_size);
+        FlipImage(scratch.data(), dst, channels, h, w);
+      }
+      if (config.noise > 0.0f) {
+        for (int64_t j = 0; j < image_size; ++j) {
+          dst[j] += rng.Normal(0.0f, config.noise);
+        }
+      }
+      out.labels.push_back(data.labels[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace poe

@@ -1,0 +1,34 @@
+// Offline data augmentation: shifted/flipped copies of a training set.
+#ifndef POE_DATA_AUGMENT_H_
+#define POE_DATA_AUGMENT_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace poe {
+
+/// Standard tiny-image augmentation recipe.
+struct AugmentConfig {
+  int copies = 1;          ///< augmented copies appended per sample
+  int max_shift = 1;       ///< random translation in pixels (zero-padded)
+  bool horizontal_flip = true;
+  float noise = 0.0f;      ///< additive gaussian noise stddev
+};
+
+/// Returns the original dataset plus `copies` augmented variants of every
+/// sample (size = (1 + copies) * input size). Deterministic given `rng`.
+Dataset AugmentDataset(const Dataset& data, const AugmentConfig& config,
+                       Rng& rng);
+
+/// Translates one image by (dy, dx) with zero padding (helper, exposed for
+/// tests). `shape` is {C, H, W}.
+void ShiftImage(const float* src, float* dst, int64_t channels, int64_t h,
+                int64_t w, int dy, int dx);
+
+/// Horizontally mirrors one image.
+void FlipImage(const float* src, float* dst, int64_t channels, int64_t h,
+               int64_t w);
+
+}  // namespace poe
+
+#endif  // POE_DATA_AUGMENT_H_

@@ -1,0 +1,80 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace poe {
+
+Dataset FilterClasses(const Dataset& data, const std::vector<int>& classes,
+                      bool remap) {
+  std::unordered_map<int, int> local_index;
+  for (size_t i = 0; i < classes.size(); ++i) {
+    local_index.emplace(classes[i], static_cast<int>(i));
+  }
+  std::vector<int64_t> keep;
+  std::vector<int> labels;
+  for (int64_t i = 0; i < data.size(); ++i) {
+    auto it = local_index.find(data.labels[i]);
+    if (it == local_index.end()) continue;
+    keep.push_back(i);
+    labels.push_back(remap ? it->second : data.labels[i]);
+  }
+  Dataset out;
+  out.images = GatherRows(data.images, keep);
+  out.labels = std::move(labels);
+  return out;
+}
+
+Dataset ExcludeClasses(const Dataset& data,
+                       const std::vector<int>& classes) {
+  std::unordered_set<int> excluded(classes.begin(), classes.end());
+  std::vector<int64_t> keep;
+  std::vector<int> labels;
+  for (int64_t i = 0; i < data.size(); ++i) {
+    if (excluded.count(data.labels[i]) > 0) continue;
+    keep.push_back(i);
+    labels.push_back(data.labels[i]);
+  }
+  Dataset out;
+  out.images = GatherRows(data.images, keep);
+  out.labels = std::move(labels);
+  return out;
+}
+
+BatchIterator::BatchIterator(const Dataset& data, int64_t batch_size,
+                             Rng& rng, bool shuffle)
+    : data_(data), batch_size_(batch_size), rng_(rng), shuffle_(shuffle) {
+  POE_CHECK_GT(batch_size, 0);
+  order_.resize(data.size());
+  for (int64_t i = 0; i < data.size(); ++i) order_[i] = i;
+  Reset();
+}
+
+void BatchIterator::Reset() {
+  cursor_ = 0;
+  if (shuffle_) rng_.Shuffle(order_);
+}
+
+bool BatchIterator::Next(Batch* batch) {
+  POE_CHECK(batch != nullptr);
+  if (cursor_ >= data_.size()) return false;
+  const int64_t end = std::min(cursor_ + batch_size_, data_.size());
+  batch->indices.assign(order_.begin() + cursor_, order_.begin() + end);
+  batch->images = GatherRows(data_.images, batch->indices);
+  batch->labels.resize(batch->indices.size());
+  for (size_t i = 0; i < batch->indices.size(); ++i) {
+    batch->labels[i] = data_.labels[batch->indices[i]];
+  }
+  cursor_ = end;
+  return true;
+}
+
+int64_t BatchIterator::batches_per_epoch() const {
+  return (data_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace poe

@@ -1,0 +1,63 @@
+// In-memory labeled image dataset and subset/batching utilities.
+#ifndef POE_DATA_DATASET_H_
+#define POE_DATA_DATASET_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace poe {
+
+/// A dense dataset: images [N, C, H, W] plus integer labels.
+/// Labels are global class ids unless a remapping subset was taken.
+struct Dataset {
+  Tensor images;
+  std::vector<int> labels;
+
+  int64_t size() const { return static_cast<int64_t>(labels.size()); }
+};
+
+/// Keeps only samples whose label is in `classes`. When `remap`, labels are
+/// rewritten to the index of the class within `classes` (the local label
+/// space a specialized model is trained on).
+Dataset FilterClasses(const Dataset& data, const std::vector<int>& classes,
+                      bool remap);
+
+/// Keeps only samples whose label is NOT in `classes` (out-of-distribution
+/// samples for the confidence analysis of Figure 5). Labels stay global.
+Dataset ExcludeClasses(const Dataset& data, const std::vector<int>& classes);
+
+/// One minibatch.
+struct Batch {
+  Tensor images;
+  std::vector<int> labels;
+  std::vector<int64_t> indices;  ///< source rows in the parent dataset
+};
+
+/// Yields shuffled minibatches over a dataset, reshuffling every epoch.
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& data, int64_t batch_size, Rng& rng,
+                bool shuffle = true);
+
+  /// Starts a new epoch (reshuffles when enabled).
+  void Reset();
+
+  /// Fills `batch` with the next minibatch; returns false at epoch end.
+  bool Next(Batch* batch);
+
+  int64_t batches_per_epoch() const;
+
+ private:
+  const Dataset& data_;
+  int64_t batch_size_;
+  Rng& rng_;
+  bool shuffle_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace poe
+
+#endif  // POE_DATA_DATASET_H_

@@ -1,0 +1,82 @@
+#include "data/hierarchy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace poe {
+
+ClassHierarchy ClassHierarchy::Uniform(int num_tasks, int classes_per_task) {
+  POE_CHECK_GT(num_tasks, 0);
+  POE_CHECK_GT(classes_per_task, 0);
+  std::vector<std::vector<int>> tasks(num_tasks);
+  int next = 0;
+  for (int t = 0; t < num_tasks; ++t) {
+    for (int i = 0; i < classes_per_task; ++i) tasks[t].push_back(next++);
+  }
+  auto result = FromTasks(std::move(tasks));
+  POE_CHECK(result.ok());
+  return std::move(result).ValueOrDie();
+}
+
+Result<ClassHierarchy> ClassHierarchy::FromTasks(
+    std::vector<std::vector<int>> tasks) {
+  if (tasks.empty()) {
+    return Status::InvalidArgument("hierarchy needs at least one task");
+  }
+  int num_classes = 0;
+  for (const auto& t : tasks) {
+    if (t.empty()) {
+      return Status::InvalidArgument("primitive task must be non-empty");
+    }
+    num_classes += static_cast<int>(t.size());
+  }
+  std::vector<int> class_to_task(num_classes, -1);
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    for (int c : tasks[t]) {
+      if (c < 0 || c >= num_classes) {
+        return Status::InvalidArgument(
+            "class id out of range; tasks must partition 0..N-1");
+      }
+      if (class_to_task[c] != -1) {
+        return Status::InvalidArgument("tasks must be disjoint");
+      }
+      class_to_task[c] = static_cast<int>(t);
+    }
+  }
+  ClassHierarchy h;
+  h.tasks_ = std::move(tasks);
+  h.class_to_task_ = std::move(class_to_task);
+  h.num_classes_ = num_classes;
+  return h;
+}
+
+const std::vector<int>& ClassHierarchy::task_classes(int t) const {
+  POE_CHECK_GE(t, 0);
+  POE_CHECK_LT(t, num_tasks());
+  return tasks_[t];
+}
+
+int ClassHierarchy::task_of_class(int c) const {
+  POE_CHECK_GE(c, 0);
+  POE_CHECK_LT(c, num_classes_);
+  return class_to_task_[c];
+}
+
+std::vector<int> ClassHierarchy::CompositeClasses(
+    const std::vector<int>& task_ids) const {
+  std::vector<int> classes;
+  for (int t : task_ids) {
+    const auto& tc = task_classes(t);
+    classes.insert(classes.end(), tc.begin(), tc.end());
+  }
+  return classes;
+}
+
+std::vector<int> ClassHierarchy::AllTaskIds() const {
+  std::vector<int> ids(num_tasks());
+  for (int t = 0; t < num_tasks(); ++t) ids[t] = t;
+  return ids;
+}
+
+}  // namespace poe

@@ -1,0 +1,53 @@
+// Two-level class hierarchy: classes grouped into primitive tasks.
+#ifndef POE_DATA_HIERARCHY_H_
+#define POE_DATA_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace poe {
+
+/// The paper's task structure (Section 3): the oracle class set C is
+/// partitioned into n primitive tasks H_1..H_n (superclasses). A composite
+/// task Q is a union of primitive tasks.
+class ClassHierarchy {
+ public:
+  ClassHierarchy() = default;
+
+  /// Builds a hierarchy of `num_tasks` primitive tasks with
+  /// `classes_per_task` classes each; class ids are assigned contiguously.
+  static ClassHierarchy Uniform(int num_tasks, int classes_per_task);
+
+  /// Builds from an explicit partition; validates that tasks are disjoint,
+  /// non-empty, and cover 0..num_classes-1.
+  static Result<ClassHierarchy> FromTasks(
+      std::vector<std::vector<int>> tasks);
+
+  int num_classes() const { return num_classes_; }
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+
+  /// Global class ids of primitive task `t`.
+  const std::vector<int>& task_classes(int t) const;
+
+  /// Primitive task containing class `c`.
+  int task_of_class(int c) const;
+
+  /// Union of the class lists of `task_ids`, in task order. A composite
+  /// task Q in the paper's notation.
+  std::vector<int> CompositeClasses(const std::vector<int>& task_ids) const;
+
+  /// All task ids [0, num_tasks).
+  std::vector<int> AllTaskIds() const;
+
+ private:
+  std::vector<std::vector<int>> tasks_;
+  std::vector<int> class_to_task_;
+  int num_classes_ = 0;
+};
+
+}  // namespace poe
+
+#endif  // POE_DATA_HIERARCHY_H_

@@ -1,0 +1,62 @@
+// Hierarchical synthetic image generator (CIFAR-100 / Tiny-ImageNet stand-in).
+#ifndef POE_DATA_SYNTHETIC_H_
+#define POE_DATA_SYNTHETIC_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "data/hierarchy.h"
+#include "tensor/tensor.h"
+
+namespace poe {
+
+/// Parameters of the generative model. Each superclass (= primitive task)
+/// owns a smooth random prototype; each class adds its own smooth
+/// prototype. A sample is
+///
+///   x = super_weight * P_super + class_weight * P_class
+///       (random circular shift up to `jitter` pixels) + N(0, noise^2)
+///
+/// which gives convolution-learnable structure shared within a superclass
+/// (what the PoE library should capture) and class-specific detail (what an
+/// expert must capture). `noise` controls task difficulty.
+struct SyntheticDataConfig {
+  std::string name = "synthetic";
+  int num_tasks = 20;
+  int classes_per_task = 5;
+  int channels = 3;
+  int height = 8;
+  int width = 8;
+  int train_per_class = 24;
+  int test_per_class = 10;
+  float super_weight = 0.8f;
+  float class_weight = 1.0f;
+  float noise = 0.55f;
+  int jitter = 2;
+  uint64_t seed = 1234;
+
+  int num_classes() const { return num_tasks * classes_per_task; }
+};
+
+/// Mirrors CIFAR-100: 20 superclasses x 5 classes.
+SyntheticDataConfig Cifar100LikeConfig();
+
+/// Mirrors Tiny-ImageNet: 200 classes in ~34 semantic groups (we use 25
+/// groups x 8 classes for an even partition).
+SyntheticDataConfig TinyImageNetLikeConfig();
+
+/// A generated benchmark: hierarchy plus train/test splits with global
+/// class labels.
+struct SyntheticDataset {
+  SyntheticDataConfig config;
+  ClassHierarchy hierarchy;
+  Dataset train;
+  Dataset test;
+};
+
+/// Deterministically generates a dataset from `config`.
+SyntheticDataset GenerateSyntheticDataset(const SyntheticDataConfig& config);
+
+}  // namespace poe
+
+#endif  // POE_DATA_SYNTHETIC_H_

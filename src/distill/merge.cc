@@ -1,0 +1,107 @@
+#include "distill/merge.h"
+
+#include <numeric>
+
+#include "distill/precompute.h"
+#include "nn/losses.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace poe {
+
+namespace {
+
+/// Precomputes each teacher's logits over the union dataset and returns
+/// them as per-teacher tables aligned with the dataset rows.
+std::vector<Tensor> PrecomputeTeacherTables(
+    const std::vector<TeacherSpec>& teachers, const Dataset& data) {
+  std::vector<Tensor> tables;
+  tables.reserve(teachers.size());
+  for (const TeacherSpec& t : teachers) {
+    Tensor logits = BatchedApply(t.logits, data.images);
+    POE_CHECK_EQ(logits.dim(1), static_cast<int64_t>(t.classes.size()));
+    tables.push_back(std::move(logits));
+  }
+  return tables;
+}
+
+int64_t TotalClasses(const std::vector<TeacherSpec>& teachers) {
+  int64_t total = 0;
+  for (const TeacherSpec& t : teachers) total += t.classes.size();
+  return total;
+}
+
+}  // namespace
+
+TrainResult TrainSdMerge(const std::vector<TeacherSpec>& teachers,
+                         Module& student, const Dataset& union_train_local,
+                         const TrainOptions& options,
+                         const EvalFn& evaluator) {
+  POE_CHECK(!teachers.empty());
+  std::vector<Tensor> tables =
+      PrecomputeTeacherTables(teachers, union_train_local);
+  // SD target: one concatenated logit vector per sample.
+  Tensor concat = ConcatColumns(tables);
+
+  Sgd sgd(student.Parameters(), options.sgd());
+  auto step = [&](const Batch& batch) {
+    sgd.ZeroGrad();
+    Tensor t = GatherRows(concat, batch.indices);
+    Tensor s = student.Forward(batch.images, /*training=*/true);
+    LossResult kl = DistillationKl(t, s, options.temperature);
+    student.Backward(kl.grad);
+    sgd.Step();
+    return kl.loss;
+  };
+  return RunTrainingLoop(union_train_local, options, &sgd, step, evaluator);
+}
+
+TrainResult TrainUhcMerge(const std::vector<TeacherSpec>& teachers,
+                          Module& student, const Dataset& union_train_local,
+                          const TrainOptions& options,
+                          const EvalFn& evaluator) {
+  POE_CHECK(!teachers.empty());
+  std::vector<Tensor> tables =
+      PrecomputeTeacherTables(teachers, union_train_local);
+  const int64_t total_classes = TotalClasses(teachers);
+
+  // Column index blocks of each teacher within the student's logits.
+  std::vector<std::vector<int>> blocks;
+  {
+    int offset = 0;
+    for (const TeacherSpec& t : teachers) {
+      std::vector<int> cols(t.classes.size());
+      std::iota(cols.begin(), cols.end(), offset);
+      offset += static_cast<int>(t.classes.size());
+      blocks.push_back(std::move(cols));
+    }
+  }
+
+  Sgd sgd(student.Parameters(), options.sgd());
+  auto step = [&](const Batch& batch) {
+    sgd.ZeroGrad();
+    Tensor s = student.Forward(batch.images, /*training=*/true);
+    POE_CHECK_EQ(s.dim(1), total_classes);
+    Tensor grad = Tensor::Zeros(s.shape());
+    float loss = 0.0f;
+    for (size_t i = 0; i < teachers.size(); ++i) {
+      Tensor t_block = GatherRows(tables[i], batch.indices);
+      Tensor s_block = GatherColumns(s, blocks[i]);
+      LossResult kl = DistillationKl(t_block, s_block, options.temperature);
+      loss += kl.loss;
+      // Scatter the block gradient back into the unified logit gradient.
+      const int64_t bc = s_block.dim(1);
+      for (int64_t r = 0; r < s.dim(0); ++r) {
+        for (int64_t c = 0; c < bc; ++c) {
+          grad.at(r * total_classes + blocks[i][c]) = kl.grad.at(r * bc + c);
+        }
+      }
+    }
+    student.Backward(grad);
+    sgd.Step();
+    return loss;
+  };
+  return RunTrainingLoop(union_train_local, options, &sgd, step, evaluator);
+}
+
+}  // namespace poe

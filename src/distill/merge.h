@@ -1,0 +1,45 @@
+// Multi-teacher model merging baselines: SD and UHC (Vongkulbhisal et al.,
+// CVPR 2019), the paper's Section 5.3 comparison points.
+#ifndef POE_DISTILL_MERGE_H_
+#define POE_DISTILL_MERGE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "distill/trainer.h"
+#include "eval/metrics.h"
+#include "nn/module.h"
+
+namespace poe {
+
+/// One pre-built primitive-task teacher: its logit function (over its own
+/// local class order) and the global class ids it covers.
+struct TeacherSpec {
+  LogitFn logits;
+  std::vector<int> classes;
+};
+
+/// SD: the naive extension of standard distillation to multiple teachers.
+/// Teacher sub-logits are concatenated into one unified logit vector and
+/// jointly softmaxed as the soft target - this inherits the logit scale
+/// problem, since each teacher's logits live on an arbitrary scale.
+/// `union_train_local` labels must be local indices in the concatenated
+/// teacher class order (used only by the evaluator, distillation itself is
+/// label-free).
+TrainResult TrainSdMerge(const std::vector<TeacherSpec>& teachers,
+                         Module& student, const Dataset& union_train_local,
+                         const TrainOptions& options,
+                         const EvalFn& evaluator = nullptr);
+
+/// UHC: unifying heterogeneous classifiers. Each teacher's softened
+/// distribution is matched against the *corresponding block* of the
+/// student's logits (per-block KL, normalized within each teacher's class
+/// subset), avoiding joint normalization across teachers.
+TrainResult TrainUhcMerge(const std::vector<TeacherSpec>& teachers,
+                          Module& student, const Dataset& union_train_local,
+                          const TrainOptions& options,
+                          const EvalFn& evaluator = nullptr);
+
+}  // namespace poe
+
+#endif  // POE_DISTILL_MERGE_H_

@@ -1,0 +1,36 @@
+#include "distill/precompute.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace poe {
+
+Tensor BatchedApply(const std::function<Tensor(const Tensor&)>& fn,
+                    const Tensor& images, int64_t batch_size) {
+  POE_CHECK_GE(images.ndim(), 1);
+  POE_CHECK_GT(batch_size, 0);
+  const int64_t n = images.dim(0);
+  POE_CHECK_GT(n, 0);
+
+  Tensor out;
+  int64_t row_size = 0;
+  for (int64_t begin = 0; begin < n; begin += batch_size) {
+    const int64_t end = std::min(begin + batch_size, n);
+    Tensor chunk = fn(SliceRows(images, begin, end));
+    POE_CHECK_EQ(chunk.dim(0), end - begin);
+    if (!out.defined()) {
+      std::vector<int64_t> shape = chunk.shape();
+      shape[0] = n;
+      out = Tensor(shape);
+      row_size = chunk.numel() / chunk.dim(0);
+    }
+    std::memcpy(out.data() + begin * row_size, chunk.data(),
+                sizeof(float) * chunk.numel());
+  }
+  return out;
+}
+
+}  // namespace poe

@@ -1,0 +1,20 @@
+// Batched eval-mode precomputation of teacher logits / library features.
+#ifndef POE_DISTILL_PRECOMPUTE_H_
+#define POE_DISTILL_PRECOMPUTE_H_
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace poe {
+
+/// Applies `fn` (an eval-mode model) to `images` in batches and stacks the
+/// outputs along dim 0. The teacher network and the frozen library are
+/// fixed during distillation, so precomputing their outputs once per
+/// dataset removes them from the inner training loop entirely.
+Tensor BatchedApply(const std::function<Tensor(const Tensor&)>& fn,
+                    const Tensor& images, int64_t batch_size = 256);
+
+}  // namespace poe
+
+#endif  // POE_DISTILL_PRECOMPUTE_H_

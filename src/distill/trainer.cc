@@ -1,0 +1,82 @@
+#include "distill/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace poe {
+
+TrainResult RunTrainingLoop(const Dataset& train, const TrainOptions& options,
+                            Sgd* sgd, const BatchStepFn& step,
+                            const EvalFn& evaluator) {
+  POE_CHECK_GT(options.epochs, 0);
+  POE_CHECK_GT(train.size(), 0);
+
+  Rng rng(options.seed);
+  BatchIterator batches(train, options.batch_size, rng, /*shuffle=*/true);
+
+  TrainResult result;
+  result.final_accuracy = std::numeric_limits<float>::quiet_NaN();
+  result.best_accuracy = 0.0f;
+
+  Stopwatch clock;
+  double eval_overhead = 0.0;  // excluded from the training clock
+
+  auto record_point = [&](int epoch, float loss) {
+    CurvePoint point;
+    point.epoch = epoch;
+    point.seconds = clock.ElapsedSeconds() - eval_overhead;
+    point.train_loss = loss;
+    point.accuracy = std::numeric_limits<float>::quiet_NaN();
+    if (evaluator) {
+      Stopwatch eval_clock;
+      point.accuracy = evaluator();
+      eval_overhead += eval_clock.ElapsedSeconds();
+      result.final_accuracy = point.accuracy;
+      if (point.accuracy > result.best_accuracy) {
+        result.best_accuracy = point.accuracy;
+        result.seconds_to_best = point.seconds;
+      }
+    }
+    result.curve.push_back(point);
+  };
+
+  float epoch_loss = 0.0f;
+  for (int epoch = 1; epoch <= options.epochs; ++epoch) {
+    batches.Reset();
+    double loss_sum = 0.0;
+    int64_t batch_count = 0;
+    Batch batch;
+    while (batches.Next(&batch)) {
+      loss_sum += step(batch);
+      ++batch_count;
+    }
+    epoch_loss = static_cast<float>(loss_sum / std::max<int64_t>(1, batch_count));
+
+    if (sgd != nullptr &&
+        std::find(options.lr_decay_epochs.begin(),
+                  options.lr_decay_epochs.end(),
+                  epoch) != options.lr_decay_epochs.end()) {
+      sgd->set_lr(sgd->lr() * options.lr_decay_factor);
+    }
+
+    const bool record = options.eval_every > 0 &&
+                        (epoch % options.eval_every == 0 ||
+                         epoch == options.epochs);
+    if (record) record_point(epoch, epoch_loss);
+    if (options.verbose) {
+      POE_LOG(Info) << "epoch " << epoch << "/" << options.epochs
+                    << " loss=" << epoch_loss;
+    }
+  }
+  if (result.curve.empty()) record_point(options.epochs, epoch_loss);
+
+  result.seconds = clock.ElapsedSeconds() - eval_overhead;
+  result.final_loss = epoch_loss;
+  return result;
+}
+
+}  // namespace poe

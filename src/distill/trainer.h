@@ -1,0 +1,74 @@
+// Generic SGD training loop with wall-clock learning-curve capture.
+#ifndef POE_DISTILL_TRAINER_H_
+#define POE_DISTILL_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/sgd.h"
+#include "util/rng.h"
+
+namespace poe {
+
+/// Knobs shared by every training method (paper Section 5.1: SGD with 0.9
+/// momentum, 5e-4 weight decay; temperature for the distillation losses).
+struct TrainOptions {
+  int epochs = 12;
+  int64_t batch_size = 64;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  /// Epochs (1-based) after which lr is multiplied by lr_decay_factor.
+  std::vector<int> lr_decay_epochs;
+  float lr_decay_factor = 0.1f;
+  float temperature = 4.0f;
+  /// Record a learning-curve point every `eval_every` epochs (0 = only at
+  /// the end, and only when an evaluator is provided).
+  int eval_every = 0;
+  uint64_t seed = 7;
+  bool verbose = false;
+
+  SgdOptions sgd() const {
+    return SgdOptions{lr, momentum, weight_decay};
+  }
+};
+
+/// One point of Figure 6's accuracy-vs-wall-clock curve.
+struct CurvePoint {
+  int epoch = 0;
+  double seconds = 0.0;  ///< elapsed training wall-clock at this point
+  float train_loss = 0.0f;
+  float accuracy = 0.0f;  ///< evaluator output (NaN when no evaluator)
+};
+
+/// Outcome of a training run.
+struct TrainResult {
+  std::vector<CurvePoint> curve;
+  double seconds = 0.0;
+  float final_loss = 0.0f;
+  /// Accuracy at the last evaluation (or NaN).
+  float final_accuracy = 0.0f;
+  /// Best accuracy over the curve and the wall-clock time it was reached
+  /// (Figure 7's "time to best accuracy").
+  float best_accuracy = 0.0f;
+  double seconds_to_best = 0.0;
+};
+
+/// Evaluation hook; returns accuracy in [0, 1].
+using EvalFn = std::function<float()>;
+
+/// Per-batch step: given the batch, perform forward/backward/update and
+/// return the batch loss. The loop owns shuffling, epochs, lr decay,
+/// timing (evaluation time is excluded from the clock), and curve capture.
+using BatchStepFn = std::function<float(const Batch& batch)>;
+
+/// Runs the loop. `sgd` may be null when the step function manages its own
+/// optimizer; when provided, its learning rate is decayed per options.
+TrainResult RunTrainingLoop(const Dataset& train, const TrainOptions& options,
+                            Sgd* sgd, const BatchStepFn& step,
+                            const EvalFn& evaluator = nullptr);
+
+}  // namespace poe
+
+#endif  // POE_DISTILL_TRAINER_H_

@@ -1,0 +1,75 @@
+#include "eval/confidence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace poe {
+
+int ConfidenceHistogram::ModeBin() const {
+  POE_CHECK(!relative_frequency.empty());
+  return static_cast<int>(std::max_element(relative_frequency.begin(),
+                                           relative_frequency.end()) -
+                          relative_frequency.begin());
+}
+
+double ConfidenceHistogram::FractionAbove(double threshold) const {
+  double total = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    const double bin_lo = static_cast<double>(b) / bins;
+    if (bin_lo >= threshold) total += relative_frequency[b];
+  }
+  return total;
+}
+
+std::string ConfidenceHistogram::ToAsciiChart(const std::string& title) const {
+  std::ostringstream os;
+  os << title << " (n=" << num_samples
+     << ", mean conf=" << mean_confidence << ")\n";
+  for (int b = 0; b < bins; ++b) {
+    const double lo = static_cast<double>(b) / bins;
+    const double hi = static_cast<double>(b + 1) / bins;
+    const int len = static_cast<int>(std::lround(relative_frequency[b] * 60));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "  [%.1f,%.1f) ", lo, hi);
+    os << buf << std::string(len, '#') << "  "
+       << static_cast<int>(std::lround(relative_frequency[b] * 100)) << "%\n";
+  }
+  return os.str();
+}
+
+ConfidenceHistogram ComputeConfidenceHistogram(const LogitFn& logits,
+                                               const Dataset& ood_data,
+                                               int bins,
+                                               int64_t batch_size) {
+  POE_CHECK_GT(bins, 0);
+  ConfidenceHistogram hist;
+  hist.bins = bins;
+  hist.relative_frequency.assign(bins, 0.0);
+  hist.num_samples = ood_data.size();
+  if (ood_data.size() == 0) return hist;
+
+  double conf_sum = 0.0;
+  for (int64_t begin = 0; begin < ood_data.size(); begin += batch_size) {
+    const int64_t end = std::min(begin + batch_size, ood_data.size());
+    Tensor batch = SliceRows(ood_data.images, begin, end);
+    Tensor probs = Softmax2d(logits(batch));
+    for (int64_t r = 0; r < end - begin; ++r) {
+      float mx = 0.0f;
+      for (int64_t c = 0; c < probs.dim(1); ++c) {
+        mx = std::max(mx, probs.at(r * probs.dim(1) + c));
+      }
+      conf_sum += mx;
+      int b = std::min(bins - 1, static_cast<int>(mx * bins));
+      hist.relative_frequency[b] += 1.0;
+    }
+  }
+  for (double& f : hist.relative_frequency) f /= hist.num_samples;
+  hist.mean_confidence = conf_sum / hist.num_samples;
+  return hist;
+}
+
+}  // namespace poe

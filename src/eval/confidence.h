@@ -1,0 +1,39 @@
+// Confidence histograms for the out-of-distribution analysis (Figure 5).
+#ifndef POE_EVAL_CONFIDENCE_H_
+#define POE_EVAL_CONFIDENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+
+namespace poe {
+
+/// Histogram of per-sample maximum class probabilities (confidence).
+/// Computed on out-of-distribution samples it diagnoses overconfident
+/// experts: a properly confident expert concentrates mass in low bins.
+struct ConfidenceHistogram {
+  int bins = 10;
+  std::vector<double> relative_frequency;  ///< sums to 1 over bins
+  double mean_confidence = 0.0;
+  int64_t num_samples = 0;
+
+  /// Bin with the highest frequency.
+  int ModeBin() const;
+  /// Fraction of samples with confidence above `threshold`.
+  double FractionAbove(double threshold) const;
+  /// Multi-line ASCII bar chart for bench output.
+  std::string ToAsciiChart(const std::string& title) const;
+};
+
+/// Evaluates `logits` on `ood_data` (samples from classes the model was not
+/// trained on) and histograms max softmax probabilities.
+ConfidenceHistogram ComputeConfidenceHistogram(const LogitFn& logits,
+                                               const Dataset& ood_data,
+                                               int bins = 10,
+                                               int64_t batch_size = 256);
+
+}  // namespace poe
+
+#endif  // POE_EVAL_CONFIDENCE_H_

@@ -1,0 +1,110 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace poe {
+
+LogitFn ModelLogits(Module& model) {
+  return [&model](const Tensor& images) {
+    return model.Forward(images, /*training=*/false);
+  };
+}
+
+LogitFn LibraryHeadLogits(Sequential& library, Sequential& head) {
+  return [&library, &head](const Tensor& images) {
+    return head.Forward(library.Forward(images, /*training=*/false),
+                        /*training=*/false);
+  };
+}
+
+namespace {
+
+/// Applies `fn` to eval batches and accumulates over predictions.
+void ForEachLogitRow(
+    const LogitFn& logits, const Dataset& data, int64_t batch_size,
+    const std::function<void(const Tensor& batch_logits, int64_t row,
+                             int label)>& visit) {
+  for (int64_t begin = 0; begin < data.size(); begin += batch_size) {
+    const int64_t end = std::min(begin + batch_size, data.size());
+    Tensor batch = SliceRows(data.images, begin, end);
+    Tensor out = logits(batch);
+    POE_CHECK_EQ(out.dim(0), end - begin);
+    for (int64_t r = 0; r < end - begin; ++r) {
+      visit(out, r, data.labels[begin + r]);
+    }
+  }
+}
+
+}  // namespace
+
+float EvaluateAccuracy(const LogitFn& logits, const Dataset& data,
+                       int64_t batch_size) {
+  if (data.size() == 0) return 0.0f;
+  int64_t correct = 0;
+  ForEachLogitRow(logits, data, batch_size,
+                  [&](const Tensor& out, int64_t r, int label) {
+                    if (ArgmaxRow(out, r) == label) ++correct;
+                  });
+  return static_cast<float>(correct) / static_cast<float>(data.size());
+}
+
+float EvaluateTaskSpecificAccuracy(const LogitFn& logits,
+                                   const Dataset& data,
+                                   const std::vector<int>& task_classes,
+                                   int64_t batch_size) {
+  if (data.size() == 0) return 0.0f;
+  std::unordered_map<int, int> local;
+  for (size_t i = 0; i < task_classes.size(); ++i) {
+    local.emplace(task_classes[i], static_cast<int>(i));
+  }
+  int64_t correct = 0;
+  for (int64_t begin = 0; begin < data.size(); begin += batch_size) {
+    const int64_t end = std::min(begin + batch_size, data.size());
+    Tensor batch = SliceRows(data.images, begin, end);
+    Tensor sub = GatherColumns(logits(batch), task_classes);
+    for (int64_t r = 0; r < end - begin; ++r) {
+      auto it = local.find(data.labels[begin + r]);
+      POE_CHECK(it != local.end())
+          << "label " << data.labels[begin + r] << " outside the task";
+      if (ArgmaxRow(sub, r) == it->second) ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(data.size());
+}
+
+float ExpectedCalibrationError(const LogitFn& logits, const Dataset& data,
+                               int bins, int64_t batch_size) {
+  POE_CHECK_GT(bins, 0);
+  if (data.size() == 0) return 0.0f;
+  std::vector<int64_t> count(bins, 0);
+  std::vector<double> conf_sum(bins, 0.0);
+  std::vector<int64_t> correct(bins, 0);
+  for (int64_t begin = 0; begin < data.size(); begin += batch_size) {
+    const int64_t end = std::min(begin + batch_size, data.size());
+    Tensor batch = SliceRows(data.images, begin, end);
+    Tensor probs = Softmax2d(logits(batch));
+    for (int64_t r = 0; r < end - begin; ++r) {
+      const int64_t pred = ArgmaxRow(probs, r);
+      const float conf = probs.at(r * probs.dim(1) + pred);
+      int b = std::min(bins - 1, static_cast<int>(conf * bins));
+      count[b]++;
+      conf_sum[b] += conf;
+      if (pred == data.labels[begin + r]) correct[b]++;
+    }
+  }
+  double ece = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    if (count[b] == 0) continue;
+    const double acc = static_cast<double>(correct[b]) / count[b];
+    const double conf = conf_sum[b] / count[b];
+    ece += std::fabs(acc - conf) * count[b] / data.size();
+  }
+  return static_cast<float>(ece);
+}
+
+}  // namespace poe

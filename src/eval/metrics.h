@@ -1,0 +1,44 @@
+// Accuracy metrics shared by tests, benches, and examples.
+#ifndef POE_EVAL_METRICS_H_
+#define POE_EVAL_METRICS_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace poe {
+
+/// A model viewed as an inference-mode batch logit function.
+using LogitFn = std::function<Tensor(const Tensor& images)>;
+
+/// Wraps a module: eval-mode forward.
+LogitFn ModelLogits(Module& model);
+
+/// Wraps a frozen library + expert head pair (PoE's specialized model).
+LogitFn LibraryHeadLogits(Sequential& library, Sequential& head);
+
+/// Top-1 accuracy on a dataset whose labels already index logit columns.
+float EvaluateAccuracy(const LogitFn& logits, const Dataset& data,
+                       int64_t batch_size = 256);
+
+/// The paper's "task-specific accuracy" for generic models: restrict the
+/// logits of a model trained on all classes to the columns of
+/// `task_classes` and take the argmax within the task. `data` carries
+/// global labels, all of which must be inside `task_classes`.
+float EvaluateTaskSpecificAccuracy(const LogitFn& logits,
+                                   const Dataset& data,
+                                   const std::vector<int>& task_classes,
+                                   int64_t batch_size = 256);
+
+/// Expected calibration error over `bins` equal-width confidence bins
+/// (extension metric complementing Figure 5).
+float ExpectedCalibrationError(const LogitFn& logits, const Dataset& data,
+                               int bins = 10, int64_t batch_size = 256);
+
+}  // namespace poe
+
+#endif  // POE_EVAL_METRICS_H_

@@ -1,0 +1,101 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace poe {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  POE_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  POE_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << "|";
+    for (size_t i = 0; i < header_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : "";
+      os << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    return os.str();
+  };
+  auto separator = [&]() {
+    std::ostringstream os;
+    os << "+";
+    for (size_t w : widths) os << std::string(w + 2, '-') << "+";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << separator() << "\n" << render_row(header_) << "\n" << separator()
+     << "\n";
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      os << separator() << "\n";
+    } else {
+      os << render_row(row) << "\n";
+    }
+  }
+  os << separator() << "\n";
+  return os.str();
+}
+
+std::string TablePrinter::Pct(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, fraction * 100.0);
+  return std::string(buf);
+}
+
+std::string TablePrinter::Num(double value, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return std::string(buf);
+}
+
+std::string TablePrinter::HumanBytes(int64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 5) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%s", v, units[u]);
+  return std::string(buf);
+}
+
+std::string TablePrinter::HumanCount(int64_t count) {
+  char buf[32];
+  if (count >= 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fB", count / 1e9);
+  } else if (count >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", count / 1e6);
+  } else if (count >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fK", count / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(count));
+  }
+  return std::string(buf);
+}
+
+}  // namespace poe

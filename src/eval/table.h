@@ -1,0 +1,34 @@
+// Fixed-width table printer for bench output.
+#ifndef POE_EVAL_TABLE_H_
+#define POE_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace poe {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Horizontal separator line.
+  void AddSeparator();
+
+  std::string ToString() const;
+
+  /// Formatting helpers for cells.
+  static std::string Pct(double fraction, int decimals = 2);
+  static std::string Num(double value, int decimals = 2);
+  static std::string HumanBytes(int64_t bytes);
+  static std::string HumanCount(int64_t count);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace poe
+
+#endif  // POE_EVAL_TABLE_H_

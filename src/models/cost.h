@@ -1,0 +1,48 @@
+// Analytic FLOPs/parameter cost model for the WRN family.
+#ifndef POE_MODELS_COST_H_
+#define POE_MODELS_COST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "models/wrn.h"
+
+namespace poe {
+
+/// Per-image inference cost. `flops` counts multiply-adds as 2 flops.
+struct ModelCost {
+  int64_t flops = 0;
+  int64_t params = 0;
+
+  ModelCost& operator+=(const ModelCost& other) {
+    flops += other.flops;
+    params += other.params;
+    return *this;
+  }
+};
+
+inline ModelCost operator+(ModelCost a, const ModelCost& b) { return a += b; }
+
+/// Cost of the conv1..conv3 stack for inputs of size in_h x in_w; outputs
+/// the conv3 feature-map spatial size through out_h/out_w (may be null).
+ModelCost CostOfLibraryPart(const WrnConfig& config, int64_t in_h,
+                            int64_t in_w, int64_t* out_h = nullptr,
+                            int64_t* out_w = nullptr);
+
+/// Cost of a conv4 group + head consuming `in_channels` maps of h x w.
+ModelCost CostOfExpertPart(const WrnConfig& config, int64_t in_channels,
+                           int64_t in_h, int64_t in_w);
+
+/// Full-model cost.
+ModelCost CostOfWrn(const WrnConfig& config, int64_t in_h, int64_t in_w);
+
+/// Cost of a branched task model WRN-l-(kc, [ks...]^T): one library part
+/// plus one expert part per entry of `expert_configs` (all sharing the
+/// library's conv3 output).
+ModelCost CostOfBranched(const WrnConfig& library_config,
+                         const std::vector<WrnConfig>& expert_configs,
+                         int64_t in_h, int64_t in_w);
+
+}  // namespace poe
+
+#endif  // POE_MODELS_COST_H_

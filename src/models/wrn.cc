@@ -1,0 +1,104 @@
+#include "models/wrn.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/activations.h"
+#include "nn/basic_block.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace poe {
+
+int64_t WrnConfig::ScaledChannels(double factor) const {
+  const int64_t c =
+      static_cast<int64_t>(std::llround(base_channels * factor));
+  return c < 1 ? 1 : c;
+}
+
+std::string WrnConfig::ToString() const {
+  std::ostringstream os;
+  auto trim = [](double v) {
+    std::ostringstream o;
+    o << v;
+    return o.str();
+  };
+  os << "WRN-" << depth << "-(" << trim(kc) << ", " << trim(ks) << ")";
+  return os.str();
+}
+
+namespace {
+
+void AddGroup(Sequential& seq, int blocks, int64_t in_channels,
+              int64_t out_channels, int64_t stride, Rng& rng) {
+  for (int i = 0; i < blocks; ++i) {
+    seq.Add(std::make_unique<BasicBlock>(i == 0 ? in_channels : out_channels,
+                                         out_channels, i == 0 ? stride : 1,
+                                         rng));
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<Sequential> BuildLibraryPart(const WrnConfig& config,
+                                             Rng& rng) {
+  POE_CHECK_GE(config.depth, 10);
+  POE_CHECK_EQ((config.depth - 4) % 6, 0);
+  auto seq = std::make_shared<Sequential>();
+  // conv1: plain 3x3 convolution.
+  seq->Add(std::make_unique<Conv2d>(config.in_channels,
+                                    config.conv1_channels(), /*kernel=*/3,
+                                    /*stride=*/1, /*pad=*/1, rng));
+  const int blocks = config.blocks_per_group();
+  // conv2 group (no downsampling).
+  AddGroup(*seq, blocks, config.conv1_channels(), config.conv2_channels(),
+           /*stride=*/1, rng);
+  // conv3 group (downsample x2).
+  AddGroup(*seq, blocks, config.conv2_channels(), config.conv3_channels(),
+           /*stride=*/2, rng);
+  return seq;
+}
+
+std::shared_ptr<Sequential> BuildExpertPart(const WrnConfig& config,
+                                            int64_t in_channels, Rng& rng) {
+  auto seq = std::make_shared<Sequential>();
+  const int blocks = config.blocks_per_group();
+  // conv4 group (downsample x2).
+  AddGroup(*seq, blocks, in_channels, config.conv4_channels(), /*stride=*/2,
+           rng);
+  // Head: final pre-activation BN-ReLU, pool, classifier.
+  seq->Add(std::make_unique<BatchNorm2d>(config.conv4_channels()));
+  seq->Add(std::make_unique<ReLU>());
+  seq->Add(std::make_unique<GlobalAvgPool>());
+  seq->Add(std::make_unique<Linear>(config.conv4_channels(),
+                                    config.num_classes, rng));
+  return seq;
+}
+
+Wrn::Wrn(const WrnConfig& config, Rng& rng) : config_(config) {
+  library_part_ = BuildLibraryPart(config, rng);
+  expert_part_ = BuildExpertPart(config, config.conv3_channels(), rng);
+}
+
+Tensor Wrn::Forward(const Tensor& input, bool training) {
+  return expert_part_->Forward(library_part_->Forward(input, training),
+                               training);
+}
+
+Tensor Wrn::Backward(const Tensor& grad_output) {
+  return library_part_->Backward(expert_part_->Backward(grad_output));
+}
+
+void Wrn::CollectParameters(std::vector<Parameter*>* out) {
+  library_part_->CollectParameters(out);
+  expert_part_->CollectParameters(out);
+}
+
+void Wrn::CollectBuffers(std::vector<Tensor*>* out) {
+  library_part_->CollectBuffers(out);
+  expert_part_->CollectBuffers(out);
+}
+
+}  // namespace poe

@@ -1,0 +1,79 @@
+// Wide Residual Networks with the paper's fine-grained (kc, ks) widening.
+#ifndef POE_MODELS_WRN_H_
+#define POE_MODELS_WRN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace poe {
+
+/// Configuration of a WRN-l-(kc, ks) model (Section 5.1 of the paper).
+///
+/// Structure: conv1 (3x3, base channels) ; conv2 group (base*kc channels) ;
+/// conv3 group (2*base*kc, stride 2) ; conv4 group (4*base*ks, stride 2) ;
+/// head (BN-ReLU-GlobalAvgPool-Linear). Blocks per group = (depth - 4) / 6.
+///
+/// The paper uses base = 16 and 32x32 inputs; this repo defaults to base = 8
+/// and 16x16-or-smaller synthetic inputs (see DESIGN.md substitutions).
+struct WrnConfig {
+  int depth = 10;         ///< l; must satisfy (l - 4) % 6 == 0, l >= 10
+  double kc = 1.0;        ///< widening factor of conv2/conv3
+  double ks = 1.0;        ///< widening factor of conv4 (expert group)
+  int num_classes = 10;
+  int base_channels = 8;  ///< channels of conv1 (paper: 16)
+  int in_channels = 3;
+
+  int blocks_per_group() const { return (depth - 4) / 6; }
+  int64_t conv1_channels() const { return base_channels; }
+  int64_t conv2_channels() const { return ScaledChannels(1.0 * kc); }
+  int64_t conv3_channels() const { return ScaledChannels(2.0 * kc); }
+  int64_t conv4_channels() const { return ScaledChannels(4.0 * ks); }
+
+  /// "WRN-10-(1, 0.25)" style name.
+  std::string ToString() const;
+
+ private:
+  int64_t ScaledChannels(double factor) const;
+};
+
+/// Builds the conv4 group + classification head as a standalone module.
+/// `in_channels` must equal the library's conv3 output channel count.
+std::shared_ptr<Sequential> BuildExpertPart(const WrnConfig& config,
+                                            int64_t in_channels, Rng& rng);
+
+/// Builds the conv1..conv3 stack (the part PoE keeps as the library).
+std::shared_ptr<Sequential> BuildLibraryPart(const WrnConfig& config,
+                                             Rng& rng);
+
+/// A full WRN classifier, internally split at the conv3/conv4 boundary so
+/// that PoE can take shared ownership of the library part after training.
+class Wrn : public Module {
+ public:
+  Wrn(const WrnConfig& config, Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  void CollectBuffers(std::vector<Tensor*>* out) override;
+  std::string Name() const override { return "Wrn"; }
+
+  const WrnConfig& config() const { return config_; }
+  /// conv1..conv3 (shared component candidate).
+  const std::shared_ptr<Sequential>& library_part() { return library_part_; }
+  /// conv4 + head (expert component candidate).
+  const std::shared_ptr<Sequential>& expert_part() { return expert_part_; }
+
+ private:
+  WrnConfig config_;
+  std::shared_ptr<Sequential> library_part_;
+  std::shared_ptr<Sequential> expert_part_;
+};
+
+}  // namespace poe
+
+#endif  // POE_MODELS_WRN_H_

@@ -1,0 +1,27 @@
+#include "nn/activations.h"
+
+namespace poe {
+
+Tensor ReLU::Forward(const Tensor& input, bool training) {
+  Tensor output(input.shape());
+  const float* in = input.data();
+  float* out = output.data();
+  for (int64_t i = 0; i < input.numel(); ++i)
+    out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+  if (training) cached_input_ = input;
+  return output;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  POE_CHECK(cached_input_.defined());
+  POE_CHECK_EQ(grad_output.numel(), cached_input_.numel());
+  Tensor grad_input(grad_output.shape());
+  const float* g = grad_output.data();
+  const float* in = cached_input_.data();
+  float* out = grad_input.data();
+  for (int64_t i = 0; i < grad_output.numel(); ++i)
+    out[i] = in[i] > 0.0f ? g[i] : 0.0f;
+  return grad_input;
+}
+
+}  // namespace poe

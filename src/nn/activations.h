@@ -1,0 +1,28 @@
+// Activation layers.
+#ifndef POE_NN_ACTIVATIONS_H_
+#define POE_NN_ACTIVATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace poe {
+
+/// Elementwise rectified linear unit.
+class ReLU : public Module {
+ public:
+  ReLU() = default;
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>*) override {}
+  std::string Name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+}  // namespace poe
+
+#endif  // POE_NN_ACTIVATIONS_H_

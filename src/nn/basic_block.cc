@@ -1,0 +1,60 @@
+#include "nn/basic_block.h"
+
+#include "tensor/ops.h"
+
+namespace poe {
+
+BasicBlock::BasicBlock(int64_t in_channels, int64_t out_channels,
+                       int64_t stride, Rng& rng)
+    : bn1_(in_channels),
+      conv1_(in_channels, out_channels, /*kernel=*/3, stride, /*pad=*/1, rng),
+      bn2_(out_channels),
+      conv2_(out_channels, out_channels, /*kernel=*/3, /*stride=*/1,
+             /*pad=*/1, rng) {
+  if (in_channels != out_channels || stride != 1) {
+    projection_ = std::make_unique<Conv2d>(in_channels, out_channels,
+                                           /*kernel=*/1, stride, /*pad=*/0,
+                                           rng);
+  }
+}
+
+Tensor BasicBlock::Forward(const Tensor& input, bool training) {
+  Tensor a = relu1_.Forward(bn1_.Forward(input, training), training);
+  Tensor h = conv1_.Forward(a, training);
+  h = relu2_.Forward(bn2_.Forward(h, training), training);
+  h = conv2_.Forward(h, training);
+  Tensor shortcut =
+      projection_ ? projection_->Forward(a, training) : input;
+  return Add(h, shortcut);
+}
+
+Tensor BasicBlock::Backward(const Tensor& grad_output) {
+  // Residual path.
+  Tensor g = conv2_.Backward(grad_output);
+  g = bn2_.Backward(relu2_.Backward(g));
+  Tensor grad_a = conv1_.Backward(g);
+  if (projection_) {
+    // Shortcut consumed `a` too: accumulate its contribution.
+    AddInPlace(grad_a, projection_->Backward(grad_output));
+    return bn1_.Backward(relu1_.Backward(grad_a));
+  }
+  // Identity shortcut consumed `input` directly.
+  Tensor grad_input = bn1_.Backward(relu1_.Backward(grad_a));
+  AddInPlace(grad_input, grad_output);
+  return grad_input;
+}
+
+void BasicBlock::CollectParameters(std::vector<Parameter*>* out) {
+  bn1_.CollectParameters(out);
+  conv1_.CollectParameters(out);
+  bn2_.CollectParameters(out);
+  conv2_.CollectParameters(out);
+  if (projection_) projection_->CollectParameters(out);
+}
+
+void BasicBlock::CollectBuffers(std::vector<Tensor*>* out) {
+  bn1_.CollectBuffers(out);
+  bn2_.CollectBuffers(out);
+}
+
+}  // namespace poe

@@ -1,0 +1,141 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace poe {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(Parameter("bn.gamma", Tensor::Ones({channels}))),
+      beta_(Parameter("bn.beta", Tensor::Zeros({channels}))),
+      running_mean_(Tensor::Zeros({channels})),
+      running_var_(Tensor::Ones({channels})) {}
+
+Tensor BatchNorm2d::Forward(const Tensor& input, bool training) {
+  POE_CHECK_EQ(input.ndim(), 4);
+  POE_CHECK_EQ(input.dim(1), channels_);
+  const int64_t batch = input.dim(0);
+  const int64_t hw = input.dim(2) * input.dim(3);
+  const int64_t n = batch * hw;
+  POE_CHECK_GT(n, 0);
+
+  Tensor output(input.shape());
+  const float* in = input.data();
+  float* out = output.data();
+  const float* g = gamma_.value.data();
+  const float* b = beta_.value.data();
+
+  if (training) {
+    cached_xhat_ = Tensor(input.shape());
+    cached_inv_std_.assign(channels_, 0.0f);
+    cached_batch_ = batch;
+    cached_hw_ = hw;
+    float* xh = cached_xhat_.data();
+    float* rm = running_mean_.data();
+    float* rv = running_var_.data();
+    for (int64_t c = 0; c < channels_; ++c) {
+      double sum = 0.0, sq = 0.0;
+      for (int64_t bi = 0; bi < batch; ++bi) {
+        const float* p = in + (bi * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) {
+          sum += p[i];
+          sq += static_cast<double>(p[i]) * p[i];
+        }
+      }
+      const double mean = sum / n;
+      double var = sq / n - mean * mean;
+      if (var < 0.0) var = 0.0;  // numeric guard
+      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      cached_inv_std_[c] = inv_std;
+      // Update running stats with the unbiased variance (PyTorch semantics).
+      const double unbiased = n > 1 ? var * n / (n - 1) : var;
+      rm[c] = (1.0f - momentum_) * rm[c] + momentum_ * static_cast<float>(mean);
+      rv[c] =
+          (1.0f - momentum_) * rv[c] + momentum_ * static_cast<float>(unbiased);
+      for (int64_t bi = 0; bi < batch; ++bi) {
+        const float* p = in + (bi * channels_ + c) * hw;
+        float* xhp = xh + (bi * channels_ + c) * hw;
+        float* op = out + (bi * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) {
+          const float xhat = (p[i] - static_cast<float>(mean)) * inv_std;
+          xhp[i] = xhat;
+          op[i] = g[c] * xhat + b[c];
+        }
+      }
+    }
+  } else {
+    const float* rm = running_mean_.data();
+    const float* rv = running_var_.data();
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float inv_std = 1.0f / std::sqrt(rv[c] + eps_);
+      const float scale = g[c] * inv_std;
+      const float shift = b[c] - scale * rm[c];
+      for (int64_t bi = 0; bi < batch; ++bi) {
+        const float* p = in + (bi * channels_ + c) * hw;
+        float* op = out + (bi * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) op[i] = scale * p[i] + shift;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor BatchNorm2d::Backward(const Tensor& grad_output) {
+  POE_CHECK(cached_xhat_.defined()) << "Backward before training Forward";
+  const int64_t batch = cached_batch_;
+  const int64_t hw = cached_hw_;
+  const int64_t n = batch * hw;
+  POE_CHECK_EQ(grad_output.dim(0), batch);
+  POE_CHECK_EQ(grad_output.dim(1), channels_);
+
+  Tensor grad_input(grad_output.shape());
+  const float* gout = grad_output.data();
+  const float* xh = cached_xhat_.data();
+  const float* g = gamma_.value.data();
+  float* dgamma = gamma_.grad.data();
+  float* dbeta = beta_.grad.data();
+  float* gin = grad_input.data();
+
+  for (int64_t c = 0; c < channels_; ++c) {
+    // Accumulate sum(dy) and sum(dy * xhat) over the batch and space.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      const float* dyp = gout + (bi * channels_ + c) * hw;
+      const float* xhp = xh + (bi * channels_ + c) * hw;
+      for (int64_t i = 0; i < hw; ++i) {
+        sum_dy += dyp[i];
+        sum_dy_xhat += static_cast<double>(dyp[i]) * xhp[i];
+      }
+    }
+    dgamma[c] += static_cast<float>(sum_dy_xhat);
+    dbeta[c] += static_cast<float>(sum_dy);
+    // dx = gamma * inv_std / n * (n*dy - sum(dy) - xhat * sum(dy*xhat)).
+    const float k = g[c] * cached_inv_std_[c] / static_cast<float>(n);
+    const float s_dy = static_cast<float>(sum_dy);
+    const float s_dy_xh = static_cast<float>(sum_dy_xhat);
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      const float* dyp = gout + (bi * channels_ + c) * hw;
+      const float* xhp = xh + (bi * channels_ + c) * hw;
+      float* gp = gin + (bi * channels_ + c) * hw;
+      for (int64_t i = 0; i < hw; ++i) {
+        gp[i] = k * (static_cast<float>(n) * dyp[i] - s_dy -
+                     xhp[i] * s_dy_xh);
+      }
+    }
+  }
+  return grad_input;
+}
+
+void BatchNorm2d::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&gamma_);
+  out->push_back(&beta_);
+}
+
+void BatchNorm2d::CollectBuffers(std::vector<Tensor*>* out) {
+  out->push_back(&running_mean_);
+  out->push_back(&running_var_);
+}
+
+}  // namespace poe

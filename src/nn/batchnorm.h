@@ -1,0 +1,49 @@
+// Batch normalization over NCHW feature maps.
+#ifndef POE_NN_BATCHNORM_H_
+#define POE_NN_BATCHNORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace poe {
+
+/// BatchNorm2d: per-channel normalization with affine transform and running
+/// statistics for inference (PyTorch semantics: biased variance for the
+/// batch statistic, running stats updated with `momentum`).
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(int64_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  void CollectBuffers(std::vector<Tensor*>* out) override;
+  std::string Name() const override { return "BatchNorm2d"; }
+
+  int64_t channels() const { return channels_; }
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  /// Running statistics (not trainable; serialized with the model).
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  int64_t channels_;
+  float eps_, momentum_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Backward caches.
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+  int64_t cached_batch_ = 0, cached_hw_ = 0;
+};
+
+}  // namespace poe
+
+#endif  // POE_NN_BATCHNORM_H_

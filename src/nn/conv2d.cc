@@ -1,0 +1,143 @@
+#include "nn/conv2d.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "nn/init.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "util/parallel_for.h"
+
+namespace poe {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t pad, Rng& rng, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias) {
+  const int64_t fan_in = in_channels * kernel * kernel;
+  weight_ = Parameter("conv.weight",
+                      HeNormal({out_channels, fan_in}, fan_in, rng));
+  if (has_bias_) {
+    bias_ = Parameter("conv.bias", Tensor::Zeros({out_channels}));
+  }
+}
+
+Tensor Conv2d::Forward(const Tensor& input, bool training) {
+  POE_CHECK_EQ(input.ndim(), 4);
+  POE_CHECK_EQ(input.dim(1), in_channels_);
+  const int64_t batch = input.dim(0);
+  const int64_t h = input.dim(2);
+  const int64_t w = input.dim(3);
+  const int64_t out_h = ConvOutSize(h, kernel_, pad_, stride_);
+  const int64_t out_w = ConvOutSize(w, kernel_, pad_, stride_);
+  POE_CHECK_GT(out_h, 0);
+  POE_CHECK_GT(out_w, 0);
+  const int64_t ckk = in_channels_ * kernel_ * kernel_;
+  const int64_t ohw = out_h * out_w;
+
+  Tensor output({batch, out_channels_, out_h, out_w});
+  const float* wp = weight_.value.data();
+  const float* in = input.data();
+  float* out = output.data();
+
+  ParallelFor(
+      batch,
+      [&](int64_t begin, int64_t end) {
+        std::vector<float> cols(ckk * ohw);
+        for (int64_t b = begin; b < end; ++b) {
+          Im2Col(in + b * in_channels_ * h * w, in_channels_, h, w, kernel_,
+                 kernel_, pad_, stride_, cols.data());
+          float* out_b = out + b * out_channels_ * ohw;
+          GemmSeq(false, false, out_channels_, ohw, ckk, 1.0f, wp,
+                  cols.data(), 0.0f, out_b);
+          if (has_bias_) {
+            const float* bp = bias_.value.data();
+            for (int64_t oc = 0; oc < out_channels_; ++oc) {
+              float* row = out_b + oc * ohw;
+              for (int64_t i = 0; i < ohw; ++i) row[i] += bp[oc];
+            }
+          }
+        }
+      },
+      /*min_chunk=*/1);
+
+  if (training) {
+    cached_input_ = input;
+    cached_h_ = h;
+    cached_w_ = w;
+  }
+  return output;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  POE_CHECK(cached_input_.defined()) << "Backward before training Forward";
+  const int64_t batch = cached_input_.dim(0);
+  const int64_t h = cached_h_;
+  const int64_t w = cached_w_;
+  const int64_t out_h = ConvOutSize(h, kernel_, pad_, stride_);
+  const int64_t out_w = ConvOutSize(w, kernel_, pad_, stride_);
+  const int64_t ckk = in_channels_ * kernel_ * kernel_;
+  const int64_t ohw = out_h * out_w;
+  POE_CHECK_EQ(grad_output.dim(0), batch);
+  POE_CHECK_EQ(grad_output.dim(1), out_channels_);
+
+  Tensor grad_input = Tensor::Zeros(cached_input_.shape());
+  const float* wp = weight_.value.data();
+  const float* in = cached_input_.data();
+  const float* gout = grad_output.data();
+  float* gin = grad_input.data();
+
+  std::mutex dw_mutex;
+  ParallelFor(
+      batch,
+      [&](int64_t begin, int64_t end) {
+        std::vector<float> cols(ckk * ohw);
+        std::vector<float> dcols(ckk * ohw);
+        std::vector<float> dw_local(out_channels_ * ckk, 0.0f);
+        std::vector<float> db_local(has_bias_ ? out_channels_ : 0, 0.0f);
+        for (int64_t b = begin; b < end; ++b) {
+          const float* gout_b = gout + b * out_channels_ * ohw;
+          // Recompute the unfolding (cheaper than caching it per batch).
+          Im2Col(in + b * in_channels_ * h * w, in_channels_, h, w, kernel_,
+                 kernel_, pad_, stride_, cols.data());
+          // dW += dY_b (out_c x ohw) * cols_b^T (ohw x ckk).
+          GemmSeq(false, true, out_channels_, ckk, ohw, 1.0f, gout_b,
+                  cols.data(), 1.0f, dw_local.data());
+          // dcols = W^T (ckk x out_c) * dY_b (out_c x ohw).
+          GemmSeq(true, false, ckk, ohw, out_channels_, 1.0f, wp, gout_b,
+                  0.0f, dcols.data());
+          Col2Im(dcols.data(), in_channels_, h, w, kernel_, kernel_, pad_,
+                 stride_, gin + b * in_channels_ * h * w);
+          if (has_bias_) {
+            for (int64_t oc = 0; oc < out_channels_; ++oc) {
+              const float* row = gout_b + oc * ohw;
+              float acc = 0.0f;
+              for (int64_t i = 0; i < ohw; ++i) acc += row[i];
+              db_local[oc] += acc;
+            }
+          }
+        }
+        std::lock_guard<std::mutex> lock(dw_mutex);
+        float* dw = weight_.grad.data();
+        for (size_t i = 0; i < dw_local.size(); ++i) dw[i] += dw_local[i];
+        if (has_bias_) {
+          float* db = bias_.grad.data();
+          for (int64_t oc = 0; oc < out_channels_; ++oc)
+            db[oc] += db_local[oc];
+        }
+      },
+      /*min_chunk=*/1);
+
+  return grad_input;
+}
+
+void Conv2d::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&weight_);
+  if (has_bias_) out->push_back(&bias_);
+}
+
+}  // namespace poe

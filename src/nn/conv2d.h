@@ -1,0 +1,52 @@
+// 2-D convolution layer (im2col + GEMM), batch-parallel.
+#ifndef POE_NN_CONV2D_H_
+#define POE_NN_CONV2D_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace poe {
+
+/// Square-kernel 2-D convolution over NCHW tensors.
+///
+/// Weight shape: [out_channels, in_channels * kernel * kernel] (the im2col
+/// GEMM layout). Bias is optional and off by default, matching WRN blocks
+/// where batch-norm absorbs the bias.
+class Conv2d : public Module {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride, int64_t pad, Rng& rng, bool bias = false);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  std::string Name() const override { return "Conv2d"; }
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
+  int64_t pad() const { return pad_; }
+  bool has_bias() const { return has_bias_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+
+  // Cached from the last training Forward.
+  Tensor cached_input_;
+  int64_t cached_h_ = 0, cached_w_ = 0;
+};
+
+}  // namespace poe
+
+#endif  // POE_NN_CONV2D_H_

@@ -1,0 +1,68 @@
+#include "nn/gradient_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace poe {
+
+namespace {
+
+double Objective(Module& module, const Tensor& input) {
+  Tensor out = module.Forward(input, /*training=*/true);
+  const float* p = out.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < out.numel(); ++i)
+    acc += 0.5 * static_cast<double>(p[i]) * p[i];
+  return acc;
+}
+
+float RelError(double analytic, double numeric) {
+  const double denom =
+      std::max({1.0, std::fabs(analytic), std::fabs(numeric)});
+  return static_cast<float>(std::fabs(analytic - numeric) / denom);
+}
+
+}  // namespace
+
+GradCheckResult CheckModuleGradients(Module& module, const Tensor& input,
+                                     float epsilon) {
+  GradCheckResult result;
+
+  // Analytic pass: d(0.5*||y||^2)/dy = y.
+  module.ZeroGrad();
+  Tensor x = input.Clone();
+  Tensor out = module.Forward(x, /*training=*/true);
+  Tensor grad_input = module.Backward(out);
+
+  // Input gradients.
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float saved = x.at(i);
+    x.at(i) = saved + epsilon;
+    const double plus = Objective(module, x);
+    x.at(i) = saved - epsilon;
+    const double minus = Objective(module, x);
+    x.at(i) = saved;
+    const double numeric = (plus - minus) / (2.0 * epsilon);
+    result.max_input_grad_error = std::max(
+        result.max_input_grad_error, RelError(grad_input.at(i), numeric));
+  }
+
+  // Parameter gradients. BatchNorm running stats drift across the extra
+  // forwards; tolerances in tests account for that.
+  for (Parameter* p : module.Parameters()) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      const float saved = p->value.at(i);
+      p->value.at(i) = saved + epsilon;
+      const double plus = Objective(module, x);
+      p->value.at(i) = saved - epsilon;
+      const double minus = Objective(module, x);
+      p->value.at(i) = saved;
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      result.max_param_grad_error = std::max(
+          result.max_param_grad_error, RelError(p->grad.at(i), numeric));
+    }
+  }
+  return result;
+}
+
+}  // namespace poe

@@ -1,0 +1,29 @@
+// Finite-difference gradient checking used by the test suite.
+#ifndef POE_NN_GRADIENT_CHECK_H_
+#define POE_NN_GRADIENT_CHECK_H_
+
+#include <functional>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace poe {
+
+/// Result of a gradient check: the largest relative error observed.
+struct GradCheckResult {
+  float max_input_grad_error = 0.0f;
+  float max_param_grad_error = 0.0f;
+};
+
+/// Verifies Module::Backward against central finite differences of the
+/// scalar objective 0.5 * ||Forward(x)||^2 (whose analytic upstream
+/// gradient is the output itself).
+///
+/// `epsilon` is the finite-difference step; errors are relative:
+/// |analytic - numeric| / max(1, |analytic|, |numeric|).
+GradCheckResult CheckModuleGradients(Module& module, const Tensor& input,
+                                     float epsilon = 1e-2f);
+
+}  // namespace poe
+
+#endif  // POE_NN_GRADIENT_CHECK_H_

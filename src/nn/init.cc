@@ -1,0 +1,21 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace poe {
+
+Tensor HeNormal(std::vector<int64_t> shape, int64_t fan_in, Rng& rng) {
+  POE_CHECK_GT(fan_in, 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::Randn(std::move(shape), rng, stddev);
+}
+
+Tensor FanInUniform(std::vector<int64_t> shape, int64_t fan_in, Rng& rng) {
+  POE_CHECK_GT(fan_in, 0);
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  return Tensor::Rand(std::move(shape), rng, -bound, bound);
+}
+
+}  // namespace poe

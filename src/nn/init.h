@@ -1,0 +1,21 @@
+// Weight initialization schemes.
+#ifndef POE_NN_INIT_H_
+#define POE_NN_INIT_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace poe {
+
+/// He/Kaiming normal init for ReLU networks: N(0, sqrt(2 / fan_in)).
+Tensor HeNormal(std::vector<int64_t> shape, int64_t fan_in, Rng& rng);
+
+/// Uniform init in [-bound, bound] with bound = 1/sqrt(fan_in)
+/// (PyTorch's default for linear bias).
+Tensor FanInUniform(std::vector<int64_t> shape, int64_t fan_in, Rng& rng);
+
+}  // namespace poe
+
+#endif  // POE_NN_INIT_H_

@@ -1,0 +1,67 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "tensor/gemm.h"
+
+namespace poe {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  weight_ = Parameter("linear.weight",
+                      HeNormal({out_features, in_features}, in_features, rng));
+  if (has_bias_) {
+    bias_ = Parameter("linear.bias",
+                      FanInUniform({out_features}, in_features, rng));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& input, bool training) {
+  POE_CHECK_EQ(input.ndim(), 2);
+  POE_CHECK_EQ(input.dim(1), in_features_);
+  const int64_t batch = input.dim(0);
+  Tensor output({batch, out_features_});
+  // y = x (batch x in) * W^T (in x out).
+  Gemm(false, true, batch, out_features_, in_features_, 1.0f, input.data(),
+       weight_.value.data(), 0.0f, output.data());
+  if (has_bias_) {
+    const float* bp = bias_.value.data();
+    float* out = output.data();
+    for (int64_t b = 0; b < batch; ++b)
+      for (int64_t j = 0; j < out_features_; ++j)
+        out[b * out_features_ + j] += bp[j];
+  }
+  if (training) cached_input_ = input;
+  return output;
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  POE_CHECK(cached_input_.defined());
+  const int64_t batch = cached_input_.dim(0);
+  POE_CHECK_EQ(grad_output.dim(0), batch);
+  POE_CHECK_EQ(grad_output.dim(1), out_features_);
+
+  // dW += dY^T (out x batch) * X (batch x in).
+  Gemm(true, false, out_features_, in_features_, batch, 1.0f,
+       grad_output.data(), cached_input_.data(), 1.0f, weight_.grad.data());
+  if (has_bias_) {
+    float* db = bias_.grad.data();
+    const float* g = grad_output.data();
+    for (int64_t b = 0; b < batch; ++b)
+      for (int64_t j = 0; j < out_features_; ++j)
+        db[j] += g[b * out_features_ + j];
+  }
+  // dX = dY (batch x out) * W (out x in).
+  Tensor grad_input({batch, in_features_});
+  Gemm(false, false, batch, in_features_, out_features_, 1.0f,
+       grad_output.data(), weight_.value.data(), 0.0f, grad_input.data());
+  return grad_input;
+}
+
+void Linear::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&weight_);
+  if (has_bias_) out->push_back(&bias_);
+}
+
+}  // namespace poe

@@ -1,0 +1,41 @@
+// Fully-connected layer.
+#ifndef POE_NN_LINEAR_H_
+#define POE_NN_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace poe {
+
+/// y = x W^T + b over 2-D [batch, in_features] inputs.
+/// Weight shape [out_features, in_features].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  std::string Name() const override { return "Linear"; }
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  int64_t in_features_, out_features_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace poe
+
+#endif  // POE_NN_LINEAR_H_

@@ -1,0 +1,113 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace poe {
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels) {
+  POE_CHECK_EQ(logits.ndim(), 2);
+  const int64_t batch = logits.dim(0);
+  const int64_t classes = logits.dim(1);
+  POE_CHECK_EQ(batch, static_cast<int64_t>(labels.size()));
+  POE_CHECK_GT(batch, 0);
+
+  Tensor log_probs = LogSoftmax2d(logits);
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  const float* lp = log_probs.data();
+  float* g = result.grad.data();
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int64_t b = 0; b < batch; ++b) {
+    const int label = labels[b];
+    POE_CHECK_GE(label, 0);
+    POE_CHECK_LT(label, classes);
+    loss -= lp[b * classes + label];
+    for (int64_t c = 0; c < classes; ++c) {
+      g[b * classes + c] = std::exp(lp[b * classes + c]) * inv_batch;
+    }
+    g[b * classes + label] -= inv_batch;
+  }
+  result.loss = static_cast<float>(loss / batch);
+  return result;
+}
+
+LossResult DistillationKl(const Tensor& teacher_logits,
+                          const Tensor& student_logits, float temperature,
+                          bool scale_t_squared) {
+  POE_CHECK(SameShape(teacher_logits, student_logits))
+      << teacher_logits.ShapeString() << " vs "
+      << student_logits.ShapeString();
+  POE_CHECK_EQ(student_logits.ndim(), 2);
+  POE_CHECK_GT(temperature, 0.0f);
+  const int64_t batch = student_logits.dim(0);
+  const int64_t classes = student_logits.dim(1);
+  POE_CHECK_GT(batch, 0);
+
+  Tensor p_teacher = SoftmaxWithTemperature(teacher_logits, temperature);
+  Tensor log_p_student = LogSoftmax2d(Scale(student_logits, 1.0f / temperature));
+
+  LossResult result;
+  result.grad = Tensor(student_logits.shape());
+  const float* pt = p_teacher.data();
+  const float* lps = log_p_student.data();
+  float* g = result.grad.data();
+
+  // KL(P_t || P_s) = sum_c P_t (log P_t - log P_s); grad wrt s_c is
+  // (P_s_c - P_t_c) / T, averaged over the batch.
+  double loss = 0.0;
+  const float mult = scale_t_squared ? temperature * temperature : 1.0f;
+  const float gscale =
+      mult / (temperature * static_cast<float>(batch));
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t c = 0; c < classes; ++c) {
+      const int64_t i = b * classes + c;
+      const float p = pt[i];
+      if (p > 0.0f) {
+        loss += static_cast<double>(p) * (std::log(p) - lps[i]);
+      }
+      g[i] = gscale * (std::exp(lps[i]) - p);
+    }
+  }
+  result.loss = static_cast<float>(loss / batch) * mult;
+  return result;
+}
+
+LossResult L1LogitLoss(const Tensor& teacher_logits,
+                       const Tensor& student_logits) {
+  POE_CHECK(SameShape(teacher_logits, student_logits));
+  POE_CHECK_EQ(student_logits.ndim(), 2);
+  const int64_t batch = student_logits.dim(0);
+  POE_CHECK_GT(batch, 0);
+
+  LossResult result;
+  result.grad = Tensor(student_logits.shape());
+  const float* t = teacher_logits.data();
+  const float* s = student_logits.data();
+  float* g = result.grad.data();
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int64_t i = 0; i < student_logits.numel(); ++i) {
+    const float diff = s[i] - t[i];
+    loss += std::fabs(diff);
+    g[i] = (diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f)) * inv_batch;
+  }
+  result.loss = static_cast<float>(loss / batch);
+  return result;
+}
+
+int64_t CountCorrect(const Tensor& logits, const std::vector<int>& labels) {
+  POE_CHECK_EQ(logits.ndim(), 2);
+  POE_CHECK_EQ(logits.dim(0), static_cast<int64_t>(labels.size()));
+  int64_t correct = 0;
+  for (int64_t b = 0; b < logits.dim(0); ++b) {
+    if (ArgmaxRow(logits, b) == labels[b]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace poe

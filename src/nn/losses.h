@@ -1,0 +1,42 @@
+// Loss functions. Each returns the scalar loss and the gradient wrt logits.
+#ifndef POE_NN_LOSSES_H_
+#define POE_NN_LOSSES_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace poe {
+
+/// Scalar loss plus gradient with respect to the (student) logits.
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad;  // same shape as the logits argument it differentiates
+};
+
+/// Mean softmax cross-entropy with integer class labels.
+/// grad = (softmax(logits) - onehot) / batch.
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels);
+
+/// Hinton knowledge-distillation loss, Eq. (1) of the paper:
+/// mean_rows KL( softmax(t/T) || softmax(s/T) ).
+///
+/// When `scale_t_squared` (default, standard KD practice) the loss and
+/// gradient are multiplied by T^2 so gradient magnitudes stay comparable
+/// across temperatures. Gradient is wrt the student logits `s`.
+LossResult DistillationKl(const Tensor& teacher_logits,
+                          const Tensor& student_logits, float temperature,
+                          bool scale_t_squared = true);
+
+/// L_scale of CKD, Eq. (4): mean over rows of || t - s ||_1.
+/// Gradient is sign(s - t) / batch.
+LossResult L1LogitLoss(const Tensor& teacher_logits,
+                       const Tensor& student_logits);
+
+/// Number of rows whose argmax matches the label.
+int64_t CountCorrect(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace poe
+
+#endif  // POE_NN_LOSSES_H_

@@ -1,0 +1,25 @@
+#include "nn/module.h"
+
+namespace poe {
+
+std::vector<Parameter*> Module::Parameters() {
+  std::vector<Parameter*> out;
+  CollectParameters(&out);
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (Parameter* p : Parameters()) p->grad.Fill(0.0f);
+}
+
+void Module::SetTrainable(bool trainable) {
+  for (Parameter* p : Parameters()) p->trainable = trainable;
+}
+
+int64_t Module::NumParams() {
+  int64_t n = 0;
+  for (Parameter* p : Parameters()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace poe

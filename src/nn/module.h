@@ -1,0 +1,67 @@
+// Module: the base interface of the layer-graph training framework.
+#ifndef POE_NN_MODULE_H_
+#define POE_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+
+namespace poe {
+
+/// A differentiable computation node with explicit forward/backward.
+///
+/// Calling convention:
+///  - Forward(x, training) caches whatever the backward pass needs.
+///  - Backward(grad_out) must follow a Forward with training == true; it
+///    accumulates parameter gradients (+=) and returns grad wrt the input.
+///  - Modules own their parameters; CollectParameters exposes raw pointers
+///    whose lifetime equals the module's.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Computes the output for `input`. When `training`, caches activations
+  /// for Backward and uses batch statistics in normalization layers.
+  virtual Tensor Forward(const Tensor& input, bool training) = 0;
+
+  /// Back-propagates `grad_output` (same shape as the last Forward output),
+  /// accumulating parameter gradients; returns grad wrt the last input.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Appends pointers to all parameters (recursively for containers).
+  virtual void CollectParameters(std::vector<Parameter*>* out) = 0;
+
+  /// Appends pointers to non-trainable state tensors (e.g. batch-norm
+  /// running statistics). Containers recurse; leaves default to none.
+  virtual void CollectBuffers(std::vector<Tensor*>* /*out*/) {}
+
+  /// Layer type name for debugging/serialization ("Conv2d", ...).
+  virtual std::string Name() const = 0;
+
+  /// Convenience: all parameters as a vector.
+  std::vector<Parameter*> Parameters();
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Marks all parameters (non-)trainable; frozen parameters are skipped by
+  /// optimizers but still conduct gradients.
+  void SetTrainable(bool trainable);
+
+  /// Total number of parameter elements.
+  int64_t NumParams();
+};
+
+/// Shorthand owning pointer used throughout model builders.
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace poe
+
+#endif  // POE_NN_MODULE_H_

@@ -1,0 +1,34 @@
+// Trainable parameter: a value tensor paired with its gradient.
+#ifndef POE_NN_PARAMETER_H_
+#define POE_NN_PARAMETER_H_
+
+#include <string>
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace poe {
+
+/// A named trainable tensor. `grad` always has the same shape as `value`
+/// and is accumulated by Module::Backward; optimizers consume and the
+/// caller resets it via Module::ZeroGrad.
+///
+/// `trainable == false` freezes the parameter: backward still propagates
+/// through it but the optimizer skips the update (used by PoE to freeze the
+/// library component during expert extraction).
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string name_in, Tensor value_in)
+      : name(std::move(name_in)),
+        value(std::move(value_in)),
+        grad(Tensor::Zeros(value.shape())) {}
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  bool trainable = true;
+};
+
+}  // namespace poe
+
+#endif  // POE_NN_PARAMETER_H_

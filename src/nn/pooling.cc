@@ -1,0 +1,58 @@
+#include "nn/pooling.h"
+
+namespace poe {
+
+Tensor GlobalAvgPool::Forward(const Tensor& input, bool training) {
+  POE_CHECK_EQ(input.ndim(), 4);
+  const int64_t batch = input.dim(0);
+  const int64_t channels = input.dim(1);
+  const int64_t hw = input.dim(2) * input.dim(3);
+  POE_CHECK_GT(hw, 0);
+  Tensor output({batch, channels});
+  const float* in = input.data();
+  float* out = output.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t c = 0; c < channels; ++c) {
+      const float* p = in + (b * channels + c) * hw;
+      float acc = 0.0f;
+      for (int64_t i = 0; i < hw; ++i) acc += p[i];
+      out[b * channels + c] = acc / static_cast<float>(hw);
+    }
+  }
+  if (training) cached_shape_ = input.shape();
+  return output;
+}
+
+Tensor GlobalAvgPool::Backward(const Tensor& grad_output) {
+  POE_CHECK(!cached_shape_.empty());
+  const int64_t batch = cached_shape_[0];
+  const int64_t channels = cached_shape_[1];
+  const int64_t hw = cached_shape_[2] * cached_shape_[3];
+  POE_CHECK_EQ(grad_output.dim(0), batch);
+  POE_CHECK_EQ(grad_output.dim(1), channels);
+  Tensor grad_input(cached_shape_);
+  const float* g = grad_output.data();
+  float* out = grad_input.data();
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t c = 0; c < channels; ++c) {
+      const float v = g[b * channels + c] * inv;
+      float* p = out + (b * channels + c) * hw;
+      for (int64_t i = 0; i < hw; ++i) p[i] = v;
+    }
+  }
+  return grad_input;
+}
+
+Tensor Flatten::Forward(const Tensor& input, bool training) {
+  POE_CHECK_GE(input.ndim(), 2);
+  if (training) cached_shape_ = input.shape();
+  return input.Reshape({input.dim(0), input.numel() / input.dim(0)});
+}
+
+Tensor Flatten::Backward(const Tensor& grad_output) {
+  POE_CHECK(!cached_shape_.empty());
+  return grad_output.Reshape(cached_shape_);
+}
+
+}  // namespace poe

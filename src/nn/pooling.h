@@ -1,0 +1,42 @@
+// Pooling and shape adapters.
+#ifndef POE_NN_POOLING_H_
+#define POE_NN_POOLING_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace poe {
+
+/// Global average pooling: [B, C, H, W] -> [B, C].
+class GlobalAvgPool : public Module {
+ public:
+  GlobalAvgPool() = default;
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>*) override {}
+  std::string Name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<int64_t> cached_shape_;
+};
+
+/// Flatten: [B, ...] -> [B, prod(...)]. Reshape-only; no copies.
+class Flatten : public Module {
+ public:
+  Flatten() = default;
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>*) override {}
+  std::string Name() const override { return "Flatten"; }
+
+ private:
+  std::vector<int64_t> cached_shape_;
+};
+
+}  // namespace poe
+
+#endif  // POE_NN_POOLING_H_

@@ -1,0 +1,33 @@
+#include "nn/sequential.h"
+
+namespace poe {
+
+Module* Sequential::Add(ModulePtr module) {
+  POE_CHECK(module != nullptr);
+  modules_.push_back(std::move(module));
+  return modules_.back().get();
+}
+
+Tensor Sequential::Forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& m : modules_) x = m->Forward(x, training);
+  return x;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+void Sequential::CollectParameters(std::vector<Parameter*>* out) {
+  for (auto& m : modules_) m->CollectParameters(out);
+}
+
+void Sequential::CollectBuffers(std::vector<Tensor*>* out) {
+  for (auto& m : modules_) m->CollectBuffers(out);
+}
+
+}  // namespace poe

@@ -1,0 +1,38 @@
+// Sequential container of modules.
+#ifndef POE_NN_SEQUENTIAL_H_
+#define POE_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace poe {
+
+/// Chains modules; Forward applies them in order, Backward in reverse.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a module (takes ownership) and returns a raw borrow.
+  Module* Add(ModulePtr module);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  void CollectBuffers(std::vector<Tensor*>* out) override;
+  std::string Name() const override { return "Sequential"; }
+
+  size_t size() const { return modules_.size(); }
+  Module* at(size_t i) { return modules_.at(i).get(); }
+  const Module* at(size_t i) const { return modules_.at(i).get(); }
+
+ private:
+  std::vector<ModulePtr> modules_;
+};
+
+}  // namespace poe
+
+#endif  // POE_NN_SEQUENTIAL_H_

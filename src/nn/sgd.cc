@@ -1,0 +1,38 @@
+#include "nn/sgd.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace poe {
+
+Sgd::Sgd(std::vector<Parameter*> params, SgdOptions options)
+    : params_(std::move(params)), options_(options) {
+  for (Parameter* p : params_) {
+    POE_CHECK(p != nullptr);
+    velocity_.emplace(p, Tensor::Zeros(p->value.shape()));
+  }
+}
+
+void Sgd::Step() {
+  for (Parameter* p : params_) {
+    if (!p->trainable) continue;
+    Tensor& v = velocity_.at(p);
+    float* vp = v.data();
+    float* wp = p->value.data();
+    const float* gp = p->grad.data();
+    const float lr = options_.lr;
+    const float mu = options_.momentum;
+    const float wd = options_.weight_decay;
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      vp[i] = mu * vp[i] + gp[i] + wd * wp[i];
+      wp[i] -= lr * vp[i];
+    }
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (Parameter* p : params_) p->grad.Fill(0.0f);
+}
+
+}  // namespace poe

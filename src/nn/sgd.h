@@ -1,0 +1,46 @@
+// Stochastic gradient descent with momentum and weight decay.
+#ifndef POE_NN_SGD_H_
+#define POE_NN_SGD_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace poe {
+
+/// SGD options; defaults match the paper's training setup (0.9 momentum,
+/// 5e-4 L2 weight decay).
+struct SgdOptions {
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+};
+
+/// Classic momentum SGD:
+///   v <- momentum * v + (grad + weight_decay * w)
+///   w <- w - lr * v
+/// Parameters with trainable == false are skipped entirely.
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, SgdOptions options);
+
+  /// Applies one update using the currently accumulated gradients.
+  void Step();
+
+  /// Zeroes gradients of all managed parameters.
+  void ZeroGrad();
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+  const SgdOptions& options() const { return options_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  SgdOptions options_;
+  std::unordered_map<Parameter*, Tensor> velocity_;
+};
+
+}  // namespace poe
+
+#endif  // POE_NN_SGD_H_

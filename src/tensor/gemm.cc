@@ -1,0 +1,113 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/parallel_for.h"
+
+namespace poe {
+
+namespace {
+
+// Row kernels. All operate on one row i of C (length n).
+
+inline void RowKernelNN(int64_t i, int64_t n, int64_t k, float alpha,
+                        const float* a, const float* b, float* c_row) {
+  const float* a_row = a + i * k;
+  for (int64_t p = 0; p < k; ++p) {
+    const float aip = alpha * a_row[p];
+    if (aip == 0.0f) continue;
+    const float* b_row = b + p * n;
+    for (int64_t j = 0; j < n; ++j) c_row[j] += aip * b_row[j];
+  }
+}
+
+inline void RowKernelNT(int64_t i, int64_t n, int64_t k, float alpha,
+                        const float* a, const float* b, float* c_row) {
+  const float* a_row = a + i * k;
+  for (int64_t j = 0; j < n; ++j) {
+    const float* b_row = b + j * k;
+    float acc = 0.0f;
+    for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+    c_row[j] += alpha * acc;
+  }
+}
+
+inline void RowKernelTN(int64_t i, int64_t m, int64_t n, int64_t k,
+                        float alpha, const float* a, const float* b,
+                        float* c_row) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float aip = alpha * a[p * m + i];
+    if (aip == 0.0f) continue;
+    const float* b_row = b + p * n;
+    for (int64_t j = 0; j < n; ++j) c_row[j] += aip * b_row[j];
+  }
+}
+
+inline void RowKernelTT(int64_t i, int64_t m, int64_t n, int64_t k,
+                        float alpha, const float* a, const float* b,
+                        float* c_row) {
+  for (int64_t j = 0; j < n; ++j) {
+    const float* b_row = b + j * k;
+    float acc = 0.0f;
+    for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * b_row[p];
+    c_row[j] += alpha * acc;
+  }
+}
+
+void GemmRows(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+              float alpha, const float* a, const float* b, float beta,
+              float* c, int64_t begin, int64_t end) {
+  for (int64_t i = begin; i < end; ++i) {
+    float* c_row = c + i * n;
+    if (beta == 0.0f) {
+      std::fill(c_row, c_row + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) c_row[j] *= beta;
+    }
+    if (k == 0) continue;
+    if (!trans_a && !trans_b) {
+      RowKernelNN(i, n, k, alpha, a, b, c_row);
+    } else if (!trans_a && trans_b) {
+      RowKernelNT(i, n, k, alpha, a, b, c_row);
+    } else if (trans_a && !trans_b) {
+      RowKernelTN(i, m, n, k, alpha, a, b, c_row);
+    } else {
+      RowKernelTT(i, m, n, k, alpha, a, b, c_row);
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c) {
+  POE_CHECK_GE(m, 0);
+  POE_CHECK_GE(n, 0);
+  POE_CHECK_GE(k, 0);
+  if (m == 0 || n == 0) return;
+
+  // Aim for chunks big enough to amortize dispatch: rows are n*k flops each.
+  const int64_t flops_per_row = std::max<int64_t>(1, n * k);
+  const int64_t min_rows =
+      std::max<int64_t>(1, (1 << 15) / flops_per_row);
+
+  ParallelFor(
+      m,
+      [&](int64_t begin, int64_t end) {
+        GemmRows(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, begin, end);
+      },
+      min_rows);
+}
+
+void GemmSeq(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta,
+             float* c) {
+  POE_CHECK_GE(m, 0);
+  POE_CHECK_GE(n, 0);
+  POE_CHECK_GE(k, 0);
+  if (m == 0 || n == 0) return;
+  GemmRows(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, 0, m);
+}
+
+}  // namespace poe

@@ -1,0 +1,25 @@
+// Threaded single-precision GEMM used by conv (via im2col) and linear layers.
+#ifndef POE_TENSOR_GEMM_H_
+#define POE_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace poe {
+
+/// C = alpha * op(A) * op(B) + beta * C, row-major.
+///
+/// op(A) is A (m x k) when !trans_a, else A^T with A stored (k x m).
+/// op(B) is B (k x n) when !trans_b, else B^T with B stored (n x k).
+/// C is m x n. Parallelized over rows of C.
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c);
+
+/// Sequential variant for use inside ParallelFor bodies (ParallelFor is not
+/// reentrant, so nested parallel GEMM calls are forbidden).
+void GemmSeq(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta,
+             float* c);
+
+}  // namespace poe
+
+#endif  // POE_TENSOR_GEMM_H_

@@ -1,0 +1,30 @@
+// im2col / col2im transforms backing convolution as GEMM.
+#ifndef POE_TENSOR_IM2COL_H_
+#define POE_TENSOR_IM2COL_H_
+
+#include <cstdint>
+
+namespace poe {
+
+/// Unfolds one image (C x H x W, row-major) into a column matrix of shape
+/// (C*kh*kw) x (out_h*out_w) so that convolution is a single GEMM with the
+/// (out_c) x (C*kh*kw) weight matrix.
+void Im2Col(const float* image, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t pad,
+            int64_t stride, float* columns);
+
+/// Inverse accumulation of Im2Col: scatters the column matrix back into the
+/// image gradient (adds into `image_grad`, which the caller must zero).
+void Col2Im(const float* columns, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t pad,
+            int64_t stride, float* image_grad);
+
+/// Output spatial size for a conv dimension.
+inline int64_t ConvOutSize(int64_t in, int64_t kernel, int64_t pad,
+                           int64_t stride) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace poe
+
+#endif  // POE_TENSOR_IM2COL_H_

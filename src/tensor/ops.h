@@ -1,0 +1,64 @@
+// Elementwise and reduction operations on Tensors.
+#ifndef POE_TENSOR_OPS_H_
+#define POE_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace poe {
+
+/// out = a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// a += b in place.
+void AddInPlace(Tensor& a, const Tensor& b);
+/// a += alpha * b in place.
+void Axpy(float alpha, const Tensor& b, Tensor& a);
+/// out = a - b.
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// out = a * b elementwise.
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// out = a * scalar.
+Tensor Scale(const Tensor& a, float scalar);
+/// a *= scalar in place.
+void ScaleInPlace(Tensor& a, float scalar);
+
+/// Sum of all elements.
+float Sum(const Tensor& a);
+/// Mean of all elements.
+float Mean(const Tensor& a);
+/// Max of all elements; requires numel > 0.
+float MaxValue(const Tensor& a);
+/// Index of max element; requires numel > 0.
+int64_t Argmax(const Tensor& a);
+/// Argmax within row `row` of a 2-D tensor.
+int64_t ArgmaxRow(const Tensor& a, int64_t row);
+/// L1 norm of all elements.
+float L1Norm(const Tensor& a);
+/// L2 norm of all elements.
+float L2Norm(const Tensor& a);
+/// Max |a - b| over all elements (same shape).
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+/// Row-wise softmax of a 2-D tensor (numerically stable).
+Tensor Softmax2d(const Tensor& logits);
+/// Row-wise log-softmax of a 2-D tensor.
+Tensor LogSoftmax2d(const Tensor& logits);
+/// Row-wise softmax with temperature: softmax(logits / temperature).
+Tensor SoftmaxWithTemperature(const Tensor& logits, float temperature);
+
+/// Selects columns of a 2-D tensor: out[i][j] = a[i][cols[j]].
+Tensor GatherColumns(const Tensor& a, const std::vector<int>& cols);
+
+/// Horizontally concatenates 2-D tensors with equal row counts.
+Tensor ConcatColumns(const std::vector<Tensor>& parts);
+
+/// Extracts rows [begin, end) of a 2-D (or N-D, along dim 0) tensor.
+Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end);
+
+/// Gathers rows along dim 0: out[i] = a[indices[i]]. Works for any rank.
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices);
+
+}  // namespace poe
+
+#endif  // POE_TENSOR_OPS_H_

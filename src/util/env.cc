@@ -1,0 +1,31 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace poe {
+
+std::string GetEnvOr(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return v;
+}
+
+int GetEnvIntOr(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<int>(parsed);
+}
+
+double GetEnvDoubleOr(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+}  // namespace poe

@@ -1,0 +1,20 @@
+// Environment-variable helpers for bench/test scaling knobs.
+#ifndef POE_UTIL_ENV_H_
+#define POE_UTIL_ENV_H_
+
+#include <string>
+
+namespace poe {
+
+/// Returns the env var value or `fallback` when unset/empty.
+std::string GetEnvOr(const char* name, const std::string& fallback);
+
+/// Returns the env var parsed as int, or `fallback` when unset/invalid.
+int GetEnvIntOr(const char* name, int fallback);
+
+/// Returns the env var parsed as double, or `fallback` when unset/invalid.
+double GetEnvDoubleOr(const char* name, double fallback);
+
+}  // namespace poe
+
+#endif  // POE_UTIL_ENV_H_

@@ -1,0 +1,71 @@
+// Minimal leveled logging plus CHECK macros for programmer errors.
+#ifndef POE_UTIL_LOGGING_H_
+#define POE_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace poe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level emitted by POE_LOG. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace poe
+
+#define POE_LOG(level)                                            \
+  ::poe::internal::LogMessage(::poe::LogLevel::k##level, __FILE__, \
+                              __LINE__)                            \
+      .stream()
+
+/// Fatal invariant check: programmer errors only, never expected failures
+/// (those return Status).
+#define POE_CHECK(cond)                                                   \
+  if (!(cond))                                                            \
+  ::poe::internal::FatalLogMessage(__FILE__, __LINE__, #cond).stream()
+
+#define POE_CHECK_EQ(a, b) POE_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define POE_CHECK_NE(a, b) POE_CHECK((a) != (b))
+#define POE_CHECK_LT(a, b) POE_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define POE_CHECK_LE(a, b) POE_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define POE_CHECK_GT(a, b) POE_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define POE_CHECK_GE(a, b) POE_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // POE_UTIL_LOGGING_H_

@@ -1,0 +1,135 @@
+#include "util/parallel_for.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace poe {
+
+namespace {
+
+/// A lazily constructed pool of workers that execute (begin, end) chunks.
+/// Kept deliberately simple: one job at a time, caller blocks.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int num_workers) {
+    workers_.reserve(num_workers);
+    for (int i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void Run(int64_t n, int64_t chunk,
+           const std::function<void(int64_t, int64_t)>& body) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      body_ = &body;
+      total_ = n;
+      chunk_ = chunk;
+      next_ = 0;
+      pending_ = (n + chunk - 1) / chunk;
+      generation_++;
+    }
+    cv_.notify_all();
+    // The caller participates too, so the pool works even with 0 workers.
+    DrainChunks();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    body_ = nullptr;
+  }
+
+ private:
+  void DrainChunks() {
+    while (true) {
+      int64_t begin;
+      const std::function<void(int64_t, int64_t)>* body;
+      int64_t chunk, total;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (body_ == nullptr || next_ >= total_) return;
+        begin = next_;
+        next_ += chunk_;
+        body = body_;
+        chunk = chunk_;
+        total = total_;
+      }
+      (*body)(begin, std::min(begin + chunk, total));
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return shutdown_ || (body_ != nullptr && generation_ != seen_generation &&
+                               next_ < total_);
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+      }
+      DrainChunks();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  const std::function<void(int64_t, int64_t)>* body_ = nullptr;
+  int64_t total_ = 0;
+  int64_t chunk_ = 0;
+  int64_t next_ = 0;
+  int64_t pending_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+int ComputeNumThreads() {
+  if (const char* env = std::getenv("POE_NUM_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+int NumThreads() {
+  static const int n = ComputeNumThreads();
+  return n;
+}
+
+void ParallelFor(int64_t n,
+                 const std::function<void(int64_t, int64_t)>& body,
+                 int64_t min_chunk) {
+  if (n <= 0) return;
+  const int workers = NumThreads();
+  if (workers <= 1 || n <= min_chunk) {
+    body(0, n);
+    return;
+  }
+  // Function-local static pointer: allowed pattern for non-trivially
+  // destructible globals (the pool intentionally leaks at exit).
+  static WorkerPool* pool = new WorkerPool(NumThreads() - 1);
+  int64_t chunk = std::max<int64_t>(min_chunk, (n + workers - 1) / workers);
+  pool->Run(n, chunk, body);
+}
+
+}  // namespace poe

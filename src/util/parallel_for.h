@@ -1,0 +1,25 @@
+// Simple data-parallel loop over a persistent thread pool.
+#ifndef POE_UTIL_PARALLEL_FOR_H_
+#define POE_UTIL_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace poe {
+
+/// Number of worker threads used by ParallelFor (hardware concurrency,
+/// overridable with the POE_NUM_THREADS environment variable).
+int NumThreads();
+
+/// Runs body(begin, end) over [0, n) split into roughly equal chunks, one
+/// per worker. Falls back to inline execution for small n or when only one
+/// worker is configured. Blocks until all chunks complete.
+///
+/// `body` must be safe to call concurrently on disjoint ranges.
+void ParallelFor(int64_t n,
+                 const std::function<void(int64_t begin, int64_t end)>& body,
+                 int64_t min_chunk = 1024);
+
+}  // namespace poe
+
+#endif  // POE_UTIL_PARALLEL_FOR_H_

@@ -1,0 +1,73 @@
+// Result<T>: a Status or a value of type T (Arrow-style).
+#ifndef POE_UTIL_RESULT_H_
+#define POE_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace poe {
+
+/// Holds either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<Pool> r = Pool::Load(path);
+///   if (!r.ok()) return r.status();
+///   Pool pool = std::move(r).ValueOrDie();
+/// or with the POE_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the value; aborts the process if this holds an error.
+  /// Intended for tests, examples, and benches where the error is fatal.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `alternative` when this holds an error.
+  T ValueOr(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status_.ToString()
+                << std::endl;
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace poe
+
+#endif  // POE_UTIL_RESULT_H_

@@ -1,0 +1,49 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace poe {
+
+uint64_t Rng::NextU64() {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::Uniform(float lo, float hi) {
+  return lo + static_cast<float>(NextDouble()) * (hi - lo);
+}
+
+int64_t Rng::NextInt(int64_t n) {
+  // Modulo bias is negligible for n << 2^64.
+  return static_cast<int64_t>(NextU64() % static_cast<uint64_t>(n));
+}
+
+float Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; guard against log(0).
+  double u1 = NextDouble();
+  while (u1 <= 1e-12) u1 = NextDouble();
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = static_cast<float>(r * std::sin(theta));
+  has_cached_normal_ = true;
+  return static_cast<float>(r * std::cos(theta));
+}
+
+Rng Rng::Fork() {
+  return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace poe

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation for reproducible runs.
+#ifndef POE_UTIL_RNG_H_
+#define POE_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace poe {
+
+/// SplitMix64-based RNG. Deterministic given a seed, fast, and good enough
+/// for weight init, data generation, and shuffling. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [lo, hi).
+  float Uniform(float lo, float hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int64_t NextInt(int64_t n);
+
+  /// Standard normal via Box-Muller.
+  float Normal();
+
+  /// Normal with mean/stddev.
+  float Normal(float mean, float stddev) { return mean + stddev * Normal(); }
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (int64_t i = static_cast<int64_t>(v.size()) - 1; i > 0; --i) {
+      int64_t j = NextInt(i + 1);
+      std::swap(v[i], v[j]);
+    }
+  }
+
+  /// Derives an independent child RNG (for per-worker streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_;
+  bool has_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+}  // namespace poe
+
+#endif  // POE_UTIL_RNG_H_

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used for learning curves and query latency.
+#ifndef POE_UTIL_STOPWATCH_H_
+#define POE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace poe {
+
+/// Measures elapsed wall-clock time since construction or the last Reset.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace poe
+
+#endif  // POE_UTIL_STOPWATCH_H_

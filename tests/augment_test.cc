@@ -1,0 +1,102 @@
+#include "data/augment.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace poe {
+namespace {
+
+TEST(AugmentTest, ShiftMovesPixels) {
+  // 1x3x3 image with a single hot pixel at the center.
+  std::vector<float> src(9, 0.0f);
+  src[4] = 1.0f;
+  std::vector<float> dst(9, -1.0f);
+  ShiftImage(src.data(), dst.data(), 1, 3, 3, /*dy=*/1, /*dx=*/0);
+  EXPECT_EQ(dst[7], 1.0f);  // moved down one row
+  EXPECT_EQ(dst[4], 0.0f);
+  // Shifted-in border is zero-padded.
+  EXPECT_EQ(dst[0], 0.0f);
+}
+
+TEST(AugmentTest, ShiftByZeroIsIdentity) {
+  std::vector<float> src = {1, 2, 3, 4};
+  std::vector<float> dst(4, 0.0f);
+  ShiftImage(src.data(), dst.data(), 1, 2, 2, 0, 0);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(AugmentTest, FlipMirrorsColumns) {
+  std::vector<float> src = {1, 2, 3, 4, 5, 6};  // 1x2x3
+  std::vector<float> dst(6, 0.0f);
+  FlipImage(src.data(), dst.data(), 1, 2, 3);
+  EXPECT_EQ(dst, (std::vector<float>{3, 2, 1, 6, 5, 4}));
+}
+
+TEST(AugmentTest, DoubleFlipIsIdentity) {
+  std::vector<float> src = {1, 2, 3, 4, 5, 6, 7, 8};  // 2x2x2
+  std::vector<float> once(8), twice(8);
+  FlipImage(src.data(), once.data(), 2, 2, 2);
+  FlipImage(once.data(), twice.data(), 2, 2, 2);
+  EXPECT_EQ(twice, src);
+}
+
+Dataset SmallData() {
+  Dataset d;
+  d.images = Tensor::FromVector({2, 1, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  d.labels = {0, 1};
+  return d;
+}
+
+TEST(AugmentTest, OutputSizeAndLabels) {
+  Rng rng(1);
+  AugmentConfig cfg;
+  cfg.copies = 3;
+  Dataset out = AugmentDataset(SmallData(), cfg, rng);
+  EXPECT_EQ(out.size(), 8);
+  EXPECT_EQ(out.labels, (std::vector<int>{0, 1, 0, 1, 0, 1, 0, 1}));
+}
+
+TEST(AugmentTest, OriginalsComeFirstUnchanged) {
+  Rng rng(2);
+  AugmentConfig cfg;
+  cfg.copies = 1;
+  Dataset in = SmallData();
+  Dataset out = AugmentDataset(in, cfg, rng);
+  Tensor head = SliceRows(out.images, 0, 2);
+  EXPECT_EQ(MaxAbsDiff(head, in.images), 0.0f);
+}
+
+TEST(AugmentTest, ZeroCopiesReturnsOriginalOnly) {
+  Rng rng(3);
+  AugmentConfig cfg;
+  cfg.copies = 0;
+  Dataset out = AugmentDataset(SmallData(), cfg, rng);
+  EXPECT_EQ(out.size(), 2);
+}
+
+TEST(AugmentTest, DeterministicGivenSeed) {
+  AugmentConfig cfg;
+  cfg.copies = 2;
+  cfg.noise = 0.1f;
+  Rng a(9), b(9);
+  Dataset out1 = AugmentDataset(SmallData(), cfg, a);
+  Dataset out2 = AugmentDataset(SmallData(), cfg, b);
+  EXPECT_EQ(MaxAbsDiff(out1.images, out2.images), 0.0f);
+}
+
+TEST(AugmentTest, NoiseChangesAugmentedCopies) {
+  AugmentConfig cfg;
+  cfg.copies = 1;
+  cfg.max_shift = 0;
+  cfg.horizontal_flip = false;
+  cfg.noise = 0.5f;
+  Rng rng(4);
+  Dataset in = SmallData();
+  Dataset out = AugmentDataset(in, cfg, rng);
+  Tensor copies = SliceRows(out.images, 2, 4);
+  EXPECT_GT(MaxAbsDiff(copies, in.images), 0.01f);
+}
+
+}  // namespace
+}  // namespace poe

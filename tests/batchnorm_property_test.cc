@@ -1,0 +1,93 @@
+// Property-style sweeps of BatchNorm2d behaviours that the WRN training
+// pipeline depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <tuple>
+
+#include "nn/batchnorm.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+// (channels, batch, hw_side)
+using BnCase = std::tuple<int, int, int>;
+
+class BatchNormSweep : public ::testing::TestWithParam<BnCase> {};
+
+TEST_P(BatchNormSweep, TrainingOutputIsStandardized) {
+  const auto [channels, batch, side] = GetParam();
+  BatchNorm2d bn(channels);
+  Rng rng(channels * 7 + batch);
+  Tensor x = Tensor::Randn({batch, channels, side, side}, rng, 2.5f);
+  Tensor y = bn.Forward(x, true);
+  const int64_t hw = side * side;
+  for (int c = 0; c < channels; ++c) {
+    double sum = 0, sq = 0;
+    for (int b = 0; b < batch; ++b) {
+      for (int64_t i = 0; i < hw; ++i) {
+        const float v = y.at((b * channels + c) * hw + i);
+        sum += v;
+        sq += v * v;
+      }
+    }
+    const double n = batch * hw;
+    EXPECT_NEAR(sum / n, 0.0, 1e-3);
+    EXPECT_NEAR(sq / n, 1.0, 2e-2);
+  }
+}
+
+TEST_P(BatchNormSweep, EvalIsDeterministicAndBatchIndependent) {
+  const auto [channels, batch, side] = GetParam();
+  BatchNorm2d bn(channels);
+  Rng rng(3);
+  // Prime running stats.
+  for (int i = 0; i < 20; ++i) {
+    bn.Forward(Tensor::Randn({batch, channels, side, side}, rng), true);
+  }
+  // Eval output for a sample must not depend on its batch companions.
+  Tensor single = Tensor::Randn({1, channels, side, side}, rng);
+  Tensor alone = bn.Forward(single, false);
+
+  Tensor batch2({2, channels, static_cast<int64_t>(side),
+                 static_cast<int64_t>(side)});
+  std::memcpy(batch2.data(), single.data(), sizeof(float) * single.numel());
+  Tensor other = Tensor::Randn({1, channels, side, side}, rng);
+  std::memcpy(batch2.data() + single.numel(), other.data(),
+              sizeof(float) * other.numel());
+  Tensor together = bn.Forward(batch2, false);
+  Tensor first_row = SliceRows(together, 0, 1);
+  EXPECT_LT(MaxAbsDiff(alone, first_row), 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BatchNormSweep,
+                         ::testing::Values(BnCase{1, 4, 2}, BnCase{3, 8, 4},
+                                           BnCase{8, 16, 2},
+                                           BnCase{2, 32, 3}));
+
+TEST(BatchNormPropertyTest, RunningStatsConvergeToDataMoments) {
+  BatchNorm2d bn(1, 1e-5f, 0.1f);
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    Tensor x = Tensor::Randn({32, 1, 2, 2}, rng, 3.0f);
+    for (int64_t j = 0; j < x.numel(); ++j) x.at(j) += 7.0f;
+    bn.Forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean().at(0), 7.0f, 0.2f);
+  EXPECT_NEAR(bn.running_var().at(0), 9.0f, 0.8f);
+}
+
+TEST(BatchNormPropertyTest, EvalWithoutTrainingUsesInitStats) {
+  // Fresh BN in eval mode: running mean 0, var 1 => near-identity.
+  BatchNorm2d bn(2);
+  Rng rng(6);
+  Tensor x = Tensor::Randn({4, 2, 3, 3}, rng);
+  Tensor y = bn.Forward(x, false);
+  EXPECT_LT(MaxAbsDiff(x, y), 1e-4f);
+}
+
+}  // namespace
+}  // namespace poe

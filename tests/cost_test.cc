@@ -1,0 +1,112 @@
+#include "models/cost.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+// (depth, kc, ks, num_classes, base)
+using CostCase = std::tuple<int, double, double, int, int>;
+
+class CostParamTest : public ::testing::TestWithParam<CostCase> {};
+
+TEST_P(CostParamTest, ParamsMatchActualModel) {
+  const auto [depth, kc, ks, classes, base] = GetParam();
+  WrnConfig cfg;
+  cfg.depth = depth;
+  cfg.kc = kc;
+  cfg.ks = ks;
+  cfg.num_classes = classes;
+  cfg.base_channels = base;
+  Rng rng(1);
+  Wrn wrn(cfg, rng);
+  EXPECT_EQ(CostOfWrn(cfg, 8, 8).params, wrn.NumParams())
+      << cfg.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CostParamTest,
+    ::testing::Values(CostCase{10, 1, 1, 10, 4}, CostCase{10, 1, 0.25, 5, 8},
+                      CostCase{10, 2, 2, 100, 8}, CostCase{16, 1, 1, 10, 4},
+                      CostCase{16, 2, 0.5, 20, 8},
+                      CostCase{10, 4, 4, 100, 8},
+                      CostCase{22, 1, 1, 10, 4}));
+
+TEST(CostTest, FlopsArePositiveAndScaleWithWidth) {
+  WrnConfig narrow;
+  narrow.num_classes = 10;
+  WrnConfig wide = narrow;
+  wide.kc = 2;
+  wide.ks = 2;
+  const int64_t f_narrow = CostOfWrn(narrow, 8, 8).flops;
+  const int64_t f_wide = CostOfWrn(wide, 8, 8).flops;
+  EXPECT_GT(f_narrow, 0);
+  EXPECT_GT(f_wide, 2 * f_narrow);
+}
+
+TEST(CostTest, FlopsScaleQuadraticallyWithResolution) {
+  WrnConfig cfg;
+  cfg.num_classes = 10;
+  const int64_t f8 = CostOfWrn(cfg, 8, 8).flops;
+  const int64_t f16 = CostOfWrn(cfg, 16, 16).flops;
+  EXPECT_GT(f16, 3 * f8);
+  EXPECT_LT(f16, 5 * f8);
+}
+
+// The paper's Section 5.1 size argument: n(Q) branched conv4 blocks grow
+// parameters linearly in n(Q), while one conv4 block with n(Q) times the
+// channels grows quadratically.
+TEST(CostTest, BranchedGrowsLinearlyMonolithicQuadratically) {
+  WrnConfig lib;
+  lib.num_classes = 100;
+  lib.base_channels = 8;
+
+  WrnConfig expert = lib;
+  expert.ks = 0.25;
+  expert.num_classes = 5;
+
+  auto branch_params = [&](int n) {
+    std::vector<WrnConfig> experts(n, expert);
+    return CostOfBranched(lib, experts, 8, 8).params;
+  };
+  int64_t h, w;
+  const int64_t lib_params = CostOfLibraryPart(lib, 8, 8, &h, &w).params;
+  const int64_t one_branch = branch_params(1) - lib_params;
+  const int64_t five_branches = branch_params(5) - lib_params;
+  // Linear growth in the number of branches.
+  EXPECT_EQ(five_branches, 5 * one_branch);
+
+  // Monolithic student with ks = 0.25 * n has a conv4 whose params grow
+  // superlinearly (~quadratic in width).
+  auto mono_conv4 = [&](int n) {
+    WrnConfig m = lib;
+    m.ks = 0.25 * n;
+    m.num_classes = 5 * n;
+    return CostOfExpertPart(m, lib.conv3_channels(), h, w).params;
+  };
+  const int64_t mono1 = mono_conv4(1);
+  const int64_t mono5 = mono_conv4(5);
+  EXPECT_GT(mono5, 5 * mono1);  // superlinear
+}
+
+TEST(CostTest, BranchedRejectsMismatchedKc) {
+  WrnConfig lib;
+  lib.num_classes = 10;
+  WrnConfig expert = lib;
+  expert.kc = 2.0;  // different conv3 width: incompatible with the library
+  EXPECT_DEATH(CostOfBranched(lib, {expert}, 8, 8), "kc");
+}
+
+TEST(CostTest, ModelCostAddition) {
+  ModelCost a{100, 10}, b{50, 5};
+  ModelCost c = a + b;
+  EXPECT_EQ(c.flops, 150);
+  EXPECT_EQ(c.params, 15);
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,114 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace poe {
+namespace {
+
+Dataset TinyData() {
+  Dataset d;
+  d.images = Tensor::FromVector({6, 1, 1, 1}, {0, 1, 2, 3, 4, 5});
+  d.labels = {0, 1, 2, 0, 1, 2};
+  return d;
+}
+
+TEST(DatasetTest, FilterClassesKeepsMatchingSamples) {
+  Dataset d = TinyData();
+  Dataset f = FilterClasses(d, {1, 2}, /*remap=*/false);
+  EXPECT_EQ(f.size(), 4);
+  EXPECT_EQ(f.labels, (std::vector<int>{1, 2, 1, 2}));
+  EXPECT_EQ(f.images.at(0), 1.0f);  // sample of class 1
+}
+
+TEST(DatasetTest, FilterClassesRemapsToLocalIndices) {
+  Dataset d = TinyData();
+  Dataset f = FilterClasses(d, {2, 0}, /*remap=*/true);
+  // class 2 -> 0, class 0 -> 1, order of samples preserved.
+  EXPECT_EQ(f.labels, (std::vector<int>{1, 0, 1, 0}));
+}
+
+TEST(DatasetTest, ExcludeClassesDropsThem) {
+  Dataset d = TinyData();
+  Dataset e = ExcludeClasses(d, {0});
+  EXPECT_EQ(e.size(), 4);
+  for (int label : e.labels) EXPECT_NE(label, 0);
+}
+
+TEST(DatasetTest, FilterToNothingGivesEmpty) {
+  Dataset d = TinyData();
+  Dataset f = FilterClasses(d, {99}, true);
+  EXPECT_EQ(f.size(), 0);
+}
+
+TEST(BatchIteratorTest, CoversAllSamplesOncePerEpoch) {
+  Dataset d = TinyData();
+  Rng rng(1);
+  BatchIterator it(d, 4, rng);
+  std::multiset<float> seen;
+  Batch b;
+  int batches = 0;
+  while (it.Next(&b)) {
+    ++batches;
+    for (int64_t i = 0; i < b.images.numel(); ++i) seen.insert(b.images.at(i));
+  }
+  EXPECT_EQ(batches, 2);
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(it.batches_per_epoch(), 2);
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(seen.count(static_cast<float>(v)), 1u);
+}
+
+TEST(BatchIteratorTest, LabelsAlignWithImages) {
+  Dataset d = TinyData();
+  Rng rng(2);
+  BatchIterator it(d, 3, rng);
+  Batch b;
+  while (it.Next(&b)) {
+    for (size_t i = 0; i < b.labels.size(); ++i) {
+      // In TinyData, image value v has label v % 3.
+      const int v = static_cast<int>(b.images.at(i));
+      EXPECT_EQ(b.labels[i], v % 3);
+    }
+  }
+}
+
+TEST(BatchIteratorTest, IndicesPointIntoParentDataset) {
+  Dataset d = TinyData();
+  Rng rng(3);
+  BatchIterator it(d, 2, rng);
+  Batch b;
+  while (it.Next(&b)) {
+    for (size_t i = 0; i < b.indices.size(); ++i) {
+      EXPECT_EQ(d.labels[b.indices[i]], b.labels[i]);
+    }
+  }
+}
+
+TEST(BatchIteratorTest, ReshufflesAcrossEpochs) {
+  Dataset d;
+  const int n = 64;
+  d.images = Tensor::Zeros({n, 1, 1, 1});
+  for (int i = 0; i < n; ++i) d.images.at(i) = static_cast<float>(i);
+  d.labels.assign(n, 0);
+  Rng rng(4);
+  BatchIterator it(d, n, rng);
+  Batch b1, b2;
+  it.Next(&b1);
+  it.Reset();
+  it.Next(&b2);
+  EXPECT_NE(b1.indices, b2.indices);
+}
+
+TEST(BatchIteratorTest, NoShuffleKeepsOrder) {
+  Dataset d = TinyData();
+  Rng rng(5);
+  BatchIterator it(d, 6, rng, /*shuffle=*/false);
+  Batch b;
+  ASSERT_TRUE(it.Next(&b));
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(b.indices[i], i);
+}
+
+}  // namespace
+}  // namespace poe

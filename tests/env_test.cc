@@ -1,0 +1,40 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace poe {
+namespace {
+
+TEST(EnvTest, StringFallback) {
+  ::unsetenv("POE_TEST_VAR");
+  EXPECT_EQ(GetEnvOr("POE_TEST_VAR", "default"), "default");
+  ::setenv("POE_TEST_VAR", "hello", 1);
+  EXPECT_EQ(GetEnvOr("POE_TEST_VAR", "default"), "hello");
+  ::setenv("POE_TEST_VAR", "", 1);
+  EXPECT_EQ(GetEnvOr("POE_TEST_VAR", "default"), "default");
+  ::unsetenv("POE_TEST_VAR");
+}
+
+TEST(EnvTest, IntParsing) {
+  ::setenv("POE_TEST_INT", "42", 1);
+  EXPECT_EQ(GetEnvIntOr("POE_TEST_INT", 7), 42);
+  ::setenv("POE_TEST_INT", "-3", 1);
+  EXPECT_EQ(GetEnvIntOr("POE_TEST_INT", 7), -3);
+  ::setenv("POE_TEST_INT", "notanumber", 1);
+  EXPECT_EQ(GetEnvIntOr("POE_TEST_INT", 7), 7);
+  ::unsetenv("POE_TEST_INT");
+  EXPECT_EQ(GetEnvIntOr("POE_TEST_INT", 7), 7);
+}
+
+TEST(EnvTest, DoubleParsing) {
+  ::setenv("POE_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr("POE_TEST_DBL", 1.0), 2.5);
+  ::setenv("POE_TEST_DBL", "x", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDoubleOr("POE_TEST_DBL", 1.0), 1.0);
+  ::unsetenv("POE_TEST_DBL");
+}
+
+}  // namespace
+}  // namespace poe

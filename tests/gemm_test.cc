@@ -1,0 +1,105 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+// Naive reference GEMM.
+void RefGemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * m + i] : a[i * k + p];
+        const float bv = tb ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] = alpha * static_cast<float>(acc) + beta * c[i * n + j];
+    }
+  }
+}
+
+// (trans_a, trans_b, m, n, k)
+using GemmCase = std::tuple<bool, bool, int, int, int>;
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParamTest, MatchesReference) {
+  const auto [ta, tb, m, n, k] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 10007 + n * 101 + k + ta * 2 + tb));
+  std::vector<float> a(static_cast<size_t>(m) * k);
+  std::vector<float> b(static_cast<size_t>(k) * n);
+  for (auto& v : a) v = rng.Uniform(-1.0f, 1.0f);
+  for (auto& v : b) v = rng.Uniform(-1.0f, 1.0f);
+  std::vector<float> c(static_cast<size_t>(m) * n);
+  for (auto& v : c) v = rng.Uniform(-1.0f, 1.0f);
+  std::vector<float> c_ref = c;
+
+  Gemm(ta, tb, m, n, k, 0.7f, a.data(), b.data(), 0.3f, c.data());
+  RefGemm(ta, tb, m, n, k, 0.7f, a.data(), b.data(), 0.3f, c_ref.data());
+  for (size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], c_ref[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposeCombos, GemmParamTest,
+    ::testing::Values(
+        GemmCase{false, false, 4, 5, 6}, GemmCase{false, true, 4, 5, 6},
+        GemmCase{true, false, 4, 5, 6}, GemmCase{true, true, 4, 5, 6},
+        GemmCase{false, false, 1, 1, 1}, GemmCase{false, false, 17, 3, 9},
+        GemmCase{false, true, 32, 64, 16}, GemmCase{true, false, 8, 128, 8},
+        GemmCase{false, false, 128, 96, 33}, GemmCase{true, true, 13, 7, 21},
+        GemmCase{false, false, 256, 64, 72}));
+
+TEST(GemmTest, BetaZeroOverwritesGarbage) {
+  std::vector<float> a = {1, 2};
+  std::vector<float> b = {3, 4};
+  std::vector<float> c = {std::nanf(""), std::nanf("")};
+  // 2x1 times 1x1 -> 2x1
+  Gemm(false, false, 2, 1, 1, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  EXPECT_FLOAT_EQ(c[0], 3.0f);
+  EXPECT_FLOAT_EQ(c[1], 6.0f);
+  (void)b;
+}
+
+TEST(GemmTest, KZeroScalesOnly) {
+  std::vector<float> c = {2.0f, 4.0f};
+  Gemm(false, false, 2, 1, 0, 1.0f, nullptr, nullptr, 0.5f, c.data());
+  EXPECT_FLOAT_EQ(c[0], 1.0f);
+  EXPECT_FLOAT_EQ(c[1], 2.0f);
+}
+
+TEST(GemmTest, SeqMatchesParallel) {
+  Rng rng(77);
+  const int m = 64, n = 48, k = 32;
+  std::vector<float> a(m * k), b(k * n), c1(m * n, 0.0f), c2(m * n, 0.0f);
+  for (auto& v : a) v = rng.Uniform(-1.0f, 1.0f);
+  for (auto& v : b) v = rng.Uniform(-1.0f, 1.0f);
+  Gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c1.data());
+  GemmSeq(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c2.data());
+  for (int i = 0; i < m * n; ++i) ASSERT_NEAR(c1[i], c2[i], 1e-4f);
+}
+
+TEST(GemmTest, IdentityMultiplication) {
+  const int n = 8;
+  std::vector<float> eye(n * n, 0.0f);
+  for (int i = 0; i < n; ++i) eye[i * n + i] = 1.0f;
+  Rng rng(3);
+  std::vector<float> x(n * n);
+  for (auto& v : x) v = rng.Uniform(-1.0f, 1.0f);
+  std::vector<float> y(n * n, 0.0f);
+  Gemm(false, false, n, n, n, 1.0f, eye.data(), x.data(), 0.0f, y.data());
+  for (int i = 0; i < n * n; ++i) ASSERT_NEAR(y[i], x[i], 1e-6f);
+}
+
+}  // namespace
+}  // namespace poe

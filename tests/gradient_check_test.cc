@@ -1,0 +1,144 @@
+// Finite-difference verification of every layer's Backward, including the
+// composite WRN basic block. These tests gate the whole training stack.
+#include "nn/gradient_check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <memory>
+#include <string>
+
+#include "nn/activations.h"
+#include "nn/basic_block.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+constexpr float kTolerance = 2e-2f;  // float32 central differences
+
+TEST(GradCheckTest, Linear) {
+  Rng rng(1);
+  Linear lin(5, 4, rng);
+  Tensor x = Tensor::Randn({3, 5}, rng);
+  auto r = CheckModuleGradients(lin, x);
+  EXPECT_LT(r.max_input_grad_error, kTolerance);
+  EXPECT_LT(r.max_param_grad_error, kTolerance);
+}
+
+TEST(GradCheckTest, ReLU) {
+  Rng rng(2);
+  ReLU relu;
+  // Keep inputs away from the kink at 0.
+  Tensor x = Tensor::Randn({3, 7}, rng);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x.at(i)) < 0.1f) x.at(i) = 0.5f;
+  }
+  auto r = CheckModuleGradients(relu, x);
+  EXPECT_LT(r.max_input_grad_error, kTolerance);
+}
+
+TEST(GradCheckTest, GlobalAvgPool) {
+  Rng rng(3);
+  GlobalAvgPool pool;
+  Tensor x = Tensor::Randn({2, 3, 4, 4}, rng);
+  auto r = CheckModuleGradients(pool, x);
+  EXPECT_LT(r.max_input_grad_error, kTolerance);
+}
+
+struct ConvCase {
+  int in_c, out_c, kernel, stride, pad, h, w;
+  std::string name;
+};
+
+class ConvGradCheckTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradCheckTest, MatchesFiniteDifferences) {
+  const ConvCase& c = GetParam();
+  Rng rng(42);
+  Conv2d conv(c.in_c, c.out_c, c.kernel, c.stride, c.pad, rng,
+              /*bias=*/true);
+  Tensor x = Tensor::Randn({2, c.in_c, c.h, c.w}, rng);
+  auto r = CheckModuleGradients(conv, x);
+  EXPECT_LT(r.max_input_grad_error, kTolerance);
+  EXPECT_LT(r.max_param_grad_error, kTolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvGradCheckTest,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 3, 3, "1x1"},
+                      ConvCase{2, 3, 3, 1, 1, 4, 4, "3x3same"},
+                      ConvCase{2, 2, 3, 2, 1, 6, 6, "3x3stride2"},
+                      ConvCase{3, 2, 1, 2, 0, 4, 4, "proj1x1stride2"},
+                      ConvCase{1, 4, 3, 1, 0, 5, 5, "nopad"}),
+    [](const ::testing::TestParamInfo<ConvCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GradCheckTest, BatchNorm) {
+  Rng rng(5);
+  BatchNorm2d bn(3);
+  Tensor x = Tensor::Randn({4, 3, 3, 3}, rng);
+  auto r = CheckModuleGradients(bn, x);
+  // BN's objective involves batch statistics; slightly looser tolerance.
+  EXPECT_LT(r.max_input_grad_error, 4e-2f);
+  EXPECT_LT(r.max_param_grad_error, 4e-2f);
+}
+
+struct BlockCase {
+  int in_c, out_c, stride;
+  std::string name;
+};
+
+class BlockGradCheckTest : public ::testing::TestWithParam<BlockCase> {};
+
+TEST_P(BlockGradCheckTest, MatchesFiniteDifferences) {
+  const BlockCase& c = GetParam();
+  Rng rng(7);
+  BasicBlock block(c.in_c, c.out_c, c.stride, rng);
+  Tensor x = Tensor::Randn({2, c.in_c, 4, 4}, rng);
+  // BN centers its output at zero, so many ReLU inputs sit near the kink;
+  // a small step keeps the finite differences on one side of it.
+  auto r = CheckModuleGradients(block, x, /*epsilon=*/1e-3f);
+  EXPECT_LT(r.max_input_grad_error, 6e-2f);
+  EXPECT_LT(r.max_param_grad_error, 6e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockGradCheckTest,
+    ::testing::Values(BlockCase{2, 2, 1, "identity"},
+                      BlockCase{2, 4, 1, "widen"},
+                      BlockCase{2, 4, 2, "downsample"}),
+    [](const ::testing::TestParamInfo<BlockCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GradCheckTest, SmallSequentialStack) {
+  Rng rng(9);
+  Sequential seq;
+  seq.Add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, rng));
+  seq.Add(std::make_unique<BatchNorm2d>(2));
+  seq.Add(std::make_unique<ReLU>());
+  seq.Add(std::make_unique<GlobalAvgPool>());
+  seq.Add(std::make_unique<Linear>(2, 3, rng));
+  Tensor x = Tensor::Randn({2, 1, 4, 4}, rng);
+  auto r = CheckModuleGradients(seq, x);
+  EXPECT_LT(r.max_input_grad_error, 6e-2f);
+  EXPECT_LT(r.max_param_grad_error, 6e-2f);
+}
+
+TEST(GradCheckTest, BlockHasProjectionWhenShapesChange) {
+  Rng rng(1);
+  EXPECT_FALSE(BasicBlock(4, 4, 1, rng).has_projection());
+  EXPECT_TRUE(BasicBlock(4, 8, 1, rng).has_projection());
+  EXPECT_TRUE(BasicBlock(4, 4, 2, rng).has_projection());
+}
+
+}  // namespace
+}  // namespace poe

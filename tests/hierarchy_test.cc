@@ -1,0 +1,61 @@
+#include "data/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace poe {
+namespace {
+
+TEST(HierarchyTest, UniformPartition) {
+  ClassHierarchy h = ClassHierarchy::Uniform(4, 3);
+  EXPECT_EQ(h.num_tasks(), 4);
+  EXPECT_EQ(h.num_classes(), 12);
+  EXPECT_EQ(h.task_classes(0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(h.task_classes(3), (std::vector<int>{9, 10, 11}));
+}
+
+TEST(HierarchyTest, TaskOfClass) {
+  ClassHierarchy h = ClassHierarchy::Uniform(3, 2);
+  EXPECT_EQ(h.task_of_class(0), 0);
+  EXPECT_EQ(h.task_of_class(1), 0);
+  EXPECT_EQ(h.task_of_class(2), 1);
+  EXPECT_EQ(h.task_of_class(5), 2);
+}
+
+TEST(HierarchyTest, FromTasksAcceptsIrregularPartition) {
+  auto r = ClassHierarchy::FromTasks({{0, 2}, {1}, {3, 4, 5}});
+  ASSERT_TRUE(r.ok());
+  const ClassHierarchy& h = r.ValueOrDie();
+  EXPECT_EQ(h.num_tasks(), 3);
+  EXPECT_EQ(h.num_classes(), 6);
+  EXPECT_EQ(h.task_of_class(2), 0);
+  EXPECT_EQ(h.task_of_class(1), 1);
+}
+
+TEST(HierarchyTest, FromTasksRejectsEmpty) {
+  EXPECT_FALSE(ClassHierarchy::FromTasks({}).ok());
+  EXPECT_FALSE(ClassHierarchy::FromTasks({{0}, {}}).ok());
+}
+
+TEST(HierarchyTest, FromTasksRejectsOverlap) {
+  auto r = ClassHierarchy::FromTasks({{0, 1}, {1, 2}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchyTest, FromTasksRejectsGaps) {
+  // Classes {0, 2} with 2 total classes: id 2 is out of range.
+  EXPECT_FALSE(ClassHierarchy::FromTasks({{0}, {2}}).ok());
+}
+
+TEST(HierarchyTest, CompositeClassesConcatenatesInTaskOrder) {
+  ClassHierarchy h = ClassHierarchy::Uniform(3, 2);
+  EXPECT_EQ(h.CompositeClasses({2, 0}), (std::vector<int>{4, 5, 0, 1}));
+}
+
+TEST(HierarchyTest, AllTaskIds) {
+  ClassHierarchy h = ClassHierarchy::Uniform(3, 1);
+  EXPECT_EQ(h.AllTaskIds(), (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,165 @@
+// End-to-end pipeline test: oracle -> preprocessing -> pool -> queries,
+// asserting the paper's qualitative claims at miniature scale.
+#include <gtest/gtest.h>
+
+#include "core/expert_pool.h"
+#include "core/query_service.h"
+#include "distill/merge.h"
+#include "distill/specialize.h"
+#include "eval/confidence.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+#include "util/stopwatch.h"
+
+namespace poe {
+namespace {
+
+using testutil::FastTrainOptions;
+using testutil::TinyLibraryConfig;
+using testutil::TinyOracleConfig;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticDataConfig dc = testutil::TinyDataConfig();
+    dc.num_tasks = 4;
+    dc.train_per_class = 20;
+    data_ = new SyntheticDataset(GenerateSyntheticDataset(dc));
+    Rng rng(2024);
+    WrnConfig ocfg = TinyOracleConfig();
+    ocfg.num_classes = data_->hierarchy.num_classes();
+    oracle_ = new Wrn(ocfg, rng);
+    TrainScratch(*oracle_, data_->train, FastTrainOptions(12));
+
+    PoeBuildConfig cfg;
+    cfg.library_config = TinyLibraryConfig();
+    cfg.library_config.num_classes = data_->hierarchy.num_classes();
+    cfg.expert_ks = 0.5;
+    cfg.library_options = FastTrainOptions(8);
+    cfg.expert_options = FastTrainOptions(8);
+    pool_ = new ExpertPool(
+        ExpertPool::Preprocess(ModelLogits(*oracle_), *data_, cfg, rng));
+  }
+  static void TearDownTestSuite() {
+    delete pool_;
+    delete oracle_;
+    delete data_;
+    pool_ = nullptr;
+    oracle_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static float PoeAccuracy(const std::vector<int>& tasks) {
+    TaskModel model = pool_->Query(tasks).ValueOrDie();
+    Dataset test = FilterClasses(
+        data_->test, data_->hierarchy.CompositeClasses(tasks), true);
+    LogitFn fn = [&](const Tensor& x) { return model.Logits(x); };
+    return EvaluateAccuracy(fn, test);
+  }
+
+  static SyntheticDataset* data_;
+  static Wrn* oracle_;
+  static ExpertPool* pool_;
+};
+
+SyntheticDataset* IntegrationTest::data_ = nullptr;
+Wrn* IntegrationTest::oracle_ = nullptr;
+ExpertPool* IntegrationTest::pool_ = nullptr;
+
+TEST_F(IntegrationTest, PoeModelsBeatChanceForAllCompositeSizes) {
+  EXPECT_GT(PoeAccuracy({0}), 0.6f);          // chance 0.5
+  EXPECT_GT(PoeAccuracy({0, 1}), 0.4f);       // chance 0.25
+  EXPECT_GT(PoeAccuracy({0, 1, 2}), 0.3f);    // chance 0.167
+  EXPECT_GT(PoeAccuracy({0, 1, 2, 3}), 0.25f);  // chance 0.125
+}
+
+TEST_F(IntegrationTest, PoeQueryIsOrdersOfMagnitudeFasterThanTraining) {
+  // PoE service-phase latency.
+  Stopwatch sw;
+  TaskModel model = pool_->Query({0, 1, 2}).ValueOrDie();
+  const double poe_seconds = sw.ElapsedSeconds();
+
+  // A competitive trained baseline for the same composite task.
+  const std::vector<int> classes =
+      data_->hierarchy.CompositeClasses({0, 1, 2});
+  Dataset train = FilterClasses(data_->train, classes, true);
+  WrnConfig cfg = TinyLibraryConfig();
+  cfg.num_classes = static_cast<int>(classes.size());
+  Rng rng(1);
+  Wrn scratch(cfg, rng);
+  sw.Reset();
+  TrainScratch(scratch, train, FastTrainOptions(4));
+  const double scratch_seconds = sw.ElapsedSeconds();
+
+  EXPECT_LT(poe_seconds * 100, scratch_seconds);
+}
+
+TEST_F(IntegrationTest, PoeBeatsIndependentlyTrainedMerging) {
+  // SD+Scratch (merging independently trained experts) should lose to PoE
+  // (the paper's overconfidence + logit-scale argument).
+  const std::vector<int> tasks = {0, 1};
+  const std::vector<int> classes = data_->hierarchy.CompositeClasses(tasks);
+  Dataset train = FilterClasses(data_->train, classes, true);
+  Dataset test = FilterClasses(data_->test, classes, true);
+
+  // Scratch-trained primitive teachers.
+  std::vector<std::unique_ptr<Wrn>> teachers;
+  std::vector<TeacherSpec> specs;
+  Rng rng(3);
+  for (int t : tasks) {
+    WrnConfig cfg = TinyLibraryConfig();
+    cfg.ks = 0.5;
+    cfg.num_classes = 2;
+    auto m = std::make_unique<Wrn>(cfg, rng);
+    Dataset ttrain = FilterClasses(
+        data_->train, data_->hierarchy.task_classes(t), true);
+    TrainScratch(*m, ttrain, FastTrainOptions(8));
+    specs.push_back(TeacherSpec{ModelLogits(*m),
+                                data_->hierarchy.task_classes(t)});
+    teachers.push_back(std::move(m));
+  }
+  WrnConfig scfg = TinyLibraryConfig();
+  scfg.num_classes = static_cast<int>(classes.size());
+  Wrn student(scfg, rng);
+  TrainSdMerge(specs, student, train, FastTrainOptions(8));
+  const float sd_acc = EvaluateAccuracy(ModelLogits(student), test);
+  EXPECT_GT(PoeAccuracy(tasks) + 0.05f, sd_acc);
+}
+
+TEST_F(IntegrationTest, ServiceRoundTripThroughDisk) {
+  const std::string path = ::testing::TempDir() + "/integration_pool.poe";
+  ASSERT_TRUE(pool_->Save(path).ok());
+  auto loaded = ExpertPool::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  ModelQueryService service(std::move(loaded).ValueOrDie(), 4);
+  auto model = service.Query({1, 3});
+  ASSERT_TRUE(model.ok());
+  Dataset test = FilterClasses(
+      data_->test, data_->hierarchy.CompositeClasses({1, 3}), true);
+  LogitFn fn = [&](const Tensor& x) {
+    return model.ValueOrDie()->Logits(x);
+  };
+  EXPECT_GT(EvaluateAccuracy(fn, test), 0.4f);
+}
+
+TEST_F(IntegrationTest, CkdExpertsLessOverconfidentThanScratchOnOod) {
+  const auto& classes = data_->hierarchy.task_classes(0);
+  Dataset ood = ExcludeClasses(data_->test, classes);
+
+  WrnConfig scfg = TinyLibraryConfig();
+  scfg.ks = 0.5;
+  scfg.num_classes = 2;
+  Rng rng(4);
+  Wrn scratch(scfg, rng);
+  TrainScratch(scratch, FilterClasses(data_->train, classes, true),
+               FastTrainOptions(8));
+
+  ConfidenceHistogram ckd_hist = ComputeConfidenceHistogram(
+      LibraryHeadLogits(*pool_->library(), *pool_->expert(0)), ood);
+  ConfidenceHistogram scratch_hist =
+      ComputeConfidenceHistogram(ModelLogits(scratch), ood);
+  EXPECT_LT(ckd_hist.mean_confidence, scratch_hist.mean_confidence);
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,45 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace poe {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LogMacroCompilesAndStreams) {
+  // Smoke test: must not crash and must accept stream operands.
+  SetLogLevel(LogLevel::kError);  // suppress output during the test
+  POE_LOG(Info) << "value=" << 42 << " pi=" << 3.14;
+  POE_LOG(Warning) << "warn";
+  SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ POE_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckComparisonsPrintValues) {
+  EXPECT_DEATH({ POE_CHECK_EQ(3, 4); }, "3 vs 4");
+  EXPECT_DEATH({ POE_CHECK_LT(9, 2); }, "9 vs 2");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  POE_CHECK(true);
+  POE_CHECK_EQ(1, 1);
+  POE_CHECK_NE(1, 2);
+  POE_CHECK_LE(1, 1);
+  POE_CHECK_GE(2, 1);
+  POE_CHECK_GT(2, 1);
+  POE_CHECK_LT(1, 2);
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,75 @@
+// Unit-level reproduction of the paper's Figure 4: the logit scale
+// problem. Two perfectly accurate experts whose logits live on different
+// scales produce wrong predictions under naive concatenation; matching
+// scales (what L_scale enforces) fixes it.
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace poe {
+namespace {
+
+// Figure 4's setup: Q = H1 u H2, H1 = {cat, fox}, H2 = {dog, wolf}.
+// The input is a dog image.
+//
+// Both experts are "properly confident": M(H1) slightly prefers cat within
+// its own task but with low confidence; M(H2) confidently says dog.
+TEST(LogitScaleTest, MismatchedScalesBreakConcatenation) {
+  // M(H1) produces logits on a LARGE scale (e.g. 8, 6) even though its
+  // softmax is only mildly confident... the softmax of (8, 6) is ~(0.88,
+  // 0.12) - after distillation with only soft targets, the absolute scale
+  // is arbitrary, so take a properly-confident distribution (0.6, 0.4)
+  // realized at a large scale:
+  //   softmax(a, b) = (0.6, 0.4)  <=>  a - b = log(1.5) ~ 0.405
+  // Scale-1 realization: (0.405, 0).   Scale-10 realization: (4.05, 0) is
+  // NOT the same softmax... the pair must keep the same difference but can
+  // sit at any offset: (10.405, 10.0) has softmax (0.6, 0.4) too.
+  Tensor h1 = Tensor::FromVector({1, 2}, {10.405f, 10.0f});  // cat, fox
+  // M(H2): confident dog, softmax ~ (0.95, 0.05), small offset.
+  Tensor h2 = Tensor::FromVector({1, 2}, {2.94f, 0.0f});  // dog, wolf
+
+  // Each expert alone is properly confident.
+  Tensor p1 = Softmax2d(h1);
+  Tensor p2 = Softmax2d(h2);
+  EXPECT_NEAR(p1.at(0), 0.6f, 0.01f);   // cat only mildly preferred
+  EXPECT_NEAR(p2.at(0), 0.95f, 0.01f);  // dog strongly preferred
+
+  // Naive concatenation: the offset mismatch dominates and the unified
+  // model says "cat" for the dog image - Figure 4(b), wrong scale.
+  Tensor unified = ConcatColumns({h1, h2});
+  EXPECT_EQ(ArgmaxRow(unified, 0), 0);  // cat (wrong!)
+
+  // With matched scales (same offset), concatenation is correct - Figure
+  // 4(b), right scale. This is exactly the invariant L_scale transfers
+  // from the oracle: both sub-logits inherit the oracle's common scale.
+  Tensor h1_matched = Tensor::FromVector({1, 2}, {0.405f, 0.0f});
+  Tensor fixed = ConcatColumns({h1_matched, h2});
+  EXPECT_EQ(ArgmaxRow(fixed, 0), 2);  // dog (correct)
+}
+
+// The same effect expressed through softmax probabilities: joint softmax
+// over mismatched-scale logits distorts the per-task marginals.
+TEST(LogitScaleTest, JointSoftmaxDistortsMarginals) {
+  Tensor h1 = Tensor::FromVector({1, 2}, {10.405f, 10.0f});
+  Tensor h2 = Tensor::FromVector({1, 2}, {2.94f, 0.0f});
+  Tensor joint = Softmax2d(ConcatColumns({h1, h2}));
+  // Almost all mass leaks to the H1 block purely due to its offset.
+  const float h1_mass = joint.at(0) + joint.at(1);
+  EXPECT_GT(h1_mass, 0.99f);
+}
+
+// L1 distance between sub-logits detects scale mismatch where KL cannot:
+// the quantitative rationale for Eq. (4).
+TEST(LogitScaleTest, L1SeparatesScalesKlDoesNot) {
+  Tensor oracle_sub = Tensor::FromVector({1, 2}, {0.405f, 0.0f});
+  Tensor student_same_softmax = Tensor::FromVector({1, 2}, {10.405f, 10.0f});
+  // Identical softmax => zero KL at any temperature.
+  Tensor p_a = Softmax2d(oracle_sub);
+  Tensor p_b = Softmax2d(student_same_softmax);
+  EXPECT_LT(MaxAbsDiff(p_a, p_b), 1e-4f);
+  // But L1 on raw logits sees the 10-unit offset.
+  EXPECT_GT(L1Norm(Sub(student_same_softmax, oracle_sub)), 19.0f);
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,122 @@
+// Parameterized property sweeps over the distillation losses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/losses.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+class TemperatureSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(TemperatureSweep, KlIsNonNegative) {
+  const float temperature = GetParam();
+  Rng rng(static_cast<uint64_t>(temperature * 100));
+  for (int trial = 0; trial < 20; ++trial) {
+    Tensor t = Tensor::Randn({4, 7}, rng, 2.0f);
+    Tensor s = Tensor::Randn({4, 7}, rng, 2.0f);
+    EXPECT_GE(DistillationKl(t, s, temperature).loss, -1e-5f);
+  }
+}
+
+TEST_P(TemperatureSweep, KlGradientMatchesFiniteDifferences) {
+  const float temperature = GetParam();
+  Rng rng(17);
+  Tensor t = Tensor::Randn({2, 5}, rng);
+  Tensor s = Tensor::Randn({2, 5}, rng);
+  LossResult analytic = DistillationKl(t, s, temperature);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < s.numel(); ++i) {
+    const float saved = s.at(i);
+    s.at(i) = saved + eps;
+    const float plus = DistillationKl(t, s, temperature).loss;
+    s.at(i) = saved - eps;
+    const float minus = DistillationKl(t, s, temperature).loss;
+    s.at(i) = saved;
+    EXPECT_NEAR(analytic.grad.at(i), (plus - minus) / (2 * eps), 5e-3f)
+        << "T=" << temperature << " i=" << i;
+  }
+}
+
+TEST_P(TemperatureSweep, HigherTemperatureSoftensTarget) {
+  // As T grows, teacher softmax approaches uniform, so the KL against a
+  // uniform student shrinks.
+  const float temperature = GetParam();
+  Tensor t = Tensor::FromVector({1, 3}, {4, 0, -4});
+  Tensor s = Tensor::Zeros({1, 3});
+  const float kl_t =
+      DistillationKl(t, s, temperature, /*scale_t_squared=*/false).loss;
+  const float kl_hotter =
+      DistillationKl(t, s, temperature * 4, /*scale_t_squared=*/false).loss;
+  EXPECT_LT(kl_hotter, kl_t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, TemperatureSweep,
+                         ::testing::Values(0.5f, 1.0f, 2.0f, 4.0f, 8.0f));
+
+class BatchSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchSizeSweep, CrossEntropyScalesAsMeanOverBatch) {
+  const int batch = GetParam();
+  Rng rng(batch);
+  // Identical rows: loss must equal the single-row loss for any batch.
+  Tensor one = Tensor::Randn({1, 6}, rng);
+  Tensor many({batch, 6});
+  std::vector<int> labels(batch, 2);
+  for (int b = 0; b < batch; ++b) {
+    for (int c = 0; c < 6; ++c) many.at(b * 6 + c) = one.at(c);
+  }
+  const float single = SoftmaxCrossEntropy(one, {2}).loss;
+  const float batched = SoftmaxCrossEntropy(many, labels).loss;
+  EXPECT_NEAR(single, batched, 1e-5f);
+}
+
+TEST_P(BatchSizeSweep, L1LossScalesAsMeanOverBatch) {
+  const int batch = GetParam();
+  Rng rng(batch + 100);
+  Tensor t_one = Tensor::Randn({1, 4}, rng);
+  Tensor s_one = Tensor::Randn({1, 4}, rng);
+  Tensor t_many({batch, 4}), s_many({batch, 4});
+  for (int b = 0; b < batch; ++b) {
+    for (int c = 0; c < 4; ++c) {
+      t_many.at(b * 4 + c) = t_one.at(c);
+      s_many.at(b * 4 + c) = s_one.at(c);
+    }
+  }
+  EXPECT_NEAR(L1LogitLoss(t_one, s_one).loss,
+              L1LogitLoss(t_many, s_many).loss, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSizeSweep,
+                         ::testing::Values(1, 2, 8, 33));
+
+TEST(LossInteractionTest, CkdGradIsWeightedSumOfTerms) {
+  // The CKD loss is L_soft + alpha * L_scale; verify the linearity the
+  // trainer relies on when combining gradients.
+  Rng rng(9);
+  Tensor t = Tensor::Randn({3, 4}, rng);
+  Tensor s = Tensor::Randn({3, 4}, rng);
+  const float alpha = 0.3f;
+  LossResult soft = DistillationKl(t, s, 4.0f);
+  LossResult scale = L1LogitLoss(t, s);
+  Tensor combined = Add(soft.grad, Scale(scale.grad, alpha));
+  // Finite-difference of the combined objective.
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < s.numel(); ++i) {
+    const float saved = s.at(i);
+    s.at(i) = saved + eps;
+    const float plus =
+        DistillationKl(t, s, 4.0f).loss + alpha * L1LogitLoss(t, s).loss;
+    s.at(i) = saved - eps;
+    const float minus =
+        DistillationKl(t, s, 4.0f).loss + alpha * L1LogitLoss(t, s).loss;
+    s.at(i) = saved;
+    EXPECT_NEAR(combined.at(i), (plus - minus) / (2 * eps), 5e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,155 @@
+#include "nn/losses.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+// Numeric gradient of a loss wrt student logits.
+template <typename LossFn>
+void CheckLossGradient(const Tensor& logits, LossFn&& loss_fn,
+                       float tol = 2e-3f) {
+  LossResult analytic = loss_fn(logits);
+  Tensor x = logits.Clone();
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float saved = x.at(i);
+    x.at(i) = saved + eps;
+    const float plus = loss_fn(x).loss;
+    x.at(i) = saved - eps;
+    const float minus = loss_fn(x).loss;
+    x.at(i) = saved;
+    const float numeric = (plus - minus) / (2 * eps);
+    EXPECT_NEAR(analytic.grad.at(i), numeric, tol) << "at " << i;
+  }
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  Tensor logits = Tensor::Zeros({2, 4});
+  LossResult r = SoftmaxCrossEntropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectHasLowLoss) {
+  Tensor logits = Tensor::FromVector({1, 3}, {10, 0, 0});
+  LossResult r = SoftmaxCrossEntropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-3f);
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifferences) {
+  Rng rng(1);
+  Tensor logits = Tensor::Randn({3, 5}, rng);
+  std::vector<int> labels = {1, 4, 0};
+  CheckLossGradient(logits, [&](const Tensor& s) {
+    return SoftmaxCrossEntropy(s, labels);
+  });
+}
+
+TEST(CrossEntropyTest, GradientRowsSumToZero) {
+  Rng rng(2);
+  Tensor logits = Tensor::Randn({2, 4}, rng);
+  LossResult r = SoftmaxCrossEntropy(logits, {0, 2});
+  for (int row = 0; row < 2; ++row) {
+    float s = 0;
+    for (int c = 0; c < 4; ++c) s += r.grad.at(row * 4 + c);
+    EXPECT_NEAR(s, 0.0f, 1e-6f);
+  }
+}
+
+TEST(DistillKlTest, ZeroWhenStudentEqualsTeacher) {
+  Rng rng(3);
+  Tensor t = Tensor::Randn({4, 6}, rng);
+  LossResult r = DistillationKl(t, t, 4.0f);
+  EXPECT_NEAR(r.loss, 0.0f, 1e-5f);
+  EXPECT_LT(MaxValue(r.grad), 1e-5f);
+}
+
+TEST(DistillKlTest, PositiveWhenDifferent) {
+  Tensor t = Tensor::FromVector({1, 2}, {2, 0});
+  Tensor s = Tensor::FromVector({1, 2}, {0, 2});
+  EXPECT_GT(DistillationKl(t, s, 1.0f).loss, 0.1f);
+}
+
+TEST(DistillKlTest, ShiftInvariantInBothArguments) {
+  // KL depends only on softmax, so adding constants changes nothing.
+  Tensor t = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Tensor s = Tensor::FromVector({1, 3}, {0, 1, 0});
+  Tensor t2 = Tensor::FromVector({1, 3}, {11, 12, 13});
+  Tensor s2 = Tensor::FromVector({1, 3}, {-5, -4, -5});
+  EXPECT_NEAR(DistillationKl(t, s, 2.0f).loss,
+              DistillationKl(t2, s2, 2.0f).loss, 1e-5f);
+}
+
+TEST(DistillKlTest, GradientMatchesFiniteDifferences) {
+  Rng rng(4);
+  Tensor t = Tensor::Randn({2, 4}, rng);
+  Tensor s0 = Tensor::Randn({2, 4}, rng);
+  CheckLossGradient(s0, [&](const Tensor& s) {
+    return DistillationKl(t, s, 3.0f);
+  });
+}
+
+TEST(DistillKlTest, GradientWithoutTSquaredScaling) {
+  Rng rng(5);
+  Tensor t = Tensor::Randn({2, 3}, rng);
+  Tensor s0 = Tensor::Randn({2, 3}, rng);
+  CheckLossGradient(s0, [&](const Tensor& s) {
+    return DistillationKl(t, s, 2.0f, /*scale_t_squared=*/false);
+  });
+}
+
+TEST(DistillKlTest, TSquaredScalingMultipliesLoss) {
+  Rng rng(6);
+  Tensor t = Tensor::Randn({2, 3}, rng);
+  Tensor s = Tensor::Randn({2, 3}, rng);
+  const float T = 4.0f;
+  LossResult scaled = DistillationKl(t, s, T, true);
+  LossResult raw = DistillationKl(t, s, T, false);
+  EXPECT_NEAR(scaled.loss, raw.loss * T * T, 1e-4f);
+}
+
+TEST(L1LogitTest, ZeroAtTarget) {
+  Tensor t = Tensor::FromVector({1, 3}, {1, -2, 3});
+  LossResult r = L1LogitLoss(t, t);
+  EXPECT_EQ(r.loss, 0.0f);
+}
+
+TEST(L1LogitTest, MeanOverBatchSumOverClasses) {
+  Tensor t = Tensor::Zeros({2, 2});
+  Tensor s = Tensor::FromVector({2, 2}, {1, -1, 2, 0});
+  // Row sums of |s - t|: 2 and 2; mean over batch = 2.
+  EXPECT_FLOAT_EQ(L1LogitLoss(t, s).loss, 2.0f);
+}
+
+TEST(L1LogitTest, GradientIsSignOverBatch) {
+  Tensor t = Tensor::Zeros({2, 2});
+  Tensor s = Tensor::FromVector({2, 2}, {1, -1, 2, 0});
+  LossResult r = L1LogitLoss(t, s);
+  EXPECT_FLOAT_EQ(r.grad.at(0), 0.5f);
+  EXPECT_FLOAT_EQ(r.grad.at(1), -0.5f);
+  EXPECT_FLOAT_EQ(r.grad.at(2), 0.5f);
+  EXPECT_FLOAT_EQ(r.grad.at(3), 0.0f);
+}
+
+TEST(L1LogitTest, CarriesScaleInformation) {
+  // Unlike KL, L1 distinguishes logits with equal softmax but different
+  // scales - exactly why the paper adds it (the logit scale problem).
+  Tensor t = Tensor::FromVector({1, 2}, {4, 2});
+  Tensor s_same_softmax = Tensor::FromVector({1, 2}, {2, 0});
+  EXPECT_NEAR(DistillationKl(t, s_same_softmax, 1.0f).loss, 0.0f, 1e-5f);
+  EXPECT_GT(L1LogitLoss(t, s_same_softmax).loss, 1.0f);
+}
+
+TEST(CountCorrectTest, CountsArgmaxMatches) {
+  Tensor logits = Tensor::FromVector({3, 2}, {1, 0, 0, 1, 5, 2});
+  EXPECT_EQ(CountCorrect(logits, {0, 1, 0}), 3);
+  EXPECT_EQ(CountCorrect(logits, {1, 1, 0}), 2);
+}
+
+}  // namespace
+}  // namespace poe

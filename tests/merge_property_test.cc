@@ -1,0 +1,105 @@
+// Properties of SD/UHC merging that the consolidation experiments rely on.
+#include <gtest/gtest.h>
+
+#include "distill/merge.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+// A trivial "teacher" with fixed logits per input value.
+TeacherSpec ConstantTeacher(std::vector<int> classes, float offset) {
+  TeacherSpec spec;
+  spec.classes = std::move(classes);
+  const int width = static_cast<int>(spec.classes.size());
+  spec.logits = [width, offset](const Tensor& images) {
+    Tensor out({images.dim(0), width});
+    for (int64_t b = 0; b < images.dim(0); ++b) {
+      for (int c = 0; c < width; ++c) {
+        // First class mildly preferred; all logits shifted by offset.
+        out.at(b * width + c) = offset + (c == 0 ? 0.4f : 0.0f);
+      }
+    }
+    return out;
+  };
+  return spec;
+}
+
+Dataset RandomData(int n) {
+  Dataset d;
+  Rng rng(123);
+  d.images = Tensor::Randn({n, 4}, rng);
+  d.labels.assign(n, 0);
+  return d;
+}
+
+// A linear student over 4-dim inputs and 4 unified classes.
+class TinyStudent : public Linear {
+ public:
+  explicit TinyStudent(Rng& rng) : Linear(4, 4, rng) {}
+};
+
+TEST(MergePropertyTest, SdTargetInheritsScaleMismatch) {
+  // Teacher A lives at offset +10, teacher B at offset 0. Their per-task
+  // softmax targets are identical in shape, but SD's concatenated softmax
+  // funnels nearly all probability into A's block - the logit scale
+  // problem surfacing inside SD training targets.
+  TeacherSpec a = ConstantTeacher({0, 1}, 10.0f);
+  TeacherSpec b = ConstantTeacher({2, 3}, 0.0f);
+  Tensor x = Tensor::Zeros({1, 4});
+  Tensor concat = ConcatColumns({a.logits(x), b.logits(x)});
+  Tensor p = Softmax2d(concat);
+  EXPECT_GT(p.at(0) + p.at(1), 0.99f);
+}
+
+TEST(MergePropertyTest, UhcTrainingIsInvariantToTeacherOffsets) {
+  // UHC normalizes per-block, so adding a constant to one teacher's logits
+  // must not change the trained student (same seed, same data).
+  Dataset data = RandomData(16);
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 8;
+  opts.seed = 5;
+
+  Rng ra(7), rb(7);
+  TinyStudent sa(ra), sb(rb);
+  TrainUhcMerge({ConstantTeacher({0, 1}, 0.0f), ConstantTeacher({2, 3}, 0.0f)},
+                sa, data, opts);
+  TrainUhcMerge({ConstantTeacher({0, 1}, 50.0f),
+                 ConstantTeacher({2, 3}, 0.0f)},
+                sb, data, opts);
+  EXPECT_LT(MaxAbsDiff(sa.weight().value, sb.weight().value), 1e-5f);
+}
+
+TEST(MergePropertyTest, SdTrainingIsNotInvariantToTeacherOffsets) {
+  // SD, by contrast, is sensitive to the offset (joint normalization).
+  Dataset data = RandomData(16);
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 8;
+  opts.seed = 5;
+
+  Rng ra(7), rb(7);
+  TinyStudent sa(ra), sb(rb);
+  TrainSdMerge({ConstantTeacher({0, 1}, 0.0f), ConstantTeacher({2, 3}, 0.0f)},
+               sa, data, opts);
+  TrainSdMerge({ConstantTeacher({0, 1}, 50.0f),
+                ConstantTeacher({2, 3}, 0.0f)},
+               sb, data, opts);
+  EXPECT_GT(MaxAbsDiff(sa.weight().value, sb.weight().value), 1e-4f);
+}
+
+TEST(MergePropertyTest, BothMethodsRequireTeachers) {
+  Dataset data = RandomData(4);
+  TrainOptions opts;
+  opts.epochs = 1;
+  Rng rng(1);
+  TinyStudent s(rng);
+  EXPECT_DEATH(TrainSdMerge({}, s, data, opts), "");
+  EXPECT_DEATH(TrainUhcMerge({}, s, data, opts), "");
+}
+
+}  // namespace
+}  // namespace poe

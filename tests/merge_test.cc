@@ -1,0 +1,137 @@
+#include "distill/merge.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "distill/specialize.h"
+#include "eval/metrics.h"
+#include "models/wrn.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace poe {
+namespace {
+
+using testutil::FastTrainOptions;
+using testutil::TinyDataConfig;
+using testutil::TinyLibraryConfig;
+
+class MergeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new SyntheticDataset(GenerateSyntheticDataset(TinyDataConfig()));
+    rng_ = new Rng(321);
+    // Two scratch-trained primitive teachers for tasks 0 and 1.
+    teachers_ = new std::vector<std::unique_ptr<Wrn>>();
+    for (int t = 0; t < 2; ++t) {
+      WrnConfig cfg = TinyLibraryConfig();
+      cfg.ks = 0.5;
+      cfg.num_classes = 2;
+      auto model = std::make_unique<Wrn>(cfg, *rng_);
+      Dataset train = FilterClasses(
+          data_->train, data_->hierarchy.task_classes(t), true);
+      TrainScratch(*model, train, FastTrainOptions(8));
+      teachers_->push_back(std::move(model));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete teachers_;
+    delete rng_;
+    delete data_;
+    teachers_ = nullptr;
+    rng_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static std::vector<TeacherSpec> Teachers() {
+    std::vector<TeacherSpec> specs;
+    for (int t = 0; t < 2; ++t) {
+      specs.push_back(TeacherSpec{ModelLogits(*(*teachers_)[t]),
+                                  data_->hierarchy.task_classes(t)});
+    }
+    return specs;
+  }
+
+  static Dataset UnionTrain() {
+    return FilterClasses(data_->train,
+                         data_->hierarchy.CompositeClasses({0, 1}), true);
+  }
+  static Dataset UnionTest() {
+    return FilterClasses(data_->test,
+                         data_->hierarchy.CompositeClasses({0, 1}), true);
+  }
+
+  static Wrn MakeStudent() {
+    WrnConfig cfg = TinyLibraryConfig();
+    cfg.ks = 1.0;
+    cfg.num_classes = 4;
+    return Wrn(cfg, *rng_);
+  }
+
+  static SyntheticDataset* data_;
+  static Rng* rng_;
+  static std::vector<std::unique_ptr<Wrn>>* teachers_;
+};
+
+SyntheticDataset* MergeTest::data_ = nullptr;
+Rng* MergeTest::rng_ = nullptr;
+std::vector<std::unique_ptr<Wrn>>* MergeTest::teachers_ = nullptr;
+
+TEST_F(MergeTest, TeachersKnowTheirTasks) {
+  for (int t = 0; t < 2; ++t) {
+    Dataset test = FilterClasses(
+        data_->test, data_->hierarchy.task_classes(t), true);
+    EXPECT_GT(EvaluateAccuracy(ModelLogits(*(*teachers_)[t]), test), 0.6f);
+  }
+}
+
+TEST_F(MergeTest, SdMergeLearnsUnifiedModel) {
+  Wrn student = MakeStudent();
+  Dataset train = UnionTrain();
+  Dataset test = UnionTest();
+  const float before = EvaluateAccuracy(ModelLogits(student), test);
+  TrainSdMerge(Teachers(), student, train, FastTrainOptions(8));
+  const float after = EvaluateAccuracy(ModelLogits(student), test);
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.3f);  // chance = 0.25
+}
+
+TEST_F(MergeTest, UhcMergeLearnsUnifiedModel) {
+  Wrn student = MakeStudent();
+  Dataset train = UnionTrain();
+  Dataset test = UnionTest();
+  TrainUhcMerge(Teachers(), student, train, FastTrainOptions(8));
+  EXPECT_GT(EvaluateAccuracy(ModelLogits(student), test), 0.3f);
+}
+
+TEST_F(MergeTest, SdAndUhcProduceDifferentStudents) {
+  Rng ra(55), rb(55);
+  WrnConfig cfg = TinyLibraryConfig();
+  cfg.num_classes = 4;
+  Wrn sa(cfg, ra), sb(cfg, rb);
+  TrainOptions opts = FastTrainOptions(2);
+  Dataset train = UnionTrain();
+  TrainSdMerge(Teachers(), sa, train, opts);
+  TrainUhcMerge(Teachers(), sb, train, opts);
+  EXPECT_GT(MaxAbsDiff(sa.Parameters()[0]->value, sb.Parameters()[0]->value),
+            1e-7f);
+}
+
+TEST_F(MergeTest, MergedStudentMatchesTeacherPerBlock) {
+  // After UHC merging, the student's block for task 0 should rank task-0
+  // classes sensibly: its accuracy within the block beats chance.
+  Wrn student = MakeStudent();
+  Dataset train = UnionTrain();
+  TrainUhcMerge(Teachers(), student, train, FastTrainOptions(8));
+  Dataset task0_test = FilterClasses(
+      data_->test, data_->hierarchy.task_classes(0), true);
+  // Restrict logits to the first block (columns 0..1).
+  LogitFn block0 = [&](const Tensor& x) {
+    Tensor full = student.Forward(x, false);
+    return GatherColumns(full, {0, 1});
+  };
+  EXPECT_GT(EvaluateAccuracy(block0, task0_test), 0.55f);
+}
+
+}  // namespace
+}  // namespace poe

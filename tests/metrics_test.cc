@@ -1,0 +1,137 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/confidence.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+// LogitFn that returns a fixed one-hot-ish logit per sample based on the
+// (integer) value stored in the image.
+LogitFn OracleByImageValue(int num_classes) {
+  return [num_classes](const Tensor& images) {
+    const int64_t batch = images.dim(0);
+    const int64_t pixels = images.numel() / batch;
+    Tensor logits = Tensor::Zeros({batch, num_classes});
+    for (int64_t b = 0; b < batch; ++b) {
+      const int cls =
+          static_cast<int>(images.at(b * pixels)) % num_classes;
+      logits.at(b * num_classes + cls) = 10.0f;
+    }
+    return logits;
+  };
+}
+
+Dataset DataWithValues(const std::vector<int>& values,
+                       const std::vector<int>& labels) {
+  Dataset d;
+  d.images = Tensor({static_cast<int64_t>(values.size()), 1, 1, 1});
+  for (size_t i = 0; i < values.size(); ++i)
+    d.images.at(i) = static_cast<float>(values[i]);
+  d.labels = labels;
+  return d;
+}
+
+TEST(MetricsTest, PerfectAccuracy) {
+  Dataset d = DataWithValues({0, 1, 2}, {0, 1, 2});
+  EXPECT_FLOAT_EQ(EvaluateAccuracy(OracleByImageValue(3), d), 1.0f);
+}
+
+TEST(MetricsTest, PartialAccuracy) {
+  Dataset d = DataWithValues({0, 1, 2, 0}, {0, 1, 0, 1});
+  EXPECT_FLOAT_EQ(EvaluateAccuracy(OracleByImageValue(3), d), 0.5f);
+}
+
+TEST(MetricsTest, EmptyDatasetGivesZero) {
+  Dataset d;
+  d.images = Tensor::Zeros({0, 1, 1, 1});
+  EXPECT_FLOAT_EQ(EvaluateAccuracy(OracleByImageValue(3), d), 0.0f);
+}
+
+TEST(MetricsTest, TaskSpecificAccuracyRestrictsColumns) {
+  // Oracle over 6 classes; task = {4, 5}; samples of classes 4 and 5.
+  Dataset d = DataWithValues({4, 5, 4}, {4, 5, 5});
+  const float acc =
+      EvaluateTaskSpecificAccuracy(OracleByImageValue(6), d, {4, 5});
+  EXPECT_NEAR(acc, 2.0f / 3.0f, 1e-6f);
+}
+
+TEST(MetricsTest, TaskSpecificIgnoresOutOfTaskLogits) {
+  // A "generic" model that always puts huge mass on class 0, but within
+  // task {1, 2} prefers the right one. Task-specific accuracy must be 1.
+  LogitFn fn = [](const Tensor& images) {
+    const int64_t batch = images.dim(0);
+    Tensor logits = Tensor::Zeros({batch, 3});
+    for (int64_t b = 0; b < batch; ++b) {
+      logits.at(b * 3) = 100.0f;  // distractor class outside the task
+      const int cls = static_cast<int>(images.at(b));
+      logits.at(b * 3 + cls) = 5.0f;
+    }
+    return logits;
+  };
+  Dataset d = DataWithValues({1, 2}, {1, 2});
+  EXPECT_FLOAT_EQ(EvaluateTaskSpecificAccuracy(fn, d, {1, 2}), 1.0f);
+}
+
+TEST(MetricsTest, ModelLogitsWrapsModule) {
+  Rng rng(1);
+  Linear lin(4, 2, rng);
+  LogitFn fn = ModelLogits(lin);
+  Tensor x = Tensor::Randn({3, 4}, rng);
+  Tensor direct = lin.Forward(x, false);
+  EXPECT_LT(MaxAbsDiff(fn(x), direct), 1e-7f);
+}
+
+TEST(ConfidenceTest, OverconfidentModelFillsTopBin) {
+  Dataset ood = DataWithValues({0, 1, 2, 0}, {0, 0, 0, 0});
+  ConfidenceHistogram h =
+      ComputeConfidenceHistogram(OracleByImageValue(3), ood, 10);
+  EXPECT_EQ(h.ModeBin(), 9);
+  EXPECT_GT(h.mean_confidence, 0.99);
+  EXPECT_NEAR(h.FractionAbove(0.9), 1.0, 1e-9);
+}
+
+TEST(ConfidenceTest, UniformModelFillsLowBin) {
+  LogitFn uniform = [](const Tensor& images) {
+    return Tensor::Zeros({images.dim(0), 4});
+  };
+  Dataset ood = DataWithValues({0, 1}, {0, 0});
+  ConfidenceHistogram h = ComputeConfidenceHistogram(uniform, ood, 10);
+  EXPECT_EQ(h.ModeBin(), 2);  // 1/4 confidence lands in bin [0.2, 0.3)
+  EXPECT_NEAR(h.mean_confidence, 0.25, 1e-6);
+}
+
+TEST(ConfidenceTest, FrequenciesSumToOne) {
+  Dataset ood = DataWithValues({0, 1, 2, 1, 0}, {0, 0, 0, 0, 0});
+  ConfidenceHistogram h =
+      ComputeConfidenceHistogram(OracleByImageValue(3), ood, 5);
+  double total = 0;
+  for (double f : h.relative_frequency) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(h.num_samples, 5);
+}
+
+TEST(ConfidenceTest, AsciiChartContainsTitle) {
+  Dataset ood = DataWithValues({0}, {0});
+  ConfidenceHistogram h =
+      ComputeConfidenceHistogram(OracleByImageValue(3), ood, 4);
+  EXPECT_NE(h.ToAsciiChart("my-title").find("my-title"), std::string::npos);
+}
+
+TEST(EceTest, PerfectlyCalibratedConfidentModel) {
+  // Always right with ~1.0 confidence: ECE ~ 0.
+  Dataset d = DataWithValues({0, 1, 2}, {0, 1, 2});
+  EXPECT_LT(ExpectedCalibrationError(OracleByImageValue(3), d), 1e-3f);
+}
+
+TEST(EceTest, ConfidentButWrongModelHasHighEce) {
+  Dataset d = DataWithValues({0, 1, 2}, {1, 2, 0});  // always wrong
+  EXPECT_GT(ExpectedCalibrationError(OracleByImageValue(3), d), 0.9f);
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,159 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace poe {
+namespace {
+
+TEST(OpsTest, AddSubMulScale) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  Tensor sum = Add(a, b);
+  Tensor diff = Sub(b, a);
+  Tensor prod = Mul(a, b);
+  Tensor scaled = Scale(a, 2.0f);
+  EXPECT_EQ(sum.at(3), 44.0f);
+  EXPECT_EQ(diff.at(0), 9.0f);
+  EXPECT_EQ(prod.at(1), 40.0f);
+  EXPECT_EQ(scaled.at(2), 6.0f);
+}
+
+TEST(OpsTest, InPlaceOps) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {1, 1, 1});
+  AddInPlace(a, b);
+  EXPECT_EQ(a.at(0), 2.0f);
+  Axpy(0.5f, b, a);
+  EXPECT_EQ(a.at(0), 2.5f);
+  ScaleInPlace(a, 2.0f);
+  EXPECT_EQ(a.at(0), 5.0f);
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = Tensor::FromVector({4}, {-1, 2, -3, 4});
+  EXPECT_EQ(Sum(a), 2.0f);
+  EXPECT_EQ(Mean(a), 0.5f);
+  EXPECT_EQ(MaxValue(a), 4.0f);
+  EXPECT_EQ(Argmax(a), 3);
+  EXPECT_EQ(L1Norm(a), 10.0f);
+  EXPECT_FLOAT_EQ(L2Norm(a), std::sqrt(30.0f));
+}
+
+TEST(OpsTest, ArgmaxRow) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 5, 2, 9, 0, 3});
+  EXPECT_EQ(ArgmaxRow(a, 0), 1);
+  EXPECT_EQ(ArgmaxRow(a, 1), 0);
+}
+
+TEST(OpsTest, MaxAbsDiff) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {1, 2.5, 2});
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 1.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor logits = Tensor::FromVector({2, 3}, {1, 2, 3, -5, 0, 5});
+  Tensor p = Softmax2d(logits);
+  for (int r = 0; r < 2; ++r) {
+    float s = 0;
+    for (int c = 0; c < 3; ++c) s += p.at(r * 3 + c);
+    EXPECT_NEAR(s, 1.0f, 1e-6f);
+  }
+  // Monotone in logits.
+  EXPECT_LT(p.at(0), p.at(1));
+  EXPECT_LT(p.at(1), p.at(2));
+}
+
+TEST(OpsTest, SoftmaxIsShiftInvariant) {
+  Tensor a = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({1, 3}, {101, 102, 103});
+  Tensor pa = Softmax2d(a);
+  Tensor pb = Softmax2d(b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(pa.at(i), pb.at(i), 1e-6f);
+}
+
+TEST(OpsTest, SoftmaxTemperatureFlattens) {
+  Tensor logits = Tensor::FromVector({1, 2}, {0, 4});
+  Tensor sharp = SoftmaxWithTemperature(logits, 1.0f);
+  Tensor soft = SoftmaxWithTemperature(logits, 8.0f);
+  EXPECT_GT(sharp.at(1), soft.at(1));
+  EXPECT_GT(soft.at(0), sharp.at(0));
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor logits = Tensor::FromVector({1, 4}, {0.5, -1, 2, 0});
+  Tensor p = Softmax2d(logits);
+  Tensor lp = LogSoftmax2d(logits);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(lp.at(i), std::log(p.at(i)), 1e-5f);
+}
+
+TEST(OpsTest, LogSoftmaxStableForLargeLogits) {
+  Tensor logits = Tensor::FromVector({1, 2}, {1000, 1001});
+  Tensor lp = LogSoftmax2d(logits);
+  EXPECT_TRUE(std::isfinite(lp.at(0)));
+  EXPECT_TRUE(std::isfinite(lp.at(1)));
+}
+
+TEST(OpsTest, GatherColumns) {
+  Tensor a = Tensor::FromVector({2, 4}, {0, 1, 2, 3, 10, 11, 12, 13});
+  Tensor g = GatherColumns(a, {3, 1});
+  EXPECT_EQ(g.dim(1), 2);
+  EXPECT_EQ(g.at(0), 3.0f);
+  EXPECT_EQ(g.at(1), 1.0f);
+  EXPECT_EQ(g.at(2), 13.0f);
+}
+
+TEST(OpsTest, ConcatColumns) {
+  Tensor a = Tensor::FromVector({2, 1}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor c = ConcatColumns({a, b});
+  EXPECT_EQ(c.dim(0), 2);
+  EXPECT_EQ(c.dim(1), 3);
+  EXPECT_EQ(c.at(0), 1.0f);
+  EXPECT_EQ(c.at(1), 3.0f);
+  EXPECT_EQ(c.at(2), 4.0f);
+  EXPECT_EQ(c.at(3), 2.0f);
+  EXPECT_EQ(c.at(5), 6.0f);
+}
+
+TEST(OpsTest, ConcatThenGatherRoundTrips) {
+  Tensor a = Tensor::FromVector({1, 2}, {7, 8});
+  Tensor b = Tensor::FromVector({1, 2}, {9, 10});
+  Tensor c = ConcatColumns({a, b});
+  Tensor back_a = GatherColumns(c, {0, 1});
+  Tensor back_b = GatherColumns(c, {2, 3});
+  EXPECT_EQ(MaxAbsDiff(a, back_a), 0.0f);
+  EXPECT_EQ(MaxAbsDiff(b, back_b), 0.0f);
+}
+
+TEST(OpsTest, SliceRows) {
+  Tensor a = Tensor::FromVector({3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor s = SliceRows(a, 1, 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.at(0), 10.0f);
+  EXPECT_EQ(s.at(3), 21.0f);
+}
+
+TEST(OpsTest, GatherRows) {
+  Tensor a = Tensor::FromVector({3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor g = GatherRows(a, {2, 0, 2});
+  EXPECT_EQ(g.dim(0), 3);
+  EXPECT_EQ(g.at(0), 20.0f);
+  EXPECT_EQ(g.at(2), 0.0f);
+  EXPECT_EQ(g.at(4), 20.0f);
+}
+
+TEST(OpsTest, GatherRows4d) {
+  Tensor a = Tensor::Zeros({2, 1, 2, 2});
+  a.at(0) = 1.0f;
+  a.at(4) = 2.0f;
+  Tensor g = GatherRows(a, {1});
+  EXPECT_EQ(g.dim(0), 1);
+  EXPECT_EQ(g.at(0), 2.0f);
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,64 @@
+#include "util/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace poe {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const int64_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, SmallRangeRunsInline) {
+  int64_t sum = 0;  // no synchronization: must run on the calling thread
+  ParallelFor(
+      100, [&](int64_t begin, int64_t end) { sum += end - begin; },
+      /*min_chunk=*/1024);
+  EXPECT_EQ(sum, 100);
+}
+
+TEST(ParallelForTest, ZeroAndNegativeAreNoops) {
+  bool called = false;
+  ParallelFor(0, [&](int64_t, int64_t) { called = true; });
+  ParallelFor(-5, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ComputesParallelSum) {
+  const int64_t n = 1 << 20;
+  std::vector<int64_t> data(n);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<int64_t> total{0};
+  ParallelFor(n, [&](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) local += data[i];
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), n * (n - 1) / 2);
+}
+
+TEST(ParallelForTest, RepeatedInvocationsAreStable) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> count{0};
+    ParallelFor(
+        5000, [&](int64_t begin, int64_t end) { count += end - begin; },
+        /*min_chunk=*/16);
+    ASSERT_EQ(count.load(), 5000);
+  }
+}
+
+TEST(ParallelForTest, NumThreadsIsPositive) {
+  EXPECT_GE(NumThreads(), 1);
+}
+
+}  // namespace
+}  // namespace poe

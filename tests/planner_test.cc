@@ -1,0 +1,84 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+// Hierarchy: 4 tasks x 3 classes -> task t covers {3t, 3t+1, 3t+2}.
+ClassHierarchy H() { return ClassHierarchy::Uniform(4, 3); }
+
+TEST(PlannerTest, SingleClassMapsToItsTask) {
+  auto plan = PlanClassQuery(H(), {7}).ValueOrDie();
+  EXPECT_EQ(plan.task_ids, (std::vector<int>{2}));
+  EXPECT_EQ(plan.requested_classes, (std::vector<int>{7}));
+  EXPECT_EQ(plan.covered_classes, (std::vector<int>{6, 7, 8}));
+  EXPECT_EQ(plan.excess_classes(), 2);
+}
+
+TEST(PlannerTest, ClassesInSameTaskShareOneExpert) {
+  auto plan = PlanClassQuery(H(), {0, 2, 1}).ValueOrDie();
+  EXPECT_EQ(plan.task_ids, (std::vector<int>{0}));
+  EXPECT_EQ(plan.excess_classes(), 0);
+}
+
+TEST(PlannerTest, CrossTaskQueryUnionsTasks) {
+  auto plan = PlanClassQuery(H(), {1, 10}).ValueOrDie();
+  EXPECT_EQ(plan.task_ids, (std::vector<int>{0, 3}));
+  EXPECT_EQ(plan.covered_classes.size(), 6u);
+  EXPECT_EQ(plan.excess_classes(), 4);
+}
+
+TEST(PlannerTest, DeduplicatesRequestedClasses) {
+  auto plan = PlanClassQuery(H(), {5, 5, 5}).ValueOrDie();
+  EXPECT_EQ(plan.requested_classes, (std::vector<int>{5}));
+  EXPECT_EQ(plan.task_ids, (std::vector<int>{1}));
+}
+
+TEST(PlannerTest, RejectsEmptyAndUnknown) {
+  EXPECT_EQ(PlanClassQuery(H(), {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PlanClassQuery(H(), {99}).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(PlanClassQuery(H(), {-1}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(PlannerTest, RestrictedLogitsSelectRequestedColumns) {
+  // Build a task model over tasks {0, 1} with random weights.
+  WrnConfig lib_cfg;
+  lib_cfg.num_classes = 12;
+  lib_cfg.base_channels = 4;
+  Rng rng(1);
+  auto library = BuildLibraryPart(lib_cfg, rng);
+  std::vector<TaskModel::Branch> branches;
+  for (int t = 0; t < 2; ++t) {
+    TaskModel::Branch b;
+    WrnConfig ecfg = lib_cfg;
+    ecfg.ks = 0.5;
+    ecfg.num_classes = 3;
+    b.head = BuildExpertPart(ecfg, lib_cfg.conv3_channels(), rng);
+    b.classes = {3 * t, 3 * t + 1, 3 * t + 2};
+    b.config = ecfg;
+    branches.push_back(std::move(b));
+  }
+  TaskModel model(library, lib_cfg, std::move(branches));
+
+  auto plan = PlanClassQuery(H(), {4, 1}).ValueOrDie();
+  LogitFn restricted = RestrictToRequestedClasses(model, plan);
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, rng);
+  Tensor full = model.Logits(x);
+  Tensor sub = restricted(x);
+  ASSERT_EQ(sub.dim(1), 2);
+  // Column order follows requested_classes = {4, 1}; model order is
+  // {0,1,2,3,4,5}, so requested columns are 4 and 1.
+  for (int64_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(sub.at(r * 2 + 0), full.at(r * 6 + 4));
+    EXPECT_EQ(sub.at(r * 2 + 1), full.at(r * 6 + 1));
+  }
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,78 @@
+#include "distill/precompute.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+TEST(BatchedApplyTest, MatchesSingleShotApplication) {
+  Rng rng(1);
+  Linear lin(6, 4, rng);
+  Tensor images = Tensor::Randn({33, 6}, rng);
+  auto fn = [&](const Tensor& x) { return lin.Forward(x, false); };
+  Tensor batched = BatchedApply(fn, images, /*batch_size=*/8);
+  Tensor direct = fn(images);
+  EXPECT_EQ(batched.shape(), direct.shape());
+  EXPECT_LT(MaxAbsDiff(batched, direct), 1e-6f);
+}
+
+TEST(BatchedApplyTest, BatchSizeLargerThanData) {
+  Rng rng(2);
+  Linear lin(3, 2, rng);
+  Tensor images = Tensor::Randn({5, 3}, rng);
+  auto fn = [&](const Tensor& x) { return lin.Forward(x, false); };
+  Tensor out = BatchedApply(fn, images, 1000);
+  EXPECT_EQ(out.dim(0), 5);
+}
+
+TEST(BatchedApplyTest, BatchSizeOne) {
+  Rng rng(3);
+  Linear lin(3, 2, rng);
+  Tensor images = Tensor::Randn({4, 3}, rng);
+  auto fn = [&](const Tensor& x) { return lin.Forward(x, false); };
+  Tensor a = BatchedApply(fn, images, 1);
+  Tensor b = BatchedApply(fn, images, 4);
+  EXPECT_LT(MaxAbsDiff(a, b), 1e-7f);
+}
+
+TEST(BatchedApplyTest, PreservesMultiDimOutputs) {
+  // fn returns 4-D feature maps; stacking must preserve the inner shape.
+  auto fn = [](const Tensor& x) {
+    Tensor out({x.dim(0), 2, 3, 3});
+    for (int64_t i = 0; i < out.numel(); ++i) out.at(i) = 1.0f;
+    return out;
+  };
+  Rng rng(4);
+  Tensor images = Tensor::Randn({7, 1, 5, 5}, rng);
+  Tensor out = BatchedApply(fn, images, 3);
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{7, 2, 3, 3}));
+  EXPECT_EQ(Sum(out), 7.0f * 18.0f);
+}
+
+TEST(BatchedApplyTest, RowsStayAligned) {
+  // fn copies the first input element into every output slot; verify the
+  // rows are not permuted by batching.
+  auto fn = [](const Tensor& x) {
+    const int64_t pixels = x.numel() / x.dim(0);
+    Tensor out({x.dim(0), 2});
+    for (int64_t b = 0; b < x.dim(0); ++b) {
+      out.at(b * 2) = x.at(b * pixels);
+      out.at(b * 2 + 1) = -x.at(b * pixels);
+    }
+    return out;
+  };
+  Tensor images({10, 1, 1, 1});
+  for (int i = 0; i < 10; ++i) images.at(i) = static_cast<float>(i);
+  Tensor out = BatchedApply(fn, images, 4);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(out.at(i * 2), static_cast<float>(i));
+    EXPECT_EQ(out.at(i * 2 + 1), -static_cast<float>(i));
+  }
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,112 @@
+#include "compress/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include "models/wrn.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+TEST(QuantizeTest, RoundTripErrorBoundedByHalfStep) {
+  Rng rng(1);
+  Tensor t = Tensor::Randn({100}, rng);
+  QuantizedTensor q = Quantize(t);
+  Tensor back = Dequantize(q);
+  // Max error is half a quantization step = scale / 2.
+  EXPECT_LE(MaxAbsDiff(t, back), q.scale * 0.5f + 1e-7f);
+}
+
+TEST(QuantizeTest, ZeroTensorIsExact) {
+  Tensor t = Tensor::Zeros({10});
+  QuantizedTensor q = Quantize(t);
+  EXPECT_EQ(q.scale, 1.0f);
+  Tensor back = Dequantize(q);
+  EXPECT_EQ(MaxAbsDiff(t, back), 0.0f);
+}
+
+TEST(QuantizeTest, ExtremesMapToFullRange) {
+  Tensor t = Tensor::FromVector({3}, {-2.0f, 0.0f, 2.0f});
+  QuantizedTensor q = Quantize(t);
+  EXPECT_EQ(q.values[0], -127);
+  EXPECT_EQ(q.values[1], 0);
+  EXPECT_EQ(q.values[2], 127);
+}
+
+TEST(QuantizeTest, PreservesShape) {
+  Rng rng(2);
+  Tensor t = Tensor::Randn({2, 3, 4}, rng);
+  Tensor back = Dequantize(Quantize(t));
+  EXPECT_EQ(back.shape(), t.shape());
+}
+
+TEST(QuantizeTest, FootprintIsRoughlyQuarterOfFloat) {
+  Rng rng(3);
+  Tensor t = Tensor::Randn({1000}, rng);
+  QuantizedTensor q = Quantize(t);
+  EXPECT_LT(q.nbytes() * 3, t.nbytes());
+}
+
+TEST(QuantizeModuleTest, RoundTripKeepsOutputsClose) {
+  Rng rng(4);
+  WrnConfig cfg;
+  cfg.num_classes = 5;
+  cfg.base_channels = 4;
+  Wrn model(cfg, rng);
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, rng);
+  Tensor before = model.Forward(x, false);
+
+  QuantizedModuleState state = QuantizeModule(model);
+  // Perturb then restore from the snapshot.
+  model.Parameters()[0]->value.Fill(0.0f);
+  ASSERT_TRUE(DequantizeInto(state, model).ok());
+  Tensor after = model.Forward(x, false);
+  // int8 weights shift logits slightly but not wildly.
+  EXPECT_LT(MaxAbsDiff(before, after), 0.5f);
+  EXPECT_GT(MaxAbsDiff(before, after), 0.0f);
+}
+
+// Float32 footprint of a module's state, for compression-ratio checks.
+int64_t FloatStateBytes(Module& m) {
+  int64_t bytes = 0;
+  for (Parameter* p : m.Parameters()) bytes += p->value.nbytes();
+  std::vector<Tensor*> buffers;
+  m.CollectBuffers(&buffers);
+  for (Tensor* b : buffers) bytes += b->nbytes();
+  return bytes;
+}
+
+TEST(QuantizeModuleTest, SnapshotCoversParamsAndBuffers) {
+  Rng rng(5);
+  WrnConfig cfg;
+  cfg.num_classes = 3;
+  cfg.base_channels = 4;
+  Wrn model(cfg, rng);
+  QuantizedModuleState state = QuantizeModule(model);
+  std::vector<Tensor*> buffers;
+  model.CollectBuffers(&buffers);
+  EXPECT_EQ(state.tensors.size(),
+            model.Parameters().size() + buffers.size());
+  EXPECT_LT(state.nbytes() * 3, FloatStateBytes(model));
+}
+
+TEST(QuantizeModuleTest, DequantizeRejectsWrongStructure) {
+  Rng rng(6);
+  Linear small(3, 2, rng);
+  Linear big(5, 4, rng);
+  QuantizedModuleState state = QuantizeModule(small);
+  EXPECT_EQ(DequantizeInto(state, big).code(), StatusCode::kCorruption);
+}
+
+TEST(QuantizeModuleTest, QuantizationErrorDiagnostic) {
+  Rng rng(7);
+  Linear lin(8, 8, rng);
+  const float err = QuantizationError(lin);
+  EXPECT_GT(err, 0.0f);
+  EXPECT_LT(err, 0.05f);  // weights ~N(0, 0.5); step ~ max/127
+}
+
+}  // namespace
+}  // namespace poe

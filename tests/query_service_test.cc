@@ -1,0 +1,116 @@
+#include "core/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "distill/specialize.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace poe {
+namespace {
+
+using testutil::FastTrainOptions;
+using testutil::TinyDataConfig;
+using testutil::TinyLibraryConfig;
+using testutil::TinyOracleConfig;
+
+// Builds a small pool once for all service tests.
+ExpertPool BuildPool() {
+  static SyntheticDataset* data =
+      new SyntheticDataset(GenerateSyntheticDataset(TinyDataConfig()));
+  static Wrn* oracle = [] {
+    Rng rng(31);
+    Wrn* w = new Wrn(TinyOracleConfig(), rng);
+    TrainScratch(*w, data->train, FastTrainOptions(4));
+    return w;
+  }();
+  PoeBuildConfig cfg;
+  cfg.library_config = TinyLibraryConfig();
+  cfg.expert_ks = 0.5;
+  cfg.library_options = FastTrainOptions(2);
+  cfg.expert_options = FastTrainOptions(2);
+  Rng rng(32);
+  return ExpertPool::Preprocess(ModelLogits(*oracle), *data, cfg, rng);
+}
+
+TEST(QueryServiceTest, ServesModelsAndCountsQueries) {
+  ModelQueryService service(BuildPool());
+  auto m1 = service.Query({0, 1});
+  ASSERT_TRUE(m1.ok());
+  EXPECT_EQ(m1.ValueOrDie()->num_branches(), 2);
+  auto m2 = service.Query({2});
+  ASSERT_TRUE(m2.ok());
+  QueryStats stats = service.stats();
+  EXPECT_EQ(stats.num_queries, 2);
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_GE(stats.total_ms, 0.0);
+  EXPECT_GE(stats.max_ms, 0.0);
+}
+
+TEST(QueryServiceTest, PropagatesQueryErrors) {
+  ModelQueryService service(BuildPool());
+  EXPECT_FALSE(service.Query({42}).ok());
+  EXPECT_FALSE(service.Query({}).ok());
+}
+
+TEST(QueryServiceTest, CacheHitsOnRepeatedQueries) {
+  ModelQueryService service(BuildPool(), /*cache_capacity=*/4);
+  auto a = service.Query({0, 1}).ValueOrDie();
+  auto b = service.Query({0, 1}).ValueOrDie();
+  EXPECT_EQ(a.get(), b.get());  // same cached object
+  EXPECT_EQ(service.stats().cache_hits, 1);
+}
+
+TEST(QueryServiceTest, CacheKeyIsOrderInsensitive) {
+  ModelQueryService service(BuildPool(), 4);
+  service.Query({0, 1}).ValueOrDie();
+  service.Query({1, 0}).ValueOrDie();
+  EXPECT_EQ(service.stats().cache_hits, 1);
+}
+
+TEST(QueryServiceTest, LruEvictsOldest) {
+  ModelQueryService service(BuildPool(), /*cache_capacity=*/2);
+  service.Query({0}).ValueOrDie();
+  service.Query({1}).ValueOrDie();
+  service.Query({2}).ValueOrDie();  // evicts {0}
+  EXPECT_EQ(service.cache_size(), 2u);
+  service.Query({0}).ValueOrDie();  // miss again
+  EXPECT_EQ(service.stats().cache_hits, 0);
+  service.Query({0}).ValueOrDie();  // now a hit
+  EXPECT_EQ(service.stats().cache_hits, 1);
+}
+
+TEST(QueryServiceTest, ZeroCapacityDisablesCache) {
+  ModelQueryService service(BuildPool(), 0);
+  service.Query({0}).ValueOrDie();
+  service.Query({0}).ValueOrDie();
+  EXPECT_EQ(service.stats().cache_hits, 0);
+  EXPECT_EQ(service.cache_size(), 0u);
+}
+
+TEST(QueryServiceTest, ConcurrentQueriesAreSafe) {
+  ModelQueryService service(BuildPool(), 8);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&service, i] {
+      for (int j = 0; j < 25; ++j) {
+        auto r = service.Query({i % 3});
+        ASSERT_TRUE(r.ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(service.stats().num_queries, 100);
+}
+
+TEST(QueryServiceTest, AssemblyIsFasterThanAnyTraining) {
+  // The train-free property: queries assemble in well under a second.
+  ModelQueryService service(BuildPool());
+  for (int t = 0; t < 3; ++t) service.Query({t}).ValueOrDie();
+  EXPECT_LT(service.stats().max_ms, 1000.0);
+}
+
+}  // namespace
+}  // namespace poe

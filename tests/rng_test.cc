@@ -1,0 +1,99 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace poe {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    float v = rng.Uniform(-2.5f, 3.5f);
+    EXPECT_GE(v, -2.5f);
+    EXPECT_LT(v, 3.5f);
+  }
+}
+
+TEST(RngTest, NextIntCoversRange) {
+  Rng rng(99);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(10);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NormalHasRoughlyStandardMoments) {
+  Rng rng(31);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(32);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0f, 0.5f);
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  // Parent continues after fork; child differs from a fresh copy.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.NextU64() == child.NextU64());
+  EXPECT_LE(same, 1);
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,187 @@
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/expert_pool.h"
+#include "distill/specialize.h"
+#include "eval/metrics.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace poe {
+namespace {
+
+using testutil::FastTrainOptions;
+using testutil::TinyDataConfig;
+using testutil::TinyLibraryConfig;
+using testutil::TinyOracleConfig;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(ModuleStateTest, RoundTripsThroughStream) {
+  Rng rng(1);
+  WrnConfig cfg = TinyLibraryConfig();
+  Wrn a(cfg, rng);
+  Wrn b(cfg, rng);  // different random weights
+
+  std::stringstream ss;
+  ASSERT_TRUE(WriteModuleState(ss, a).ok());
+  ASSERT_TRUE(ReadModuleState(ss, b).ok());
+
+  Tensor x = Tensor::Randn({2, 3, 6, 6}, rng);
+  EXPECT_LT(MaxAbsDiff(a.Forward(x, false), b.Forward(x, false)), 1e-7f);
+}
+
+TEST(ModuleStateTest, PreservesBatchNormRunningStats) {
+  Rng rng(2);
+  WrnConfig cfg = TinyLibraryConfig();
+  Wrn a(cfg, rng);
+  // Run some training batches so running stats become non-trivial.
+  for (int i = 0; i < 3; ++i) {
+    Tensor x = Tensor::Randn({8, 3, 6, 6}, rng);
+    a.Forward(x, true);
+  }
+  Wrn b(cfg, rng);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteModuleState(ss, a).ok());
+  ASSERT_TRUE(ReadModuleState(ss, b).ok());
+  std::vector<Tensor*> ba, bb;
+  a.CollectBuffers(&ba);
+  b.CollectBuffers(&bb);
+  ASSERT_EQ(ba.size(), bb.size());
+  for (size_t i = 0; i < ba.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(*ba[i], *bb[i]), 0.0f);
+  }
+}
+
+TEST(ModuleStateTest, RejectsStructureMismatch) {
+  Rng rng(3);
+  WrnConfig small = TinyLibraryConfig();
+  WrnConfig big = small;
+  big.kc = 2.0;
+  Wrn a(small, rng);
+  Wrn b(big, rng);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteModuleState(ss, a).ok());
+  Status s = ReadModuleState(ss, b);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(ModuleStateTest, ByteSizeMatchesParamAndBufferCount) {
+  Rng rng(4);
+  Linear lin(4, 3, rng);
+  EXPECT_EQ(ModuleStateBytes(lin), (4 * 3 + 3) * 4);
+}
+
+class PoolSerializationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new SyntheticDataset(GenerateSyntheticDataset(TinyDataConfig()));
+    Rng rng(555);
+    oracle_ = new Wrn(TinyOracleConfig(), rng);
+    TrainScratch(*oracle_, data_->train, FastTrainOptions(6));
+    PoeBuildConfig cfg;
+    cfg.library_config = TinyLibraryConfig();
+    cfg.expert_ks = 0.5;
+    cfg.library_options = FastTrainOptions(3);
+    cfg.expert_options = FastTrainOptions(3);
+    pool_ = new ExpertPool(
+        ExpertPool::Preprocess(ModelLogits(*oracle_), *data_, cfg, rng));
+  }
+  static void TearDownTestSuite() {
+    delete pool_;
+    delete oracle_;
+    delete data_;
+    pool_ = nullptr;
+    oracle_ = nullptr;
+    data_ = nullptr;
+  }
+  static SyntheticDataset* data_;
+  static Wrn* oracle_;
+  static ExpertPool* pool_;
+};
+
+SyntheticDataset* PoolSerializationTest::data_ = nullptr;
+Wrn* PoolSerializationTest::oracle_ = nullptr;
+ExpertPool* PoolSerializationTest::pool_ = nullptr;
+
+TEST_F(PoolSerializationTest, SaveLoadPreservesLogitsBitExact) {
+  const std::string path = TempPath("pool_roundtrip.poe");
+  ASSERT_TRUE(pool_->Save(path).ok());
+  auto loaded = ExpertPool::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpertPool pool2 = std::move(loaded).ValueOrDie();
+
+  EXPECT_EQ(pool2.num_experts(), pool_->num_experts());
+  EXPECT_EQ(pool2.hierarchy().num_classes(),
+            pool_->hierarchy().num_classes());
+
+  TaskModel m1 = pool_->Query({0, 1, 2}).ValueOrDie();
+  TaskModel m2 = pool2.Query({0, 1, 2}).ValueOrDie();
+  Rng rng(6);
+  Tensor x = Tensor::Randn({4, 3, 6, 6}, rng);
+  EXPECT_EQ(MaxAbsDiff(m1.Logits(x), m2.Logits(x)), 0.0f);
+}
+
+TEST_F(PoolSerializationTest, LoadMissingFileIsNotFound) {
+  auto r = ExpertPool::Load(TempPath("does_not_exist.poe"));
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PoolSerializationTest, DetectsBitFlipCorruption) {
+  const std::string path = TempPath("pool_corrupt.poe");
+  ASSERT_TRUE(pool_->Save(path).ok());
+  // Flip one byte in the middle of the payload.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<int64_t>(f.tellg());
+  f.seekp(size / 2);
+  char byte = 0;
+  f.seekg(size / 2);
+  f.read(&byte, 1);
+  byte ^= 0x40;
+  f.seekp(size / 2);
+  f.write(&byte, 1);
+  f.close();
+
+  auto r = ExpertPool::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PoolSerializationTest, DetectsBadMagic) {
+  const std::string path = TempPath("pool_magic.poe");
+  std::ofstream f(path, std::ios::binary);
+  f << "NOTAPOOLFILE_____________";
+  f.close();
+  auto r = ExpertPool::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PoolSerializationTest, DetectsTruncation) {
+  const std::string path = TempPath("pool_trunc.poe");
+  ASSERT_TRUE(pool_->Save(path).ok());
+  // Truncate to 60% of the file.
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string bytes = buf.str();
+  in.close();
+  bytes.resize(bytes.size() * 6 / 10);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  out.close();
+
+  EXPECT_FALSE(ExpertPool::Load(path).ok());
+}
+
+}  // namespace
+}  // namespace poe

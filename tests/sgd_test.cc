@@ -1,0 +1,79 @@
+#include "nn/sgd.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+TEST(SgdTest, PlainStepWithoutMomentumOrDecay) {
+  Parameter p("w", Tensor::FromVector({2}, {1.0f, 2.0f}));
+  p.grad = Tensor::FromVector({2}, {0.5f, -0.5f});
+  Sgd sgd({&p}, SgdOptions{/*lr=*/0.1f, /*momentum=*/0.0f,
+                           /*weight_decay=*/0.0f});
+  sgd.Step();
+  EXPECT_FLOAT_EQ(p.value.at(0), 0.95f);
+  EXPECT_FLOAT_EQ(p.value.at(1), 2.05f);
+}
+
+TEST(SgdTest, MomentumAccumulatesVelocity) {
+  Parameter p("w", Tensor::FromVector({1}, {0.0f}));
+  Sgd sgd({&p}, SgdOptions{1.0f, 0.5f, 0.0f});
+  p.grad = Tensor::FromVector({1}, {1.0f});
+  sgd.Step();  // v=1, w=-1
+  EXPECT_FLOAT_EQ(p.value.at(0), -1.0f);
+  sgd.Step();  // v=0.5*1+1=1.5, w=-2.5
+  EXPECT_FLOAT_EQ(p.value.at(0), -2.5f);
+}
+
+TEST(SgdTest, WeightDecayPullsTowardZero) {
+  Parameter p("w", Tensor::FromVector({1}, {10.0f}));
+  p.grad = Tensor::Zeros({1});
+  Sgd sgd({&p}, SgdOptions{0.1f, 0.0f, 0.5f});
+  sgd.Step();  // w -= 0.1 * (0 + 0.5*10) = 0.5
+  EXPECT_FLOAT_EQ(p.value.at(0), 9.5f);
+}
+
+TEST(SgdTest, FrozenParameterIsSkipped) {
+  Parameter p("w", Tensor::FromVector({1}, {1.0f}));
+  p.grad = Tensor::FromVector({1}, {100.0f});
+  p.trainable = false;
+  Sgd sgd({&p}, SgdOptions{0.1f, 0.9f, 1e-2f});
+  sgd.Step();
+  EXPECT_FLOAT_EQ(p.value.at(0), 1.0f);
+}
+
+TEST(SgdTest, ZeroGradClears) {
+  Parameter p("w", Tensor::FromVector({2}, {1.0f, 1.0f}));
+  p.grad.Fill(3.0f);
+  Sgd sgd({&p}, SgdOptions{});
+  sgd.ZeroGrad();
+  EXPECT_EQ(Sum(p.grad), 0.0f);
+}
+
+TEST(SgdTest, LearningRateMutable) {
+  Parameter p("w", Tensor::FromVector({1}, {0.0f}));
+  Sgd sgd({&p}, SgdOptions{0.1f, 0.0f, 0.0f});
+  sgd.set_lr(0.01f);
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.01f);
+  p.grad = Tensor::FromVector({1}, {1.0f});
+  sgd.Step();
+  EXPECT_FLOAT_EQ(p.value.at(0), -0.01f);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimize 0.5*(w - 3)^2: grad = w - 3.
+  Parameter p("w", Tensor::FromVector({1}, {0.0f}));
+  Sgd sgd({&p}, SgdOptions{0.1f, 0.9f, 0.0f});
+  for (int i = 0; i < 200; ++i) {
+    p.grad = Tensor::FromVector({1}, {p.value.at(0) - 3.0f});
+    sgd.Step();
+  }
+  EXPECT_NEAR(p.value.at(0), 3.0f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace poe

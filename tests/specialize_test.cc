@@ -1,0 +1,226 @@
+#include "distill/specialize.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "models/wrn.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace poe {
+namespace {
+
+using testutil::FastTrainOptions;
+using testutil::TinyDataConfig;
+using testutil::TinyLibraryConfig;
+using testutil::TinyOracleConfig;
+
+class SpecializeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new SyntheticDataset(GenerateSyntheticDataset(TinyDataConfig()));
+    rng_ = new Rng(123);
+    oracle_ = new Wrn(TinyOracleConfig(), *rng_);
+    TrainScratch(*oracle_, data_->train, FastTrainOptions(10));
+  }
+  static void TearDownTestSuite() {
+    delete oracle_;
+    delete rng_;
+    delete data_;
+    oracle_ = nullptr;
+    rng_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static SyntheticDataset* data_;
+  static Rng* rng_;
+  static Wrn* oracle_;
+};
+
+SyntheticDataset* SpecializeTest::data_ = nullptr;
+Rng* SpecializeTest::rng_ = nullptr;
+Wrn* SpecializeTest::oracle_ = nullptr;
+
+TEST_F(SpecializeTest, OracleLearnsAboveChance) {
+  const float acc = EvaluateAccuracy(ModelLogits(*oracle_), data_->test);
+  EXPECT_GT(acc, 0.5f);  // chance = 1/6
+}
+
+TEST_F(SpecializeTest, ScratchBeatsChanceOnPrimitiveTask) {
+  const auto& classes = data_->hierarchy.task_classes(0);
+  Dataset train = FilterClasses(data_->train, classes, true);
+  Dataset test = FilterClasses(data_->test, classes, true);
+  WrnConfig cfg = TinyLibraryConfig();
+  cfg.ks = 0.5;
+  cfg.num_classes = 2;
+  Wrn model(cfg, *rng_);
+  TrainScratch(model, train, FastTrainOptions(8));
+  EXPECT_GT(EvaluateAccuracy(ModelLogits(model), test), 0.6f);
+}
+
+TEST_F(SpecializeTest, StandardKdTransfersGenericKnowledge) {
+  WrnConfig cfg = TinyLibraryConfig();
+  Wrn student(cfg, *rng_);
+  const float before = EvaluateAccuracy(ModelLogits(student), data_->test);
+  TrainStandardKd(ModelLogits(*oracle_), student, data_->train,
+                  FastTrainOptions(8));
+  const float after = EvaluateAccuracy(ModelLogits(student), data_->test);
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.4f);
+}
+
+TEST_F(SpecializeTest, TransferFreezesLibraryBitExact) {
+  // Train a library student then freeze it for transfer.
+  WrnConfig cfg = TinyLibraryConfig();
+  Wrn student(cfg, *rng_);
+  TrainStandardKd(ModelLogits(*oracle_), student, data_->train,
+                  FastTrainOptions(4));
+  Sequential& library = *student.library_part();
+  library.SetTrainable(false);
+
+  // Snapshot library weights and BN stats.
+  std::vector<Tensor> before;
+  for (Parameter* p : library.Parameters()) before.push_back(p->value.Clone());
+  std::vector<Tensor*> buffers;
+  library.CollectBuffers(&buffers);
+  for (Tensor* b : buffers) before.push_back(b->Clone());
+
+  const auto& classes = data_->hierarchy.task_classes(1);
+  Dataset train = FilterClasses(data_->train, classes, true);
+  WrnConfig ecfg = cfg;
+  ecfg.ks = 0.5;
+  ecfg.num_classes = 2;
+  auto head = BuildExpertPart(ecfg, cfg.conv3_channels(), *rng_);
+  TrainTransfer(library, *head, train, FastTrainOptions(4));
+
+  // Library must be bit-identical after training the head.
+  size_t i = 0;
+  for (Parameter* p : library.Parameters()) {
+    EXPECT_EQ(MaxAbsDiff(p->value, before[i++]), 0.0f);
+  }
+  for (Tensor* b : buffers) {
+    EXPECT_EQ(MaxAbsDiff(*b, before[i++]), 0.0f);
+  }
+}
+
+TEST_F(SpecializeTest, CkdExpertLearnsTask) {
+  WrnConfig cfg = TinyLibraryConfig();
+  Wrn student(cfg, *rng_);
+  TrainStandardKd(ModelLogits(*oracle_), student, data_->train,
+                  FastTrainOptions(6));
+  Sequential& library = *student.library_part();
+
+  const auto& classes = data_->hierarchy.task_classes(2);
+  Dataset test = FilterClasses(data_->test, classes, true);
+  WrnConfig ecfg = cfg;
+  ecfg.ks = 0.5;
+  ecfg.num_classes = 2;
+  auto head = BuildExpertPart(ecfg, cfg.conv3_channels(), *rng_);
+  TrainCkdExpert(ModelLogits(*oracle_), library, *head, data_->train,
+                 classes, FastTrainOptions(8), CkdOptions{});
+  const float acc =
+      EvaluateAccuracy(LibraryHeadLogits(library, *head), test);
+  EXPECT_GT(acc, 0.6f);
+}
+
+TEST_F(SpecializeTest, CkdWithTablesMatchesDirectPath) {
+  WrnConfig cfg = TinyLibraryConfig();
+  Wrn student(cfg, *rng_);
+  TrainStandardKd(ModelLogits(*oracle_), student, data_->train,
+                  FastTrainOptions(2));
+  Sequential& library = *student.library_part();
+  const auto& classes = data_->hierarchy.task_classes(0);
+
+  WrnConfig ecfg = cfg;
+  ecfg.ks = 0.5;
+  ecfg.num_classes = 2;
+  Rng rng_a(42), rng_b(42);
+  auto head_a = BuildExpertPart(ecfg, cfg.conv3_channels(), rng_a);
+  auto head_b = BuildExpertPart(ecfg, cfg.conv3_channels(), rng_b);
+
+  TrainOptions opts = FastTrainOptions(2);
+  TrainCkdExpert(ModelLogits(*oracle_), library, *head_a, data_->train,
+                 classes, opts, CkdOptions{});
+  CkdTables tables =
+      PrecomputeCkdTables(ModelLogits(*oracle_), library, data_->train);
+  TrainCkdExpertWithTables(tables, *head_b, data_->train, classes, opts,
+                           CkdOptions{});
+
+  // Identical seeds and identical teacher tables => identical weights.
+  auto pa = head_a->Parameters();
+  auto pb = head_b->Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(MaxAbsDiff(pa[i]->value, pb[i]->value), 1e-6f);
+  }
+}
+
+TEST_F(SpecializeTest, CkdAblationFlagsChangeTraining) {
+  WrnConfig cfg = TinyLibraryConfig();
+  Wrn student(cfg, *rng_);
+  TrainStandardKd(ModelLogits(*oracle_), student, data_->train,
+                  FastTrainOptions(2));
+  Sequential& library = *student.library_part();
+  const auto& classes = data_->hierarchy.task_classes(0);
+  WrnConfig ecfg = cfg;
+  ecfg.ks = 0.5;
+  ecfg.num_classes = 2;
+
+  CkdOptions soft_only;
+  soft_only.use_scale = false;
+  CkdOptions scale_only;
+  scale_only.use_soft = false;
+
+  Rng ra(9), rb(9);
+  auto head_soft = BuildExpertPart(ecfg, cfg.conv3_channels(), ra);
+  auto head_scale = BuildExpertPart(ecfg, cfg.conv3_channels(), rb);
+  TrainOptions opts = FastTrainOptions(2);
+  TrainCkdExpert(ModelLogits(*oracle_), library, *head_soft, data_->train,
+                 classes, opts, soft_only);
+  TrainCkdExpert(ModelLogits(*oracle_), library, *head_scale, data_->train,
+                 classes, opts, scale_only);
+  // Different losses must produce different weights from the same init.
+  EXPECT_GT(MaxAbsDiff(head_soft->Parameters()[0]->value,
+                       head_scale->Parameters()[0]->value),
+            1e-6f);
+}
+
+TEST_F(SpecializeTest, CkdScaleTermShrinksLogitGap) {
+  // With L_scale, expert logits should be closer (L1) to the oracle's
+  // sub-logits than without it.
+  WrnConfig cfg = TinyLibraryConfig();
+  Wrn student(cfg, *rng_);
+  TrainStandardKd(ModelLogits(*oracle_), student, data_->train,
+                  FastTrainOptions(4));
+  Sequential& library = *student.library_part();
+  const auto& classes = data_->hierarchy.task_classes(1);
+  WrnConfig ecfg = cfg;
+  ecfg.ks = 0.5;
+  ecfg.num_classes = 2;
+
+  CkdOptions with_scale;  // defaults: both terms
+  CkdOptions without_scale;
+  without_scale.use_scale = false;
+
+  Rng ra(10), rb(10);
+  auto head_with = BuildExpertPart(ecfg, cfg.conv3_channels(), ra);
+  auto head_without = BuildExpertPart(ecfg, cfg.conv3_channels(), rb);
+  TrainOptions opts = FastTrainOptions(8);
+  TrainCkdExpert(ModelLogits(*oracle_), library, *head_with, data_->train,
+                 classes, opts, with_scale);
+  TrainCkdExpert(ModelLogits(*oracle_), library, *head_without,
+                 data_->train, classes, opts, without_scale);
+
+  // Compare L1 gap to oracle sub-logits on test data.
+  Dataset test_all = data_->test;
+  Tensor t = GatherColumns(ModelLogits(*oracle_)(test_all.images), classes);
+  Tensor s_with =
+      LibraryHeadLogits(library, *head_with)(test_all.images);
+  Tensor s_without =
+      LibraryHeadLogits(library, *head_without)(test_all.images);
+  EXPECT_LT(L1Norm(Sub(s_with, t)), L1Norm(Sub(s_without, t)));
+}
+
+}  // namespace
+}  // namespace poe

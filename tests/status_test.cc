@@ -1,0 +1,88 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace poe {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arg");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad arg");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "CORRUPTION");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "UNIMPLEMENTED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "ALREADY_EXISTS");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+}
+
+Status Propagate(bool fail) {
+  POE_RETURN_NOT_OK(fail ? Status::NotFound("x") : Status::OK());
+  return Status::AlreadyExists("reached end");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(Propagate(true).code(), StatusCode::kNotFound);
+  EXPECT_EQ(Propagate(false).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(r.ValueOr(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string(1000, 'x'));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  POE_ASSIGN_OR_RETURN(*out, HalfOf(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseAssignOrReturn(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,116 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace poe {
+namespace {
+
+SyntheticDataConfig TinyConfig() {
+  SyntheticDataConfig cfg;
+  cfg.num_tasks = 3;
+  cfg.classes_per_task = 2;
+  cfg.height = 6;
+  cfg.width = 6;
+  cfg.train_per_class = 4;
+  cfg.test_per_class = 2;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(SyntheticTest, ShapesAndCounts) {
+  SyntheticDataset d = GenerateSyntheticDataset(TinyConfig());
+  EXPECT_EQ(d.hierarchy.num_classes(), 6);
+  EXPECT_EQ(d.train.size(), 24);
+  EXPECT_EQ(d.test.size(), 12);
+  EXPECT_EQ(d.train.images.shape(),
+            (std::vector<int64_t>{24, 3, 6, 6}));
+}
+
+TEST(SyntheticTest, LabelsCoverAllClasses) {
+  SyntheticDataset d = GenerateSyntheticDataset(TinyConfig());
+  std::vector<int> count(6, 0);
+  for (int label : d.train.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 6);
+    count[label]++;
+  }
+  for (int c = 0; c < 6; ++c) EXPECT_EQ(count[c], 4);
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  SyntheticDataset a = GenerateSyntheticDataset(TinyConfig());
+  SyntheticDataset b = GenerateSyntheticDataset(TinyConfig());
+  EXPECT_EQ(MaxAbsDiff(a.train.images, b.train.images), 0.0f);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(SyntheticTest, DifferentSeedsProduceDifferentData) {
+  SyntheticDataConfig cfg = TinyConfig();
+  SyntheticDataset a = GenerateSyntheticDataset(cfg);
+  cfg.seed += 1;
+  SyntheticDataset b = GenerateSyntheticDataset(cfg);
+  EXPECT_GT(MaxAbsDiff(a.train.images, b.train.images), 0.1f);
+}
+
+TEST(SyntheticTest, TrainAndTestSplitsDiffer) {
+  SyntheticDataset d = GenerateSyntheticDataset(TinyConfig());
+  // Same class structure but different noise/jitter draws.
+  Tensor train_head = SliceRows(d.train.images, 0, 2);
+  Tensor test_head = SliceRows(d.test.images, 0, 2);
+  EXPECT_GT(MaxAbsDiff(train_head, test_head), 0.1f);
+}
+
+// Same-class samples must be more similar than different-superclass samples
+// (after averaging out noise): this is the structure the library/experts
+// are supposed to learn.
+TEST(SyntheticTest, ClassStructureIsPresent) {
+  SyntheticDataConfig cfg = TinyConfig();
+  cfg.train_per_class = 32;
+  cfg.jitter = 0;  // disable shifts so prototype distances are clean
+  SyntheticDataset d = GenerateSyntheticDataset(cfg);
+
+  // Per-class mean images.
+  const int num_classes = cfg.num_classes();
+  const int64_t image_size = d.train.images.numel() / d.train.size();
+  std::vector<std::vector<double>> mean(
+      num_classes, std::vector<double>(image_size, 0.0));
+  std::vector<int> count(num_classes, 0);
+  for (int64_t i = 0; i < d.train.size(); ++i) {
+    const int c = d.train.labels[i];
+    count[c]++;
+    for (int64_t j = 0; j < image_size; ++j) {
+      mean[c][j] += d.train.images.at(i * image_size + j);
+    }
+  }
+  for (int c = 0; c < num_classes; ++c)
+    for (int64_t j = 0; j < image_size; ++j) mean[c][j] /= count[c];
+
+  auto dist = [&](int a, int b) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < image_size; ++j) {
+      const double diff = mean[a][j] - mean[b][j];
+      acc += diff * diff;
+    }
+    return acc;
+  };
+  // Classes 0 and 1 share superclass 0; class 2 lives in superclass 1.
+  const double same_super = dist(0, 1);
+  const double cross_super_a = dist(0, 2);
+  const double cross_super_b = dist(1, 2);
+  EXPECT_GT(cross_super_a + cross_super_b, same_super);
+}
+
+TEST(SyntheticTest, PresetConfigsAreConsistent) {
+  SyntheticDataConfig cifar = Cifar100LikeConfig();
+  EXPECT_EQ(cifar.num_classes(), 100);
+  EXPECT_EQ(cifar.num_tasks, 20);
+  SyntheticDataConfig tiny = TinyImageNetLikeConfig();
+  EXPECT_EQ(tiny.num_classes(), 200);
+}
+
+}  // namespace
+}  // namespace poe

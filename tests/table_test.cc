@@ -1,0 +1,77 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace poe {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t({"Name", "Value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAlign) {
+  TablePrinter t({"A", "B"});
+  t.AddRow({"x", "long-cell-content"});
+  t.AddRow({"longer-name", "y"});
+  const std::string s = t.ToString();
+  // Every rendered line between separators has the same length.
+  size_t line_len = 0;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t end = s.find('\n', pos);
+    if (end == std::string::npos) break;
+    const size_t len = end - pos;
+    if (line_len == 0) line_len = len;
+    EXPECT_EQ(len, line_len);
+    pos = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, SeparatorRendersAsLine) {
+  TablePrinter t({"A"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string s = t.ToString();
+  // Header sep + one mid sep + bottom sep + top = 4 separator lines.
+  size_t count = 0, pos = 0;
+  while ((pos = s.find("+--", pos)) != std::string::npos) {
+    ++count;
+    pos += 3;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(TablePrinterTest, PctFormatsFractionsAsPercent) {
+  EXPECT_EQ(TablePrinter::Pct(0.7654), "76.54");
+  EXPECT_EQ(TablePrinter::Pct(0.5, 1), "50.0");
+  EXPECT_EQ(TablePrinter::Pct(1.0, 0), "100");
+}
+
+TEST(TablePrinterTest, NumFormats) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, HumanBytes) {
+  EXPECT_EQ(TablePrinter::HumanBytes(512), "512.00B");
+  EXPECT_EQ(TablePrinter::HumanBytes(2048), "2.00KB");
+  EXPECT_EQ(TablePrinter::HumanBytes(3 * 1024 * 1024), "3.00MB");
+  EXPECT_EQ(TablePrinter::HumanBytes(int64_t{5} << 30), "5.00GB");
+}
+
+TEST(TablePrinterTest, HumanCount) {
+  EXPECT_EQ(TablePrinter::HumanCount(999), "999");
+  EXPECT_EQ(TablePrinter::HumanCount(1500), "1.50K");
+  EXPECT_EQ(TablePrinter::HumanCount(8970000), "8.97M");
+  EXPECT_EQ(TablePrinter::HumanCount(1300000000), "1.30B");
+}
+
+}  // namespace
+}  // namespace poe

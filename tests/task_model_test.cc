@@ -1,0 +1,134 @@
+#include "core/task_model.h"
+
+#include <gtest/gtest.h>
+
+#include "models/cost.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+WrnConfig LibConfig() {
+  WrnConfig cfg;
+  cfg.depth = 10;
+  cfg.kc = 1.0;
+  cfg.ks = 1.0;
+  cfg.num_classes = 6;
+  cfg.base_channels = 4;
+  return cfg;
+}
+
+TaskModel MakeModel(Rng& rng, int branches, int classes_per_branch = 2) {
+  WrnConfig lib_cfg = LibConfig();
+  auto library = BuildLibraryPart(lib_cfg, rng);
+  std::vector<TaskModel::Branch> bs;
+  int next_class = 0;
+  for (int b = 0; b < branches; ++b) {
+    TaskModel::Branch branch;
+    WrnConfig ecfg = lib_cfg;
+    ecfg.ks = 0.5;
+    ecfg.num_classes = classes_per_branch;
+    branch.head = BuildExpertPart(ecfg, lib_cfg.conv3_channels(), rng);
+    branch.config = ecfg;
+    for (int c = 0; c < classes_per_branch; ++c)
+      branch.classes.push_back(next_class++);
+    bs.push_back(std::move(branch));
+  }
+  return TaskModel(std::move(library), lib_cfg, std::move(bs));
+}
+
+TEST(TaskModelTest, LogitWidthIsSumOfBranchWidths) {
+  Rng rng(1);
+  TaskModel model = MakeModel(rng, 3);
+  Tensor x = Tensor::Randn({4, 3, 8, 8}, rng);
+  Tensor logits = model.Logits(x);
+  EXPECT_EQ(logits.dim(0), 4);
+  EXPECT_EQ(logits.dim(1), 6);
+  EXPECT_EQ(model.num_branches(), 3);
+}
+
+TEST(TaskModelTest, LogitsMatchManualBranchForward) {
+  Rng rng(2);
+  WrnConfig lib_cfg = LibConfig();
+  auto library = BuildLibraryPart(lib_cfg, rng);
+  WrnConfig ecfg = lib_cfg;
+  ecfg.ks = 0.5;
+  ecfg.num_classes = 2;
+  auto head_a = BuildExpertPart(ecfg, lib_cfg.conv3_channels(), rng);
+  auto head_b = BuildExpertPart(ecfg, lib_cfg.conv3_channels(), rng);
+
+  TaskModel model(library, lib_cfg,
+                  {TaskModel::Branch{head_a, {0, 1}, ecfg},
+                   TaskModel::Branch{head_b, {2, 3}, ecfg}});
+  Tensor x = Tensor::Randn({3, 3, 8, 8}, rng);
+  Tensor unified = model.Logits(x);
+
+  Tensor feat = library->Forward(x, false);
+  Tensor manual =
+      ConcatColumns({head_a->Forward(feat, false),
+                     head_b->Forward(feat, false)});
+  EXPECT_LT(MaxAbsDiff(unified, manual), 1e-6f);
+}
+
+TEST(TaskModelTest, GlobalClassesConcatenateBranchOrder) {
+  Rng rng(3);
+  WrnConfig lib_cfg = LibConfig();
+  auto library = BuildLibraryPart(lib_cfg, rng);
+  WrnConfig ecfg = lib_cfg;
+  ecfg.num_classes = 2;
+  auto head = BuildExpertPart(ecfg, lib_cfg.conv3_channels(), rng);
+  TaskModel model(library, lib_cfg,
+                  {TaskModel::Branch{head, {4, 5}, ecfg},
+                   TaskModel::Branch{head, {0, 1}, ecfg}});
+  EXPECT_EQ(model.global_classes(), (std::vector<int>{4, 5, 0, 1}));
+}
+
+TEST(TaskModelTest, PredictMapsToGlobalIds) {
+  Rng rng(4);
+  TaskModel model = MakeModel(rng, 2);
+  Tensor x = Tensor::Randn({5, 3, 8, 8}, rng);
+  std::vector<int> preds = model.Predict(x);
+  ASSERT_EQ(preds.size(), 5u);
+  for (int p : preds) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 4);
+  }
+}
+
+TEST(TaskModelTest, SharedLibraryIsAliasedNotCopied) {
+  Rng rng(5);
+  WrnConfig lib_cfg = LibConfig();
+  auto library = BuildLibraryPart(lib_cfg, rng);
+  WrnConfig ecfg = lib_cfg;
+  ecfg.num_classes = 2;
+  auto head = BuildExpertPart(ecfg, lib_cfg.conv3_channels(), rng);
+  TaskModel model(library, lib_cfg, {TaskModel::Branch{head, {0, 1}, ecfg}});
+  // Mutating the pool's library must change the assembled model's output.
+  Rng rng2(6);
+  Tensor x = Tensor::Randn({1, 3, 8, 8}, rng2);
+  Tensor before = model.Logits(x);
+  library->Parameters()[0]->value.Fill(0.0f);
+  Tensor after = model.Logits(x);
+  EXPECT_GT(MaxAbsDiff(before, after), 1e-6f);
+}
+
+TEST(TaskModelTest, NumParamsGrowsLinearlyWithBranches) {
+  Rng rng(7);
+  TaskModel m1 = MakeModel(rng, 1);
+  TaskModel m2 = MakeModel(rng, 2);
+  TaskModel m3 = MakeModel(rng, 3);
+  const int64_t d21 = m2.NumParams() - m1.NumParams();
+  const int64_t d32 = m3.NumParams() - m2.NumParams();
+  EXPECT_EQ(d21, d32);  // each branch adds the same parameter count
+  EXPECT_GT(d21, 0);
+}
+
+TEST(TaskModelTest, CostMatchesActualParams) {
+  Rng rng(8);
+  TaskModel model = MakeModel(rng, 3);
+  EXPECT_EQ(model.Cost(8, 8).params, model.NumParams());
+}
+
+}  // namespace
+}  // namespace poe

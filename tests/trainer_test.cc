@@ -1,0 +1,132 @@
+#include "distill/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.h"
+#include "nn/losses.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+// A linearly separable 2-class dataset.
+Dataset SeparableData() {
+  Dataset d;
+  const int n = 32;
+  d.images = Tensor({n, 2});
+  d.labels.resize(n);
+  Rng rng(1);
+  for (int i = 0; i < n; ++i) {
+    const int label = i % 2;
+    d.images.at(i * 2) = (label == 0 ? -1.0f : 1.0f) + rng.Normal(0, 0.1f);
+    d.images.at(i * 2 + 1) = rng.Normal(0, 0.1f);
+    d.labels[i] = label;
+  }
+  return d;
+}
+
+TEST(TrainerTest, LossDecreasesOnSeparableProblem) {
+  Dataset data = SeparableData();
+  Rng rng(2);
+  Linear model(2, 2, rng);
+  Sgd sgd(model.Parameters(), SgdOptions{0.5f, 0.9f, 0.0f});
+  float first_loss = -1.0f;
+  TrainOptions opts;
+  opts.epochs = 20;
+  opts.batch_size = 8;
+  auto step = [&](const Batch& batch) {
+    sgd.ZeroGrad();
+    Tensor logits = model.Forward(batch.images, true);
+    LossResult ce = SoftmaxCrossEntropy(logits, batch.labels);
+    model.Backward(ce.grad);
+    sgd.Step();
+    if (first_loss < 0) first_loss = ce.loss;
+    return ce.loss;
+  };
+  TrainResult r = RunTrainingLoop(data, opts, &sgd, step);
+  EXPECT_LT(r.final_loss, first_loss * 0.5f);
+  EXPECT_LT(r.final_loss, 0.1f);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(TrainerTest, CurveCapturedAtRequestedCadence) {
+  Dataset data = SeparableData();
+  TrainOptions opts;
+  opts.epochs = 10;
+  opts.eval_every = 3;
+  int eval_calls = 0;
+  auto step = [&](const Batch&) { return 1.0f; };
+  TrainResult r = RunTrainingLoop(data, opts, nullptr, step, [&] {
+    ++eval_calls;
+    return 0.5f;
+  });
+  // Epochs 3, 6, 9 and the final epoch 10.
+  ASSERT_EQ(r.curve.size(), 4u);
+  EXPECT_EQ(r.curve[0].epoch, 3);
+  EXPECT_EQ(r.curve[3].epoch, 10);
+  EXPECT_EQ(eval_calls, 4);
+  EXPECT_FLOAT_EQ(r.final_accuracy, 0.5f);
+  // Curve timestamps are nondecreasing.
+  for (size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GE(r.curve[i].seconds, r.curve[i - 1].seconds);
+  }
+}
+
+TEST(TrainerTest, SinglePointWhenNoCadence) {
+  Dataset data = SeparableData();
+  TrainOptions opts;
+  opts.epochs = 5;
+  auto step = [&](const Batch&) { return 2.0f; };
+  TrainResult r = RunTrainingLoop(data, opts, nullptr, step);
+  ASSERT_EQ(r.curve.size(), 1u);
+  EXPECT_EQ(r.curve[0].epoch, 5);
+  EXPECT_TRUE(std::isnan(r.curve[0].accuracy));
+}
+
+TEST(TrainerTest, LrDecayAppliedAtScheduledEpochs) {
+  Dataset data = SeparableData();
+  Rng rng(3);
+  Linear model(2, 2, rng);
+  Sgd sgd(model.Parameters(), SgdOptions{1.0f, 0.0f, 0.0f});
+  TrainOptions opts;
+  opts.epochs = 4;
+  opts.lr_decay_epochs = {1, 3};
+  opts.lr_decay_factor = 0.1f;
+  auto step = [&](const Batch&) { return 0.0f; };
+  RunTrainingLoop(data, opts, &sgd, step);
+  EXPECT_NEAR(sgd.lr(), 0.01f, 1e-6f);
+}
+
+TEST(TrainerTest, BestAccuracyTracksMaximum) {
+  Dataset data = SeparableData();
+  TrainOptions opts;
+  opts.epochs = 4;
+  opts.eval_every = 1;
+  int call = 0;
+  const float accs[] = {0.2f, 0.9f, 0.6f, 0.7f};
+  auto step = [&](const Batch&) { return 0.0f; };
+  TrainResult r =
+      RunTrainingLoop(data, opts, nullptr, step, [&] { return accs[call++]; });
+  EXPECT_FLOAT_EQ(r.best_accuracy, 0.9f);
+  EXPECT_FLOAT_EQ(r.final_accuracy, 0.7f);
+  EXPECT_LE(r.seconds_to_best, r.seconds + 1e-9);
+}
+
+TEST(TrainerTest, StepSeesEveryBatchEachEpoch) {
+  Dataset data = SeparableData();  // 32 samples
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 8;
+  int64_t samples_seen = 0;
+  auto step = [&](const Batch& b) {
+    samples_seen += b.labels.size();
+    return 0.0f;
+  };
+  RunTrainingLoop(data, opts, nullptr, step);
+  EXPECT_EQ(samples_seen, 3 * 32);
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,96 @@
+#include "core/volume.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/wrn.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+// Builds an untrained pool (volume accounting is weight-independent).
+ExpertPool MakePool(int num_tasks, int classes_per_task) {
+  WrnConfig lib_cfg;
+  lib_cfg.num_classes = num_tasks * classes_per_task;
+  lib_cfg.base_channels = 4;
+  Rng rng(1);
+  auto library = BuildLibraryPart(lib_cfg, rng);
+  std::vector<std::shared_ptr<Sequential>> experts;
+  for (int t = 0; t < num_tasks; ++t) {
+    WrnConfig ecfg = lib_cfg;
+    ecfg.ks = 0.25;
+    ecfg.num_classes = classes_per_task;
+    experts.push_back(BuildExpertPart(ecfg, lib_cfg.conv3_channels(), rng));
+  }
+  return ExpertPool(lib_cfg, 0.25,
+                    ClassHierarchy::Uniform(num_tasks, classes_per_task),
+                    std::move(library), std::move(experts));
+}
+
+TEST(VolumeTest, PoolTotalIsLibraryPlusExperts) {
+  WrnConfig oracle_cfg;
+  oracle_cfg.kc = 4;
+  oracle_cfg.ks = 4;
+  oracle_cfg.num_classes = 12;
+  oracle_cfg.base_channels = 4;
+  Rng rng(2);
+  Wrn oracle(oracle_cfg, rng);
+  ExpertPool pool = MakePool(4, 3);
+  VolumeReport r = ComputeVolumeReport(oracle, pool);
+  EXPECT_EQ(r.pool_total_bytes, r.library_bytes + r.experts_total_bytes);
+  EXPECT_EQ(r.num_primitive_tasks, 4);
+  EXPECT_GT(r.library_bytes, 0);
+  EXPECT_GT(r.avg_expert_bytes, 0);
+}
+
+TEST(VolumeTest, AllSpecializedEstimateIsTwoToTheN) {
+  WrnConfig oracle_cfg;
+  oracle_cfg.num_classes = 12;
+  oracle_cfg.base_channels = 4;
+  Rng rng(3);
+  Wrn oracle(oracle_cfg, rng);
+  for (int n : {2, 5, 10}) {
+    ExpertPool pool = MakePool(n, 2);
+    VolumeReport r = ComputeVolumeReport(oracle, pool);
+    EXPECT_DOUBLE_EQ(r.all_specialized_estimate_bytes,
+                     std::ldexp(static_cast<double>(r.avg_expert_bytes), n))
+        << "n=" << n;
+  }
+}
+
+TEST(VolumeTest, EstimateExplodesExponentially) {
+  // The paper's storage argument: 34 tasks => >= 1198 TB. Verify the
+  // growth rate on our scaled pool.
+  ExpertPool small = MakePool(4, 2);
+  ExpertPool large = MakePool(12, 2);
+  WrnConfig oracle_cfg;
+  oracle_cfg.num_classes = 8;
+  oracle_cfg.base_channels = 4;
+  Rng rng(4);
+  Wrn oracle(oracle_cfg, rng);
+  WrnConfig oracle_cfg2 = oracle_cfg;
+  oracle_cfg2.num_classes = 24;
+  Wrn oracle2(oracle_cfg2, rng);
+  const double small_est =
+      ComputeVolumeReport(oracle, small).all_specialized_estimate_bytes;
+  const double large_est =
+      ComputeVolumeReport(oracle2, large).all_specialized_estimate_bytes;
+  EXPECT_GT(large_est, 100.0 * small_est);
+}
+
+TEST(VolumeTest, ExpertsAreSmallerThanLibrary) {
+  // With ks = 0.25 the conv4 branch is tiny compared to conv1..conv3.
+  ExpertPool pool = MakePool(6, 3);
+  WrnConfig oracle_cfg;
+  oracle_cfg.num_classes = 18;
+  oracle_cfg.base_channels = 4;
+  Rng rng(5);
+  Wrn oracle(oracle_cfg, rng);
+  VolumeReport r = ComputeVolumeReport(oracle, pool);
+  EXPECT_LT(r.avg_expert_bytes, r.library_bytes);
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/serialization.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+WrnConfig SmallCfg() {
+  WrnConfig cfg;
+  cfg.kc = 1.5;
+  cfg.ks = 0.5;
+  cfg.num_classes = 7;
+  cfg.base_channels = 4;
+  return cfg;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(WrnModelFileTest, RoundTripPreservesConfigAndOutputs) {
+  Rng rng(1);
+  WrnConfig cfg = SmallCfg();
+  Wrn model(cfg, rng);
+  const std::string path = TempPath("wrn_roundtrip.wrn");
+  ASSERT_TRUE(SaveWrnModel(model, cfg, path).ok());
+
+  auto loaded = LoadWrnModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  std::shared_ptr<Wrn> copy = std::move(loaded).ValueOrDie();
+  EXPECT_DOUBLE_EQ(copy->config().kc, cfg.kc);
+  EXPECT_DOUBLE_EQ(copy->config().ks, cfg.ks);
+  EXPECT_EQ(copy->config().num_classes, cfg.num_classes);
+
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, rng);
+  EXPECT_EQ(MaxAbsDiff(model.Forward(x, false), copy->Forward(x, false)),
+            0.0f);
+}
+
+TEST(WrnModelFileTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadWrnModel(TempPath("nope.wrn")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(WrnModelFileTest, RejectsForeignMagic) {
+  const std::string path = TempPath("bad_magic.wrn");
+  std::ofstream f(path, std::ios::binary);
+  f << "POEPOOL1xxxxxxxxxxxxxxxxxxxxxxxx";  // a pool header, not a WRN
+  f.close();
+  EXPECT_EQ(LoadWrnModel(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(WrnModelFileTest, DetectsPayloadCorruption) {
+  Rng rng(2);
+  WrnConfig cfg = SmallCfg();
+  Wrn model(cfg, rng);
+  const std::string path = TempPath("corrupt.wrn");
+  ASSERT_TRUE(SaveWrnModel(model, cfg, path).ok());
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(200);
+  const char byte = 0x7f;
+  f.write(&byte, 1);
+  f.close();
+  EXPECT_EQ(LoadWrnModel(path).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace poe

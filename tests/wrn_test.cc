@@ -1,0 +1,132 @@
+#include "models/wrn.h"
+
+#include <gtest/gtest.h>
+
+#include "models/cost.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+WrnConfig SmallConfig() {
+  WrnConfig cfg;
+  cfg.depth = 10;
+  cfg.kc = 1.0;
+  cfg.ks = 1.0;
+  cfg.num_classes = 6;
+  cfg.base_channels = 4;
+  return cfg;
+}
+
+TEST(WrnConfigTest, ChannelFormulas) {
+  WrnConfig cfg = SmallConfig();
+  EXPECT_EQ(cfg.blocks_per_group(), 1);
+  EXPECT_EQ(cfg.conv1_channels(), 4);
+  EXPECT_EQ(cfg.conv2_channels(), 4);
+  EXPECT_EQ(cfg.conv3_channels(), 8);
+  EXPECT_EQ(cfg.conv4_channels(), 16);
+}
+
+TEST(WrnConfigTest, FractionalWideningRoundsAndClamps) {
+  WrnConfig cfg = SmallConfig();
+  cfg.ks = 0.25;  // 4 * 4 * 0.25 = 4
+  EXPECT_EQ(cfg.conv4_channels(), 4);
+  cfg.ks = 0.01;  // would round to 0; clamped to 1
+  EXPECT_EQ(cfg.conv4_channels(), 1);
+  cfg.kc = 2.0;
+  EXPECT_EQ(cfg.conv2_channels(), 8);
+  EXPECT_EQ(cfg.conv3_channels(), 16);
+}
+
+TEST(WrnConfigTest, ToStringMatchesPaperNotation) {
+  WrnConfig cfg = SmallConfig();
+  cfg.depth = 16;
+  cfg.kc = 1;
+  cfg.ks = 0.25;
+  EXPECT_EQ(cfg.ToString(), "WRN-16-(1, 0.25)");
+}
+
+TEST(WrnTest, ForwardShape) {
+  Rng rng(1);
+  Wrn wrn(SmallConfig(), rng);
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, rng);
+  Tensor y = wrn.Forward(x, false);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 6);
+}
+
+TEST(WrnTest, DeeperNetworkBuilds) {
+  Rng rng(1);
+  WrnConfig cfg = SmallConfig();
+  cfg.depth = 16;  // 2 blocks per group
+  Wrn wrn(cfg, rng);
+  Tensor x = Tensor::Randn({1, 3, 8, 8}, rng);
+  EXPECT_EQ(wrn.Forward(x, false).dim(1), 6);
+}
+
+TEST(WrnTest, LibraryAndExpertSplitComposes) {
+  Rng rng(2);
+  WrnConfig cfg = SmallConfig();
+  Wrn wrn(cfg, rng);
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, rng);
+  Tensor whole = wrn.Forward(x, false);
+  Tensor via_parts = wrn.expert_part()->Forward(
+      wrn.library_part()->Forward(x, false), false);
+  EXPECT_LT(MaxAbsDiff(whole, via_parts), 1e-6f);
+}
+
+TEST(WrnTest, LibraryFeatureMapShape) {
+  Rng rng(2);
+  WrnConfig cfg = SmallConfig();
+  Wrn wrn(cfg, rng);
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, rng);
+  Tensor feat = wrn.library_part()->Forward(x, false);
+  EXPECT_EQ(feat.dim(1), cfg.conv3_channels());
+  EXPECT_EQ(feat.dim(2), 4);  // one stride-2 stage inside conv3
+  EXPECT_EQ(feat.dim(3), 4);
+}
+
+TEST(WrnTest, StandaloneExpertPartMatchesEmbedded) {
+  Rng rng(3);
+  WrnConfig cfg = SmallConfig();
+  cfg.ks = 0.5;
+  cfg.num_classes = 3;
+  auto head = BuildExpertPart(cfg, cfg.conv3_channels(), rng);
+  Tensor feat = Tensor::Randn({2, cfg.conv3_channels(), 4, 4}, rng);
+  Tensor y = head->Forward(feat, false);
+  EXPECT_EQ(y.dim(1), 3);
+}
+
+TEST(WrnTest, ParamCountMatchesCostModel) {
+  Rng rng(4);
+  WrnConfig cfg = SmallConfig();
+  Wrn wrn(cfg, rng);
+  ModelCost cost = CostOfWrn(cfg, 8, 8);
+  EXPECT_EQ(wrn.NumParams(), cost.params);
+}
+
+TEST(WrnTest, PartsParamCountsMatchCostModel) {
+  Rng rng(5);
+  WrnConfig cfg = SmallConfig();
+  cfg.ks = 0.25;
+  Wrn wrn(cfg, rng);
+  int64_t h = 0, w = 0;
+  ModelCost lib = CostOfLibraryPart(cfg, 8, 8, &h, &w);
+  ModelCost exp = CostOfExpertPart(cfg, cfg.conv3_channels(), h, w);
+  EXPECT_EQ(wrn.library_part()->NumParams(), lib.params);
+  EXPECT_EQ(wrn.expert_part()->NumParams(), exp.params);
+}
+
+TEST(WrnTest, WiderModelHasMoreParams) {
+  Rng rng(6);
+  WrnConfig small = SmallConfig();
+  WrnConfig wide = small;
+  wide.kc = 2.0;
+  wide.ks = 2.0;
+  Wrn a(small, rng), b(wide, rng);
+  EXPECT_GT(b.NumParams(), 3 * a.NumParams());
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,199 @@
+// poectl: command-line front-end for building, inspecting, and querying
+// expert pools.
+//
+//   poectl build <pool.poe> [tasks] [classes_per_task] [epochs]
+//       Generates a synthetic benchmark, trains an oracle, runs the PoE
+//       preprocessing phase, and saves the pool.
+//   poectl info <pool.poe>
+//       Prints the pool's architecture, hierarchy, and storage volumes.
+//   poectl query <pool.poe> <task,task,...>
+//       Assembles the task-specific model and reports its size/latency.
+//   poectl bench <pool.poe> [num_queries]
+//       Measures service-phase latency over random composite queries.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/expert_pool.h"
+#include "core/query_service.h"
+#include "core/serialization.h"
+#include "data/synthetic.h"
+#include "distill/specialize.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "models/cost.h"
+#include "util/stopwatch.h"
+
+namespace poe {
+namespace {
+
+std::vector<int> ParseTaskList(const std::string& arg) {
+  std::vector<int> tasks;
+  std::string current;
+  for (char c : arg + ",") {
+    if (c == ',') {
+      if (!current.empty()) tasks.push_back(std::atoi(current.c_str()));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  return tasks;
+}
+
+int CmdBuild(int argc, char** argv) {
+  const std::string path = argv[2];
+  const int tasks = argc > 3 ? std::atoi(argv[3]) : 8;
+  const int classes = argc > 4 ? std::atoi(argv[4]) : 4;
+  const int epochs = argc > 5 ? std::atoi(argv[5]) : 10;
+
+  SyntheticDataConfig dc;
+  dc.num_tasks = tasks;
+  dc.classes_per_task = classes;
+  dc.train_per_class = 20;
+  dc.test_per_class = 8;
+  dc.noise = 0.9f;
+  SyntheticDataset data = GenerateSyntheticDataset(dc);
+  std::printf("dataset: %d tasks x %d classes\n", tasks, classes);
+
+  Rng rng(1);
+  WrnConfig oracle_cfg;
+  oracle_cfg.kc = 2.0;
+  oracle_cfg.ks = 2.0;
+  oracle_cfg.num_classes = dc.num_classes();
+  Wrn oracle(oracle_cfg, rng);
+  TrainOptions opts;
+  opts.epochs = epochs;
+  opts.lr = 0.08f;
+  std::printf("training oracle %s (%d epochs)...\n",
+              oracle_cfg.ToString().c_str(), epochs);
+  Stopwatch sw;
+  TrainScratch(oracle, data.train, opts);
+  std::printf("oracle trained in %.1fs, test acc %.1f%%\n",
+              sw.ElapsedSeconds(),
+              100 * EvaluateAccuracy(ModelLogits(oracle), data.test));
+
+  PoeBuildConfig build;
+  build.library_config = oracle_cfg;
+  build.library_config.kc = 1.0;
+  build.library_config.ks = 1.0;
+  build.expert_ks = 0.25;
+  build.library_options = opts;
+  build.expert_options = opts;
+  PoeBuildStats stats;
+  ExpertPool pool =
+      ExpertPool::Preprocess(ModelLogits(oracle), data, build, rng, &stats);
+  std::printf("preprocessing: library %.1fs, %d experts %.1fs\n",
+              stats.library_seconds, pool.num_experts(),
+              stats.experts_seconds);
+
+  Status s = pool.Save(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("pool written to %s\n", path.c_str());
+  return 0;
+}
+
+int CmdInfo(const std::string& path) {
+  auto loaded = ExpertPool::Load(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  ExpertPool pool = std::move(loaded).ValueOrDie();
+  std::printf("pool: %s\n", path.c_str());
+  std::printf("library: %s (%lld params, %lld bytes)\n",
+              pool.library_config().ToString().c_str(),
+              static_cast<long long>(pool.library()->NumParams()),
+              static_cast<long long>(ModuleStateBytes(*pool.library())));
+  TablePrinter table({"Expert", "Classes", "Params", "Bytes"});
+  for (int t = 0; t < pool.num_experts(); ++t) {
+    std::string classes;
+    for (int c : pool.hierarchy().task_classes(t)) {
+      classes += (classes.empty() ? "" : ",") + std::to_string(c);
+    }
+    table.AddRow({std::to_string(t), classes,
+                  std::to_string(pool.expert(t)->NumParams()),
+                  TablePrinter::HumanBytes(ModuleStateBytes(*pool.expert(t)))});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int CmdQuery(const std::string& path, const std::string& task_arg) {
+  auto loaded = ExpertPool::Load(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  ExpertPool pool = std::move(loaded).ValueOrDie();
+  std::vector<int> tasks = ParseTaskList(task_arg);
+  Stopwatch sw;
+  auto model = pool.Query(tasks);
+  const double ms = sw.ElapsedMillis();
+  if (!model.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  TaskModel m = std::move(model).ValueOrDie();
+  std::printf("assembled M(Q) in %.3fms: %d branches, %zu classes, %lld "
+              "params\n",
+              ms, m.num_branches(), m.global_classes().size(),
+              static_cast<long long>(m.NumParams()));
+  return 0;
+}
+
+int CmdBench(const std::string& path, int num_queries) {
+  auto loaded = ExpertPool::Load(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  ModelQueryService service(std::move(loaded).ValueOrDie(),
+                            /*cache_capacity=*/32);
+  const int n = service.pool().num_experts();
+  Rng rng(99);
+  for (int q = 0; q < num_queries; ++q) {
+    const int nq = 1 + static_cast<int>(rng.NextInt(std::min(4, n)));
+    std::vector<int> all(n);
+    for (int i = 0; i < n; ++i) all[i] = i;
+    rng.Shuffle(all);
+    service.Query(std::vector<int>(all.begin(), all.begin() + nq));
+  }
+  QueryStats stats = service.stats();
+  std::printf("%lld queries: avg %.3fms, max %.3fms, cache hits %lld\n",
+              static_cast<long long>(stats.num_queries), stats.avg_ms(),
+              stats.max_ms, static_cast<long long>(stats.cache_hits));
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  poectl build <pool.poe> [tasks] [classes] [epochs]\n"
+               "  poectl info  <pool.poe>\n"
+               "  poectl query <pool.poe> <task,task,...>\n"
+               "  poectl bench <pool.poe> [num_queries]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "build") return CmdBuild(argc, argv);
+  if (cmd == "info") return CmdInfo(argv[2]);
+  if (cmd == "query" && argc >= 4) return CmdQuery(argv[2], argv[3]);
+  if (cmd == "bench") {
+    return CmdBench(argv[2], argc > 3 ? std::atoi(argv[3]) : 100);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace poe
+
+int main(int argc, char** argv) { return poe::Main(argc, argv); }
