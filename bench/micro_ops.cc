@@ -22,20 +22,57 @@ void BM_Gemm(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(GemmKernelName());
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
 
 void BM_Conv2dForward(benchmark::State& state) {
   const int64_t channels = state.range(0);
+  const int64_t batch = 32, hw = 8, kernel = 3;
   Rng rng(2);
-  Conv2d conv(channels, channels, 3, 1, 1, rng);
-  Tensor x = Tensor::Randn({32, channels, 8, 8}, rng);
+  Conv2d conv(channels, channels, kernel, 1, 1, rng);
+  Tensor x = Tensor::Randn({batch, channels, hw, hw}, rng);
   for (auto _ : state) {
     Tensor y = conv.Forward(x, false);
     benchmark::DoNotOptimize(y.data());
   }
+  state.SetItemsProcessed(state.iterations() * batch * channels * channels *
+                          kernel * kernel * hw * hw * 2);
 }
 BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(32)->Arg(64);
+
+// WRN-shaped inference convolutions (CIFAR-style 32x32 inputs, batch 8):
+// args are {in_channels, out_channels, spatial, stride, kernel}. The cases
+// mirror the oracle WRN-40-(4,4) trunk: the stem, one 3x3 from each
+// resolution group, a strided group transition, and the 1x1 projection
+// (which exercises the no-im2col pointwise fast path).
+void BM_ConvWrn(benchmark::State& state) {
+  const int64_t in_c = state.range(0);
+  const int64_t out_c = state.range(1);
+  const int64_t hw = state.range(2);
+  const int64_t stride = state.range(3);
+  const int64_t kernel = state.range(4);
+  const int64_t pad = kernel / 2;
+  const int64_t batch = 8;
+  Rng rng(7);
+  Conv2d conv(in_c, out_c, kernel, stride, pad, rng);
+  Tensor x = Tensor::Randn({batch, in_c, hw, hw}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  const int64_t out_hw = (hw + 2 * pad - kernel) / stride + 1;
+  state.SetItemsProcessed(state.iterations() * batch * out_c * out_hw *
+                          out_hw * in_c * kernel * kernel * 2);
+}
+BENCHMARK(BM_ConvWrn)
+    ->Args({3, 16, 32, 1, 3})     // stem
+    ->Args({64, 64, 32, 1, 3})    // conv2 group body
+    ->Args({64, 128, 32, 2, 3})   // conv3 transition (32x32 in -> 16x16)
+    ->Args({128, 128, 16, 1, 3})  // conv3 group body
+    ->Args({128, 256, 16, 2, 3})  // conv4 transition (16x16 in -> 8x8)
+    ->Args({256, 256, 8, 1, 3})   // conv4 group body
+    ->Args({256, 256, 8, 1, 1});  // 1x1 pointwise fast path
 
 void BM_Conv2dBackward(benchmark::State& state) {
   const int64_t channels = state.range(0);

@@ -19,9 +19,14 @@ BasicBlock::BasicBlock(int64_t in_channels, int64_t out_channels,
 }
 
 Tensor BasicBlock::Forward(const Tensor& input, bool training) {
-  Tensor a = relu1_.Forward(bn1_.Forward(input, training), training);
+  // Inference uses the fused BN+ReLU epilogue (one pass instead of two);
+  // training keeps the separate modules so their backward caches fill.
+  Tensor a = training
+                 ? relu1_.Forward(bn1_.Forward(input, true), true)
+                 : bn1_.ForwardFusedRelu(input);
   Tensor h = conv1_.Forward(a, training);
-  h = relu2_.Forward(bn2_.Forward(h, training), training);
+  h = training ? relu2_.Forward(bn2_.Forward(h, true), true)
+               : bn2_.ForwardFusedRelu(h);
   h = conv2_.Forward(h, training);
   Tensor shortcut =
       projection_ ? projection_->Forward(a, training) : input;

@@ -1,5 +1,6 @@
 #include "nn/batchnorm.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace poe {
@@ -66,20 +67,45 @@ Tensor BatchNorm2d::Forward(const Tensor& input, bool training) {
       }
     }
   } else {
-    const float* rm = running_mean_.data();
-    const float* rv = running_var_.data();
-    for (int64_t c = 0; c < channels_; ++c) {
-      const float inv_std = 1.0f / std::sqrt(rv[c] + eps_);
-      const float scale = g[c] * inv_std;
-      const float shift = b[c] - scale * rm[c];
-      for (int64_t bi = 0; bi < batch; ++bi) {
-        const float* p = in + (bi * channels_ + c) * hw;
-        float* op = out + (bi * channels_ + c) * hw;
+    InferenceNormalize(input, &output, /*relu=*/false);
+  }
+  return output;
+}
+
+Tensor BatchNorm2d::ForwardFusedRelu(const Tensor& input) {
+  Tensor output(input.shape());
+  InferenceNormalize(input, &output, /*relu=*/true);
+  return output;
+}
+
+void BatchNorm2d::InferenceNormalize(const Tensor& input, Tensor* output,
+                                     bool relu) {
+  POE_CHECK_EQ(input.ndim(), 4);
+  POE_CHECK_EQ(input.dim(1), channels_);
+  const int64_t batch = input.dim(0);
+  const int64_t hw = input.dim(2) * input.dim(3);
+
+  const float* in = input.data();
+  float* out = output->data();
+  const float* g = gamma_.value.data();
+  const float* b = beta_.value.data();
+  const float* rm = running_mean_.data();
+  const float* rv = running_var_.data();
+  for (int64_t c = 0; c < channels_; ++c) {
+    const float inv_std = 1.0f / std::sqrt(rv[c] + eps_);
+    const float scale = g[c] * inv_std;
+    const float shift = b[c] - scale * rm[c];
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      const float* p = in + (bi * channels_ + c) * hw;
+      float* op = out + (bi * channels_ + c) * hw;
+      if (relu) {
+        for (int64_t i = 0; i < hw; ++i)
+          op[i] = std::max(0.0f, scale * p[i] + shift);
+      } else {
         for (int64_t i = 0; i < hw; ++i) op[i] = scale * p[i] + shift;
       }
     }
   }
-  return output;
 }
 
 Tensor BatchNorm2d::Backward(const Tensor& grad_output) {

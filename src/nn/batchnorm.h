@@ -21,6 +21,9 @@ class BatchNorm2d : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   void CollectBuffers(std::vector<Tensor*>* out) override;
+  bool CanFuseRelu() const override { return true; }
+  /// Inference normalize with max(0, scale*x + shift) in one pass.
+  Tensor ForwardFusedRelu(const Tensor& input) override;
   std::string Name() const override { return "BatchNorm2d"; }
 
   int64_t channels() const { return channels_; }
@@ -31,6 +34,10 @@ class BatchNorm2d : public Module {
   Tensor& running_var() { return running_var_; }
 
  private:
+  // Shared inference path: out = scale*x + shift from running stats, with
+  // optional fused ReLU.
+  void InferenceNormalize(const Tensor& input, Tensor* output, bool relu);
+
   int64_t channels_;
   float eps_, momentum_;
   Parameter gamma_;

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "nn/init.h"
+#include "tensor/arena.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "util/parallel_for.h"
@@ -27,6 +28,15 @@ Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
 }
 
 Tensor Conv2d::Forward(const Tensor& input, bool training) {
+  return ForwardImpl(input, training, /*fuse_relu=*/false);
+}
+
+Tensor Conv2d::ForwardFusedRelu(const Tensor& input) {
+  return ForwardImpl(input, /*training=*/false, /*fuse_relu=*/true);
+}
+
+Tensor Conv2d::ForwardImpl(const Tensor& input, bool training,
+                           bool fuse_relu) {
   POE_CHECK_EQ(input.ndim(), 4);
   POE_CHECK_EQ(input.dim(1), in_channels_);
   const int64_t batch = input.dim(0);
@@ -44,26 +54,43 @@ Tensor Conv2d::Forward(const Tensor& input, bool training) {
   const float* in = input.data();
   float* out = output.data();
 
-  ParallelFor(
-      batch,
-      [&](int64_t begin, int64_t end) {
-        std::vector<float> cols(ckk * ohw);
-        for (int64_t b = begin; b < end; ++b) {
-          Im2Col(in + b * in_channels_ * h * w, in_channels_, h, w, kernel_,
-                 kernel_, pad_, stride_, cols.data());
-          float* out_b = out + b * out_channels_ * ohw;
-          GemmSeq(false, false, out_channels_, ohw, ckk, 1.0f, wp,
-                  cols.data(), 0.0f, out_b);
-          if (has_bias_) {
-            const float* bp = bias_.value.data();
-            for (int64_t oc = 0; oc < out_channels_; ++oc) {
-              float* row = out_b + oc * ohw;
-              for (int64_t i = 0; i < ohw; ++i) row[i] += bp[oc];
-            }
-          }
-        }
-      },
-      /*min_chunk=*/1);
+  GemmEpilogue ep;
+  ep.row_bias = has_bias_ ? bias_.value.data() : nullptr;
+  ep.relu = fuse_relu;
+
+  // 1x1/stride-1 convolution is a plain channel-mixing GEMM: the im2col
+  // matrix would be the image itself, so skip the unfold entirely.
+  const bool pointwise = kernel_ == 1 && stride_ == 1 && pad_ == 0;
+
+  // The pool is not reentrant, so only one level parallelizes: hand it to
+  // the GEMM's macro-tile loop only when that loop both offers more
+  // parallelism than the batch dimension does (the realtime query path is
+  // batch 1) and the batch can't fill the workers by itself.
+  const bool gemm_parallel = batch < NumThreads() &&
+                             GemmParallelTiles(out_channels_, ohw) > batch;
+
+  auto run_range = [&](int64_t begin, int64_t end) {
+    ScratchScope scope;
+    float* cols = pointwise ? nullptr : scope.Alloc(ckk * ohw);
+    for (int64_t b = begin; b < end; ++b) {
+      const float* in_b = in + b * in_channels_ * h * w;
+      float* out_b = out + b * out_channels_ * ohw;
+      if (pointwise) {
+        GemmEx(false, false, out_channels_, ohw, ckk, 1.0f, wp, in_b, 0.0f,
+               out_b, ep, gemm_parallel);
+      } else {
+        Im2Col(in_b, in_channels_, h, w, kernel_, kernel_, pad_, stride_,
+               cols);
+        GemmEx(false, false, out_channels_, ohw, ckk, 1.0f, wp, cols, 0.0f,
+               out_b, ep, gemm_parallel);
+      }
+    }
+  };
+  if (gemm_parallel) {
+    run_range(0, batch);
+  } else {
+    ParallelFor(batch, run_range, /*min_chunk=*/1);
+  }
 
   if (training) {
     cached_input_ = input;
@@ -95,23 +122,29 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
   ParallelFor(
       batch,
       [&](int64_t begin, int64_t end) {
-        std::vector<float> cols(ckk * ohw);
-        std::vector<float> dcols(ckk * ohw);
-        std::vector<float> dw_local(out_channels_ * ckk, 0.0f);
-        std::vector<float> db_local(has_bias_ ? out_channels_ : 0, 0.0f);
+        ScratchScope scope;
+        float* cols = scope.Alloc(ckk * ohw);
+        float* dcols = scope.Alloc(ckk * ohw);
+        float* dw_local = scope.Alloc(out_channels_ * ckk);
+        std::fill(dw_local, dw_local + out_channels_ * ckk, 0.0f);
+        float* db_local = nullptr;
+        if (has_bias_) {
+          db_local = scope.Alloc(out_channels_);
+          std::fill(db_local, db_local + out_channels_, 0.0f);
+        }
         for (int64_t b = begin; b < end; ++b) {
           const float* gout_b = gout + b * out_channels_ * ohw;
           // Recompute the unfolding (cheaper than caching it per batch).
           Im2Col(in + b * in_channels_ * h * w, in_channels_, h, w, kernel_,
-                 kernel_, pad_, stride_, cols.data());
+                 kernel_, pad_, stride_, cols);
           // dW += dY_b (out_c x ohw) * cols_b^T (ohw x ckk).
-          GemmSeq(false, true, out_channels_, ckk, ohw, 1.0f, gout_b,
-                  cols.data(), 1.0f, dw_local.data());
+          GemmSeq(false, true, out_channels_, ckk, ohw, 1.0f, gout_b, cols,
+                  1.0f, dw_local);
           // dcols = W^T (ckk x out_c) * dY_b (out_c x ohw).
           GemmSeq(true, false, ckk, ohw, out_channels_, 1.0f, wp, gout_b,
-                  0.0f, dcols.data());
-          Col2Im(dcols.data(), in_channels_, h, w, kernel_, kernel_, pad_,
-                 stride_, gin + b * in_channels_ * h * w);
+                  0.0f, dcols);
+          Col2Im(dcols, in_channels_, h, w, kernel_, kernel_, pad_, stride_,
+                 gin + b * in_channels_ * h * w);
           if (has_bias_) {
             for (int64_t oc = 0; oc < out_channels_; ++oc) {
               const float* row = gout_b + oc * ohw;
@@ -123,7 +156,7 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
         }
         std::lock_guard<std::mutex> lock(dw_mutex);
         float* dw = weight_.grad.data();
-        for (size_t i = 0; i < dw_local.size(); ++i) dw[i] += dw_local[i];
+        for (int64_t i = 0; i < out_channels_ * ckk; ++i) dw[i] += dw_local[i];
         if (has_bias_) {
           float* db = bias_.grad.data();
           for (int64_t oc = 0; oc < out_channels_; ++oc)

@@ -16,6 +16,11 @@ namespace poe {
 /// Weight shape: [out_channels, in_channels * kernel * kernel] (the im2col
 /// GEMM layout). Bias is optional and off by default, matching WRN blocks
 /// where batch-norm absorbs the bias.
+///
+/// Steady-state Forward makes no scratch allocations: im2col buffers come
+/// from the per-thread arena, 1x1/stride-1 convolutions skip im2col
+/// entirely, and bias (+ fused ReLU at inference) is applied by the GEMM
+/// epilogue instead of a second pass over the output.
 class Conv2d : public Module {
  public:
   Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
@@ -24,6 +29,8 @@ class Conv2d : public Module {
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
+  bool CanFuseRelu() const override { return true; }
+  Tensor ForwardFusedRelu(const Tensor& input) override;
   std::string Name() const override { return "Conv2d"; }
 
   int64_t in_channels() const { return in_channels_; }
@@ -37,6 +44,8 @@ class Conv2d : public Module {
   Parameter& bias() { return bias_; }
 
  private:
+  Tensor ForwardImpl(const Tensor& input, bool training, bool fuse_relu);
+
   int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
   bool has_bias_;
   Parameter weight_;

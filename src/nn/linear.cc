@@ -18,20 +18,25 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
 }
 
 Tensor Linear::Forward(const Tensor& input, bool training) {
+  return ForwardImpl(input, training, /*fuse_relu=*/false);
+}
+
+Tensor Linear::ForwardFusedRelu(const Tensor& input) {
+  return ForwardImpl(input, /*training=*/false, /*fuse_relu=*/true);
+}
+
+Tensor Linear::ForwardImpl(const Tensor& input, bool training,
+                           bool fuse_relu) {
   POE_CHECK_EQ(input.ndim(), 2);
   POE_CHECK_EQ(input.dim(1), in_features_);
   const int64_t batch = input.dim(0);
   Tensor output({batch, out_features_});
-  // y = x (batch x in) * W^T (in x out).
-  Gemm(false, true, batch, out_features_, in_features_, 1.0f, input.data(),
-       weight_.value.data(), 0.0f, output.data());
-  if (has_bias_) {
-    const float* bp = bias_.value.data();
-    float* out = output.data();
-    for (int64_t b = 0; b < batch; ++b)
-      for (int64_t j = 0; j < out_features_; ++j)
-        out[b * out_features_ + j] += bp[j];
-  }
+  GemmEpilogue ep;
+  ep.col_bias = has_bias_ ? bias_.value.data() : nullptr;
+  ep.relu = fuse_relu;
+  // y = x (batch x in) * W^T (in x out), bias/ReLU fused into the store.
+  GemmEx(false, true, batch, out_features_, in_features_, 1.0f, input.data(),
+         weight_.value.data(), 0.0f, output.data(), ep, /*parallel=*/true);
   if (training) cached_input_ = input;
   return output;
 }

@@ -20,6 +20,8 @@ class Linear : public Module {
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
+  bool CanFuseRelu() const override { return true; }
+  Tensor ForwardFusedRelu(const Tensor& input) override;
   std::string Name() const override { return "Linear"; }
 
   int64_t in_features() const { return in_features_; }
@@ -29,6 +31,8 @@ class Linear : public Module {
   bool has_bias() const { return has_bias_; }
 
  private:
+  Tensor ForwardImpl(const Tensor& input, bool training, bool fuse_relu);
+
   int64_t in_features_, out_features_;
   bool has_bias_;
   Parameter weight_;

@@ -1,6 +1,19 @@
 #include "nn/module.h"
 
+#include <algorithm>
+
 namespace poe {
+
+Tensor Module::ForwardFusedRelu(const Tensor& input) {
+  Tensor out = Forward(input, /*training=*/false);
+  // Pass-through modules (e.g. reshapes) may return a view of the input;
+  // clamping that in place would corrupt the caller's tensor.
+  if (out.SharesStorageWith(input)) out = out.Clone();
+  float* p = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = std::max(0.0f, p[i]);
+  return out;
+}
 
 std::vector<Parameter*> Module::Parameters() {
   std::vector<Parameter*> out;

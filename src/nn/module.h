@@ -42,6 +42,17 @@ class Module {
   /// running statistics). Containers recurse; leaves default to none.
   virtual void CollectBuffers(std::vector<Tensor*>* /*out*/) {}
 
+  /// True when the module can fold a trailing ReLU into its inference
+  /// forward pass (its output-writing epilogue). Sequential uses this to
+  /// collapse `X -> ReLU` pairs into one pass at inference.
+  virtual bool CanFuseRelu() const { return false; }
+
+  /// Inference-only forward with ReLU fused into the output write. The
+  /// base implementation falls back to Forward + an in-place clamp, so it
+  /// is always safe to call; layers with CanFuseRelu() avoid the extra
+  /// pass over the output.
+  virtual Tensor ForwardFusedRelu(const Tensor& input);
+
   /// Layer type name for debugging/serialization ("Conv2d", ...).
   virtual std::string Name() const = 0;
 

@@ -1,5 +1,7 @@
 #include "nn/sequential.h"
 
+#include "nn/activations.h"
+
 namespace poe {
 
 Module* Sequential::Add(ModulePtr module) {
@@ -10,7 +12,17 @@ Module* Sequential::Add(ModulePtr module) {
 
 Tensor Sequential::Forward(const Tensor& input, bool training) {
   Tensor x = input;
-  for (auto& m : modules_) x = m->Forward(x, training);
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    // At inference, collapse `X -> ReLU` into X's fused epilogue so the
+    // activation costs no extra pass over the tensor.
+    if (!training && i + 1 < modules_.size() && modules_[i]->CanFuseRelu() &&
+        dynamic_cast<const ReLU*>(modules_[i + 1].get()) != nullptr) {
+      x = modules_[i]->ForwardFusedRelu(x);
+      ++i;
+      continue;
+    }
+    x = modules_[i]->Forward(x, training);
+  }
   return x;
 }
 

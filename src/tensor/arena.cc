@@ -1,0 +1,43 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace poe {
+
+float* ScratchArena::Alloc(int64_t n) {
+  POE_CHECK_GE(n, 0);
+  // Round up so consecutive buffers keep 64-byte-multiple spacing (block
+  // bases themselves are only operator-new aligned; all SIMD consumers
+  // use unaligned loads).
+  n = (n + 15) & ~int64_t{15};
+  if (n == 0) n = 16;
+  while (current_ < static_cast<int64_t>(blocks_.size())) {
+    Block& b = blocks_[current_];
+    if (b.size - offset_ >= n) {
+      float* p = b.data.get() + offset_;
+      offset_ += n;
+      return p;
+    }
+    // Leave the block's tail unused; move on. The walk order is
+    // deterministic, so a warmed-up arena replays the same placements.
+    ++current_;
+    offset_ = 0;
+  }
+  Block b;
+  b.size = std::max(n, kMinBlockFloats);
+  b.data = std::make_unique<float[]>(b.size);
+  capacity_ += b.size;
+  blocks_.push_back(std::move(b));
+  current_ = static_cast<int64_t>(blocks_.size()) - 1;
+  offset_ = n;
+  return blocks_.back().data.get();
+}
+
+ScratchArena& ScratchArena::ThreadLocal() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace poe

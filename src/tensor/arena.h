@@ -1,0 +1,83 @@
+// Per-thread bump-allocated scratch memory for hot-path temporaries.
+#ifndef POE_TENSOR_ARENA_H_
+#define POE_TENSOR_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace poe {
+
+/// A chunked bump allocator for float scratch buffers (im2col columns, GEMM
+/// packing panels, per-thread gradient accumulators).
+///
+/// Memory is carved out of a list of fixed blocks that are never freed or
+/// reallocated while the arena lives, so pointers returned by Alloc stay
+/// valid until the enclosing ScratchScope is destroyed — including across
+/// nested allocations that force the arena to grow a new block. After a
+/// warmup pass has sized the block list, steady-state Alloc/Reset cycles
+/// perform zero heap allocations.
+///
+/// Not thread-safe; use ThreadLocal() to get this thread's instance.
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Returns an uninitialized buffer of `n` floats, valid until the
+  /// enclosing scope rewinds past it.
+  float* Alloc(int64_t n);
+
+  /// This thread's arena (created on first use).
+  static ScratchArena& ThreadLocal();
+
+  /// Total floats reserved across all blocks.
+  int64_t capacity() const { return capacity_; }
+  /// Number of backing blocks (stable once warmed up).
+  int64_t num_blocks() const { return static_cast<int64_t>(blocks_.size()); }
+
+ private:
+  friend class ScratchScope;
+
+  struct Block {
+    std::unique_ptr<float[]> data;
+    int64_t size = 0;
+  };
+
+  // Minimum block size: 1 MiB of floats, so small allocations coalesce.
+  static constexpr int64_t kMinBlockFloats = 1 << 18;
+
+  std::vector<Block> blocks_;
+  int64_t current_ = 0;   // block being bumped
+  int64_t offset_ = 0;    // floats used in blocks_[current_]
+  int64_t capacity_ = 0;  // sum of block sizes
+};
+
+/// RAII rewind point: allocations made through the scope (or directly on the
+/// arena while the scope is alive) are released when it is destroyed.
+/// Scopes nest; destroy in LIFO order.
+class ScratchScope {
+ public:
+  explicit ScratchScope(ScratchArena& arena = ScratchArena::ThreadLocal())
+      : arena_(arena),
+        saved_current_(arena.current_),
+        saved_offset_(arena.offset_) {}
+  ~ScratchScope() {
+    arena_.current_ = saved_current_;
+    arena_.offset_ = saved_offset_;
+  }
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+  float* Alloc(int64_t n) { return arena_.Alloc(n); }
+
+ private:
+  ScratchArena& arena_;
+  int64_t saved_current_;
+  int64_t saved_offset_;
+};
+
+}  // namespace poe
+
+#endif  // POE_TENSOR_ARENA_H_

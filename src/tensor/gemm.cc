@@ -1,113 +1,300 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "tensor/arena.h"
+#include "tensor/pack.h"
 #include "util/logging.h"
 #include "util/parallel_for.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define POE_GEMM_X86 1
+#include <immintrin.h>
+#endif
 
 namespace poe {
 
 namespace {
 
-// Row kernels. All operate on one row i of C (length n).
+// Cache blocking (floats). One op(A) block (kMC x kKC, ~300 KB) lives in L2
+// while a kKC x NR slice of packed op(B) (~40 KB) streams through L1.
+constexpr int64_t kMC = 240;  // multiple of every kernel's MR (6 and 12)
+constexpr int64_t kKC = 320;
+constexpr int64_t kNC = 1024;
 
-inline void RowKernelNN(int64_t i, int64_t n, int64_t k, float alpha,
-                        const float* a, const float* b, float* c_row) {
-  const float* a_row = a + i * k;
-  for (int64_t p = 0; p < k; ++p) {
-    const float aip = alpha * a_row[p];
-    if (aip == 0.0f) continue;
-    const float* b_row = b + p * n;
-    for (int64_t j = 0; j < n; ++j) c_row[j] += aip * b_row[j];
-  }
-}
+constexpr int64_t kMaxMR = 16;
+constexpr int64_t kMaxNR = 64;
 
-inline void RowKernelNT(int64_t i, int64_t n, int64_t k, float alpha,
-                        const float* a, const float* b, float* c_row) {
-  const float* a_row = a + i * k;
-  for (int64_t j = 0; j < n; ++j) {
-    const float* b_row = b + j * k;
-    float acc = 0.0f;
-    for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-    c_row[j] += alpha * acc;
-  }
-}
+// A micro-kernel computes acc[r*nr + c] = sum_p a[p*mr + r] * b[p*nr + c]
+// over packed panels (acc is overwritten, never read). Scaling by alpha,
+// the beta-accumulate into C, and the epilogue all happen in StoreTile.
+using MicroKernelFn = void (*)(int64_t kc, const float* a, const float* b,
+                               float* acc);
 
-inline void RowKernelTN(int64_t i, int64_t m, int64_t n, int64_t k,
-                        float alpha, const float* a, const float* b,
-                        float* c_row) {
-  for (int64_t p = 0; p < k; ++p) {
-    const float aip = alpha * a[p * m + i];
-    if (aip == 0.0f) continue;
-    const float* b_row = b + p * n;
-    for (int64_t j = 0; j < n; ++j) c_row[j] += aip * b_row[j];
-  }
-}
+struct Kernel {
+  int64_t mr, nr;
+  MicroKernelFn fn;
+  const char* name;
+};
 
-inline void RowKernelTT(int64_t i, int64_t m, int64_t n, int64_t k,
-                        float alpha, const float* a, const float* b,
-                        float* c_row) {
-  for (int64_t j = 0; j < n; ++j) {
-    const float* b_row = b + j * k;
-    float acc = 0.0f;
-    for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * b_row[p];
-    c_row[j] += alpha * acc;
-  }
-}
-
-void GemmRows(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
-              float alpha, const float* a, const float* b, float beta,
-              float* c, int64_t begin, int64_t end) {
-  for (int64_t i = begin; i < end; ++i) {
-    float* c_row = c + i * n;
-    if (beta == 0.0f) {
-      std::fill(c_row, c_row + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (int64_t j = 0; j < n; ++j) c_row[j] *= beta;
+// Portable fallback: 6x16 accumulator block in plain C. The fixed trip
+// counts let the compiler unroll and vectorize for whatever the build
+// targets.
+void MicroKernel6x16Scalar(int64_t kc, const float* a, const float* b,
+                           float* acc) {
+  float c[6 * 16];
+  std::memset(c, 0, sizeof(c));
+  for (int64_t p = 0; p < kc; ++p, a += 6, b += 16) {
+    for (int r = 0; r < 6; ++r) {
+      const float av = a[r];
+      for (int j = 0; j < 16; ++j) c[r * 16 + j] += av * b[j];
     }
-    if (k == 0) continue;
-    if (!trans_a && !trans_b) {
-      RowKernelNN(i, n, k, alpha, a, b, c_row);
-    } else if (!trans_a && trans_b) {
-      RowKernelNT(i, n, k, alpha, a, b, c_row);
-    } else if (trans_a && !trans_b) {
-      RowKernelTN(i, m, n, k, alpha, a, b, c_row);
+  }
+  std::memcpy(acc, c, sizeof(c));
+}
+
+#ifdef POE_GEMM_X86
+
+// 6x16 register tile: 12 fp32x8 accumulators + 2 B vectors + 1 broadcast
+// fills 15 of the 16 ymm registers.
+__attribute__((target("avx2,fma"))) void MicroKernel6x16Avx2(
+    int64_t kc, const float* a, const float* b, float* acc) {
+  __m256 c0[6], c1[6];
+  for (int r = 0; r < 6; ++r) {
+    c0[r] = _mm256_setzero_ps();
+    c1[r] = _mm256_setzero_ps();
+  }
+  for (int64_t p = 0; p < kc; ++p, a += 6, b += 16) {
+    const __m256 b0 = _mm256_loadu_ps(b);
+    const __m256 b1 = _mm256_loadu_ps(b + 8);
+#pragma GCC unroll 6
+    for (int r = 0; r < 6; ++r) {
+      const __m256 av = _mm256_set1_ps(a[r]);
+      c0[r] = _mm256_fmadd_ps(av, b0, c0[r]);
+      c1[r] = _mm256_fmadd_ps(av, b1, c1[r]);
+    }
+  }
+  for (int r = 0; r < 6; ++r) {
+    _mm256_storeu_ps(acc + r * 16, c0[r]);
+    _mm256_storeu_ps(acc + r * 16 + 8, c1[r]);
+  }
+}
+
+// 12x32 register tile: 24 fp32x16 accumulators + 2 B vectors + broadcasts
+// fits the 32 zmm registers with room to spare.
+__attribute__((target("avx512f"))) void MicroKernel12x32Avx512(
+    int64_t kc, const float* a, const float* b, float* acc) {
+  __m512 c0[12], c1[12];
+  for (int r = 0; r < 12; ++r) {
+    c0[r] = _mm512_setzero_ps();
+    c1[r] = _mm512_setzero_ps();
+  }
+  for (int64_t p = 0; p < kc; ++p, a += 12, b += 32) {
+    const __m512 b0 = _mm512_loadu_ps(b);
+    const __m512 b1 = _mm512_loadu_ps(b + 16);
+#pragma GCC unroll 12
+    for (int r = 0; r < 12; ++r) {
+      const __m512 av = _mm512_set1_ps(a[r]);
+      c0[r] = _mm512_fmadd_ps(av, b0, c0[r]);
+      c1[r] = _mm512_fmadd_ps(av, b1, c1[r]);
+    }
+  }
+  for (int r = 0; r < 12; ++r) {
+    _mm512_storeu_ps(acc + r * 32, c0[r]);
+    _mm512_storeu_ps(acc + r * 32 + 16, c1[r]);
+  }
+}
+
+#endif  // POE_GEMM_X86
+
+const Kernel& PickKernel() {
+  static const Kernel kernel = [] {
+    // POE_GEMM_KERNEL=scalar|avx2|avx512 forces a variant (used by the
+    // test suite to cover kernels the host wouldn't otherwise pick);
+    // unsupported or unknown values fall back to auto-detection.
+    const char* env = std::getenv("POE_GEMM_KERNEL");
+    const std::string want = env ? env : "";
+    const Kernel scalar{6, 16, MicroKernel6x16Scalar, "scalar"};
+    if (want == "scalar") return scalar;
+#ifdef POE_GEMM_X86
+    const bool has_avx512 = __builtin_cpu_supports("avx512f");
+    const bool has_avx2 =
+        __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    const Kernel avx512{12, 32, MicroKernel12x32Avx512, "avx512"};
+    const Kernel avx2{6, 16, MicroKernel6x16Avx2, "avx2"};
+    if (want == "avx512" && has_avx512) return avx512;
+    if (want == "avx2" && has_avx2) return avx2;
+    if (has_avx512) return avx512;
+    if (has_avx2) return avx2;
+#endif
+    return scalar;
+  }();
+  return kernel;
+}
+
+// Writes one micro-tile of the product into C: C = blk_beta*C + alpha*acc
+// over the valid rows x cols region, plus the fused epilogue when this is
+// the final k-block.
+void StoreTile(const float* acc, int64_t nr, int64_t rows, int64_t cols,
+               float alpha, float blk_beta, bool apply_epilogue,
+               const GemmEpilogue& ep, int64_t row0, int64_t col0, float* c,
+               int64_t ldc) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* arow = acc + r * nr;
+    float* crow = c + (row0 + r) * ldc + col0;
+    if (blk_beta == 0.0f) {
+      for (int64_t j = 0; j < cols; ++j) crow[j] = alpha * arow[j];
+    } else if (blk_beta == 1.0f) {
+      for (int64_t j = 0; j < cols; ++j) crow[j] += alpha * arow[j];
     } else {
-      RowKernelTT(i, m, n, k, alpha, a, b, c_row);
+      for (int64_t j = 0; j < cols; ++j)
+        crow[j] = blk_beta * crow[j] + alpha * arow[j];
+    }
+  }
+  if (!apply_epilogue) return;
+  for (int64_t r = 0; r < rows; ++r) {
+    float* crow = c + (row0 + r) * ldc + col0;
+    const float rb = ep.row_bias ? ep.row_bias[row0 + r] : 0.0f;
+    if (ep.col_bias != nullptr) {
+      const float* cb = ep.col_bias + col0;
+      for (int64_t j = 0; j < cols; ++j) crow[j] += rb + cb[j];
+    } else if (ep.row_bias != nullptr) {
+      for (int64_t j = 0; j < cols; ++j) crow[j] += rb;
+    }
+    if (ep.relu) {
+      for (int64_t j = 0; j < cols; ++j) crow[j] = std::max(0.0f, crow[j]);
+    }
+  }
+}
+
+// Computes the C macro-tile [i0, i0+mc) x [j0, j0+nc): packs A/B blocks
+// into this thread's scratch arena and runs the micro-kernel over the
+// register-tile grid. One task owns each C tile and accumulates k-blocks
+// in a fixed order, so results are identical under any thread schedule.
+void ComputeTile(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                 float alpha, const float* a, const float* b, float beta,
+                 float* c, const GemmEpilogue& ep, const Kernel& kernel,
+                 int64_t i0, int64_t mc, int64_t j0, int64_t nc) {
+  const int64_t mr = kernel.mr;
+  const int64_t nr = kernel.nr;
+  const int64_t mc_pad = (mc + mr - 1) / mr * mr;
+  const int64_t nc_pad = (nc + nr - 1) / nr * nr;
+  const int64_t kc_max = std::min(k, kKC);
+
+  ScratchScope scope;
+  float* a_pack = scope.Alloc(mc_pad * kc_max);
+  float* b_pack = scope.Alloc(kc_max * nc_pad);
+  float acc[kMaxMR * kMaxNR];
+
+  for (int64_t pc = 0; pc < k; pc += kKC) {
+    const int64_t kc = std::min(kKC, k - pc);
+    PackA(trans_a, a, m, k, i0, mc, pc, kc, mr, a_pack);
+    PackB(trans_b, b, k, n, pc, kc, j0, nc, nr, b_pack);
+    const float blk_beta = (pc == 0) ? beta : 1.0f;
+    const bool last = pc + kc >= k;
+    for (int64_t jp = 0; jp < nc; jp += nr) {
+      const float* bp = b_pack + (jp / nr) * kc * nr;
+      const int64_t cols = std::min(nr, nc - jp);
+      for (int64_t ip = 0; ip < mc; ip += mr) {
+        kernel.fn(kc, a_pack + (ip / mr) * kc * mr, bp, acc);
+        StoreTile(acc, nr, std::min(mr, mc - ip), cols, alpha, blk_beta,
+                  last && !ep.empty(), ep, i0 + ip, j0 + jp, c, n);
+      }
+    }
+  }
+}
+
+// Degenerate k == 0 product: C = beta*C plus the epilogue.
+void ScaleOnly(int64_t m, int64_t n, float beta, float* c,
+               const GemmEpilogue& ep) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    const float rb = ep.row_bias ? ep.row_bias[i] : 0.0f;
+    if (ep.row_bias || ep.col_bias) {
+      for (int64_t j = 0; j < n; ++j)
+        crow[j] += rb + (ep.col_bias ? ep.col_bias[j] : 0.0f);
+    }
+    if (ep.relu) {
+      for (int64_t j = 0; j < n; ++j) crow[j] = std::max(0.0f, crow[j]);
     }
   }
 }
 
 }  // namespace
 
-void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
-          float alpha, const float* a, const float* b, float beta, float* c) {
+void GemmEx(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+            float alpha, const float* a, const float* b, float beta, float* c,
+            const GemmEpilogue& ep, bool parallel) {
   POE_CHECK_GE(m, 0);
   POE_CHECK_GE(n, 0);
   POE_CHECK_GE(k, 0);
   if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    ScaleOnly(m, n, beta, c, ep);
+    return;
+  }
 
-  // Aim for chunks big enough to amortize dispatch: rows are n*k flops each.
-  const int64_t flops_per_row = std::max<int64_t>(1, n * k);
-  const int64_t min_rows =
-      std::max<int64_t>(1, (1 << 15) / flops_per_row);
+  const Kernel& kernel = PickKernel();
+  const int64_t row_tiles = (m + kMC - 1) / kMC;
+  const int64_t col_tiles = (n + kNC - 1) / kNC;
+  auto tile = [&](int64_t rt, int64_t ct) {
+    const int64_t i0 = rt * kMC;
+    const int64_t j0 = ct * kNC;
+    ComputeTile(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, ep, kernel,
+                i0, std::min(kMC, m - i0), j0, std::min(kNC, n - j0));
+  };
+  if (parallel && row_tiles * col_tiles > 1) {
+    ParallelFor2D(row_tiles, col_tiles, tile);
+  } else {
+    for (int64_t rt = 0; rt < row_tiles; ++rt)
+      for (int64_t ct = 0; ct < col_tiles; ++ct) tile(rt, ct);
+  }
+}
 
-  ParallelFor(
-      m,
-      [&](int64_t begin, int64_t end) {
-        GemmRows(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, begin, end);
-      },
-      min_rows);
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c) {
+  GemmEx(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, GemmEpilogue{},
+         /*parallel=*/true);
 }
 
 void GemmSeq(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
              float alpha, const float* a, const float* b, float beta,
              float* c) {
-  POE_CHECK_GE(m, 0);
-  POE_CHECK_GE(n, 0);
-  POE_CHECK_GE(k, 0);
-  if (m == 0 || n == 0) return;
-  GemmRows(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, 0, m);
+  GemmEx(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, GemmEpilogue{},
+         /*parallel=*/false);
 }
+
+void GemmRef(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta,
+             float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * m + i] : a[i * k + p];
+        const float bv = trans_b ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      const float prior = beta == 0.0f ? 0.0f : beta * c[i * n + j];
+      c[i * n + j] = alpha * static_cast<float>(acc) + prior;
+    }
+  }
+}
+
+int64_t GemmParallelTiles(int64_t m, int64_t n) {
+  if (m <= 0 || n <= 0) return 0;
+  return ((m + kMC - 1) / kMC) * ((n + kNC - 1) / kNC);
+}
+
+const char* GemmKernelName() { return PickKernel().name; }
 
 }  // namespace poe

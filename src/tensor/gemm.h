@@ -1,4 +1,5 @@
-// Threaded single-precision GEMM used by conv (via im2col) and linear layers.
+// Blocked, packed, SIMD-dispatched single-precision GEMM used by conv
+// (via im2col) and linear layers. See docs/PERF.md for the design.
 #ifndef POE_TENSOR_GEMM_H_
 #define POE_TENSOR_GEMM_H_
 
@@ -6,11 +7,29 @@
 
 namespace poe {
 
+/// Optional fused output transform applied after the matrix product is
+/// complete (on the final k-block, in the same pass that writes C), so
+/// inference layers avoid separate bias/activation sweeps over the output.
+struct GemmEpilogue {
+  /// Added to every element of row i of C (length m). Conv layout:
+  /// C is [out_channels x out_h*out_w], bias is per channel (= per row).
+  const float* row_bias = nullptr;
+  /// Added to every element of column j of C (length n). Linear layout:
+  /// C is [batch x out_features], bias is per feature (= per column).
+  const float* col_bias = nullptr;
+  /// Applies max(0, x) after the bias terms.
+  bool relu = false;
+
+  bool empty() const {
+    return row_bias == nullptr && col_bias == nullptr && !relu;
+  }
+};
+
 /// C = alpha * op(A) * op(B) + beta * C, row-major.
 ///
 /// op(A) is A (m x k) when !trans_a, else A^T with A stored (k x m).
 /// op(B) is B (k x n) when !trans_b, else B^T with B stored (n x k).
-/// C is m x n. Parallelized over rows of C.
+/// C is m x n. Parallelized over 2-D macro-tiles of C.
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, const float* b, float beta, float* c);
 
@@ -19,6 +38,31 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 void GemmSeq(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
              float alpha, const float* a, const float* b, float beta,
              float* c);
+
+/// Gemm with a fused epilogue. `parallel` selects Gemm/GemmSeq behavior.
+/// The product is bitwise identical for both settings: every C tile is
+/// produced by one task with a fixed k-accumulation order.
+void GemmEx(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+            float alpha, const float* a, const float* b, float beta, float* c,
+            const GemmEpilogue& epilogue, bool parallel);
+
+/// Number of macro-tiles a parallel Gemm/GemmEx would distribute over the
+/// worker pool for an m x n product. Callers choosing between batch-level
+/// and GEMM-level parallelism use this to pick the level that actually
+/// has work to spread (1 means the GEMM runs sequentially regardless).
+int64_t GemmParallelTiles(int64_t m, int64_t n);
+
+/// Naive triple-loop reference implementation (double accumulator). The
+/// test oracle for the optimized paths; never used on the hot path.
+void GemmRef(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta,
+             float* c);
+
+/// Name of the dispatched micro-kernel ("avx512", "avx2", "scalar") for
+/// logging and benchmark labeling. Selection is automatic per CPU
+/// features; the POE_GEMM_KERNEL environment variable forces a variant
+/// (unsupported values fall back to auto-detection).
+const char* GemmKernelName();
 
 }  // namespace poe
 

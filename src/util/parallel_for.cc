@@ -116,6 +116,17 @@ int NumThreads() {
   return n;
 }
 
+namespace {
+
+// Function-local static pointer: allowed pattern for non-trivially
+// destructible globals (the pool intentionally leaks at exit).
+WorkerPool* GetPool() {
+  static WorkerPool* pool = new WorkerPool(NumThreads() - 1);
+  return pool;
+}
+
+}  // namespace
+
 void ParallelFor(int64_t n,
                  const std::function<void(int64_t, int64_t)>& body,
                  int64_t min_chunk) {
@@ -125,11 +136,27 @@ void ParallelFor(int64_t n,
     body(0, n);
     return;
   }
-  // Function-local static pointer: allowed pattern for non-trivially
-  // destructible globals (the pool intentionally leaks at exit).
-  static WorkerPool* pool = new WorkerPool(NumThreads() - 1);
   int64_t chunk = std::max<int64_t>(min_chunk, (n + workers - 1) / workers);
-  pool->Run(n, chunk, body);
+  GetPool()->Run(n, chunk, body);
+}
+
+void ParallelFor2D(int64_t rows, int64_t cols,
+                   const std::function<void(int64_t row, int64_t col)>& body) {
+  if (rows <= 0 || cols <= 0) return;
+  const int64_t n = rows * cols;
+  const std::function<void(int64_t, int64_t)> wrapper =
+      [&](int64_t begin, int64_t end) {
+        for (int64_t idx = begin; idx < end; ++idx) {
+          body(idx / cols, idx % cols);
+        }
+      };
+  if (NumThreads() <= 1 || n <= 1) {
+    wrapper(0, n);
+    return;
+  }
+  // Chunk size 1 (unlike ParallelFor's workers-sized chunks): grid cells
+  // are claimed one at a time so uneven per-cell costs load-balance.
+  GetPool()->Run(n, /*chunk=*/1, wrapper);
 }
 
 }  // namespace poe

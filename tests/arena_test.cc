@@ -1,0 +1,110 @@
+#include "tensor/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace poe {
+namespace {
+
+TEST(ArenaTest, AllocReturnsWritableMemory) {
+  ScratchArena arena;
+  {
+    ScratchScope scope(arena);
+    float* p = scope.Alloc(1000);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0, 1000 * sizeof(float));
+    p[0] = 1.0f;
+    p[999] = 2.0f;
+    EXPECT_FLOAT_EQ(p[0], 1.0f);
+    EXPECT_FLOAT_EQ(p[999], 2.0f);
+  }
+}
+
+TEST(ArenaTest, ScopeRewindReusesMemory) {
+  ScratchArena arena;
+  float* first;
+  {
+    ScratchScope scope(arena);
+    first = scope.Alloc(512);
+  }
+  const int64_t cap = arena.capacity();
+  {
+    ScratchScope scope(arena);
+    float* again = scope.Alloc(512);
+    EXPECT_EQ(first, again) << "rewound scope should replay placements";
+  }
+  EXPECT_EQ(cap, arena.capacity()) << "no growth on replay";
+}
+
+// Growing a new block must not invalidate pointers handed out earlier in
+// the same scope (the property the nested conv->gemm allocation pattern
+// relies on).
+TEST(ArenaTest, GrowthPreservesEarlierPointers) {
+  ScratchArena arena;
+  ScratchScope scope(arena);
+  // Larger than one minimum block so a second block is certainly needed.
+  const int64_t big = (1 << 18) + 1000;
+  float* a = scope.Alloc(big);
+  a[0] = 42.0f;
+  a[big - 1] = 43.0f;
+  float* b = scope.Alloc(big);
+  b[0] = 1.0f;
+  EXPECT_FLOAT_EQ(a[0], 42.0f);
+  EXPECT_FLOAT_EQ(a[big - 1], 43.0f);
+  EXPECT_GE(arena.num_blocks(), 2);
+}
+
+TEST(ArenaTest, NestedScopesRestoreInLifoOrder) {
+  ScratchArena arena;
+  ScratchScope outer(arena);
+  float* a = outer.Alloc(64);
+  a[0] = 7.0f;
+  float* inner_ptr;
+  {
+    ScratchScope inner(arena);
+    inner_ptr = inner.Alloc(64);
+    EXPECT_NE(a, inner_ptr);
+  }
+  // After the inner scope rewinds, its space is reusable...
+  {
+    ScratchScope inner(arena);
+    EXPECT_EQ(inner_ptr, inner.Alloc(64));
+  }
+  // ...while the outer allocation is untouched.
+  EXPECT_FLOAT_EQ(a[0], 7.0f);
+}
+
+TEST(ArenaTest, SteadyStateCapacityIsStable) {
+  ScratchArena arena;
+  for (int round = 0; round < 5; ++round) {
+    ScratchScope scope(arena);
+    scope.Alloc(100);
+    scope.Alloc(5000);
+    scope.Alloc(70000);
+  }
+  const int64_t cap = arena.capacity();
+  const int64_t blocks = arena.num_blocks();
+  for (int round = 0; round < 5; ++round) {
+    ScratchScope scope(arena);
+    scope.Alloc(100);
+    scope.Alloc(5000);
+    scope.Alloc(70000);
+  }
+  EXPECT_EQ(cap, arena.capacity());
+  EXPECT_EQ(blocks, arena.num_blocks());
+}
+
+TEST(ArenaTest, ThreadLocalInstancesAreDistinct) {
+  ScratchArena* main_arena = &ScratchArena::ThreadLocal();
+  ScratchArena* other_arena = nullptr;
+  std::thread t([&] { other_arena = &ScratchArena::ThreadLocal(); });
+  t.join();
+  ASSERT_NE(other_arena, nullptr);
+  EXPECT_NE(main_arena, other_arena);
+}
+
+}  // namespace
+}  // namespace poe

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <tuple>
 #include <vector>
 
@@ -11,21 +12,15 @@
 namespace poe {
 namespace {
 
-// Naive reference GEMM.
-void RefGemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c) {
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) {
-      double acc = 0.0;
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = ta ? a[p * m + i] : a[i * k + p];
-        const float bv = tb ? b[j * k + p] : b[p * n + j];
-        acc += static_cast<double>(av) * bv;
-      }
-      c[i * n + j] = alpha * static_cast<float>(acc) + beta * c[i * n + j];
-    }
-  }
+// Fills a vector with deterministic uniform values.
+void FillUniform(std::vector<float>* v, Rng& rng, float lo = -1.0f,
+                 float hi = 1.0f) {
+  for (auto& x : *v) x = rng.Uniform(lo, hi);
 }
+
+// Tolerance scaled to the accumulation depth: the optimized kernel sums in
+// fp32 while GemmRef uses a double accumulator.
+float Tol(int64_t k) { return 1e-5f * static_cast<float>(k) + 1e-4f; }
 
 // (trans_a, trans_b, m, n, k)
 using GemmCase = std::tuple<bool, bool, int, int, int>;
@@ -37,28 +32,55 @@ TEST_P(GemmParamTest, MatchesReference) {
   Rng rng(static_cast<uint64_t>(m * 10007 + n * 101 + k + ta * 2 + tb));
   std::vector<float> a(static_cast<size_t>(m) * k);
   std::vector<float> b(static_cast<size_t>(k) * n);
-  for (auto& v : a) v = rng.Uniform(-1.0f, 1.0f);
-  for (auto& v : b) v = rng.Uniform(-1.0f, 1.0f);
-  std::vector<float> c(static_cast<size_t>(m) * n);
-  for (auto& v : c) v = rng.Uniform(-1.0f, 1.0f);
-  std::vector<float> c_ref = c;
+  FillUniform(&a, rng);
+  FillUniform(&b, rng);
 
-  Gemm(ta, tb, m, n, k, 0.7f, a.data(), b.data(), 0.3f, c.data());
-  RefGemm(ta, tb, m, n, k, 0.7f, a.data(), b.data(), 0.3f, c_ref.data());
-  for (size_t i = 0; i < c.size(); ++i) {
-    ASSERT_NEAR(c[i], c_ref[i], 1e-3f) << "at " << i;
+  const float alphas[] = {1.0f, 0.7f, -0.3f, 0.0f};
+  const float betas[] = {0.0f, 1.0f, 0.3f, -2.0f};
+  for (float alpha : alphas) {
+    for (float beta : betas) {
+      std::vector<float> c(static_cast<size_t>(m) * n);
+      FillUniform(&c, rng);
+      std::vector<float> c_ref = c;
+      Gemm(ta, tb, m, n, k, alpha, a.data(), b.data(), beta, c.data());
+      GemmRef(ta, tb, m, n, k, alpha, a.data(), b.data(), beta,
+              c_ref.data());
+      for (size_t i = 0; i < c.size(); ++i) {
+        ASSERT_NEAR(c[i], c_ref[i], Tol(k))
+            << "at " << i << " alpha=" << alpha << " beta=" << beta;
+      }
+    }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllTransposeCombos, GemmParamTest,
-    ::testing::Values(
-        GemmCase{false, false, 4, 5, 6}, GemmCase{false, true, 4, 5, 6},
-        GemmCase{true, false, 4, 5, 6}, GemmCase{true, true, 4, 5, 6},
-        GemmCase{false, false, 1, 1, 1}, GemmCase{false, false, 17, 3, 9},
-        GemmCase{false, true, 32, 64, 16}, GemmCase{true, false, 8, 128, 8},
-        GemmCase{false, false, 128, 96, 33}, GemmCase{true, true, 13, 7, 21},
-        GemmCase{false, false, 256, 64, 72}));
+// Odd/prime sizes hit every panel-edge case of the packed kernels; the
+// larger sizes cross the MC/KC/NC cache-blocking boundaries.
+std::vector<GemmCase> AllTransposeCases() {
+  const int sizes[] = {1, 3, 17, 63, 129};
+  std::vector<GemmCase> cases;
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      for (int m : sizes)
+        for (int n : sizes)
+          for (int k : sizes) {
+            // Cap the raw work product to keep the grid fast; this drops
+            // the largest combinations (e.g. {63,129,129}), whose
+            // panel-edge interplay is instead covered by the explicit
+            // blocking-boundary cases below.
+            if (m * n * k > 17 * 129 * 129) continue;
+            cases.push_back({ta, tb, m, n, k});
+          }
+      // Blocking-boundary cases: cross kMC=240, kKC=320, kNC=1024.
+      cases.push_back({ta, tb, 241, 65, 321});
+      cases.push_back({ta, tb, 256, 256, 72});
+      cases.push_back({ta, tb, 37, 1025, 11});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposeCombos, GemmParamTest,
+                         ::testing::ValuesIn(AllTransposeCases()));
 
 TEST(GemmTest, BetaZeroOverwritesGarbage) {
   std::vector<float> a = {1, 2};
@@ -78,15 +100,27 @@ TEST(GemmTest, KZeroScalesOnly) {
   EXPECT_FLOAT_EQ(c[1], 2.0f);
 }
 
-TEST(GemmTest, SeqMatchesParallel) {
+// The blocked GEMM assigns each C macro-tile to exactly one task with a
+// fixed k-accumulation order, so the threaded and sequential paths must be
+// bitwise identical — not merely close.
+TEST(GemmTest, ThreadedMatchesSequentialBitwise) {
   Rng rng(77);
-  const int m = 64, n = 48, k = 32;
-  std::vector<float> a(m * k), b(k * n), c1(m * n, 0.0f), c2(m * n, 0.0f);
-  for (auto& v : a) v = rng.Uniform(-1.0f, 1.0f);
-  for (auto& v : b) v = rng.Uniform(-1.0f, 1.0f);
-  Gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c1.data());
-  GemmSeq(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c2.data());
-  for (int i = 0; i < m * n; ++i) ASSERT_NEAR(c1[i], c2[i], 1e-4f);
+  for (const auto& [m, n, k] :
+       {std::tuple<int, int, int>{64, 48, 32},
+        std::tuple<int, int, int>{300, 130, 400},
+        std::tuple<int, int, int>{513, 257, 129}}) {
+    std::vector<float> a(static_cast<size_t>(m) * k);
+    std::vector<float> b(static_cast<size_t>(k) * n);
+    std::vector<float> c1(static_cast<size_t>(m) * n, 0.0f), c2 = c1;
+    FillUniform(&a, rng);
+    FillUniform(&b, rng);
+    Gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c1.data());
+    GemmSeq(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+            c2.data());
+    ASSERT_EQ(0, std::memcmp(c1.data(), c2.data(),
+                             c1.size() * sizeof(float)))
+        << "m=" << m << " n=" << n << " k=" << k;
+  }
 }
 
 TEST(GemmTest, IdentityMultiplication) {
@@ -95,10 +129,85 @@ TEST(GemmTest, IdentityMultiplication) {
   for (int i = 0; i < n; ++i) eye[i * n + i] = 1.0f;
   Rng rng(3);
   std::vector<float> x(n * n);
-  for (auto& v : x) v = rng.Uniform(-1.0f, 1.0f);
+  FillUniform(&x, rng);
   std::vector<float> y(n * n, 0.0f);
   Gemm(false, false, n, n, n, 1.0f, eye.data(), x.data(), 0.0f, y.data());
   for (int i = 0; i < n * n; ++i) ASSERT_NEAR(y[i], x[i], 1e-6f);
+}
+
+TEST(GemmEpilogueTest, RowBiasMatchesManual) {
+  Rng rng(11);
+  const int m = 29, n = 83, k = 47;
+  std::vector<float> a(m * k), b(k * n), bias(m);
+  FillUniform(&a, rng);
+  FillUniform(&b, rng);
+  FillUniform(&bias, rng);
+  std::vector<float> c(m * n, 0.0f), c_ref(m * n, 0.0f);
+
+  GemmEpilogue ep;
+  ep.row_bias = bias.data();
+  GemmEx(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data(),
+         ep, /*parallel=*/false);
+
+  GemmRef(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+          c_ref.data());
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) c_ref[i * n + j] += bias[i];
+  for (int i = 0; i < m * n; ++i) ASSERT_NEAR(c[i], c_ref[i], Tol(k));
+}
+
+TEST(GemmEpilogueTest, ColBiasReluMatchesManual) {
+  Rng rng(13);
+  const int m = 65, n = 31, k = 129;
+  std::vector<float> a(m * k), b(n * k), bias(n);
+  FillUniform(&a, rng);
+  FillUniform(&b, rng);
+  FillUniform(&bias, rng);
+  std::vector<float> c(m * n, 0.0f), c_ref(m * n, 0.0f);
+
+  GemmEpilogue ep;
+  ep.col_bias = bias.data();
+  ep.relu = true;
+  GemmEx(false, true, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data(), ep,
+         /*parallel=*/true);
+
+  GemmRef(false, true, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+          c_ref.data());
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j)
+      c_ref[i * n + j] = std::max(0.0f, c_ref[i * n + j] + bias[j]);
+  for (int i = 0; i < m * n; ++i) ASSERT_NEAR(c[i], c_ref[i], Tol(k));
+}
+
+// The epilogue must fire exactly once (on the last k-block), even when k
+// spans multiple KC blocks.
+TEST(GemmEpilogueTest, MultiKBlockAppliesEpilogueOnce) {
+  Rng rng(17);
+  const int m = 13, n = 21, k = 700;  // k > 2 * kKC(320)
+  std::vector<float> a(m * k), b(k * n), bias(m);
+  FillUniform(&a, rng);
+  FillUniform(&b, rng);
+  FillUniform(&bias, rng, 5.0f, 6.0f);  // large bias exposes double-adds
+  std::vector<float> c(m * n, 0.0f), c_ref(m * n, 0.0f);
+
+  GemmEpilogue ep;
+  ep.row_bias = bias.data();
+  ep.relu = true;
+  GemmEx(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data(),
+         ep, /*parallel=*/false);
+
+  GemmRef(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+          c_ref.data());
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j)
+      c_ref[i * n + j] = std::max(0.0f, c_ref[i * n + j] + bias[i]);
+  for (int i = 0; i < m * n; ++i) ASSERT_NEAR(c[i], c_ref[i], Tol(k));
+}
+
+TEST(GemmTest, KernelNameIsKnown) {
+  const std::string name = GemmKernelName();
+  EXPECT_TRUE(name == "avx512" || name == "avx2" || name == "scalar")
+      << name;
 }
 
 }  // namespace

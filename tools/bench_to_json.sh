@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the micro_ops google-benchmark suite and records the results as JSON
+# so the perf trajectory is tracked in-repo across PRs.
+#
+# Usage: tools/bench_to_json.sh [build_dir] [output.json] [extra bench args…]
+#
+#   tools/bench_to_json.sh                 # build/micro_ops -> BENCH_micro_ops.json
+#   tools/bench_to_json.sh build out.json --benchmark_filter='BM_Gemm'
+#
+# Requires a build configured with -DPOE_BUILD_BENCH=ON. Compare runs only
+# on the same machine; the JSON includes the host context for provenance.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_micro_ops.json}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+BIN="$BUILD_DIR/micro_ops"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found — configure with -DPOE_BUILD_BENCH=ON" >&2
+  exit 1
+fi
+
+"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
+       --benchmark_format=console "$@"
+echo "wrote $OUT"
