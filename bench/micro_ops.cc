@@ -5,6 +5,7 @@
 #include "nn/conv2d.h"
 #include "nn/linear.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_s8.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -25,6 +26,60 @@ void BM_Gemm(benchmark::State& state) {
   state.SetLabel(GemmKernelName());
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+// Quantized GEMM with the serving-shaped epilogue (per-row dequant scales
+// + bias + ReLU fused into the int32 -> f32 store). items_processed uses
+// the same 2*n^3 op count as BM_Gemm, so the reported rate is effective
+// FLOP-equivalent throughput — directly comparable against BM_Gemm rows.
+void BM_GemmS8(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<int8_t> a(n * n), b(n * n);
+  for (auto& v : a)
+    v = static_cast<int8_t>(static_cast<int64_t>(rng.NextInt(255)) - 127);
+  for (auto& v : b)
+    v = static_cast<int8_t>(static_cast<int64_t>(rng.NextInt(255)) - 127);
+  std::vector<float> scales(n), bias(n), c(n * n);
+  for (auto& v : scales) v = rng.Uniform(0.001f, 0.01f);
+  for (auto& v : bias) v = rng.Uniform(-1.0f, 1.0f);
+  GemmS8Epilogue ep;
+  ep.scale = 0.02f;
+  ep.row_scale = scales.data();
+  ep.row_bias = bias.data();
+  ep.relu = true;
+  for (auto _ : state) {
+    GemmS8(false, false, n, n, n, a.data(), b.data(), c.data(), ep,
+           /*parallel=*/true);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(GemmS8KernelName());
+}
+BENCHMARK(BM_GemmS8)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+// Same product with the weights pre-packed once (the conv serving path:
+// packing cost amortized across every query).
+void BM_GemmS8Packed(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  std::vector<int8_t> a(n * n), b(n * n);
+  for (auto& v : a)
+    v = static_cast<int8_t>(static_cast<int64_t>(rng.NextInt(255)) - 127);
+  for (auto& v : b)
+    v = static_cast<int8_t>(static_cast<int64_t>(rng.NextInt(255)) - 127);
+  std::vector<float> scales(n, 0.01f), c(n * n);
+  PackedS8Weights packed = PackedS8Weights::Pack(n, n, a.data());
+  GemmS8Epilogue ep;
+  ep.scale = 0.02f;
+  ep.row_scale = scales.data();
+  for (auto _ : state) {
+    GemmS8PackedA(packed, n, b.data(), c.data(), ep, /*parallel=*/true);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(GemmS8KernelName());
+}
+BENCHMARK(BM_GemmS8Packed)->Arg(256)->Arg(512)->Arg(1024);
 
 void BM_Conv2dForward(benchmark::State& state) {
   const int64_t channels = state.range(0);
@@ -66,6 +121,39 @@ void BM_ConvWrn(benchmark::State& state) {
                           out_hw * in_c * kernel * kernel * 2);
 }
 BENCHMARK(BM_ConvWrn)
+    ->Args({3, 16, 32, 1, 3})     // stem
+    ->Args({64, 64, 32, 1, 3})    // conv2 group body
+    ->Args({64, 128, 32, 2, 3})   // conv3 transition (32x32 in -> 16x16)
+    ->Args({128, 128, 16, 1, 3})  // conv3 group body
+    ->Args({128, 256, 16, 2, 3})  // conv4 transition (16x16 in -> 8x8)
+    ->Args({256, 256, 8, 1, 3})   // conv4 group body
+    ->Args({256, 256, 8, 1, 1});  // 1x1 pointwise fast path
+
+// The same WRN-shaped convolutions served int8: per-channel-quantized
+// pre-packed weights, dynamic activation quantization, fused dequant
+// epilogue. Effective-FLOP rates compare row-for-row against BM_ConvWrn.
+void BM_ConvWrnInt8(benchmark::State& state) {
+  const int64_t in_c = state.range(0);
+  const int64_t out_c = state.range(1);
+  const int64_t hw = state.range(2);
+  const int64_t stride = state.range(3);
+  const int64_t kernel = state.range(4);
+  const int64_t pad = kernel / 2;
+  const int64_t batch = 8;
+  Rng rng(7);
+  Conv2d conv(in_c, out_c, kernel, stride, pad, rng);
+  conv.PrepareInt8Serving();
+  Tensor x = Tensor::Randn({batch, in_c, hw, hw}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  const int64_t out_hw = (hw + 2 * pad - kernel) / stride + 1;
+  state.SetItemsProcessed(state.iterations() * batch * out_c * out_hw *
+                          out_hw * in_c * kernel * kernel * 2);
+  state.SetLabel(GemmS8KernelName());
+}
+BENCHMARK(BM_ConvWrnInt8)
     ->Args({3, 16, 32, 1, 3})     // stem
     ->Args({64, 64, 32, 1, 3})    // conv2 group body
     ->Args({64, 128, 32, 2, 3})   // conv3 transition (32x32 in -> 16x16)
@@ -119,6 +207,19 @@ void BM_LinearForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LinearForward);
+
+void BM_LinearForwardInt8(benchmark::State& state) {
+  Rng rng(6);
+  Linear lin(512, 100, rng);
+  lin.PrepareInt8Serving();
+  Tensor x = Tensor::Randn({256, 512}, rng);
+  for (auto _ : state) {
+    Tensor y = lin.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel(GemmS8KernelName());
+}
+BENCHMARK(BM_LinearForwardInt8);
 
 }  // namespace
 }  // namespace poe

@@ -71,6 +71,28 @@ void BM_TaskModelInference(benchmark::State& state) {
 }
 BENCHMARK(BM_TaskModelInference)->Arg(1)->Arg(2)->Arg(5);
 
+// The same assembled-model forward served dequant-free int8: the pool is
+// converted once (packed int8 weights, per-channel scales) and every
+// query's inference runs the quantized GEMM. Compare row-for-row against
+// BM_TaskModelInference for the end-to-end serving speedup.
+void BM_TaskModelInferenceInt8(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  ExpertPool pool = MakePool(20);
+  const Status status = pool.SetServingPrecision(ServingPrecision::kInt8);
+  POE_CHECK(status.ok()) << status.ToString();
+  std::vector<int> tasks;
+  for (int t = 0; t < nq; ++t) tasks.push_back(t);
+  TaskModel model = pool.Query(tasks).ValueOrDie();
+  Rng rng(2);
+  Tensor batch = Tensor::Randn({16, 3, 8, 8}, rng);
+  for (auto _ : state) {
+    Tensor logits = model.Logits(batch);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_TaskModelInferenceInt8)->Arg(1)->Arg(2)->Arg(5);
+
 void BM_PoolSerializationRoundTrip(benchmark::State& state) {
   ExpertPool pool = MakePool(10);
   const std::string path = "/tmp/poe_micro_bench.pool";

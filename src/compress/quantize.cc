@@ -3,25 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/gemm_s8.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
 namespace poe {
 
+// Scale selection and rounding are the shared int8 primitives from
+// tensor/gemm_s8.h (SymmetricScaleS8 / QuantizeBufferS8), so snapshots
+// quantize exactly like the int8 serving layers.
+
 QuantizedTensor Quantize(const Tensor& tensor) {
   QuantizedTensor q;
   q.shape = tensor.shape();
   q.values.resize(tensor.numel());
-  float max_abs = 0.0f;
+  q.scale = SymmetricScaleS8(tensor.data(), tensor.numel());
+  QuantizeBufferS8(tensor.data(), tensor.numel(), 1.0f / q.scale,
+                   q.values.data());
+  return q;
+}
+
+QuantizedTensor QuantizePerChannel(const Tensor& tensor) {
+  POE_CHECK_GE(tensor.ndim(), 2) << "per-channel quantization needs a "
+                                    "leading channel axis";
+  QuantizedTensor q;
+  q.shape = tensor.shape();
+  q.axis = 0;
+  q.values.resize(tensor.numel());
+  const int64_t channels = tensor.dim(0);
+  const int64_t stride = tensor.numel() / channels;
+  q.channel_scales.resize(channels);
   const float* p = tensor.data();
-  for (int64_t i = 0; i < tensor.numel(); ++i) {
-    max_abs = std::max(max_abs, std::fabs(p[i]));
-  }
-  q.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
-  const float inv = 1.0f / q.scale;
-  for (int64_t i = 0; i < tensor.numel(); ++i) {
-    const float v = std::round(p[i] * inv);
-    q.values[i] = static_cast<int8_t>(std::clamp(v, -127.0f, 127.0f));
+  for (int64_t ch = 0; ch < channels; ++ch) {
+    const float* row = p + ch * stride;
+    q.channel_scales[ch] = SymmetricScaleS8(row, stride);
+    QuantizeBufferS8(row, stride, 1.0f / q.channel_scales[ch],
+                     q.values.data() + ch * stride);
   }
   return q;
 }
@@ -29,8 +46,24 @@ QuantizedTensor Quantize(const Tensor& tensor) {
 Tensor Dequantize(const QuantizedTensor& quantized) {
   Tensor out(quantized.shape);
   float* p = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    p[i] = quantized.scale * static_cast<float>(quantized.values[i]);
+  if (quantized.axis < 0) {
+    for (int64_t i = 0; i < out.numel(); ++i) {
+      p[i] = quantized.scale * static_cast<float>(quantized.values[i]);
+    }
+    return out;
+  }
+  POE_CHECK_EQ(quantized.axis, 0);
+  const int64_t channels = quantized.shape.empty() ? 1 : quantized.shape[0];
+  POE_CHECK_EQ(channels,
+               static_cast<int64_t>(quantized.channel_scales.size()));
+  const int64_t stride = out.numel() / channels;
+  for (int64_t ch = 0; ch < channels; ++ch) {
+    const float scale = quantized.channel_scales[ch];
+    float* row = p + ch * stride;
+    const int8_t* src = quantized.values.data() + ch * stride;
+    for (int64_t i = 0; i < stride; ++i) {
+      row[i] = scale * static_cast<float>(src[i]);
+    }
   }
   return out;
 }
@@ -44,7 +77,15 @@ int64_t QuantizedModuleState::nbytes() const {
 QuantizedModuleState QuantizeModule(Module& module) {
   QuantizedModuleState state;
   for (Parameter* p : module.Parameters()) {
-    state.tensors.push_back(Quantize(p->value));
+    POE_CHECK(p->value.defined())
+        << "cannot snapshot " << p->name
+        << ": its f32 storage was released (int8 serving mode)";
+    // Matrix-shaped parameters are Conv2d/Linear weight matrices with
+    // output channels on axis 0; give those per-channel scales so int8
+    // serving loses no range to cross-channel magnitude spread.
+    state.tensors.push_back(p->value.ndim() >= 2
+                                ? QuantizePerChannel(p->value)
+                                : Quantize(p->value));
   }
   std::vector<Tensor*> buffers;
   module.CollectBuffers(&buffers);
@@ -78,6 +119,9 @@ Status DequantizeInto(const QuantizedModuleState& state, Module& module) {
 float QuantizationError(Module& module) {
   float worst = 0.0f;
   for (Parameter* p : module.Parameters()) {
+    POE_CHECK(p->value.defined())
+        << "cannot measure " << p->name
+        << ": its f32 storage was released (int8 serving mode)";
     Tensor round_trip = Dequantize(Quantize(p->value));
     worst = std::max(worst, MaxAbsDiff(p->value, round_trip));
   }

@@ -16,21 +16,42 @@
 
 namespace poe {
 
-/// A per-tensor symmetric int8 quantization of one tensor:
-/// value ~ scale * q, q in [-127, 127].
+/// A symmetric int8 quantization of one tensor: value ~ scale * q with q
+/// in [-127, 127]. Per-tensor (axis == -1, one `scale`) or per-channel
+/// (axis == 0, one scale per slice along the leading axis — used for
+/// Conv2d/Linear weight matrices where rows are output channels, so the
+/// int8 serving GEMM can dequantize per output channel).
 struct QuantizedTensor {
   std::vector<int64_t> shape;
-  float scale = 1.0f;
+  float scale = 1.0f;  ///< per-tensor scale (axis == -1)
+  int axis = -1;       ///< -1 = per-tensor, 0 = per-output-channel
+  std::vector<float> channel_scales;  ///< size shape[0] when axis == 0
   std::vector<int8_t> values;
 
   int64_t numel() const { return static_cast<int64_t>(values.size()); }
-  /// Serialized footprint: one int8 per element plus the scale.
-  int64_t nbytes() const { return numel() + static_cast<int64_t>(sizeof(float)); }
+
+  /// Honest serialized footprint: int8 values, every scale, and the shape
+  /// metadata (axis tag, ndim + dims, element count) — the bytes a pool
+  /// snapshot actually occupies, as reported by the Table 4 / quantization
+  /// ablation benches.
+  int64_t nbytes() const {
+    return numel() + static_cast<int64_t>(sizeof(float))  // scale
+           + static_cast<int64_t>(channel_scales.size() * sizeof(float))
+           + static_cast<int64_t>(sizeof(int32_t))   // axis tag
+           + static_cast<int64_t>(sizeof(int64_t))   // ndim
+           + static_cast<int64_t>(shape.size() * sizeof(int64_t))
+           + static_cast<int64_t>(sizeof(int64_t));  // element count
+  }
 };
 
-/// Quantizes with the symmetric max-abs scale. A zero tensor quantizes to
-/// scale 1 and all-zero values.
+/// Quantizes with the per-tensor symmetric max-abs scale. A zero tensor
+/// quantizes to scale 1 and all-zero values.
 QuantizedTensor Quantize(const Tensor& tensor);
+
+/// Quantizes a matrix-shaped (ndim >= 2) tensor with one symmetric
+/// max-abs scale per slice along axis 0 (zero slices get scale 1). The
+/// form the int8 serving path consumes for weights.
+QuantizedTensor QuantizePerChannel(const Tensor& tensor);
 
 /// Reconstructs the float tensor.
 Tensor Dequantize(const QuantizedTensor& quantized);
@@ -43,7 +64,9 @@ struct QuantizedModuleState {
   int64_t nbytes() const;
 };
 
-/// Snapshots `module` in int8.
+/// Snapshots `module` in int8: matrix-shaped parameters (Conv2d/Linear
+/// weights) get per-output-channel scales, everything else (biases,
+/// batch-norm state) stays per-tensor.
 QuantizedModuleState QuantizeModule(Module& module);
 
 /// Writes the snapshot back into an identically-structured module.

@@ -113,7 +113,26 @@ Result<TaskModel> ExpertPool::Query(const std::vector<int>& task_ids) const {
     branch.config = ExpertConfig(t);
     branches.push_back(std::move(branch));
   }
-  return TaskModel(library_, library_config_, std::move(branches));
+  return TaskModel(library_, library_config_, std::move(branches),
+                   precision_);
+}
+
+Status ExpertPool::SetServingPrecision(ServingPrecision precision) {
+  if (precision == precision_) return Status::OK();
+  if (precision == ServingPrecision::kFloat32) {
+    return Status::FailedPrecondition(
+        "int8 serving is irreversible: the f32 weights were released");
+  }
+  library_->PrepareInt8Serving();
+  for (auto& expert : experts_) expert->PrepareInt8Serving();
+  precision_ = ServingPrecision::kInt8;
+  return Status::OK();
+}
+
+int64_t ExpertPool::ServingBytes() const {
+  int64_t bytes = HeldStateBytes(*library_);
+  for (const auto& expert : experts_) bytes += HeldStateBytes(*expert);
+  return bytes;
 }
 
 const std::shared_ptr<Sequential>& ExpertPool::expert(int task_id) const {
@@ -128,6 +147,10 @@ Status ExpertPool::AddExpert(const LogitFn& oracle, const Dataset& full_train,
                              const CkdOptions& ckd, Rng& rng) {
   if (new_classes.empty()) {
     return Status::InvalidArgument("new primitive task must be non-empty");
+  }
+  if (precision_ == ServingPrecision::kInt8) {
+    return Status::FailedPrecondition(
+        "cannot extend an int8-serving pool: expert extraction needs f32");
   }
   // Extend the hierarchy; FromTasks re-validates the partition.
   std::vector<std::vector<int>> tasks;
@@ -152,6 +175,10 @@ Status ExpertPool::AddExpert(const LogitFn& oracle, const Dataset& full_train,
 }
 
 Status ExpertPool::Save(const std::string& path) const {
+  if (precision_ == ServingPrecision::kInt8) {
+    return Status::FailedPrecondition(
+        "cannot save an int8-serving pool: the f32 state was released");
+  }
   return SaveExpertPool(*this, path);
 }
 

@@ -63,9 +63,24 @@ class ExpertPool {
              std::vector<std::shared_ptr<Sequential>> experts);
 
   /// Service phase: builds M(Q) for composite task Q = given primitive
-  /// task ids. Train-free; the returned model aliases pool weights.
-  /// Fails on empty, duplicate, or out-of-range ids.
+  /// task ids. Train-free; the returned model aliases pool weights (and
+  /// inherits the pool's serving precision). Fails on empty, duplicate,
+  /// or out-of-range ids.
   Result<TaskModel> Query(const std::vector<int>& task_ids) const;
+
+  /// Switches the pool (library + every expert) to the given serving
+  /// precision. kInt8 converts Conv2d/Linear weights to packed int8 with
+  /// per-output-channel scales and releases their f32 storage, so every
+  /// subsequently assembled model serves dequant-free; the conversion is
+  /// irreversible (going back to kFloat32 fails) and the pool can no
+  /// longer be trained, extended, or saved.
+  Status SetServingPrecision(ServingPrecision precision);
+  ServingPrecision serving_precision() const { return precision_; }
+
+  /// Bytes of weight state the pool holds: f32 parameters/buffers plus
+  /// packed int8 weights (the memory-footprint half of the paper's
+  /// realtime-serving story; reported by QueryStats).
+  int64_t ServingBytes() const;
 
   const ClassHierarchy& hierarchy() const { return hierarchy_; }
   const WrnConfig& library_config() const { return library_config_; }
@@ -95,6 +110,7 @@ class ExpertPool {
   ClassHierarchy hierarchy_;
   std::shared_ptr<Sequential> library_;
   std::vector<std::shared_ptr<Sequential>> experts_;
+  ServingPrecision precision_ = ServingPrecision::kFloat32;
 };
 
 }  // namespace poe

@@ -2,12 +2,23 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace poe {
 
-ModelQueryService::ModelQueryService(ExpertPool pool, size_t cache_capacity)
-    : pool_(std::move(pool)), cache_capacity_(cache_capacity) {}
+ModelQueryService::ModelQueryService(ExpertPool pool, size_t cache_capacity,
+                                     ServingPrecision precision)
+    : pool_(std::move(pool)), cache_capacity_(cache_capacity) {
+  // kFloat32 leaves the pool at whatever precision it already serves
+  // (an already-converted int8 pool stays int8); kInt8 converts now.
+  if (precision != ServingPrecision::kFloat32) {
+    const Status status = pool_.SetServingPrecision(precision);
+    POE_CHECK(status.ok()) << status.ToString();
+  }
+  stats_.precision = pool_.serving_precision();
+  stats_.pool_bytes = pool_.ServingBytes();
+}
 
 Result<std::shared_ptr<TaskModel>> ModelQueryService::Query(
     const std::vector<int>& task_ids) {

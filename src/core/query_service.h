@@ -20,6 +20,10 @@ struct QueryStats {
   int64_t cache_hits = 0;
   double total_ms = 0.0;
   double max_ms = 0.0;
+  /// Precision the pool serves at and the weight bytes it holds (packed
+  /// int8 + remaining f32 state) — the footprint side of int8 serving.
+  ServingPrecision precision = ServingPrecision::kFloat32;
+  int64_t pool_bytes = 0;
 
   double avg_ms() const {
     return num_queries > 0 ? total_ms / num_queries : 0.0;
@@ -33,8 +37,13 @@ struct QueryStats {
 /// property (Figures 6-7).
 class ModelQueryService {
  public:
-  /// `cache_capacity` = 0 disables the assembled-model cache.
-  explicit ModelQueryService(ExpertPool pool, size_t cache_capacity = 0);
+  /// `cache_capacity` = 0 disables the assembled-model cache. `precision`
+  /// = kInt8 converts the pool to dequant-free int8 serving up front, so
+  /// every assembled model runs the quantized inference path; kFloat32
+  /// (default) leaves the pool at whatever precision it already serves.
+  explicit ModelQueryService(
+      ExpertPool pool, size_t cache_capacity = 0,
+      ServingPrecision precision = ServingPrecision::kFloat32);
 
   /// Builds M(Q) for the composite task. Task id order does not affect
   /// caching (keys are sorted) but does affect logit column order of the

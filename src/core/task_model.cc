@@ -6,10 +6,12 @@
 namespace poe {
 
 TaskModel::TaskModel(std::shared_ptr<Sequential> library,
-                     WrnConfig library_config, std::vector<Branch> branches)
+                     WrnConfig library_config, std::vector<Branch> branches,
+                     ServingPrecision precision)
     : library_(std::move(library)),
       library_config_(library_config),
-      branches_(std::move(branches)) {
+      branches_(std::move(branches)),
+      precision_(precision) {
   POE_CHECK(library_ != nullptr);
   POE_CHECK(!branches_.empty());
   for (const Branch& b : branches_) {
@@ -52,6 +54,12 @@ int64_t TaskModel::NumParams() const {
   int64_t n = library_->NumParams();
   for (const Branch& b : branches_) n += b.head->NumParams();
   return n;
+}
+
+int64_t TaskModel::StateBytes() const {
+  int64_t bytes = HeldStateBytes(*library_);
+  for (const Branch& b : branches_) bytes += HeldStateBytes(*b.head);
+  return bytes;
 }
 
 }  // namespace poe

@@ -12,6 +12,12 @@
 
 namespace poe {
 
+/// Numeric precision the pool's modules serve at. kInt8 means weights are
+/// held as packed int8 with per-output-channel scales and every forward
+/// pass runs the quantized GEMM — assembled models never materialize f32
+/// weights (the extension composing quantization with PoE, Section 2).
+enum class ServingPrecision { kFloat32, kInt8 };
+
 /// The branched architecture of Figure 3: a shared library component
 /// (conv1..conv3) feeding n(Q) expert branches (conv4 + head), whose output
 /// logits are concatenated into the unified logit s_Q. Assembly involves no
@@ -29,7 +35,8 @@ class TaskModel {
   };
 
   TaskModel(std::shared_ptr<Sequential> library, WrnConfig library_config,
-            std::vector<Branch> branches);
+            std::vector<Branch> branches,
+            ServingPrecision precision = ServingPrecision::kFloat32);
 
   /// Unified logits s_Q: library forward once, each expert branch forward,
   /// concatenate. Eval mode only (the assembled model is never trained).
@@ -48,14 +55,25 @@ class TaskModel {
   /// Analytic per-image inference cost for in_h x in_w inputs.
   ModelCost Cost(int64_t in_h, int64_t in_w) const;
 
-  /// Exact parameter count of the assembled network (library + branches).
+  /// Exact f32 parameter count of the assembled network (library +
+  /// branches). Under int8 serving the quantized weights are no longer
+  /// f32 parameters and are excluded — use StateBytes() for the real
+  /// memory footprint of an int8-served model.
   int64_t NumParams() const;
+
+  /// Precision the aliased pool modules serve at.
+  ServingPrecision serving_precision() const { return precision_; }
+
+  /// Bytes of weight state this model holds (via its pool aliases):
+  /// f32 parameters/buffers plus packed int8 weights when serving kInt8.
+  int64_t StateBytes() const;
 
  private:
   std::shared_ptr<Sequential> library_;
   WrnConfig library_config_;
   std::vector<Branch> branches_;
   std::vector<int> global_classes_;
+  ServingPrecision precision_ = ServingPrecision::kFloat32;
 };
 
 }  // namespace poe

@@ -101,4 +101,13 @@ void Wrn::CollectBuffers(std::vector<Tensor*>* out) {
   expert_part_->CollectBuffers(out);
 }
 
+void Wrn::PrepareInt8Serving() {
+  library_part_->PrepareInt8Serving();
+  expert_part_->PrepareInt8Serving();
+}
+
+int64_t Wrn::Int8WeightBytes() const {
+  return library_part_->Int8WeightBytes() + expert_part_->Int8WeightBytes();
+}
+
 }  // namespace poe

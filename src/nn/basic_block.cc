@@ -62,4 +62,18 @@ void BasicBlock::CollectBuffers(std::vector<Tensor*>* out) {
   bn2_.CollectBuffers(out);
 }
 
+void BasicBlock::PrepareInt8Serving() {
+  // Convolutions serve int8; batch-norms stay f32 (their state is tiny and
+  // they consume the conv's dequantized f32 output directly).
+  conv1_.PrepareInt8Serving();
+  conv2_.PrepareInt8Serving();
+  if (projection_) projection_->PrepareInt8Serving();
+}
+
+int64_t BasicBlock::Int8WeightBytes() const {
+  int64_t total = conv1_.Int8WeightBytes() + conv2_.Int8WeightBytes();
+  if (projection_) total += projection_->Int8WeightBytes();
+  return total;
+}
+
 }  // namespace poe

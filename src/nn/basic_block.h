@@ -30,6 +30,8 @@ class BasicBlock : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   void CollectBuffers(std::vector<Tensor*>* out) override;
+  void PrepareInt8Serving() override;
+  int64_t Int8WeightBytes() const override;
   std::string Name() const override { return "BasicBlock"; }
 
   bool has_projection() const { return projection_ != nullptr; }

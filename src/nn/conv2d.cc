@@ -37,6 +37,10 @@ Tensor Conv2d::ForwardFusedRelu(const Tensor& input) {
 
 Tensor Conv2d::ForwardImpl(const Tensor& input, bool training,
                            bool fuse_relu) {
+  if (int8_serving_) {
+    POE_CHECK(!training) << "int8-serving Conv2d is inference-only";
+    return ForwardInt8(input, fuse_relu);
+  }
   POE_CHECK_EQ(input.ndim(), 4);
   POE_CHECK_EQ(input.dim(1), in_channels_);
   const int64_t batch = input.dim(0);
@@ -100,7 +104,96 @@ Tensor Conv2d::ForwardImpl(const Tensor& input, bool training,
   return output;
 }
 
+// The int8 serving forward: activations are quantized per-tensor with a
+// dynamic max-abs scale into arena scratch, unfolded in the int8 domain,
+// and multiplied against the pre-packed int8 weight panels. The GEMM's
+// output pass applies scale_act * wscale[channel] dequantization, bias,
+// and the fused ReLU, so no f32 weight or separate dequant sweep exists
+// anywhere on this path.
+Tensor Conv2d::ForwardInt8(const Tensor& input, bool fuse_relu) {
+  POE_CHECK_EQ(input.ndim(), 4);
+  POE_CHECK_EQ(input.dim(1), in_channels_);
+  const int64_t batch = input.dim(0);
+  const int64_t h = input.dim(2);
+  const int64_t w = input.dim(3);
+  const int64_t out_h = ConvOutSize(h, kernel_, pad_, stride_);
+  const int64_t out_w = ConvOutSize(w, kernel_, pad_, stride_);
+  POE_CHECK_GT(out_h, 0);
+  POE_CHECK_GT(out_w, 0);
+  const int64_t ckk = in_channels_ * kernel_ * kernel_;
+  const int64_t ohw = out_h * out_w;
+  const int64_t chw = in_channels_ * h * w;
+
+  Tensor output({batch, out_channels_, out_h, out_w});
+  const float* in = input.data();
+  float* out = output.data();
+
+  const float act_scale = SymmetricScaleS8(in, input.numel());
+  const float inv_scale = 1.0f / act_scale;
+
+  GemmS8Epilogue ep;
+  ep.scale = act_scale;
+  ep.row_scale = wscales_.data();
+  ep.row_bias = has_bias_ ? bias_.value.data() : nullptr;
+  ep.relu = fuse_relu;
+
+  const bool pointwise = kernel_ == 1 && stride_ == 1 && pad_ == 0;
+  const bool gemm_parallel = batch < NumThreads() &&
+                             GemmParallelTiles(out_channels_, ohw) > batch;
+
+  auto run_range = [&](int64_t begin, int64_t end) {
+    ScratchScope scope;
+    int8_t* q_img = AllocS8(scope, chw);
+    int8_t* cols = pointwise ? nullptr : AllocS8(scope, ckk * ohw);
+    for (int64_t b = begin; b < end; ++b) {
+      QuantizeBufferS8(in + b * chw, chw, inv_scale, q_img);
+      float* out_b = out + b * out_channels_ * ohw;
+      if (pointwise) {
+        GemmS8PackedA(qweight_, ohw, q_img, out_b, ep, gemm_parallel);
+      } else {
+        Im2Col(q_img, in_channels_, h, w, kernel_, kernel_, pad_, stride_,
+               cols);
+        GemmS8PackedA(qweight_, ohw, cols, out_b, ep, gemm_parallel);
+      }
+    }
+  };
+  if (gemm_parallel) {
+    run_range(0, batch);
+  } else {
+    ParallelFor(batch, run_range, /*min_chunk=*/1);
+  }
+  return output;
+}
+
+void Conv2d::PrepareInt8Serving() {
+  if (int8_serving_) return;
+  const int64_t ckk = in_channels_ * kernel_ * kernel_;
+  // Per-output-channel symmetric max-abs quantization of the weight
+  // matrix (rows are output channels in the im2col GEMM layout).
+  wscales_.resize(out_channels_);
+  std::vector<int8_t> q(static_cast<size_t>(out_channels_ * ckk));
+  const float* wp = weight_.value.data();
+  for (int64_t oc = 0; oc < out_channels_; ++oc) {
+    const float* row = wp + oc * ckk;
+    wscales_[oc] = SymmetricScaleS8(row, ckk);
+    QuantizeBufferS8(row, ckk, 1.0f / wscales_[oc], q.data() + oc * ckk);
+  }
+  qweight_ = PackedS8Weights::Pack(out_channels_, ckk, q.data());
+  // Dequant-free serving: release the f32 weight storage for good.
+  weight_.value = Tensor();
+  weight_.grad = Tensor();
+  weight_.trainable = false;
+  int8_serving_ = true;
+}
+
+int64_t Conv2d::Int8WeightBytes() const {
+  if (!int8_serving_) return 0;
+  return qweight_.nbytes() +
+         static_cast<int64_t>(wscales_.size() * sizeof(float));
+}
+
 Tensor Conv2d::Backward(const Tensor& grad_output) {
+  POE_CHECK(!int8_serving_) << "int8-serving Conv2d cannot train";
   POE_CHECK(cached_input_.defined()) << "Backward before training Forward";
   const int64_t batch = cached_input_.dim(0);
   const int64_t h = cached_h_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/gemm_s8.h"
 #include "util/rng.h"
 
 namespace poe {
@@ -31,6 +32,17 @@ class Conv2d : public Module {
   void CollectParameters(std::vector<Parameter*>* out) override;
   bool CanFuseRelu() const override { return true; }
   Tensor ForwardFusedRelu(const Tensor& input) override;
+
+  /// Dequant-free int8 serving: quantizes the weight matrix with
+  /// per-output-channel symmetric scales into pre-packed int8 GEMM panels
+  /// and releases the f32 weight storage. Inference Forward then
+  /// quantizes activations per-tensor on the fly and runs the int8 GEMM
+  /// with dequantization fused into its output pass. Irreversible;
+  /// training Forward/Backward are forbidden afterwards.
+  void PrepareInt8Serving() override;
+  int64_t Int8WeightBytes() const override;
+  bool int8_serving() const { return int8_serving_; }
+
   std::string Name() const override { return "Conv2d"; }
 
   int64_t in_channels() const { return in_channels_; }
@@ -45,11 +57,17 @@ class Conv2d : public Module {
 
  private:
   Tensor ForwardImpl(const Tensor& input, bool training, bool fuse_relu);
+  Tensor ForwardInt8(const Tensor& input, bool fuse_relu);
 
   int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
   bool has_bias_;
   Parameter weight_;
   Parameter bias_;
+
+  // Int8 serving state (valid when int8_serving_).
+  bool int8_serving_ = false;
+  PackedS8Weights qweight_;     // [out_c x ckk] panels, kernel layout
+  std::vector<float> wscales_;  // per-output-channel dequant scales
 
   // Cached from the last training Forward.
   Tensor cached_input_;

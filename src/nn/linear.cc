@@ -1,7 +1,9 @@
 #include "nn/linear.h"
 
 #include "nn/init.h"
+#include "tensor/arena.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_s8.h"
 
 namespace poe {
 
@@ -27,6 +29,10 @@ Tensor Linear::ForwardFusedRelu(const Tensor& input) {
 
 Tensor Linear::ForwardImpl(const Tensor& input, bool training,
                            bool fuse_relu) {
+  if (int8_serving_) {
+    POE_CHECK(!training) << "int8-serving Linear is inference-only";
+    return ForwardInt8(input, fuse_relu);
+  }
   POE_CHECK_EQ(input.ndim(), 2);
   POE_CHECK_EQ(input.dim(1), in_features_);
   const int64_t batch = input.dim(0);
@@ -41,7 +47,56 @@ Tensor Linear::ForwardImpl(const Tensor& input, bool training,
   return output;
 }
 
+// Int8 serving forward: dynamic per-tensor activation quantization, then
+// y = x_q * W_q^T with per-output-feature dequantization, bias, and ReLU
+// fused into the GEMM's int32 -> f32 output pass.
+Tensor Linear::ForwardInt8(const Tensor& input, bool fuse_relu) {
+  POE_CHECK_EQ(input.ndim(), 2);
+  POE_CHECK_EQ(input.dim(1), in_features_);
+  const int64_t batch = input.dim(0);
+  Tensor output({batch, out_features_});
+
+  const float act_scale = SymmetricScaleS8(input.data(), input.numel());
+
+  ScratchScope scope;
+  int8_t* q_in = AllocS8(scope, input.numel());
+  QuantizeBufferS8(input.data(), input.numel(), 1.0f / act_scale, q_in);
+
+  GemmS8Epilogue ep;
+  ep.scale = act_scale;
+  ep.col_scale = wscales_.data();
+  ep.col_bias = has_bias_ ? bias_.value.data() : nullptr;
+  ep.relu = fuse_relu;
+  GemmS8(false, true, batch, out_features_, in_features_, q_in,
+         qweight_.data(), output.data(), ep, /*parallel=*/true);
+  return output;
+}
+
+void Linear::PrepareInt8Serving() {
+  if (int8_serving_) return;
+  wscales_.resize(out_features_);
+  qweight_.resize(static_cast<size_t>(out_features_ * in_features_));
+  const float* wp = weight_.value.data();
+  for (int64_t of = 0; of < out_features_; ++of) {
+    const float* row = wp + of * in_features_;
+    wscales_[of] = SymmetricScaleS8(row, in_features_);
+    QuantizeBufferS8(row, in_features_, 1.0f / wscales_[of],
+                     qweight_.data() + of * in_features_);
+  }
+  weight_.value = Tensor();
+  weight_.grad = Tensor();
+  weight_.trainable = false;
+  int8_serving_ = true;
+}
+
+int64_t Linear::Int8WeightBytes() const {
+  if (!int8_serving_) return 0;
+  return static_cast<int64_t>(qweight_.size()) +
+         static_cast<int64_t>(wscales_.size() * sizeof(float));
+}
+
 Tensor Linear::Backward(const Tensor& grad_output) {
+  POE_CHECK(!int8_serving_) << "int8-serving Linear cannot train";
   POE_CHECK(cached_input_.defined());
   const int64_t batch = cached_input_.dim(0);
   POE_CHECK_EQ(grad_output.dim(0), batch);

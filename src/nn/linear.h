@@ -2,6 +2,7 @@
 #ifndef POE_NN_LINEAR_H_
 #define POE_NN_LINEAR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,16 @@ class Linear : public Module {
   void CollectParameters(std::vector<Parameter*>* out) override;
   bool CanFuseRelu() const override { return true; }
   Tensor ForwardFusedRelu(const Tensor& input) override;
+
+  /// Dequant-free int8 serving: weights become int8 with per-output-
+  /// feature scales, the f32 storage is released, and inference quantizes
+  /// activations per-tensor on the fly into the int8 GEMM (dequant + bias
+  /// + ReLU fused in its output pass). Irreversible; training is
+  /// forbidden afterwards.
+  void PrepareInt8Serving() override;
+  int64_t Int8WeightBytes() const override;
+  bool int8_serving() const { return int8_serving_; }
+
   std::string Name() const override { return "Linear"; }
 
   int64_t in_features() const { return in_features_; }
@@ -32,12 +43,18 @@ class Linear : public Module {
 
  private:
   Tensor ForwardImpl(const Tensor& input, bool training, bool fuse_relu);
+  Tensor ForwardInt8(const Tensor& input, bool fuse_relu);
 
   int64_t in_features_, out_features_;
   bool has_bias_;
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
+
+  // Int8 serving state (valid when int8_serving_).
+  bool int8_serving_ = false;
+  std::vector<int8_t> qweight_;  // [out_features x in_features], row-major
+  std::vector<float> wscales_;   // per-output-feature dequant scales
 };
 
 }  // namespace poe

@@ -35,4 +35,13 @@ int64_t Module::NumParams() {
   return n;
 }
 
+int64_t HeldStateBytes(Module& module) {
+  int64_t bytes = module.Int8WeightBytes();
+  for (Parameter* p : module.Parameters()) bytes += p->value.nbytes();
+  std::vector<Tensor*> buffers;
+  module.CollectBuffers(&buffers);
+  for (Tensor* b : buffers) bytes += b->nbytes();
+  return bytes;
+}
+
 }  // namespace poe

@@ -53,6 +53,18 @@ class Module {
   /// pass over the output.
   virtual Tensor ForwardFusedRelu(const Tensor& input);
 
+  /// Switches the module to dequant-free int8 serving: layers with weight
+  /// matrices (Conv2d, Linear) quantize them per-output-channel into
+  /// packed int8 panels and release the f32 storage; containers recurse;
+  /// everything else (activations, batch-norm) keeps serving f32. The
+  /// conversion is irreversible and inference-only — training Forward and
+  /// Backward are forbidden afterwards.
+  virtual void PrepareInt8Serving() {}
+
+  /// Bytes of packed int8 weight state held (scales included); 0 while
+  /// serving f32. Containers report the sum over children.
+  virtual int64_t Int8WeightBytes() const { return 0; }
+
   /// Layer type name for debugging/serialization ("Conv2d", ...).
   virtual std::string Name() const = 0;
 
@@ -72,6 +84,12 @@ class Module {
 
 /// Shorthand owning pointer used throughout model builders.
 using ModulePtr = std::unique_ptr<Module>;
+
+/// Bytes of weight state `module` actually holds in memory: f32
+/// parameter/buffer storage still present plus packed int8 weight bytes.
+/// For an int8-serving module this is the dequant-free footprint (released
+/// f32 weights count zero); for a f32 module it matches the state size.
+int64_t HeldStateBytes(Module& module);
 
 }  // namespace poe
 

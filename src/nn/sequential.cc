@@ -42,4 +42,14 @@ void Sequential::CollectBuffers(std::vector<Tensor*>* out) {
   for (auto& m : modules_) m->CollectBuffers(out);
 }
 
+void Sequential::PrepareInt8Serving() {
+  for (auto& m : modules_) m->PrepareInt8Serving();
+}
+
+int64_t Sequential::Int8WeightBytes() const {
+  int64_t total = 0;
+  for (const auto& m : modules_) total += m->Int8WeightBytes();
+  return total;
+}
+
 }  // namespace poe

@@ -23,6 +23,8 @@ class Sequential : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   void CollectBuffers(std::vector<Tensor*>* out) override;
+  void PrepareInt8Serving() override;
+  int64_t Int8WeightBytes() const override;
   std::string Name() const override { return "Sequential"; }
 
   size_t size() const { return modules_.size(); }

@@ -78,6 +78,18 @@ class ScratchScope {
   int64_t saved_offset_;
 };
 
+/// `n` bytes of int8 scratch carved out of the float arena (character-type
+/// access of the float blocks is aliasing-safe). Used by the quantized
+/// serving path for activation buffers and GEMM panels.
+inline int8_t* AllocS8(ScratchScope& scope, int64_t n) {
+  return reinterpret_cast<int8_t*>(scope.Alloc((n + 3) / 4));
+}
+
+/// Unsigned variant (shifted int8 GEMM A-panels).
+inline uint8_t* AllocU8(ScratchScope& scope, int64_t n) {
+  return reinterpret_cast<uint8_t*>(scope.Alloc((n + 3) / 4));
+}
+
 }  // namespace poe
 
 #endif  // POE_TENSOR_ARENA_H_

@@ -246,17 +246,57 @@ void GemmEx(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   const Kernel& kernel = PickKernel();
   const int64_t row_tiles = (m + kMC - 1) / kMC;
   const int64_t col_tiles = (n + kNC - 1) / kNC;
-  auto tile = [&](int64_t rt, int64_t ct) {
-    const int64_t i0 = rt * kMC;
+  // With one worker the per-tile path would only repack B k-blocks
+  // row_tiles times over; take the hoisted sequential path instead.
+  if (parallel && NumThreads() > 1 && row_tiles * col_tiles > 1) {
+    ParallelFor2D(row_tiles, col_tiles, [&](int64_t rt, int64_t ct) {
+      const int64_t i0 = rt * kMC;
+      const int64_t j0 = ct * kNC;
+      ComputeTile(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, ep,
+                  kernel, i0, std::min(kMC, m - i0), j0,
+                  std::min(kNC, n - j0));
+    });
+    return;
+  }
+
+  // Sequential path: op(B) packing is hoisted out of the row-macro-tile
+  // loop — each B k-block is packed once per column stripe and reused by
+  // every row tile, instead of being repacked ceil(m/MC) times. Per-element
+  // k-accumulation order is unchanged (ascending k-blocks), so the result
+  // stays bitwise identical to the parallel per-tile path.
+  const int64_t mr = kernel.mr;
+  const int64_t nr = kernel.nr;
+  const int64_t kc_max = std::min(k, kKC);
+  const int64_t a_pad_max =
+      std::min(kMC, (std::min(kMC, m) + mr - 1) / mr * mr);
+  for (int64_t ct = 0; ct < col_tiles; ++ct) {
     const int64_t j0 = ct * kNC;
-    ComputeTile(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, ep, kernel,
-                i0, std::min(kMC, m - i0), j0, std::min(kNC, n - j0));
-  };
-  if (parallel && row_tiles * col_tiles > 1) {
-    ParallelFor2D(row_tiles, col_tiles, tile);
-  } else {
-    for (int64_t rt = 0; rt < row_tiles; ++rt)
-      for (int64_t ct = 0; ct < col_tiles; ++ct) tile(rt, ct);
+    const int64_t nc = std::min(kNC, n - j0);
+    const int64_t nc_pad = (nc + nr - 1) / nr * nr;
+    ScratchScope scope;
+    float* a_pack = scope.Alloc(a_pad_max * kc_max);
+    float* b_pack = scope.Alloc(kc_max * nc_pad);
+    float acc[kMaxMR * kMaxNR];
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min(kKC, k - pc);
+      PackB(trans_b, b, k, n, pc, kc, j0, nc, nr, b_pack);
+      const float blk_beta = (pc == 0) ? beta : 1.0f;
+      const bool last = pc + kc >= k;
+      for (int64_t rt = 0; rt < row_tiles; ++rt) {
+        const int64_t i0 = rt * kMC;
+        const int64_t mc = std::min(kMC, m - i0);
+        PackA(trans_a, a, m, k, i0, mc, pc, kc, mr, a_pack);
+        for (int64_t jp = 0; jp < nc; jp += nr) {
+          const float* bp = b_pack + (jp / nr) * kc * nr;
+          const int64_t cols = std::min(nr, nc - jp);
+          for (int64_t ip = 0; ip < mc; ip += mr) {
+            kernel.fn(kc, a_pack + (ip / mr) * kc * mr, bp, acc);
+            StoreTile(acc, nr, std::min(mr, mc - ip), cols, alpha, blk_beta,
+                      last && !ep.empty(), ep, i0 + ip, j0 + jp, c, n);
+          }
+        }
+      }
+    }
   }
 }
 

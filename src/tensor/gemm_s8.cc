@@ -1,0 +1,644 @@
+#include "tensor/gemm_s8.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tensor/arena.h"
+#include "tensor/pack_s8.h"
+#include "util/logging.h"
+#include "util/parallel_for.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define POE_GEMM_S8_X86 1
+#include <immintrin.h>
+#endif
+
+namespace poe {
+
+namespace {
+
+// Macro-tile grid (same MC/NC as the f32 GEMM, so conv/linear layers can
+// reuse GemmParallelTiles for their parallelism decision). There is no
+// k-blocking: int8 panels are 4x denser than f32, so whole-k panels stay
+// cache-resident for every shape this system runs, and the register tile
+// finishes its exact int32 accumulation in one kernel call.
+constexpr int64_t kMC = 240;  // multiple of every kernel's MR (6 and 12)
+constexpr int64_t kNC = 1024;
+
+// k cap so the worst-case accumulator |sum_p (a+128)*b| <= k * 255 * 127
+// stays far from int32 overflow.
+constexpr int64_t kMaxK = 1 << 16;
+
+constexpr int64_t kMaxMR = 16;
+constexpr int64_t kMaxNR = 32;
+
+// A micro-kernel computes acc[r*acc_rs + c*acc_cs] = sum_p a[...] * b[...]
+// over whole packed panels (`groups` = kpad/KR k-groups; acc is
+// overwritten). The A panel holds uint8 values pre-shifted by the kernel's
+// `shift`; the dequantizing store subtracts shift * colsum to undo it.
+using MicroKernelS8Fn = void (*)(int64_t groups, const uint8_t* a,
+                                 const int8_t* b, int32_t* acc);
+
+struct KernelS8 {
+  int64_t mr, nr, kr;
+  int64_t acc_rs, acc_cs;  // accumulator tile strides (row, column)
+  uint8_t shift;  // 128 for u8 x s8 instruction kernels, else 0
+  bool pack_b_fast;  // use the SIMD 16x4 B packer (vnni geometry only)
+  MicroKernelS8Fn fn;
+  const char* name;
+};
+
+// Chunk-wise specialization of PackAs8 for the untransposed case: each
+// source row contributes contiguous kr-byte runs, so the pack is a plain
+// kr-byte copy with the +128 shift applied as a bytewise XOR of the top
+// bit ((int8)v + 128 == (uint8)v ^ 0x80). ~4x the bytewise generic loop.
+void PackAs8RowMajor(const int8_t* a, int64_t m, int64_t k, int64_t i0,
+                     int64_t mc, int64_t mr, int64_t kr, uint8_t shift,
+                     uint8_t* out) {
+  (void)m;
+  const int64_t kpad = (k + kr - 1) / kr * kr;
+  const int64_t group = mr * kr;
+  const int64_t kfull = k / kr * kr;
+  const uint32_t mask = shift == 0 ? 0u : 0x80808080u;
+  for (int64_t ip = 0; ip < mc; ip += mr) {
+    const int64_t rows = (mc - ip < mr) ? mc - ip : mr;
+    uint8_t* panel = out + (ip / mr) * kpad * mr;
+    for (int64_t r = 0; r < rows; ++r) {
+      const int8_t* src = a + (i0 + ip + r) * k;
+      uint8_t* dst = panel + r * kr;
+      if (kr == 4) {
+        for (int64_t p = 0; p < kfull; p += 4, dst += group) {
+          uint32_t w;
+          std::memcpy(&w, src + p, 4);
+          w ^= mask;
+          std::memcpy(dst, &w, 4);
+        }
+      } else {
+        for (int64_t p = 0; p < kfull; p += kr, dst += group) {
+          for (int64_t q = 0; q < kr; ++q)
+            dst[q] = static_cast<uint8_t>(src[p + q] + shift);
+        }
+      }
+      if (kfull < k) {  // zero-padded (post-shift) trailing group
+        for (int64_t q = 0; q < kr; ++q)
+          dst[q] = kfull + q < k
+                       ? static_cast<uint8_t>(src[kfull + q] + shift)
+                       : shift;
+      }
+    }
+    // Row padding is `shift` (zero after unshifting).
+    for (int64_t r = rows; r < mr; ++r) {
+      uint8_t* dst = panel + r * kr;
+      for (int64_t g = 0; g < kpad / kr; ++g)
+        for (int64_t q = 0; q < kr; ++q) dst[g * group + q] = shift;
+    }
+  }
+}
+
+// Portable fallback: 6x16 int32 accumulator block in plain C with the
+// KR = 4 interleave. Fixed trip counts let the compiler unroll/vectorize.
+void MicroKernelS8Scalar6x16(int64_t groups, const uint8_t* a,
+                             const int8_t* b, int32_t* acc) {
+  int32_t c[6 * 16];
+  std::memset(c, 0, sizeof(c));
+  const int8_t* as = reinterpret_cast<const int8_t*>(a);  // shift == 0
+  for (int64_t g = 0; g < groups; ++g, as += 6 * 4, b += 16 * 4) {
+    for (int r = 0; r < 6; ++r) {
+      const int32_t a0 = as[r * 4 + 0];
+      const int32_t a1 = as[r * 4 + 1];
+      const int32_t a2 = as[r * 4 + 2];
+      const int32_t a3 = as[r * 4 + 3];
+      int32_t* crow = c + r * 16;
+      for (int j = 0; j < 16; ++j) {
+        crow[j] += a0 * b[j * 4 + 0] + a1 * b[j * 4 + 1] +
+                   a2 * b[j * 4 + 2] + a3 * b[j * 4 + 3];
+      }
+    }
+  }
+  std::memcpy(acc, c, sizeof(c));
+}
+
+#ifdef POE_GEMM_S8_X86
+
+// Exact 6x16 AVX2 kernel, KR = 2: both operands are sign-extended to int16
+// and combined with vpmaddwd (a0*b0 + a1*b1 into int32, no saturation —
+// |products| <= 2 * 127^2 so the pairwise int32 sum is exact). 12 ymm
+// accumulators + 2 B vectors + 1 broadcast.
+__attribute__((target("avx2"))) void MicroKernelS8Avx2_6x16(
+    int64_t groups, const uint8_t* a, const int8_t* b, int32_t* acc) {
+  __m256i c0[6], c1[6];
+  for (int r = 0; r < 6; ++r) {
+    c0[r] = _mm256_setzero_si256();
+    c1[r] = _mm256_setzero_si256();
+  }
+  const int8_t* as = reinterpret_cast<const int8_t*>(a);  // shift == 0
+  for (int64_t g = 0; g < groups; ++g, as += 6 * 2, b += 16 * 2) {
+    // 32 B bytes = 16 columns x 2 k-values, sign-extended to int16 pairs.
+    const __m256i b0 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b)));
+    const __m256i b1 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + 16)));
+#pragma GCC unroll 6
+    for (int r = 0; r < 6; ++r) {
+      const uint32_t pair =
+          static_cast<uint16_t>(static_cast<int16_t>(as[r * 2])) |
+          (static_cast<uint32_t>(
+               static_cast<uint16_t>(static_cast<int16_t>(as[r * 2 + 1])))
+           << 16);
+      const __m256i va = _mm256_set1_epi32(static_cast<int32_t>(pair));
+      c0[r] = _mm256_add_epi32(c0[r], _mm256_madd_epi16(va, b0));
+      c1[r] = _mm256_add_epi32(c1[r], _mm256_madd_epi16(va, b1));
+    }
+  }
+  for (int r = 0; r < 6; ++r) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r * 16), c0[r]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r * 16 + 8),
+                        c1[r]);
+  }
+}
+
+// 16x16 AVX-512 VNNI kernel, KR = 4. One zmm load covers a whole A
+// k-group (16 rows x 4 k-bytes); each of the 16 accumulator columns is
+// updated by one vpdpbusd whose signed operand is the column's 4-byte
+// B run broadcast straight from the panel ({1to16} embedded broadcast:
+// no shuffle uop, no register). Accumulator lanes are rows, so the tile
+// is written column-major (acc_rs = 1, acc_cs = 16). Hand-written asm:
+// GCC's allocator otherwise rotates the 16 tied vpdpbusd accumulators
+// through spill slots, which halves throughput. Sustains ~2 vpdpbusd
+// (128 MACs) per cycle — about 4x the f32 FMA peak.
+void MicroKernelS8Vnni16x16(int64_t groups, const uint8_t* a,
+                            const int8_t* b, int32_t* acc) {
+  asm volatile(
+      "vpxord %%zmm8, %%zmm8, %%zmm8\n\t"
+      "vpxord %%zmm9, %%zmm9, %%zmm9\n\t"
+      "vpxord %%zmm10, %%zmm10, %%zmm10\n\t"
+      "vpxord %%zmm11, %%zmm11, %%zmm11\n\t"
+      "vpxord %%zmm12, %%zmm12, %%zmm12\n\t"
+      "vpxord %%zmm13, %%zmm13, %%zmm13\n\t"
+      "vpxord %%zmm14, %%zmm14, %%zmm14\n\t"
+      "vpxord %%zmm15, %%zmm15, %%zmm15\n\t"
+      "vpxord %%zmm16, %%zmm16, %%zmm16\n\t"
+      "vpxord %%zmm17, %%zmm17, %%zmm17\n\t"
+      "vpxord %%zmm18, %%zmm18, %%zmm18\n\t"
+      "vpxord %%zmm19, %%zmm19, %%zmm19\n\t"
+      "vpxord %%zmm20, %%zmm20, %%zmm20\n\t"
+      "vpxord %%zmm21, %%zmm21, %%zmm21\n\t"
+      "vpxord %%zmm22, %%zmm22, %%zmm22\n\t"
+      "vpxord %%zmm23, %%zmm23, %%zmm23\n\t"
+      "1:\n\t"
+      "vmovdqu64 (%[a]), %%zmm0\n\t"
+      "vpdpbusd 0(%[b])%{1to16%}, %%zmm0, %%zmm8\n\t"
+      "vpdpbusd 4(%[b])%{1to16%}, %%zmm0, %%zmm9\n\t"
+      "vpdpbusd 8(%[b])%{1to16%}, %%zmm0, %%zmm10\n\t"
+      "vpdpbusd 12(%[b])%{1to16%}, %%zmm0, %%zmm11\n\t"
+      "vpdpbusd 16(%[b])%{1to16%}, %%zmm0, %%zmm12\n\t"
+      "vpdpbusd 20(%[b])%{1to16%}, %%zmm0, %%zmm13\n\t"
+      "vpdpbusd 24(%[b])%{1to16%}, %%zmm0, %%zmm14\n\t"
+      "vpdpbusd 28(%[b])%{1to16%}, %%zmm0, %%zmm15\n\t"
+      "vpdpbusd 32(%[b])%{1to16%}, %%zmm0, %%zmm16\n\t"
+      "vpdpbusd 36(%[b])%{1to16%}, %%zmm0, %%zmm17\n\t"
+      "vpdpbusd 40(%[b])%{1to16%}, %%zmm0, %%zmm18\n\t"
+      "vpdpbusd 44(%[b])%{1to16%}, %%zmm0, %%zmm19\n\t"
+      "vpdpbusd 48(%[b])%{1to16%}, %%zmm0, %%zmm20\n\t"
+      "vpdpbusd 52(%[b])%{1to16%}, %%zmm0, %%zmm21\n\t"
+      "vpdpbusd 56(%[b])%{1to16%}, %%zmm0, %%zmm22\n\t"
+      "vpdpbusd 60(%[b])%{1to16%}, %%zmm0, %%zmm23\n\t"
+      "add $64, %[a]\n\t"
+      "add $64, %[b]\n\t"
+      "dec %[g]\n\t"
+      "jne 1b\n\t"
+      "vmovdqu64 %%zmm8, 0(%[acc])\n\t"
+      "vmovdqu64 %%zmm9, 64(%[acc])\n\t"
+      "vmovdqu64 %%zmm10, 128(%[acc])\n\t"
+      "vmovdqu64 %%zmm11, 192(%[acc])\n\t"
+      "vmovdqu64 %%zmm12, 256(%[acc])\n\t"
+      "vmovdqu64 %%zmm13, 320(%[acc])\n\t"
+      "vmovdqu64 %%zmm14, 384(%[acc])\n\t"
+      "vmovdqu64 %%zmm15, 448(%[acc])\n\t"
+      "vmovdqu64 %%zmm16, 512(%[acc])\n\t"
+      "vmovdqu64 %%zmm17, 576(%[acc])\n\t"
+      "vmovdqu64 %%zmm18, 640(%[acc])\n\t"
+      "vmovdqu64 %%zmm19, 704(%[acc])\n\t"
+      "vmovdqu64 %%zmm20, 768(%[acc])\n\t"
+      "vmovdqu64 %%zmm21, 832(%[acc])\n\t"
+      "vmovdqu64 %%zmm22, 896(%[acc])\n\t"
+      "vmovdqu64 %%zmm23, 960(%[acc])\n\t"
+      : [a] "+r"(a), [b] "+r"(b), [g] "+r"(groups)
+      : [acc] "r"(acc)
+      : "zmm0", "zmm8", "zmm9", "zmm10", "zmm11", "zmm12", "zmm13",
+        "zmm14", "zmm15", "zmm16", "zmm17", "zmm18", "zmm19", "zmm20",
+        "zmm21", "zmm22", "zmm23", "memory", "cc");
+}
+
+// SIMD B packer for the VNNI geometry (kr = 4, nr = 16, !trans_b): each
+// k-group of a panel is a 4x16 byte transpose (two punpck levels), and the
+// column sums fall out of one vpdpbusd against all-ones (u8 ones x s8
+// values accumulate each column's 4 bytes into its int32 lane).
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void
+PackBs8Vnni16x4(const int8_t* b, int64_t k, int64_t n, int64_t j0,
+                int64_t nc, int8_t* out, int32_t* colsum) {
+  constexpr int64_t kNr = 16;
+  constexpr int64_t kKr = 4;
+  const int64_t kpad = (k + kKr - 1) / kKr * kKr;
+  const int64_t kfull = k / kKr * kKr;
+  const __m512i ones = _mm512_set1_epi8(1);
+  for (int64_t jp = 0; jp < nc; jp += kNr) {
+    const int64_t cols = (nc - jp < kNr) ? nc - jp : kNr;
+    int8_t* panel = out + (jp / kNr) * kpad * kNr;
+    if (cols == kNr) {
+      __m512i sums = _mm512_setzero_si512();
+      int8_t* dst = panel;
+      const int8_t* src = b + j0 + jp;
+      for (int64_t p = 0; p < kfull; p += 4, dst += 64) {
+        const __m128i r0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(src + (p + 0) * n));
+        const __m128i r1 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(src + (p + 1) * n));
+        const __m128i r2 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(src + (p + 2) * n));
+        const __m128i r3 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(src + (p + 3) * n));
+        const __m128i t0 = _mm_unpacklo_epi8(r0, r1);  // c0..c7 (r0,r1)
+        const __m128i t1 = _mm_unpackhi_epi8(r0, r1);  // c8..c15
+        const __m128i t2 = _mm_unpacklo_epi8(r2, r3);
+        const __m128i t3 = _mm_unpackhi_epi8(r2, r3);
+        __m512i block = _mm512_castsi128_si512(_mm_unpacklo_epi16(t0, t2));
+        block = _mm512_inserti32x4(block, _mm_unpackhi_epi16(t0, t2), 1);
+        block = _mm512_inserti32x4(block, _mm_unpacklo_epi16(t1, t3), 2);
+        block = _mm512_inserti32x4(block, _mm_unpackhi_epi16(t1, t3), 3);
+        _mm512_storeu_si512(dst, block);
+        sums = _mm512_dpbusd_epi32(sums, ones, block);
+      }
+      if (kfull < k) {  // zero-padded trailing group
+        alignas(64) int8_t tail[64] = {0};
+        for (int64_t q = 0; kfull + q < k; ++q)
+          for (int64_t c = 0; c < kNr; ++c)
+            tail[c * 4 + q] = src[(kfull + q) * n + c];
+        const __m512i block =
+            _mm512_load_si512(reinterpret_cast<const __m512i*>(tail));
+        _mm512_storeu_si512(dst, block);
+        sums = _mm512_dpbusd_epi32(sums, ones, block);
+      }
+      _mm512_storeu_si512(colsum + jp, sums);
+    } else {
+      // Edge panel: generic bytewise pack of the partial column set.
+      PackBs8(/*trans_b=*/false, b, k, n, j0 + jp, cols, kNr, kKr, panel,
+              colsum + jp);
+    }
+  }
+}
+
+// Vectorized dequantizing store for the VNNI tile (16x16, column-major
+// accumulator): shift compensation is folded into the column loads, a
+// 16x16 in-register int32 transpose turns columns into row vectors, and
+// each row then converts + scales + biases + clamps + masked-stores as one
+// 16-lane operation. Replaces ~256 branchy scalar conversions per tile.
+__attribute__((target("avx512f"))) void DequantStoreVnni16x16(
+    const int32_t* acc, int64_t rows, int64_t cols, const int32_t* colsum,
+    const GemmS8Epilogue& ep, int64_t row0, int64_t col0, float* c,
+    int64_t ldc) {
+  __m512i r[16], t[16];
+  for (int j = 0; j < 16; ++j) {
+    r[j] = _mm512_sub_epi32(
+        _mm512_loadu_si512(acc + j * 16),
+        _mm512_set1_epi32(128 * colsum[j]));
+  }
+  // 16x16 transpose: 32-bit unpack, 64-bit unpack, two 128-bit shuffles.
+  for (int i = 0; i < 8; ++i) {
+    t[2 * i] = _mm512_unpacklo_epi32(r[2 * i], r[2 * i + 1]);
+    t[2 * i + 1] = _mm512_unpackhi_epi32(r[2 * i], r[2 * i + 1]);
+  }
+  for (int g = 0; g < 4; ++g) {
+    r[4 * g + 0] = _mm512_unpacklo_epi64(t[4 * g + 0], t[4 * g + 2]);
+    r[4 * g + 1] = _mm512_unpackhi_epi64(t[4 * g + 0], t[4 * g + 2]);
+    r[4 * g + 2] = _mm512_unpacklo_epi64(t[4 * g + 1], t[4 * g + 3]);
+    r[4 * g + 3] = _mm512_unpackhi_epi64(t[4 * g + 1], t[4 * g + 3]);
+  }
+  for (int i = 0; i < 4; ++i) {
+    t[i] = _mm512_shuffle_i32x4(r[i], r[i + 4], 0x88);
+    t[i + 4] = _mm512_shuffle_i32x4(r[i], r[i + 4], 0xdd);
+    t[i + 8] = _mm512_shuffle_i32x4(r[i + 8], r[i + 12], 0x88);
+    t[i + 12] = _mm512_shuffle_i32x4(r[i + 8], r[i + 12], 0xdd);
+  }
+  for (int i = 0; i < 8; ++i) {
+    r[i] = _mm512_shuffle_i32x4(t[i], t[i + 8], 0x88);
+    r[i + 8] = _mm512_shuffle_i32x4(t[i], t[i + 8], 0xdd);
+  }
+
+  const __mmask16 mask =
+      static_cast<__mmask16>((1u << cols) - 1u);  // cols <= 16
+  const __m512 col_scale =
+      ep.col_scale != nullptr
+          ? _mm512_maskz_loadu_ps(mask, ep.col_scale + col0)
+          : _mm512_set1_ps(1.0f);
+  const __m512 col_bias =
+      ep.col_bias != nullptr
+          ? _mm512_maskz_loadu_ps(mask, ep.col_bias + col0)
+          : _mm512_setzero_ps();
+  const __m512 zero = _mm512_setzero_ps();
+  for (int64_t i = 0; i < rows; ++i) {
+    const float rs =
+        ep.scale * (ep.row_scale != nullptr ? ep.row_scale[row0 + i] : 1.0f);
+    __m512 v = _mm512_cvtepi32_ps(r[i]);
+    v = _mm512_mul_ps(v, _mm512_mul_ps(_mm512_set1_ps(rs), col_scale));
+    v = _mm512_add_ps(v, col_bias);
+    if (ep.row_bias != nullptr) {
+      v = _mm512_add_ps(v, _mm512_set1_ps(ep.row_bias[row0 + i]));
+    }
+    if (ep.relu) v = _mm512_max_ps(v, zero);
+    _mm512_mask_storeu_ps(c + (row0 + i) * ldc + col0, mask, v);
+  }
+}
+
+#endif  // POE_GEMM_S8_X86
+
+const KernelS8& PickKernelS8() {
+  static const KernelS8 kernel = [] {
+    // POE_GEMM_KERNEL=scalar|avx2|avx512 forces a variant ("avx512" maps
+    // to the VNNI kernel); unsupported values fall back to detection.
+    const char* env = std::getenv("POE_GEMM_KERNEL");
+    const std::string want = env ? env : "";
+    const KernelS8 scalar{6, 16, 4, 16, 1, 0, false,
+                          MicroKernelS8Scalar6x16, "scalar"};
+    if (want == "scalar") return scalar;
+#ifdef POE_GEMM_S8_X86
+    const bool has_vnni = __builtin_cpu_supports("avx512vnni") &&
+                          __builtin_cpu_supports("avx512bw");
+    const bool has_avx2 = __builtin_cpu_supports("avx2");
+    const KernelS8 vnni{16, 16, 4, 1, 16, 128, true,
+                        MicroKernelS8Vnni16x16, "avx512vnni"};
+    const KernelS8 avx2{6, 16, 2, 16, 1, 0, false,
+                        MicroKernelS8Avx2_6x16, "avx2"};
+    if (want == "avx512" && has_vnni) return vnni;
+    if (want == "avx2" && has_avx2) return avx2;
+    if (has_vnni) return vnni;
+    if (has_avx2) return avx2;
+#endif
+    return scalar;
+  }();
+  return kernel;
+}
+
+// Kernel-aware packing dispatch: the untransposed A side always takes the
+// chunk-wise row-major packer; the untransposed B side takes the SIMD
+// transpose packer when the dispatched kernel uses the VNNI geometry.
+void PackADispatch(const KernelS8& kn, bool trans_a, const int8_t* a,
+                   int64_t m, int64_t k, int64_t i0, int64_t mc,
+                   uint8_t* out) {
+  if (!trans_a) {
+    PackAs8RowMajor(a, m, k, i0, mc, kn.mr, kn.kr, kn.shift, out);
+  } else {
+    PackAs8(true, a, m, k, i0, mc, kn.mr, kn.kr, kn.shift, out);
+  }
+}
+
+void PackBDispatch(const KernelS8& kn, bool trans_b, const int8_t* b,
+                   int64_t k, int64_t n, int64_t j0, int64_t nc,
+                   int8_t* out, int32_t* colsum) {
+#ifdef POE_GEMM_S8_X86
+  if (!trans_b && kn.pack_b_fast) {
+    PackBs8Vnni16x4(b, k, n, j0, nc, out, colsum);
+    return;
+  }
+#endif
+  PackBs8(trans_b, b, k, n, j0, nc, kn.nr, kn.kr, out, colsum);
+}
+
+// Scalar int32 -> f32 conversion, shared by the scalar/avx2 store path,
+// GemmS8Ref, and the k == 0 epilogue-only path. The vectorized VNNI store
+// performs the same arithmetic with a different operation order, so it
+// may differ from this by a few ulps (tests compare kernels to the
+// reference with a tight relative tolerance, not bitwise).
+inline float DequantOne(int64_t i, int64_t j, int32_t acc,
+                        const GemmS8Epilogue& ep) {
+  float v = static_cast<float>(acc) * ep.scale;
+  if (ep.row_scale != nullptr) v *= ep.row_scale[i];
+  if (ep.col_scale != nullptr) v *= ep.col_scale[j];
+  if (ep.row_bias != nullptr) v += ep.row_bias[i];
+  if (ep.col_bias != nullptr) v += ep.col_bias[j];
+  if (ep.relu && v < 0.0f) v = 0.0f;
+  return v;
+}
+
+// Writes one micro-tile: undoes the A shift via colsum (colsum points at
+// this panel's columns) and applies the dequantizing epilogue. noinline:
+// a single compiled instance (one call per register tile) guarantees every
+// execution path — parallel, sequential, prepacked — performs bitwise
+// identical f32 arithmetic regardless of per-callsite fp contraction.
+__attribute__((noinline)) void DequantStoreS8(
+    const int32_t* acc, int64_t acc_rs, int64_t acc_cs, int64_t rows,
+    int64_t cols, const int32_t* colsum, int32_t shift,
+    const GemmS8Epilogue& ep, int64_t row0, int64_t col0, float* c,
+    int64_t ldc) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const int32_t* arow = acc + r * acc_rs;
+    float* crow = c + (row0 + r) * ldc + col0;
+    for (int64_t j = 0; j < cols; ++j) {
+      crow[j] = DequantOne(row0 + r, col0 + j,
+                           arow[j * acc_cs] - shift * colsum[j], ep);
+    }
+  }
+}
+
+// Register-tile loops over one packed macro-tile.
+void MicroLoopsS8(const KernelS8& kernel, const uint8_t* a_pack,
+                  const int8_t* b_pack, const int32_t* colsum, int64_t kpad,
+                  int64_t i0, int64_t mc, int64_t j0, int64_t nc,
+                  const GemmS8Epilogue& ep, float* c, int64_t ldc) {
+  const int64_t mr = kernel.mr;
+  const int64_t nr = kernel.nr;
+  const int64_t groups = kpad / kernel.kr;
+  const int32_t shift = kernel.shift;
+  int32_t acc[kMaxMR * kMaxNR];
+  for (int64_t jp = 0; jp < nc; jp += nr) {
+    const int8_t* bp = b_pack + (jp / nr) * kpad * nr;
+    const int64_t cols = std::min(nr, nc - jp);
+    for (int64_t ip = 0; ip < mc; ip += mr) {
+      kernel.fn(groups, a_pack + (ip / mr) * kpad * mr, bp, acc);
+#ifdef POE_GEMM_S8_X86
+      if (kernel.acc_rs == 1) {  // VNNI tile: vectorized store
+        DequantStoreVnni16x16(acc, std::min(mr, mc - ip), cols, colsum + jp,
+                              ep, i0 + ip, j0 + jp, c, ldc);
+        continue;
+      }
+#endif
+      DequantStoreS8(acc, kernel.acc_rs, kernel.acc_cs,
+                     std::min(mr, mc - ip), cols, colsum + jp, shift, ep,
+                     i0 + ip, j0 + jp, c, ldc);
+    }
+  }
+}
+
+// Computes the C macro-tile [i0, i0+mc) x [j0, j0+nc) from scratch-packed
+// panels. `prepacked_a` (kernel-layout panels for the full m, from
+// PackedS8Weights) skips the A pack; it requires i0 % mr == 0, which holds
+// because kMC is a multiple of every MR.
+void ComputeTileS8(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                   int64_t k, const int8_t* a, const int8_t* b, float* c,
+                   const GemmS8Epilogue& ep, const KernelS8& kernel,
+                   const uint8_t* prepacked_a, int64_t i0, int64_t mc,
+                   int64_t j0, int64_t nc) {
+  const int64_t mr = kernel.mr;
+  const int64_t nr = kernel.nr;
+  const int64_t kpad = (k + kernel.kr - 1) / kernel.kr * kernel.kr;
+  const int64_t mc_pad = (mc + mr - 1) / mr * mr;
+  const int64_t nc_pad = (nc + nr - 1) / nr * nr;
+
+  ScratchScope scope;
+  const uint8_t* a_pack;
+  if (prepacked_a != nullptr) {
+    a_pack = prepacked_a + (i0 / mr) * kpad * mr;
+  } else {
+    uint8_t* buf = AllocU8(scope, mc_pad * kpad);
+    PackADispatch(kernel, trans_a, a, m, k, i0, mc, buf);
+    a_pack = buf;
+  }
+  int8_t* b_pack = AllocS8(scope, nc_pad * kpad);
+  int32_t colsum[kNC];
+  PackBDispatch(kernel, trans_b, b, k, n, j0, nc, b_pack, colsum);
+  MicroLoopsS8(kernel, a_pack, b_pack, colsum, kpad, i0, mc, j0, nc, ep, c,
+               n);
+}
+
+void GemmS8Impl(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                const int8_t* a, const int8_t* b, float* c,
+                const GemmS8Epilogue& ep, bool parallel,
+                const uint8_t* prepacked_a) {
+  POE_CHECK_GE(m, 0);
+  POE_CHECK_GE(n, 0);
+  POE_CHECK_GE(k, 0);
+  POE_CHECK_LE(k, kMaxK) << "int8 GEMM depth would risk int32 overflow";
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < n; ++j) c[i * n + j] = DequantOne(i, j, 0, ep);
+    return;
+  }
+
+  const KernelS8& kernel = PickKernelS8();
+  const int64_t row_tiles = (m + kMC - 1) / kMC;
+  const int64_t col_tiles = (n + kNC - 1) / kNC;
+  // With one worker the per-tile path would only repack B stripes
+  // row_tiles times over; take the hoisted sequential path instead.
+  if (parallel && NumThreads() > 1 && row_tiles * col_tiles > 1) {
+    ParallelFor2D(row_tiles, col_tiles, [&](int64_t rt, int64_t ct) {
+      const int64_t i0 = rt * kMC;
+      const int64_t j0 = ct * kNC;
+      ComputeTileS8(trans_a, trans_b, m, n, k, a, b, c, ep, kernel,
+                    prepacked_a, i0, std::min(kMC, m - i0), j0,
+                    std::min(kNC, n - j0));
+    });
+    return;
+  }
+  // Sequential path: op(B) packing is hoisted out of the row-tile loop —
+  // each B stripe is packed once per column tile and reused by every row
+  // macro-tile (the f32 sequential path shares this structure).
+  const int64_t kpad = (k + kernel.kr - 1) / kernel.kr * kernel.kr;
+  const int64_t mr = kernel.mr;
+  for (int64_t ct = 0; ct < col_tiles; ++ct) {
+    const int64_t j0 = ct * kNC;
+    const int64_t nc = std::min(kNC, n - j0);
+    const int64_t nc_pad = (nc + kernel.nr - 1) / kernel.nr * kernel.nr;
+    ScratchScope scope;
+    int8_t* b_pack = AllocS8(scope, nc_pad * kpad);
+    int32_t colsum[kNC];
+    PackBDispatch(kernel, trans_b, b, k, n, j0, nc, b_pack, colsum);
+    for (int64_t rt = 0; rt < row_tiles; ++rt) {
+      const int64_t i0 = rt * kMC;
+      const int64_t mc = std::min(kMC, m - i0);
+      const uint8_t* a_pack;
+      ScratchScope tile_scope;
+      if (prepacked_a != nullptr) {
+        a_pack = prepacked_a + (i0 / mr) * kpad * mr;
+      } else {
+        const int64_t mc_pad = (mc + mr - 1) / mr * mr;
+        uint8_t* buf = AllocU8(tile_scope, mc_pad * kpad);
+        PackADispatch(kernel, trans_a, a, m, k, i0, mc, buf);
+        a_pack = buf;
+      }
+      MicroLoopsS8(kernel, a_pack, b_pack, colsum, kpad, i0, mc, j0, nc, ep,
+                   c, n);
+    }
+  }
+}
+
+}  // namespace
+
+void GemmS8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+            const int8_t* a, const int8_t* b, float* c,
+            const GemmS8Epilogue& epilogue, bool parallel) {
+  GemmS8Impl(trans_a, trans_b, m, n, k, a, b, c, epilogue, parallel,
+             /*prepacked_a=*/nullptr);
+}
+
+PackedS8Weights PackedS8Weights::Pack(int64_t m, int64_t k,
+                                      const int8_t* a) {
+  POE_CHECK_GT(m, 0);
+  POE_CHECK_GT(k, 0);
+  POE_CHECK_LE(k, kMaxK);
+  const KernelS8& kernel = PickKernelS8();
+  const int64_t kpad = (k + kernel.kr - 1) / kernel.kr * kernel.kr;
+  const int64_t panels = (m + kernel.mr - 1) / kernel.mr;
+  PackedS8Weights packed;
+  packed.m_ = m;
+  packed.k_ = k;
+  packed.data_.resize(static_cast<size_t>(panels * kpad * kernel.mr));
+  PackADispatch(kernel, /*trans_a=*/false, a, m, k, /*i0=*/0, /*mc=*/m,
+                packed.data_.data());
+  return packed;
+}
+
+void GemmS8PackedA(const PackedS8Weights& a, int64_t n, const int8_t* b,
+                   float* c, const GemmS8Epilogue& epilogue, bool parallel) {
+  POE_CHECK(!a.empty()) << "GemmS8PackedA on unpacked weights";
+  GemmS8Impl(/*trans_a=*/false, /*trans_b=*/false, a.m_, n, a.k_,
+             /*a=*/nullptr, b, c, epilogue, parallel, a.data_.data());
+}
+
+void GemmS8Ref(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+               const int8_t* a, const int8_t* b, float* c,
+               const GemmS8Epilogue& epilogue) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      int32_t acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        const int32_t av = trans_a ? a[p * m + i] : a[i * k + p];
+        const int32_t bv = trans_b ? b[j * k + p] : b[p * n + j];
+        acc += av * bv;
+      }
+      c[i * n + j] = DequantOne(i, j, acc, epilogue);
+    }
+  }
+}
+
+const char* GemmS8KernelName() { return PickKernelS8().name; }
+
+void QuantizeBufferS8(const float* src, int64_t n, float inv_scale,
+                      int8_t* dst) {
+  for (int64_t i = 0; i < n; ++i) {
+    float v = src[i] * inv_scale;
+    v = std::max(-127.0f, std::min(127.0f, v));
+    // Round half away from zero (the project-wide int8 rounding rule).
+    dst[i] = static_cast<int8_t>(
+        static_cast<int32_t>(v + (v >= 0.0f ? 0.5f : -0.5f)));
+  }
+}
+
+float SymmetricScaleS8(const float* src, int64_t n) {
+  const float max_abs = MaxAbs(src, n);
+  return max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+}
+
+float MaxAbs(const float* src, int64_t n) {
+  float max_abs = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = src[i] < 0.0f ? -src[i] : src[i];
+    if (v > max_abs) max_abs = v;
+  }
+  return max_abs;
+}
+
+}  // namespace poe

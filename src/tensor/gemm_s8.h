@@ -1,0 +1,102 @@
+// Blocked, packed, SIMD-dispatched int8 x int8 -> int32 GEMM with a fused
+// dequantizing epilogue: the quantized serving hot path. Shares the f32
+// GEMM's MC/NC macro-tiling (docs/PERF.md) and adds a KR k-group interleave
+// for the 8-bit dot-product instructions.
+#ifndef POE_TENSOR_GEMM_S8_H_
+#define POE_TENSOR_GEMM_S8_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace poe {
+
+/// Output transform applied in the int32 -> f32 store pass. The raw
+/// product acc = sum_p op(A)(i,p) * op(B)(p,j) becomes
+///
+///   v = acc * scale * row_scale[i] * col_scale[j] + row_bias[i] + col_bias[j]
+///   C(i,j) = relu ? max(0, v) : v
+///
+/// with absent pointers treated as 1 (scales) / 0 (biases). Quantized
+/// layers put the activation scale in `scale` and the per-output-channel
+/// weight scales in row_scale (conv layout: C rows are channels) or
+/// col_scale (linear layout: C columns are features).
+struct GemmS8Epilogue {
+  float scale = 1.0f;
+  const float* row_scale = nullptr;  ///< length m
+  const float* col_scale = nullptr;  ///< length n
+  const float* row_bias = nullptr;   ///< length m, f32, added after dequant
+  const float* col_bias = nullptr;   ///< length n, f32, added after dequant
+  bool relu = false;
+};
+
+/// C (f32, m x n, row-major) = epilogue(op(A) * op(B)) where A and B are
+/// int8 and the product accumulates exactly in int32 (no intermediate
+/// rounding). Within a process results are bitwise identical across
+/// thread counts and across the plain/prepacked entry points; different
+/// kernels may differ by a few ulps in the f32 epilogue (the VNNI store
+/// vectorizes it with a different operation order). op(A)/op(B) transpose
+/// semantics match the f32 Gemm. k must be at most 1 << 16 so the
+/// worst-case accumulator cannot overflow.
+void GemmS8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+            const int8_t* a, const int8_t* b, float* c,
+            const GemmS8Epilogue& epilogue, bool parallel);
+
+/// Weights pre-packed once into the dispatched kernel's op(A) panel layout
+/// (an m x k row-major int8 matrix, no transpose). Serving layers build
+/// this at quantization time so per-query GEMMs skip the A-packing pass
+/// and the f32 weights can be released. Valid only within the process that
+/// packed it (the layout depends on the dispatched kernel geometry).
+class PackedS8Weights {
+ public:
+  PackedS8Weights() = default;
+  static PackedS8Weights Pack(int64_t m, int64_t k, const int8_t* a);
+
+  bool empty() const { return data_.empty(); }
+  int64_t rows() const { return m_; }
+  int64_t depth() const { return k_; }
+  /// Bytes held by the packed panels (the serving footprint of the
+  /// weight matrix).
+  int64_t nbytes() const { return static_cast<int64_t>(data_.size()); }
+
+ private:
+  friend void GemmS8PackedA(const PackedS8Weights&, int64_t, const int8_t*,
+                            float*, const GemmS8Epilogue&, bool);
+  std::vector<uint8_t> data_;  // shift-applied panels, kpad*mr per panel
+  int64_t m_ = 0, k_ = 0;
+};
+
+/// GemmS8 with op(A) pre-packed and op(B) = B (k x n, untransposed):
+/// C (m x n) = epilogue(packed_a * B). The conv serving path.
+void GemmS8PackedA(const PackedS8Weights& a, int64_t n, const int8_t* b,
+                   float* c, const GemmS8Epilogue& epilogue, bool parallel);
+
+/// Naive triple-loop reference with exact int32 accumulation and the same
+/// epilogue arithmetic (bitwise-identical outputs). The test oracle.
+void GemmS8Ref(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+               const int8_t* a, const int8_t* b, float* c,
+               const GemmS8Epilogue& epilogue);
+
+/// Name of the dispatched int8 micro-kernel ("avx512vnni", "avx2",
+/// "scalar"). Selection is automatic per CPU features; POE_GEMM_KERNEL
+/// forces a variant ("avx512" selects the VNNI kernel; unsupported values
+/// fall back to auto-detection).
+const char* GemmS8KernelName();
+
+/// Quantizes `n` f32 values symmetrically to int8 with `inv_scale` =
+/// 1 / SymmetricScaleS8(...) (round half away from zero, clamped to
+/// [-127, 127]). The single rounding routine behind both the dynamic
+/// activation quantization of the serving layers and the snapshot
+/// quantization in compress/quantize.cc.
+void QuantizeBufferS8(const float* src, int64_t n, float inv_scale,
+                      int8_t* dst);
+
+/// Symmetric max-abs int8 scale of `n` values: max|x| / 127, or 1 when
+/// all values are zero (so zero tensors round-trip exactly).
+float SymmetricScaleS8(const float* src, int64_t n);
+
+/// Max |x| over `n` floats (0 for n == 0).
+float MaxAbs(const float* src, int64_t n);
+
+}  // namespace poe
+
+#endif  // POE_TENSOR_GEMM_S8_H_

@@ -13,6 +13,12 @@ void Im2Col(const float* image, int64_t channels, int64_t height,
             int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t pad,
             int64_t stride, float* columns);
 
+/// Int8 overload for the quantized serving path: unfolds an already
+/// symmetric-quantized image (padding writes quantized zero = 0 exactly).
+void Im2Col(const int8_t* image, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t pad,
+            int64_t stride, int8_t* columns);
+
 /// Inverse accumulation of Im2Col: scatters the column matrix back into the
 /// image gradient (adds into `image_grad`, which the caller must zero).
 void Col2Im(const float* columns, int64_t channels, int64_t height,

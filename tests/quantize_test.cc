@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "models/wrn.h"
 #include "nn/linear.h"
 #include "tensor/ops.h"
@@ -49,6 +52,59 @@ TEST(QuantizeTest, FootprintIsRoughlyQuarterOfFloat) {
   EXPECT_LT(q.nbytes() * 3, t.nbytes());
 }
 
+TEST(QuantizeTest, PerChannelRoundTripBoundedPerRow) {
+  Rng rng(8);
+  Tensor t = Tensor::Randn({4, 50}, rng);
+  // Spread row magnitudes by ~64x so per-tensor scaling would waste most
+  // of the int8 range on the small rows.
+  for (int64_t r = 0; r < 4; ++r) {
+    const float gain = 1.0f / static_cast<float>(1 << (2 * r));
+    for (int64_t i = 0; i < 50; ++i) t.at(r * 50 + i) *= gain;
+  }
+  QuantizedTensor q = QuantizePerChannel(t);
+  EXPECT_EQ(q.axis, 0);
+  ASSERT_EQ(q.channel_scales.size(), 4u);
+  Tensor back = Dequantize(q);
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t i = 0; i < 50; ++i) {
+      EXPECT_LE(std::abs(t.at(r * 50 + i) - back.at(r * 50 + i)),
+                q.channel_scales[r] * 0.5f + 1e-7f);
+    }
+  }
+  // Per-channel reconstruction strictly beats the per-tensor snapshot on
+  // the attenuated rows.
+  Tensor per_tensor = Dequantize(Quantize(t));
+  float worst_pc = 0.0f, worst_pt = 0.0f;
+  for (int64_t i = 150; i < 200; ++i) {  // smallest-magnitude row
+    worst_pc = std::max(worst_pc, std::abs(t.at(i) - back.at(i)));
+    worst_pt = std::max(worst_pt, std::abs(t.at(i) - per_tensor.at(i)));
+  }
+  EXPECT_LT(worst_pc, worst_pt);
+}
+
+TEST(QuantizeTest, PerChannelExtremesMapPerRow) {
+  Tensor t = Tensor::FromVector({2, 2}, {-4.0f, 2.0f, 0.5f, -0.25f});
+  QuantizedTensor q = QuantizePerChannel(t);
+  EXPECT_EQ(q.values[0], -127);  // row-0 max-abs
+  EXPECT_EQ(q.values[2], 127);   // row-1 max-abs
+}
+
+// nbytes must account for everything a serialized snapshot holds: int8
+// values, the scale(s), the axis tag, and the shape metadata. These exact
+// numbers feed the pool-volume reporting of the Table 4 / quantization
+// ablation benches.
+TEST(QuantizedTensorTest, NbytesCountsScalesAndMetadata) {
+  Rng rng(10);
+  // Per-tensor, shape {3}: 3 values + 4 (scale) + 4 (axis) + 8 (ndim)
+  // + 8 (one dim) + 8 (element count) = 35.
+  QuantizedTensor pt = Quantize(Tensor::Randn({3}, rng));
+  EXPECT_EQ(pt.nbytes(), 35);
+  // Per-channel, shape {2, 3}: 6 values + 4 (scale) + 2*4 (channel
+  // scales) + 4 (axis) + 8 (ndim) + 2*8 (dims) + 8 (count) = 54.
+  QuantizedTensor pc = QuantizePerChannel(Tensor::Randn({2, 3}, rng));
+  EXPECT_EQ(pc.nbytes(), 54);
+}
+
 TEST(QuantizeModuleTest, RoundTripKeepsOutputsClose) {
   Rng rng(4);
   WrnConfig cfg;
@@ -90,6 +146,34 @@ TEST(QuantizeModuleTest, SnapshotCoversParamsAndBuffers) {
   EXPECT_EQ(state.tensors.size(),
             model.Parameters().size() + buffers.size());
   EXPECT_LT(state.nbytes() * 3, FloatStateBytes(model));
+}
+
+// Pins the exact int8 snapshot footprint of a fixed architecture so the
+// pool-size numbers the Table 4 / ablation benches report cannot drift
+// silently (shapes are architecture-determined, not RNG-dependent).
+TEST(QuantizeModuleTest, PoolSnapshotBytesPinned) {
+  Rng rng(21);
+  WrnConfig cfg;
+  cfg.num_classes = 5;
+  cfg.base_channels = 4;
+  Wrn model(cfg, rng);
+  QuantizedModuleState state = QuantizeModule(model);
+  int64_t expected = 0;
+  for (Parameter* p : model.Parameters()) {
+    const int64_t channel_scales =
+        p->value.ndim() >= 2 ? p->value.dim(0) : 0;
+    expected += p->value.numel() + 4 + channel_scales * 4 + 4 + 8 +
+                8 * p->value.ndim() + 8;
+  }
+  std::vector<Tensor*> buffers;
+  model.CollectBuffers(&buffers);
+  for (Tensor* b : buffers) {
+    expected += b->numel() + 4 + 4 + 8 + 8 * b->ndim() + 8;
+  }
+  EXPECT_EQ(state.nbytes(), expected);
+  // And the absolute value, pinned: a change to this number is a format
+  // change and must be deliberate.
+  EXPECT_EQ(state.nbytes(), 6885);
 }
 
 TEST(QuantizeModuleTest, DequantizeRejectsWrongStructure) {

@@ -6,6 +6,11 @@
 #
 #   tools/bench_to_json.sh                 # build/micro_ops -> BENCH_micro_ops.json
 #   tools/bench_to_json.sh build out.json --benchmark_filter='BM_Gemm'
+#   tools/bench_to_json.sh build out.json --with-figure7
+#
+# --with-figure7 additionally runs the figure7 query-time driver (realtime
+# PoE assembly vs training-based consolidation) and records its console
+# output next to the JSON as BENCH_figure7_query_time.txt.
 #
 # Requires a build configured with -DPOE_BUILD_BENCH=ON. Compare runs only
 # on the same machine; the JSON includes the host context for provenance.
@@ -17,6 +22,16 @@ BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_micro_ops.json}"
 shift $(( $# > 2 ? 2 : $# )) || true
 
+WITH_FIGURE7=0
+ARGS=()
+for arg in "$@"; do
+  if [[ "$arg" == "--with-figure7" ]]; then
+    WITH_FIGURE7=1
+  else
+    ARGS+=("$arg")
+  fi
+done
+
 BIN="$BUILD_DIR/micro_ops"
 if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not found — configure with -DPOE_BUILD_BENCH=ON" >&2
@@ -24,5 +39,16 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 "$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
-       --benchmark_format=console "$@"
+       --benchmark_format=console "${ARGS[@]+"${ARGS[@]}"}"
 echo "wrote $OUT"
+
+if [[ "$WITH_FIGURE7" == 1 ]]; then
+  FIG_BIN="$BUILD_DIR/figure7_query_time"
+  FIG_OUT="BENCH_figure7_query_time.txt"
+  if [[ ! -x "$FIG_BIN" ]]; then
+    echo "error: $FIG_BIN not found — configure with -DPOE_BUILD_BENCH=ON" >&2
+    exit 1
+  fi
+  "$FIG_BIN" | tee "$FIG_OUT"
+  echo "wrote $FIG_OUT"
+fi
