@@ -1,0 +1,554 @@
+// Serving-runtime throughput: hit / miss / mixed query workloads vs client
+// thread count, at f32 and int8 serving precision, for
+//   (a) the pre-PR baseline - one global mutex held across the entire
+//       pool assembly (reimplemented here verbatim as GlobalMutexService),
+//   (b) the sharded single-flight ModelQueryService, and
+//   (c) the batching InferenceServer (fused forwards vs batch-of-one).
+//
+// Usage:
+//   serving_throughput [--json out.json] [--seconds 0.3]
+//                      [--threads 1,2,4,8] [--epochs 2]
+//
+// QPS numbers are only comparable on the same machine; the JSON records
+// hardware_concurrency because contended scaling is meaningless on fewer
+// cores than client threads.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/expert_pool.h"
+#include "core/query_service.h"
+#include "data/synthetic.h"
+#include "distill/specialize.h"
+#include "eval/metrics.h"
+#include "serve/inference_server.h"
+#include "serve/model_cache.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace poe {
+namespace {
+
+// ------------------------------------------------------------------ baseline
+// The pre-PR ModelQueryService, kept bit-for-bit in spirit: one mutex
+// guards the stats, the LRU, AND the whole ExpertPool::Query assembly, so
+// every cache miss stalls every other query and even hits serialize.
+class GlobalMutexService {
+ public:
+  GlobalMutexService(ExpertPool pool, size_t cache_capacity)
+      : pool_(std::move(pool)), cache_capacity_(cache_capacity) {}
+
+  Result<std::shared_ptr<TaskModel>> Query(const std::vector<int>& task_ids) {
+    Stopwatch clock;
+    std::vector<int> key = task_ids;
+    std::sort(key.begin(), key.end());
+    key.erase(std::unique(key.begin(), key.end()), key.end());
+
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.num_queries++;
+    if (cache_capacity_ > 0) {
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        stats_.cache_hits++;
+        const double ms = clock.ElapsedMillis();
+        stats_.total_ms += ms;
+        stats_.max_ms = std::max(stats_.max_ms, ms);
+        return lru_.front().second;
+      }
+    }
+    auto assembled = pool_.Query(key);  // assembly under the global lock
+    if (!assembled.ok()) return assembled.status();
+    auto model =
+        std::make_shared<TaskModel>(std::move(assembled).ValueOrDie());
+    if (cache_capacity_ > 0) {
+      lru_.emplace_front(key, model);
+      index_[key] = lru_.begin();
+      if (lru_.size() > cache_capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+      }
+    }
+    const double ms = clock.ElapsedMillis();
+    stats_.total_ms += ms;
+    stats_.max_ms = std::max(stats_.max_ms, ms);
+    return model;
+  }
+
+ private:
+  using Entry = std::pair<std::vector<int>, std::shared_ptr<TaskModel>>;
+  ExpertPool pool_;
+  size_t cache_capacity_;
+  std::mutex mu_;
+  QueryStats stats_;
+  std::list<Entry> lru_;
+  std::map<std::vector<int>, std::list<Entry>::iterator> index_;
+};
+
+// ------------------------------------------------------------------ workload
+struct RunResult {
+  std::string service;
+  std::string precision;
+  std::string workload;
+  int threads = 0;
+  double seconds = 0.0;
+  int64_t ops = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double avg_batch = 0.0;  // server runs only
+};
+
+/// All composite tasks of size 1..4 over `num_tasks` primitives,
+/// deterministically shuffled - the bench's key universe.
+std::vector<std::vector<int>> KeyUniverse(int num_tasks) {
+  std::vector<std::vector<int>> keys;
+  for (int a = 0; a < num_tasks; ++a) {
+    keys.push_back({a});
+    for (int b = a + 1; b < num_tasks; ++b) {
+      keys.push_back({a, b});
+      for (int c = b + 1; c < num_tasks; ++c) {
+        keys.push_back({a, b, c});
+        for (int d = c + 1; d < num_tasks; ++d) {
+          keys.push_back({a, b, c, d});
+        }
+      }
+    }
+  }
+  Rng rng(13);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.NextInt(static_cast<int64_t>(i))]);
+  }
+  return keys;
+}
+
+constexpr int kHotKeys = 32;
+// Hot set + generous cold-churn slack: evictions land on spent cold keys,
+// not the hot set (thrash-recovery is the stress suite's job, not the
+// throughput bench's).
+constexpr size_t kCacheCapacity = 128;
+
+/// Cheap per-thread LCG so clients walk the hot set in decorrelated
+/// orders (lockstep walks herd onto one key and measure the herd, not
+/// the cache).
+inline int HotIndex(unsigned* state) {
+  *state = *state * 1664525u + 1013904223u;
+  return static_cast<int>((*state >> 8) % kHotKeys);
+}
+
+/// Runs `op(thread_id, op_index)` from `threads` client threads for
+/// `seconds` of wall time and returns aggregate ops + latency percentiles.
+template <typename Op>
+RunResult RunTimed(const std::string& service, const std::string& precision,
+                   const std::string& workload, int threads, double seconds,
+                   const Op& op, int queries_per_op = 1) {
+  LatencyHistogram hist;
+  std::atomic<int64_t> total_ops{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> clients;
+  Stopwatch wall;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      int64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Stopwatch sw;
+        op(t, ops);
+        hist.Record(sw.ElapsedMillis());
+        ++ops;
+      }
+      total_ops.fetch_add(ops);
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1e3)));
+  stop.store(true);
+  for (auto& c : clients) c.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  RunResult result;
+  result.service = service;
+  result.precision = precision;
+  result.workload = workload;
+  result.threads = threads;
+  result.seconds = elapsed;
+  result.ops = total_ops.load() * queries_per_op;
+  result.qps = static_cast<double>(result.ops) / elapsed;
+  result.p50_ms = hist.Percentile(0.50);
+  result.p99_ms = hist.Percentile(0.99);
+  return result;
+}
+
+/// One query-workload pass against either service type. `Service` needs
+/// only Query(vector<int>).
+template <typename Service>
+std::vector<RunResult> QueryWorkloads(
+    const std::string& name, const std::string& precision, Service& service,
+    const std::vector<std::vector<int>>& keys,
+    const std::vector<int>& thread_counts, double seconds) {
+  std::vector<RunResult> results;
+  std::atomic<int64_t> cold_cursor{kHotKeys};
+
+  // (Re-)preload the hot set so hit/mixed runs start from a warm cache:
+  // a preceding pure-miss run's cold churn ages the untouched hot
+  // entries into eviction victims, and re-faulting them inside a timed
+  // run would bill misses to the "hit" rows.
+  auto preload = [&] {
+    for (int k = 0; k < kHotKeys; ++k) service.Query(keys[k]);
+  };
+
+  for (int threads : thread_counts) {
+    std::vector<unsigned> states(threads);
+    auto reseed = [&states](unsigned salt) {
+      for (size_t t = 0; t < states.size(); ++t) {
+        states[t] = 0x9e3779b9u * static_cast<unsigned>(t + 1) + salt;
+      }
+    };
+
+    // hit: threads walk the preloaded hot set in decorrelated orders.
+    preload();
+    reseed(1);
+    results.push_back(RunTimed(name, precision, "hit", threads, seconds,
+                               [&](int t, int64_t) {
+                                 service.Query(keys[HotIndex(&states[t])]);
+                               }));
+
+    // miss: a shared cursor hands every query a fresh cold key (cycling a
+    // universe far larger than capacity, so re-visits were long evicted).
+    results.push_back(RunTimed(
+        name, precision, "miss", threads, seconds, [&](int, int64_t) {
+          const int64_t c = cold_cursor.fetch_add(1);
+          service.Query(
+              keys[kHotKeys + c % static_cast<int64_t>(keys.size() -
+                                                       kHotKeys)]);
+        }));
+
+    // mixed: 90% hot hits, 10% cold misses - the AIaaS steady state.
+    preload();
+    reseed(2);
+    results.push_back(RunTimed(
+        name, precision, "mixed", threads, seconds, [&](int t, int64_t i) {
+          if (i % 10 == 0) {
+            const int64_t c = cold_cursor.fetch_add(1);
+            service.Query(
+                keys[kHotKeys + c % static_cast<int64_t>(keys.size() -
+                                                         kHotKeys)]);
+          } else {
+            service.Query(keys[HotIndex(&states[t])]);
+          }
+        }));
+  }
+  return results;
+}
+
+/// Batched vs unbatched InferenceServer throughput: each client pipelines
+/// a burst of 1-row requests for one model (the open-loop traffic a
+/// front-end fans in), so the batching server has same-model work to fuse
+/// while the batch-of-one server pays a full forward per request.
+std::vector<RunResult> ServerWorkloads(
+    const std::string& precision, ModelQueryService& service,
+    const std::vector<std::vector<int>>& keys,
+    const std::vector<int>& thread_counts, double seconds, int image_hw) {
+  constexpr int kBurst = 8;
+  std::vector<RunResult> results;
+  for (bool batching : {false, true}) {
+    for (int threads : thread_counts) {
+      InferenceServer::Options opts;
+      opts.num_workers = 2;
+      opts.queue_capacity = 1024;
+      opts.max_batch_rows = batching ? 32 : 1;
+      InferenceServer server(&service, opts);
+
+      std::vector<Tensor> probes;
+      for (int t = 0; t < threads; ++t) {
+        Rng rng(400 + t);
+        probes.push_back(Tensor::Randn({1, 3, image_hw, image_hw}, rng));
+      }
+      RunResult r = RunTimed(
+          batching ? "server_batched" : "server_unbatched", precision,
+          "infer_burst", threads, seconds,
+          [&](int t, int64_t i) {
+            std::vector<std::future<InferenceResponse>> burst;
+            burst.reserve(kBurst);
+            for (int b = 0; b < kBurst; ++b) {
+              InferenceRequest req;
+              req.task_ids = keys[(t * 7 + i) % 8];  // few hot models
+              req.input = probes[t].Clone();
+              burst.push_back(server.Submit(std::move(req)));
+            }
+            for (auto& f : burst) f.get();
+          },
+          kBurst);
+      r.avg_batch = server.stats().avg_batch();
+      server.Shutdown();
+      results.push_back(r);
+    }
+  }
+  return results;
+}
+
+// ------------------------------------------------------- simulated assembly
+// On the real pool, assembly is pointer wiring (~1us), so the cost a miss
+// imposes on concurrent traffic is hard to see on few cores. These two
+// adapters run the SAME cache designs with a simulated 1ms assembly (a
+// production-weight miss: big pools, experts paged from disk), which
+// overlaps across threads regardless of core count - isolating the
+// architectural difference: does a miss stall unrelated traffic?
+class SimGlobalMutexService {
+ public:
+  explicit SimGlobalMutexService(size_t capacity, double assembly_ms)
+      : capacity_(capacity), assembly_ms_(assembly_ms) {}
+
+  void Query(const std::vector<int>& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        assembly_ms_));  // "assembly" under the global lock
+    lru_.emplace_front(key, 0);
+    index_[key] = lru_.begin();
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+
+ private:
+  using Entry = std::pair<std::vector<int>, int>;
+  size_t capacity_;
+  double assembly_ms_;
+  std::mutex mu_;
+  std::list<Entry> lru_;
+  std::map<std::vector<int>, std::list<Entry>::iterator> index_;
+};
+
+class SimShardedService {
+ public:
+  explicit SimShardedService(size_t capacity, double assembly_ms)
+      : cache_(ShardedFlightCache<int>::Options{capacity, 8}),
+        assembly_ms_(assembly_ms) {}
+
+  void Query(const std::vector<int>& key) {
+    cache_.GetOrAssemble(key, [this](const std::vector<int>&) -> Result<int> {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          assembly_ms_));  // "assembly" outside every shard lock
+      return 0;
+    });
+  }
+
+ private:
+  ShardedFlightCache<int> cache_;
+  double assembly_ms_;
+};
+
+// ---------------------------------------------------------------------- main
+void PrintTable(const std::vector<RunResult>& results) {
+  std::printf("%-18s %-5s %-10s %8s %12s %10s %10s %8s\n", "service", "prec",
+              "workload", "threads", "qps", "p50_ms", "p99_ms", "batch");
+  for (const RunResult& r : results) {
+    std::printf("%-18s %-5s %-10s %8d %12.0f %10.4f %10.4f %8.1f\n",
+                r.service.c_str(), r.precision.c_str(), r.workload.c_str(),
+                r.threads, r.qps, r.p50_ms, r.p99_ms, r.avg_batch);
+  }
+}
+
+double FindQps(const std::vector<RunResult>& results,
+               const std::string& service, const std::string& precision,
+               const std::string& workload, int threads) {
+  for (const RunResult& r : results) {
+    if (r.service == service && r.precision == precision &&
+        r.workload == workload && r.threads == threads) {
+      return r.qps;
+    }
+  }
+  return 0.0;
+}
+
+void WriteJson(const std::string& path, const std::vector<RunResult>& results,
+               const std::vector<int>& thread_counts) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"context\": {\n");
+  std::fprintf(f, "    \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "    \"hot_keys\": %d,\n    \"cache_capacity\": %zu\n",
+               kHotKeys, kCacheCapacity);
+  std::fprintf(f, "  },\n  \"runs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"service\": \"%s\", \"precision\": \"%s\", \"workload\": "
+        "\"%s\", \"threads\": %d, \"seconds\": %.3f, \"ops\": %lld, "
+        "\"qps\": %.1f, \"p50_ms\": %.5f, \"p99_ms\": %.5f, "
+        "\"avg_batch\": %.2f}%s\n",
+        r.service.c_str(), r.precision.c_str(), r.workload.c_str(),
+        r.threads, r.seconds, static_cast<long long>(r.ops), r.qps,
+        r.p50_ms, r.p99_ms, r.avg_batch, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"derived\": {\n");
+  const int top = thread_counts.back();
+  for (const char* prec : {"f32", "int8", "sim"}) {
+    const double base = FindQps(results, "global_mutex", prec, "mixed", top);
+    const double shard = FindQps(results, "sharded", prec, "mixed", top);
+    std::fprintf(f,
+                 "    \"mixed_speedup_%dt_%s\": %.2f,\n", top, prec,
+                 base > 0 ? shard / base : 0.0);
+    const double one = FindQps(results, "sharded", prec, "hit", 1);
+    const double many = FindQps(results, "sharded", prec, "hit", top);
+    std::fprintf(f, "    \"hit_scaling_%dt_%s\": %.2f,\n", top, prec,
+                 one > 0 ? many / one : 0.0);
+  }
+  std::fprintf(f, "    \"threads\": %d\n  }\n}\n", top);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path;
+  double seconds = 0.3;
+  int epochs = 2;
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--seconds" && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (arg == "--epochs" && i + 1 < argc) {
+      epochs = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      thread_counts.clear();
+      std::string spec = argv[++i];
+      std::string cur;
+      for (char c : spec + ",") {
+        if (c == ',') {
+          if (!cur.empty()) thread_counts.push_back(std::atoi(cur.c_str()));
+          cur.clear();
+        } else {
+          cur += c;
+        }
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: serving_throughput [--json out.json] [--seconds "
+                   "s] [--threads 1,2,4,8] [--epochs n]\n");
+      return 2;
+    }
+  }
+
+  // A small pool with enough primitives for a large composite-key
+  // universe. Accuracy is irrelevant here - the serving path is the same
+  // regardless of how well the experts learned.
+  SyntheticDataConfig dc;
+  dc.num_tasks = 12;
+  dc.classes_per_task = 3;
+  dc.train_per_class = 12;
+  dc.test_per_class = 2;
+  dc.noise = 0.8f;
+  SyntheticDataset data = GenerateSyntheticDataset(dc);
+  Rng rng(3);
+  WrnConfig oracle_cfg;
+  oracle_cfg.kc = 1.0;
+  oracle_cfg.ks = 1.0;
+  oracle_cfg.num_classes = data.hierarchy.num_classes();
+  Wrn oracle(oracle_cfg, rng);
+  TrainOptions opts;
+  opts.epochs = epochs;
+  std::printf("[bench] building pool (%d tasks, %d epochs)...\n",
+              dc.num_tasks, epochs);
+  TrainScratch(oracle, data.train, opts);
+  PoeBuildConfig build;
+  build.library_config = oracle_cfg;
+  build.expert_ks = 0.25;
+  build.library_options = opts;
+  build.expert_options = opts;
+  ExpertPool pool =
+      ExpertPool::Preprocess(ModelLogits(oracle), data, build, rng);
+
+  const std::vector<std::vector<int>> keys = KeyUniverse(dc.num_tasks);
+  std::printf("[bench] %zu composite keys, %d hot, capacity %zu, %.1fs per "
+              "run, threads on %u hw contexts\n",
+              keys.size(), kHotKeys, kCacheCapacity, seconds,
+              std::thread::hardware_concurrency());
+
+  std::vector<RunResult> results;
+  auto run_precision = [&](const std::string& precision) {
+    {
+      GlobalMutexService baseline(pool, kCacheCapacity);
+      auto r = QueryWorkloads("global_mutex", precision, baseline, keys,
+                              thread_counts, seconds);
+      results.insert(results.end(), r.begin(), r.end());
+    }
+    {
+      ModelQueryService sharded(pool, kCacheCapacity);
+      auto r = QueryWorkloads("sharded", precision, sharded, keys,
+                              thread_counts, seconds);
+      results.insert(results.end(), r.begin(), r.end());
+    }
+    {
+      ModelQueryService sharded(pool, kCacheCapacity);
+      auto r = ServerWorkloads(precision, sharded, keys, thread_counts,
+                               seconds, dc.height);
+      results.insert(results.end(), r.begin(), r.end());
+    }
+  };
+
+  run_precision("f32");
+  const Status to_int8 = pool.SetServingPrecision(ServingPrecision::kInt8);
+  if (!to_int8.ok()) {
+    std::fprintf(stderr, "int8 conversion failed: %s\n",
+                 to_int8.ToString().c_str());
+    return 1;
+  }
+  run_precision("int8");
+
+  // Simulated production-weight assembly (1ms): the architectural
+  // comparison that holds on any core count.
+  constexpr double kSimAssemblyMs = 1.0;
+  {
+    SimGlobalMutexService baseline(kCacheCapacity, kSimAssemblyMs);
+    auto r = QueryWorkloads("global_mutex", "sim", baseline, keys,
+                            thread_counts, seconds);
+    results.insert(results.end(), r.begin(), r.end());
+  }
+  {
+    SimShardedService sharded(kCacheCapacity, kSimAssemblyMs);
+    auto r = QueryWorkloads("sharded", "sim", sharded, keys, thread_counts,
+                            seconds);
+    results.insert(results.end(), r.begin(), r.end());
+  }
+
+  PrintTable(results);
+  const int top = thread_counts.back();
+  for (const char* prec : {"f32", "int8", "sim"}) {
+    const double base = FindQps(results, "global_mutex", prec, "mixed", top);
+    const double shard = FindQps(results, "sharded", prec, "mixed", top);
+    std::printf("[bench] %s mixed @%d threads: global_mutex %.0f qps, "
+                "sharded %.0f qps (%.2fx)\n",
+                prec, top, base, shard, base > 0 ? shard / base : 0.0);
+  }
+  if (!json_path.empty()) WriteJson(json_path, results, thread_counts);
+  return 0;
+}
+
+}  // namespace
+}  // namespace poe
+
+int main(int argc, char** argv) { return poe::Main(argc, argv); }

@@ -8,67 +8,78 @@
 namespace poe {
 
 ModelQueryService::ModelQueryService(ExpertPool pool, size_t cache_capacity,
-                                     ServingPrecision precision)
-    : pool_(std::move(pool)), cache_capacity_(cache_capacity) {
+                                     ServingPrecision precision,
+                                     int cache_shards)
+    : pool_(std::move(pool)),
+      cache_(ShardedModelCache::Options{cache_capacity, cache_shards}) {
   // kFloat32 leaves the pool at whatever precision it already serves
   // (an already-converted int8 pool stays int8); kInt8 converts now.
   if (precision != ServingPrecision::kFloat32) {
     const Status status = pool_.SetServingPrecision(precision);
     POE_CHECK(status.ok()) << status.ToString();
   }
-  stats_.precision = pool_.serving_precision();
-  stats_.pool_bytes = pool_.ServingBytes();
 }
 
 Result<std::shared_ptr<TaskModel>> ModelQueryService::Query(
     const std::vector<int>& task_ids) {
   Stopwatch clock;
-  CacheKey key = task_ids;
-  std::sort(key.begin(), key.end());
 
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.num_queries++;
+  // Canonical cache key: sorted + deduplicated, so {2,1,1} and {1,2} are
+  // one entry. Assembly also uses the canonical order, so every spelling
+  // of a composite task observes one deterministic model - branch (and
+  // logit column) order follows sorted task ids, cached or not; callers
+  // map columns through global_classes() as always.
+  std::vector<int> key = CanonicalTaskKey(task_ids);
 
-  if (cache_capacity_ > 0) {
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      // Move to front (most recently used).
-      lru_.splice(lru_.begin(), lru_, it->second);
-      stats_.cache_hits++;
-      const double ms = clock.ElapsedMillis();
-      stats_.total_ms += ms;
-      stats_.max_ms = std::max(stats_.max_ms, ms);
-      return lru_.front().second;
-    }
-  }
+  // Every query is accounted on its shard (hit, led assembly, or
+  // coalesced wait); the aggregate counters in stats()/serve_stats() are
+  // shard sums, so they reconcile by construction and the hot path pays
+  // no extra global atomics.
+  auto result = cache_.GetOrAssemble(
+      key, [this](const std::vector<int>& canonical)
+               -> Result<std::shared_ptr<TaskModel>> {
+        auto assembled = pool_.Query(canonical);
+        if (!assembled.ok()) return assembled.status();
+        return std::make_shared<TaskModel>(
+            std::move(assembled).ValueOrDie());
+      });
 
-  auto assembled = pool_.Query(task_ids);
-  if (!assembled.ok()) return assembled.status();
-  auto model =
-      std::make_shared<TaskModel>(std::move(assembled).ValueOrDie());
-
-  if (cache_capacity_ > 0) {
-    lru_.emplace_front(key, model);
-    index_[key] = lru_.begin();
-    if (lru_.size() > cache_capacity_) {
-      index_.erase(lru_.back().first);
-      lru_.pop_back();
-    }
-  }
-  const double ms = clock.ElapsedMillis();
-  stats_.total_ms += ms;
-  stats_.max_ms = std::max(stats_.max_ms, ms);
-  return model;
+  latency_.Record(clock.ElapsedMillis());
+  qps_.Record();
+  return result;
 }
 
 QueryStats ModelQueryService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  QueryStats stats;
+  for (const CacheShardStats& shard : cache_.ShardStats()) {
+    stats.num_queries += shard.lookups();
+    stats.cache_hits += shard.hits;
+  }
+  stats.total_ms = latency_.sum_ms();
+  stats.max_ms = latency_.max_ms();
+  stats.precision = pool_.serving_precision();
+  stats.pool_bytes = pool_.ServingBytes();
+  return stats;
 }
 
-size_t ModelQueryService::cache_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lru_.size();
+ServeStats ModelQueryService::serve_stats() const {
+  ServeStats stats;
+  stats.shards = cache_.ShardStats();
+  for (const CacheShardStats& shard : stats.shards) {
+    stats.cache_hits += shard.hits;
+    stats.cache_misses += shard.misses;
+    stats.coalesced += shard.coalesced;
+  }
+  stats.queries = stats.cache_hits + stats.cache_misses + stats.coalesced;
+  stats.p50_ms = latency_.Percentile(0.50);
+  stats.p95_ms = latency_.Percentile(0.95);
+  stats.p99_ms = latency_.Percentile(0.99);
+  stats.max_ms = latency_.max_ms();
+  stats.avg_ms = latency_.avg_ms();
+  stats.qps = qps_.Rate();
+  stats.precision = pool_.serving_precision();
+  stats.pool_bytes = pool_.ServingBytes();
+  return stats;
 }
 
 }  // namespace poe

@@ -2,19 +2,20 @@
 #ifndef POE_CORE_QUERY_SERVICE_H_
 #define POE_CORE_QUERY_SERVICE_H_
 
-#include <list>
-#include <map>
+#include <cstdint>
 #include <memory>
-#include <mutex>
-#include <string>
 #include <vector>
 
 #include "core/expert_pool.h"
+#include "serve/metrics.h"
+#include "serve/model_cache.h"
+#include "util/histogram.h"
 #include "util/result.h"
 
 namespace poe {
 
-/// Service-side query statistics.
+/// Service-side query statistics (the compact legacy view; serve_stats()
+/// is the full metrics surface).
 struct QueryStats {
   int64_t num_queries = 0;
   int64_t cache_hits = 0;
@@ -31,42 +32,48 @@ struct QueryStats {
 };
 
 /// Thread-safe front-end over an ExpertPool: clients submit composite
-/// tasks, the service assembles (or serves from an LRU cache) the
-/// task-specific model and records latency. Assembly is train-free, so
+/// tasks, the service assembles (or serves from the sharded model cache)
+/// the task-specific model and records latency. Assembly is train-free, so
 /// serving is dominated by pointer wiring - this is the system's headline
 /// property (Figures 6-7).
+///
+/// Concurrency: the cache is sharded (hash of the canonical key picks the
+/// shard, per-shard mutexes) with single-flight assembly, and
+/// `ExpertPool::Query` always runs outside every lock - concurrent misses
+/// on different keys assemble in parallel, concurrent misses on the same
+/// key share one assembly, and hits never wait behind an assembly.
 class ModelQueryService {
  public:
   /// `cache_capacity` = 0 disables the assembled-model cache. `precision`
   /// = kInt8 converts the pool to dequant-free int8 serving up front, so
   /// every assembled model runs the quantized inference path; kFloat32
   /// (default) leaves the pool at whatever precision it already serves.
+  /// `cache_shards` partitions the cache's key space (>= 1; more shards =
+  /// less lock contention, slightly coarser global LRU).
   explicit ModelQueryService(
       ExpertPool pool, size_t cache_capacity = 0,
-      ServingPrecision precision = ServingPrecision::kFloat32);
+      ServingPrecision precision = ServingPrecision::kFloat32,
+      int cache_shards = 8);
 
-  /// Builds M(Q) for the composite task. Task id order does not affect
-  /// caching (keys are sorted) but does affect logit column order of the
-  /// returned model.
+  /// Builds M(Q) for the composite task. Task ids are canonicalized
+  /// (sorted, deduplicated): order and repeats do not affect which cache
+  /// entry serves the query ({2,1,1}, {1,2} and {2,1} share one entry),
+  /// and branch/logit-column order always follows sorted task ids - every
+  /// spelling observes one deterministic model. Map columns to classes
+  /// through the model's global_classes().
   Result<std::shared_ptr<TaskModel>> Query(const std::vector<int>& task_ids);
 
   QueryStats stats() const;
+  /// Full serving metrics: latency percentiles, QPS, per-shard hit rates.
+  ServeStats serve_stats() const;
   const ExpertPool& pool() const { return pool_; }
-  size_t cache_size() const;
+  size_t cache_size() const { return cache_.size(); }
 
  private:
-  using CacheKey = std::vector<int>;
-
   ExpertPool pool_;
-  size_t cache_capacity_;
-  mutable std::mutex mu_;
-  QueryStats stats_;
-  // LRU: most recent at front.
-  std::list<std::pair<CacheKey, std::shared_ptr<TaskModel>>> lru_;
-  std::map<CacheKey,
-           std::list<std::pair<CacheKey, std::shared_ptr<TaskModel>>>::
-               iterator>
-      index_;
+  ShardedModelCache cache_;
+  LatencyHistogram latency_;
+  QpsWindow qps_;
 };
 
 }  // namespace poe

@@ -1,0 +1,231 @@
+#include "serve/inference_server.h"
+
+#include <cstring>
+#include <utility>
+
+#include "tensor/ops.h"
+
+namespace poe {
+
+namespace {
+
+std::future<InferenceResponse> ReadyResponse(Status status) {
+  std::promise<InferenceResponse> promise;
+  InferenceResponse response;
+  response.status = std::move(status);
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+/// True when two [n,c,h,w] inputs can share one fused forward (same image
+/// geometry; row counts may differ).
+bool SameGeometry(const Tensor& a, const Tensor& b) {
+  return a.dim(1) == b.dim(1) && a.dim(2) == b.dim(2) &&
+         a.dim(3) == b.dim(3);
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(ModelQueryService* service, Options options)
+    : service_(service), options_(options) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  if (options_.max_batch_rows < 1) options_.max_batch_rows = 1;
+  workers_.reserve(options_.num_workers);
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+std::future<InferenceResponse> InferenceServer::Submit(
+    InferenceRequest request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!request.input.defined() || request.input.ndim() != 4 ||
+      request.input.dim(0) < 1) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return ReadyResponse(
+        Status::InvalidArgument("input must be a non-empty [n,c,h,w] batch"));
+  }
+
+  Pending pending;
+  pending.key = CanonicalTaskKey(request.task_ids);
+  pending.request = std::move(request);
+  std::future<InferenceResponse> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return ReadyResponse(
+          Status::FailedPrecondition("inference server is shut down"));
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      // Backpressure: fail fast instead of queueing unbounded latency.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return ReadyResponse(Status::ResourceExhausted(
+          "request queue full (" + std::to_string(options_.queue_capacity) +
+          " pending)"));
+    }
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void InferenceServer::WorkerLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and fully drained
+
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // Greedy same-model coalescing: absorb pending requests for the same
+      // canonical task set and image geometry until the row budget is hit.
+      int64_t rows = batch.front().request.input.dim(0);
+      for (auto it = queue_.begin();
+           it != queue_.end() && rows < options_.max_batch_rows;) {
+        if (it->key == batch.front().key &&
+            SameGeometry(it->request.input, batch.front().request.input) &&
+            rows + it->request.input.dim(0) <= options_.max_batch_rows) {
+          rows += it->request.input.dim(0);
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    ServeBatch(std::move(batch));
+  }
+}
+
+void InferenceServer::ServeBatch(std::vector<Pending> batch) {
+  // Each request's queue wait ends now, when processing starts (a
+  // coalesced request waited less than the batch leader).
+  std::vector<double> queue_ms(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    queue_ms[i] = batch[i].submitted.ElapsedMillis();
+  }
+
+  auto finish = [&](size_t i, InferenceResponse response) {
+    Pending& pending = batch[i];
+    response.queue_ms = queue_ms[i];
+    response.total_ms = pending.submitted.ElapsedMillis();
+    latency_.Record(response.total_ms);
+    qps_.Record();
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    pending.promise.set_value(std::move(response));
+  };
+
+  auto model_result = service_->Query(batch.front().request.task_ids);
+  if (!model_result.ok()) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      InferenceResponse response;
+      response.status = model_result.status();
+      finish(i, std::move(response));
+    }
+    return;
+  }
+  std::shared_ptr<TaskModel> model = model_result.ValueOrDie();
+
+  // Fuse the batch's rows into one input tensor (single-request batches
+  // run on their own tensor - no copy).
+  int64_t total_rows = 0;
+  for (const Pending& pending : batch) {
+    total_rows += pending.request.input.dim(0);
+  }
+  Tensor logits;
+  if (batch.size() == 1) {
+    logits = model->Logits(batch.front().request.input);
+  } else {
+    const Tensor& first = batch.front().request.input;
+    Tensor fused({total_rows, first.dim(1), first.dim(2), first.dim(3)});
+    float* dst = fused.data();
+    for (const Pending& pending : batch) {
+      const Tensor& in = pending.request.input;
+      std::memcpy(dst, in.data(), sizeof(float) * in.numel());
+      dst += in.numel();
+    }
+    logits = model->Logits(fused);
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(static_cast<int64_t>(batch.size()),
+                              std::memory_order_relaxed);
+
+  // Scatter logit rows back to their requests (a batch of one takes the
+  // whole tensor - the common unloaded case copies nothing).
+  const std::vector<int>& classes = model->global_classes();
+  const int64_t num_classes = logits.dim(1);
+  int64_t row0 = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int64_t n = batch[i].request.input.dim(0);
+    InferenceResponse response;
+    response.status = Status::OK();
+    if (batch.size() == 1) {
+      response.logits = std::move(logits);
+    } else {
+      response.logits = Tensor({n, num_classes});
+      std::memcpy(response.logits.data(),
+                  logits.data() + row0 * num_classes,
+                  sizeof(float) * n * num_classes);
+    }
+    response.global_classes = classes;
+    response.predictions.resize(n);
+    for (int64_t r = 0; r < n; ++r) {
+      response.predictions[r] =
+          classes[ArgmaxRow(response.logits, r)];
+    }
+    response.batch_rows = total_rows;
+    row0 += n;
+    finish(i, std::move(response));
+  }
+}
+
+void InferenceServer::Shutdown() {
+  // shutdown_mu_ serializes concurrent Shutdown() calls (including the
+  // destructor racing an explicit call): the loser blocks until the
+  // winner has joined everything, then finds workers_ empty. workers_ is
+  // only touched at construction and under this mutex.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ServeStats InferenceServer::stats() const {
+  ServeStats stats = service_->serve_stats();
+  // The latency surface of a server is end-to-end (queue wait + assembly
+  // + forward), so the server's histogram replaces the service's
+  // assembly-only percentiles.
+  stats.p50_ms = latency_.Percentile(0.50);
+  stats.p95_ms = latency_.Percentile(0.95);
+  stats.p99_ms = latency_.Percentile(0.99);
+  stats.max_ms = latency_.max_ms();
+  stats.avg_ms = latency_.avg_ms();
+  stats.qps = qps_.Rate();
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.batched_requests =
+      batched_requests_.load(std::memory_order_relaxed);
+  stats.queue_depth = static_cast<int64_t>(queue_depth());
+  return stats;
+}
+
+size_t InferenceServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace poe

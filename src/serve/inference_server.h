@@ -1,0 +1,125 @@
+// Embeddable, socket-free inference runtime: a bounded MPMC request queue
+// feeding worker threads that batch pending requests for the same task
+// model into one fused forward pass. Transport (sockets, RPC, ...) is the
+// embedder's job; this is the part the paper's AIaaS scenario implies but
+// never specifies - admission control, batching, and latency accounting
+// between "request arrived" and "logits left".
+#ifndef POE_SERVE_INFERENCE_SERVER_H_
+#define POE_SERVE_INFERENCE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/query_service.h"
+#include "serve/metrics.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace poe {
+
+/// One classification request: which composite task, and a [n,c,h,w] batch
+/// of images to run through M(Q).
+struct InferenceRequest {
+  std::vector<int> task_ids;
+  Tensor input;
+};
+
+/// The response delivered through the future. `status` gates every other
+/// field.
+struct InferenceResponse {
+  Status status;
+  Tensor logits;                    ///< [n, |classes(Q)|]
+  std::vector<int> global_classes;  ///< logit column -> global class id
+  std::vector<int> predictions;     ///< argmax per input row
+  double queue_ms = 0.0;   ///< time spent waiting in the request queue
+  double total_ms = 0.0;   ///< submit -> response
+  int64_t batch_rows = 0;  ///< rows of the fused forward that served this
+};
+
+/// Bounded-queue batching server over a ModelQueryService.
+///
+/// Worker threads pop the oldest request, then greedily absorb every other
+/// pending request with the same canonical task set (and image geometry)
+/// up to `max_batch_rows`, run ONE model forward over the concatenated
+/// rows, and complete all their futures. Batching never waits for more
+/// traffic - an empty queue means batch-of-one, so the batch window is
+/// simply the time requests naturally spend queued behind the current
+/// forward (zero added latency, bigger batches exactly when the system is
+/// loaded, which is when they pay).
+///
+/// Backpressure: Submit() on a full queue fails fast with
+/// ResourceExhausted (delivered through the returned future) instead of
+/// letting latency grow without bound.
+class InferenceServer {
+ public:
+  struct Options {
+    int num_workers = 2;
+    size_t queue_capacity = 128;  ///< pending requests before rejection
+    int64_t max_batch_rows = 64;  ///< rows fused into one forward pass
+  };
+
+  /// `service` must outlive the server (the server adds batching and
+  /// admission control; model caching/assembly stays in the service).
+  InferenceServer(ModelQueryService* service, Options options);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues a request. The future is always valid; rejection (queue
+  /// full, bad input shape, server shut down) is a ready future whose
+  /// response carries the error status.
+  std::future<InferenceResponse> Submit(InferenceRequest request);
+
+  /// Stops accepting new requests, drains everything already queued, and
+  /// joins the workers. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  /// Full metrics: the underlying service's cache/latency view plus this
+  /// server's queue/batching counters. Latency percentiles here are
+  /// end-to-end (queue wait + assembly + forward).
+  ServeStats stats() const;
+
+  size_t queue_depth() const;
+
+ private:
+  struct Pending {
+    std::vector<int> key;  ///< canonical (sorted, deduped) task ids
+    InferenceRequest request;
+    std::promise<InferenceResponse> promise;
+    Stopwatch submitted;
+  };
+
+  void WorkerLoop();
+  void ServeBatch(std::vector<Pending> batch);
+
+  ModelQueryService* service_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool shutdown_ = false;
+  std::mutex shutdown_mu_;  ///< serializes Shutdown() callers; guards workers_
+  std::vector<std::thread> workers_;
+
+  LatencyHistogram latency_;
+  QpsWindow qps_;
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> batched_requests_{0};
+};
+
+}  // namespace poe
+
+#endif  // POE_SERVE_INFERENCE_SERVER_H_

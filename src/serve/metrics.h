@@ -1,0 +1,78 @@
+// ServeStats: the extended metrics surface of the serving runtime.
+// Populated by ModelQueryService (cache + latency half) and by
+// InferenceServer (adds the queue/batching half on top).
+#ifndef POE_SERVE_METRICS_H_
+#define POE_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/task_model.h"
+
+namespace poe {
+
+/// Per-shard cache counters (hit rate per shard is the load-balance
+/// diagnostic: a hot shard shows up as one row with all the traffic).
+struct CacheShardStats {
+  int64_t hits = 0;
+  int64_t misses = 0;     ///< assemblies this shard led
+  int64_t coalesced = 0;  ///< misses that waited on another thread's assembly
+  int64_t evictions = 0;
+  int64_t size = 0;       ///< resident entries now
+
+  int64_t lookups() const { return hits + misses + coalesced; }
+  double hit_rate() const {
+    const int64_t n = lookups();
+    return n > 0 ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+/// Aggregate serving metrics. Counter identity (enforced by tests):
+///   queries == cache_hits + cache_misses + coalesced
+/// and for a drained server: submitted == completed + rejected (+
+/// queue_depth on a live one; requests inside an in-flight batch are in
+/// none of the three until their futures resolve, so the live identity
+/// can lag by up to num_workers * max_batch_rows requests).
+struct ServeStats {
+  // --- query/cache side (ModelQueryService) ---
+  int64_t queries = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;  ///< led an assembly
+  int64_t coalesced = 0;     ///< waited on an in-flight assembly of the key
+  double p50_ms = 0.0;       ///< end-to-end Query() latency percentiles
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double avg_ms = 0.0;
+  double qps = 0.0;  ///< trailing-window query rate
+  std::vector<CacheShardStats> shards;
+  ServingPrecision precision = ServingPrecision::kFloat32;
+  int64_t pool_bytes = 0;
+
+  // --- request-queue side (InferenceServer; zero on a bare service) ---
+  int64_t submitted = 0;
+  /// Refused at submission without processing: queue full (backpressure),
+  /// malformed input, or server shut down.
+  int64_t rejected = 0;
+  int64_t completed = 0;
+  int64_t batches = 0;            ///< fused forward passes executed
+  int64_t batched_requests = 0;   ///< requests served by those passes
+  int64_t queue_depth = 0;        ///< pending now
+
+  /// Average requests per fused forward pass (row counts per pass are
+  /// reported per-response as InferenceResponse::batch_rows).
+  double avg_batch() const {
+    return batches > 0 ? static_cast<double>(batched_requests) /
+                             static_cast<double>(batches)
+                       : 0.0;
+  }
+  double overall_hit_rate() const {
+    return queries > 0
+               ? static_cast<double>(cache_hits) / static_cast<double>(queries)
+               : 0.0;
+  }
+};
+
+}  // namespace poe
+
+#endif  // POE_SERVE_METRICS_H_

@@ -1,0 +1,289 @@
+// Sharded, single-flight LRU cache for assembled task models - the
+// buffer-pool-manager idiom applied to the serving path: the key space is
+// hash-partitioned over independently locked shards, so queries for
+// different composite tasks never contend on one mutex, and the expensive
+// operation (pool assembly) always runs OUTSIDE every shard lock.
+//
+// Single flight: concurrent misses on the SAME key elect one leader that
+// assembles while the rest wait on the flight's condition variable; misses
+// on different keys assemble fully in parallel. Failed assemblies are
+// delivered to every waiter but never cached.
+//
+// Capacity is a GLOBAL bound (like the pre-shard LRU, so eviction order is
+// observable and testable): insertion past capacity evicts the tail with
+// the oldest access stamp across all shards. Finding the victim scans one
+// tail per shard - O(num_shards), off the hit path, and only on insert.
+//
+// The cache is a template over the cached value so tests can drive the
+// concurrency machinery with cheap values; the serving runtime uses the
+// `ShardedModelCache` instantiation below.
+#ifndef POE_SERVE_MODEL_CACHE_H_
+#define POE_SERVE_MODEL_CACHE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/task_model.h"
+#include "serve/metrics.h"
+#include "util/result.h"
+
+namespace poe {
+
+/// The canonical form of a composite-task key: sorted + deduplicated.
+/// Both the service cache and the server's batch grouping MUST use this
+/// one helper - coalescing is only correct while their keys agree.
+inline std::vector<int> CanonicalTaskKey(const std::vector<int>& task_ids) {
+  std::vector<int> key = task_ids;
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  return key;
+}
+
+/// FNV-1a over the ints of a canonical (sorted, deduplicated) key.
+struct TaskKeyHash {
+  size_t operator()(const std::vector<int>& key) const {
+    uint64_t h = 1469598103934665603ull;
+    for (int v : key) {
+      for (int b = 0; b < 4; ++b) {
+        h ^= static_cast<uint64_t>((v >> (8 * b)) & 0xff);
+        h *= 1099511628211ull;
+      }
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+template <typename V>
+class ShardedFlightCache {
+ public:
+  using Key = std::vector<int>;
+  /// Assembles the value for a missing key. Always invoked with no shard
+  /// lock held; may run concurrently for different keys, never for the
+  /// same key.
+  using AssembleFn = std::function<Result<V>(const Key&)>;
+
+  struct Options {
+    size_t capacity = 64;  ///< total entries across shards; 0 = no caching
+    int num_shards = 8;
+  };
+
+  explicit ShardedFlightCache(Options options) : options_(options) {
+    if (options_.num_shards < 1) options_.num_shards = 1;
+    shards_ = std::make_unique<Shard[]>(options_.num_shards);
+  }
+
+  /// Returns the cached value for `key` or assembles it via `assemble`
+  /// (single-flight). `hit`/`coalesced` (optional) report how this lookup
+  /// was served: cache hit, wait on another thread's in-flight assembly,
+  /// or (neither set) a led assembly.
+  Result<V> GetOrAssemble(const Key& key, const AssembleFn& assemble,
+                          bool* hit = nullptr, bool* coalesced = nullptr) {
+    if (hit != nullptr) *hit = false;
+    if (coalesced != nullptr) *coalesced = false;
+    if (options_.capacity == 0) {
+      // Cache disabled: count the traffic, assemble every time.
+      Shard& shard = ShardFor(key);
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.stats.misses++;
+      }
+      return assemble(key);
+    }
+
+    Shard& shard = ShardFor(key);
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        shard.lru.front().stamp =
+            clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+        shard.stats.hits++;
+        if (hit != nullptr) *hit = true;
+        return shard.lru.front().value;
+      }
+      auto in = shard.inflight.find(key);
+      if (in != shard.inflight.end()) {
+        flight = in->second;
+        shard.stats.coalesced++;
+        if (coalesced != nullptr) *coalesced = true;
+      } else {
+        flight = std::make_shared<Flight>();
+        shard.inflight.emplace(key, flight);
+        shard.stats.misses++;
+        leader = true;
+      }
+    }
+
+    if (!leader) {
+      // Wait for the leader's assembly; no shard lock is held here, so
+      // other keys in this shard keep hitting/assembling meanwhile.
+      std::unique_lock<std::mutex> fl(flight->mu);
+      flight->cv.wait(fl, [&flight] { return flight->done; });
+      if (!flight->status.ok()) return flight->status;
+      return *flight->value;
+    }
+
+    // The leader must ALWAYS retire the flight - an escaped exception
+    // would leave every future miss on this key waiting forever - so a
+    // throwing assemble (this codebase is Status-based, but e.g.
+    // bad_alloc can still surface) degrades to an error result.
+    Result<V> result = [&]() -> Result<V> {
+      try {
+        return assemble(key);
+      } catch (const std::exception& e) {
+        return Status::Internal(std::string("assembly threw: ") + e.what());
+      } catch (...) {
+        return Status::Internal("assembly threw a non-std exception");
+      }
+    }();
+
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.inflight.erase(key);
+      if (result.ok()) {
+        shard.lru.emplace_front(
+            Entry{key, result.ValueOrDie(),
+                  clock_.fetch_add(1, std::memory_order_relaxed) + 1});
+        shard.index[key] = shard.lru.begin();
+        size_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> fl(flight->mu);
+      flight->done = true;
+      if (result.ok()) {
+        flight->value = result.ValueOrDie();
+      } else {
+        flight->status = result.status();
+      }
+    }
+    flight->cv.notify_all();
+
+    if (result.ok()) EvictOverCapacity();
+    return result;
+  }
+
+  /// Resident entries across all shards.
+  size_t size() const {
+    const int64_t n = size_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<size_t>(n) : 0;
+  }
+
+  size_t capacity() const { return options_.capacity; }
+  int num_shards() const { return options_.num_shards; }
+
+  /// Per-shard counters; `size` is sampled under each shard's lock, so
+  /// the vector is internally consistent with the LRU lists.
+  std::vector<CacheShardStats> ShardStats() const {
+    std::vector<CacheShardStats> out(options_.num_shards);
+    for (int s = 0; s < options_.num_shards; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mu);
+      out[s] = shards_[s].stats;
+      out[s].size = static_cast<int64_t>(shards_[s].lru.size());
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    V value;
+    uint64_t stamp;  ///< global access clock at last touch
+  };
+
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;  // non-OK when the leader's assembly failed
+    std::optional<V> value;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Key, typename std::list<Entry>::iterator, TaskKeyHash>
+        index;
+    std::unordered_map<Key, std::shared_ptr<Flight>, TaskKeyHash> inflight;
+    CacheShardStats stats;
+  };
+
+  Shard& ShardFor(const Key& key) const {
+    return shards_[TaskKeyHash{}(key) % options_.num_shards];
+  }
+
+  /// Evicts globally-least-recently-stamped tails until size <= capacity.
+  /// Each evictor first CLAIMS one unit of surplus with a CAS decrement of
+  /// the size counter (so racing evictors can never jointly drive the
+  /// cache below capacity), then finds a victim: scan one tail per shard,
+  /// re-lock the oldest-stamped shard, pop its tail. No two shard locks
+  /// are ever held at once; if the chosen shard's tail moved between the
+  /// scan and the re-lock, its current tail is evicted instead - a
+  /// bounded approximation that guarantees progress.
+  void EvictOverCapacity() {
+    for (;;) {
+      int64_t cur = size_.load(std::memory_order_relaxed);
+      if (cur <= static_cast<int64_t>(options_.capacity)) return;
+      if (!size_.compare_exchange_weak(cur, cur - 1,
+                                       std::memory_order_relaxed)) {
+        continue;
+      }
+      // One surplus claimed; evict exactly one entry for it.
+      while (!EvictOneEntry()) {
+        // All tails momentarily empty (entries mid-insert); retry - the
+        // claim guarantees at least this much surplus exists.
+      }
+    }
+  }
+
+  /// Pops the oldest-stamped tail across shards. Does NOT touch the size
+  /// counter - the caller already claimed the unit. False when every
+  /// shard was empty at scan time.
+  bool EvictOneEntry() {
+    int victim = -1;
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (int s = 0; s < options_.num_shards; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mu);
+      if (!shards_[s].lru.empty() && shards_[s].lru.back().stamp < oldest) {
+        oldest = shards_[s].lru.back().stamp;
+        victim = s;
+      }
+    }
+    if (victim < 0) return false;
+    std::lock_guard<std::mutex> lock(shards_[victim].mu);
+    Shard& shard = shards_[victim];
+    if (shard.lru.empty()) return false;
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    shard.stats.evictions++;
+    return true;
+  }
+
+  Options options_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> clock_{0};
+  std::atomic<int64_t> size_{0};
+};
+
+/// The serving instantiation: canonical task-id key -> shared assembled
+/// model. Hits hand out the shared_ptr, so a model stays alive for clients
+/// that hold it across an eviction.
+using ShardedModelCache = ShardedFlightCache<std::shared_ptr<TaskModel>>;
+
+}  // namespace poe
+
+#endif  // POE_SERVE_MODEL_CACHE_H_

@@ -169,8 +169,12 @@ __attribute__((target("avx2"))) void MicroKernelS8Avx2_6x16(
 // GCC's allocator otherwise rotates the 16 tied vpdpbusd accumulators
 // through spill slots, which halves throughput. Sustains ~2 vpdpbusd
 // (128 MACs) per cycle — about 4x the f32 FMA peak.
-void MicroKernelS8Vnni16x16(int64_t groups, const uint8_t* a,
-                            const int8_t* b, int32_t* acc) {
+// The target attribute only legalizes the zmm16-23 clobbers for a
+// non-native (runtime-dispatch) build; the body is fixed asm either way
+// and is reached only when dispatch selected the VNNI kernel.
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void
+MicroKernelS8Vnni16x16(int64_t groups, const uint8_t* a, const int8_t* b,
+                       int32_t* acc) {
   asm volatile(
       "vpxord %%zmm8, %%zmm8, %%zmm8\n\t"
       "vpxord %%zmm9, %%zmm9, %%zmm9\n\t"

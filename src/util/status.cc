@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "CORRUPTION";
     case StatusCode::kFailedPrecondition:
       return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:

@@ -19,6 +19,7 @@ enum class StatusCode {
   kIoError,
   kCorruption,
   kFailedPrecondition,
+  kResourceExhausted,
   kUnimplemented,
   kInternal,
 };
@@ -54,6 +55,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

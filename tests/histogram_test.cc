@@ -1,0 +1,105 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace poe {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.Percentile(0.5), 0.0);
+  EXPECT_EQ(hist.max_ms(), 0.0);
+  EXPECT_EQ(hist.avg_ms(), 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketBoundsAreGeometricAndCoverTheRange) {
+  LatencyHistogram hist;
+  EXPECT_DOUBLE_EQ(hist.bucket_upper_ms(0), 1e-3);
+  for (int i = 1; i < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_GT(hist.bucket_upper_ms(i), hist.bucket_upper_ms(i - 1));
+  }
+  // The top bound must exceed any latency this system can produce (100 s).
+  EXPECT_GT(hist.bucket_upper_ms(LatencyHistogram::kNumBuckets - 1), 1e5);
+}
+
+TEST(LatencyHistogramTest, CountSumMaxAreExact) {
+  LatencyHistogram hist;
+  hist.Record(1.0);
+  hist.Record(2.0);
+  hist.Record(3.0);
+  EXPECT_EQ(hist.count(), 3);
+  EXPECT_NEAR(hist.sum_ms(), 6.0, 1e-6);
+  EXPECT_NEAR(hist.max_ms(), 3.0, 1e-6);
+  EXPECT_NEAR(hist.avg_ms(), 2.0, 1e-6);
+}
+
+TEST(LatencyHistogramTest, PercentilesWithinBucketResolution) {
+  LatencyHistogram hist;
+  // 1..1000 ms uniform: p50 ~ 500, p99 ~ 990. Buckets are geometric with
+  // factor 1.33, so estimates must land within ~33% of truth.
+  for (int i = 1; i <= 1000; ++i) hist.Record(static_cast<double>(i));
+  EXPECT_NEAR(hist.Percentile(0.50), 500.0, 500.0 * 0.35);
+  EXPECT_NEAR(hist.Percentile(0.99), 990.0, 990.0 * 0.35);
+  // Extremes are exact: p0 is within the lowest populated bucket, p100 is
+  // the true max.
+  EXPECT_LE(hist.Percentile(0.0), 1.33);
+  EXPECT_NEAR(hist.Percentile(1.0), 1000.0, 1e-6);
+}
+
+TEST(LatencyHistogramTest, PercentileNeverExceedsMax) {
+  LatencyHistogram hist;
+  hist.Record(0.5);
+  for (double p : {0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_LE(hist.Percentile(p), hist.max_ms() + 1e-9);
+  }
+}
+
+TEST(LatencyHistogramTest, OutOfRangeSamplesClampToEdgeBuckets) {
+  LatencyHistogram hist;
+  hist.Record(-5.0);      // clamps to 0
+  hist.Record(1e9);       // clamps into the last bucket
+  EXPECT_EQ(hist.count(), 2);
+  EXPECT_NEAR(hist.max_ms(), 1e9, 1.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsLoseNothing) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < kPerThread; ++i) hist.Record(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  EXPECT_NEAR(hist.sum_ms(), kThreads * kPerThread, 1e-3);
+}
+
+TEST(QpsWindowTest, RateReflectsRecordedEvents) {
+  QpsWindow qps(10);
+  for (int i = 0; i < 100; ++i) qps.Record();
+  // 100 events within well under a second; the young-gauge denominator is
+  // the uptime, so the rate must be at least 100/uptime >= 100/10.
+  EXPECT_GE(qps.Rate(), 10.0);
+}
+
+TEST(QpsWindowTest, ConcurrentRecordIsSafe) {
+  QpsWindow qps(10);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&qps] {
+      for (int i = 0; i < 5000; ++i) qps.Record();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(qps.Rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace poe

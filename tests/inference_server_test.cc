@@ -1,0 +1,210 @@
+#include "serve/inference_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "distill/specialize.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace poe {
+namespace {
+
+using testutil::FastTrainOptions;
+using testutil::TinyDataConfig;
+using testutil::TinyLibraryConfig;
+using testutil::TinyOracleConfig;
+
+ExpertPool BuildPool() {
+  static SyntheticDataset* data =
+      new SyntheticDataset(GenerateSyntheticDataset(TinyDataConfig()));
+  static Wrn* oracle = [] {
+    Rng rng(41);
+    Wrn* w = new Wrn(TinyOracleConfig(), rng);
+    TrainScratch(*w, data->train, FastTrainOptions(4));
+    return w;
+  }();
+  PoeBuildConfig cfg;
+  cfg.library_config = TinyLibraryConfig();
+  cfg.expert_ks = 0.5;
+  cfg.library_options = FastTrainOptions(2);
+  cfg.expert_options = FastTrainOptions(2);
+  Rng rng(42);
+  return ExpertPool::Preprocess(ModelLogits(*oracle), *data, cfg, rng);
+}
+
+InferenceRequest MakeRequest(std::vector<int> tasks, int rows, int seed) {
+  Rng rng(seed);
+  InferenceRequest req;
+  req.task_ids = std::move(tasks);
+  req.input = Tensor::Randn({rows, 3, 6, 6}, rng);
+  return req;
+}
+
+TEST(InferenceServerTest, ServesLogitsMatchingDirectForward) {
+  ModelQueryService service(BuildPool(), /*cache_capacity=*/8);
+  InferenceServer::Options opts;
+  opts.num_workers = 2;
+  InferenceServer server(&service, opts);
+
+  InferenceRequest req = MakeRequest({0, 1}, 3, 11);
+  Tensor input_copy = req.input.Clone();
+  InferenceResponse res = server.Submit(std::move(req)).get();
+  ASSERT_TRUE(res.status.ok()) << res.status.ToString();
+
+  auto model = service.Query({0, 1}).ValueOrDie();
+  Tensor direct = model->Logits(input_copy);
+  ASSERT_EQ(res.logits.numel(), direct.numel());
+  EXPECT_EQ(std::memcmp(res.logits.data(), direct.data(),
+                        sizeof(float) * direct.numel()),
+            0);
+  EXPECT_EQ(res.global_classes, model->global_classes());
+  ASSERT_EQ(static_cast<int>(res.predictions.size()), 3);
+  std::vector<int> direct_pred = model->Predict(input_copy);
+  EXPECT_EQ(res.predictions, direct_pred);
+  EXPECT_GE(res.total_ms, res.queue_ms);
+}
+
+TEST(InferenceServerTest, ErrorsPropagateThroughTheFuture) {
+  ModelQueryService service(BuildPool(), 8);
+  InferenceServer server(&service, InferenceServer::Options{});
+  // Unknown task id: assembly fails, the future carries the status.
+  InferenceResponse res = server.Submit(MakeRequest({42}, 1, 1)).get();
+  EXPECT_FALSE(res.status.ok());
+
+  // Malformed input shape is rejected at submission.
+  InferenceRequest bad;
+  bad.task_ids = {0};
+  bad.input = Tensor::Zeros({3, 6, 6});  // not [n,c,h,w]
+  res = server.Submit(std::move(bad)).get();
+  EXPECT_FALSE(res.status.ok());
+}
+
+TEST(InferenceServerTest, BatchesSameModelRequestsIntoOneForward) {
+  ModelQueryService service(BuildPool(), 8);
+  // One worker: submissions during the first forward pile up and must be
+  // coalesced into a fused pass ({1,0} spells the same model as {0,1}).
+  InferenceServer::Options opts;
+  opts.num_workers = 1;
+  opts.max_batch_rows = 64;
+  InferenceServer server(&service, opts);
+
+  std::vector<std::future<InferenceResponse>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(
+        server.Submit(MakeRequest(i % 2 == 0 ? std::vector<int>{0, 1}
+                                             : std::vector<int>{1, 0},
+                                  1, 100 + i)));
+  }
+  int64_t max_batch_rows = 0;
+  for (auto& f : futures) {
+    InferenceResponse res = f.get();
+    ASSERT_TRUE(res.status.ok()) << res.status.ToString();
+    max_batch_rows = std::max(max_batch_rows, res.batch_rows);
+  }
+  // At least one fused pass served multiple requests (the first may run
+  // alone, but the 11 queued behind it cannot all have).
+  EXPECT_GT(max_batch_rows, 1);
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 12);
+  EXPECT_LT(stats.batches, 12);
+  EXPECT_GT(stats.avg_batch(), 1.0);
+}
+
+TEST(InferenceServerTest, BatchedLogitsMatchUnbatchedBitwise) {
+  ModelQueryService service(BuildPool(), 8);
+  InferenceServer::Options opts;
+  opts.num_workers = 1;
+  InferenceServer server(&service, opts);
+
+  // Same inputs submitted twice: once in a coalescing burst, once alone.
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 4; ++i) {
+    Rng rng(500 + i);
+    inputs.push_back(Tensor::Randn({1, 3, 6, 6}, rng));
+  }
+  std::vector<std::future<InferenceResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    InferenceRequest req;
+    req.task_ids = {0, 2};
+    req.input = inputs[i].Clone();
+    futures.push_back(server.Submit(std::move(req)));
+  }
+  std::vector<InferenceResponse> burst;
+  for (auto& f : futures) burst.push_back(f.get());
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(burst[i].status.ok());
+    InferenceRequest req;
+    req.task_ids = {0, 2};
+    req.input = inputs[i].Clone();
+    InferenceResponse solo = server.Submit(std::move(req)).get();
+    ASSERT_TRUE(solo.status.ok());
+    ASSERT_EQ(solo.logits.numel(), burst[i].logits.numel());
+    // f32 conv/linear rows accumulate independently of the surrounding
+    // batch, so fused and solo forwards agree bitwise.
+    EXPECT_EQ(std::memcmp(solo.logits.data(), burst[i].logits.data(),
+                          sizeof(float) * solo.logits.numel()),
+              0)
+        << "request " << i;
+  }
+}
+
+TEST(InferenceServerTest, BackpressureRejectsWhenQueueIsFull) {
+  ModelQueryService service(BuildPool(), 8);
+  InferenceServer::Options opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 2;
+  opts.max_batch_rows = 1;  // no coalescing: drain slowly
+  InferenceServer server(&service, opts);
+
+  std::vector<std::future<InferenceResponse>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(server.Submit(MakeRequest({i % 3}, 1, 900 + i)));
+  }
+  int ok = 0, exhausted = 0;
+  for (auto& f : futures) {
+    InferenceResponse res = f.get();
+    if (res.status.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(res.status.code(), StatusCode::kResourceExhausted)
+          << res.status.ToString();
+      ++exhausted;
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(exhausted, 0) << "64 instant submissions into a 2-deep queue "
+                             "must trip backpressure";
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 64);
+  EXPECT_EQ(stats.completed + stats.rejected, 64);
+}
+
+TEST(InferenceServerTest, ShutdownDrainsPendingAndRejectsNew) {
+  ModelQueryService service(BuildPool(), 8);
+  InferenceServer::Options opts;
+  opts.num_workers = 1;
+  InferenceServer server(&service, opts);
+
+  std::vector<std::future<InferenceResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.Submit(MakeRequest({i % 3}, 1, 700 + i)));
+  }
+  server.Shutdown();
+  // Everything accepted before shutdown completes (graceful drain)...
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+  EXPECT_EQ(server.queue_depth(), 0u);
+  // ...and new work is refused.
+  InferenceResponse res = server.Submit(MakeRequest({0}, 1, 1)).get();
+  EXPECT_EQ(res.status.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,224 @@
+// Concurrency tests for the sharded single-flight cache, driven with
+// cheap int values so the machinery (not model assembly) is under test.
+#include "serve/model_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace poe {
+namespace {
+
+using IntCache = ShardedFlightCache<int>;
+
+IntCache::Options Opts(size_t capacity, int shards = 8) {
+  IntCache::Options options;
+  options.capacity = capacity;
+  options.num_shards = shards;
+  return options;
+}
+
+int64_t TotalHits(const std::vector<CacheShardStats>& shards) {
+  int64_t n = 0;
+  for (const auto& s : shards) n += s.hits;
+  return n;
+}
+int64_t TotalMisses(const std::vector<CacheShardStats>& shards) {
+  int64_t n = 0;
+  for (const auto& s : shards) n += s.misses;
+  return n;
+}
+int64_t TotalCoalesced(const std::vector<CacheShardStats>& shards) {
+  int64_t n = 0;
+  for (const auto& s : shards) n += s.coalesced;
+  return n;
+}
+int64_t TotalEvictions(const std::vector<CacheShardStats>& shards) {
+  int64_t n = 0;
+  for (const auto& s : shards) n += s.evictions;
+  return n;
+}
+int64_t TotalSize(const std::vector<CacheShardStats>& shards) {
+  int64_t n = 0;
+  for (const auto& s : shards) n += s.size;
+  return n;
+}
+
+TEST(ShardedFlightCacheTest, MissAssemblesThenHits) {
+  IntCache cache(Opts(8));
+  std::atomic<int> assemblies{0};
+  auto assemble = [&](const IntCache::Key& key) -> Result<int> {
+    assemblies.fetch_add(1);
+    return key[0] * 10;
+  };
+  bool hit = true;
+  EXPECT_EQ(cache.GetOrAssemble({3}, assemble, &hit).ValueOrDie(), 30);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.GetOrAssemble({3}, assemble, &hit).ValueOrDie(), 30);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(assemblies.load(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedFlightCacheTest, CapacityZeroAssemblesEveryTime) {
+  IntCache cache(Opts(0));
+  std::atomic<int> assemblies{0};
+  auto assemble = [&](const IntCache::Key&) -> Result<int> {
+    return assemblies.fetch_add(1) + 1;
+  };
+  EXPECT_EQ(cache.GetOrAssemble({1}, assemble).ValueOrDie(), 1);
+  EXPECT_EQ(cache.GetOrAssemble({1}, assemble).ValueOrDie(), 2);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedFlightCacheTest, GlobalLruEvictsOldestAcrossShards) {
+  // Capacity is a GLOBAL bound: 3 distinct keys (landing in whatever
+  // shards the hash picks) through a capacity-2 cache must leave exactly
+  // 2 resident, with the least recently used key the one evicted.
+  IntCache cache(Opts(2, 4));
+  std::atomic<int> assemblies{0};
+  auto assemble = [&](const IntCache::Key& key) -> Result<int> {
+    assemblies.fetch_add(1);
+    return key[0];
+  };
+  cache.GetOrAssemble({0}, assemble);
+  cache.GetOrAssemble({1}, assemble);
+  cache.GetOrAssemble({2}, assemble);  // evicts {0}
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(assemblies.load(), 3);
+
+  bool hit = false;
+  cache.GetOrAssemble({1}, assemble, &hit);
+  EXPECT_TRUE(hit);
+  cache.GetOrAssemble({2}, assemble, &hit);
+  EXPECT_TRUE(hit);
+  cache.GetOrAssemble({0}, assemble, &hit);  // was evicted: assembles again
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(assemblies.load(), 4);
+  EXPECT_EQ(TotalEvictions(cache.ShardStats()), 2);
+}
+
+TEST(ShardedFlightCacheTest, SingleFlightCoalescesConcurrentSameKeyMisses) {
+  IntCache cache(Opts(8));
+  std::atomic<int> assemblies{0};
+  constexpr int kThreads = 8;
+  auto assemble = [&](const IntCache::Key&) -> Result<int> {
+    assemblies.fetch_add(1);
+    // Long enough that every racer arrives while the flight is open.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return 7;
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      EXPECT_EQ(cache.GetOrAssemble({5}, assemble).ValueOrDie(), 7);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(assemblies.load(), 1);  // one leader, everyone else waited/hit
+  auto shards = cache.ShardStats();
+  EXPECT_EQ(TotalMisses(shards), 1);
+  EXPECT_EQ(TotalHits(shards) + TotalCoalesced(shards), kThreads - 1);
+}
+
+// Regression test for the pre-PR design, which held one global mutex
+// across the entire assembly: two concurrent misses on DIFFERENT keys
+// must overlap in time. Each assembly signals its entry and then waits
+// for the other; under assembly-under-lock this times out.
+TEST(ShardedFlightCacheTest, DistinctKeyMissesAssembleInParallel) {
+  IntCache cache(Opts(8));
+  std::mutex mu;
+  std::condition_variable cv;
+  int entered = 0;
+  bool overlapped = true;
+  auto assemble = [&](const IntCache::Key& key) -> Result<int> {
+    std::unique_lock<std::mutex> lock(mu);
+    ++entered;
+    cv.notify_all();
+    if (!cv.wait_for(lock, std::chrono::seconds(5),
+                     [&] { return entered >= 2; })) {
+      overlapped = false;  // the other assembly never started: serialized
+    }
+    return key[0];
+  };
+  std::thread a([&] { cache.GetOrAssemble({100}, assemble); });
+  std::thread b([&] { cache.GetOrAssemble({200}, assemble); });
+  a.join();
+  b.join();
+  EXPECT_TRUE(overlapped)
+      << "distinct-key assemblies serialized: assembly runs under a lock";
+}
+
+TEST(ShardedFlightCacheTest, FailedAssemblyReachesWaitersAndIsNotCached) {
+  IntCache cache(Opts(8));
+  std::atomic<int> assemblies{0};
+  auto failing = [&](const IntCache::Key&) -> Result<int> {
+    assemblies.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return Status::InvalidArgument("boom");
+  };
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      auto r = cache.GetOrAssemble({9}, failing);
+      if (!r.ok()) errors.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 4);  // leader and every waiter saw the error
+  EXPECT_EQ(cache.size(), 0u);  // never cached
+
+  // The key is retryable: a later assembly that succeeds is cached.
+  auto ok = [](const IntCache::Key&) -> Result<int> { return 1; };
+  EXPECT_TRUE(cache.GetOrAssemble({9}, ok).ok());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedFlightCacheTest, EvictionChurnKeepsCountersAndSizeConsistent) {
+  constexpr size_t kCapacity = 8;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  constexpr int kKeySpace = 64;
+  IntCache cache(Opts(kCapacity, 4));
+  std::atomic<int64_t> assemblies{0};
+  auto assemble = [&](const IntCache::Key& key) -> Result<int> {
+    assemblies.fetch_add(1);
+    return key[0];
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      unsigned state = 12345u + t;
+      for (int i = 0; i < kPerThread; ++i) {
+        state = state * 1664525u + 1013904223u;
+        const int k = static_cast<int>(state % kKeySpace);
+        auto r = cache.GetOrAssemble({k}, assemble);
+        ASSERT_TRUE(r.ok());
+        ASSERT_EQ(r.ValueOrDie(), k);  // never served another key's value
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  auto shards = cache.ShardStats();
+  // Every lookup is accounted exactly once.
+  EXPECT_EQ(TotalHits(shards) + TotalMisses(shards) + TotalCoalesced(shards),
+            kThreads * kPerThread);
+  // Every miss led exactly one assembly.
+  EXPECT_EQ(TotalMisses(shards), assemblies.load());
+  // No lost or duplicated LRU entries: resident == assembled - evicted,
+  // and the global bound held.
+  EXPECT_EQ(TotalSize(shards), assemblies.load() - TotalEvictions(shards));
+  EXPECT_EQ(static_cast<int64_t>(cache.size()), TotalSize(shards));
+  EXPECT_LE(cache.size(), kCapacity);
+  EXPECT_EQ(cache.size(), kCapacity);  // churn far exceeded capacity
+}
+
+}  // namespace
+}  // namespace poe

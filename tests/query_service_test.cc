@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <thread>
 
 #include "distill/specialize.h"
@@ -68,6 +69,68 @@ TEST(QueryServiceTest, CacheKeyIsOrderInsensitive) {
   service.Query({0, 1}).ValueOrDie();
   service.Query({1, 0}).ValueOrDie();
   EXPECT_EQ(service.stats().cache_hits, 1);
+}
+
+TEST(QueryServiceTest, DuplicateTaskIdsShareOneCacheEntry) {
+  // {1,1,2}, {1,2} and {2,1,1} are the same composite task: the key is
+  // canonicalized (sorted + deduplicated), so all spellings hit one entry
+  // and the assembled model has one branch per distinct task.
+  ModelQueryService service(BuildPool(), 4);
+  auto a = service.Query({1, 1, 2});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.ValueOrDie()->num_branches(), 2);
+  auto b = service.Query({1, 2});
+  ASSERT_TRUE(b.ok());
+  auto c = service.Query({2, 1, 1});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a.ValueOrDie().get(), b.ValueOrDie().get());
+  EXPECT_EQ(a.ValueOrDie().get(), c.ValueOrDie().get());
+  EXPECT_EQ(service.stats().cache_hits, 2);
+  EXPECT_EQ(service.cache_size(), 1u);
+}
+
+TEST(QueryServiceTest, CacheHitLogitsMatchFreshAssemblyBitwise) {
+  ModelQueryService service(BuildPool(), 4);
+  Rng rng(7);
+  Tensor probe = Tensor::Randn({2, 3, 6, 6}, rng);
+  auto cached = service.Query({0, 2}).ValueOrDie();
+  service.Query({0, 2}).ValueOrDie();  // now served from cache
+  Tensor hit_logits = cached->Logits(probe);
+
+  // Fresh assembly straight off the pool: same aliased weights, so the
+  // forward must be bitwise identical to the cached model's.
+  TaskModel fresh = service.pool().Query({0, 2}).ValueOrDie();
+  Tensor fresh_logits = fresh.Logits(probe);
+  ASSERT_EQ(hit_logits.numel(), fresh_logits.numel());
+  EXPECT_EQ(std::memcmp(hit_logits.data(), fresh_logits.data(),
+                        sizeof(float) * hit_logits.numel()),
+            0);
+}
+
+TEST(QueryServiceTest, ServeStatsExposeShardsAndReconcile) {
+  ModelQueryService service(BuildPool(), 4, ServingPrecision::kFloat32,
+                            /*cache_shards=*/4);
+  service.Query({0}).ValueOrDie();
+  service.Query({0}).ValueOrDie();
+  service.Query({1}).ValueOrDie();
+  ServeStats stats = service.serve_stats();
+  EXPECT_EQ(stats.queries, 3);
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 2);
+  EXPECT_EQ(stats.coalesced, 0);
+  EXPECT_EQ(static_cast<int>(stats.shards.size()), 4);
+  int64_t shard_hits = 0, shard_misses = 0, shard_size = 0;
+  for (const auto& s : stats.shards) {
+    shard_hits += s.hits;
+    shard_misses += s.misses;
+    shard_size += s.size;
+  }
+  EXPECT_EQ(shard_hits, 1);
+  EXPECT_EQ(shard_misses, 2);
+  EXPECT_EQ(shard_size, static_cast<int64_t>(service.cache_size()));
+  EXPECT_GE(stats.p99_ms, stats.p50_ms);
+  EXPECT_GE(stats.max_ms, stats.p99_ms);
+  EXPECT_GT(stats.qps, 0.0);
 }
 
 TEST(QueryServiceTest, LruEvictsOldest) {

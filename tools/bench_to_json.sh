@@ -12,6 +12,11 @@
 # PoE assembly vs training-based consolidation) and records its console
 # output next to the JSON as BENCH_figure7_query_time.txt.
 #
+# --with-serving additionally runs the serving-throughput driver (sharded
+# single-flight cache + batching server vs the global-mutex baseline,
+# hit/miss/mixed workloads x thread count x precision) and records
+# BENCH_serving_throughput.json.
+#
 # Requires a build configured with -DPOE_BUILD_BENCH=ON. Compare runs only
 # on the same machine; the JSON includes the host context for provenance.
 set -euo pipefail
@@ -23,10 +28,13 @@ OUT="${2:-BENCH_micro_ops.json}"
 shift $(( $# > 2 ? 2 : $# )) || true
 
 WITH_FIGURE7=0
+WITH_SERVING=0
 ARGS=()
 for arg in "$@"; do
   if [[ "$arg" == "--with-figure7" ]]; then
     WITH_FIGURE7=1
+  elif [[ "$arg" == "--with-serving" ]]; then
+    WITH_SERVING=1
   else
     ARGS+=("$arg")
   fi
@@ -41,6 +49,16 @@ fi
 "$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
        --benchmark_format=console "${ARGS[@]+"${ARGS[@]}"}"
 echo "wrote $OUT"
+
+if [[ "$WITH_SERVING" == 1 ]]; then
+  SRV_BIN="$BUILD_DIR/serving_throughput"
+  SRV_OUT="BENCH_serving_throughput.json"
+  if [[ ! -x "$SRV_BIN" ]]; then
+    echo "error: $SRV_BIN not found — configure with -DPOE_BUILD_BENCH=ON" >&2
+    exit 1
+  fi
+  "$SRV_BIN" --json "$SRV_OUT"
+fi
 
 if [[ "$WITH_FIGURE7" == 1 ]]; then
   FIG_BIN="$BUILD_DIR/figure7_query_time"

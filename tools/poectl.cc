@@ -10,9 +10,16 @@
 //       Assembles the task-specific model and reports its size/latency.
 //   poectl bench <pool.poe> [num_queries]
 //       Measures service-phase latency over random composite queries.
+//   poectl serve-bench <pool.poe> [clients] [queries_per_client]
+//       Drives the concurrent serving runtime (sharded single-flight
+//       cache + batching inference server) with client threads issuing
+//       composite queries + probe inference, then prints the full
+//       ServeStats surface (percentiles, QPS, per-shard hit rates).
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/expert_pool.h"
@@ -23,6 +30,7 @@
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "models/cost.h"
+#include "serve/inference_server.h"
 #include "util/stopwatch.h"
 
 namespace poe {
@@ -171,13 +179,94 @@ int CmdBench(const std::string& path, int num_queries) {
   return 0;
 }
 
+int CmdServeBench(const std::string& path, int clients,
+                  int queries_per_client) {
+  auto loaded = ExpertPool::Load(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  ModelQueryService service(std::move(loaded).ValueOrDie(),
+                            /*cache_capacity=*/32,
+                            ServingPrecision::kFloat32, /*cache_shards=*/8);
+  InferenceServer::Options opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = 256;
+  InferenceServer server(&service, opts);
+  const int n = service.pool().num_experts();
+
+  std::printf("serving %d clients x %d queries (%d experts, 8 shards, 2 "
+              "workers)...\n",
+              clients, queries_per_client, n);
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(77 + c);
+      for (int q = 0; q < queries_per_client; ++q) {
+        const int nq = 1 + static_cast<int>(rng.NextInt(std::min(4, n)));
+        std::vector<int> all(n);
+        for (int i = 0; i < n; ++i) all[i] = i;
+        rng.Shuffle(all);
+        InferenceRequest req;
+        req.task_ids.assign(all.begin(), all.begin() + nq);
+        req.input = Tensor::Randn({1, 3, 8, 8}, rng);
+        InferenceResponse res = server.Submit(std::move(req)).get();
+        if (!res.status.ok() &&
+            res.status.code() != StatusCode::kResourceExhausted) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       res.status.ToString().c_str());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double total_s = wall.ElapsedSeconds();
+  server.Shutdown();
+
+  ServeStats stats = server.stats();
+  std::printf("%lld requests in %.2fs (%.0f qps end-to-end), %lld rejected "
+              "at submission\n",
+              static_cast<long long>(stats.submitted), total_s,
+              stats.completed / total_s,
+              static_cast<long long>(stats.rejected));
+  std::printf("latency p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms\n",
+              stats.p50_ms, stats.p95_ms, stats.p99_ms, stats.max_ms);
+  std::printf("cache: %lld hits / %lld assemblies / %lld coalesced "
+              "(hit rate %.1f%%), %lld fused batches avg %.1f req\n",
+              static_cast<long long>(stats.cache_hits),
+              static_cast<long long>(stats.cache_misses),
+              static_cast<long long>(stats.coalesced),
+              100 * stats.overall_hit_rate(),
+              static_cast<long long>(stats.batches), stats.avg_batch());
+  TablePrinter table({"Shard", "Hits", "Misses", "Coalesced", "Evicted",
+                      "Resident", "HitRate"});
+  for (size_t s = 0; s < stats.shards.size(); ++s) {
+    const CacheShardStats& shard = stats.shards[s];
+    char rate[16];
+    std::snprintf(rate, sizeof(rate), "%.1f%%", 100 * shard.hit_rate());
+    table.AddRow({std::to_string(s), std::to_string(shard.hits),
+                  std::to_string(shard.misses),
+                  std::to_string(shard.coalesced),
+                  std::to_string(shard.evictions),
+                  std::to_string(shard.size), rate});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("precision: %s, pool weight bytes: %lld\n",
+              stats.precision == ServingPrecision::kInt8 ? "int8" : "f32",
+              static_cast<long long>(stats.pool_bytes));
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  poectl build <pool.poe> [tasks] [classes] [epochs]\n"
                "  poectl info  <pool.poe>\n"
                "  poectl query <pool.poe> <task,task,...>\n"
-               "  poectl bench <pool.poe> [num_queries]\n");
+               "  poectl bench <pool.poe> [num_queries]\n"
+               "  poectl serve-bench <pool.poe> [clients] "
+               "[queries_per_client]\n");
   return 2;
 }
 
@@ -189,6 +278,10 @@ int Main(int argc, char** argv) {
   if (cmd == "query" && argc >= 4) return CmdQuery(argv[2], argv[3]);
   if (cmd == "bench") {
     return CmdBench(argv[2], argc > 3 ? std::atoi(argv[3]) : 100);
+  }
+  if (cmd == "serve-bench") {
+    return CmdServeBench(argv[2], argc > 3 ? std::atoi(argv[3]) : 4,
+                         argc > 4 ? std::atoi(argv[4]) : 100);
   }
   return Usage();
 }
