@@ -106,7 +106,8 @@ struct RunResult {
   double qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
-  double avg_batch = 0.0;  // server runs only
+  double avg_batch = 0.0;          // server runs only
+  int64_t trunk_fused_rows = 0;    // rows served by cross-model trunk passes
 };
 
 /// All composite tasks of size 1..4 over `num_tasks` primitives,
@@ -297,6 +298,112 @@ std::vector<RunResult> ServerWorkloads(
   return results;
 }
 
+/// Cross-model trunk reuse: every client pipelines 1-row requests
+/// round-robin over DIFFERENT single-task models (the worst case for
+/// same-model batching: no two consecutive requests share a model), so
+/// the only batching win available is fusing the shared library trunk.
+std::vector<RunResult> TrunkWorkloads(
+    const std::string& precision, ModelQueryService& service,
+    const std::vector<int>& thread_counts, double seconds, int image_hw,
+    int num_models) {
+  constexpr int kBurst = 8;
+  std::vector<RunResult> results;
+  for (bool fuse : {false, true}) {
+    for (int threads : thread_counts) {
+      InferenceServer::Options opts;
+      opts.num_workers = 2;
+      opts.queue_capacity = 1024;
+      opts.max_batch_rows = 32;
+      opts.fuse_trunk = fuse;
+      InferenceServer server(&service, opts);
+
+      std::vector<Tensor> probes;
+      for (int t = 0; t < threads; ++t) {
+        Rng rng(700 + t);
+        probes.push_back(Tensor::Randn({1, 3, image_hw, image_hw}, rng));
+      }
+      RunResult r = RunTimed(
+          fuse ? "server_trunk_fused" : "server_trunk_off", precision,
+          "cross_model", threads, seconds,
+          [&](int t, int64_t i) {
+            std::vector<std::future<InferenceResponse>> burst;
+            burst.reserve(kBurst);
+            for (int b = 0; b < kBurst; ++b) {
+              InferenceRequest req;
+              // Walk the single-task models so adjacent requests always
+              // name different models.
+              req.task_ids = {static_cast<int>((t + i + b) % num_models)};
+              req.input = probes[t].Clone();
+              burst.push_back(server.Submit(std::move(req)));
+            }
+            for (auto& f : burst) f.get();
+          },
+          kBurst);
+      ServeStats stats = server.stats();
+      r.avg_batch = stats.avg_batch();
+      r.trunk_fused_rows = stats.trunk_fused_rows;
+      server.Shutdown();
+      results.push_back(r);
+    }
+  }
+  return results;
+}
+
+// ------------------------------------------------------ expert-level dedup
+/// The overlapping-composite scenario: hold the prefix chain {0}, {0,1},
+/// ..., {0..n-1} plus every adjacent pair resident at once and compare
+/// model-granularity accounting (Σ private-copy StateBytes) against the
+/// deduplicated footprint (one trunk + distinct referenced experts). The
+/// former scales with composites, the latter with distinct experts — the
+/// paper's economics, measured.
+struct DedupResult {
+  int composites = 0;
+  int distinct_experts = 0;
+  int64_t naive_model_bytes = 0;   // Σ StateBytes over resident composites
+  int64_t deduped_bytes = 0;       // trunk + referenced expert bytes
+  int64_t shared_bytes_saved = 0;  // cumulative store counter
+  int64_t expert_hits = 0;
+};
+
+DedupResult DedupScenario(const ExpertPool& pool, int num_tasks) {
+  ModelQueryService service(pool, /*cache_capacity=*/256);
+  std::vector<std::shared_ptr<TaskModel>> resident;
+  std::vector<std::vector<int>> composites;
+  std::vector<int> chain;
+  for (int t = 0; t < num_tasks; ++t) {
+    chain.push_back(t);
+    composites.push_back(chain);
+    if (t + 1 < num_tasks) composites.push_back({t, t + 1});
+  }
+  for (const auto& q : composites) {
+    resident.push_back(service.Query(q).ValueOrDie());
+  }
+
+  ServeStats stats = service.serve_stats();
+  DedupResult r;
+  r.composites = static_cast<int>(composites.size());
+  r.distinct_experts = static_cast<int>(stats.experts_referenced);
+  r.naive_model_bytes = stats.resident_model_bytes;
+  r.deduped_bytes = stats.trunk_bytes + stats.referenced_expert_bytes;
+  r.shared_bytes_saved = stats.shared_bytes_saved;
+  r.expert_hits = stats.expert_hits;
+
+  std::printf(
+      "[bench] expert dedup: %d overlapping composites over %d experts\n"
+      "        model-granularity bytes %lld, deduplicated bytes %lld "
+      "(%.2fx), shared_bytes_saved %lld, expert hits %lld\n",
+      r.composites, r.distinct_experts,
+      static_cast<long long>(r.naive_model_bytes),
+      static_cast<long long>(r.deduped_bytes),
+      r.deduped_bytes > 0
+          ? static_cast<double>(r.naive_model_bytes) /
+                static_cast<double>(r.deduped_bytes)
+          : 0.0,
+      static_cast<long long>(r.shared_bytes_saved),
+      static_cast<long long>(r.expert_hits));
+  return r;
+}
+
 // ------------------------------------------------------- simulated assembly
 // On the real pool, assembly is pointer wiring (~1us), so the cost a miss
 // imposes on concurrent traffic is hard to see on few cores. These two
@@ -378,7 +485,8 @@ double FindQps(const std::vector<RunResult>& results,
 }
 
 void WriteJson(const std::string& path, const std::vector<RunResult>& results,
-               const std::vector<int>& thread_counts) {
+               const std::vector<int>& thread_counts,
+               const DedupResult& dedup) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -397,12 +505,26 @@ void WriteJson(const std::string& path, const std::vector<RunResult>& results,
         "    {\"service\": \"%s\", \"precision\": \"%s\", \"workload\": "
         "\"%s\", \"threads\": %d, \"seconds\": %.3f, \"ops\": %lld, "
         "\"qps\": %.1f, \"p50_ms\": %.5f, \"p99_ms\": %.5f, "
-        "\"avg_batch\": %.2f}%s\n",
+        "\"avg_batch\": %.2f, \"trunk_fused_rows\": %lld}%s\n",
         r.service.c_str(), r.precision.c_str(), r.workload.c_str(),
         r.threads, r.seconds, static_cast<long long>(r.ops), r.qps,
-        r.p50_ms, r.p99_ms, r.avg_batch, i + 1 < results.size() ? "," : "");
+        r.p50_ms, r.p99_ms, r.avg_batch,
+        static_cast<long long>(r.trunk_fused_rows),
+        i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"derived\": {\n");
+  std::fprintf(f, "  ],\n  \"expert_dedup\": {\n");
+  std::fprintf(f,
+               "    \"composites\": %d,\n    \"distinct_experts\": %d,\n"
+               "    \"naive_model_bytes\": %lld,\n"
+               "    \"deduped_bytes\": %lld,\n"
+               "    \"shared_bytes_saved\": %lld,\n"
+               "    \"expert_hits\": %lld\n  },\n",
+               dedup.composites, dedup.distinct_experts,
+               static_cast<long long>(dedup.naive_model_bytes),
+               static_cast<long long>(dedup.deduped_bytes),
+               static_cast<long long>(dedup.shared_bytes_saved),
+               static_cast<long long>(dedup.expert_hits));
+  std::fprintf(f, "  \"derived\": {\n");
   const int top = thread_counts.back();
   for (const char* prec : {"f32", "int8", "sim"}) {
     const double base = FindQps(results, "global_mutex", prec, "mixed", top);
@@ -414,6 +536,14 @@ void WriteJson(const std::string& path, const std::vector<RunResult>& results,
     const double many = FindQps(results, "sharded", prec, "hit", top);
     std::fprintf(f, "    \"hit_scaling_%dt_%s\": %.2f,\n", top, prec,
                  one > 0 ? many / one : 0.0);
+  }
+  for (const char* prec : {"f32"}) {
+    const double off =
+        FindQps(results, "server_trunk_off", prec, "cross_model", top);
+    const double fused =
+        FindQps(results, "server_trunk_fused", prec, "cross_model", top);
+    std::fprintf(f, "    \"trunk_fusion_speedup_%dt_%s\": %.2f,\n", top,
+                 prec, off > 0 ? fused / off : 0.0);
   }
   std::fprintf(f, "    \"threads\": %d\n  }\n}\n", top);
   std::fclose(f);
@@ -488,6 +618,10 @@ int Main(int argc, char** argv) {
               keys.size(), kHotKeys, kCacheCapacity, seconds,
               std::thread::hardware_concurrency());
 
+  // Expert-level dedup first: the scenario needs a clean store (no prior
+  // acquires) for its hit/miss accounting to be the scenario's own.
+  const DedupResult dedup = DedupScenario(pool, dc.num_tasks);
+
   std::vector<RunResult> results;
   auto run_precision = [&](const std::string& precision) {
     {
@@ -506,6 +640,12 @@ int Main(int argc, char** argv) {
       ModelQueryService sharded(pool, kCacheCapacity);
       auto r = ServerWorkloads(precision, sharded, keys, thread_counts,
                                seconds, dc.height);
+      results.insert(results.end(), r.begin(), r.end());
+    }
+    {
+      ModelQueryService sharded(pool, kCacheCapacity);
+      auto r = TrunkWorkloads(precision, sharded, thread_counts, seconds,
+                              dc.height, dc.num_tasks);
       results.insert(results.end(), r.begin(), r.end());
     }
   };
@@ -544,7 +684,16 @@ int Main(int argc, char** argv) {
                 "sharded %.0f qps (%.2fx)\n",
                 prec, top, base, shard, base > 0 ? shard / base : 0.0);
   }
-  if (!json_path.empty()) WriteJson(json_path, results, thread_counts);
+  for (const char* prec : {"f32", "int8"}) {
+    const double off =
+        FindQps(results, "server_trunk_off", prec, "cross_model", top);
+    const double fused =
+        FindQps(results, "server_trunk_fused", prec, "cross_model", top);
+    std::printf("[bench] %s cross-model @%d threads: trunk off %.0f qps, "
+                "fused %.0f qps (%.2fx)\n",
+                prec, top, off, fused, off > 0 ? fused / off : 0.0);
+  }
+  if (!json_path.empty()) WriteJson(json_path, results, thread_counts, dedup);
   return 0;
 }
 

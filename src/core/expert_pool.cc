@@ -17,9 +17,26 @@ ExpertPool::ExpertPool(WrnConfig library_config, double expert_ks,
       expert_ks_(expert_ks),
       hierarchy_(std::move(hierarchy)),
       library_(std::move(library)),
-      experts_(std::move(experts)) {
+      store_(std::make_shared<ExpertStore>()) {
   POE_CHECK(library_ != nullptr);
-  POE_CHECK_EQ(static_cast<int>(experts_.size()), hierarchy_.num_tasks());
+  POE_CHECK_EQ(static_cast<int>(experts.size()), hierarchy_.num_tasks());
+  for (int t = 0; t < static_cast<int>(experts.size()); ++t) {
+    store_->AddExpert(std::move(experts[t]), hierarchy_.task_classes(t),
+                      ExpertConfig(t));
+  }
+}
+
+ExpertPool::ExpertPool(const ExpertPool& other)
+    : library_config_(other.library_config_),
+      expert_ks_(other.expert_ks_),
+      hierarchy_(other.hierarchy_),
+      library_(other.library_),
+      store_(other.store_->Clone()),
+      precision_(other.precision_) {}
+
+ExpertPool& ExpertPool::operator=(const ExpertPool& other) {
+  if (this != &other) *this = ExpertPool(other);  // copy, then move-assign
+  return *this;
 }
 
 WrnConfig ExpertPool::ExpertConfig(int task_id) const {
@@ -96,22 +113,18 @@ Result<TaskModel> ExpertPool::Query(const std::vector<int>& task_ids) const {
     return Status::InvalidArgument("composite task must be non-empty");
   }
   std::unordered_set<int> seen;
-  std::vector<TaskModel::Branch> branches;
+  std::vector<ExpertBranchHandle> branches;
   branches.reserve(task_ids.size());
   for (int t : task_ids) {
-    if (t < 0 || t >= num_experts()) {
-      return Status::OutOfRange("unknown primitive task id " +
-                                std::to_string(t));
-    }
     if (!seen.insert(t).second) {
       return Status::InvalidArgument("duplicate primitive task id " +
                                      std::to_string(t));
     }
-    TaskModel::Branch branch;
-    branch.head = experts_[t];
-    branch.classes = hierarchy_.task_classes(t);
-    branch.config = ExpertConfig(t);
-    branches.push_back(std::move(branch));
+    // The store validates the id and shares the branch if any other
+    // composite already holds it (expert-level dedup).
+    auto branch = store_->Acquire(t);
+    if (!branch.ok()) return branch.status();
+    branches.push_back(std::move(branch).ValueOrDie());
   }
   return TaskModel(library_, library_config_, std::move(branches),
                    precision_);
@@ -124,21 +137,17 @@ Status ExpertPool::SetServingPrecision(ServingPrecision precision) {
         "int8 serving is irreversible: the f32 weights were released");
   }
   library_->PrepareInt8Serving();
-  for (auto& expert : experts_) expert->PrepareInt8Serving();
+  store_->PrepareInt8Serving();
   precision_ = ServingPrecision::kInt8;
   return Status::OK();
 }
 
 int64_t ExpertPool::ServingBytes() const {
-  int64_t bytes = HeldStateBytes(*library_);
-  for (const auto& expert : experts_) bytes += HeldStateBytes(*expert);
-  return bytes;
+  return HeldStateBytes(*library_) + store_->MasterBytes();
 }
 
-const std::shared_ptr<Sequential>& ExpertPool::expert(int task_id) const {
-  POE_CHECK_GE(task_id, 0);
-  POE_CHECK_LT(task_id, num_experts());
-  return experts_[task_id];
+std::shared_ptr<Sequential> ExpertPool::expert(int task_id) const {
+  return store_->module(task_id);
 }
 
 Status ExpertPool::AddExpert(const LogitFn& oracle, const Dataset& full_train,
@@ -170,7 +179,7 @@ Status ExpertPool::AddExpert(const LogitFn& oracle, const Dataset& full_train,
                  ckd);
 
   hierarchy_ = std::move(extended).ValueOrDie();
-  experts_.push_back(std::move(head));
+  store_->AddExpert(std::move(head), new_classes, expert_cfg);
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/expert_store.h"
 #include "core/task_model.h"
 #include "data/hierarchy.h"
 #include "data/synthetic.h"
@@ -62,6 +63,15 @@ class ExpertPool {
              std::shared_ptr<Sequential> library,
              std::vector<std::shared_ptr<Sequential>> experts);
 
+  /// Copies share the master modules (weights are never duplicated) but
+  /// get their OWN expert store: per-copy sharing accounting, and an
+  /// AddExpert on one copy cannot desync another copy's hierarchy from
+  /// its expert count. Moves keep the store.
+  ExpertPool(const ExpertPool& other);
+  ExpertPool& operator=(const ExpertPool& other);
+  ExpertPool(ExpertPool&&) = default;
+  ExpertPool& operator=(ExpertPool&&) = default;
+
   /// Service phase: builds M(Q) for composite task Q = given primitive
   /// task ids. Train-free; the returned model aliases pool weights (and
   /// inherits the pool's serving precision). Fails on empty, duplicate,
@@ -85,9 +95,16 @@ class ExpertPool {
   const ClassHierarchy& hierarchy() const { return hierarchy_; }
   const WrnConfig& library_config() const { return library_config_; }
   double expert_ks() const { return expert_ks_; }
-  int num_experts() const { return static_cast<int>(experts_.size()); }
+  int num_experts() const { return store_->num_experts(); }
   const std::shared_ptr<Sequential>& library() const { return library_; }
-  const std::shared_ptr<Sequential>& expert(int task_id) const;
+  /// Master module of expert `task_id` (owned by the expert store).
+  std::shared_ptr<Sequential> expert(int task_id) const;
+
+  /// The expert-granularity sharing layer: Query() acquires branch handles
+  /// from here, so overlapping composites of THIS pool (and models it
+  /// already handed out) alias the same ExpertBranch objects. Each pool
+  /// copy owns its own store — the masters underneath are shared.
+  const std::shared_ptr<ExpertStore>& expert_store() const { return store_; }
 
   /// Architecture of expert `task_id` (WRN conv4 group + head).
   WrnConfig ExpertConfig(int task_id) const;
@@ -109,7 +126,7 @@ class ExpertPool {
   double expert_ks_ = 0.25;
   ClassHierarchy hierarchy_;
   std::shared_ptr<Sequential> library_;
-  std::vector<std::shared_ptr<Sequential>> experts_;
+  std::shared_ptr<ExpertStore> store_;
   ServingPrecision precision_ = ServingPrecision::kFloat32;
 };
 

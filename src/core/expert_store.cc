@@ -1,0 +1,122 @@
+#include "core/expert_store.h"
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace poe {
+
+int ExpertStore::AddExpert(std::shared_ptr<Sequential> module,
+                           std::vector<int> classes, WrnConfig config) {
+  POE_CHECK(module != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot slot;
+  slot.module = std::move(module);
+  slot.classes = std::move(classes);
+  slot.config = config;
+  slot.bytes = HeldStateBytes(*slot.module);
+  slots_.push_back(std::move(slot));
+  return static_cast<int>(slots_.size()) - 1;
+}
+
+std::unique_ptr<ExpertStore> ExpertStore::Clone() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto clone = std::make_unique<ExpertStore>();
+  clone->slots_.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    Slot fresh;
+    fresh.module = slot.module;  // masters shared; weights are never copied
+    fresh.classes = slot.classes;
+    fresh.config = slot.config;
+    fresh.bytes = slot.bytes;
+    clone->slots_.push_back(std::move(fresh));
+  }
+  return clone;
+}
+
+Result<ExpertBranchHandle> ExpertStore::Acquire(int task_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (task_id < 0 || task_id >= static_cast<int>(slots_.size())) {
+    return Status::OutOfRange("unknown primitive task id " +
+                              std::to_string(task_id));
+  }
+  Slot& slot = slots_[task_id];
+  if (ExpertBranchHandle branch = slot.live.lock()) {
+    // Some composite already holds this expert: the acquire shares it,
+    // saving exactly the bytes a per-composite copy would have added.
+    expert_hits_++;
+    shared_bytes_saved_ += slot.bytes;
+    return branch;
+  }
+  ExpertBranch b;
+  b.head = slot.module;
+  b.classes = slot.classes;
+  b.config = slot.config;
+  b.task_id = task_id;
+  auto branch = std::make_shared<const ExpertBranch>(std::move(b));
+  slot.bytes = HeldStateBytes(*slot.module);
+  slot.live = branch;
+  expert_misses_++;
+  return ExpertBranchHandle(std::move(branch));
+}
+
+void ExpertStore::PrepareInt8Serving() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& slot : slots_) {
+    slot.module->PrepareInt8Serving();
+    slot.bytes = HeldStateBytes(*slot.module);
+  }
+}
+
+int ExpertStore::num_experts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(slots_.size());
+}
+
+std::shared_ptr<Sequential> ExpertStore::module(int task_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  POE_CHECK_GE(task_id, 0);
+  POE_CHECK_LT(task_id, static_cast<int>(slots_.size()));
+  return slots_[task_id].module;
+}
+
+std::vector<int> ExpertStore::classes(int task_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  POE_CHECK_GE(task_id, 0);
+  POE_CHECK_LT(task_id, static_cast<int>(slots_.size()));
+  return slots_[task_id].classes;
+}
+
+int64_t ExpertStore::MasterBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t bytes = 0;
+  for (const Slot& slot : slots_) bytes += HeldStateBytes(*slot.module);
+  return bytes;
+}
+
+int64_t ExpertStore::ReferencedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t bytes = 0;
+  for (const Slot& slot : slots_) {
+    if (!slot.live.expired()) bytes += slot.bytes;
+  }
+  return bytes;
+}
+
+ExpertStoreStats ExpertStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExpertStoreStats stats;
+  stats.expert_hits = expert_hits_;
+  stats.expert_misses = expert_misses_;
+  stats.shared_bytes_saved = shared_bytes_saved_;
+  for (const Slot& slot : slots_) {
+    if (!slot.live.expired()) {
+      stats.experts_referenced++;
+      stats.referenced_bytes += slot.bytes;
+    }
+  }
+  return stats;
+}
+
+}  // namespace poe

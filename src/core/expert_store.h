@@ -1,0 +1,134 @@
+// ExpertStore: expert-granularity sharing for the serving stack.
+//
+// The paper's economics come from composing task models out of a shared
+// expert library, so serving state must scale with *distinct experts*,
+// not with the number of composites that reference them. The store owns
+// the master expert modules (moved here from ExpertPool) and hands out
+// refcounted, immutable ExpertBranch handles: assembling {1,2,3} after
+// {1,2} materializes only expert 3's branch — experts 1 and 2 are the
+// SAME objects, by pointer identity, in both composites.
+//
+// Lifecycle: a branch stays materialized exactly while some TaskModel
+// (cached or client-held) references it — the store keeps only a weak
+// reference, so evicting one composite can never free an expert another
+// composite still uses, and dropping the last composite releases the
+// branch without touching the master weights. Materialization runs under
+// the store mutex; unlike model assembly it is pointer wiring plus a
+// byte count, so there is nothing expensive to move outside the lock and
+// concurrent acquires of one expert trivially coalesce onto a single
+// branch (the single-flight property at expert granularity).
+#ifndef POE_CORE_EXPERT_STORE_H_
+#define POE_CORE_EXPERT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "models/wrn.h"
+#include "nn/sequential.h"
+#include "util/result.h"
+
+namespace poe {
+
+/// One immutable expert branch: the serving form a TaskModel holds. The
+/// head aliases the store's master module (f32 or packed int8 — whatever
+/// the pool currently serves), so a branch never duplicates weights.
+struct ExpertBranch {
+  std::shared_ptr<Sequential> head;
+  std::vector<int> classes;  ///< global class ids this expert predicts
+  WrnConfig config;          ///< architecture (for cost reporting)
+  int task_id = -1;          ///< slot in the owning store; -1 = ad-hoc
+};
+
+/// Refcounted handle composites hold; the refcount IS the residency
+/// signal (see ExpertStore lifecycle above).
+using ExpertBranchHandle = std::shared_ptr<const ExpertBranch>;
+
+/// Builds a store-less branch handle (tests and ablation benches compose
+/// models from modules they trained themselves).
+inline ExpertBranchHandle MakeAdHocBranch(std::shared_ptr<Sequential> head,
+                                          std::vector<int> classes,
+                                          WrnConfig config) {
+  ExpertBranch b;
+  b.head = std::move(head);
+  b.classes = std::move(classes);
+  b.config = config;
+  return std::make_shared<const ExpertBranch>(std::move(b));
+}
+
+/// Counters of the expert-sharing layer. Reconcile by construction:
+///   expert_hits + expert_misses == total Acquire() calls that succeeded
+/// and shared_bytes_saved is exactly the sum of the hit experts' bytes —
+/// the weight state an isolated-assembly design (one private copy per
+/// composite) would have materialized anew.
+struct ExpertStoreStats {
+  int64_t expert_hits = 0;    ///< acquire reused an already-live branch
+  int64_t expert_misses = 0;  ///< acquire materialized the branch
+  int64_t shared_bytes_saved = 0;
+  int64_t experts_referenced = 0;  ///< branches live right now
+  int64_t referenced_bytes = 0;    ///< bytes of those live branches
+};
+
+class ExpertStore {
+ public:
+  ExpertStore() = default;
+  ExpertStore(const ExpertStore&) = delete;
+  ExpertStore& operator=(const ExpertStore&) = delete;
+
+  /// Appends a master expert module; returns its task id (slot index).
+  int AddExpert(std::shared_ptr<Sequential> module, std::vector<int> classes,
+                WrnConfig config);
+
+  /// A store over the SAME master modules but with fresh sharing state:
+  /// no live branches, zeroed counters. ExpertPool's copy constructor
+  /// uses this so each pool copy (each service) gets independent
+  /// accounting and an AddExpert on one copy cannot desync another.
+  std::unique_ptr<ExpertStore> Clone() const;
+
+  /// Returns the (shared) branch for `task_id`, materializing it if no
+  /// composite currently references it. OutOfRange on unknown ids.
+  Result<ExpertBranchHandle> Acquire(int task_id);
+
+  /// Switches every master module to dequant-free int8 serving and
+  /// refreshes the per-expert byte accounting. Live branches keep working
+  /// (their heads alias the converted modules); like the pool-level
+  /// conversion this is irreversible.
+  void PrepareInt8Serving();
+
+  int num_experts() const;
+  /// By value: slots_ may grow (AddExpert) after the lock is released, so
+  /// references into it would not be stable.
+  std::shared_ptr<Sequential> module(int task_id) const;
+  std::vector<int> classes(int task_id) const;
+
+  /// Bytes of master weight state held (every expert, referenced or not) —
+  /// the pool side of ExpertPool::ServingBytes().
+  int64_t MasterBytes() const;
+
+  /// Bytes of experts referenced by at least one live composite. With the
+  /// model-level view this is the honest footprint denominator: it scales
+  /// with distinct experts, never with composites.
+  int64_t ReferencedBytes() const;
+
+  ExpertStoreStats stats() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<Sequential> module;
+    std::vector<int> classes;
+    WrnConfig config;
+    std::weak_ptr<const ExpertBranch> live;  ///< current branch, if any
+    int64_t bytes = 0;  ///< HeldStateBytes at last (re)materialization
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  int64_t expert_hits_ = 0;
+  int64_t expert_misses_ = 0;
+  int64_t shared_bytes_saved_ = 0;
+};
+
+}  // namespace poe
+
+#endif  // POE_CORE_EXPERT_STORE_H_

@@ -11,7 +11,15 @@ ModelQueryService::ModelQueryService(ExpertPool pool, size_t cache_capacity,
                                      ServingPrecision precision,
                                      int cache_shards)
     : pool_(std::move(pool)),
-      cache_(ShardedModelCache::Options{cache_capacity, cache_shards}) {
+      cache_(ShardedModelCache::Options{
+          cache_capacity, cache_shards,
+          // Charge each resident composite its PRIVATE-copy bytes; the
+          // expert store's referenced bytes are the deduplicated truth
+          // and serve_stats() reports the difference as what expert-level
+          // sharing saved.
+          [](const std::shared_ptr<TaskModel>& m) {
+            return m->StateBytes();
+          }}) {
   // kFloat32 leaves the pool at whatever precision it already serves
   // (an already-converted int8 pool stays int8); kInt8 converts now.
   if (precision != ServingPrecision::kFloat32) {
@@ -69,8 +77,16 @@ ServeStats ModelQueryService::serve_stats() const {
     stats.cache_hits += shard.hits;
     stats.cache_misses += shard.misses;
     stats.coalesced += shard.coalesced;
+    stats.resident_model_bytes += shard.resident_bytes;
   }
   stats.queries = stats.cache_hits + stats.cache_misses + stats.coalesced;
+  const ExpertStoreStats store = pool_.expert_store()->stats();
+  stats.expert_hits = store.expert_hits;
+  stats.expert_misses = store.expert_misses;
+  stats.shared_bytes_saved = store.shared_bytes_saved;
+  stats.experts_referenced = store.experts_referenced;
+  stats.referenced_expert_bytes = store.referenced_bytes;
+  stats.trunk_bytes = HeldStateBytes(*pool_.library());
   stats.p50_ms = latency_.Percentile(0.50);
   stats.p95_ms = latency_.Percentile(0.95);
   stats.p99_ms = latency_.Percentile(0.99);

@@ -1,12 +1,28 @@
 #include "core/task_model.h"
 
+#include <utility>
+
 #include "tensor/ops.h"
 #include "util/logging.h"
 
 namespace poe {
 
+namespace {
+
+std::vector<ExpertBranchHandle> WrapAdHoc(std::vector<ExpertBranch> payloads) {
+  std::vector<ExpertBranchHandle> handles;
+  handles.reserve(payloads.size());
+  for (ExpertBranch& b : payloads) {
+    handles.push_back(std::make_shared<const ExpertBranch>(std::move(b)));
+  }
+  return handles;
+}
+
+}  // namespace
+
 TaskModel::TaskModel(std::shared_ptr<Sequential> library,
-                     WrnConfig library_config, std::vector<Branch> branches,
+                     WrnConfig library_config,
+                     std::vector<ExpertBranchHandle> branches,
                      ServingPrecision precision)
     : library_(std::move(library)),
       library_config_(library_config),
@@ -14,24 +30,37 @@ TaskModel::TaskModel(std::shared_ptr<Sequential> library,
       precision_(precision) {
   POE_CHECK(library_ != nullptr);
   POE_CHECK(!branches_.empty());
-  for (const Branch& b : branches_) {
-    POE_CHECK(b.head != nullptr);
-    global_classes_.insert(global_classes_.end(), b.classes.begin(),
-                           b.classes.end());
+  for (const ExpertBranchHandle& b : branches_) {
+    POE_CHECK(b != nullptr && b->head != nullptr);
+    global_classes_.insert(global_classes_.end(), b->classes.begin(),
+                           b->classes.end());
   }
+}
+
+TaskModel::TaskModel(std::shared_ptr<Sequential> library,
+                     WrnConfig library_config, std::vector<Branch> branches,
+                     ServingPrecision precision)
+    : TaskModel(std::move(library), library_config,
+                WrapAdHoc(std::move(branches)), precision) {}
+
+Tensor TaskModel::TrunkFeatures(const Tensor& images) {
+  return library_->Forward(images, /*training=*/false);
+}
+
+Tensor TaskModel::LogitsFromFeatures(const Tensor& features) {
+  std::vector<Tensor> parts;
+  parts.reserve(branches_.size());
+  for (const ExpertBranchHandle& b : branches_) {
+    parts.push_back(b->head->Forward(features, /*training=*/false));
+  }
+  return ConcatColumns(parts);
 }
 
 Tensor TaskModel::Logits(const Tensor& images) {
   // Knowledge consolidation by logit concatenation (Section 4.2): the
   // library runs once, every expert branches off its feature map, and the
   // branch logits form the unified logit s_Q.
-  Tensor features = library_->Forward(images, /*training=*/false);
-  std::vector<Tensor> parts;
-  parts.reserve(branches_.size());
-  for (const Branch& b : branches_) {
-    parts.push_back(b.head->Forward(features, /*training=*/false));
-  }
-  return ConcatColumns(parts);
+  return LogitsFromFeatures(TrunkFeatures(images));
 }
 
 std::vector<int> TaskModel::Predict(const Tensor& images) {
@@ -46,19 +75,23 @@ std::vector<int> TaskModel::Predict(const Tensor& images) {
 ModelCost TaskModel::Cost(int64_t in_h, int64_t in_w) const {
   std::vector<WrnConfig> expert_configs;
   expert_configs.reserve(branches_.size());
-  for (const Branch& b : branches_) expert_configs.push_back(b.config);
+  for (const ExpertBranchHandle& b : branches_) {
+    expert_configs.push_back(b->config);
+  }
   return CostOfBranched(library_config_, expert_configs, in_h, in_w);
 }
 
 int64_t TaskModel::NumParams() const {
   int64_t n = library_->NumParams();
-  for (const Branch& b : branches_) n += b.head->NumParams();
+  for (const ExpertBranchHandle& b : branches_) n += b->head->NumParams();
   return n;
 }
 
 int64_t TaskModel::StateBytes() const {
   int64_t bytes = HeldStateBytes(*library_);
-  for (const Branch& b : branches_) bytes += HeldStateBytes(*b.head);
+  for (const ExpertBranchHandle& b : branches_) {
+    bytes += HeldStateBytes(*b->head);
+  }
   return bytes;
 }
 

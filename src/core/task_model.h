@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/expert_store.h"
 #include "models/cost.h"
 #include "models/wrn.h"
 #include "nn/sequential.h"
@@ -21,32 +22,56 @@ enum class ServingPrecision { kFloat32, kInt8 };
 /// The branched architecture of Figure 3: a shared library component
 /// (conv1..conv3) feeding n(Q) expert branches (conv4 + head), whose output
 /// logits are concatenated into the unified logit s_Q. Assembly involves no
-/// training and no weight copies - branches alias the pool's modules.
+/// training and no weight copies - branches are refcounted handles into the
+/// pool's ExpertStore, so overlapping composites share the SAME ExpertBranch
+/// objects and serving memory scales with distinct experts, not composites.
 ///
 /// In the paper's notation this is WRN-l-(kc, [ks_1..n(Q)]^T).
 class TaskModel {
  public:
-  /// One expert branch: the head module, the global classes it predicts,
-  /// and its architecture config (for cost reporting).
-  struct Branch {
-    std::shared_ptr<Sequential> head;
-    std::vector<int> classes;
-    WrnConfig config;
-  };
+  /// Branch payload type; kept as an alias so code that composes models
+  /// from its own modules (tests, ablations) can build branches directly —
+  /// the ctor wraps them into (unshared) handles.
+  using Branch = ExpertBranch;
 
+  /// Store path: branches are handles acquired from an ExpertStore, shared
+  /// across every composite that references the same expert.
+  TaskModel(std::shared_ptr<Sequential> library, WrnConfig library_config,
+            std::vector<ExpertBranchHandle> branches,
+            ServingPrecision precision = ServingPrecision::kFloat32);
+
+  /// Ad-hoc path: wraps each payload into a fresh handle (no sharing).
   TaskModel(std::shared_ptr<Sequential> library, WrnConfig library_config,
             std::vector<Branch> branches,
             ServingPrecision precision = ServingPrecision::kFloat32);
 
   /// Unified logits s_Q: library forward once, each expert branch forward,
   /// concatenate. Eval mode only (the assembled model is never trained).
+  /// Equivalent to LogitsFromFeatures(TrunkFeatures(images)).
   Tensor Logits(const Tensor& images);
+
+  /// The shared-trunk (library) forward alone: the feature map every
+  /// branch head consumes. Rows are independent, which is what lets the
+  /// serving layer fuse the trunk pass across requests for DIFFERENT
+  /// models that share this trunk, then fan out per-model heads.
+  Tensor TrunkFeatures(const Tensor& images);
+
+  /// Branch heads + logit concatenation over precomputed trunk features.
+  Tensor LogitsFromFeatures(const Tensor& features);
+
+  /// The shared library trunk. Pointer identity marks models whose rows
+  /// may ride one fused trunk pass (all models of one pool share it).
+  const std::shared_ptr<Sequential>& trunk() const { return library_; }
 
   /// Global class ids corresponding to the logit columns.
   const std::vector<int>& global_classes() const { return global_classes_; }
 
   int num_branches() const { return static_cast<int>(branches_.size()); }
-  const Branch& branch(int i) const { return branches_.at(i); }
+  const Branch& branch(int i) const { return *branches_.at(i); }
+  /// The refcounted handle itself (pointer identity across composites).
+  const ExpertBranchHandle& branch_handle(int i) const {
+    return branches_.at(i);
+  }
   const WrnConfig& library_config() const { return library_config_; }
 
   /// Predicted global class of each row of `images`.
@@ -64,14 +89,16 @@ class TaskModel {
   /// Precision the aliased pool modules serve at.
   ServingPrecision serving_precision() const { return precision_; }
 
-  /// Bytes of weight state this model holds (via its pool aliases):
-  /// f32 parameters/buffers plus packed int8 weights when serving kInt8.
+  /// Bytes of weight state this model would hold if its aliases were
+  /// private copies (library + every branch). The serving layer charges
+  /// composites only for UNSHARED bytes; the difference against the
+  /// store's referenced bytes is exactly the dedup saving.
   int64_t StateBytes() const;
 
  private:
   std::shared_ptr<Sequential> library_;
   WrnConfig library_config_;
-  std::vector<Branch> branches_;
+  std::vector<ExpertBranchHandle> branches_;
   std::vector<int> global_classes_;
   ServingPrecision precision_ = ServingPrecision::kFloat32;
 };

@@ -83,12 +83,14 @@ void InferenceServer::WorkerLoop() {
 
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
-      // Greedy same-model coalescing: absorb pending requests for the same
-      // canonical task set and image geometry until the row budget is hit.
+      // Greedy coalescing: absorb pending requests with the same image
+      // geometry until the row budget is hit. With trunk fusion on, the
+      // task set may differ - different models still share one trunk
+      // pass; off, only same-model requests ride along (legacy batching).
       int64_t rows = batch.front().request.input.dim(0);
       for (auto it = queue_.begin();
            it != queue_.end() && rows < options_.max_batch_rows;) {
-        if (it->key == batch.front().key &&
+        if ((options_.fuse_trunk || it->key == batch.front().key) &&
             SameGeometry(it->request.input, batch.front().request.input) &&
             rows + it->request.input.dim(0) <= options_.max_batch_rows) {
           rows += it->request.input.dim(0);
@@ -121,67 +123,157 @@ void InferenceServer::ServeBatch(std::vector<Pending> batch) {
     pending.promise.set_value(std::move(response));
   };
 
-  auto model_result = service_->Query(batch.front().request.task_ids);
-  if (!model_result.ok()) {
-    for (size_t i = 0; i < batch.size(); ++i) {
-      InferenceResponse response;
-      response.status = model_result.status();
-      finish(i, std::move(response));
+  // Group the batch by canonical task set (first-arrival order). Each
+  // group is one model; groups sharing a trunk fuse their trunk forward.
+  struct Group {
+    std::vector<size_t> members;  ///< indices into `batch`, arrival order
+    std::shared_ptr<TaskModel> model;
+    int64_t rows = 0;
+  };
+  std::vector<Group> groups;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (batch[g.members.front()].key == batch[i].key) {
+        group = &g;
+        break;
+      }
     }
-    return;
+    if (group == nullptr) {
+      groups.emplace_back();
+      group = &groups.back();
+    }
+    group->members.push_back(i);
+    group->rows += batch[i].request.input.dim(0);
   }
-  std::shared_ptr<TaskModel> model = model_result.ValueOrDie();
 
-  // Fuse the batch's rows into one input tensor (single-request batches
-  // run on their own tensor - no copy).
-  int64_t total_rows = 0;
-  for (const Pending& pending : batch) {
-    total_rows += pending.request.input.dim(0);
+  // Assemble each group's model; a failed assembly fails only that
+  // group's futures (a bad key must not poison co-batched requests).
+  std::vector<Group*> valid;
+  for (Group& g : groups) {
+    auto model_result =
+        service_->Query(batch[g.members.front()].request.task_ids);
+    if (!model_result.ok()) {
+      for (size_t i : g.members) {
+        InferenceResponse response;
+        response.status = model_result.status();
+        finish(i, std::move(response));
+      }
+      continue;
+    }
+    g.model = model_result.ValueOrDie();
+    valid.push_back(&g);
   }
-  Tensor logits;
-  if (batch.size() == 1) {
-    logits = model->Logits(batch.front().request.input);
-  } else {
-    const Tensor& first = batch.front().request.input;
-    Tensor fused({total_rows, first.dim(1), first.dim(2), first.dim(3)});
+  if (valid.empty()) return;
+
+  // Concatenates the rows of `members` into one tensor (no copy for a
+  // lone single-request group - the common unloaded case).
+  auto fuse_inputs = [&](const std::vector<size_t>& members,
+                         int64_t rows) -> Tensor {
+    if (members.size() == 1) return batch[members.front()].request.input;
+    const Tensor& first = batch[members.front()].request.input;
+    Tensor fused({rows, first.dim(1), first.dim(2), first.dim(3)});
     float* dst = fused.data();
-    for (const Pending& pending : batch) {
-      const Tensor& in = pending.request.input;
+    for (size_t i : members) {
+      const Tensor& in = batch[i].request.input;
       std::memcpy(dst, in.data(), sizeof(float) * in.numel());
       dst += in.numel();
     }
-    logits = model->Logits(fused);
-  }
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batched_requests_.fetch_add(static_cast<int64_t>(batch.size()),
-                              std::memory_order_relaxed);
+    return fused;
+  };
 
-  // Scatter logit rows back to their requests (a batch of one takes the
-  // whole tensor - the common unloaded case copies nothing).
-  const std::vector<int>& classes = model->global_classes();
-  const int64_t num_classes = logits.dim(1);
-  int64_t row0 = 0;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    const int64_t n = batch[i].request.input.dim(0);
-    InferenceResponse response;
-    response.status = Status::OK();
-    if (batch.size() == 1) {
-      response.logits = std::move(logits);
-    } else {
-      response.logits = Tensor({n, num_classes});
-      std::memcpy(response.logits.data(),
-                  logits.data() + row0 * num_classes,
-                  sizeof(float) * n * num_classes);
+  // Completes a group's futures from its model-local logits.
+  // `served_rows` is the row count of the fused pass that produced them.
+  auto deliver = [&](Group& g, Tensor logits, int64_t served_rows) {
+    // Counters move BEFORE the promises resolve: a client that joins its
+    // future and immediately reads stats() must see itself accounted.
+    batched_requests_.fetch_add(static_cast<int64_t>(g.members.size()),
+                                std::memory_order_relaxed);
+    const std::vector<int>& classes = g.model->global_classes();
+    const int64_t num_classes = logits.dim(1);
+    int64_t row0 = 0;
+    for (size_t i : g.members) {
+      const int64_t n = batch[i].request.input.dim(0);
+      InferenceResponse response;
+      response.status = Status::OK();
+      if (g.members.size() == 1) {
+        response.logits = std::move(logits);
+      } else {
+        response.logits = Tensor({n, num_classes});
+        std::memcpy(response.logits.data(), logits.data() + row0 * num_classes,
+                    sizeof(float) * n * num_classes);
+      }
+      response.global_classes = classes;
+      response.predictions.resize(n);
+      for (int64_t r = 0; r < n; ++r) {
+        response.predictions[r] = classes[ArgmaxRow(response.logits, r)];
+      }
+      response.batch_rows = served_rows;
+      row0 += n;
+      finish(i, std::move(response));
     }
-    response.global_classes = classes;
-    response.predictions.resize(n);
-    for (int64_t r = 0; r < n; ++r) {
-      response.predictions[r] =
-          classes[ArgmaxRow(response.logits, r)];
+  };
+
+  if (valid.size() == 1) {
+    // One model: the classic fused forward.
+    Group& g = *valid.front();
+    Tensor logits = g.model->Logits(fuse_inputs(g.members, g.rows));
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    deliver(g, std::move(logits), g.rows);
+    return;
+  }
+
+  // Trunk-reuse batching: partition the groups by trunk identity (all
+  // models of one service share a trunk, so `rest` is defensive), run ONE
+  // library forward over every shared group's rows, then fan out each
+  // model's expert heads over its slice of the feature rows. Trunk rows
+  // are independent, so the fused features - and therefore the f32
+  // logits - are bitwise identical to solo forwards.
+  std::vector<Group*> shared, rest;
+  const std::shared_ptr<Sequential>& trunk = valid.front()->model->trunk();
+  for (Group* g : valid) {
+    (g->model->trunk() == trunk ? shared : rest).push_back(g);
+  }
+
+  if (shared.size() == 1) {
+    rest.push_back(shared.front());
+    shared.clear();
+  }
+  if (!shared.empty()) {
+    std::vector<size_t> all_members;
+    int64_t total_rows = 0;
+    for (Group* g : shared) {
+      all_members.insert(all_members.end(), g->members.begin(),
+                         g->members.end());
+      total_rows += g->rows;
     }
-    response.batch_rows = total_rows;
-    row0 += n;
-    finish(i, std::move(response));
+    Tensor features =
+        shared.front()->model->TrunkFeatures(fuse_inputs(all_members,
+                                                         total_rows));
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    trunk_fused_batches_.fetch_add(1, std::memory_order_relaxed);
+    trunk_fused_rows_.fetch_add(total_rows, std::memory_order_relaxed);
+
+    // Slice each group's contiguous feature rows and run its heads.
+    const int64_t row_stride = features.numel() / features.dim(0);
+    std::vector<int64_t> slice_shape = features.shape();
+    int64_t row0 = 0;
+    for (Group* g : shared) {
+      slice_shape[0] = g->rows;
+      Tensor slice(slice_shape);
+      std::memcpy(slice.data(), features.data() + row0 * row_stride,
+                  sizeof(float) * g->rows * row_stride);
+      row0 += g->rows;
+      deliver(*g, g->model->LogitsFromFeatures(slice), total_rows);
+    }
+  }
+
+  // Defensive path: groups whose model does not share the fused trunk
+  // (or a lone leftover group) run standalone.
+  for (Group* g : rest) {
+    Tensor logits = g->model->Logits(fuse_inputs(g->members, g->rows));
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    deliver(*g, std::move(logits), g->rows);
   }
 }
 
@@ -219,6 +311,9 @@ ServeStats InferenceServer::stats() const {
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.batched_requests =
       batched_requests_.load(std::memory_order_relaxed);
+  stats.trunk_fused_batches =
+      trunk_fused_batches_.load(std::memory_order_relaxed);
+  stats.trunk_fused_rows = trunk_fused_rows_.load(std::memory_order_relaxed);
   stats.queue_depth = static_cast<int64_t>(queue_depth());
   return stats;
 }

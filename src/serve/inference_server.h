@@ -47,13 +47,17 @@ struct InferenceResponse {
 /// Bounded-queue batching server over a ModelQueryService.
 ///
 /// Worker threads pop the oldest request, then greedily absorb every other
-/// pending request with the same canonical task set (and image geometry)
-/// up to `max_batch_rows`, run ONE model forward over the concatenated
-/// rows, and complete all their futures. Batching never waits for more
-/// traffic - an empty queue means batch-of-one, so the batch window is
-/// simply the time requests naturally spend queued behind the current
-/// forward (zero added latency, bigger batches exactly when the system is
-/// loaded, which is when they pay).
+/// pending request with the same image geometry up to `max_batch_rows`,
+/// and run the concatenated rows through as FEW forward passes as the
+/// models allow. Requests for the same canonical task set fuse into one
+/// model forward as before; requests for DIFFERENT models still share one
+/// library-trunk pass (every model of a pool aliases the same trunk, and
+/// trunk rows are independent), then fan out per-model expert heads over
+/// their feature-row slices — cross-model batching of the shared library
+/// trunk. Batching never waits for more traffic - an empty queue means
+/// batch-of-one, so the batch window is simply the time requests naturally
+/// spend queued behind the current forward (zero added latency, bigger
+/// batches exactly when the system is loaded, which is when they pay).
 ///
 /// Backpressure: Submit() on a full queue fails fast with
 /// ResourceExhausted (delivered through the returned future) instead of
@@ -64,6 +68,16 @@ class InferenceServer {
     int num_workers = 2;
     size_t queue_capacity = 128;  ///< pending requests before rejection
     int64_t max_batch_rows = 64;  ///< rows fused into one forward pass
+    /// Fuse the shared-trunk forward across requests for different
+    /// models (same geometry). Off = pre-trunk-reuse behavior: only
+    /// same-model requests coalesce into a batch. Note on int8 serving:
+    /// activation scales are per-tensor dynamic, so ANY fused batch
+    /// (same-model included, since PR 3) quantizes against the batch's
+    /// max-abs — co-batched traffic can shift logits within quant
+    /// tolerance; cross-model fusion widens which requests can share a
+    /// batch, not the effect. Turn this off (and max_batch_rows = 1)
+    /// where bit-stable int8 logits matter more than throughput.
+    bool fuse_trunk = true;
   };
 
   /// `service` must outlive the server (the server adds batching and
@@ -118,6 +132,8 @@ class InferenceServer {
   std::atomic<int64_t> completed_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> batched_requests_{0};
+  std::atomic<int64_t> trunk_fused_batches_{0};
+  std::atomic<int64_t> trunk_fused_rows_{0};
 };
 
 }  // namespace poe

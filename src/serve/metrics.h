@@ -19,6 +19,11 @@ struct CacheShardStats {
   int64_t coalesced = 0;  ///< misses that waited on another thread's assembly
   int64_t evictions = 0;
   int64_t size = 0;       ///< resident entries now
+  /// Σ value_bytes over resident entries — the bytes this shard's
+  /// composites would occupy if each were a private copy. The expert
+  /// store's referenced bytes are the deduplicated truth; the difference
+  /// is the sharing saving.
+  int64_t resident_bytes = 0;
 
   int64_t lookups() const { return hits + misses + coalesced; }
   double hit_rate() const {
@@ -49,6 +54,20 @@ struct ServeStats {
   ServingPrecision precision = ServingPrecision::kFloat32;
   int64_t pool_bytes = 0;
 
+  // --- expert-granularity sharing (ExpertStore; see its stats struct) ---
+  int64_t expert_hits = 0;    ///< branch acquires served by a live branch
+  int64_t expert_misses = 0;  ///< branch materializations
+  /// Cumulative bytes that per-composite weight copies would have
+  /// materialized but sharing did not (Σ expert bytes over all hits).
+  int64_t shared_bytes_saved = 0;
+  int64_t experts_referenced = 0;       ///< distinct experts live now
+  int64_t referenced_expert_bytes = 0;  ///< their deduplicated bytes
+  int64_t trunk_bytes = 0;              ///< shared library component bytes
+  /// Σ StateBytes over cache-resident models: what model-granularity
+  /// accounting would charge. Compare against
+  /// trunk_bytes + referenced_expert_bytes (the deduplicated footprint).
+  int64_t resident_model_bytes = 0;
+
   // --- request-queue side (InferenceServer; zero on a bare service) ---
   int64_t submitted = 0;
   /// Refused at submission without processing: queue full (backpressure),
@@ -58,6 +77,11 @@ struct ServeStats {
   int64_t batches = 0;            ///< fused forward passes executed
   int64_t batched_requests = 0;   ///< requests served by those passes
   int64_t queue_depth = 0;        ///< pending now
+  /// Cross-model trunk reuse: batches whose rows spanned ≥ 2 distinct
+  /// models but shared ONE library-trunk forward, and the rows that rode
+  /// those fused trunk passes.
+  int64_t trunk_fused_batches = 0;
+  int64_t trunk_fused_rows = 0;
 
   /// Average requests per fused forward pass (row counts per pass are
   /// reported per-response as InferenceResponse::batch_rows).
@@ -70,6 +94,15 @@ struct ServeStats {
     return queries > 0
                ? static_cast<double>(cache_hits) / static_cast<double>(queries)
                : 0.0;
+  }
+  /// Bytes the resident composites would occupy as private copies minus
+  /// the deduplicated footprint they actually share. Can dip below the
+  /// naive difference when clients hold evicted models (their experts
+  /// stay referenced without a resident composite charging for them).
+  int64_t resident_dedup_saved_bytes() const {
+    const int64_t deduped = trunk_bytes + referenced_expert_bytes;
+    return resident_model_bytes > deduped ? resident_model_bytes - deduped
+                                          : 0;
   }
 };
 

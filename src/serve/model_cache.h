@@ -76,6 +76,12 @@ class ShardedFlightCache {
   struct Options {
     size_t capacity = 64;  ///< total entries across shards; 0 = no caching
     int num_shards = 8;
+    /// Optional byte accounting: sized at insert, credited at eviction,
+    /// reported per shard as CacheShardStats::resident_bytes. The serving
+    /// layer passes TaskModel::StateBytes here — the PRIVATE-copy cost of
+    /// a composite — and reconciles it against the expert store's
+    /// deduplicated bytes to report what sharing saved.
+    std::function<int64_t(const V&)> value_bytes;
   };
 
   explicit ShardedFlightCache(Options options) : options_(options) {
@@ -151,14 +157,21 @@ class ShardedFlightCache {
       }
     }();
 
+    // Size the value OUTSIDE the shard lock (value_bytes may walk a whole
+    // module tree; hits on this shard must not stall behind it).
+    const int64_t bytes =
+        result.ok() && options_.value_bytes
+            ? options_.value_bytes(result.ValueOrDie())
+            : 0;
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.inflight.erase(key);
       if (result.ok()) {
         shard.lru.emplace_front(
             Entry{key, result.ValueOrDie(),
-                  clock_.fetch_add(1, std::memory_order_relaxed) + 1});
+                  clock_.fetch_add(1, std::memory_order_relaxed) + 1, bytes});
         shard.index[key] = shard.lru.begin();
+        shard.stats.resident_bytes += bytes;
         size_.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -203,6 +216,7 @@ class ShardedFlightCache {
     Key key;
     V value;
     uint64_t stamp;  ///< global access clock at last touch
+    int64_t bytes;   ///< value_bytes at insert (0 when accounting is off)
   };
 
   struct Flight {
@@ -268,6 +282,7 @@ class ShardedFlightCache {
     Shard& shard = shards_[victim];
     if (shard.lru.empty()) return false;
     shard.index.erase(shard.lru.back().key);
+    shard.stats.resident_bytes -= shard.lru.back().bytes;
     shard.lru.pop_back();
     shard.stats.evictions++;
     return true;

@@ -154,6 +154,142 @@ TEST(InferenceServerTest, BatchedLogitsMatchUnbatchedBitwise) {
   }
 }
 
+TEST(InferenceServerTest, TrunkFusedCrossModelLogitsAreBitwiseF32) {
+  ModelQueryService service(BuildPool(), 8);
+  // One worker: the burst piles up behind the first forward and the
+  // worker absorbs requests for DIFFERENT models into one trunk pass.
+  InferenceServer::Options opts;
+  opts.num_workers = 1;
+  opts.max_batch_rows = 64;
+  InferenceServer server(&service, opts);
+
+  const std::vector<std::vector<int>> keys = {{0}, {1}, {2}, {0, 1}, {1, 2}};
+  // Whether a burst actually coalesces is a race against the worker
+  // draining it, so retry bursts until fusion is observed (the bitwise
+  // checks hold on every round, fused or not). One round nearly always
+  // suffices; the bound is for pathological schedulers (e.g. TSan).
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Tensor> inputs;
+    std::vector<std::future<InferenceResponse>> futures;
+    for (int i = 0; i < 10; ++i) {
+      Rng rng(800 + 100 * round + i);
+      inputs.push_back(Tensor::Randn({2, 3, 6, 6}, rng));
+      InferenceRequest req;
+      req.task_ids = keys[i % keys.size()];
+      req.input = inputs.back().Clone();
+      futures.push_back(server.Submit(std::move(req)));
+    }
+    std::vector<InferenceResponse> fused;
+    for (auto& f : futures) fused.push_back(f.get());
+
+    // Every response must be bitwise identical to a solo forward of its
+    // own model: the shared trunk computes rows independently, so fusing
+    // rows across models cannot change the f32 numbers.
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(fused[i].status.ok()) << fused[i].status.ToString();
+      auto model = service.Query(keys[i % keys.size()]).ValueOrDie();
+      Tensor direct = model->Logits(inputs[i]);
+      ASSERT_EQ(fused[i].logits.numel(), direct.numel());
+      EXPECT_EQ(std::memcmp(fused[i].logits.data(), direct.data(),
+                            sizeof(float) * direct.numel()),
+                0)
+          << "round " << round << " request " << i;
+    }
+    if (server.stats().trunk_fused_batches > 0) break;
+  }
+  ServeStats stats = server.stats();
+  EXPECT_GT(stats.trunk_fused_batches, 0);
+  EXPECT_GT(stats.trunk_fused_rows, 0);
+}
+
+TEST(InferenceServerTest, FuseTrunkOffKeepsSameModelBatchingOnly) {
+  ModelQueryService service(BuildPool(), 8);
+  InferenceServer::Options opts;
+  opts.num_workers = 1;
+  opts.fuse_trunk = false;
+  InferenceServer server(&service, opts);
+
+  std::vector<std::future<InferenceResponse>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(server.Submit(MakeRequest({i % 3}, 1, 600 + i)));
+  }
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.get().status.ok());
+  }
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.trunk_fused_batches, 0);
+  EXPECT_EQ(stats.trunk_fused_rows, 0);
+}
+
+TEST(InferenceServerTest, BadKeyInABatchFailsOnlyItsOwnRequests) {
+  ModelQueryService service(BuildPool(), 8);
+  InferenceServer::Options opts;
+  opts.num_workers = 1;
+  InferenceServer server(&service, opts);
+
+  std::vector<std::future<InferenceResponse>> futures;
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 8; ++i) {
+    Rng rng(900 + i);
+    inputs.push_back(Tensor::Randn({1, 3, 6, 6}, rng));
+    InferenceRequest req;
+    // Every third request names an unknown task; it must fail without
+    // poisoning the valid requests co-batched around it.
+    req.task_ids = (i % 3 == 2) ? std::vector<int>{42}
+                                : std::vector<int>{i % 2};
+    req.input = inputs.back().Clone();
+    futures.push_back(server.Submit(std::move(req)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    InferenceResponse res = futures[i].get();
+    if (i % 3 == 2) {
+      EXPECT_FALSE(res.status.ok()) << "request " << i;
+    } else {
+      ASSERT_TRUE(res.status.ok()) << res.status.ToString();
+      auto model = service.Query({i % 2}).ValueOrDie();
+      Tensor direct = model->Logits(inputs[i]);
+      EXPECT_EQ(std::memcmp(res.logits.data(), direct.data(),
+                            sizeof(float) * direct.numel()),
+                0)
+          << "request " << i;
+    }
+  }
+}
+
+TEST(InferenceServerTest, TrunkFusedInt8MatchesSoloWhenScalesAgree) {
+  // Int8 activation quantization is per-tensor dynamic (max-abs), so
+  // fused and solo forwards only agree bitwise when their max-abs does.
+  // Identical input rows across requests for different models pin exactly
+  // that: same trunk input scale, and each head sees the same feature
+  // rows solo as fused.
+  ModelQueryService service(BuildPool(), 8, ServingPrecision::kInt8);
+  InferenceServer::Options opts;
+  opts.num_workers = 1;
+  InferenceServer server(&service, opts);
+
+  Rng rng(321);
+  Tensor probe = Tensor::Randn({2, 3, 6, 6}, rng);
+  const std::vector<std::vector<int>> keys = {{0}, {1}, {2}, {0, 2}};
+  std::vector<std::future<InferenceResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    InferenceRequest req;
+    req.task_ids = keys[i % keys.size()];
+    req.input = probe.Clone();
+    futures.push_back(server.Submit(std::move(req)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    InferenceResponse res = futures[i].get();
+    ASSERT_TRUE(res.status.ok()) << res.status.ToString();
+    auto model = service.Query(keys[i % keys.size()]).ValueOrDie();
+    Tensor direct = model->Logits(probe);
+    ASSERT_EQ(res.logits.numel(), direct.numel());
+    EXPECT_EQ(std::memcmp(res.logits.data(), direct.data(),
+                          sizeof(float) * direct.numel()),
+              0)
+        << "request " << i;
+  }
+}
+
 TEST(InferenceServerTest, BackpressureRejectsWhenQueueIsFull) {
   ModelQueryService service(BuildPool(), 8);
   InferenceServer::Options opts;

@@ -180,12 +180,42 @@ TEST(ShardedFlightCacheTest, FailedAssemblyReachesWaitersAndIsNotCached) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(ShardedFlightCacheTest, ValueBytesAreChargedAtInsertAndCreditedAtEvict) {
+  IntCache::Options options = Opts(2, 1);
+  options.value_bytes = [](const int& v) {
+    return static_cast<int64_t>(100 * v);
+  };
+  IntCache cache(options);
+  auto assemble = [](const IntCache::Key& key) -> Result<int> {
+    return key[0];
+  };
+  auto resident_bytes = [&] {
+    int64_t n = 0;
+    for (const auto& s : cache.ShardStats()) n += s.resident_bytes;
+    return n;
+  };
+
+  cache.GetOrAssemble({1}, assemble);
+  EXPECT_EQ(resident_bytes(), 100);
+  cache.GetOrAssemble({2}, assemble);
+  EXPECT_EQ(resident_bytes(), 300);
+  // Hits re-stamp but never re-charge.
+  cache.GetOrAssemble({1}, assemble);
+  EXPECT_EQ(resident_bytes(), 300);
+  // Past capacity: {2} (oldest stamp) is evicted and its bytes credited.
+  cache.GetOrAssemble({3}, assemble);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(resident_bytes(), 100 + 300);
+}
+
 TEST(ShardedFlightCacheTest, EvictionChurnKeepsCountersAndSizeConsistent) {
   constexpr size_t kCapacity = 8;
   constexpr int kThreads = 4;
   constexpr int kPerThread = 500;
   constexpr int kKeySpace = 64;
-  IntCache cache(Opts(kCapacity, 4));
+  IntCache::Options churn_options = Opts(kCapacity, 4);
+  churn_options.value_bytes = [](const int&) -> int64_t { return 7; };
+  IntCache cache(churn_options);
   std::atomic<int64_t> assemblies{0};
   auto assemble = [&](const IntCache::Key& key) -> Result<int> {
     assemblies.fetch_add(1);
@@ -218,6 +248,11 @@ TEST(ShardedFlightCacheTest, EvictionChurnKeepsCountersAndSizeConsistent) {
   EXPECT_EQ(static_cast<int64_t>(cache.size()), TotalSize(shards));
   EXPECT_LE(cache.size(), kCapacity);
   EXPECT_EQ(cache.size(), kCapacity);  // churn far exceeded capacity
+  // Byte accounting survives the churn: charged minus credited equals
+  // exactly the residents' bytes.
+  int64_t resident_bytes = 0;
+  for (const auto& s : shards) resident_bytes += s.resident_bytes;
+  EXPECT_EQ(resident_bytes, 7 * TotalSize(shards));
 }
 
 }  // namespace

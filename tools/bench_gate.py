@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Kernel-speedup regression gate for CI.
+
+Absolute benchmark times are not comparable across runners (different
+CPUs, different load), so the gate is built on a same-machine-safe
+quantity: the RATIO of the scalar-forced kernel's time to the SIMD
+kernel's time for the same benchmark, both measured in one job on one
+machine. A dispatch bug, a de-vectorized hot loop, or a packing
+regression collapses that ratio no matter which CPU the runner has.
+
+Both sides pin the kernel via POE_GEMM_KERNEL (scalar vs avx2) because
+auto-dispatch picks different kernels on different fleets (avx512 on one
+recorder, avx2 on a hosted runner) and their ratios are not comparable;
+avx2 is the portable lowest common denominator of x86-64 CI fleets.
+
+  record  writes the committed baseline from two google-benchmark JSONs
+  check   compares HEAD's ratios against the baseline:
+            - >2x collapse of a ratio  -> FAIL (exit 1)
+            - outside the +-25% band   -> advisory warning only
+          and emits a markdown table (GitHub step summary friendly).
+
+Only benchmark names present in both runs and the baseline participate;
+names with '/' template args (BM_Gemm/256) are exact-matched, never
+pattern-matched, so they cannot be silently dropped.
+"""
+
+import argparse
+import json
+import sys
+
+FAIL_FACTOR = 2.0  # ratio collapsed to < baseline/2 -> hard failure
+ADVISORY_BAND = 0.25  # +-25% drift -> warning, not failure
+
+
+def load_benchmark_times(path):
+    """name -> real_time (ns) from a google-benchmark JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        name = bench["name"]
+        times[name] = float(bench["real_time"])
+    return times
+
+
+def compute_ratios(scalar_path, simd_path):
+    scalar = load_benchmark_times(scalar_path)
+    simd = load_benchmark_times(simd_path)
+    ratios = {}
+    for name in sorted(scalar.keys() & simd.keys()):
+        if simd[name] > 0:
+            ratios[name] = scalar[name] / simd[name]
+    return ratios
+
+
+def cmd_record(args):
+    ratios = compute_ratios(args.scalar, args.simd)
+    if not ratios:
+        print("error: no common benchmarks between the two runs",
+              file=sys.stderr)
+        return 1
+    out = {
+        "description": "scalar/simd real_time ratio per benchmark "
+                       "(see tools/bench_gate.py)",
+        "simd_kernel": args.simd_kernel,
+        "ratios": {name: round(r, 3) for name, r in ratios.items()},
+    }
+    with open(args.out, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out} ({len(ratios)} benchmarks)")
+    return 0
+
+
+def cmd_check(args):
+    with open(args.baseline) as f:
+        baseline_doc = json.load(f)
+    baseline = baseline_doc["ratios"]
+    head = compute_ratios(args.scalar, args.simd)
+
+    rows = []
+    failures = []
+    warnings = []
+    for name in sorted(baseline.keys()):
+        if name not in head:
+            warnings.append(f"{name}: in baseline but not measured at HEAD")
+            rows.append((name, baseline[name], None, "MISSING"))
+            continue
+        base, now = baseline[name], head[name]
+        drift = now / base - 1.0
+        if now < base / FAIL_FACTOR:
+            status = "FAIL"
+            failures.append(
+                f"{name}: speedup ratio collapsed {base:.2f} -> {now:.2f} "
+                f"(>{FAIL_FACTOR:g}x regression)")
+        elif abs(drift) > ADVISORY_BAND:
+            status = "WARN"
+            warnings.append(
+                f"{name}: ratio drifted {drift:+.0%} "
+                f"(advisory band is +-{ADVISORY_BAND:.0%})")
+        else:
+            status = "OK"
+        rows.append((name, base, now, status))
+    for name in sorted(head.keys() - baseline.keys()):
+        rows.append((name, None, head[name], "NEW"))
+
+    lines = [
+        "### Kernel-speedup regression gate (scalar vs "
+        f"{baseline_doc.get('simd_kernel', 'simd')})",
+        "",
+        "| benchmark | baseline ratio | HEAD ratio | drift | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name, base, now, status in rows:
+        base_s = f"{base:.2f}" if base is not None else "—"
+        now_s = f"{now:.2f}" if now is not None else "—"
+        drift_s = (f"{now / base - 1.0:+.0%}"
+                   if base is not None and now is not None else "—")
+        lines.append(f"| `{name}` | {base_s} | {now_s} | {drift_s} | {status} |")
+    lines.append("")
+    lines.append(f"Hard gate: >{FAIL_FACTOR:g}x ratio collapse. "
+                 f"Advisory band: ±{ADVISORY_BAND:.0%}.")
+    table = "\n".join(lines)
+
+    print(table)
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(table + "\n")
+
+    for warning in warnings:
+        print(f"::warning::{warning}")
+    for failure in failures:
+        print(f"::error::{failure}")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="write the committed ratio baseline")
+    rec.add_argument("--scalar", required=True,
+                     help="benchmark JSON from a POE_GEMM_KERNEL=scalar run")
+    rec.add_argument("--simd", required=True,
+                     help="benchmark JSON from the SIMD-kernel run")
+    rec.add_argument("--simd-kernel", default="avx2",
+                     help="kernel name the --simd run pinned (provenance)")
+    rec.add_argument("--out", required=True)
+    rec.set_defaults(func=cmd_record)
+
+    chk = sub.add_parser("check", help="gate HEAD ratios against the baseline")
+    chk.add_argument("--scalar", required=True)
+    chk.add_argument("--simd", required=True)
+    chk.add_argument("--baseline", required=True)
+    chk.add_argument("--summary", default="",
+                     help="file to append the markdown table to "
+                          "(e.g. $GITHUB_STEP_SUMMARY)")
+    chk.set_defaults(func=cmd_check)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -46,8 +46,17 @@ if [[ ! -x "$BIN" ]]; then
   exit 1
 fi
 
-"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
+# Every output is written to a temp file and renamed only on success:
+# under `set -e` a crashed or interrupted bench run exits here, and the
+# previously committed JSON survives instead of being clobbered by a
+# stale or truncated one. Benchmark names contain '/' template args
+# (BM_Gemm/256, BM_ConvWrn/3/16/32/1/3), so every expansion stays quoted
+# — an unquoted filter would glob against the working tree.
+TMP_OUT="$OUT.tmp.$$"
+trap 'rm -f "$TMP_OUT"' EXIT
+"$BIN" --benchmark_out="$TMP_OUT" --benchmark_out_format=json \
        --benchmark_format=console "${ARGS[@]+"${ARGS[@]}"}"
+mv "$TMP_OUT" "$OUT"
 echo "wrote $OUT"
 
 if [[ "$WITH_SERVING" == 1 ]]; then
@@ -57,7 +66,10 @@ if [[ "$WITH_SERVING" == 1 ]]; then
     echo "error: $SRV_BIN not found — configure with -DPOE_BUILD_BENCH=ON" >&2
     exit 1
   fi
-  "$SRV_BIN" --json "$SRV_OUT"
+  TMP_OUT="$SRV_OUT.tmp.$$"
+  "$SRV_BIN" --json "$TMP_OUT"
+  mv "$TMP_OUT" "$SRV_OUT"
+  echo "wrote $SRV_OUT"
 fi
 
 if [[ "$WITH_FIGURE7" == 1 ]]; then
@@ -67,6 +79,8 @@ if [[ "$WITH_FIGURE7" == 1 ]]; then
     echo "error: $FIG_BIN not found — configure with -DPOE_BUILD_BENCH=ON" >&2
     exit 1
   fi
-  "$FIG_BIN" | tee "$FIG_OUT"
+  TMP_OUT="$FIG_OUT.tmp.$$"
+  "$FIG_BIN" | tee "$TMP_OUT"
+  mv "$TMP_OUT" "$FIG_OUT"
   echo "wrote $FIG_OUT"
 fi

@@ -239,6 +239,24 @@ int CmdServeBench(const std::string& path, int clients,
               static_cast<long long>(stats.coalesced),
               100 * stats.overall_hit_rate(),
               static_cast<long long>(stats.batches), stats.avg_batch());
+  std::printf("experts: %lld branch hits / %lld materializations, "
+              "%lld referenced (%s), shared_bytes_saved %lld\n",
+              static_cast<long long>(stats.expert_hits),
+              static_cast<long long>(stats.expert_misses),
+              static_cast<long long>(stats.experts_referenced),
+              TablePrinter::HumanBytes(stats.referenced_expert_bytes).c_str(),
+              static_cast<long long>(stats.shared_bytes_saved));
+  std::printf("dedup: resident composites charge %s as private copies vs "
+              "%s deduplicated (saves %s); trunk-fused %lld batches / "
+              "%lld rows\n",
+              TablePrinter::HumanBytes(stats.resident_model_bytes).c_str(),
+              TablePrinter::HumanBytes(stats.trunk_bytes +
+                                       stats.referenced_expert_bytes)
+                  .c_str(),
+              TablePrinter::HumanBytes(stats.resident_dedup_saved_bytes())
+                  .c_str(),
+              static_cast<long long>(stats.trunk_fused_batches),
+              static_cast<long long>(stats.trunk_fused_rows));
   TablePrinter table({"Shard", "Hits", "Misses", "Coalesced", "Evicted",
                       "Resident", "HitRate"});
   for (size_t s = 0; s < stats.shards.size(); ++s) {
