@@ -162,6 +162,67 @@ BENCHMARK(BM_ConvWrnInt8)
     ->Args({256, 256, 8, 1, 3})   // conv4 group body
     ->Args({256, 256, 8, 1, 1});  // 1x1 pointwise fast path
 
+// Int8 conv with a static calibrated activation scale: the per-forward
+// max-abs pass over the input disappears (the fused quantizing im2col
+// already removed the separate quantization pass). Rates compare
+// row-for-row against BM_ConvWrnInt8.
+void BM_ConvWrnInt8Calibrated(benchmark::State& state) {
+  const int64_t in_c = state.range(0);
+  const int64_t out_c = state.range(1);
+  const int64_t hw = state.range(2);
+  const int64_t stride = state.range(3);
+  const int64_t kernel = state.range(4);
+  const int64_t pad = kernel / 2;
+  const int64_t batch = 8;
+  Rng rng(7);
+  Conv2d conv(in_c, out_c, kernel, stride, pad, rng);
+  Tensor x = Tensor::Randn({batch, in_c, hw, hw}, rng);
+  conv.BeginActivationCalibration();
+  conv.Forward(x, false);
+  conv.FinishActivationCalibration();
+  conv.PrepareInt8Serving();
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  const int64_t out_hw = (hw + 2 * pad - kernel) / stride + 1;
+  state.SetItemsProcessed(state.iterations() * batch * out_c * out_hw *
+                          out_hw * in_c * kernel * kernel * 2);
+  state.SetLabel(GemmS8KernelName());
+}
+BENCHMARK(BM_ConvWrnInt8Calibrated)
+    ->Args({3, 16, 32, 1, 3})     // stem (activation-pass heavy)
+    ->Args({64, 64, 32, 1, 3})    // conv2 group body
+    ->Args({256, 256, 8, 1, 1});  // 1x1 pointwise fast path
+
+// F32 conv with prepacked op(A) weight panels (pack-once serving) vs the
+// per-call PackA of BM_ConvWrn — same rows, bitwise identical outputs.
+void BM_ConvWrnPrepacked(benchmark::State& state) {
+  const int64_t in_c = state.range(0);
+  const int64_t out_c = state.range(1);
+  const int64_t hw = state.range(2);
+  const int64_t stride = state.range(3);
+  const int64_t kernel = state.range(4);
+  const int64_t pad = kernel / 2;
+  const int64_t batch = 8;
+  Rng rng(7);
+  Conv2d conv(in_c, out_c, kernel, stride, pad, rng);
+  conv.Prepack(ServingPrecision::kFloat32);
+  Tensor x = Tensor::Randn({batch, in_c, hw, hw}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  const int64_t out_hw = (hw + 2 * pad - kernel) / stride + 1;
+  state.SetItemsProcessed(state.iterations() * batch * out_c * out_hw *
+                          out_hw * in_c * kernel * kernel * 2);
+  state.SetLabel(GemmKernelName());
+}
+BENCHMARK(BM_ConvWrnPrepacked)
+    ->Args({3, 16, 32, 1, 3})     // stem
+    ->Args({64, 64, 32, 1, 3})    // conv2 group body
+    ->Args({256, 256, 8, 1, 1});  // 1x1 pointwise fast path
+
 void BM_Conv2dBackward(benchmark::State& state) {
   const int64_t channels = state.range(0);
   Rng rng(3);
@@ -208,6 +269,25 @@ void BM_LinearForward(benchmark::State& state) {
 }
 BENCHMARK(BM_LinearForward);
 
+// Pack-once f32 serving: the persistent op(B) = W^T panels delete the
+// per-call transposed PackB from every forward. Compare against
+// BM_LinearForward (identical geometry and outputs, bitwise).
+void BM_LinearForwardPrepacked(benchmark::State& state) {
+  Rng rng(6);
+  Linear lin(512, 100, rng);
+  lin.Prepack(ServingPrecision::kFloat32);
+  Tensor x = Tensor::Randn({256, 512}, rng);
+  for (auto _ : state) {
+    Tensor y = lin.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel(GemmKernelName());
+}
+BENCHMARK(BM_LinearForwardPrepacked);
+
+// Per-call-pack int8 baseline: every forward re-packs W^T into the tiled
+// int8 layout AND runs a max-abs pass for the dynamic activation scale —
+// the two costs the ROADMAP flagged as eating the int8 win here.
 void BM_LinearForwardInt8(benchmark::State& state) {
   Rng rng(6);
   Linear lin(512, 100, rng);
@@ -220,6 +300,26 @@ void BM_LinearForwardInt8(benchmark::State& state) {
   state.SetLabel(GemmS8KernelName());
 }
 BENCHMARK(BM_LinearForwardInt8);
+
+// The pack-once serving configuration: persistent int8 op(B) panels plus
+// a static calibrated activation scale. Identical arithmetic per element;
+// only the per-call pack and the max-abs pass are gone.
+void BM_LinearForwardInt8Prepacked(benchmark::State& state) {
+  Rng rng(6);
+  Linear lin(512, 100, rng);
+  Tensor x = Tensor::Randn({256, 512}, rng);
+  lin.BeginActivationCalibration();
+  lin.Forward(x, false);
+  lin.FinishActivationCalibration();
+  lin.PrepareInt8Serving();
+  lin.Prepack(ServingPrecision::kInt8);
+  for (auto _ : state) {
+    Tensor y = lin.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel(GemmS8KernelName());
+}
+BENCHMARK(BM_LinearForwardInt8Prepacked);
 
 }  // namespace
 }  // namespace poe

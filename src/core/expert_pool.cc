@@ -142,6 +142,37 @@ Status ExpertPool::SetServingPrecision(ServingPrecision precision) {
   return Status::OK();
 }
 
+Status ExpertPool::CalibrateActivations(const Tensor& samples) {
+  if (precision_ != ServingPrecision::kFloat32) {
+    return Status::FailedPrecondition(
+        "activation calibration observes f32 forwards: calibrate before "
+        "the int8 conversion");
+  }
+  if (samples.ndim() != 4 || samples.dim(0) < 1) {
+    return Status::InvalidArgument(
+        "calibration samples must be a non-empty [N, C, H, W] batch");
+  }
+  library_->BeginActivationCalibration();
+  for (int t = 0; t < store_->num_experts(); ++t) {
+    store_->module(t)->BeginActivationCalibration();
+  }
+  // One shared trunk pass; every expert head observes the same features
+  // (exactly the serving dataflow of an all-expert composite).
+  Tensor features = library_->Forward(samples, /*training=*/false);
+  for (int t = 0; t < store_->num_experts(); ++t) {
+    store_->module(t)->Forward(features, /*training=*/false);
+  }
+  library_->FinishActivationCalibration();
+  for (int t = 0; t < store_->num_experts(); ++t) {
+    store_->module(t)->FinishActivationCalibration();
+  }
+  return Status::OK();
+}
+
+void ExpertPool::PrepackForServing() const {
+  library_->Prepack(precision_);
+}
+
 int64_t ExpertPool::ServingBytes() const {
   return HeldStateBytes(*library_) + store_->MasterBytes();
 }
@@ -184,10 +215,9 @@ Status ExpertPool::AddExpert(const LogitFn& oracle, const Dataset& full_train,
 }
 
 Status ExpertPool::Save(const std::string& path) const {
-  if (precision_ == ServingPrecision::kInt8) {
-    return Status::FailedPrecondition(
-        "cannot save an int8-serving pool: the f32 state was released");
-  }
+  // Both precisions persist: f32 pools save full module state, int8 pools
+  // save the per-channel quantized form (+ static activation scales) so
+  // Load comes straight up at packed int8 serving with no f32 round-trip.
   return SaveExpertPool(*this, path);
 }
 

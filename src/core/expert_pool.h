@@ -83,9 +83,25 @@ class ExpertPool {
   /// per-output-channel scales and releases their f32 storage, so every
   /// subsequently assembled model serves dequant-free; the conversion is
   /// irreversible (going back to kFloat32 fails) and the pool can no
-  /// longer be trained, extended, or saved.
+  /// longer be trained or extended. Save still works: int8 pools persist
+  /// their quantized form directly.
   Status SetServingPrecision(ServingPrecision precision);
   ServingPrecision serving_precision() const { return precision_; }
+
+  /// Static activation calibration: runs `samples` (an [N, C, H, W] batch
+  /// drawn from the serving distribution) through the library and every
+  /// expert head with activation observation on, then freezes the
+  /// observed per-layer max-abs ranges into static activation scales.
+  /// A subsequent int8 conversion then serves without the per-forward
+  /// max-abs pass, and Save persists the scales so loaded int8 pools come
+  /// up calibrated. Must run while the pool still serves f32.
+  Status CalibrateActivations(const Tensor& samples);
+
+  /// Pack-once serving, library half: materializes the library trunk's
+  /// persistent GEMM weight panels for the current precision (experts are
+  /// prepacked lazily by the store at branch acquisition). Idempotent;
+  /// called by the serving layer (ModelQueryService) at construction.
+  void PrepackForServing() const;
 
   /// Bytes of weight state the pool holds: f32 parameters/buffers plus
   /// packed int8 weights (the memory-footprint half of the paper's

@@ -23,6 +23,7 @@ int ExpertStore::AddExpert(std::shared_ptr<Sequential> module,
 std::unique_ptr<ExpertStore> ExpertStore::Clone() const {
   std::lock_guard<std::mutex> lock(mu_);
   auto clone = std::make_unique<ExpertStore>();
+  clone->precision_ = precision_;
   clone->slots_.reserve(slots_.size());
   for (const Slot& slot : slots_) {
     Slot fresh;
@@ -36,18 +37,43 @@ std::unique_ptr<ExpertStore> ExpertStore::Clone() const {
 }
 
 Result<ExpertBranchHandle> ExpertStore::Acquire(int task_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (task_id < 0 || task_id >= static_cast<int>(slots_.size())) {
-    return Status::OutOfRange("unknown primitive task id " +
-                              std::to_string(task_id));
+  std::shared_ptr<Sequential> module;
+  ServingPrecision precision;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (task_id < 0 || task_id >= static_cast<int>(slots_.size())) {
+      return Status::OutOfRange("unknown primitive task id " +
+                                std::to_string(task_id));
+    }
+    Slot& slot = slots_[task_id];
+    if (ExpertBranchHandle live = slot.live.lock()) {
+      // Some composite already holds this expert: the acquire shares it,
+      // saving exactly the bytes a per-composite copy would have added.
+      expert_hits_++;
+      shared_bytes_saved_ += slot.bytes;
+      return live;
+    }
+    module = slot.module;
+    precision = precision_;
   }
+  // Pack once, run many: materialization is the single natural point
+  // where the expert's persistent GEMM weight panels come up, so every
+  // composite, query, and batch referencing this expert shares one packed
+  // form by pointer identity. The pack is O(weight bytes), so it runs
+  // OUTSIDE the store mutex — acquires of other experts never stall
+  // behind it — and BEFORE the branch is published, so slot.bytes is
+  // post-pack whenever slot.live is set and every hit credits the packed
+  // form (the reconciliation invariant). Prepack is idempotent and
+  // mutex-guarded per layer, so two threads racing the first acquire both
+  // pack once; the re-check below turns the loser into a hit.
+  module->Prepack(precision);
+  const int64_t bytes = HeldStateBytes(*module);
+  std::lock_guard<std::mutex> lock(mu_);
   Slot& slot = slots_[task_id];
-  if (ExpertBranchHandle branch = slot.live.lock()) {
-    // Some composite already holds this expert: the acquire shares it,
-    // saving exactly the bytes a per-composite copy would have added.
+  if (ExpertBranchHandle live = slot.live.lock()) {
     expert_hits_++;
     shared_bytes_saved_ += slot.bytes;
-    return branch;
+    return live;
   }
   ExpertBranch b;
   b.head = slot.module;
@@ -55,7 +81,7 @@ Result<ExpertBranchHandle> ExpertStore::Acquire(int task_id) {
   b.config = slot.config;
   b.task_id = task_id;
   auto branch = std::make_shared<const ExpertBranch>(std::move(b));
-  slot.bytes = HeldStateBytes(*slot.module);
+  slot.bytes = bytes;
   slot.live = branch;
   expert_misses_++;
   return ExpertBranchHandle(std::move(branch));
@@ -63,10 +89,16 @@ Result<ExpertBranchHandle> ExpertStore::Acquire(int task_id) {
 
 void ExpertStore::PrepareInt8Serving() {
   std::lock_guard<std::mutex> lock(mu_);
+  precision_ = ServingPrecision::kInt8;
   for (Slot& slot : slots_) {
     slot.module->PrepareInt8Serving();
     slot.bytes = HeldStateBytes(*slot.module);
   }
+}
+
+ServingPrecision ExpertStore::serving_precision() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return precision_;
 }
 
 int ExpertStore::num_experts() const {

@@ -12,11 +12,19 @@
 // (cached or client-held) references it — the store keeps only a weak
 // reference, so evicting one composite can never free an expert another
 // composite still uses, and dropping the last composite releases the
-// branch without touching the master weights. Materialization runs under
-// the store mutex; unlike model assembly it is pointer wiring plus a
-// byte count, so there is nothing expensive to move outside the lock and
-// concurrent acquires of one expert trivially coalesce onto a single
-// branch (the single-flight property at expert granularity).
+// branch without touching the master weights. Branch wiring and counters
+// run under the store mutex (cheap: pointers plus a byte count);
+// materialization additionally triggers the pack-once step
+// (Module::Prepack) that builds the persistent GEMM weight panels every
+// forward of every composite sharing this expert then consumes — that
+// pack is O(weight bytes) and runs OUTSIDE the store mutex, so acquires
+// of other experts never stall behind it. Deduped composites share
+// packed bytes by pointer identity, and concurrent acquires of one
+// expert trivially coalesce onto a single branch (the single-flight
+// property at expert granularity; forwards fall back to per-call packing
+// until the panels land). Prepack itself is idempotent, mutex-guarded
+// per layer, and publish-safe, so pool copies (which share master
+// modules under distinct store mutexes) cannot corrupt each other.
 #ifndef POE_CORE_EXPERT_STORE_H_
 #define POE_CORE_EXPERT_STORE_H_
 
@@ -93,8 +101,12 @@ class ExpertStore {
   /// Switches every master module to dequant-free int8 serving and
   /// refreshes the per-expert byte accounting. Live branches keep working
   /// (their heads alias the converted modules); like the pool-level
-  /// conversion this is irreversible.
+  /// conversion this is irreversible. Subsequent Acquire() materializations
+  /// prepack the int8 form instead of the f32 one.
   void PrepareInt8Serving();
+
+  /// Precision newly materialized branches are prepacked for.
+  ServingPrecision serving_precision() const;
 
   int num_experts() const;
   /// By value: slots_ may grow (AddExpert) after the lock is released, so
@@ -124,6 +136,7 @@ class ExpertStore {
 
   mutable std::mutex mu_;
   std::vector<Slot> slots_;
+  ServingPrecision precision_ = ServingPrecision::kFloat32;
   int64_t expert_hits_ = 0;
   int64_t expert_misses_ = 0;
   int64_t shared_bytes_saved_ = 0;

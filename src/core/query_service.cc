@@ -26,6 +26,9 @@ ModelQueryService::ModelQueryService(ExpertPool pool, size_t cache_capacity,
     const Status status = pool_.SetServingPrecision(precision);
     POE_CHECK(status.ok()) << status.ToString();
   }
+  // Pack once, serve many: the library trunk's persistent GEMM panels are
+  // built here; expert branches prepack lazily at store acquisition.
+  pool_.PrepackForServing();
 }
 
 Result<std::shared_ptr<TaskModel>> ModelQueryService::Query(

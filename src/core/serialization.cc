@@ -13,7 +13,12 @@ namespace poe {
 namespace {
 
 constexpr char kMagic[8] = {'P', 'O', 'E', 'P', 'O', 'O', 'L', '1'};
-constexpr uint32_t kVersion = 1;
+// Version history: 1 = f32-only payload; 2 adds a serving-precision tag
+// and, for int8 pools, the per-channel quantized weight form plus static
+// activation scales (so Load reaches packed int8 serving with no f32
+// round-trip). The reader accepts both; the writer emits 2.
+constexpr uint32_t kVersionF32 = 1;
+constexpr uint32_t kVersion = 2;
 
 // Low-level primitives. The on-disk layout is the host's little-endian
 // representation; the format is an internal cache, not an exchange format.
@@ -121,6 +126,134 @@ Status ReadModuleState(std::istream& in, Module& module) {
   return Status::OK();
 }
 
+namespace {
+
+// Int8 module payload: the quantizable layers' portable quantized form in
+// traversal order, then the remaining (still-defined) f32 parameters and
+// the buffers. Written only inside version >= 2 int8 pool files.
+Status WriteInt8ModuleState(std::ostream& out, Module& module) {
+  std::vector<Module*> quant;
+  module.CollectQuantizable(&quant);
+  WritePod<int64_t>(out, static_cast<int64_t>(quant.size()));
+  for (Module* layer : quant) {
+    auto exported = layer->ExportInt8State();
+    if (!exported.ok()) return exported.status();
+    const Int8WeightState state = std::move(exported).ValueOrDie();
+    WritePod<int64_t>(out, state.rows);
+    WritePod<int64_t>(out, state.cols);
+    WritePod<float>(out, state.act_scale);
+    out.write(reinterpret_cast<const char*>(state.values.data()),
+              static_cast<std::streamsize>(state.values.size()));
+    out.write(reinterpret_cast<const char*>(state.scales.data()),
+              static_cast<std::streamsize>(state.scales.size() *
+                                           sizeof(float)));
+  }
+  // Remaining f32 state: parameters whose storage the int8 conversion did
+  // NOT release (biases) plus buffers (batch-norm statistics).
+  std::vector<Parameter*> defined;
+  for (Parameter* p : module.Parameters()) {
+    if (p->value.defined()) defined.push_back(p);
+  }
+  std::vector<Tensor*> buffers;
+  module.CollectBuffers(&buffers);
+  WritePod<int64_t>(out, static_cast<int64_t>(defined.size()));
+  WritePod<int64_t>(out, static_cast<int64_t>(buffers.size()));
+  for (Parameter* p : defined) WriteTensorData(out, p->value);
+  for (Tensor* b : buffers) WriteTensorData(out, *b);
+  if (!out) return Status::IoError("failed writing int8 module state");
+  return Status::OK();
+}
+
+// Reads WriteInt8ModuleState output into a freshly built f32 skeleton:
+// each quantizable layer adopts its quantized state (releasing its f32
+// weight and packing the serving panels), after which the skeleton's
+// defined parameters match the saved remainder exactly.
+Status ReadInt8ModuleState(std::istream& in, Module& module) {
+  std::vector<Module*> quant;
+  module.CollectQuantizable(&quant);
+  int64_t n_quant = 0;
+  if (!ReadPod(in, &n_quant) ||
+      n_quant != static_cast<int64_t>(quant.size())) {
+    return Status::Corruption("int8 layer count mismatch");
+  }
+  for (Module* layer : quant) {
+    Int8WeightState state;
+    if (!ReadPod(in, &state.rows) || !ReadPod(in, &state.cols) ||
+        !ReadPod(in, &state.act_scale)) {
+      return Status::Corruption("truncated int8 layer header");
+    }
+    if (state.rows <= 0 || state.cols <= 0 ||
+        state.rows > (int64_t{1} << 24) || state.cols > (int64_t{1} << 24) ||
+        state.rows * state.cols > (int64_t{1} << 28)) {
+      // The product bound keeps a corrupt header from requesting a
+      // terabyte-scale resize (bad_alloc) instead of a clean error.
+      return Status::Corruption("implausible int8 layer shape");
+    }
+    state.values.resize(static_cast<size_t>(state.rows * state.cols));
+    state.scales.resize(static_cast<size_t>(state.rows));
+    in.read(reinterpret_cast<char*>(state.values.data()),
+            static_cast<std::streamsize>(state.values.size()));
+    in.read(reinterpret_cast<char*>(state.scales.data()),
+            static_cast<std::streamsize>(state.scales.size() *
+                                         sizeof(float)));
+    if (!in) return Status::Corruption("truncated int8 layer data");
+    POE_RETURN_NOT_OK(layer->AdoptInt8State(std::move(state)));
+  }
+  std::vector<Parameter*> defined;
+  for (Parameter* p : module.Parameters()) {
+    if (p->value.defined()) defined.push_back(p);
+  }
+  std::vector<Tensor*> buffers;
+  module.CollectBuffers(&buffers);
+  int64_t n_defined = 0, n_buffers = 0;
+  if (!ReadPod(in, &n_defined) || !ReadPod(in, &n_buffers)) {
+    return Status::Corruption("truncated int8 module header");
+  }
+  if (n_defined != static_cast<int64_t>(defined.size()) ||
+      n_buffers != static_cast<int64_t>(buffers.size())) {
+    return Status::Corruption("int8 module structure mismatch");
+  }
+  for (Parameter* p : defined) {
+    POE_RETURN_NOT_OK(ReadTensorInto(in, &p->value));
+  }
+  for (Tensor* b : buffers) POE_RETURN_NOT_OK(ReadTensorInto(in, b));
+  return Status::OK();
+}
+
+// Static activation scales of a module's quantizable layers (traversal
+// order). Written inside version >= 2 f32 pool payloads so calibration
+// survives a save/load cycle — otherwise a calibrated pool saved before
+// its int8 conversion would silently come back dynamic. (Int8 payloads
+// carry the scale inside each layer's Int8WeightState instead.)
+void WriteActScales(std::ostream& out, Module& module) {
+  std::vector<Module*> quant;
+  module.CollectQuantizable(&quant);
+  WritePod<int64_t>(out, static_cast<int64_t>(quant.size()));
+  for (Module* layer : quant) {
+    WritePod<float>(out, layer->static_act_scale());
+  }
+}
+
+Status ReadActScales(std::istream& in, Module& module) {
+  std::vector<Module*> quant;
+  module.CollectQuantizable(&quant);
+  int64_t count = 0;
+  if (!ReadPod(in, &count) ||
+      count != static_cast<int64_t>(quant.size())) {
+    return Status::Corruption("activation scale count mismatch");
+  }
+  for (Module* layer : quant) {
+    float scale = 0.0f;
+    if (!ReadPod(in, &scale)) {
+      return Status::Corruption("truncated activation scales");
+    }
+    layer->set_static_act_scale(scale);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 int64_t ModuleStateBytes(Module& module) {
   int64_t bytes = 0;
   for (Parameter* p : module.Parameters()) bytes += p->value.nbytes();
@@ -142,9 +275,20 @@ Status SaveExpertPool(const ExpertPool& pool, const std::string& path) {
     WritePod<int32_t>(payload, static_cast<int32_t>(classes.size()));
     for (int c : classes) WritePod<int32_t>(payload, c);
   }
-  POE_RETURN_NOT_OK(WriteModuleState(payload, *pool.library()));
-  for (int t = 0; t < pool.num_experts(); ++t) {
-    POE_RETURN_NOT_OK(WriteModuleState(payload, *pool.expert(t)));
+  const bool int8 = pool.serving_precision() == ServingPrecision::kInt8;
+  WritePod<uint8_t>(payload, int8 ? 1 : 0);
+  if (int8) {
+    POE_RETURN_NOT_OK(WriteInt8ModuleState(payload, *pool.library()));
+    for (int t = 0; t < pool.num_experts(); ++t) {
+      POE_RETURN_NOT_OK(WriteInt8ModuleState(payload, *pool.expert(t)));
+    }
+  } else {
+    POE_RETURN_NOT_OK(WriteModuleState(payload, *pool.library()));
+    WriteActScales(payload, *pool.library());
+    for (int t = 0; t < pool.num_experts(); ++t) {
+      POE_RETURN_NOT_OK(WriteModuleState(payload, *pool.expert(t)));
+      WriteActScales(payload, *pool.expert(t));
+    }
   }
 
   const std::string bytes = payload.str();
@@ -215,7 +359,7 @@ Result<ExpertPool> LoadExpertPool(const std::string& path) {
   if (!ReadPod(file, &version) || !ReadPod(file, &checksum)) {
     return Status::Corruption("truncated pool header");
   }
-  if (version != kVersion) {
+  if (version != kVersionF32 && version != kVersion) {
     return Status::Corruption("unsupported pool version " +
                               std::to_string(version));
   }
@@ -251,10 +395,23 @@ Result<ExpertPool> LoadExpertPool(const std::string& path) {
   POE_ASSIGN_OR_RETURN(ClassHierarchy hierarchy,
                        ClassHierarchy::FromTasks(std::move(tasks)));
 
-  // Rebuild module skeletons from the configs, then load states into them.
+  bool int8 = false;
+  if (version >= 2) {
+    uint8_t precision_tag = 0;
+    if (!ReadPod(in, &precision_tag) || precision_tag > 1) {
+      return Status::Corruption("bad precision tag");
+    }
+    int8 = precision_tag == 1;
+  }
+
+  // Rebuild module skeletons from the configs, then load states into them
+  // (for int8 pools the quantized state is adopted directly — the f32
+  // skeleton weights are released without ever being dequantized into).
   Rng rng(0);  // weights are overwritten by the load
   std::shared_ptr<Sequential> library = BuildLibraryPart(library_cfg, rng);
-  POE_RETURN_NOT_OK(ReadModuleState(in, *library));
+  POE_RETURN_NOT_OK(int8 ? ReadInt8ModuleState(in, *library)
+                         : ReadModuleState(in, *library));
+  if (!int8 && version >= 2) POE_RETURN_NOT_OK(ReadActScales(in, *library));
   library->SetTrainable(false);
 
   std::vector<std::shared_ptr<Sequential>> experts;
@@ -265,11 +422,19 @@ Result<ExpertPool> LoadExpertPool(const std::string& path) {
         static_cast<int>(hierarchy.task_classes(t).size());
     auto head =
         BuildExpertPart(expert_cfg, library_cfg.conv3_channels(), rng);
-    POE_RETURN_NOT_OK(ReadModuleState(in, *head));
+    POE_RETURN_NOT_OK(int8 ? ReadInt8ModuleState(in, *head)
+                           : ReadModuleState(in, *head));
+    if (!int8 && version >= 2) POE_RETURN_NOT_OK(ReadActScales(in, *head));
     experts.push_back(std::move(head));
   }
-  return ExpertPool(library_cfg, expert_ks, std::move(hierarchy),
-                    std::move(library), std::move(experts));
+  ExpertPool pool(library_cfg, expert_ks, std::move(hierarchy),
+                  std::move(library), std::move(experts));
+  if (int8) {
+    // Modules are already converted (adopted); this flips the pool-level
+    // precision flag and store accounting without touching weights.
+    POE_RETURN_NOT_OK(pool.SetServingPrecision(ServingPrecision::kInt8));
+  }
+  return pool;
 }
 
 }  // namespace poe

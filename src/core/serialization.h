@@ -28,8 +28,16 @@ int64_t ModuleStateBytes(Module& module);
 
 /// Pool file format (little-endian):
 ///   magic "POEPOOL1" | version u32 | FNV-1a checksum u64 of the payload |
-///   payload: library WrnConfig, expert_ks, hierarchy, library state,
-///            per-expert state.
+///   payload: library WrnConfig, expert_ks, hierarchy,
+///            [v2+] precision tag u8 (0 = f32, 1 = int8),
+///            library state, per-expert state.
+/// f32 module state is the full parameter/buffer tensor dump followed by
+/// the quantizable layers' static activation scales (so calibration
+/// survives a save/load cycle even before the int8 conversion); int8
+/// module state is the portable per-output-channel quantized form (+
+/// static activation scales) followed by the surviving f32 parameters
+/// and buffers, so Load reaches packed int8 serving without
+/// materializing f32 weights. Version 1 files (f32-only) still load.
 Status SaveExpertPool(const ExpertPool& pool, const std::string& path);
 Result<ExpertPool> LoadExpertPool(const std::string& path);
 

@@ -13,11 +13,9 @@
 
 namespace poe {
 
-/// Numeric precision the pool's modules serve at. kInt8 means weights are
-/// held as packed int8 with per-output-channel scales and every forward
-/// pass runs the quantized GEMM — assembled models never materialize f32
-/// weights (the extension composing quantization with PoE, Section 2).
-enum class ServingPrecision { kFloat32, kInt8 };
+// ServingPrecision (the pool-wide serving mode) lives in nn/module.h so
+// layers can prepack per precision; it is re-exported here for the
+// serving-side code that always included this header.
 
 /// The branched architecture of Figure 3: a shared library component
 /// (conv1..conv3) feeding n(Q) expert branches (conv4 + head), whose output

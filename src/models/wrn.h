@@ -62,6 +62,10 @@ class Wrn : public Module {
   void CollectBuffers(std::vector<Tensor*>* out) override;
   void PrepareInt8Serving() override;
   int64_t Int8WeightBytes() const override;
+  void CollectChildren(std::vector<Module*>* out) override {
+    out->push_back(library_part_.get());
+    out->push_back(expert_part_.get());
+  }
   std::string Name() const override { return "Wrn"; }
 
   const WrnConfig& config() const { return config_; }

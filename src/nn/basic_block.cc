@@ -76,4 +76,12 @@ int64_t BasicBlock::Int8WeightBytes() const {
   return total;
 }
 
+void BasicBlock::CollectChildren(std::vector<Module*>* out) {
+  out->push_back(&bn1_);
+  out->push_back(&conv1_);
+  out->push_back(&bn2_);
+  out->push_back(&conv2_);
+  if (projection_) out->push_back(projection_.get());
+}
+
 }  // namespace poe

@@ -32,6 +32,7 @@ class BasicBlock : public Module {
   void CollectBuffers(std::vector<Tensor*>* out) override;
   void PrepareInt8Serving() override;
   int64_t Int8WeightBytes() const override;
+  void CollectChildren(std::vector<Module*>* out) override;
   std::string Name() const override { return "BasicBlock"; }
 
   bool has_projection() const { return projection_ != nullptr; }

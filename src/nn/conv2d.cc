@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <mutex>
+#include <utility>
 
 #include "nn/init.h"
 #include "tensor/arena.h"
-#include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "util/parallel_for.h"
 
@@ -43,6 +43,10 @@ Tensor Conv2d::ForwardImpl(const Tensor& input, bool training,
   }
   POE_CHECK_EQ(input.ndim(), 4);
   POE_CHECK_EQ(input.dim(1), in_channels_);
+  if (observe_act_ && !training) {
+    observed_act_max_ =
+        std::max(observed_act_max_, MaxAbs(input.data(), input.numel()));
+  }
   const int64_t batch = input.dim(0);
   const int64_t h = input.dim(2);
   const int64_t w = input.dim(3);
@@ -66,6 +70,12 @@ Tensor Conv2d::ForwardImpl(const Tensor& input, bool training,
   // matrix would be the image itself, so skip the unfold entirely.
   const bool pointwise = kernel_ == 1 && stride_ == 1 && pad_ == 0;
 
+  // Pack-once fast path: the persistent op(A) weight panels are bitwise
+  // identical to the per-call PackA output, so the product is too.
+  const bool packed = !training && f32_packed_.load(std::memory_order_acquire);
+  POE_CHECK(!training || !f32_packed_.load(std::memory_order_relaxed))
+      << "prepacked Conv2d is inference-only (packed panels would go stale)";
+
   // The pool is not reentrant, so only one level parallelizes: hand it to
   // the GEMM's macro-tile loop only when that loop both offers more
   // parallelism than the batch dimension does (the realtime query path is
@@ -73,6 +83,15 @@ Tensor Conv2d::ForwardImpl(const Tensor& input, bool training,
   const bool gemm_parallel = batch < NumThreads() &&
                              GemmParallelTiles(out_channels_, ohw) > batch;
 
+  auto run_gemm = [&](const float* cols_b, float* out_b) {
+    if (packed) {
+      GemmPackedA(packed_w_, ohw, cols_b, 1.0f, 0.0f, out_b, ep,
+                  gemm_parallel);
+    } else {
+      GemmEx(false, false, out_channels_, ohw, ckk, 1.0f, wp, cols_b, 0.0f,
+             out_b, ep, gemm_parallel);
+    }
+  };
   auto run_range = [&](int64_t begin, int64_t end) {
     ScratchScope scope;
     float* cols = pointwise ? nullptr : scope.Alloc(ckk * ohw);
@@ -80,13 +99,11 @@ Tensor Conv2d::ForwardImpl(const Tensor& input, bool training,
       const float* in_b = in + b * in_channels_ * h * w;
       float* out_b = out + b * out_channels_ * ohw;
       if (pointwise) {
-        GemmEx(false, false, out_channels_, ohw, ckk, 1.0f, wp, in_b, 0.0f,
-               out_b, ep, gemm_parallel);
+        run_gemm(in_b, out_b);
       } else {
         Im2Col(in_b, in_channels_, h, w, kernel_, kernel_, pad_, stride_,
                cols);
-        GemmEx(false, false, out_channels_, ohw, ckk, 1.0f, wp, cols, 0.0f,
-               out_b, ep, gemm_parallel);
+        run_gemm(cols, out_b);
       }
     }
   };
@@ -104,12 +121,14 @@ Tensor Conv2d::ForwardImpl(const Tensor& input, bool training,
   return output;
 }
 
-// The int8 serving forward: activations are quantized per-tensor with a
-// dynamic max-abs scale into arena scratch, unfolded in the int8 domain,
-// and multiplied against the pre-packed int8 weight panels. The GEMM's
-// output pass applies scale_act * wscale[channel] dequantization, bias,
-// and the fused ReLU, so no f32 weight or separate dequant sweep exists
-// anywhere on this path.
+// The int8 serving forward: activations are quantized per-tensor (static
+// calibrated scale when present, else a dynamic max-abs pass) with the
+// vectorized quantizer — fused into the column matrix for pointwise
+// convs, one whole-image pass for k > 1 — and multiplied against the
+// pre-packed int8 weight panels. The GEMM's output pass applies
+// scale_act * wscale[channel] dequantization, bias, and the fused ReLU,
+// so no f32 weight or separate dequant sweep exists anywhere on this
+// path.
 Tensor Conv2d::ForwardInt8(const Tensor& input, bool fuse_relu) {
   POE_CHECK_EQ(input.ndim(), 4);
   POE_CHECK_EQ(input.dim(1), in_channels_);
@@ -128,7 +147,8 @@ Tensor Conv2d::ForwardInt8(const Tensor& input, bool fuse_relu) {
   const float* in = input.data();
   float* out = output.data();
 
-  const float act_scale = SymmetricScaleS8(in, input.numel());
+  const float act_scale =
+      act_scale_ > 0.0f ? act_scale_ : SymmetricScaleS8(in, input.numel());
   const float inv_scale = 1.0f / act_scale;
 
   GemmS8Epilogue ep;
@@ -141,20 +161,27 @@ Tensor Conv2d::ForwardInt8(const Tensor& input, bool fuse_relu) {
   const bool gemm_parallel = batch < NumThreads() &&
                              GemmParallelTiles(out_channels_, ohw) > batch;
 
+  // Pointwise convs quantize straight into the column matrix (the fully
+  // fused case: the unfold is the identity, so one vectorized pass does
+  // everything). k > 1 convs quantize the image once (vectorized) and
+  // gather bytes: the fused Im2ColQuantize alternative would re-quantize
+  // every element k*k times, which measures ~2x slower at WRN 3x3
+  // geometries (docs/PERF.md), so it is not used here. Both orders are
+  // bitwise identical.
   auto run_range = [&](int64_t begin, int64_t end) {
     ScratchScope scope;
-    int8_t* q_img = AllocS8(scope, chw);
-    int8_t* cols = pointwise ? nullptr : AllocS8(scope, ckk * ohw);
+    int8_t* cols = AllocS8(scope, pointwise ? chw : ckk * ohw);
+    int8_t* q_img = pointwise ? nullptr : AllocS8(scope, chw);
     for (int64_t b = begin; b < end; ++b) {
-      QuantizeBufferS8(in + b * chw, chw, inv_scale, q_img);
       float* out_b = out + b * out_channels_ * ohw;
       if (pointwise) {
-        GemmS8PackedA(qweight_, ohw, q_img, out_b, ep, gemm_parallel);
+        QuantizeBufferS8(in + b * chw, chw, inv_scale, cols);
       } else {
+        QuantizeBufferS8(in + b * chw, chw, inv_scale, q_img);
         Im2Col(q_img, in_channels_, h, w, kernel_, kernel_, pad_, stride_,
                cols);
-        GemmS8PackedA(qweight_, ohw, cols, out_b, ep, gemm_parallel);
       }
+      GemmS8PackedA(qweight_, ohw, cols, out_b, ep, gemm_parallel);
     }
   };
   if (gemm_parallel) {
@@ -178,12 +205,89 @@ void Conv2d::PrepareInt8Serving() {
     wscales_[oc] = SymmetricScaleS8(row, ckk);
     QuantizeBufferS8(row, ckk, 1.0f / wscales_[oc], q.data() + oc * ckk);
   }
-  qweight_ = PackedS8Weights::Pack(out_channels_, ckk, q.data());
-  // Dequant-free serving: release the f32 weight storage for good.
+  FinishInt8Setup(q.data());
+}
+
+void Conv2d::FinishInt8Setup(const int8_t* values) {
+  // Serialized against Prepack: pool copies share master modules, so a
+  // conversion through one copy must not race another copy's prepacking
+  // of the same layer.
+  std::lock_guard<std::mutex> lock(prepack_mu_);
+  // Pack once into the kernel layout; only the packed form stays resident
+  // (persistence exports the portable row-major form via Unpack).
+  qweight_ = PackedS8Weights::Pack(out_channels_,
+                                   in_channels_ * kernel_ * kernel_, values);
+  // Dequant-free serving: release the f32 weight storage for good, along
+  // with any now-stale f32 packed panels.
+  f32_packed_.store(false, std::memory_order_release);
+  packed_w_ = PackedAWeights();
   weight_.value = Tensor();
   weight_.grad = Tensor();
   weight_.trainable = false;
   int8_serving_ = true;
+}
+
+void Conv2d::Prepack(ServingPrecision precision) {
+  std::lock_guard<std::mutex> lock(prepack_mu_);
+  // Packs the form the layer CURRENTLY serves (see Linear::Prepack for
+  // the stale-copy rationale); int8 panels were built at conversion.
+  POE_CHECK(precision != ServingPrecision::kInt8 || int8_serving_)
+      << "Prepack(kInt8) requires PrepareInt8Serving first";
+  if (int8_serving_) return;
+  if (f32_packed_.load(std::memory_order_relaxed)) return;
+  packed_w_ = PackedAWeights::Pack(/*trans_a=*/false, out_channels_,
+                                   in_channels_ * kernel_ * kernel_,
+                                   weight_.value.data());
+  f32_packed_.store(true, std::memory_order_release);
+}
+
+int64_t Conv2d::PackedWeightBytes() {
+  return f32_packed_.load(std::memory_order_acquire) ? packed_w_.nbytes()
+                                                     : 0;
+}
+
+void Conv2d::BeginActivationCalibration() {
+  observe_act_ = true;
+  observed_act_max_ = 0.0f;
+}
+
+void Conv2d::FinishActivationCalibration() {
+  observe_act_ = false;
+  // A zero observation (no forwards ran, or the sample batch never lit
+  // this layer up) keeps the scale at 0 = dynamic: freezing a guess
+  // would saturate real activations forever (and be persisted).
+  act_scale_ = observed_act_max_ > 0.0f ? observed_act_max_ / 127.0f : 0.0f;
+}
+
+Result<Int8WeightState> Conv2d::ExportInt8State() const {
+  if (!int8_serving_) {
+    return Status::FailedPrecondition(
+        "Conv2d has no int8 state to export (still serving f32)");
+  }
+  Int8WeightState state;
+  state.rows = out_channels_;
+  state.cols = in_channels_ * kernel_ * kernel_;
+  state.values.resize(static_cast<size_t>(state.rows * state.cols));
+  qweight_.Unpack(state.values.data());  // portable row-major form
+  state.scales = wscales_;
+  state.act_scale = act_scale_;
+  return state;
+}
+
+Status Conv2d::AdoptInt8State(Int8WeightState state) {
+  if (int8_serving_) {
+    return Status::FailedPrecondition("Conv2d already serves int8");
+  }
+  const int64_t ckk = in_channels_ * kernel_ * kernel_;
+  if (state.rows != out_channels_ || state.cols != ckk ||
+      static_cast<int64_t>(state.values.size()) != out_channels_ * ckk ||
+      static_cast<int64_t>(state.scales.size()) != out_channels_) {
+    return Status::Corruption("int8 state shape mismatch for Conv2d");
+  }
+  wscales_ = std::move(state.scales);
+  act_scale_ = state.act_scale;
+  FinishInt8Setup(state.values.data());
+  return Status::OK();
 }
 
 int64_t Conv2d::Int8WeightBytes() const {

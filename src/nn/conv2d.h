@@ -2,11 +2,13 @@
 #ifndef POE_NN_CONV2D_H_
 #define POE_NN_CONV2D_H_
 
+#include <atomic>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/gemm.h"
 #include "tensor/gemm_s8.h"
 #include "util/rng.h"
 
@@ -35,13 +37,38 @@ class Conv2d : public Module {
 
   /// Dequant-free int8 serving: quantizes the weight matrix with
   /// per-output-channel symmetric scales into pre-packed int8 GEMM panels
-  /// and releases the f32 weight storage. Inference Forward then
-  /// quantizes activations per-tensor on the fly and runs the int8 GEMM
-  /// with dequantization fused into its output pass. Irreversible;
-  /// training Forward/Backward are forbidden afterwards.
+  /// (persistence exports the portable row-major form via Unpack) and
+  /// releases the f32 weight storage. Inference Forward then quantizes
+  /// activations per-tensor — with the static calibrated scale when one
+  /// was observed, else a dynamic max-abs scale; fused straight into the
+  /// column matrix for pointwise convs — and runs the int8 GEMM with
+  /// dequantization fused into its output pass. Irreversible; training
+  /// is forbidden afterwards.
   void PrepareInt8Serving() override;
   int64_t Int8WeightBytes() const override;
   bool int8_serving() const { return int8_serving_; }
+
+  /// Pack-once serving. kFloat32 materializes the persistent op(A) weight
+  /// panels (the conv weight is the GEMM's A operand) so inference
+  /// forwards skip the per-call PackA pass; kInt8 is satisfied already —
+  /// the int8 weight panels are built at PrepareInt8Serving/Adopt time.
+  /// Idempotent, publish-safe against concurrent forwards (release/
+  /// acquire), transparent fallback while unpacked. Inference-only after.
+  void Prepack(ServingPrecision precision) override;
+  int64_t PackedWeightBytes() override;
+
+  /// Static activation calibration (see Module); observation happens on
+  /// f32 inference forwards between Begin and Finish.
+  void BeginActivationCalibration() override;
+  void FinishActivationCalibration() override;
+  float static_act_scale() const override { return act_scale_; }
+  void set_static_act_scale(float scale) override { act_scale_ = scale; }
+
+  void CollectQuantizable(std::vector<Module*>* out) override {
+    out->push_back(this);
+  }
+  Result<Int8WeightState> ExportInt8State() const override;
+  Status AdoptInt8State(Int8WeightState state) override;
 
   std::string Name() const override { return "Conv2d"; }
 
@@ -58,6 +85,9 @@ class Conv2d : public Module {
  private:
   Tensor ForwardImpl(const Tensor& input, bool training, bool fuse_relu);
   Tensor ForwardInt8(const Tensor& input, bool fuse_relu);
+  /// Shared PrepareInt8Serving/Adopt tail: packs `values` (row-major
+  /// [out_c x ckk]) and releases the f32 weight.
+  void FinishInt8Setup(const int8_t* values);
 
   int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
   bool has_bias_;
@@ -68,6 +98,16 @@ class Conv2d : public Module {
   bool int8_serving_ = false;
   PackedS8Weights qweight_;     // [out_c x ckk] panels, kernel layout
   std::vector<float> wscales_;  // per-output-channel dequant scales
+
+  // Static activation calibration (0 = dynamic per-forward max-abs).
+  bool observe_act_ = false;
+  float observed_act_max_ = 0.0f;
+  float act_scale_ = 0.0f;
+
+  // Pack-once f32 serving state (see Prepack).
+  std::mutex prepack_mu_;
+  PackedAWeights packed_w_;  // f32 op(A) weight panels
+  std::atomic<bool> f32_packed_{false};
 
   // Cached from the last training Forward.
   Tensor cached_input_;

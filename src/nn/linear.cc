@@ -1,9 +1,11 @@
 #include "nn/linear.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "nn/init.h"
 #include "tensor/arena.h"
-#include "tensor/gemm.h"
-#include "tensor/gemm_s8.h"
+#include "util/logging.h"
 
 namespace poe {
 
@@ -35,28 +37,44 @@ Tensor Linear::ForwardImpl(const Tensor& input, bool training,
   }
   POE_CHECK_EQ(input.ndim(), 2);
   POE_CHECK_EQ(input.dim(1), in_features_);
+  if (observe_act_ && !training) {
+    observed_act_max_ =
+        std::max(observed_act_max_, MaxAbs(input.data(), input.numel()));
+  }
   const int64_t batch = input.dim(0);
   Tensor output({batch, out_features_});
   GemmEpilogue ep;
   ep.col_bias = has_bias_ ? bias_.value.data() : nullptr;
   ep.relu = fuse_relu;
   // y = x (batch x in) * W^T (in x out), bias/ReLU fused into the store.
+  if (!training && f32_packed_.load(std::memory_order_acquire)) {
+    // Pack-once fast path: bitwise identical to the per-call-pack GEMM.
+    GemmPackedB(batch, input.data(), /*trans_a=*/false, packed_w_, 1.0f,
+                0.0f, output.data(), ep, /*parallel=*/true);
+    return output;
+  }
+  POE_CHECK(!training || !f32_packed_.load(std::memory_order_relaxed))
+      << "prepacked Linear is inference-only (packed panels would go stale)";
   GemmEx(false, true, batch, out_features_, in_features_, 1.0f, input.data(),
          weight_.value.data(), 0.0f, output.data(), ep, /*parallel=*/true);
   if (training) cached_input_ = input;
   return output;
 }
 
-// Int8 serving forward: dynamic per-tensor activation quantization, then
+// Int8 serving forward: per-tensor activation quantization (static
+// calibrated scale when present, else a dynamic max-abs pass), then
 // y = x_q * W_q^T with per-output-feature dequantization, bias, and ReLU
-// fused into the GEMM's int32 -> f32 output pass.
+// fused into the GEMM's int32 -> f32 output pass. With prepacked weights
+// the per-call transposed B pack disappears too.
 Tensor Linear::ForwardInt8(const Tensor& input, bool fuse_relu) {
   POE_CHECK_EQ(input.ndim(), 2);
   POE_CHECK_EQ(input.dim(1), in_features_);
   const int64_t batch = input.dim(0);
   Tensor output({batch, out_features_});
 
-  const float act_scale = SymmetricScaleS8(input.data(), input.numel());
+  const float act_scale =
+      act_scale_ > 0.0f ? act_scale_
+                        : SymmetricScaleS8(input.data(), input.numel());
 
   ScratchScope scope;
   int8_t* q_in = AllocS8(scope, input.numel());
@@ -67,8 +85,13 @@ Tensor Linear::ForwardInt8(const Tensor& input, bool fuse_relu) {
   ep.col_scale = wscales_.data();
   ep.col_bias = has_bias_ ? bias_.value.data() : nullptr;
   ep.relu = fuse_relu;
-  GemmS8(false, true, batch, out_features_, in_features_, q_in,
-         qweight_.data(), output.data(), ep, /*parallel=*/true);
+  if (int8_packed_.load(std::memory_order_acquire)) {
+    GemmS8PackedB(/*trans_a=*/false, batch, q_in, packed_qw_, output.data(),
+                  ep, /*parallel=*/true);
+  } else {
+    GemmS8(false, true, batch, out_features_, in_features_, q_in,
+           qweight_.data(), output.data(), ep, /*parallel=*/true);
+  }
   return output;
 }
 
@@ -83,10 +106,98 @@ void Linear::PrepareInt8Serving() {
     QuantizeBufferS8(row, in_features_, 1.0f / wscales_[of],
                      qweight_.data() + of * in_features_);
   }
+  FinishInt8Setup();
+}
+
+void Linear::FinishInt8Setup() {
+  // Serialized against Prepack: pool copies share master modules, so a
+  // conversion through one copy must not race another copy's prepacking
+  // of the same layer.
+  std::lock_guard<std::mutex> lock(prepack_mu_);
+  // Release the f32 weight storage for good, along with any now-stale
+  // f32 packed panels.
+  f32_packed_.store(false, std::memory_order_release);
+  packed_w_ = PackedBWeights();
   weight_.value = Tensor();
   weight_.grad = Tensor();
   weight_.trainable = false;
   int8_serving_ = true;
+}
+
+void Linear::Prepack(ServingPrecision precision) {
+  std::lock_guard<std::mutex> lock(prepack_mu_);
+  // Packs the form the layer CURRENTLY serves (an int8-converted layer
+  // packs int8 even under a caller still labeled f32 — pool copies share
+  // masters, so a stale copy may acquire after another converted them).
+  // The reverse direction is a genuine ordering bug.
+  POE_CHECK(precision != ServingPrecision::kInt8 || int8_serving_)
+      << "Prepack(kInt8) requires PrepareInt8Serving first";
+  if (int8_serving_) {
+    if (int8_packed_.load(std::memory_order_relaxed)) return;
+    packed_qw_ = PackedS8BWeights::Pack(/*trans_b=*/true, in_features_,
+                                        out_features_, qweight_.data());
+    int8_packed_.store(true, std::memory_order_release);
+    return;
+  }
+  if (f32_packed_.load(std::memory_order_relaxed)) return;
+  packed_w_ = PackedBWeights::Pack(/*trans_b=*/true, in_features_,
+                                   out_features_, weight_.value.data());
+  f32_packed_.store(true, std::memory_order_release);
+}
+
+int64_t Linear::PackedWeightBytes() {
+  int64_t bytes = 0;
+  if (f32_packed_.load(std::memory_order_acquire)) bytes += packed_w_.nbytes();
+  if (int8_packed_.load(std::memory_order_acquire)) {
+    bytes += packed_qw_.nbytes();
+  }
+  return bytes;
+}
+
+void Linear::BeginActivationCalibration() {
+  observe_act_ = true;
+  observed_act_max_ = 0.0f;
+}
+
+void Linear::FinishActivationCalibration() {
+  observe_act_ = false;
+  // Zero observation -> stay dynamic (see Conv2d: a frozen guess would
+  // saturate real activations and be persisted with the pool).
+  act_scale_ = observed_act_max_ > 0.0f ? observed_act_max_ / 127.0f : 0.0f;
+}
+
+Result<Int8WeightState> Linear::ExportInt8State() const {
+  if (!int8_serving_) {
+    return Status::FailedPrecondition(
+        "Linear has no int8 state to export (still serving f32)");
+  }
+  Int8WeightState state;
+  state.rows = out_features_;
+  state.cols = in_features_;
+  state.values = qweight_;
+  state.scales = wscales_;
+  state.act_scale = act_scale_;
+  return state;
+}
+
+Status Linear::AdoptInt8State(Int8WeightState state) {
+  if (int8_serving_) {
+    return Status::FailedPrecondition("Linear already serves int8");
+  }
+  if (state.rows != out_features_ || state.cols != in_features_ ||
+      static_cast<int64_t>(state.values.size()) !=
+          out_features_ * in_features_ ||
+      static_cast<int64_t>(state.scales.size()) != out_features_) {
+    return Status::Corruption("int8 state shape mismatch for Linear");
+  }
+  qweight_ = std::move(state.values);
+  wscales_ = std::move(state.scales);
+  act_scale_ = state.act_scale;
+  FinishInt8Setup();
+  // Straight to packed serving: an adopted layer (int8 pool load) never
+  // runs a per-call B pack.
+  Prepack(ServingPrecision::kInt8);
+  return Status::OK();
 }
 
 int64_t Linear::Int8WeightBytes() const {
@@ -97,6 +208,8 @@ int64_t Linear::Int8WeightBytes() const {
 
 Tensor Linear::Backward(const Tensor& grad_output) {
   POE_CHECK(!int8_serving_) << "int8-serving Linear cannot train";
+  POE_CHECK(!f32_packed_.load(std::memory_order_relaxed))
+      << "prepacked Linear cannot train";
   POE_CHECK(cached_input_.defined());
   const int64_t batch = cached_input_.dim(0);
   POE_CHECK_EQ(grad_output.dim(0), batch);

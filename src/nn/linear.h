@@ -2,11 +2,15 @@
 #ifndef POE_NN_LINEAR_H_
 #define POE_NN_LINEAR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_s8.h"
 #include "util/rng.h"
 
 namespace poe {
@@ -26,12 +30,37 @@ class Linear : public Module {
 
   /// Dequant-free int8 serving: weights become int8 with per-output-
   /// feature scales, the f32 storage is released, and inference quantizes
-  /// activations per-tensor on the fly into the int8 GEMM (dequant + bias
-  /// + ReLU fused in its output pass). Irreversible; training is
-  /// forbidden afterwards.
+  /// activations on the fly into the int8 GEMM (dequant + bias + ReLU
+  /// fused in its output pass). Activations use the static calibrated
+  /// scale when one was observed, else a dynamic per-tensor max-abs scale.
+  /// Irreversible; training is forbidden afterwards.
   void PrepareInt8Serving() override;
   int64_t Int8WeightBytes() const override;
   bool int8_serving() const { return int8_serving_; }
+
+  /// Pack-once serving: materializes the persistent op(B) = W^T panels
+  /// (f32 PackedBWeights or int8 PackedS8BWeights per `precision`, which
+  /// must match the current serving mode) so every subsequent inference
+  /// forward skips the per-call transposed B pack. Idempotent and safe
+  /// against concurrent forwards: the packed form is published with
+  /// release/acquire ordering and forwards fall back to the per-call pack
+  /// until it lands. A prepacked layer is inference-only.
+  void Prepack(ServingPrecision precision) override;
+  int64_t PackedWeightBytes() override;
+
+  /// Static activation calibration (see Module). Observation happens on
+  /// f32 inference forwards between Begin and Finish; single-threaded
+  /// setup-time operation.
+  void BeginActivationCalibration() override;
+  void FinishActivationCalibration() override;
+  float static_act_scale() const override { return act_scale_; }
+  void set_static_act_scale(float scale) override { act_scale_ = scale; }
+
+  void CollectQuantizable(std::vector<Module*>* out) override {
+    out->push_back(this);
+  }
+  Result<Int8WeightState> ExportInt8State() const override;
+  Status AdoptInt8State(Int8WeightState state) override;
 
   std::string Name() const override { return "Linear"; }
 
@@ -44,6 +73,7 @@ class Linear : public Module {
  private:
   Tensor ForwardImpl(const Tensor& input, bool training, bool fuse_relu);
   Tensor ForwardInt8(const Tensor& input, bool fuse_relu);
+  void FinishInt8Setup();  // shared PrepareInt8Serving/Adopt tail
 
   int64_t in_features_, out_features_;
   bool has_bias_;
@@ -51,10 +81,32 @@ class Linear : public Module {
   Parameter bias_;
   Tensor cached_input_;
 
-  // Int8 serving state (valid when int8_serving_).
+  // Int8 serving state (valid when int8_serving_). The row-major
+  // qweight_ stays resident even after Prepack builds packed_qw_ — a
+  // deliberate tradeoff: it backs the transparent per-call fallback
+  // (forwards may race an in-flight Prepack, so freeing it on publish
+  // would be unsafe) and the portable ExportInt8State, at the cost of
+  // roughly doubling the int8 LINEAR weight footprint (head layers are
+  // small next to the conv experts; both copies are counted honestly).
+  // Halving it needs PackedS8BWeights::Unpack + conversion-time packing
+  // (ROADMAP follow-on).
   bool int8_serving_ = false;
   std::vector<int8_t> qweight_;  // [out_features x in_features], row-major
   std::vector<float> wscales_;   // per-output-feature dequant scales
+
+  // Static activation calibration (0 = dynamic per-forward max-abs).
+  bool observe_act_ = false;
+  float observed_act_max_ = 0.0f;
+  float act_scale_ = 0.0f;
+
+  // Pack-once serving state. The ready flags publish the packed forms to
+  // concurrent forwards (store-release after building, load-acquire in
+  // the fast path); prepack_mu_ serializes builders.
+  std::mutex prepack_mu_;
+  PackedBWeights packed_w_;       // f32 op(B) = W^T panels
+  PackedS8BWeights packed_qw_;    // int8 op(B) = W^T panels + colsums
+  std::atomic<bool> f32_packed_{false};
+  std::atomic<bool> int8_packed_{false};
 };
 
 }  // namespace poe

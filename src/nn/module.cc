@@ -35,8 +35,40 @@ int64_t Module::NumParams() {
   return n;
 }
 
+void Module::Prepack(ServingPrecision precision) {
+  std::vector<Module*> children;
+  CollectChildren(&children);
+  for (Module* child : children) child->Prepack(precision);
+}
+
+int64_t Module::PackedWeightBytes() {
+  std::vector<Module*> children;
+  CollectChildren(&children);
+  int64_t bytes = 0;
+  for (Module* child : children) bytes += child->PackedWeightBytes();
+  return bytes;
+}
+
+void Module::BeginActivationCalibration() {
+  std::vector<Module*> children;
+  CollectChildren(&children);
+  for (Module* child : children) child->BeginActivationCalibration();
+}
+
+void Module::FinishActivationCalibration() {
+  std::vector<Module*> children;
+  CollectChildren(&children);
+  for (Module* child : children) child->FinishActivationCalibration();
+}
+
+void Module::CollectQuantizable(std::vector<Module*>* out) {
+  std::vector<Module*> children;
+  CollectChildren(&children);
+  for (Module* child : children) child->CollectQuantizable(out);
+}
+
 int64_t HeldStateBytes(Module& module) {
-  int64_t bytes = module.Int8WeightBytes();
+  int64_t bytes = module.Int8WeightBytes() + module.PackedWeightBytes();
   for (Parameter* p : module.Parameters()) bytes += p->value.nbytes();
   std::vector<Tensor*> buffers;
   module.CollectBuffers(&buffers);

@@ -25,6 +25,9 @@ class Sequential : public Module {
   void CollectBuffers(std::vector<Tensor*>* out) override;
   void PrepareInt8Serving() override;
   int64_t Int8WeightBytes() const override;
+  void CollectChildren(std::vector<Module*>* out) override {
+    for (auto& m : modules_) out->push_back(m.get());
+  }
   std::string Name() const override { return "Sequential"; }
 
   size_t size() const { return modules_.size(); }

@@ -171,13 +171,38 @@ void StoreTile(const float* acc, int64_t nr, int64_t rows, int64_t cols,
   }
 }
 
+// Offsets into the persistent packed buffers (see PackedAWeights /
+// PackedBWeights::Pack below for the layouts). Both layouts place the
+// panels of each (tile, k-block) region exactly as the per-call pack
+// writes them, so the micro-kernel loops are oblivious to the source.
+inline const float* PrepackedABlock(const float* packed, int64_t m,
+                                    int64_t mr, int64_t i0, int64_t pc,
+                                    int64_t kc) {
+  const int64_t m_pad = (m + mr - 1) / mr * mr;
+  return packed + m_pad * pc + (i0 / mr) * kc * mr;
+}
+
+inline const float* PrepackedBBlock(const float* packed, int64_t k,
+                                    int64_t n, int64_t nr, int64_t j0,
+                                    int64_t pc, int64_t kc) {
+  const int64_t nc = std::min(kNC, n - j0);
+  const int64_t nc_pad = (nc + nr - 1) / nr * nr;
+  // Column tiles before j0 are all full (kNC wide, kNC a multiple of nr),
+  // so they occupy exactly k * j0 floats.
+  return packed + k * j0 + nc_pad * pc;
+}
+
 // Computes the C macro-tile [i0, i0+mc) x [j0, j0+nc): packs A/B blocks
-// into this thread's scratch arena and runs the micro-kernel over the
-// register-tile grid. One task owns each C tile and accumulates k-blocks
-// in a fixed order, so results are identical under any thread schedule.
+// into this thread's scratch arena (or indexes the persistent prepacked
+// panels when `prepacked_a` / `prepacked_b` are given) and runs the
+// micro-kernel over the register-tile grid. One task owns each C tile and
+// accumulates k-blocks in a fixed order, so results are identical under
+// any thread schedule — and, because prepacked panels are byte-identical
+// to per-call packs, across the plain and prepacked entry points.
 void ComputeTile(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                  float alpha, const float* a, const float* b, float beta,
                  float* c, const GemmEpilogue& ep, const Kernel& kernel,
+                 const float* prepacked_a, const float* prepacked_b,
                  int64_t i0, int64_t mc, int64_t j0, int64_t nc) {
   const int64_t mr = kernel.mr;
   const int64_t nr = kernel.nr;
@@ -186,14 +211,26 @@ void ComputeTile(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   const int64_t kc_max = std::min(k, kKC);
 
   ScratchScope scope;
-  float* a_pack = scope.Alloc(mc_pad * kc_max);
-  float* b_pack = scope.Alloc(kc_max * nc_pad);
+  float* a_buf = prepacked_a ? nullptr : scope.Alloc(mc_pad * kc_max);
+  float* b_buf = prepacked_b ? nullptr : scope.Alloc(kc_max * nc_pad);
   float acc[kMaxMR * kMaxNR];
 
   for (int64_t pc = 0; pc < k; pc += kKC) {
     const int64_t kc = std::min(kKC, k - pc);
-    PackA(trans_a, a, m, k, i0, mc, pc, kc, mr, a_pack);
-    PackB(trans_b, b, k, n, pc, kc, j0, nc, nr, b_pack);
+    const float* a_pack;
+    if (prepacked_a != nullptr) {
+      a_pack = PrepackedABlock(prepacked_a, m, mr, i0, pc, kc);
+    } else {
+      PackA(trans_a, a, m, k, i0, mc, pc, kc, mr, a_buf);
+      a_pack = a_buf;
+    }
+    const float* b_pack;
+    if (prepacked_b != nullptr) {
+      b_pack = PrepackedBBlock(prepacked_b, k, n, nr, j0, pc, kc);
+    } else {
+      PackB(trans_b, b, k, n, pc, kc, j0, nc, nr, b_buf);
+      b_pack = b_buf;
+    }
     const float blk_beta = (pc == 0) ? beta : 1.0f;
     const bool last = pc + kc >= k;
     for (int64_t jp = 0; jp < nc; jp += nr) {
@@ -229,11 +266,10 @@ void ScaleOnly(int64_t m, int64_t n, float beta, float* c,
   }
 }
 
-}  // namespace
-
-void GemmEx(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
-            float alpha, const float* a, const float* b, float beta, float* c,
-            const GemmEpilogue& ep, bool parallel) {
+void GemmExImpl(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                float alpha, const float* a, const float* b, float beta,
+                float* c, const GemmEpilogue& ep, bool parallel,
+                const float* prepacked_a, const float* prepacked_b) {
   POE_CHECK_GE(m, 0);
   POE_CHECK_GE(n, 0);
   POE_CHECK_GE(k, 0);
@@ -253,8 +289,8 @@ void GemmEx(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
       const int64_t i0 = rt * kMC;
       const int64_t j0 = ct * kNC;
       ComputeTile(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, ep,
-                  kernel, i0, std::min(kMC, m - i0), j0,
-                  std::min(kNC, n - j0));
+                  kernel, prepacked_a, prepacked_b, i0,
+                  std::min(kMC, m - i0), j0, std::min(kNC, n - j0));
     });
     return;
   }
@@ -274,18 +310,30 @@ void GemmEx(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     const int64_t nc = std::min(kNC, n - j0);
     const int64_t nc_pad = (nc + nr - 1) / nr * nr;
     ScratchScope scope;
-    float* a_pack = scope.Alloc(a_pad_max * kc_max);
-    float* b_pack = scope.Alloc(kc_max * nc_pad);
+    float* a_buf = prepacked_a ? nullptr : scope.Alloc(a_pad_max * kc_max);
+    float* b_buf = prepacked_b ? nullptr : scope.Alloc(kc_max * nc_pad);
     float acc[kMaxMR * kMaxNR];
     for (int64_t pc = 0; pc < k; pc += kKC) {
       const int64_t kc = std::min(kKC, k - pc);
-      PackB(trans_b, b, k, n, pc, kc, j0, nc, nr, b_pack);
+      const float* b_pack;
+      if (prepacked_b != nullptr) {
+        b_pack = PrepackedBBlock(prepacked_b, k, n, nr, j0, pc, kc);
+      } else {
+        PackB(trans_b, b, k, n, pc, kc, j0, nc, nr, b_buf);
+        b_pack = b_buf;
+      }
       const float blk_beta = (pc == 0) ? beta : 1.0f;
       const bool last = pc + kc >= k;
       for (int64_t rt = 0; rt < row_tiles; ++rt) {
         const int64_t i0 = rt * kMC;
         const int64_t mc = std::min(kMC, m - i0);
-        PackA(trans_a, a, m, k, i0, mc, pc, kc, mr, a_pack);
+        const float* a_pack;
+        if (prepacked_a != nullptr) {
+          a_pack = PrepackedABlock(prepacked_a, m, mr, i0, pc, kc);
+        } else {
+          PackA(trans_a, a, m, k, i0, mc, pc, kc, mr, a_buf);
+          a_pack = a_buf;
+        }
         for (int64_t jp = 0; jp < nc; jp += nr) {
           const float* bp = b_pack + (jp / nr) * kc * nr;
           const int64_t cols = std::min(nr, nc - jp);
@@ -298,6 +346,85 @@ void GemmEx(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
       }
     }
   }
+}
+
+}  // namespace
+
+void GemmEx(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+            float alpha, const float* a, const float* b, float beta, float* c,
+            const GemmEpilogue& ep, bool parallel) {
+  GemmExImpl(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, ep, parallel,
+             /*prepacked_a=*/nullptr, /*prepacked_b=*/nullptr);
+}
+
+PackedAWeights PackedAWeights::Pack(bool trans_a, int64_t m, int64_t k,
+                                    const float* a) {
+  POE_CHECK_GT(m, 0);
+  POE_CHECK_GT(k, 0);
+  const Kernel& kernel = PickKernel();
+  const int64_t mr = kernel.mr;
+  const int64_t m_pad = (m + mr - 1) / mr * mr;
+  PackedAWeights packed;
+  packed.m_ = m;
+  packed.k_ = k;
+  packed.data_.resize(static_cast<size_t>(m_pad * k));
+  // Layout: ascending k-blocks of kKC, each holding ceil(m/mr) panels of
+  // kc*mr floats — byte-identical to the per-call PackA of every
+  // (row-tile, k-block) the blocked GEMM visits.
+  for (int64_t pc = 0; pc < k; pc += kKC) {
+    const int64_t kc = std::min(kKC, k - pc);
+    PackA(trans_a, a, m, k, /*i0=*/0, /*mc=*/m, pc, kc, mr,
+          packed.data_.data() + m_pad * pc);
+  }
+  return packed;
+}
+
+PackedBWeights PackedBWeights::Pack(bool trans_b, int64_t k, int64_t n,
+                                    const float* b) {
+  POE_CHECK_GT(k, 0);
+  POE_CHECK_GT(n, 0);
+  const Kernel& kernel = PickKernel();
+  const int64_t nr = kernel.nr;
+  PackedBWeights packed;
+  packed.k_ = k;
+  packed.n_ = n;
+  // Layout: per kNC column tile (all full tiles occupy exactly k * kNC
+  // floats; kNC is a multiple of every kernel's NR), ascending k-blocks of
+  // ceil(nc/nr) panels of kc*nr floats.
+  int64_t total = 0;
+  for (int64_t j0 = 0; j0 < n; j0 += kNC) {
+    const int64_t nc = std::min(kNC, n - j0);
+    total += k * ((nc + nr - 1) / nr * nr);
+  }
+  packed.data_.resize(static_cast<size_t>(total));
+  for (int64_t j0 = 0; j0 < n; j0 += kNC) {
+    const int64_t nc = std::min(kNC, n - j0);
+    const int64_t nc_pad = (nc + nr - 1) / nr * nr;
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min(kKC, k - pc);
+      PackB(trans_b, b, k, n, pc, kc, j0, nc, nr,
+            packed.data_.data() + k * j0 + nc_pad * pc);
+    }
+  }
+  return packed;
+}
+
+void GemmPackedA(const PackedAWeights& a, int64_t n, const float* b,
+                 float alpha, float beta, float* c, const GemmEpilogue& ep,
+                 bool parallel) {
+  POE_CHECK(!a.empty()) << "GemmPackedA on unpacked weights";
+  GemmExImpl(/*trans_a=*/false, /*trans_b=*/false, a.m_, n, a.k_, alpha,
+             /*a=*/nullptr, b, beta, c, ep, parallel, a.data_.data(),
+             /*prepacked_b=*/nullptr);
+}
+
+void GemmPackedB(int64_t m, const float* a, bool trans_a,
+                 const PackedBWeights& b, float alpha, float beta, float* c,
+                 const GemmEpilogue& ep, bool parallel) {
+  POE_CHECK(!b.empty()) << "GemmPackedB on unpacked weights";
+  GemmExImpl(trans_a, /*trans_b=*/false, m, b.n_, b.k_, alpha, a,
+             /*b=*/nullptr, beta, c, ep, parallel,
+             /*prepacked_a=*/nullptr, b.data_.data());
 }
 
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,

@@ -4,6 +4,7 @@
 #define POE_TENSOR_GEMM_H_
 
 #include <cstdint>
+#include <vector>
 
 namespace poe {
 
@@ -45,6 +46,77 @@ void GemmSeq(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 void GemmEx(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
             float alpha, const float* a, const float* b, float beta, float* c,
             const GemmEpilogue& epilogue, bool parallel);
+
+/// op(A) of an m x k product pre-packed ONCE into the dispatched kernel's
+/// MR-row panel layout, covering every (row-tile, k-block) of the blocked
+/// GEMM. Serving layers whose weight matrix is the A operand (Conv2d:
+/// [out_channels x ckk]) build this at prepack time so steady-state
+/// forwards skip the per-call PackA pass. The panel bytes are identical to
+/// what the on-the-fly pack produces, so GemmPackedA is bitwise identical
+/// to Gemm/GemmEx. Valid only within the process that packed it (the
+/// layout depends on the dispatched kernel geometry).
+class PackedAWeights {
+ public:
+  PackedAWeights() = default;
+  static PackedAWeights Pack(bool trans_a, int64_t m, int64_t k,
+                             const float* a);
+
+  bool empty() const { return data_.empty(); }
+  int64_t rows() const { return m_; }
+  int64_t depth() const { return k_; }
+  /// Bytes held by the packed panels.
+  int64_t nbytes() const {
+    return static_cast<int64_t>(data_.size() * sizeof(float));
+  }
+
+ private:
+  friend void GemmPackedA(const PackedAWeights&, int64_t, const float*,
+                          float alpha, float beta, float*,
+                          const GemmEpilogue&, bool);
+  std::vector<float> data_;  // per k-block: ceil(m/mr) panels of kc*mr
+  int64_t m_ = 0, k_ = 0;
+};
+
+/// op(B) of a k x n product pre-packed ONCE into the dispatched kernel's
+/// NR-column panel layout, covering every (column-tile, k-block). Serving
+/// layers whose weight matrix is the B operand (Linear: y = x W^T, op(B) =
+/// W^T) build this at prepack time. Bitwise identical to the on-the-fly
+/// path; process-local like PackedAWeights.
+class PackedBWeights {
+ public:
+  PackedBWeights() = default;
+  static PackedBWeights Pack(bool trans_b, int64_t k, int64_t n,
+                             const float* b);
+
+  bool empty() const { return data_.empty(); }
+  int64_t depth() const { return k_; }
+  int64_t cols() const { return n_; }
+  int64_t nbytes() const {
+    return static_cast<int64_t>(data_.size() * sizeof(float));
+  }
+
+ private:
+  friend void GemmPackedB(int64_t, const float*, bool,
+                          const PackedBWeights&, float alpha, float beta,
+                          float*, const GemmEpilogue&, bool);
+  std::vector<float> data_;  // per column tile: k-blocks of panels
+  int64_t k_ = 0, n_ = 0;
+};
+
+/// GemmEx with op(A) pre-packed: C (m x n) = alpha * packed_a * op(B) +
+/// beta * C. Bitwise identical to the equivalent GemmEx call on the
+/// unpacked operand, for every kernel tier and both parallel settings.
+void GemmPackedA(const PackedAWeights& a, int64_t n, const float* b,
+                 float alpha, float beta, float* c, const GemmEpilogue& ep,
+                 bool parallel);
+/// Convenience overload: trans_b variant is not needed by any layer (conv
+/// consumes untransposed im2col columns), so op(B) = B (k x n).
+
+/// GemmEx with op(B) pre-packed: C (m x n) = alpha * op(A) * packed_b +
+/// beta * C, same bitwise guarantee. op(A) is A (m x k) when !trans_a.
+void GemmPackedB(int64_t m, const float* a, bool trans_a,
+                 const PackedBWeights& b, float alpha, float beta, float* c,
+                 const GemmEpilogue& ep, bool parallel);
 
 /// Number of macro-tiles a parallel Gemm/GemmEx would distribute over the
 /// worker pool for an m x n product. Callers choosing between batch-level

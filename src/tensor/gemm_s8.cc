@@ -42,11 +42,23 @@ constexpr int64_t kMaxNR = 32;
 using MicroKernelS8Fn = void (*)(int64_t groups, const uint8_t* a,
                                  const int8_t* b, int32_t* acc);
 
+// Optional SIMD fast paths a kernel may plug in (null = generic loops):
+// a B-panel packer for the kernel's (nr, kr) geometry (!trans_b only) and
+// a vectorized dequantizing store for the kernel's accumulator tile shape.
+using PackBFastFn = void (*)(const int8_t* b, int64_t k, int64_t n,
+                             int64_t j0, int64_t nc, int8_t* out,
+                             int32_t* colsum);
+using DequantStoreFn = void (*)(const int32_t* acc, int64_t rows,
+                                int64_t cols, const int32_t* colsum,
+                                const GemmS8Epilogue& ep, int64_t row0,
+                                int64_t col0, float* c, int64_t ldc);
+
 struct KernelS8 {
   int64_t mr, nr, kr;
   int64_t acc_rs, acc_cs;  // accumulator tile strides (row, column)
   uint8_t shift;  // 128 for u8 x s8 instruction kernels, else 0
-  bool pack_b_fast;  // use the SIMD 16x4 B packer (vnni geometry only)
+  PackBFastFn pack_b_fast;     // nullable, !trans_b geometry only
+  DequantStoreFn store_fast;   // nullable
   MicroKernelS8Fn fn;
   const char* name;
 };
@@ -157,6 +169,141 @@ __attribute__((target("avx2"))) void MicroKernelS8Avx2_6x16(
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r * 16), c0[r]);
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r * 16 + 8),
                         c1[r]);
+  }
+}
+
+// SIMD B packer for the AVX2 geometry (kr = 2, nr = 16, !trans_b),
+// mirroring the VNNI one: each k-group of a panel is a 2x16 byte
+// interleave (one unpacklo/unpackhi pair), and the column sums accumulate
+// vectorized (sign-extend both rows to int16, add, widen to int32).
+__attribute__((target("avx2"))) void PackBs8Avx2_16x2(
+    const int8_t* b, int64_t k, int64_t n, int64_t j0, int64_t nc,
+    int8_t* out, int32_t* colsum) {
+  constexpr int64_t kNr = 16;
+  constexpr int64_t kKr = 2;
+  const int64_t kpad = (k + kKr - 1) / kKr * kKr;
+  const int64_t kfull = k / kKr * kKr;
+  for (int64_t jp = 0; jp < nc; jp += kNr) {
+    const int64_t cols = (nc - jp < kNr) ? nc - jp : kNr;
+    int8_t* panel = out + (jp / kNr) * kpad * kNr;
+    if (cols == kNr) {
+      __m256i sum_lo = _mm256_setzero_si256();  // columns 0..7, int32
+      __m256i sum_hi = _mm256_setzero_si256();  // columns 8..15
+      int8_t* dst = panel;
+      const int8_t* src = b + j0 + jp;
+      for (int64_t p = 0; p < kfull; p += 2, dst += 32) {
+        const __m128i r0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(src + (p + 0) * n));
+        const __m128i r1 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(src + (p + 1) * n));
+        // Interleave to the packed k-group order: dst[c*2 + q] = rq[c].
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                         _mm_unpacklo_epi8(r0, r1));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 16),
+                         _mm_unpackhi_epi8(r0, r1));
+        const __m256i pair16 = _mm256_add_epi16(_mm256_cvtepi8_epi16(r0),
+                                                _mm256_cvtepi8_epi16(r1));
+        sum_lo = _mm256_add_epi32(
+            sum_lo,
+            _mm256_cvtepi16_epi32(_mm256_castsi256_si128(pair16)));
+        sum_hi = _mm256_add_epi32(
+            sum_hi,
+            _mm256_cvtepi16_epi32(_mm256_extracti128_si256(pair16, 1)));
+      }
+      if (kfull < k) {  // odd k: trailing group is (value, 0) pairs
+        const __m128i r0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(src + kfull * n));
+        const __m128i zero = _mm_setzero_si128();
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                         _mm_unpacklo_epi8(r0, zero));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 16),
+                         _mm_unpackhi_epi8(r0, zero));
+        const __m256i last16 = _mm256_cvtepi8_epi16(r0);
+        sum_lo = _mm256_add_epi32(
+            sum_lo,
+            _mm256_cvtepi16_epi32(_mm256_castsi256_si128(last16)));
+        sum_hi = _mm256_add_epi32(
+            sum_hi,
+            _mm256_cvtepi16_epi32(_mm256_extracti128_si256(last16, 1)));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(colsum + jp), sum_lo);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(colsum + jp + 8),
+                          sum_hi);
+    } else {
+      // Edge panel: generic bytewise pack of the partial column set.
+      PackBs8(/*trans_b=*/false, b, k, n, j0 + jp, cols, kNr, kKr, panel,
+              colsum + jp);
+    }
+  }
+}
+
+// Vectorized dequantizing store for the AVX2 tile (6x16, row-major
+// accumulator, shift == 0 so there is no colsum compensation). Performs
+// the exact elementwise operation sequence of DequantOne — mul scale, mul
+// row_scale, mul col_scale, add row_bias, add col_bias, relu — with
+// explicit intrinsics (no contraction), so its results are bitwise
+// identical to the scalar store and therefore across every execution
+// path of this kernel.
+__attribute__((target("avx2"))) void DequantStoreAvx2_6x16(
+    const int32_t* acc, int64_t rows, int64_t cols,
+    const int32_t* /*colsum*/, const GemmS8Epilogue& ep, int64_t row0,
+    int64_t col0, float* c, int64_t ldc) {
+  const __m256i idx =
+      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i mask_lo = _mm256_cmpgt_epi32(
+      _mm256_set1_epi32(static_cast<int>(cols)), idx);
+  const __m256i mask_hi = _mm256_cmpgt_epi32(
+      _mm256_set1_epi32(static_cast<int>(cols) - 8), idx);
+  const __m256 col_scale_lo =
+      ep.col_scale != nullptr
+          ? _mm256_maskload_ps(ep.col_scale + col0, mask_lo)
+          : _mm256_set1_ps(1.0f);
+  const __m256 col_scale_hi =
+      ep.col_scale != nullptr
+          ? _mm256_maskload_ps(ep.col_scale + col0 + 8, mask_hi)
+          : _mm256_set1_ps(1.0f);
+  const __m256 col_bias_lo =
+      ep.col_bias != nullptr
+          ? _mm256_maskload_ps(ep.col_bias + col0, mask_lo)
+          : _mm256_setzero_ps();
+  const __m256 col_bias_hi =
+      ep.col_bias != nullptr
+          ? _mm256_maskload_ps(ep.col_bias + col0 + 8, mask_hi)
+          : _mm256_setzero_ps();
+  const __m256 scale = _mm256_set1_ps(ep.scale);
+  const __m256 zero = _mm256_setzero_ps();
+  for (int64_t r = 0; r < rows; ++r) {
+    __m256 lo = _mm256_cvtepi32_ps(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(acc + r * 16)));
+    __m256 hi = _mm256_cvtepi32_ps(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(acc + r * 16 + 8)));
+    lo = _mm256_mul_ps(lo, scale);
+    hi = _mm256_mul_ps(hi, scale);
+    if (ep.row_scale != nullptr) {
+      const __m256 rs = _mm256_set1_ps(ep.row_scale[row0 + r]);
+      lo = _mm256_mul_ps(lo, rs);
+      hi = _mm256_mul_ps(hi, rs);
+    }
+    if (ep.col_scale != nullptr) {
+      lo = _mm256_mul_ps(lo, col_scale_lo);
+      hi = _mm256_mul_ps(hi, col_scale_hi);
+    }
+    if (ep.row_bias != nullptr) {
+      const __m256 rb = _mm256_set1_ps(ep.row_bias[row0 + r]);
+      lo = _mm256_add_ps(lo, rb);
+      hi = _mm256_add_ps(hi, rb);
+    }
+    if (ep.col_bias != nullptr) {
+      lo = _mm256_add_ps(lo, col_bias_lo);
+      hi = _mm256_add_ps(hi, col_bias_hi);
+    }
+    if (ep.relu) {
+      lo = _mm256_max_ps(lo, zero);
+      hi = _mm256_max_ps(hi, zero);
+    }
+    float* crow = c + (row0 + r) * ldc + col0;
+    _mm256_maskstore_ps(crow, mask_lo, lo);
+    if (cols > 8) _mm256_maskstore_ps(crow + 8, mask_hi, hi);
   }
 }
 
@@ -365,16 +512,18 @@ const KernelS8& PickKernelS8() {
     // to the VNNI kernel); unsupported values fall back to detection.
     const char* env = std::getenv("POE_GEMM_KERNEL");
     const std::string want = env ? env : "";
-    const KernelS8 scalar{6, 16, 4, 16, 1, 0, false,
+    const KernelS8 scalar{6, 16, 4, 16, 1, 0, nullptr, nullptr,
                           MicroKernelS8Scalar6x16, "scalar"};
     if (want == "scalar") return scalar;
 #ifdef POE_GEMM_S8_X86
     const bool has_vnni = __builtin_cpu_supports("avx512vnni") &&
                           __builtin_cpu_supports("avx512bw");
     const bool has_avx2 = __builtin_cpu_supports("avx2");
-    const KernelS8 vnni{16, 16, 4, 1, 16, 128, true,
+    const KernelS8 vnni{16, 16, 4, 1, 16, 128,
+                        PackBs8Vnni16x4, DequantStoreVnni16x16,
                         MicroKernelS8Vnni16x16, "avx512vnni"};
-    const KernelS8 avx2{6, 16, 2, 16, 1, 0, false,
+    const KernelS8 avx2{6, 16, 2, 16, 1, 0,
+                        PackBs8Avx2_16x2, DequantStoreAvx2_6x16,
                         MicroKernelS8Avx2_6x16, "avx2"};
     if (want == "avx512" && has_vnni) return vnni;
     if (want == "avx2" && has_avx2) return avx2;
@@ -402,12 +551,10 @@ void PackADispatch(const KernelS8& kn, bool trans_a, const int8_t* a,
 void PackBDispatch(const KernelS8& kn, bool trans_b, const int8_t* b,
                    int64_t k, int64_t n, int64_t j0, int64_t nc,
                    int8_t* out, int32_t* colsum) {
-#ifdef POE_GEMM_S8_X86
-  if (!trans_b && kn.pack_b_fast) {
-    PackBs8Vnni16x4(b, k, n, j0, nc, out, colsum);
+  if (!trans_b && kn.pack_b_fast != nullptr) {
+    kn.pack_b_fast(b, k, n, j0, nc, out, colsum);
     return;
   }
-#endif
   PackBs8(trans_b, b, k, n, j0, nc, kn.nr, kn.kr, out, colsum);
 }
 
@@ -462,13 +609,11 @@ void MicroLoopsS8(const KernelS8& kernel, const uint8_t* a_pack,
     const int64_t cols = std::min(nr, nc - jp);
     for (int64_t ip = 0; ip < mc; ip += mr) {
       kernel.fn(groups, a_pack + (ip / mr) * kpad * mr, bp, acc);
-#ifdef POE_GEMM_S8_X86
-      if (kernel.acc_rs == 1) {  // VNNI tile: vectorized store
-        DequantStoreVnni16x16(acc, std::min(mr, mc - ip), cols, colsum + jp,
-                              ep, i0 + ip, j0 + jp, c, ldc);
+      if (kernel.store_fast != nullptr) {  // SIMD dequantizing store
+        kernel.store_fast(acc, std::min(mr, mc - ip), cols, colsum + jp,
+                          ep, i0 + ip, j0 + jp, c, ldc);
         continue;
       }
-#endif
       DequantStoreS8(acc, kernel.acc_rs, kernel.acc_cs,
                      std::min(mr, mc - ip), cols, colsum + jp, shift, ep,
                      i0 + ip, j0 + jp, c, ldc);
@@ -476,15 +621,25 @@ void MicroLoopsS8(const KernelS8& kernel, const uint8_t* a_pack,
   }
 }
 
+// Offsets into a persistent prepacked op(B): per column tile the panels
+// occupy kpad * nc_pad bytes and the colsums nc_pad entries; every tile
+// before j0 is full (kNC wide, kNC a multiple of every NR), so tile bases
+// are kpad * j0 / j0 exactly.
+struct PrepackedS8B {
+  const int8_t* data;
+  const int32_t* colsum;
+};
+
 // Computes the C macro-tile [i0, i0+mc) x [j0, j0+nc) from scratch-packed
 // panels. `prepacked_a` (kernel-layout panels for the full m, from
 // PackedS8Weights) skips the A pack; it requires i0 % mr == 0, which holds
-// because kMC is a multiple of every MR.
+// because kMC is a multiple of every MR. `prepacked_b` (panels + colsums
+// for the full k x n, from PackedS8BWeights) likewise skips the B pack.
 void ComputeTileS8(bool trans_a, bool trans_b, int64_t m, int64_t n,
                    int64_t k, const int8_t* a, const int8_t* b, float* c,
                    const GemmS8Epilogue& ep, const KernelS8& kernel,
-                   const uint8_t* prepacked_a, int64_t i0, int64_t mc,
-                   int64_t j0, int64_t nc) {
+                   const uint8_t* prepacked_a, const PrepackedS8B* prepacked_b,
+                   int64_t i0, int64_t mc, int64_t j0, int64_t nc) {
   const int64_t mr = kernel.mr;
   const int64_t nr = kernel.nr;
   const int64_t kpad = (k + kernel.kr - 1) / kernel.kr * kernel.kr;
@@ -500,9 +655,18 @@ void ComputeTileS8(bool trans_a, bool trans_b, int64_t m, int64_t n,
     PackADispatch(kernel, trans_a, a, m, k, i0, mc, buf);
     a_pack = buf;
   }
-  int8_t* b_pack = AllocS8(scope, nc_pad * kpad);
-  int32_t colsum[kNC];
-  PackBDispatch(kernel, trans_b, b, k, n, j0, nc, b_pack, colsum);
+  const int8_t* b_pack;
+  const int32_t* colsum;
+  int32_t colsum_buf[kNC];
+  if (prepacked_b != nullptr) {
+    b_pack = prepacked_b->data + kpad * j0;
+    colsum = prepacked_b->colsum + j0;
+  } else {
+    int8_t* buf = AllocS8(scope, nc_pad * kpad);
+    PackBDispatch(kernel, trans_b, b, k, n, j0, nc, buf, colsum_buf);
+    b_pack = buf;
+    colsum = colsum_buf;
+  }
   MicroLoopsS8(kernel, a_pack, b_pack, colsum, kpad, i0, mc, j0, nc, ep, c,
                n);
 }
@@ -510,7 +674,8 @@ void ComputeTileS8(bool trans_a, bool trans_b, int64_t m, int64_t n,
 void GemmS8Impl(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                 const int8_t* a, const int8_t* b, float* c,
                 const GemmS8Epilogue& ep, bool parallel,
-                const uint8_t* prepacked_a) {
+                const uint8_t* prepacked_a,
+                const PrepackedS8B* prepacked_b) {
   POE_CHECK_GE(m, 0);
   POE_CHECK_GE(n, 0);
   POE_CHECK_GE(k, 0);
@@ -532,7 +697,7 @@ void GemmS8Impl(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
       const int64_t i0 = rt * kMC;
       const int64_t j0 = ct * kNC;
       ComputeTileS8(trans_a, trans_b, m, n, k, a, b, c, ep, kernel,
-                    prepacked_a, i0, std::min(kMC, m - i0), j0,
+                    prepacked_a, prepacked_b, i0, std::min(kMC, m - i0), j0,
                     std::min(kNC, n - j0));
     });
     return;
@@ -547,9 +712,18 @@ void GemmS8Impl(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     const int64_t nc = std::min(kNC, n - j0);
     const int64_t nc_pad = (nc + kernel.nr - 1) / kernel.nr * kernel.nr;
     ScratchScope scope;
-    int8_t* b_pack = AllocS8(scope, nc_pad * kpad);
-    int32_t colsum[kNC];
-    PackBDispatch(kernel, trans_b, b, k, n, j0, nc, b_pack, colsum);
+    const int8_t* b_pack;
+    const int32_t* colsum;
+    int32_t colsum_buf[kNC];
+    if (prepacked_b != nullptr) {
+      b_pack = prepacked_b->data + kpad * j0;
+      colsum = prepacked_b->colsum + j0;
+    } else {
+      int8_t* buf = AllocS8(scope, nc_pad * kpad);
+      PackBDispatch(kernel, trans_b, b, k, n, j0, nc, buf, colsum_buf);
+      b_pack = buf;
+      colsum = colsum_buf;
+    }
     for (int64_t rt = 0; rt < row_tiles; ++rt) {
       const int64_t i0 = rt * kMC;
       const int64_t mc = std::min(kMC, m - i0);
@@ -575,7 +749,7 @@ void GemmS8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
             const int8_t* a, const int8_t* b, float* c,
             const GemmS8Epilogue& epilogue, bool parallel) {
   GemmS8Impl(trans_a, trans_b, m, n, k, a, b, c, epilogue, parallel,
-             /*prepacked_a=*/nullptr);
+             /*prepacked_a=*/nullptr, /*prepacked_b=*/nullptr);
 }
 
 PackedS8Weights PackedS8Weights::Pack(int64_t m, int64_t k,
@@ -599,7 +773,67 @@ void GemmS8PackedA(const PackedS8Weights& a, int64_t n, const int8_t* b,
                    float* c, const GemmS8Epilogue& epilogue, bool parallel) {
   POE_CHECK(!a.empty()) << "GemmS8PackedA on unpacked weights";
   GemmS8Impl(/*trans_a=*/false, /*trans_b=*/false, a.m_, n, a.k_,
-             /*a=*/nullptr, b, c, epilogue, parallel, a.data_.data());
+             /*a=*/nullptr, b, c, epilogue, parallel, a.data_.data(),
+             /*prepacked_b=*/nullptr);
+}
+
+void PackedS8Weights::Unpack(int8_t* out) const {
+  POE_CHECK(!empty()) << "Unpack on empty PackedS8Weights";
+  const KernelS8& kernel = PickKernelS8();
+  const int64_t mr = kernel.mr;
+  const int64_t kr = kernel.kr;
+  const int64_t kpad = (k_ + kr - 1) / kr * kr;
+  const uint8_t shift = kernel.shift;
+  // Inverse of the panel layout (see pack_s8.h): value(i, p) lives at
+  // panel (i/mr), k-group (p/kr), row run i%mr, byte p%kr — shifted.
+  for (int64_t i = 0; i < m_; ++i) {
+    const uint8_t* panel = data_.data() + (i / mr) * kpad * mr;
+    const int64_t r = i % mr;
+    for (int64_t p = 0; p < k_; ++p) {
+      const uint8_t byte = panel[(p / kr) * mr * kr + r * kr + (p % kr)];
+      out[i * k_ + p] = static_cast<int8_t>(byte - shift);
+    }
+  }
+}
+
+PackedS8BWeights PackedS8BWeights::Pack(bool trans_b, int64_t k, int64_t n,
+                                        const int8_t* b) {
+  POE_CHECK_GT(k, 0);
+  POE_CHECK_GT(n, 0);
+  POE_CHECK_LE(k, kMaxK);
+  const KernelS8& kernel = PickKernelS8();
+  const int64_t nr = kernel.nr;
+  const int64_t kpad = (k + kernel.kr - 1) / kernel.kr * kernel.kr;
+  PackedS8BWeights packed;
+  packed.k_ = k;
+  packed.n_ = n;
+  // Layout: per kNC column tile (full tiles occupy exactly kpad * kNC
+  // panel bytes and kNC colsums; kNC is a multiple of every kernel's NR),
+  // panels + nr-padded column sums exactly as the per-call pack emits.
+  int64_t pad_cols = 0;
+  for (int64_t j0 = 0; j0 < n; j0 += kNC) {
+    const int64_t nc = std::min(kNC, n - j0);
+    pad_cols += (nc + nr - 1) / nr * nr;
+  }
+  packed.data_.resize(static_cast<size_t>(kpad * pad_cols));
+  packed.colsum_.resize(static_cast<size_t>(pad_cols));
+  for (int64_t j0 = 0; j0 < n; j0 += kNC) {
+    const int64_t nc = std::min(kNC, n - j0);
+    PackBDispatch(kernel, trans_b, b, k, n, j0, nc,
+                  packed.data_.data() + kpad * j0,
+                  packed.colsum_.data() + j0);
+  }
+  return packed;
+}
+
+void GemmS8PackedB(bool trans_a, int64_t m, const int8_t* a,
+                   const PackedS8BWeights& b, float* c,
+                   const GemmS8Epilogue& epilogue, bool parallel) {
+  POE_CHECK(!b.empty()) << "GemmS8PackedB on unpacked weights";
+  const PrepackedS8B pb{b.data_.data(), b.colsum_.data()};
+  GemmS8Impl(trans_a, /*trans_b=*/false, m, b.n_, b.k_, a,
+             /*b=*/nullptr, c, epilogue, parallel,
+             /*prepacked_a=*/nullptr, &pb);
 }
 
 void GemmS8Ref(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
@@ -620,15 +854,64 @@ void GemmS8Ref(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 
 const char* GemmS8KernelName() { return PickKernelS8().name; }
 
+namespace {
+
+#ifdef POE_GEMM_S8_X86
+// Vectorized activation quantization: 32 elements per iteration. Performs
+// exactly QuantizeOneS8's operation sequence — scale, clamp to ±127, add
+// sign(v)*0.5, truncate toward zero — so outputs are bitwise identical to
+// the scalar loop (the saturating packs are no-ops on pre-clamped
+// values; sign-select rounds -0.0 to 0 like the >= 0 test does). This
+// pass runs over every activation element of every int8 forward, so it
+// matters as soon as the per-call weight pack is gone.
+__attribute__((target("avx2"))) void QuantizeBufferS8Avx2(
+    const float* src, int64_t n, float inv_scale, int8_t* dst) {
+  const __m256 inv = _mm256_set1_ps(inv_scale);
+  const __m256 lo = _mm256_set1_ps(-127.0f);
+  const __m256 hi = _mm256_set1_ps(127.0f);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  const __m256i regroup = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i q[4];
+    for (int v = 0; v < 4; ++v) {
+      __m256 x = _mm256_loadu_ps(src + i + v * 8);
+      x = _mm256_mul_ps(x, inv);
+      // min(x, 127) first: MINPS returns the SECOND operand on NaN, so a
+      // NaN clamps to 127 exactly like the scalar std::min(127, NaN).
+      x = _mm256_max_ps(_mm256_min_ps(x, hi), lo);
+      const __m256 rnd = _mm256_or_ps(_mm256_and_ps(x, sign_mask), half);
+      q[v] = _mm256_cvttps_epi32(_mm256_add_ps(x, rnd));
+    }
+    // 4x8 int32 -> 32 int8; packs work lane-wise, the permute restores
+    // element order (groups 0,4,1,5,... are q0[0:4), q0[4:8), q1[0:4)...).
+    const __m256i p01 = _mm256_packs_epi32(q[0], q[1]);
+    const __m256i p23 = _mm256_packs_epi32(q[2], q[3]);
+    const __m256i packed = _mm256_permutevar8x32_epi32(
+        _mm256_packs_epi16(p01, p23), regroup);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), packed);
+  }
+  for (; i < n; ++i) dst[i] = QuantizeOneS8(src[i], inv_scale);
+}
+#endif  // POE_GEMM_S8_X86
+
+}  // namespace
+
 void QuantizeBufferS8(const float* src, int64_t n, float inv_scale,
                       int8_t* dst) {
-  for (int64_t i = 0; i < n; ++i) {
-    float v = src[i] * inv_scale;
-    v = std::max(-127.0f, std::min(127.0f, v));
-    // Round half away from zero (the project-wide int8 rounding rule).
-    dst[i] = static_cast<int8_t>(
-        static_cast<int32_t>(v + (v >= 0.0f ? 0.5f : -0.5f)));
+  // One rounding rule for every int8 producer (see QuantizeOneS8). The
+  // AVX2 path is bitwise identical, so it engages on CPU capability alone
+  // (independent of the POE_GEMM_KERNEL override, which pins kernel
+  // GEOMETRY, not elementwise arithmetic).
+#ifdef POE_GEMM_S8_X86
+  static const bool kHasAvx2 = __builtin_cpu_supports("avx2");
+  if (kHasAvx2) {
+    QuantizeBufferS8Avx2(src, n, inv_scale, dst);
+    return;
   }
+#endif
+  for (int64_t i = 0; i < n; ++i) dst[i] = QuantizeOneS8(src[i], inv_scale);
 }
 
 float SymmetricScaleS8(const float* src, int64_t n) {

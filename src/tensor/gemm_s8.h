@@ -5,6 +5,7 @@
 #ifndef POE_TENSOR_GEMM_S8_H_
 #define POE_TENSOR_GEMM_S8_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -51,6 +52,13 @@ class PackedS8Weights {
   PackedS8Weights() = default;
   static PackedS8Weights Pack(int64_t m, int64_t k, const int8_t* a);
 
+  /// Reconstructs the original row-major m x k int8 matrix into `out`
+  /// (m*k entries) — the exact inverse of Pack for this process's kernel.
+  /// Serialization exports through this, so persisted int8 pools stay
+  /// kernel-layout independent without holding a second raw copy of the
+  /// weights in memory.
+  void Unpack(int8_t* out) const;
+
   bool empty() const { return data_.empty(); }
   int64_t rows() const { return m_; }
   int64_t depth() const { return k_; }
@@ -70,6 +78,45 @@ class PackedS8Weights {
 void GemmS8PackedA(const PackedS8Weights& a, int64_t n, const int8_t* b,
                    float* c, const GemmS8Epilogue& epilogue, bool parallel);
 
+/// op(B) of a k x n int8 product pre-packed ONCE into the dispatched
+/// kernel's NR-column / KR-group panel layout, column sums included (the
+/// shift-compensation term the dequantizing store needs). Linear's int8
+/// serving weight is op(B) = W^T — its per-call transposed PackBs8 was the
+/// dominant cost at BM_LinearForwardInt8 geometry, and this form deletes
+/// it. Panel bytes and colsums are identical to the on-the-fly pack, so
+/// GemmS8PackedB is bitwise identical to GemmS8. Process-local (layout
+/// depends on the dispatched kernel geometry).
+class PackedS8BWeights {
+ public:
+  PackedS8BWeights() = default;
+  static PackedS8BWeights Pack(bool trans_b, int64_t k, int64_t n,
+                               const int8_t* b);
+
+  bool empty() const { return data_.empty(); }
+  int64_t depth() const { return k_; }
+  int64_t cols() const { return n_; }
+  /// Bytes held by the packed panels plus the column sums.
+  int64_t nbytes() const {
+    return static_cast<int64_t>(data_.size()) +
+           static_cast<int64_t>(colsum_.size() * sizeof(int32_t));
+  }
+
+ private:
+  friend void GemmS8PackedB(bool, int64_t, const int8_t*,
+                            const PackedS8BWeights&, float*,
+                            const GemmS8Epilogue&, bool);
+  std::vector<int8_t> data_;     // per column tile: kpad*nr panels
+  std::vector<int32_t> colsum_;  // per packed column (nr-padded per tile)
+  int64_t k_ = 0, n_ = 0;
+};
+
+/// GemmS8 with op(B) pre-packed: C (m x n) = epilogue(op(A) * packed_b)
+/// where op(A) is A (m x k) when !trans_a. The linear serving path
+/// (activations are A, untransposed).
+void GemmS8PackedB(bool trans_a, int64_t m, const int8_t* a,
+                   const PackedS8BWeights& b, float* c,
+                   const GemmS8Epilogue& epilogue, bool parallel);
+
 /// Naive triple-loop reference with exact int32 accumulation and the same
 /// epilogue arithmetic (bitwise-identical outputs). The test oracle.
 void GemmS8Ref(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
@@ -81,6 +128,20 @@ void GemmS8Ref(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 /// forces a variant ("avx512" selects the VNNI kernel; unsupported values
 /// fall back to auto-detection).
 const char* GemmS8KernelName();
+
+/// The project-wide int8 rounding rule for one value: scale, clamp to
+/// [-127, 127], round half away from zero. QuantizeBufferS8 and the fused
+/// quantizing im2col both apply exactly this, so quantize-then-gather and
+/// gather-then-quantize produce bitwise identical columns.
+inline int8_t QuantizeOneS8(float v, float inv_scale) {
+  v *= inv_scale;
+  // min-first clamp order absorbs NaN to 127 (std::min(127, NaN) == 127),
+  // matching the vectorized path's MINPS(x, 127) semantics — no UB cast,
+  // no scalar/SIMD divergence on pathological inputs.
+  v = std::max(-127.0f, std::min(127.0f, v));
+  return static_cast<int8_t>(
+      static_cast<int32_t>(v + (v >= 0.0f ? 0.5f : -0.5f)));
+}
 
 /// Quantizes `n` f32 values symmetrically to int8 with `inv_scale` =
 /// 1 / SymmetricScaleS8(...) (round half away from zero, clamped to

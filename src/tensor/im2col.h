@@ -19,6 +19,22 @@ void Im2Col(const int8_t* image, int64_t channels, int64_t height,
             int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t pad,
             int64_t stride, int8_t* columns);
 
+/// Fused quantize + unfold: gathers straight from the f32 image and
+/// quantizes each element as it lands in the column matrix (`inv_scale` =
+/// 1 / activation scale, QuantizeOneS8 rounding; stride-1 spans run the
+/// vectorized quantizer). Bitwise identical to QuantizeBufferS8 followed
+/// by the int8 Im2Col (quantization is elementwise and quantized zero
+/// padding is exactly 0). Measurement note (docs/PERF.md): the unfold
+/// reads each element up to k*k times, so fusing re-quantizes where the
+/// two-pass route re-copies bytes — ~2x slower at WRN 3x3 geometries —
+/// and Conv2d therefore serves k > 1 via the two-pass route (pointwise
+/// convs quantize directly into the column matrix, the fully fused
+/// degenerate case).
+void Im2ColQuantize(const float* image, int64_t channels, int64_t height,
+                    int64_t width, int64_t kernel_h, int64_t kernel_w,
+                    int64_t pad, int64_t stride, float inv_scale,
+                    int8_t* columns);
+
 /// Inverse accumulation of Im2Col: scatters the column matrix back into the
 /// image gradient (adds into `image_grad`, which the caller must zero).
 void Col2Im(const float* columns, int64_t channels, int64_t height,

@@ -130,6 +130,103 @@ TEST_F(PoolSerializationTest, SaveLoadPreservesLogitsBitExact) {
   EXPECT_EQ(MaxAbsDiff(m1.Logits(x), m2.Logits(x)), 0.0f);
 }
 
+// An untrained pool assembled from fresh modules: serialization fidelity
+// does not care how well the experts learned, and conversion to int8 is
+// irreversible so the shared trained fixture must not be touched.
+ExpertPool MakeUntrainedPool() {
+  Rng rng(99);
+  WrnConfig lib_cfg = TinyLibraryConfig();
+  auto library = BuildLibraryPart(lib_cfg, rng);
+  std::vector<std::vector<int>> tasks = {{0, 1}, {2, 3}, {4, 5}};
+  std::vector<std::shared_ptr<Sequential>> experts;
+  for (const auto& classes : tasks) {
+    WrnConfig ecfg = lib_cfg;
+    ecfg.ks = 0.5;
+    ecfg.num_classes = static_cast<int>(classes.size());
+    experts.push_back(
+        BuildExpertPart(ecfg, lib_cfg.conv3_channels(), rng));
+  }
+  auto hierarchy = ClassHierarchy::FromTasks(std::move(tasks));
+  return ExpertPool(lib_cfg, 0.5, std::move(hierarchy).ValueOrDie(),
+                    std::move(library), std::move(experts));
+}
+
+// The int8 persistence path end to end: calibrate -> convert -> save ->
+// load must come back at int8 precision with NO f32 weight
+// materialization, identical byte footprint, and bitwise identical
+// serving (quantized values, scales, and static activation scales all
+// survive verbatim; the GEMM kernels are the same process's).
+TEST(Int8PoolSerializationTest, CalibratedInt8PoolRoundTripsBitExact) {
+  ExpertPool pool = MakeUntrainedPool();
+  Rng rng(12);
+  Tensor samples = Tensor::Randn({4, 3, 6, 6}, rng);
+  ASSERT_TRUE(pool.CalibrateActivations(samples).ok());
+  ASSERT_TRUE(pool.SetServingPrecision(ServingPrecision::kInt8).ok());
+
+  Tensor x = Tensor::Randn({3, 3, 6, 6}, rng);
+  TaskModel m1 = pool.Query({0, 1, 2}).ValueOrDie();
+  Tensor y1 = m1.Logits(x);
+
+  const std::string path = TempPath("pool_int8_roundtrip.poe");
+  ASSERT_TRUE(pool.Save(path).ok());
+  auto loaded = ExpertPool::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpertPool pool2 = std::move(loaded).ValueOrDie();
+
+  EXPECT_EQ(pool2.serving_precision(), ServingPrecision::kInt8);
+  // No f32 weight storage came back: the quantized state was adopted
+  // directly, so the held footprint matches the source pool's exactly.
+  EXPECT_EQ(pool2.ServingBytes(), pool.ServingBytes());
+  TaskModel m2 = pool2.Query({0, 1, 2}).ValueOrDie();
+  EXPECT_EQ(MaxAbsDiff(y1, m2.Logits(x)), 0.0f);
+}
+
+// Calibration must survive an f32 save/load: a calibrated pool saved
+// BEFORE its int8 conversion must not silently fall back to dynamic
+// activation quantization after loading. Converting both pools must then
+// serve bitwise identically.
+TEST(Int8PoolSerializationTest, CalibrationSurvivesF32SaveLoad) {
+  ExpertPool pool = MakeUntrainedPool();
+  Rng rng(14);
+  Tensor samples = Tensor::Randn({4, 3, 6, 6}, rng);
+  ASSERT_TRUE(pool.CalibrateActivations(samples).ok());
+
+  const std::string path = TempPath("pool_calibrated_f32.poe");
+  ASSERT_TRUE(pool.Save(path).ok());
+  auto loaded = ExpertPool::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpertPool pool2 = std::move(loaded).ValueOrDie();
+  EXPECT_EQ(pool2.serving_precision(), ServingPrecision::kFloat32);
+
+  std::vector<Module*> q1, q2;
+  pool.library()->CollectQuantizable(&q1);
+  pool2.library()->CollectQuantizable(&q2);
+  ASSERT_EQ(q1.size(), q2.size());
+  ASSERT_FALSE(q1.empty());
+  for (size_t i = 0; i < q1.size(); ++i) {
+    EXPECT_GT(q1[i]->static_act_scale(), 0.0f);
+    EXPECT_EQ(q1[i]->static_act_scale(), q2[i]->static_act_scale());
+  }
+
+  ASSERT_TRUE(pool.SetServingPrecision(ServingPrecision::kInt8).ok());
+  ASSERT_TRUE(pool2.SetServingPrecision(ServingPrecision::kInt8).ok());
+  Tensor x = Tensor::Randn({3, 3, 6, 6}, rng);
+  TaskModel m1 = pool.Query({0, 1}).ValueOrDie();
+  TaskModel m2 = pool2.Query({0, 1}).ValueOrDie();
+  EXPECT_EQ(MaxAbsDiff(m1.Logits(x), m2.Logits(x)), 0.0f);
+}
+
+// Calibration must precede the int8 conversion (it observes f32
+// forwards).
+TEST(Int8PoolSerializationTest, CalibrationAfterConversionIsRejected) {
+  ExpertPool pool = MakeUntrainedPool();
+  ASSERT_TRUE(pool.SetServingPrecision(ServingPrecision::kInt8).ok());
+  Rng rng(13);
+  Tensor samples = Tensor::Randn({2, 3, 6, 6}, rng);
+  EXPECT_EQ(pool.CalibrateActivations(samples).code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST_F(PoolSerializationTest, LoadMissingFileIsNotFound) {
   auto r = ExpertPool::Load(TempPath("does_not_exist.poe"));
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);

@@ -13,6 +13,11 @@ auto-dispatch picks different kernels on different fleets (avx512 on one
 recorder, avx2 on a hosted runner) and their ratios are not comparable;
 avx2 is the portable lowest common denominator of x86-64 CI fleets.
 
+Alongside the scalar/SIMD ratios, the gate tracks int8-vs-f32 ratios
+(CROSS_RATIOS) measured within the SIMD run, so a quantized-kernel-only
+regression fails CI even when the scalar int8 kernel regresses in
+lockstep and keeps the scalar/SIMD ratio flat.
+
   record  writes the committed baseline from two google-benchmark JSONs
   check   compares HEAD's ratios against the baseline:
             - >2x collapse of a ratio  -> FAIL (exit 1)
@@ -30,6 +35,17 @@ import sys
 
 FAIL_FACTOR = 2.0  # ratio collapsed to < baseline/2 -> hard failure
 ADVISORY_BAND = 0.25  # +-25% drift -> warning, not failure
+
+# Cross-benchmark ratios computed within the SIMD run alone: the f32 GEMM
+# time over the int8 GEMM time at the same geometry (same machine, same
+# job). An int8-only collapse — a broken VNNI/AVX2 int8 dispatch, a
+# de-vectorized pack or dequantizing store — leaves every scalar-vs-SIMD
+# ratio healthy (the scalar int8 kernel degrades in lockstep) but
+# collapses THIS ratio, so it gates exactly like a SIMD collapse does.
+CROSS_RATIOS = {
+    "int8_vs_f32/Gemm/64": ("BM_Gemm/64", "BM_GemmS8/64"),
+    "int8_vs_f32/Gemm/256": ("BM_Gemm/256", "BM_GemmS8/256"),
+}
 
 
 def load_benchmark_times(path):
@@ -52,6 +68,9 @@ def compute_ratios(scalar_path, simd_path):
     for name in sorted(scalar.keys() & simd.keys()):
         if simd[name] > 0:
             ratios[name] = scalar[name] / simd[name]
+    for name, (f32_name, int8_name) in CROSS_RATIOS.items():
+        if simd.get(int8_name, 0) > 0 and f32_name in simd:
+            ratios[name] = simd[f32_name] / simd[int8_name]
     return ratios
 
 

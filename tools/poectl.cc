@@ -10,6 +10,12 @@
 //       Assembles the task-specific model and reports its size/latency.
 //   poectl bench <pool.poe> [num_queries]
 //       Measures service-phase latency over random composite queries.
+//   poectl calibrate <pool.poe> <out.poe> [num_samples] [hw]
+//       Static activation calibration: runs a sample batch through every
+//       layer recording activation ranges, converts the pool to packed
+//       int8 serving with those static scales, and saves the int8 pool —
+//       which then loads straight to dequant-free, prepacked serving (no
+//       f32 round-trip, no per-forward max-abs pass).
 //   poectl serve-bench <pool.poe> [clients] [queries_per_client]
 //       Drives the concurrent serving runtime (sharded single-flight
 //       cache + batching inference server) with client threads issuing
@@ -105,6 +111,41 @@ int CmdBuild(int argc, char** argv) {
   return 0;
 }
 
+int CmdCalibrate(const std::string& in_path, const std::string& out_path,
+                 int num_samples, int hw) {
+  auto loaded = ExpertPool::Load(in_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  ExpertPool pool = std::move(loaded).ValueOrDie();
+  Rng rng(11);
+  Tensor samples = Tensor::Randn(
+      {num_samples, pool.library_config().in_channels, hw, hw}, rng);
+  Stopwatch sw;
+  Status s = pool.CalibrateActivations(samples);
+  if (!s.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("calibrated activation scales over %d samples in %.1fms\n",
+              num_samples, sw.ElapsedMillis());
+  s = pool.SetServingPrecision(ServingPrecision::kInt8);
+  if (!s.ok()) {
+    std::fprintf(stderr, "int8 conversion failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  s = pool.Save(out_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("int8 pool (static scales, %lld weight bytes) written to %s\n",
+              static_cast<long long>(pool.ServingBytes()), out_path.c_str());
+  return 0;
+}
+
 int CmdInfo(const std::string& path) {
   auto loaded = ExpertPool::Load(path);
   if (!loaded.ok()) {
@@ -112,11 +153,14 @@ int CmdInfo(const std::string& path) {
     return 1;
   }
   ExpertPool pool = std::move(loaded).ValueOrDie();
-  std::printf("pool: %s\n", path.c_str());
+  const bool int8 = pool.serving_precision() == ServingPrecision::kInt8;
+  std::printf("pool: %s (serving %s, %lld weight bytes)\n", path.c_str(),
+              int8 ? "int8" : "f32",
+              static_cast<long long>(pool.ServingBytes()));
   std::printf("library: %s (%lld params, %lld bytes)\n",
               pool.library_config().ToString().c_str(),
               static_cast<long long>(pool.library()->NumParams()),
-              static_cast<long long>(ModuleStateBytes(*pool.library())));
+              static_cast<long long>(HeldStateBytes(*pool.library())));
   TablePrinter table({"Expert", "Classes", "Params", "Bytes"});
   for (int t = 0; t < pool.num_experts(); ++t) {
     std::string classes;
@@ -125,7 +169,7 @@ int CmdInfo(const std::string& path) {
     }
     table.AddRow({std::to_string(t), classes,
                   std::to_string(pool.expert(t)->NumParams()),
-                  TablePrinter::HumanBytes(ModuleStateBytes(*pool.expert(t)))});
+                  TablePrinter::HumanBytes(HeldStateBytes(*pool.expert(t)))});
   }
   std::printf("%s", table.ToString().c_str());
   return 0;
@@ -283,6 +327,7 @@ int Usage() {
                "  poectl info  <pool.poe>\n"
                "  poectl query <pool.poe> <task,task,...>\n"
                "  poectl bench <pool.poe> [num_queries]\n"
+               "  poectl calibrate <pool.poe> <out.poe> [num_samples] [hw]\n"
                "  poectl serve-bench <pool.poe> [clients] "
                "[queries_per_client]\n");
   return 2;
@@ -296,6 +341,10 @@ int Main(int argc, char** argv) {
   if (cmd == "query" && argc >= 4) return CmdQuery(argv[2], argv[3]);
   if (cmd == "bench") {
     return CmdBench(argv[2], argc > 3 ? std::atoi(argv[3]) : 100);
+  }
+  if (cmd == "calibrate" && argc >= 4) {
+    return CmdCalibrate(argv[2], argv[3], argc > 4 ? std::atoi(argv[4]) : 64,
+                        argc > 5 ? std::atoi(argv[5]) : 8);
   }
   if (cmd == "serve-bench") {
     return CmdServeBench(argv[2], argc > 3 ? std::atoi(argv[3]) : 4,
