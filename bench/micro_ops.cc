@@ -4,6 +4,7 @@
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
+#include "tensor/conv_direct.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_s8.h"
 #include "tensor/ops.h"
@@ -165,7 +166,8 @@ BENCHMARK(BM_ConvWrnInt8)
 // Int8 conv with a static calibrated activation scale: the per-forward
 // max-abs pass over the input disappears (the fused quantizing im2col
 // already removed the separate quantization pass). Rates compare
-// row-for-row against BM_ConvWrnInt8.
+// row-for-row against BM_ConvWrnInt8. Pinned to the im2col lowering so it
+// stays the baseline BM_ConvWrnDirectInt8 is gated against.
 void BM_ConvWrnInt8Calibrated(benchmark::State& state) {
   const int64_t in_c = state.range(0);
   const int64_t out_c = state.range(1);
@@ -181,10 +183,13 @@ void BM_ConvWrnInt8Calibrated(benchmark::State& state) {
   conv.Forward(x, false);
   conv.FinishActivationCalibration();
   conv.PrepareInt8Serving();
+  const ConvPath prev = ConvPathChoice();
+  SetConvPath(ConvPath::kIm2Col);
   for (auto _ : state) {
     Tensor y = conv.Forward(x, false);
     benchmark::DoNotOptimize(y.data());
   }
+  SetConvPath(prev);
   const int64_t out_hw = (hw + 2 * pad - kernel) / stride + 1;
   state.SetItemsProcessed(state.iterations() * batch * out_c * out_hw *
                           out_hw * in_c * kernel * kernel * 2);
@@ -193,10 +198,14 @@ void BM_ConvWrnInt8Calibrated(benchmark::State& state) {
 BENCHMARK(BM_ConvWrnInt8Calibrated)
     ->Args({3, 16, 32, 1, 3})     // stem (activation-pass heavy)
     ->Args({64, 64, 32, 1, 3})    // conv2 group body
+    ->Args({128, 128, 16, 1, 3})  // conv3 group body
+    ->Args({256, 256, 8, 1, 3})   // conv4 group body
     ->Args({256, 256, 8, 1, 1});  // 1x1 pointwise fast path
 
 // F32 conv with prepacked op(A) weight panels (pack-once serving) vs the
 // per-call PackA of BM_ConvWrn — same rows, bitwise identical outputs.
+// Pinned to the im2col lowering so it stays the baseline BM_ConvWrnDirect
+// is gated against.
 void BM_ConvWrnPrepacked(benchmark::State& state) {
   const int64_t in_c = state.range(0);
   const int64_t out_c = state.range(1);
@@ -209,10 +218,13 @@ void BM_ConvWrnPrepacked(benchmark::State& state) {
   Conv2d conv(in_c, out_c, kernel, stride, pad, rng);
   conv.Prepack(ServingPrecision::kFloat32);
   Tensor x = Tensor::Randn({batch, in_c, hw, hw}, rng);
+  const ConvPath prev = ConvPathChoice();
+  SetConvPath(ConvPath::kIm2Col);
   for (auto _ : state) {
     Tensor y = conv.Forward(x, false);
     benchmark::DoNotOptimize(y.data());
   }
+  SetConvPath(prev);
   const int64_t out_hw = (hw + 2 * pad - kernel) / stride + 1;
   state.SetItemsProcessed(state.iterations() * batch * out_c * out_hw *
                           out_hw * in_c * kernel * kernel * 2);
@@ -221,7 +233,80 @@ void BM_ConvWrnPrepacked(benchmark::State& state) {
 BENCHMARK(BM_ConvWrnPrepacked)
     ->Args({3, 16, 32, 1, 3})     // stem
     ->Args({64, 64, 32, 1, 3})    // conv2 group body
+    ->Args({128, 128, 16, 1, 3})  // conv3 group body
+    ->Args({256, 256, 8, 1, 3})   // conv4 group body
     ->Args({256, 256, 8, 1, 1});  // 1x1 pointwise fast path
+
+// Im2col-free direct convolution: the GEMM's B pack gathers shifted row
+// views of the zero-padded image, so the im2col matrix is never
+// materialized. Same prepacked weights and shapes as BM_ConvWrnPrepacked;
+// outputs are bitwise identical (test-pinned), only the lowering differs.
+void BM_ConvWrnDirect(benchmark::State& state) {
+  const int64_t in_c = state.range(0);
+  const int64_t out_c = state.range(1);
+  const int64_t hw = state.range(2);
+  const int64_t stride = state.range(3);
+  const int64_t kernel = state.range(4);
+  const int64_t pad = kernel / 2;
+  const int64_t batch = 8;
+  Rng rng(7);
+  Conv2d conv(in_c, out_c, kernel, stride, pad, rng);
+  conv.Prepack(ServingPrecision::kFloat32);
+  Tensor x = Tensor::Randn({batch, in_c, hw, hw}, rng);
+  const ConvPath prev = ConvPathChoice();
+  SetConvPath(ConvPath::kDirect);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  SetConvPath(prev);
+  const int64_t out_hw = (hw + 2 * pad - kernel) / stride + 1;
+  state.SetItemsProcessed(state.iterations() * batch * out_c * out_hw *
+                          out_hw * in_c * kernel * kernel * 2);
+  state.SetLabel(GemmKernelName());
+}
+BENCHMARK(BM_ConvWrnDirect)
+    ->Args({3, 16, 32, 1, 3})      // stem
+    ->Args({64, 64, 32, 1, 3})     // conv2 group body
+    ->Args({128, 128, 16, 1, 3})   // conv3 group body
+    ->Args({256, 256, 8, 1, 3});   // conv4 group body
+
+// Int8 direct convolution with calibrated activations: each input byte is
+// quantized exactly once into the padded image, then the conv-aware B
+// pack gathers it — no im2col matrix, no re-quantization. Baseline:
+// BM_ConvWrnInt8Calibrated (same rows, bitwise-identical outputs).
+void BM_ConvWrnDirectInt8(benchmark::State& state) {
+  const int64_t in_c = state.range(0);
+  const int64_t out_c = state.range(1);
+  const int64_t hw = state.range(2);
+  const int64_t stride = state.range(3);
+  const int64_t kernel = state.range(4);
+  const int64_t pad = kernel / 2;
+  const int64_t batch = 8;
+  Rng rng(7);
+  Conv2d conv(in_c, out_c, kernel, stride, pad, rng);
+  Tensor x = Tensor::Randn({batch, in_c, hw, hw}, rng);
+  conv.BeginActivationCalibration();
+  conv.Forward(x, false);
+  conv.FinishActivationCalibration();
+  conv.PrepareInt8Serving();
+  const ConvPath prev = ConvPathChoice();
+  SetConvPath(ConvPath::kDirect);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  SetConvPath(prev);
+  const int64_t out_hw = (hw + 2 * pad - kernel) / stride + 1;
+  state.SetItemsProcessed(state.iterations() * batch * out_c * out_hw *
+                          out_hw * in_c * kernel * kernel * 2);
+  state.SetLabel(GemmS8KernelName());
+}
+BENCHMARK(BM_ConvWrnDirectInt8)
+    ->Args({3, 16, 32, 1, 3})      // stem
+    ->Args({64, 64, 32, 1, 3})     // conv2 group body
+    ->Args({128, 128, 16, 1, 3})   // conv3 group body
+    ->Args({256, 256, 8, 1, 3});   // conv4 group body
 
 void BM_Conv2dBackward(benchmark::State& state) {
   const int64_t channels = state.range(0);

@@ -11,7 +11,9 @@ namespace poe {
 
 // Scale selection and rounding are the shared int8 primitives from
 // tensor/gemm_s8.h (SymmetricScaleS8 / QuantizeBufferS8), so snapshots
-// quantize exactly like the int8 serving layers.
+// quantize exactly like the int8 serving layers — including the
+// vectorized max-abs scan behind SymmetricScaleS8 (MaxAbs), which is
+// bitwise-pinned to its scalar reference.
 
 QuantizedTensor Quantize(const Tensor& tensor) {
   QuantizedTensor q;

@@ -70,6 +70,15 @@ Tensor Conv2d::ForwardImpl(const Tensor& input, bool training,
   // matrix would be the image itself, so skip the unfold entirely.
   const bool pointwise = kernel_ == 1 && stride_ == 1 && pad_ == 0;
 
+  // Im2col-free direct path (inference, stride 1): the GEMM packs its B
+  // panels straight from a zero-padded image copy — or the input itself
+  // when pad == 0 — instead of a materialized im2col matrix. Bitwise
+  // identical output (see conv_direct.h); im2col remains the fallback for
+  // strided geometries, training (backward recomputes the unfold, so the
+  // forward keeps the same lowering), and POE_CONV_PATH=im2col.
+  const bool direct =
+      !pointwise && !training && UseDirectConv(kernel_, stride_);
+
   // Pack-once fast path: the persistent op(A) weight panels are bitwise
   // identical to the per-call PackA output, so the product is too.
   const bool packed = !training && f32_packed_.load(std::memory_order_acquire);
@@ -107,7 +116,45 @@ Tensor Conv2d::ForwardImpl(const Tensor& input, bool training,
       }
     }
   };
-  if (gemm_parallel) {
+  // Direct path: the padded scratch is per-thread and its border is
+  // zeroed once — interior copies never touch the border, so the batch
+  // loop reuses it with a single memset's worth of zeroing total.
+  auto run_range_direct = [&](int64_t begin, int64_t end) {
+    ScratchScope scope;
+    const int64_t pelems = PaddedImageElems(in_channels_, h, w, pad_);
+    float* pbuf = pelems > 0 ? scope.Alloc(pelems) : nullptr;
+    if (pbuf != nullptr) ZeroImageBorder(pbuf, in_channels_, h, w, pad_);
+    ConvImageView img;
+    img.channels = in_channels_;
+    img.height = h;
+    img.width = w;
+    img.kernel = kernel_;
+    img.pad = pad_;
+    for (int64_t b = begin; b < end; ++b) {
+      const float* in_b = in + b * in_channels_ * h * w;
+      if (pbuf != nullptr) {
+        CopyImageInterior(in_b, in_channels_, h, w, pad_, pbuf);
+        img.padded = pbuf;
+      } else {
+        img.padded = in_b;  // pad == 0: the view aliases the input
+      }
+      float* out_b = out + b * out_channels_ * ohw;
+      if (packed) {
+        GemmConvPackedA(packed_w_, img, 1.0f, 0.0f, out_b, ep,
+                        gemm_parallel);
+      } else {
+        GemmConvEx(out_channels_, wp, img, 1.0f, 0.0f, out_b, ep,
+                   gemm_parallel);
+      }
+    }
+  };
+  if (direct) {
+    if (gemm_parallel) {
+      run_range_direct(0, batch);
+    } else {
+      ParallelFor(batch, run_range_direct, /*min_chunk=*/1);
+    }
+  } else if (gemm_parallel) {
     run_range(0, batch);
   } else {
     ParallelFor(batch, run_range, /*min_chunk=*/1);
@@ -158,16 +205,19 @@ Tensor Conv2d::ForwardInt8(const Tensor& input, bool fuse_relu) {
   ep.relu = fuse_relu;
 
   const bool pointwise = kernel_ == 1 && stride_ == 1 && pad_ == 0;
+  const bool direct = !pointwise && UseDirectConv(kernel_, stride_);
   const bool gemm_parallel = batch < NumThreads() &&
                              GemmParallelTiles(out_channels_, ohw) > batch;
 
   // Pointwise convs quantize straight into the column matrix (the fully
   // fused case: the unfold is the identity, so one vectorized pass does
-  // everything). k > 1 convs quantize the image once (vectorized) and
-  // gather bytes: the fused Im2ColQuantize alternative would re-quantize
-  // every element k*k times, which measures ~2x slower at WRN 3x3
-  // geometries (docs/PERF.md), so it is not used here. Both orders are
-  // bitwise identical.
+  // everything). Other k > 1 convs quantize the image exactly once
+  // (vectorized) and gather bytes — directly from the padded image on the
+  // direct path, through a materialized im2col matrix on the fallback.
+  // The fused Im2ColQuantize alternative would re-quantize every element
+  // k*k times, which measures ~2x slower at WRN 3x3 geometries
+  // (docs/PERF.md), so it is not used anywhere. All orders are bitwise
+  // identical.
   auto run_range = [&](int64_t begin, int64_t end) {
     ScratchScope scope;
     int8_t* cols = AllocS8(scope, pointwise ? chw : ckk * ohw);
@@ -184,7 +234,41 @@ Tensor Conv2d::ForwardInt8(const Tensor& input, bool fuse_relu) {
       GemmS8PackedA(qweight_, ohw, cols, out_b, ep, gemm_parallel);
     }
   };
-  if (gemm_parallel) {
+  // Direct path: pad == 0 quantizes the whole image straight into the
+  // view's buffer; pad > 0 quantizes once into a flat scratch and
+  // row-copies the bytes into the zero-bordered interior (a memcpy, not a
+  // second rounding — each input byte is quantized exactly once).
+  auto run_range_direct = [&](int64_t begin, int64_t end) {
+    ScratchScope scope;
+    const int64_t pelems = PaddedImageElems(in_channels_, h, w, pad_);
+    int8_t* q_pad = AllocS8(scope, pad_ > 0 ? pelems : chw);
+    int8_t* q_tmp = pad_ > 0 ? AllocS8(scope, chw) : nullptr;
+    if (pad_ > 0) ZeroImageBorder(q_pad, in_channels_, h, w, pad_);
+    ConvImageViewS8 img;
+    img.padded = q_pad;
+    img.channels = in_channels_;
+    img.height = h;
+    img.width = w;
+    img.kernel = kernel_;
+    img.pad = pad_;
+    for (int64_t b = begin; b < end; ++b) {
+      float* out_b = out + b * out_channels_ * ohw;
+      if (pad_ > 0) {
+        QuantizeBufferS8(in + b * chw, chw, inv_scale, q_tmp);
+        CopyImageInterior(q_tmp, in_channels_, h, w, pad_, q_pad);
+      } else {
+        QuantizeBufferS8(in + b * chw, chw, inv_scale, q_pad);
+      }
+      GemmS8ConvPackedA(qweight_, img, out_b, ep, gemm_parallel);
+    }
+  };
+  if (direct) {
+    if (gemm_parallel) {
+      run_range_direct(0, batch);
+    } else {
+      ParallelFor(batch, run_range_direct, /*min_chunk=*/1);
+    }
+  } else if (gemm_parallel) {
     run_range(0, batch);
   } else {
     ParallelFor(batch, run_range, /*min_chunk=*/1);

@@ -1,4 +1,8 @@
-// 2-D convolution layer (im2col + GEMM), batch-parallel.
+// 2-D convolution layer lowered to GEMM, batch-parallel. Inference with
+// stride 1 runs im2col-free: the GEMM packs its B panels straight from a
+// zero-padded image view (tensor/conv_direct.h), bitwise identical to the
+// im2col lowering, which remains the fallback for strided geometries and
+// training.
 #ifndef POE_NN_CONV2D_H_
 #define POE_NN_CONV2D_H_
 
@@ -20,10 +24,11 @@ namespace poe {
 /// GEMM layout). Bias is optional and off by default, matching WRN blocks
 /// where batch-norm absorbs the bias.
 ///
-/// Steady-state Forward makes no scratch allocations: im2col buffers come
-/// from the per-thread arena, 1x1/stride-1 convolutions skip im2col
-/// entirely, and bias (+ fused ReLU at inference) is applied by the GEMM
-/// epilogue instead of a second pass over the output.
+/// Steady-state Forward makes no scratch allocations: the direct path's
+/// padded-image buffer (and the fallback's im2col buffer) come from the
+/// per-thread arena, 1x1/stride-1 convolutions skip the unfold entirely,
+/// and bias (+ fused ReLU at inference) is applied by the GEMM epilogue
+/// instead of a second pass over the output.
 class Conv2d : public Module {
  public:
   Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,

@@ -64,8 +64,9 @@ Tensor Linear::ForwardImpl(const Tensor& input, bool training,
 // Int8 serving forward: per-tensor activation quantization (static
 // calibrated scale when present, else a dynamic max-abs pass), then
 // y = x_q * W_q^T with per-output-feature dequantization, bias, and ReLU
-// fused into the GEMM's int32 -> f32 output pass. With prepacked weights
-// the per-call transposed B pack disappears too.
+// fused into the GEMM's int32 -> f32 output pass. The weight panels were
+// packed at conversion time, so no per-call B pack — and no raw weight
+// copy — exists on this path.
 Tensor Linear::ForwardInt8(const Tensor& input, bool fuse_relu) {
   POE_CHECK_EQ(input.ndim(), 2);
   POE_CHECK_EQ(input.dim(1), in_features_);
@@ -85,35 +86,36 @@ Tensor Linear::ForwardInt8(const Tensor& input, bool fuse_relu) {
   ep.col_scale = wscales_.data();
   ep.col_bias = has_bias_ ? bias_.value.data() : nullptr;
   ep.relu = fuse_relu;
-  if (int8_packed_.load(std::memory_order_acquire)) {
-    GemmS8PackedB(/*trans_a=*/false, batch, q_in, packed_qw_, output.data(),
-                  ep, /*parallel=*/true);
-  } else {
-    GemmS8(false, true, batch, out_features_, in_features_, q_in,
-           qweight_.data(), output.data(), ep, /*parallel=*/true);
-  }
+  POE_CHECK(!packed_qw_.empty()) << "int8 Linear without packed panels";
+  GemmS8PackedB(/*trans_a=*/false, batch, q_in, packed_qw_, output.data(),
+                ep, /*parallel=*/true);
   return output;
 }
 
 void Linear::PrepareInt8Serving() {
   if (int8_serving_) return;
   wscales_.resize(out_features_);
-  qweight_.resize(static_cast<size_t>(out_features_ * in_features_));
+  std::vector<int8_t> q(static_cast<size_t>(out_features_ * in_features_));
   const float* wp = weight_.value.data();
   for (int64_t of = 0; of < out_features_; ++of) {
     const float* row = wp + of * in_features_;
     wscales_[of] = SymmetricScaleS8(row, in_features_);
     QuantizeBufferS8(row, in_features_, 1.0f / wscales_[of],
-                     qweight_.data() + of * in_features_);
+                     q.data() + of * in_features_);
   }
-  FinishInt8Setup();
+  FinishInt8Setup(q.data());
 }
 
-void Linear::FinishInt8Setup() {
+void Linear::FinishInt8Setup(const int8_t* values) {
   // Serialized against Prepack: pool copies share master modules, so a
   // conversion through one copy must not race another copy's prepacking
   // of the same layer.
   std::lock_guard<std::mutex> lock(prepack_mu_);
+  // Pack once into the kernel-layout op(B) panels before int8_serving_
+  // publishes; only the packed form stays resident (persistence exports
+  // the portable row-major form via Unpack).
+  packed_qw_ = PackedS8BWeights::Pack(/*trans_b=*/true, in_features_,
+                                      out_features_, values);
   // Release the f32 weight storage for good, along with any now-stale
   // f32 packed panels.
   f32_packed_.store(false, std::memory_order_release);
@@ -132,13 +134,8 @@ void Linear::Prepack(ServingPrecision precision) {
   // The reverse direction is a genuine ordering bug.
   POE_CHECK(precision != ServingPrecision::kInt8 || int8_serving_)
       << "Prepack(kInt8) requires PrepareInt8Serving first";
-  if (int8_serving_) {
-    if (int8_packed_.load(std::memory_order_relaxed)) return;
-    packed_qw_ = PackedS8BWeights::Pack(/*trans_b=*/true, in_features_,
-                                        out_features_, qweight_.data());
-    int8_packed_.store(true, std::memory_order_release);
-    return;
-  }
+  // Int8 panels were built at conversion (FinishInt8Setup); nothing to do.
+  if (int8_serving_) return;
   if (f32_packed_.load(std::memory_order_relaxed)) return;
   packed_w_ = PackedBWeights::Pack(/*trans_b=*/true, in_features_,
                                    out_features_, weight_.value.data());
@@ -146,12 +143,10 @@ void Linear::Prepack(ServingPrecision precision) {
 }
 
 int64_t Linear::PackedWeightBytes() {
-  int64_t bytes = 0;
-  if (f32_packed_.load(std::memory_order_acquire)) bytes += packed_w_.nbytes();
-  if (int8_packed_.load(std::memory_order_acquire)) {
-    bytes += packed_qw_.nbytes();
-  }
-  return bytes;
+  // f32 panels only: the int8 panels ARE the serving weight and are
+  // already counted by Int8WeightBytes (module.h's accounting contract).
+  return f32_packed_.load(std::memory_order_acquire) ? packed_w_.nbytes()
+                                                     : 0;
 }
 
 void Linear::BeginActivationCalibration() {
@@ -174,7 +169,8 @@ Result<Int8WeightState> Linear::ExportInt8State() const {
   Int8WeightState state;
   state.rows = out_features_;
   state.cols = in_features_;
-  state.values = qweight_;
+  state.values.resize(static_cast<size_t>(out_features_ * in_features_));
+  packed_qw_.Unpack(state.values.data());  // portable row-major form
   state.scales = wscales_;
   state.act_scale = act_scale_;
   return state;
@@ -190,19 +186,17 @@ Status Linear::AdoptInt8State(Int8WeightState state) {
       static_cast<int64_t>(state.scales.size()) != out_features_) {
     return Status::Corruption("int8 state shape mismatch for Linear");
   }
-  qweight_ = std::move(state.values);
   wscales_ = std::move(state.scales);
   act_scale_ = state.act_scale;
-  FinishInt8Setup();
-  // Straight to packed serving: an adopted layer (int8 pool load) never
-  // runs a per-call B pack.
-  Prepack(ServingPrecision::kInt8);
+  // FinishInt8Setup packs straight into the serving panels: an adopted
+  // layer (int8 pool load) never runs a per-call B pack.
+  FinishInt8Setup(state.values.data());
   return Status::OK();
 }
 
 int64_t Linear::Int8WeightBytes() const {
   if (!int8_serving_) return 0;
-  return static_cast<int64_t>(qweight_.size()) +
+  return packed_qw_.nbytes() +
          static_cast<int64_t>(wscales_.size() * sizeof(float));
 }
 

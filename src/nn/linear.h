@@ -38,13 +38,13 @@ class Linear : public Module {
   int64_t Int8WeightBytes() const override;
   bool int8_serving() const { return int8_serving_; }
 
-  /// Pack-once serving: materializes the persistent op(B) = W^T panels
-  /// (f32 PackedBWeights or int8 PackedS8BWeights per `precision`, which
-  /// must match the current serving mode) so every subsequent inference
-  /// forward skips the per-call transposed B pack. Idempotent and safe
-  /// against concurrent forwards: the packed form is published with
-  /// release/acquire ordering and forwards fall back to the per-call pack
-  /// until it lands. A prepacked layer is inference-only.
+  /// Pack-once serving. kFloat32 materializes the persistent f32 op(B) =
+  /// W^T panels so subsequent inference forwards skip the per-call
+  /// transposed B pack; the packed form is published with release/acquire
+  /// ordering and forwards fall back to the per-call pack until it lands.
+  /// kInt8 is satisfied already — the int8 panels are built at
+  /// PrepareInt8Serving/Adopt time (conversion-time packing), so the int8
+  /// branch is an idempotent no-op. A prepacked layer is inference-only.
   void Prepack(ServingPrecision precision) override;
   int64_t PackedWeightBytes() override;
 
@@ -73,7 +73,10 @@ class Linear : public Module {
  private:
   Tensor ForwardImpl(const Tensor& input, bool training, bool fuse_relu);
   Tensor ForwardInt8(const Tensor& input, bool fuse_relu);
-  void FinishInt8Setup();  // shared PrepareInt8Serving/Adopt tail
+  /// Shared PrepareInt8Serving/Adopt tail: packs `values` (row-major
+  /// [out_features x in_features]) into the kernel-layout op(B) panels
+  /// and releases the f32 weight.
+  void FinishInt8Setup(const int8_t* values);
 
   int64_t in_features_, out_features_;
   bool has_bias_;
@@ -81,32 +84,29 @@ class Linear : public Module {
   Parameter bias_;
   Tensor cached_input_;
 
-  // Int8 serving state (valid when int8_serving_). The row-major
-  // qweight_ stays resident even after Prepack builds packed_qw_ — a
-  // deliberate tradeoff: it backs the transparent per-call fallback
-  // (forwards may race an in-flight Prepack, so freeing it on publish
-  // would be unsafe) and the portable ExportInt8State, at the cost of
-  // roughly doubling the int8 LINEAR weight footprint (head layers are
-  // small next to the conv experts; both copies are counted honestly).
-  // Halving it needs PackedS8BWeights::Unpack + conversion-time packing
-  // (ROADMAP follow-on).
+  // Int8 serving state (valid when int8_serving_). Only the packed op(B)
+  // panels stay resident: they are built at conversion time — before
+  // int8_serving_ publishes, so no forward can race an unpacked window —
+  // and ExportInt8State reconstructs the portable row-major form through
+  // PackedS8BWeights::Unpack. No second raw copy of the weights exists
+  // (the raw-copy-plus-panels tradeoff this replaces roughly doubled the
+  // int8 Linear footprint).
   bool int8_serving_ = false;
-  std::vector<int8_t> qweight_;  // [out_features x in_features], row-major
-  std::vector<float> wscales_;   // per-output-feature dequant scales
+  std::vector<float> wscales_;  // per-output-feature dequant scales
 
   // Static activation calibration (0 = dynamic per-forward max-abs).
   bool observe_act_ = false;
   float observed_act_max_ = 0.0f;
   float act_scale_ = 0.0f;
 
-  // Pack-once serving state. The ready flags publish the packed forms to
-  // concurrent forwards (store-release after building, load-acquire in
-  // the fast path); prepack_mu_ serializes builders.
+  // Pack-once serving state. The f32 ready flag publishes the packed form
+  // to concurrent forwards (store-release after building, load-acquire in
+  // the fast path); prepack_mu_ serializes builders. The int8 panels need
+  // no flag: they exist whenever int8_serving_ does.
   std::mutex prepack_mu_;
-  PackedBWeights packed_w_;       // f32 op(B) = W^T panels
-  PackedS8BWeights packed_qw_;    // int8 op(B) = W^T panels + colsums
+  PackedBWeights packed_w_;     // f32 op(B) = W^T panels
+  PackedS8BWeights packed_qw_;  // int8 op(B) = W^T panels + colsums
   std::atomic<bool> f32_packed_{false};
-  std::atomic<bool> int8_packed_{false};
 };
 
 }  // namespace poe

@@ -203,7 +203,8 @@ void ComputeTile(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                  float alpha, const float* a, const float* b, float beta,
                  float* c, const GemmEpilogue& ep, const Kernel& kernel,
                  const float* prepacked_a, const float* prepacked_b,
-                 int64_t i0, int64_t mc, int64_t j0, int64_t nc) {
+                 const ConvImageView* conv_img, int64_t i0, int64_t mc,
+                 int64_t j0, int64_t nc) {
   const int64_t mr = kernel.mr;
   const int64_t nr = kernel.nr;
   const int64_t mc_pad = (mc + mr - 1) / mr * mr;
@@ -227,6 +228,9 @@ void ComputeTile(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     const float* b_pack;
     if (prepacked_b != nullptr) {
       b_pack = PrepackedBBlock(prepacked_b, k, n, nr, j0, pc, kc);
+    } else if (conv_img != nullptr) {
+      PackBConv(*conv_img, pc, kc, j0, nc, nr, b_buf);
+      b_pack = b_buf;
     } else {
       PackB(trans_b, b, k, n, pc, kc, j0, nc, nr, b_buf);
       b_pack = b_buf;
@@ -269,7 +273,8 @@ void ScaleOnly(int64_t m, int64_t n, float beta, float* c,
 void GemmExImpl(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                 float alpha, const float* a, const float* b, float beta,
                 float* c, const GemmEpilogue& ep, bool parallel,
-                const float* prepacked_a, const float* prepacked_b) {
+                const float* prepacked_a, const float* prepacked_b,
+                const ConvImageView* conv_img) {
   POE_CHECK_GE(m, 0);
   POE_CHECK_GE(n, 0);
   POE_CHECK_GE(k, 0);
@@ -282,24 +287,37 @@ void GemmExImpl(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   const Kernel& kernel = PickKernel();
   const int64_t row_tiles = (m + kMC - 1) / kMC;
   const int64_t col_tiles = (n + kNC - 1) / kNC;
-  // With one worker the per-tile path would only repack B k-blocks
-  // row_tiles times over; take the hoisted sequential path instead.
-  if (parallel && NumThreads() > 1 && row_tiles * col_tiles > 1) {
+  // Macro-tile parallelism only when there are enough tiles to feed the
+  // pool; smaller products use sub-tile parallelism inside the hoisted
+  // path below (and with one worker the per-tile path would only repack B
+  // k-blocks row_tiles times over).
+  const int64_t workers = parallel ? NumThreads() : 1;
+  if (workers > 1 && row_tiles * col_tiles >= workers) {
     ParallelFor2D(row_tiles, col_tiles, [&](int64_t rt, int64_t ct) {
       const int64_t i0 = rt * kMC;
       const int64_t j0 = ct * kNC;
       ComputeTile(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, ep,
-                  kernel, prepacked_a, prepacked_b, i0,
+                  kernel, prepacked_a, prepacked_b, conv_img, i0,
                   std::min(kMC, m - i0), j0, std::min(kNC, n - j0));
     });
     return;
   }
 
-  // Sequential path: op(B) packing is hoisted out of the row-macro-tile
+  // Hoisted path: op(B) packing is hoisted out of the row-macro-tile
   // loop — each B k-block is packed once per column stripe and reused by
   // every row tile, instead of being repacked ceil(m/MC) times. Per-element
   // k-accumulation order is unchanged (ascending k-blocks), so the result
   // stays bitwise identical to the parallel per-tile path.
+  //
+  // When the pool has workers but the product is under-tiled (fewer macro
+  // tiles than workers — the realtime batch-1 conv shapes), the NR-column
+  // micro-panels of each (k-block, row-tile) region are distributed over
+  // the pool instead (sub-tile ir/jr parallelism). Each C micro-tile is
+  // still written by exactly one task and k-blocks still accumulate in
+  // ascending order behind a ParallelFor barrier, so the result remains
+  // bitwise identical to the sequential schedule — no per-thread C scratch
+  // is needed.
+  const bool subtile = workers > 1;
   const int64_t mr = kernel.mr;
   const int64_t nr = kernel.nr;
   const int64_t kc_max = std::min(k, kKC);
@@ -312,12 +330,14 @@ void GemmExImpl(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     ScratchScope scope;
     float* a_buf = prepacked_a ? nullptr : scope.Alloc(a_pad_max * kc_max);
     float* b_buf = prepacked_b ? nullptr : scope.Alloc(kc_max * nc_pad);
-    float acc[kMaxMR * kMaxNR];
     for (int64_t pc = 0; pc < k; pc += kKC) {
       const int64_t kc = std::min(kKC, k - pc);
       const float* b_pack;
       if (prepacked_b != nullptr) {
         b_pack = PrepackedBBlock(prepacked_b, k, n, nr, j0, pc, kc);
+      } else if (conv_img != nullptr) {
+        PackBConv(*conv_img, pc, kc, j0, nc, nr, b_buf);
+        b_pack = b_buf;
       } else {
         PackB(trans_b, b, k, n, pc, kc, j0, nc, nr, b_buf);
         b_pack = b_buf;
@@ -334,14 +354,25 @@ void GemmExImpl(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           PackA(trans_a, a, m, k, i0, mc, pc, kc, mr, a_buf);
           a_pack = a_buf;
         }
-        for (int64_t jp = 0; jp < nc; jp += nr) {
-          const float* bp = b_pack + (jp / nr) * kc * nr;
-          const int64_t cols = std::min(nr, nc - jp);
-          for (int64_t ip = 0; ip < mc; ip += mr) {
-            kernel.fn(kc, a_pack + (ip / mr) * kc * mr, bp, acc);
-            StoreTile(acc, nr, std::min(mr, mc - ip), cols, alpha, blk_beta,
-                      last && !ep.empty(), ep, i0 + ip, j0 + jp, c, n);
+        const auto micro_panels = [&](int64_t jb0, int64_t jb1) {
+          float acc[kMaxMR * kMaxNR];
+          for (int64_t jb = jb0; jb < jb1; ++jb) {
+            const int64_t jp = jb * nr;
+            const float* bp = b_pack + jb * kc * nr;
+            const int64_t cols = std::min(nr, nc - jp);
+            for (int64_t ip = 0; ip < mc; ip += mr) {
+              kernel.fn(kc, a_pack + (ip / mr) * kc * mr, bp, acc);
+              StoreTile(acc, nr, std::min(mr, mc - ip), cols, alpha,
+                        blk_beta, last && !ep.empty(), ep, i0 + ip, j0 + jp,
+                        c, n);
+            }
           }
+        };
+        const int64_t jp_blocks = (nc + nr - 1) / nr;
+        if (subtile && jp_blocks > 1) {
+          ParallelFor(jp_blocks, micro_panels, /*min_chunk=*/1);
+        } else {
+          micro_panels(0, jp_blocks);
         }
       }
     }
@@ -354,7 +385,16 @@ void GemmEx(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
             float alpha, const float* a, const float* b, float beta, float* c,
             const GemmEpilogue& ep, bool parallel) {
   GemmExImpl(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, ep, parallel,
-             /*prepacked_a=*/nullptr, /*prepacked_b=*/nullptr);
+             /*prepacked_a=*/nullptr, /*prepacked_b=*/nullptr,
+             /*conv_img=*/nullptr);
+}
+
+void GemmConvEx(int64_t m, const float* a, const ConvImageView& img,
+                float alpha, float beta, float* c, const GemmEpilogue& ep,
+                bool parallel) {
+  GemmExImpl(/*trans_a=*/false, /*trans_b=*/false, m, img.cols(),
+             img.depth(), alpha, a, /*b=*/nullptr, beta, c, ep, parallel,
+             /*prepacked_a=*/nullptr, /*prepacked_b=*/nullptr, &img);
 }
 
 PackedAWeights PackedAWeights::Pack(bool trans_a, int64_t m, int64_t k,
@@ -415,7 +455,17 @@ void GemmPackedA(const PackedAWeights& a, int64_t n, const float* b,
   POE_CHECK(!a.empty()) << "GemmPackedA on unpacked weights";
   GemmExImpl(/*trans_a=*/false, /*trans_b=*/false, a.m_, n, a.k_, alpha,
              /*a=*/nullptr, b, beta, c, ep, parallel, a.data_.data(),
-             /*prepacked_b=*/nullptr);
+             /*prepacked_b=*/nullptr, /*conv_img=*/nullptr);
+}
+
+void GemmConvPackedA(const PackedAWeights& a, const ConvImageView& img,
+                     float alpha, float beta, float* c, const GemmEpilogue& ep,
+                     bool parallel) {
+  POE_CHECK(!a.empty()) << "GemmConvPackedA on unpacked weights";
+  POE_CHECK_EQ(a.k_, img.depth());
+  GemmExImpl(/*trans_a=*/false, /*trans_b=*/false, a.m_, img.cols(), a.k_,
+             alpha, /*a=*/nullptr, /*b=*/nullptr, beta, c, ep, parallel,
+             a.data_.data(), /*prepacked_b=*/nullptr, &img);
 }
 
 void GemmPackedB(int64_t m, const float* a, bool trans_a,
@@ -424,7 +474,7 @@ void GemmPackedB(int64_t m, const float* a, bool trans_a,
   POE_CHECK(!b.empty()) << "GemmPackedB on unpacked weights";
   GemmExImpl(trans_a, /*trans_b=*/false, m, b.n_, b.k_, alpha, a,
              /*b=*/nullptr, beta, c, ep, parallel,
-             /*prepacked_a=*/nullptr, b.data_.data());
+             /*prepacked_a=*/nullptr, b.data_.data(), /*conv_img=*/nullptr);
 }
 
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
@@ -459,7 +509,12 @@ void GemmRef(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 
 int64_t GemmParallelTiles(int64_t m, int64_t n) {
   if (m <= 0 || n <= 0) return 0;
-  return ((m + kMC - 1) / kMC) * ((n + kNC - 1) / kNC);
+  const int64_t tiles = ((m + kMC - 1) / kMC) * ((n + kNC - 1) / kNC);
+  if (tiles >= NumThreads()) return tiles;
+  // Under-tiled products distribute the NR-column micro-panels of one
+  // column stripe instead (sub-tile parallelism in GemmExImpl).
+  const int64_t nr = PickKernel().nr;
+  return std::max(tiles, (std::min(n, kNC) + nr - 1) / nr);
 }
 
 const char* GemmKernelName() { return PickKernel().name; }

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/conv_direct.h"
+
 namespace poe {
 
 /// Optional fused output transform applied after the matrix product is
@@ -73,6 +75,9 @@ class PackedAWeights {
   friend void GemmPackedA(const PackedAWeights&, int64_t, const float*,
                           float alpha, float beta, float*,
                           const GemmEpilogue&, bool);
+  friend void GemmConvPackedA(const PackedAWeights&, const ConvImageView&,
+                              float alpha, float beta, float*,
+                              const GemmEpilogue&, bool);
   std::vector<float> data_;  // per k-block: ceil(m/mr) panels of kc*mr
   int64_t m_ = 0, k_ = 0;
 };
@@ -118,8 +123,28 @@ void GemmPackedB(int64_t m, const float* a, bool trans_a,
                  const PackedBWeights& b, float alpha, float beta, float* c,
                  const GemmEpilogue& ep, bool parallel);
 
-/// Number of macro-tiles a parallel Gemm/GemmEx would distribute over the
-/// worker pool for an m x n product. Callers choosing between batch-level
+/// Direct (im2col-free) convolution as GEMM: C (m x img.cols()) =
+/// alpha * A * vcol(img) + beta * C, where vcol(img) is the virtual
+/// im2col matrix of the padded image (img.depth() x img.cols()) that the
+/// B-panel pack gathers on the fly (PackBConv). A is the m x img.depth()
+/// row-major weight matrix. Bitwise identical to GemmEx over the
+/// materialized im2col matrix on every kernel tier, because the packed
+/// panels are byte-identical (see conv_direct.h).
+void GemmConvEx(int64_t m, const float* a, const ConvImageView& img,
+                float alpha, float beta, float* c, const GemmEpilogue& ep,
+                bool parallel);
+
+/// GemmConvEx with the weight operand pre-packed (the serving hot path:
+/// prepacked weights x virtual im2col). Same bitwise guarantee.
+void GemmConvPackedA(const PackedAWeights& a, const ConvImageView& img,
+                     float alpha, float beta, float* c, const GemmEpilogue& ep,
+                     bool parallel);
+
+/// Number of independent tasks a parallel Gemm/GemmEx can distribute over
+/// the worker pool for an m x n product: the 2-D macro-tile count when
+/// there are at least as many macro-tiles as workers, otherwise the
+/// NR-column micro-panel count of one column stripe (the sub-tile
+/// parallelism inside a macro tile). Callers choosing between batch-level
 /// and GEMM-level parallelism use this to pick the level that actually
 /// has work to spread (1 means the GEMM runs sequentially regardless).
 int64_t GemmParallelTiles(int64_t m, int64_t n);

@@ -43,11 +43,15 @@ using MicroKernelS8Fn = void (*)(int64_t groups, const uint8_t* a,
                                  const int8_t* b, int32_t* acc);
 
 // Optional SIMD fast paths a kernel may plug in (null = generic loops):
-// a B-panel packer for the kernel's (nr, kr) geometry (!trans_b only) and
-// a vectorized dequantizing store for the kernel's accumulator tile shape.
+// a B-panel packer for the kernel's (nr, kr) geometry (!trans_b only), a
+// direct-conv B-panel packer gathering the virtual im2col matrix from a
+// padded image (same panel bytes and colsums), and a vectorized
+// dequantizing store for the kernel's accumulator tile shape.
 using PackBFastFn = void (*)(const int8_t* b, int64_t k, int64_t n,
                              int64_t j0, int64_t nc, int8_t* out,
                              int32_t* colsum);
+using PackBConvFastFn = void (*)(const ConvImageViewS8& img, int64_t j0,
+                                 int64_t nc, int8_t* out, int32_t* colsum);
 using DequantStoreFn = void (*)(const int32_t* acc, int64_t rows,
                                 int64_t cols, const int32_t* colsum,
                                 const GemmS8Epilogue& ep, int64_t row0,
@@ -57,11 +61,102 @@ struct KernelS8 {
   int64_t mr, nr, kr;
   int64_t acc_rs, acc_cs;  // accumulator tile strides (row, column)
   uint8_t shift;  // 128 for u8 x s8 instruction kernels, else 0
-  PackBFastFn pack_b_fast;     // nullable, !trans_b geometry only
-  DequantStoreFn store_fast;   // nullable
+  PackBFastFn pack_b_fast;           // nullable, !trans_b geometry only
+  PackBConvFastFn pack_b_conv_fast;  // nullable
+  DequantStoreFn store_fast;         // nullable
   MicroKernelS8Fn fn;
   const char* name;
 };
+
+// Shared address math for the SIMD direct-conv B packers: one 16-column
+// block of the virtual im2col matrix reads 16 consecutive output pixels,
+// which for stride 1 are one contiguous run of the padded image when they
+// sit inside a single output row, else a handful of row segments. The
+// segment structure depends only on the block's starting column — it is
+// identical for every k row — so the packers compute it once per panel.
+struct ConvColSeg {
+  int32_t dst;  // byte offset inside the 16-byte block
+  int32_t len;
+  int64_t src;  // element offset inside a shifted padded-image row view
+};
+
+// Builds the segment list for the 16 columns starting at flat output
+// index j. Returns 0 and sets *contig_off when the block is contiguous;
+// out_w >= 1 bounds the list by ceil(16/out_w) + 1 <= 17 entries.
+inline int BuildConvColSegs(int64_t j, int64_t out_w, int64_t pw,
+                            int64_t* contig_off, ConvColSeg* segs) {
+  const int64_t oh = j / out_w;
+  const int64_t ow = j - oh * out_w;
+  if (ow + 16 <= out_w) {
+    *contig_off = oh * pw + ow;
+    return 0;
+  }
+  int nseg = 0;
+  int64_t left = 16;
+  int64_t jj = j;
+  while (left > 0) {
+    const int64_t soh = jj / out_w;
+    const int64_t sow = jj - soh * out_w;
+    const int64_t len = std::min(left, out_w - sow);
+    segs[nseg].dst = static_cast<int32_t>(16 - left);
+    segs[nseg].len = static_cast<int32_t>(len);
+    segs[nseg].src = soh * pw + sow;
+    ++nseg;
+    left -= len;
+    jj += len;
+  }
+  return nseg;
+}
+
+#ifdef POE_GEMM_S8_X86
+// Loads the 16 virtual-im2col bytes of one k row for a column block:
+// `row` is the padded image shifted by that row's (c, kh, kw) offset.
+// Contiguous blocks are a single unaligned load (always in bounds: the
+// rightmost tap of the last output pixel is the last padded-image byte);
+// row-crossing blocks assemble their segments into a stack buffer first.
+inline __m128i LoadConvBlock16(const int8_t* row, int64_t contig_off,
+                               const ConvColSeg* segs, int nseg) {
+  if (nseg == 0) {
+    return _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(row + contig_off));
+  }
+  alignas(16) int8_t buf[16];
+  for (int s = 0; s < nseg; ++s) {
+    std::memcpy(buf + segs[s].dst, row + segs[s].src,
+                static_cast<size_t>(segs[s].len));
+  }
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(buf));
+}
+
+// Walks the per-k row base pointer of a conv image in ascending p =
+// (c, kh, kw) order with pure increments (no divisions in the pack loop).
+struct ConvRowCursor {
+  const int8_t* row;
+  int64_t kw = 0, kh = 0;
+  int64_t kernel, pw, row_step, chan_step;
+
+  explicit ConvRowCursor(const ConvImageViewS8& img)
+      : row(img.padded),
+        kernel(img.kernel),
+        pw(img.padded_w()),
+        row_step(img.padded_w() - img.kernel),
+        chan_step((img.padded_h() - img.kernel) * img.padded_w()) {}
+
+  void Advance() {
+    ++kw;
+    ++row;
+    if (kw == kernel) {
+      kw = 0;
+      ++kh;
+      row += row_step;
+      if (kh == kernel) {
+        kh = 0;
+        row += chan_step;
+      }
+    }
+  }
+};
+#endif  // POE_GEMM_S8_X86
 
 // Chunk-wise specialization of PackAs8 for the untransposed case: each
 // source row contributes contiguous kr-byte runs, so the pack is a plain
@@ -233,6 +328,77 @@ __attribute__((target("avx2"))) void PackBs8Avx2_16x2(
       // Edge panel: generic bytewise pack of the partial column set.
       PackBs8(/*trans_b=*/false, b, k, n, j0 + jp, cols, kNr, kKr, panel,
               colsum + jp);
+    }
+  }
+}
+
+// Direct-conv variant of PackBs8Avx2_16x2: the 16-column source rows come
+// from the virtual im2col matrix — 16 consecutive output pixels of one
+// (c, kh, kw) tap, i.e. a shifted window of the padded image — instead of
+// a materialized B row. The interleave and colsum arithmetic are the
+// matrix packer's, so the panel bytes and sums are byte-identical to
+// packing the materialized im2col matrix.
+__attribute__((target("avx2"))) void PackBs8ConvAvx2_16x2(
+    const ConvImageViewS8& img, int64_t j0, int64_t nc, int8_t* out,
+    int32_t* colsum) {
+  constexpr int64_t kNr = 16;
+  constexpr int64_t kKr = 2;
+  const int64_t k = img.depth();
+  const int64_t kpad = (k + kKr - 1) / kKr * kKr;
+  const int64_t kfull = k / kKr * kKr;
+  const int64_t out_w = img.out_w();
+  const int64_t pw = img.padded_w();
+  for (int64_t jp = 0; jp < nc; jp += kNr) {
+    const int64_t cols = (nc - jp < kNr) ? nc - jp : kNr;
+    int8_t* panel = out + (jp / kNr) * kpad * kNr;
+    if (cols == kNr) {
+      int64_t contig_off = 0;
+      ConvColSeg segs[17];
+      const int nseg =
+          BuildConvColSegs(j0 + jp, out_w, pw, &contig_off, segs);
+      __m256i sum_lo = _mm256_setzero_si256();  // columns 0..7, int32
+      __m256i sum_hi = _mm256_setzero_si256();  // columns 8..15
+      int8_t* dst = panel;
+      ConvRowCursor cur(img);
+      for (int64_t p = 0; p < kfull; p += 2, dst += 32) {
+        const __m128i r0 = LoadConvBlock16(cur.row, contig_off, segs, nseg);
+        cur.Advance();
+        const __m128i r1 = LoadConvBlock16(cur.row, contig_off, segs, nseg);
+        cur.Advance();
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                         _mm_unpacklo_epi8(r0, r1));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 16),
+                         _mm_unpackhi_epi8(r0, r1));
+        const __m256i pair16 = _mm256_add_epi16(_mm256_cvtepi8_epi16(r0),
+                                                _mm256_cvtepi8_epi16(r1));
+        sum_lo = _mm256_add_epi32(
+            sum_lo,
+            _mm256_cvtepi16_epi32(_mm256_castsi256_si128(pair16)));
+        sum_hi = _mm256_add_epi32(
+            sum_hi,
+            _mm256_cvtepi16_epi32(_mm256_extracti128_si256(pair16, 1)));
+      }
+      if (kfull < k) {  // odd k: trailing group is (value, 0) pairs
+        const __m128i r0 = LoadConvBlock16(cur.row, contig_off, segs, nseg);
+        const __m128i zero = _mm_setzero_si128();
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                         _mm_unpacklo_epi8(r0, zero));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 16),
+                         _mm_unpackhi_epi8(r0, zero));
+        const __m256i last16 = _mm256_cvtepi8_epi16(r0);
+        sum_lo = _mm256_add_epi32(
+            sum_lo,
+            _mm256_cvtepi16_epi32(_mm256_castsi256_si128(last16)));
+        sum_hi = _mm256_add_epi32(
+            sum_hi,
+            _mm256_cvtepi16_epi32(_mm256_extracti128_si256(last16, 1)));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(colsum + jp), sum_lo);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(colsum + jp + 8),
+                          sum_hi);
+    } else {
+      // Edge panel: generic bytewise gather of the partial column set.
+      PackBs8Conv(img, j0 + jp, cols, kNr, kKr, panel, colsum + jp);
     }
   }
 }
@@ -442,6 +608,74 @@ PackBs8Vnni16x4(const int8_t* b, int64_t k, int64_t n, int64_t j0,
   }
 }
 
+// Direct-conv variant of PackBs8Vnni16x4 (kr = 4): rows of the k-group
+// come from shifted padded-image windows; the tail group substitutes zero
+// vectors for the missing k rows, which the transpose turns into exactly
+// the zero-padded tail bytes the matrix packer emits. Byte-identical
+// panels and colsums, same vpdpbusd colsum trick.
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void
+PackBs8ConvVnni16x4(const ConvImageViewS8& img, int64_t j0, int64_t nc,
+                    int8_t* out, int32_t* colsum) {
+  constexpr int64_t kNr = 16;
+  constexpr int64_t kKr = 4;
+  const int64_t k = img.depth();
+  const int64_t kpad = (k + kKr - 1) / kKr * kKr;
+  const int64_t kfull = k / kKr * kKr;
+  const int64_t out_w = img.out_w();
+  const int64_t pw = img.padded_w();
+  const __m512i ones = _mm512_set1_epi8(1);
+  for (int64_t jp = 0; jp < nc; jp += kNr) {
+    const int64_t cols = (nc - jp < kNr) ? nc - jp : kNr;
+    int8_t* panel = out + (jp / kNr) * kpad * kNr;
+    if (cols == kNr) {
+      int64_t contig_off = 0;
+      ConvColSeg segs[17];
+      const int nseg =
+          BuildConvColSegs(j0 + jp, out_w, pw, &contig_off, segs);
+      __m512i sums = _mm512_setzero_si512();
+      int8_t* dst = panel;
+      ConvRowCursor cur(img);
+      const auto transpose_store = [&](__m128i r0, __m128i r1, __m128i r2,
+                                       __m128i r3) {
+        const __m128i t0 = _mm_unpacklo_epi8(r0, r1);  // c0..c7 (r0,r1)
+        const __m128i t1 = _mm_unpackhi_epi8(r0, r1);  // c8..c15
+        const __m128i t2 = _mm_unpacklo_epi8(r2, r3);
+        const __m128i t3 = _mm_unpackhi_epi8(r2, r3);
+        __m512i block = _mm512_castsi128_si512(_mm_unpacklo_epi16(t0, t2));
+        block = _mm512_inserti32x4(block, _mm_unpackhi_epi16(t0, t2), 1);
+        block = _mm512_inserti32x4(block, _mm_unpacklo_epi16(t1, t3), 2);
+        block = _mm512_inserti32x4(block, _mm_unpackhi_epi16(t1, t3), 3);
+        _mm512_storeu_si512(dst, block);
+        sums = _mm512_dpbusd_epi32(sums, ones, block);
+      };
+      for (int64_t p = 0; p < kfull; p += 4, dst += 64) {
+        const __m128i r0 = LoadConvBlock16(cur.row, contig_off, segs, nseg);
+        cur.Advance();
+        const __m128i r1 = LoadConvBlock16(cur.row, contig_off, segs, nseg);
+        cur.Advance();
+        const __m128i r2 = LoadConvBlock16(cur.row, contig_off, segs, nseg);
+        cur.Advance();
+        const __m128i r3 = LoadConvBlock16(cur.row, contig_off, segs, nseg);
+        cur.Advance();
+        transpose_store(r0, r1, r2, r3);
+      }
+      if (kfull < k) {  // zero rows for k past the end == zero-padded tail
+        const __m128i zero = _mm_setzero_si128();
+        __m128i r[4] = {zero, zero, zero, zero};
+        for (int64_t q = 0; kfull + q < k; ++q) {
+          r[q] = LoadConvBlock16(cur.row, contig_off, segs, nseg);
+          cur.Advance();
+        }
+        transpose_store(r[0], r[1], r[2], r[3]);
+      }
+      _mm512_storeu_si512(colsum + jp, sums);
+    } else {
+      // Edge panel: generic bytewise gather of the partial column set.
+      PackBs8Conv(img, j0 + jp, cols, kNr, kKr, panel, colsum + jp);
+    }
+  }
+}
+
 // Vectorized dequantizing store for the VNNI tile (16x16, column-major
 // accumulator): shift compensation is folded into the column loads, a
 // 16x16 in-register int32 transpose turns columns into row vectors, and
@@ -512,7 +746,7 @@ const KernelS8& PickKernelS8() {
     // to the VNNI kernel); unsupported values fall back to detection.
     const char* env = std::getenv("POE_GEMM_KERNEL");
     const std::string want = env ? env : "";
-    const KernelS8 scalar{6, 16, 4, 16, 1, 0, nullptr, nullptr,
+    const KernelS8 scalar{6, 16, 4, 16, 1, 0, nullptr, nullptr, nullptr,
                           MicroKernelS8Scalar6x16, "scalar"};
     if (want == "scalar") return scalar;
 #ifdef POE_GEMM_S8_X86
@@ -520,11 +754,13 @@ const KernelS8& PickKernelS8() {
                           __builtin_cpu_supports("avx512bw");
     const bool has_avx2 = __builtin_cpu_supports("avx2");
     const KernelS8 vnni{16, 16, 4, 1, 16, 128,
-                        PackBs8Vnni16x4, DequantStoreVnni16x16,
-                        MicroKernelS8Vnni16x16, "avx512vnni"};
+                        PackBs8Vnni16x4, PackBs8ConvVnni16x4,
+                        DequantStoreVnni16x16, MicroKernelS8Vnni16x16,
+                        "avx512vnni"};
     const KernelS8 avx2{6, 16, 2, 16, 1, 0,
-                        PackBs8Avx2_16x2, DequantStoreAvx2_6x16,
-                        MicroKernelS8Avx2_6x16, "avx2"};
+                        PackBs8Avx2_16x2, PackBs8ConvAvx2_16x2,
+                        DequantStoreAvx2_6x16, MicroKernelS8Avx2_6x16,
+                        "avx2"};
     if (want == "avx512" && has_vnni) return vnni;
     if (want == "avx2" && has_avx2) return avx2;
     if (has_vnni) return vnni;
@@ -556,6 +792,18 @@ void PackBDispatch(const KernelS8& kn, bool trans_b, const int8_t* b,
     return;
   }
   PackBs8(trans_b, b, k, n, j0, nc, kn.nr, kn.kr, out, colsum);
+}
+
+// Direct-conv B pack: gathers the virtual im2col block straight from the
+// padded image, SIMD when the kernel provides a conv packer.
+void PackBConvDispatch(const KernelS8& kn, const ConvImageViewS8& img,
+                       int64_t j0, int64_t nc, int8_t* out,
+                       int32_t* colsum) {
+  if (kn.pack_b_conv_fast != nullptr) {
+    kn.pack_b_conv_fast(img, j0, nc, out, colsum);
+    return;
+  }
+  PackBs8Conv(img, j0, nc, kn.nr, kn.kr, out, colsum);
 }
 
 // Scalar int32 -> f32 conversion, shared by the scalar/avx2 store path,
@@ -635,8 +883,10 @@ struct PrepackedS8B {
 // PackedS8Weights) skips the A pack; it requires i0 % mr == 0, which holds
 // because kMC is a multiple of every MR. `prepacked_b` (panels + colsums
 // for the full k x n, from PackedS8BWeights) likewise skips the B pack.
+// `conv_img` substitutes the virtual im2col matrix for b (direct conv).
 void ComputeTileS8(bool trans_a, bool trans_b, int64_t m, int64_t n,
-                   int64_t k, const int8_t* a, const int8_t* b, float* c,
+                   int64_t k, const int8_t* a, const int8_t* b,
+                   const ConvImageViewS8* conv_img, float* c,
                    const GemmS8Epilogue& ep, const KernelS8& kernel,
                    const uint8_t* prepacked_a, const PrepackedS8B* prepacked_b,
                    int64_t i0, int64_t mc, int64_t j0, int64_t nc) {
@@ -663,7 +913,11 @@ void ComputeTileS8(bool trans_a, bool trans_b, int64_t m, int64_t n,
     colsum = prepacked_b->colsum + j0;
   } else {
     int8_t* buf = AllocS8(scope, nc_pad * kpad);
-    PackBDispatch(kernel, trans_b, b, k, n, j0, nc, buf, colsum_buf);
+    if (conv_img != nullptr) {
+      PackBConvDispatch(kernel, *conv_img, j0, nc, buf, colsum_buf);
+    } else {
+      PackBDispatch(kernel, trans_b, b, k, n, j0, nc, buf, colsum_buf);
+    }
     b_pack = buf;
     colsum = colsum_buf;
   }
@@ -674,8 +928,8 @@ void ComputeTileS8(bool trans_a, bool trans_b, int64_t m, int64_t n,
 void GemmS8Impl(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                 const int8_t* a, const int8_t* b, float* c,
                 const GemmS8Epilogue& ep, bool parallel,
-                const uint8_t* prepacked_a,
-                const PrepackedS8B* prepacked_b) {
+                const uint8_t* prepacked_a, const PrepackedS8B* prepacked_b,
+                const ConvImageViewS8* conv_img) {
   POE_CHECK_GE(m, 0);
   POE_CHECK_GE(n, 0);
   POE_CHECK_GE(k, 0);
@@ -690,27 +944,36 @@ void GemmS8Impl(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   const KernelS8& kernel = PickKernelS8();
   const int64_t row_tiles = (m + kMC - 1) / kMC;
   const int64_t col_tiles = (n + kNC - 1) / kNC;
-  // With one worker the per-tile path would only repack B stripes
-  // row_tiles times over; take the hoisted sequential path instead.
-  if (parallel && NumThreads() > 1 && row_tiles * col_tiles > 1) {
+  const int64_t workers = parallel ? NumThreads() : 1;
+  // Macro-tile parallelism only when there are enough tiles to occupy the
+  // pool; under-tiled shapes (the common conv geometry: out_channels <=
+  // kMC, out pixels <= kNC) fall through to the hoisted path, which
+  // distributes NR-column micro-panel blocks of each macro tile across the
+  // workers instead (sub-tile parallelism). Both schedules produce bitwise
+  // identical C: every register tile is computed by exactly one task with
+  // the same packed panels and the same single dequantizing store.
+  if (workers > 1 && row_tiles * col_tiles >= workers) {
     ParallelFor2D(row_tiles, col_tiles, [&](int64_t rt, int64_t ct) {
       const int64_t i0 = rt * kMC;
       const int64_t j0 = ct * kNC;
-      ComputeTileS8(trans_a, trans_b, m, n, k, a, b, c, ep, kernel,
-                    prepacked_a, prepacked_b, i0, std::min(kMC, m - i0), j0,
-                    std::min(kNC, n - j0));
+      ComputeTileS8(trans_a, trans_b, m, n, k, a, b, conv_img, c, ep,
+                    kernel, prepacked_a, prepacked_b, i0,
+                    std::min(kMC, m - i0), j0, std::min(kNC, n - j0));
     });
     return;
   }
-  // Sequential path: op(B) packing is hoisted out of the row-tile loop —
+  // Hoisted path: op(B) packing is hoisted out of the row-tile loop —
   // each B stripe is packed once per column tile and reused by every row
-  // macro-tile (the f32 sequential path shares this structure).
+  // macro-tile (the f32 path shares this structure). With workers > 1 the
+  // register-tile loops split over micro-panel column blocks.
+  const bool subtile = workers > 1;
   const int64_t kpad = (k + kernel.kr - 1) / kernel.kr * kernel.kr;
   const int64_t mr = kernel.mr;
+  const int64_t nr = kernel.nr;
   for (int64_t ct = 0; ct < col_tiles; ++ct) {
     const int64_t j0 = ct * kNC;
     const int64_t nc = std::min(kNC, n - j0);
-    const int64_t nc_pad = (nc + kernel.nr - 1) / kernel.nr * kernel.nr;
+    const int64_t nc_pad = (nc + nr - 1) / nr * nr;
     ScratchScope scope;
     const int8_t* b_pack;
     const int32_t* colsum;
@@ -720,7 +983,11 @@ void GemmS8Impl(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
       colsum = prepacked_b->colsum + j0;
     } else {
       int8_t* buf = AllocS8(scope, nc_pad * kpad);
-      PackBDispatch(kernel, trans_b, b, k, n, j0, nc, buf, colsum_buf);
+      if (conv_img != nullptr) {
+        PackBConvDispatch(kernel, *conv_img, j0, nc, buf, colsum_buf);
+      } else {
+        PackBDispatch(kernel, trans_b, b, k, n, j0, nc, buf, colsum_buf);
+      }
       b_pack = buf;
       colsum = colsum_buf;
     }
@@ -737,8 +1004,20 @@ void GemmS8Impl(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
         PackADispatch(kernel, trans_a, a, m, k, i0, mc, buf);
         a_pack = buf;
       }
-      MicroLoopsS8(kernel, a_pack, b_pack, colsum, kpad, i0, mc, j0, nc, ep,
-                   c, n);
+      // One block = [jb0, jb1) micro panels; pointers advance whole
+      // panels, so each block runs MicroLoopsS8 on a disjoint C column
+      // range with its own accumulator (no shared mutable state).
+      const auto micro_panels = [&](int64_t jb0, int64_t jb1) {
+        MicroLoopsS8(kernel, a_pack, b_pack + jb0 * kpad * nr,
+                     colsum + jb0 * nr, kpad, i0, mc, j0 + jb0 * nr,
+                     std::min(nc - jb0 * nr, (jb1 - jb0) * nr), ep, c, n);
+      };
+      const int64_t jp_blocks = (nc + nr - 1) / nr;
+      if (subtile && jp_blocks > 1) {
+        ParallelFor(jp_blocks, micro_panels, /*min_chunk=*/1);
+      } else {
+        micro_panels(0, jp_blocks);
+      }
     }
   }
 }
@@ -749,7 +1028,8 @@ void GemmS8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
             const int8_t* a, const int8_t* b, float* c,
             const GemmS8Epilogue& epilogue, bool parallel) {
   GemmS8Impl(trans_a, trans_b, m, n, k, a, b, c, epilogue, parallel,
-             /*prepacked_a=*/nullptr, /*prepacked_b=*/nullptr);
+             /*prepacked_a=*/nullptr, /*prepacked_b=*/nullptr,
+             /*conv_img=*/nullptr);
 }
 
 PackedS8Weights PackedS8Weights::Pack(int64_t m, int64_t k,
@@ -774,7 +1054,24 @@ void GemmS8PackedA(const PackedS8Weights& a, int64_t n, const int8_t* b,
   POE_CHECK(!a.empty()) << "GemmS8PackedA on unpacked weights";
   GemmS8Impl(/*trans_a=*/false, /*trans_b=*/false, a.m_, n, a.k_,
              /*a=*/nullptr, b, c, epilogue, parallel, a.data_.data(),
-             /*prepacked_b=*/nullptr);
+             /*prepacked_b=*/nullptr, /*conv_img=*/nullptr);
+}
+
+void GemmS8Conv(int64_t m, const int8_t* a, const ConvImageViewS8& img,
+                float* c, const GemmS8Epilogue& epilogue, bool parallel) {
+  GemmS8Impl(/*trans_a=*/false, /*trans_b=*/false, m, img.cols(),
+             img.depth(), a, /*b=*/nullptr, c, epilogue, parallel,
+             /*prepacked_a=*/nullptr, /*prepacked_b=*/nullptr, &img);
+}
+
+void GemmS8ConvPackedA(const PackedS8Weights& a, const ConvImageViewS8& img,
+                       float* c, const GemmS8Epilogue& epilogue,
+                       bool parallel) {
+  POE_CHECK(!a.empty()) << "GemmS8ConvPackedA on unpacked weights";
+  POE_CHECK_EQ(a.k_, img.depth());
+  GemmS8Impl(/*trans_a=*/false, /*trans_b=*/false, a.m_, img.cols(), a.k_,
+             /*a=*/nullptr, /*b=*/nullptr, c, epilogue, parallel,
+             a.data_.data(), /*prepacked_b=*/nullptr, &img);
 }
 
 void PackedS8Weights::Unpack(int8_t* out) const {
@@ -833,7 +1130,30 @@ void GemmS8PackedB(bool trans_a, int64_t m, const int8_t* a,
   const PrepackedS8B pb{b.data_.data(), b.colsum_.data()};
   GemmS8Impl(trans_a, /*trans_b=*/false, m, b.n_, b.k_, a,
              /*b=*/nullptr, c, epilogue, parallel,
-             /*prepacked_a=*/nullptr, &pb);
+             /*prepacked_a=*/nullptr, &pb, /*conv_img=*/nullptr);
+}
+
+void PackedS8BWeights::Unpack(int8_t* out) const {
+  POE_CHECK(!empty()) << "Unpack on empty PackedS8BWeights";
+  const KernelS8& kernel = PickKernelS8();
+  const int64_t nr = kernel.nr;
+  const int64_t kr = kernel.kr;
+  const int64_t kpad = (k_ + kr - 1) / kr * kr;
+  // Inverse of the tile/panel layout: op(B) column j lives in column tile
+  // j / kNC (every full tile occupies exactly kpad * kNC panel bytes, so
+  // tile bases are kpad * tile0), panel (jt / nr) inside the tile, column
+  // run jt % nr, k-group p / kr, byte p % kr. Emitted row-major as the
+  // trans_b = true Pack source: out[j * k + p] = op(B)(p, j).
+  for (int64_t j = 0; j < n_; ++j) {
+    const int64_t tile0 = j / kNC * kNC;
+    const int64_t jt = j - tile0;
+    const int8_t* panel = data_.data() + kpad * tile0 +
+                          (jt / nr) * kpad * nr + (jt % nr) * kr;
+    int8_t* dst = out + j * k_;
+    for (int64_t p = 0; p < k_; ++p) {
+      dst[p] = panel[(p / kr) * nr * kr + (p % kr)];
+    }
+  }
 }
 
 void GemmS8Ref(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
@@ -894,6 +1214,50 @@ __attribute__((target("avx2"))) void QuantizeBufferS8Avx2(
   }
   for (; i < n; ++i) dst[i] = QuantizeOneS8(src[i], inv_scale);
 }
+
+// Vectorized max-|x| scan: |x| is the sign bit cleared (exactly the scalar
+// negate for negatives), and the accumulate keeps the NEW value as MAXPS's
+// first operand — the instruction returns its second operand on unordered
+// compares, so a NaN input leaves the running max untouched, exactly like
+// the scalar `v > max` test. The maximum of a set of non-negative floats
+// is a unique value, so the 4-accumulator reassociation cannot change the
+// result: bitwise identical to the scalar loop.
+__attribute__((target("avx2"))) float MaxAbsAvx2(const float* src,
+                                                 int64_t n) {
+  const __m256 abs_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 m0 = _mm256_setzero_ps();
+  __m256 m1 = _mm256_setzero_ps();
+  __m256 m2 = _mm256_setzero_ps();
+  __m256 m3 = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    m0 = _mm256_max_ps(
+        _mm256_and_ps(_mm256_loadu_ps(src + i), abs_mask), m0);
+    m1 = _mm256_max_ps(
+        _mm256_and_ps(_mm256_loadu_ps(src + i + 8), abs_mask), m1);
+    m2 = _mm256_max_ps(
+        _mm256_and_ps(_mm256_loadu_ps(src + i + 16), abs_mask), m2);
+    m3 = _mm256_max_ps(
+        _mm256_and_ps(_mm256_loadu_ps(src + i + 24), abs_mask), m3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    m0 = _mm256_max_ps(
+        _mm256_and_ps(_mm256_loadu_ps(src + i), abs_mask), m0);
+  }
+  // Accumulators hold only non-NaN values, so the reduce order is free.
+  m0 = _mm256_max_ps(_mm256_max_ps(m0, m1), _mm256_max_ps(m2, m3));
+  __m128 m = _mm_max_ps(_mm256_castps256_ps128(m0),
+                        _mm256_extractf128_ps(m0, 1));
+  m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+  float max_abs = _mm_cvtss_f32(m);
+  for (; i < n; ++i) {
+    const float v = src[i] < 0.0f ? -src[i] : src[i];
+    if (v > max_abs) max_abs = v;
+  }
+  return max_abs;
+}
 #endif  // POE_GEMM_S8_X86
 
 }  // namespace
@@ -920,6 +1284,12 @@ float SymmetricScaleS8(const float* src, int64_t n) {
 }
 
 float MaxAbs(const float* src, int64_t n) {
+  // Like QuantizeBufferS8, the AVX2 path is bitwise identical to the
+  // scalar loop and engages on CPU capability alone.
+#ifdef POE_GEMM_S8_X86
+  static const bool kHasAvx2 = __builtin_cpu_supports("avx2");
+  if (kHasAvx2) return MaxAbsAvx2(src, n);
+#endif
   float max_abs = 0.0f;
   for (int64_t i = 0; i < n; ++i) {
     const float v = src[i] < 0.0f ? -src[i] : src[i];

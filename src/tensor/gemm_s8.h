@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/conv_direct.h"
+
 namespace poe {
 
 /// Output transform applied in the int32 -> f32 store pass. The raw
@@ -69,14 +71,32 @@ class PackedS8Weights {
  private:
   friend void GemmS8PackedA(const PackedS8Weights&, int64_t, const int8_t*,
                             float*, const GemmS8Epilogue&, bool);
+  friend void GemmS8ConvPackedA(const PackedS8Weights&,
+                                const ConvImageViewS8&, float*,
+                                const GemmS8Epilogue&, bool);
   std::vector<uint8_t> data_;  // shift-applied panels, kpad*mr per panel
   int64_t m_ = 0, k_ = 0;
 };
 
 /// GemmS8 with op(A) pre-packed and op(B) = B (k x n, untransposed):
-/// C (m x n) = epilogue(packed_a * B). The conv serving path.
+/// C (m x n) = epilogue(packed_a * B). The conv im2col serving path.
 void GemmS8PackedA(const PackedS8Weights& a, int64_t n, const int8_t* b,
                    float* c, const GemmS8Epilogue& epilogue, bool parallel);
+
+/// Direct (im2col-free) int8 convolution as GEMM: op(B) is the virtual
+/// im2col matrix of the quantized padded image, gathered while packing
+/// (PackBs8Conv / the kernels' SIMD conv packers). Panel bytes and colsums
+/// are identical to packing the materialized im2col matrix and the int32
+/// accumulation is exact, so outputs are bitwise identical to
+/// GemmS8/GemmS8PackedA over im2col on every kernel tier.
+void GemmS8Conv(int64_t m, const int8_t* a, const ConvImageViewS8& img,
+                float* c, const GemmS8Epilogue& epilogue, bool parallel);
+
+/// GemmS8Conv with the weight operand pre-packed (the int8 conv serving
+/// hot path). Same bitwise guarantee.
+void GemmS8ConvPackedA(const PackedS8Weights& a, const ConvImageViewS8& img,
+                       float* c, const GemmS8Epilogue& epilogue,
+                       bool parallel);
 
 /// op(B) of a k x n int8 product pre-packed ONCE into the dispatched
 /// kernel's NR-column / KR-group panel layout, column sums included (the
@@ -91,6 +111,14 @@ class PackedS8BWeights {
   PackedS8BWeights() = default;
   static PackedS8BWeights Pack(bool trans_b, int64_t k, int64_t n,
                                const int8_t* b);
+
+  /// Reconstructs the trans_b = true Pack source — the n x k row-major
+  /// int8 matrix whose transpose the panels encode — into `out` (n*k
+  /// entries); for a !trans_b source this is B^T. The exact inverse of
+  /// Pack for this process's kernel, so int8 Linear can serve from the
+  /// panels alone and still export a layout-independent raw weight copy
+  /// for serialization.
+  void Unpack(int8_t* out) const;
 
   bool empty() const { return data_.empty(); }
   int64_t depth() const { return k_; }
@@ -155,7 +183,12 @@ void QuantizeBufferS8(const float* src, int64_t n, float inv_scale,
 /// all values are zero (so zero tensors round-trip exactly).
 float SymmetricScaleS8(const float* src, int64_t n);
 
-/// Max |x| over `n` floats (0 for n == 0).
+/// Max |x| over `n` floats (0 for n == 0). NaNs are skipped — the scalar
+/// `v > max` test is false for NaN — and the AVX2 path reproduces exactly
+/// that (MAXPS keeps the running max on unordered compares), so like
+/// QuantizeBufferS8 it is bitwise identical to the scalar loop and engages
+/// on CPU capability alone. The scan behind every dynamic activation scale
+/// and the snapshot quantizer's per-channel scales.
 float MaxAbs(const float* src, int64_t n);
 
 }  // namespace poe

@@ -1,4 +1,10 @@
 // im2col / col2im transforms backing convolution as GEMM.
+//
+// Inference at stride 1 no longer materializes these matrices: the direct
+// path (tensor/conv_direct.h) feeds the GEMM's B pack straight from a
+// zero-padded image view, bitwise identical to im2col + GEMM. What stays
+// on the im2col route is everything direct does not cover — strided
+// forwards, and training (Col2Im backs the backward pass).
 #ifndef POE_TENSOR_IM2COL_H_
 #define POE_TENSOR_IM2COL_H_
 

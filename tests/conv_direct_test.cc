@@ -1,0 +1,349 @@
+// Direct (im2col-free) convolution: the ISSUE-level guarantee is bitwise
+// identity with the im2col lowering on every kernel tier, plus sub-tile
+// determinism (thread count never changes output bits). The GEMM-level
+// tests compare GemmConvEx/GemmS8Conv against the same GEMM run over a
+// materialized im2col matrix; the layer-level tests pin POE_CONV_PATH's
+// programmatic equivalent to each lowering and compare Conv2d outputs.
+// CMake reruns this binary under POE_GEMM_KERNEL=scalar|avx2 and
+// POE_NUM_THREADS=4 so every dispatch tier and the sub-tile parallel
+// schedule are all covered.
+#include "tensor/conv_direct.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_s8.h"
+#include "tensor/im2col.h"
+#include "util/rng.h"
+
+namespace poe {
+namespace {
+
+// Pins the conv path for one scope and restores the previous choice.
+class ScopedConvPath {
+ public:
+  explicit ScopedConvPath(ConvPath path) : prev_(ConvPathChoice()) {
+    SetConvPath(path);
+  }
+  ~ScopedConvPath() { SetConvPath(prev_); }
+
+ private:
+  ConvPath prev_;
+};
+
+void FillUniform(std::vector<float>* v, Rng& rng) {
+  for (auto& x : *v) x = rng.Uniform(-1.0f, 1.0f);
+}
+
+void FillInt8(std::vector<int8_t>* v, Rng& rng) {
+  for (auto& x : *v)
+    x = static_cast<int8_t>(static_cast<int64_t>(rng.NextInt(255)) - 127);
+}
+
+template <typename T>
+std::vector<T> PadImage(const std::vector<T>& img, int64_t c, int64_t h,
+                        int64_t w, int64_t pad) {
+  const int64_t ph = h + 2 * pad;
+  const int64_t pw = w + 2 * pad;
+  std::vector<T> padded(static_cast<size_t>(c * ph * pw), T(0));
+  for (int64_t ch = 0; ch < c; ++ch)
+    for (int64_t y = 0; y < h; ++y)
+      std::memcpy(padded.data() + (ch * ph + y + pad) * pw + pad,
+                  img.data() + (ch * h + y) * w,
+                  static_cast<size_t>(w) * sizeof(T));
+  return padded;
+}
+
+// Direct-conv geometry sweep shared by the f32 and int8 GEMM oracles.
+struct Geometry {
+  int64_t c, h, w, kernel, pad;
+};
+
+const Geometry kGeometries[] = {
+    {1, 5, 5, 1, 0},  {1, 5, 5, 1, 1},  {3, 7, 7, 2, 0}, {3, 7, 7, 2, 1},
+    {3, 8, 8, 3, 0},  {3, 8, 8, 3, 1},  {1, 5, 7, 3, 2}, {16, 8, 8, 3, 1},
+    {3, 16, 16, 5, 2}, {4, 32, 32, 3, 1},
+};
+
+TEST(ConvDirectGemmTest, F32BitwiseMatchesIm2Col) {
+  for (const auto& g : kGeometries) {
+    Rng rng(g.c * 131 + g.h * 17 + g.kernel * 5 + g.pad);
+    const int64_t m = 7;
+    const int64_t depth = g.c * g.kernel * g.kernel;
+    const int64_t out_h = g.h + 2 * g.pad - g.kernel + 1;
+    const int64_t out_w = g.w + 2 * g.pad - g.kernel + 1;
+    const int64_t cols_n = out_h * out_w;
+    std::vector<float> img(static_cast<size_t>(g.c * g.h * g.w));
+    std::vector<float> weight(static_cast<size_t>(m * depth));
+    std::vector<float> bias(static_cast<size_t>(m));
+    FillUniform(&img, rng);
+    FillUniform(&weight, rng);
+    FillUniform(&bias, rng);
+
+    GemmEpilogue ep;
+    ep.row_bias = bias.data();
+    ep.relu = true;
+
+    std::vector<float> cols(static_cast<size_t>(depth * cols_n));
+    Im2Col(img.data(), g.c, g.h, g.w, g.kernel, g.kernel, g.pad,
+           /*stride=*/1, cols.data());
+    std::vector<float> c_ref(static_cast<size_t>(m * cols_n));
+    GemmEx(false, false, m, cols_n, depth, 1.0f, weight.data(), cols.data(),
+           0.0f, c_ref.data(), ep, /*parallel=*/false);
+
+    const std::vector<float> padded = PadImage(img, g.c, g.h, g.w, g.pad);
+    ConvImageView view;
+    view.padded = g.pad == 0 ? img.data() : padded.data();
+    view.channels = g.c;
+    view.height = g.h;
+    view.width = g.w;
+    view.kernel = g.kernel;
+    view.pad = g.pad;
+    ASSERT_EQ(view.depth(), depth);
+    ASSERT_EQ(view.cols(), cols_n);
+
+    for (bool parallel : {false, true}) {
+      std::vector<float> c_direct(static_cast<size_t>(m * cols_n), -7.0f);
+      GemmConvEx(m, weight.data(), view, 1.0f, 0.0f, c_direct.data(), ep,
+                 parallel);
+      ASSERT_EQ(0, std::memcmp(c_ref.data(), c_direct.data(),
+                               c_ref.size() * sizeof(float)))
+          << "c=" << g.c << " h=" << g.h << " k=" << g.kernel
+          << " pad=" << g.pad << " parallel=" << parallel;
+    }
+
+    // Prepacked weight operand: same bitwise guarantee.
+    PackedAWeights packed =
+        PackedAWeights::Pack(/*trans_a=*/false, m, depth, weight.data());
+    std::vector<float> c_packed(static_cast<size_t>(m * cols_n));
+    GemmConvPackedA(packed, view, 1.0f, 0.0f, c_packed.data(), ep,
+                    /*parallel=*/true);
+    ASSERT_EQ(0, std::memcmp(c_ref.data(), c_packed.data(),
+                             c_ref.size() * sizeof(float)));
+  }
+}
+
+TEST(ConvDirectGemmTest, Int8BitwiseMatchesIm2Col) {
+  for (const auto& g : kGeometries) {
+    Rng rng(g.c * 37 + g.h * 11 + g.kernel * 3 + g.pad + 1);
+    const int64_t m = 9;
+    const int64_t depth = g.c * g.kernel * g.kernel;
+    const int64_t out_h = g.h + 2 * g.pad - g.kernel + 1;
+    const int64_t out_w = g.w + 2 * g.pad - g.kernel + 1;
+    const int64_t cols_n = out_h * out_w;
+    std::vector<int8_t> img(static_cast<size_t>(g.c * g.h * g.w));
+    std::vector<int8_t> weight(static_cast<size_t>(m * depth));
+    std::vector<float> wscale(static_cast<size_t>(m));
+    FillInt8(&img, rng);
+    FillInt8(&weight, rng);
+    FillUniform(&wscale, rng);
+
+    GemmS8Epilogue ep;
+    ep.scale = 0.03125f;
+    ep.row_scale = wscale.data();
+    ep.relu = true;
+
+    std::vector<int8_t> cols(static_cast<size_t>(depth * cols_n));
+    Im2Col(img.data(), g.c, g.h, g.w, g.kernel, g.kernel, g.pad,
+           /*stride=*/1, cols.data());
+    std::vector<float> c_ref(static_cast<size_t>(m * cols_n));
+    GemmS8(false, false, m, cols_n, depth, weight.data(), cols.data(),
+           c_ref.data(), ep, /*parallel=*/false);
+
+    const std::vector<int8_t> padded = PadImage(img, g.c, g.h, g.w, g.pad);
+    ConvImageViewS8 view;
+    view.padded = g.pad == 0 ? img.data() : padded.data();
+    view.channels = g.c;
+    view.height = g.h;
+    view.width = g.w;
+    view.kernel = g.kernel;
+    view.pad = g.pad;
+
+    for (bool parallel : {false, true}) {
+      std::vector<float> c_direct(static_cast<size_t>(m * cols_n), -7.0f);
+      GemmS8Conv(m, weight.data(), view, c_direct.data(), ep, parallel);
+      ASSERT_EQ(0, std::memcmp(c_ref.data(), c_direct.data(),
+                               c_ref.size() * sizeof(float)))
+          << "c=" << g.c << " h=" << g.h << " k=" << g.kernel
+          << " pad=" << g.pad << " parallel=" << parallel;
+    }
+
+    PackedS8Weights packed = PackedS8Weights::Pack(m, depth, weight.data());
+    std::vector<float> c_packed(static_cast<size_t>(m * cols_n));
+    GemmS8ConvPackedA(packed, view, c_packed.data(), ep, /*parallel=*/true);
+    ASSERT_EQ(0, std::memcmp(c_ref.data(), c_packed.data(),
+                             c_ref.size() * sizeof(float)));
+  }
+}
+
+// Sub-tile parallelism inside a single macro tile must not change output
+// bits: every register tile is computed by exactly one task with the same
+// packed panels and accumulation order (ParallelFor is a barrier).
+TEST(ConvDirectGemmTest, SubTileParallelIsDeterministicF32) {
+  Rng rng(91);
+  // m=64 rows, ~900 columns: one macro tile, many NR-column micro panels
+  // (the shape that exercises the sub-tile ParallelFor schedule).
+  const int64_t m = 64, k = 64 * 3 * 3, n = 30 * 30;
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  FillUniform(&a, rng);
+  FillUniform(&b, rng);
+  std::vector<float> c_seq(static_cast<size_t>(m * n));
+  std::vector<float> c_par(static_cast<size_t>(m * n));
+  GemmEx(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+         c_seq.data(), GemmEpilogue{}, /*parallel=*/false);
+  GemmEx(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+         c_par.data(), GemmEpilogue{}, /*parallel=*/true);
+  ASSERT_EQ(0,
+            std::memcmp(c_seq.data(), c_par.data(), c_seq.size() * sizeof(float)));
+}
+
+TEST(ConvDirectGemmTest, SubTileParallelIsDeterministicInt8) {
+  Rng rng(92);
+  const int64_t m = 64, k = 64 * 3 * 3, n = 30 * 30;
+  std::vector<int8_t> a(static_cast<size_t>(m * k));
+  std::vector<int8_t> b(static_cast<size_t>(k * n));
+  FillInt8(&a, rng);
+  FillInt8(&b, rng);
+  GemmS8Epilogue ep;
+  ep.scale = 0.0625f;
+  std::vector<float> c_seq(static_cast<size_t>(m * n));
+  std::vector<float> c_par(static_cast<size_t>(m * n));
+  GemmS8(false, false, m, n, k, a.data(), b.data(), c_seq.data(), ep,
+         /*parallel=*/false);
+  GemmS8(false, false, m, n, k, a.data(), b.data(), c_par.data(), ep,
+         /*parallel=*/true);
+  ASSERT_EQ(0,
+            std::memcmp(c_seq.data(), c_par.data(), c_seq.size() * sizeof(float)));
+}
+
+// Multi-macro-tile shape: the macro schedule (or sub-tile, depending on
+// worker count) must agree with sequential bit for bit too.
+TEST(ConvDirectGemmTest, MultiTileParallelIsDeterministic) {
+  Rng rng(93);
+  const int64_t m = 300, k = 60, n = 1100;
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  FillUniform(&a, rng);
+  FillUniform(&b, rng);
+  std::vector<float> c_seq(static_cast<size_t>(m * n));
+  std::vector<float> c_par(static_cast<size_t>(m * n));
+  GemmEx(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+         c_seq.data(), GemmEpilogue{}, /*parallel=*/false);
+  GemmEx(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+         c_par.data(), GemmEpilogue{}, /*parallel=*/true);
+  ASSERT_EQ(0,
+            std::memcmp(c_seq.data(), c_par.data(), c_seq.size() * sizeof(float)));
+}
+
+// Layer-level oracle: identically-seeded Conv2d layers forwarded under
+// the pinned direct and im2col paths must agree bitwise — f32 plain,
+// f32 prepacked, and both int8 serving modes, across paddings, strides
+// (stride 2 exercises the automatic im2col fallback), and batch sizes.
+TEST(ConvDirectLayerTest, ForwardF32BitwiseAcrossPaths) {
+  for (int64_t kernel : {1, 3, 5}) {
+    for (int64_t stride : {1, 2}) {
+      for (int64_t pad : {int64_t{0}, kernel / 2}) {
+        for (int64_t batch : {1, 3}) {
+          Rng rng1(55), rng2(55), rngx(56);
+          Conv2d direct(3, 10, kernel, stride, pad, rng1, /*bias=*/true);
+          Conv2d im2col(3, 10, kernel, stride, pad, rng2, /*bias=*/true);
+          Tensor x = Tensor::Randn({batch, 3, 9, 9}, rngx);
+          Tensor y1, y2;
+          {
+            ScopedConvPath pin(ConvPath::kDirect);
+            y1 = direct.Forward(x, /*training=*/false);
+          }
+          {
+            ScopedConvPath pin(ConvPath::kIm2Col);
+            y2 = im2col.Forward(x, /*training=*/false);
+          }
+          ASSERT_EQ(0, std::memcmp(y1.data(), y2.data(),
+                                   y1.numel() * sizeof(float)))
+              << "kernel=" << kernel << " stride=" << stride
+              << " pad=" << pad << " batch=" << batch;
+        }
+      }
+    }
+  }
+}
+
+TEST(ConvDirectLayerTest, ForwardF32PrepackedBitwiseAcrossPaths) {
+  Rng rng1(57), rng2(57), rngx(58);
+  Conv2d direct(6, 12, 3, 1, 1, rng1, /*bias=*/true);
+  Conv2d im2col(6, 12, 3, 1, 1, rng2, /*bias=*/true);
+  direct.Prepack(ServingPrecision::kFloat32);
+  im2col.Prepack(ServingPrecision::kFloat32);
+  Tensor x = Tensor::Randn({2, 6, 11, 11}, rngx);
+  Tensor y1, y2;
+  {
+    ScopedConvPath pin(ConvPath::kDirect);
+    y1 = direct.ForwardFusedRelu(x);
+  }
+  {
+    ScopedConvPath pin(ConvPath::kIm2Col);
+    y2 = im2col.ForwardFusedRelu(x);
+  }
+  ASSERT_EQ(0,
+            std::memcmp(y1.data(), y2.data(), y1.numel() * sizeof(float)));
+}
+
+TEST(ConvDirectLayerTest, ForwardInt8BitwiseAcrossPaths) {
+  for (int64_t pad : {0, 1}) {
+    for (int64_t batch : {1, 2}) {
+      Rng rng1(59), rng2(59), rngx(60);
+      Conv2d direct(5, 8, 3, 1, pad, rng1);
+      Conv2d im2col(5, 8, 3, 1, pad, rng2);
+      Tensor x = Tensor::Randn({batch, 5, 8, 8}, rngx);
+      // Calibrate one pair member on the probe batch so both the static
+      // and dynamic activation-scale paths cross the lowering boundary.
+      direct.BeginActivationCalibration();
+      direct.Forward(x, /*training=*/false);
+      direct.FinishActivationCalibration();
+      im2col.set_static_act_scale(direct.static_act_scale());
+      direct.PrepareInt8Serving();
+      im2col.PrepareInt8Serving();
+      Tensor y1, y2;
+      {
+        ScopedConvPath pin(ConvPath::kDirect);
+        y1 = direct.ForwardFusedRelu(x);
+      }
+      {
+        ScopedConvPath pin(ConvPath::kIm2Col);
+        y2 = im2col.ForwardFusedRelu(x);
+      }
+      ASSERT_EQ(0, std::memcmp(y1.data(), y2.data(),
+                               y1.numel() * sizeof(float)))
+          << "pad=" << pad << " batch=" << batch;
+    }
+  }
+}
+
+// The batch-parallel schedule (ParallelFor over items, sequential GEMMs)
+// and the GEMM-parallel schedule agree bitwise on the direct path; batch
+// size only changes which one Conv2d picks, never the bits.
+TEST(ConvDirectLayerTest, BatchSizeDoesNotChangeBits) {
+  Rng rng1(61), rng2(61), rngx(62);
+  Conv2d conv_a(4, 16, 3, 1, 1, rng1, /*bias=*/true);
+  Conv2d conv_b(4, 16, 3, 1, 1, rng2, /*bias=*/true);
+  Tensor big = Tensor::Randn({8, 4, 10, 10}, rngx);
+  ScopedConvPath pin(ConvPath::kDirect);
+  Tensor y_all = conv_a.Forward(big, /*training=*/false);
+  const int64_t item = 16 * 10 * 10;
+  for (int64_t b = 0; b < 8; ++b) {
+    Tensor x({1, 4, 10, 10});
+    std::memcpy(x.data(), big.data() + b * 4 * 10 * 10,
+                sizeof(float) * 4 * 10 * 10);
+    Tensor y = conv_b.Forward(x, /*training=*/false);
+    ASSERT_EQ(0, std::memcmp(y.data(), y_all.data() + b * item,
+                             sizeof(float) * item))
+        << "item " << b;
+  }
+}
+
+}  // namespace
+}  // namespace poe

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -254,6 +255,66 @@ TEST(QuantizeBufferS8Test, MaxAbsFindsExtremes) {
   const std::vector<float> src = {0.5f, -3.25f, 2.0f};
   EXPECT_FLOAT_EQ(MaxAbs(src.data(), 3), 3.25f);
   EXPECT_FLOAT_EQ(MaxAbs(src.data(), 0), 0.0f);
+}
+
+// Pins the vectorized MaxAbs to the scalar definition bit for bit: every
+// length through the 32-wide main loop, 8-wide loop, and scalar tail, on
+// data salted with -0.0, denormals, infinities, and NaN (which the scan
+// skips — `v > max` is false for NaN, and MAXPS keeps the running max on
+// unordered compares).
+TEST(QuantizeBufferS8Test, MaxAbsMatchesScalarReferenceBitwise) {
+  const auto scalar_ref = [](const float* src, int64_t n) {
+    float max_abs = 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      const float v = src[i] < 0.0f ? -src[i] : src[i];
+      if (v > max_abs) max_abs = v;
+    }
+    return max_abs;
+  };
+  Rng rng(4242);
+  const float specials[] = {-0.0f,
+                            0.0f,
+                            1e-42f,  // denormal
+                            -1e-42f,
+                            std::numeric_limits<float>::infinity(),
+                            -std::numeric_limits<float>::infinity(),
+                            std::numeric_limits<float>::quiet_NaN()};
+  for (int64_t n = 0; n <= 67; ++n) {
+    std::vector<float> src(static_cast<size_t>(n));
+    FillUniform(&src, rng, -1000.0f, 1000.0f);
+    // Sprinkle specials at positions covering vector lanes and the tail.
+    for (int64_t i = 0; i < n; i += 5)
+      src[i] = specials[(n + i / 5) % 7];
+    const float got = MaxAbs(src.data(), n);
+    const float want = scalar_ref(src.data(), n);
+    ASSERT_EQ(0, std::memcmp(&got, &want, sizeof(float))) << "n=" << n;
+  }
+  // Large buffer: many full 32-wide iterations plus both tail loops.
+  std::vector<float> big(100003);
+  FillUniform(&big, rng, -3.0f, 3.0f);
+  big[99990] = -12345.5f;  // extreme in the scalar tail
+  const float got = MaxAbs(big.data(), static_cast<int64_t>(big.size()));
+  const float want = scalar_ref(big.data(), static_cast<int64_t>(big.size()));
+  ASSERT_EQ(0, std::memcmp(&got, &want, sizeof(float)));
+}
+
+// The op(B) panels are the only resident form of an int8 Linear weight;
+// Unpack must reconstruct the exact row-major source (serialization
+// depends on it), including across the kNC = 1024 column-tile boundary.
+TEST(GemmS8Test, PackedBWeightsUnpackRoundTrips) {
+  const int64_t cases[][2] = {{7, 33}, {64, 40}, {33, 16}, {96, 1100}};
+  for (const auto& kn : cases) {
+    const int64_t k = kn[0], n = kn[1];
+    Rng rng(k * 1009 + n);
+    std::vector<int8_t> w(static_cast<size_t>(n * k));  // n x k row-major
+    FillInt8(&w, rng);
+    const PackedS8BWeights packed =
+        PackedS8BWeights::Pack(/*trans_b=*/true, k, n, w.data());
+    std::vector<int8_t> out(w.size());
+    packed.Unpack(out.data());
+    ASSERT_EQ(0, std::memcmp(w.data(), out.data(), w.size()))
+        << "k=" << k << " n=" << n;
+  }
 }
 
 }  // namespace

@@ -161,14 +161,20 @@ TEST(LayerPrepackTest, LinearF32PrepackedForwardIsBitwise) {
                            r1.numel() * sizeof(float)));
 }
 
-TEST(LayerPrepackTest, LinearInt8PrepackedForwardIsBitwise) {
+// Int8 Linear packs its op(B) panels at conversion time: every int8
+// forward serves from the panels (no raw weight copy exists), Prepack is
+// a no-op that changes nothing, and the panels count under
+// Int8WeightBytes only.
+TEST(LayerPrepackTest, LinearInt8PacksAtConversionBitwise) {
   Rng rng1(7), rng2(7), rngx(8);
   Linear plain(96, 40, rng1);
   Linear packed(96, 40, rng2);
   plain.PrepareInt8Serving();
   packed.PrepareInt8Serving();
   packed.Prepack(ServingPrecision::kInt8);
-  EXPECT_GT(packed.PackedWeightBytes(), 0);
+  EXPECT_EQ(packed.PackedWeightBytes(), 0);
+  EXPECT_GT(packed.Int8WeightBytes(), 0);
+  EXPECT_EQ(packed.Int8WeightBytes(), plain.Int8WeightBytes());
   Tensor x = Tensor::Randn({11, 96}, rngx);
   Tensor y1 = plain.Forward(x, /*training=*/false);
   Tensor y2 = packed.Forward(x, /*training=*/false);
@@ -237,11 +243,16 @@ TEST(LayerPrepackTest, PrepackIsIdempotent) {
   const int64_t bytes = lin.PackedWeightBytes();
   lin.Prepack(ServingPrecision::kFloat32);
   EXPECT_EQ(lin.PackedWeightBytes(), bytes);
-  // Int8 conversion drops the stale f32 panels.
+  // Int8 conversion drops the stale f32 panels and builds the int8 op(B)
+  // panels immediately (conversion-time packing): they count under
+  // Int8WeightBytes, not PackedWeightBytes, and Prepack(kInt8) is a no-op.
   lin.PrepareInt8Serving();
   EXPECT_EQ(lin.PackedWeightBytes(), 0);
+  const int64_t int8_bytes = lin.Int8WeightBytes();
+  EXPECT_GT(int8_bytes, 0);
   lin.Prepack(ServingPrecision::kInt8);
-  EXPECT_GT(lin.PackedWeightBytes(), 0);
+  EXPECT_EQ(lin.PackedWeightBytes(), 0);
+  EXPECT_EQ(lin.Int8WeightBytes(), int8_bytes);
 }
 
 }  // namespace

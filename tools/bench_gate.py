@@ -45,6 +45,17 @@ ADVISORY_BAND = 0.25  # +-25% drift -> warning, not failure
 CROSS_RATIOS = {
     "int8_vs_f32/Gemm/64": ("BM_Gemm/64", "BM_GemmS8/64"),
     "int8_vs_f32/Gemm/256": ("BM_Gemm/256", "BM_GemmS8/256"),
+    # Direct-conv gates. int8_vs_f32 catches an int8-only collapse on the
+    # direct path; the direct_vs_im2col pairs (im2col time over direct
+    # time, > 1 when direct wins) catch the direct lowering itself
+    # regressing to — or below — the im2col path it replaced.
+    "int8_vs_f32/ConvWrnDirect/64": ("BM_ConvWrnDirect/64/64/32/1/3",
+                                     "BM_ConvWrnDirectInt8/64/64/32/1/3"),
+    "direct_vs_im2col/ConvWrn/64": ("BM_ConvWrnPrepacked/64/64/32/1/3",
+                                    "BM_ConvWrnDirect/64/64/32/1/3"),
+    "direct_vs_im2col/ConvWrnInt8/64": (
+        "BM_ConvWrnInt8Calibrated/64/64/32/1/3",
+        "BM_ConvWrnDirectInt8/64/64/32/1/3"),
 }
 
 
