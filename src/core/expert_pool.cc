@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/serialization.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -32,7 +33,8 @@ ExpertPool::ExpertPool(const ExpertPool& other)
       hierarchy_(other.hierarchy_),
       library_(other.library_),
       store_(other.store_->Clone()),
-      precision_(other.precision_) {}
+      precision_(other.precision_),
+      retry_policy_(other.retry_policy_) {}
 
 ExpertPool& ExpertPool::operator=(const ExpertPool& other) {
   if (this != &other) *this = ExpertPool(other);  // copy, then move-assign
@@ -109,6 +111,12 @@ ExpertPool ExpertPool::Preprocess(const LogitFn& oracle,
 }
 
 Result<TaskModel> ExpertPool::Query(const std::vector<int>& task_ids) const {
+  return Query(task_ids, Deadline());
+}
+
+Result<TaskModel> ExpertPool::Query(const std::vector<int>& task_ids,
+                                    const Deadline& deadline,
+                                    int64_t* retries) const {
   if (task_ids.empty()) {
     return Status::InvalidArgument("composite task must be non-empty");
   }
@@ -120,9 +128,17 @@ Result<TaskModel> ExpertPool::Query(const std::vector<int>& task_ids) const {
       return Status::InvalidArgument("duplicate primitive task id " +
                                      std::to_string(t));
     }
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded(
+          "deadline expired during assembly (expert " + std::to_string(t) +
+          " of " + std::to_string(task_ids.size()) + ")");
+    }
     // The store validates the id and shares the branch if any other
-    // composite already holds it (expert-level dedup).
-    auto branch = store_->Acquire(t);
+    // composite already holds it (expert-level dedup). Transient
+    // materialization failures retry here, closest to the failing layer;
+    // permanent ones (poisoned expert, bad id) surface immediately.
+    auto branch = RetryWithBackoff(
+        retry_policy_, deadline, [&] { return store_->Acquire(t); }, retries);
     if (!branch.ok()) return branch.status();
     branches.push_back(std::move(branch).ValueOrDie());
   }
@@ -136,7 +152,13 @@ Status ExpertPool::SetServingPrecision(ServingPrecision precision) {
     return Status::FailedPrecondition(
         "int8 serving is irreversible: the f32 weights were released");
   }
-  library_->PrepareInt8Serving();
+  // Degraded mode: a failed library conversion keeps the trunk on f32
+  // (composites then run an f32 trunk into int8 — or themselves degraded
+  // — heads); the pool-level precision still flips so intent is recorded
+  // and a later save/load retries the conversion.
+  if (PoeFaultHit("pool.int8.convert.library").ok()) {
+    library_->PrepareInt8Serving();
+  }
   store_->PrepareInt8Serving();
   precision_ = ServingPrecision::kInt8;
   return Status::OK();
@@ -170,7 +192,12 @@ Status ExpertPool::CalibrateActivations(const Tensor& samples) {
 }
 
 void ExpertPool::PrepackForServing() const {
-  library_->Prepack(precision_);
+  // Pack the trunk's ACTUAL serving form: under a degraded int8 pool the
+  // library may still be f32, and Prepack(kInt8) on an f32 module is an
+  // ordering bug by contract.
+  library_->Prepack(library_->Int8WeightBytes() > 0
+                        ? ServingPrecision::kInt8
+                        : ServingPrecision::kFloat32);
 }
 
 int64_t ExpertPool::ServingBytes() const {

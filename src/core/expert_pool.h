@@ -16,6 +16,7 @@
 #include "eval/metrics.h"
 #include "models/wrn.h"
 #include "util/result.h"
+#include "util/retry.h"
 
 namespace poe {
 
@@ -78,6 +79,19 @@ class ExpertPool {
   /// or out-of-range ids.
   Result<TaskModel> Query(const std::vector<int>& task_ids) const;
 
+  /// Deadline- and fault-aware form. Transient branch-acquisition failures
+  /// (kIoError/kUnavailable/kResourceExhausted) are retried per expert
+  /// with exponential backoff under `retry_policy()`; permanent errors
+  /// (kCorruption from a poisoned expert, bad ids) fail immediately. The
+  /// deadline bounds the whole assembly — each expert's retry loop gets
+  /// the remaining budget, and an expired deadline yields
+  /// kDeadlineExceeded without acquiring further branches. `retries`,
+  /// when non-null, is incremented once per backoff taken (feeds
+  /// ServeStats::assembly_retries).
+  Result<TaskModel> Query(const std::vector<int>& task_ids,
+                          const Deadline& deadline,
+                          int64_t* retries = nullptr) const;
+
   /// Switches the pool (library + every expert) to the given serving
   /// precision. kInt8 converts Conv2d/Linear weights to packed int8 with
   /// per-output-channel scales and releases their f32 storage, so every
@@ -137,6 +151,12 @@ class ExpertPool {
   Status Save(const std::string& path) const;
   static Result<ExpertPool> Load(const std::string& path);
 
+  /// Retry bounds for transient branch-acquisition failures inside the
+  /// deadline-aware Query. Tests tighten this to make fault schedules
+  /// deterministic; copies inherit it.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
  private:
   WrnConfig library_config_;
   double expert_ks_ = 0.25;
@@ -144,6 +164,7 @@ class ExpertPool {
   std::shared_ptr<Sequential> library_;
   std::shared_ptr<ExpertStore> store_;
   ServingPrecision precision_ = ServingPrecision::kFloat32;
+  RetryPolicy retry_policy_;
 };
 
 }  // namespace poe

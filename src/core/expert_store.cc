@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace poe {
@@ -38,7 +39,6 @@ std::unique_ptr<ExpertStore> ExpertStore::Clone() const {
 
 Result<ExpertBranchHandle> ExpertStore::Acquire(int task_id) {
   std::shared_ptr<Sequential> module;
-  ServingPrecision precision;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (task_id < 0 || task_id >= static_cast<int>(slots_.size())) {
@@ -46,6 +46,12 @@ Result<ExpertBranchHandle> ExpertStore::Acquire(int task_id) {
                                 std::to_string(task_id));
     }
     Slot& slot = slots_[task_id];
+    if (slot.poisoned) {
+      // Fail fast, no work: a poisoned expert stays down until the pool
+      // is rebuilt, and composites that avoid it are untouched.
+      return Status::Unavailable("expert " + std::to_string(task_id) +
+                                 " poisoned: " + slot.poison_reason);
+    }
     if (ExpertBranchHandle live = slot.live.lock()) {
       // Some composite already holds this expert: the acquire shares it,
       // saving exactly the bytes a per-composite copy would have added.
@@ -54,8 +60,29 @@ Result<ExpertBranchHandle> ExpertStore::Acquire(int task_id) {
       return live;
     }
     module = slot.module;
-    precision = precision_;
   }
+  {
+    // Materialization faults. Transient codes bubble up for the pool's
+    // retry loop; corruption permanently poisons this slot (and only it).
+    const Status fault = PoeFaultHit("store.materialize");
+    if (!fault.ok()) {
+      if (fault.code() == StatusCode::kCorruption) {
+        std::lock_guard<std::mutex> lock(mu_);
+        Slot& slot = slots_[task_id];
+        if (!slot.poisoned) {
+          slot.poisoned = true;
+          slot.poison_reason = fault.message();
+        }
+      }
+      return fault;
+    }
+  }
+  // Prepack the module's ACTUAL serving form. Under an int8 store a
+  // degraded (conversion-failed) expert still serves f32, and
+  // Prepack(kInt8) on an f32 module is an ordering bug by contract.
+  const ServingPrecision actual = module->Int8WeightBytes() > 0
+                                      ? ServingPrecision::kInt8
+                                      : ServingPrecision::kFloat32;
   // Pack once, run many: materialization is the single natural point
   // where the expert's persistent GEMM weight panels come up, so every
   // composite, query, and batch referencing this expert shares one packed
@@ -66,7 +93,7 @@ Result<ExpertBranchHandle> ExpertStore::Acquire(int task_id) {
   // form (the reconciliation invariant). Prepack is idempotent and
   // mutex-guarded per layer, so two threads racing the first acquire both
   // pack once; the re-check below turns the loser into a hit.
-  module->Prepack(precision);
+  module->Prepack(actual);
   const int64_t bytes = HeldStateBytes(*module);
   std::lock_guard<std::mutex> lock(mu_);
   Slot& slot = slots_[task_id];
@@ -80,6 +107,7 @@ Result<ExpertBranchHandle> ExpertStore::Acquire(int task_id) {
   b.classes = slot.classes;
   b.config = slot.config;
   b.task_id = task_id;
+  b.precision = actual;
   auto branch = std::make_shared<const ExpertBranch>(std::move(b));
   slot.bytes = bytes;
   slot.live = branch;
@@ -91,7 +119,12 @@ void ExpertStore::PrepareInt8Serving() {
   std::lock_guard<std::mutex> lock(mu_);
   precision_ = ServingPrecision::kInt8;
   for (Slot& slot : slots_) {
-    slot.module->PrepareInt8Serving();
+    // Degraded mode: a failed conversion keeps this expert on f32 instead
+    // of failing the whole pool conversion. Its branches will report f32
+    // and stats().experts_degraded counts it.
+    if (PoeFaultHit("store.int8.convert").ok()) {
+      slot.module->PrepareInt8Serving();
+    }
     slot.bytes = HeldStateBytes(*slot.module);
   }
 }
@@ -146,6 +179,13 @@ ExpertStoreStats ExpertStore::stats() const {
     if (!slot.live.expired()) {
       stats.experts_referenced++;
       stats.referenced_bytes += slot.bytes;
+    }
+    if (slot.poisoned) stats.experts_poisoned++;
+    // Derived from the module, not a cached flag: pool copies share
+    // masters, so a conversion done through one store heals the others.
+    if (precision_ == ServingPrecision::kInt8 &&
+        slot.module->Int8WeightBytes() == 0) {
+      stats.experts_degraded++;
     }
   }
   return stats;

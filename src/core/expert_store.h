@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "models/wrn.h"
@@ -47,6 +48,11 @@ struct ExpertBranch {
   std::vector<int> classes;  ///< global class ids this expert predicts
   WrnConfig config;          ///< architecture (for cost reporting)
   int task_id = -1;          ///< slot in the owning store; -1 = ad-hoc
+  /// The precision this branch ACTUALLY serves, fixed at materialization.
+  /// Under an int8 pool this is normally kInt8, but an expert whose
+  /// conversion failed keeps serving f32 (degraded mode) — composites and
+  /// responses report that honestly instead of failing the query.
+  ServingPrecision precision = ServingPrecision::kFloat32;
 };
 
 /// Refcounted handle composites hold; the refcount IS the residency
@@ -62,6 +68,8 @@ inline ExpertBranchHandle MakeAdHocBranch(std::shared_ptr<Sequential> head,
   b.head = std::move(head);
   b.classes = std::move(classes);
   b.config = config;
+  b.precision = b.head->Int8WeightBytes() > 0 ? ServingPrecision::kInt8
+                                              : ServingPrecision::kFloat32;
   return std::make_shared<const ExpertBranch>(std::move(b));
 }
 
@@ -76,6 +84,12 @@ struct ExpertStoreStats {
   int64_t shared_bytes_saved = 0;
   int64_t experts_referenced = 0;  ///< branches live right now
   int64_t referenced_bytes = 0;    ///< bytes of those live branches
+  /// Slots whose materialization hit permanent corruption: acquires of
+  /// THESE experts fail fast with kUnavailable; every other expert keeps
+  /// serving (blast-radius isolation).
+  int64_t experts_poisoned = 0;
+  /// Slots still serving f32 under an int8 store (failed conversion).
+  int64_t experts_degraded = 0;
 };
 
 class ExpertStore {
@@ -95,7 +109,12 @@ class ExpertStore {
   std::unique_ptr<ExpertStore> Clone() const;
 
   /// Returns the (shared) branch for `task_id`, materializing it if no
-  /// composite currently references it. OutOfRange on unknown ids.
+  /// composite currently references it. OutOfRange on unknown ids;
+  /// kUnavailable (fast, no work) for a poisoned slot. A materialization
+  /// failure (fault site "store.materialize") is returned to the caller:
+  /// transient codes (kIoError/kUnavailable/kResourceExhausted) are
+  /// retried at the pool level, kCorruption permanently poisons THIS slot
+  /// only — acquires of other experts are unaffected.
   Result<ExpertBranchHandle> Acquire(int task_id);
 
   /// Switches every master module to dequant-free int8 serving and
@@ -103,6 +122,12 @@ class ExpertStore {
   /// (their heads alias the converted modules); like the pool-level
   /// conversion this is irreversible. Subsequent Acquire() materializations
   /// prepack the int8 form instead of the f32 one.
+  ///
+  /// Degraded mode: a conversion failure (fault site "store.int8.convert")
+  /// leaves that expert serving f32 — mixed-precision composites work
+  /// because inter-module tensors are f32 either way. Degraded slots are
+  /// reported via stats().experts_degraded, and each branch carries its
+  /// actual precision.
   void PrepareInt8Serving();
 
   /// Precision newly materialized branches are prepacked for.
@@ -132,6 +157,8 @@ class ExpertStore {
     WrnConfig config;
     std::weak_ptr<const ExpertBranch> live;  ///< current branch, if any
     int64_t bytes = 0;  ///< HeldStateBytes at last (re)materialization
+    bool poisoned = false;      ///< permanent materialization corruption
+    std::string poison_reason;  ///< first corruption message, for errors
   };
 
   mutable std::mutex mu_;

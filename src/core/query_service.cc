@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -33,7 +34,16 @@ ModelQueryService::ModelQueryService(ExpertPool pool, size_t cache_capacity,
 
 Result<std::shared_ptr<TaskModel>> ModelQueryService::Query(
     const std::vector<int>& task_ids) {
+  return Query(task_ids, Deadline());
+}
+
+Result<std::shared_ptr<TaskModel>> ModelQueryService::Query(
+    const std::vector<int>& task_ids, const Deadline& deadline) {
   Stopwatch clock;
+
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("deadline expired before assembly");
+  }
 
   // Canonical cache key: sorted + deduplicated, so {2,1,1} and {1,2} are
   // one entry. Assembly also uses the canonical order, so every spelling
@@ -47,14 +57,31 @@ Result<std::shared_ptr<TaskModel>> ModelQueryService::Query(
   // shard sums, so they reconcile by construction and the hot path pays
   // no extra global atomics.
   auto result = cache_.GetOrAssemble(
-      key, [this](const std::vector<int>& canonical)
+      key, [this, &deadline](const std::vector<int>& canonical)
                -> Result<std::shared_ptr<TaskModel>> {
-        auto assembled = pool_.Query(canonical);
-        if (!assembled.ok()) return assembled.status();
-        return std::make_shared<TaskModel>(
-            std::move(assembled).ValueOrDie());
+        int64_t retries = 0;
+        // Two retry layers: the pool retries each expert acquire close to
+        // the failing store; this outer loop additionally restarts the
+        // whole assembly when a fault slipped through (e.g. the service-
+        // level fault site below, or a pool whose per-expert budget was
+        // exhausted by a burst that has since passed).
+        auto assembled = RetryWithBackoff(
+            pool_.retry_policy(), deadline,
+            [&]() -> Result<std::shared_ptr<TaskModel>> {
+              POE_RETURN_NOT_OK(PoeFaultHit("service.assemble"));
+              auto model = pool_.Query(canonical, deadline, &retries);
+              if (!model.ok()) return model.status();
+              return std::make_shared<TaskModel>(
+                  std::move(model).ValueOrDie());
+            },
+            &retries);
+        assembly_retries_.fetch_add(retries, std::memory_order_relaxed);
+        return assembled;
       });
 
+  if (result.ok() && (*result.ValueOrDie()).degraded()) {
+    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
   latency_.Record(clock.ElapsedMillis());
   qps_.Record();
   return result;
@@ -89,7 +116,11 @@ ServeStats ModelQueryService::serve_stats() const {
   stats.shared_bytes_saved = store.shared_bytes_saved;
   stats.experts_referenced = store.experts_referenced;
   stats.referenced_expert_bytes = store.referenced_bytes;
+  stats.experts_poisoned = store.experts_poisoned;
+  stats.experts_degraded = store.experts_degraded;
   stats.trunk_bytes = HeldStateBytes(*pool_.library());
+  stats.assembly_retries = assembly_retries_.load(std::memory_order_relaxed);
+  stats.degraded_queries = degraded_queries_.load(std::memory_order_relaxed);
   stats.p50_ms = latency_.Percentile(0.50);
   stats.p95_ms = latency_.Percentile(0.95);
   stats.p99_ms = latency_.Percentile(0.99);

@@ -2,6 +2,7 @@
 #ifndef POE_CORE_QUERY_SERVICE_H_
 #define POE_CORE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "serve/model_cache.h"
 #include "util/histogram.h"
 #include "util/result.h"
+#include "util/retry.h"
 
 namespace poe {
 
@@ -63,6 +65,17 @@ class ModelQueryService {
   /// through the model's global_classes().
   Result<std::shared_ptr<TaskModel>> Query(const std::vector<int>& task_ids);
 
+  /// Deadline-aware form: the remaining budget bounds cache assembly (an
+  /// expired deadline fails with kDeadlineExceeded before any work), and
+  /// transient assembly failures are retried with backoff at two layers —
+  /// per expert inside the pool and once around the whole assembly (the
+  /// service layer catches faults the pool's per-expert loop exhausted).
+  /// Retries taken are counted into serve_stats().assembly_retries, and a
+  /// degraded answering model bumps degraded_queries. Error results are
+  /// never cached, so a fault-failed key does not stick.
+  Result<std::shared_ptr<TaskModel>> Query(const std::vector<int>& task_ids,
+                                           const Deadline& deadline);
+
   QueryStats stats() const;
   /// Full serving metrics: latency percentiles, QPS, per-shard hit rates.
   ServeStats serve_stats() const;
@@ -74,6 +87,8 @@ class ModelQueryService {
   ShardedModelCache cache_;
   LatencyHistogram latency_;
   QpsWindow qps_;
+  std::atomic<int64_t> assembly_retries_{0};
+  std::atomic<int64_t> degraded_queries_{0};
 };
 
 }  // namespace poe

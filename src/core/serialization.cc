@@ -1,11 +1,20 @@
 #include "core/serialization.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "core/expert_pool.h"
+#include "util/crc32c.h"
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace poe {
@@ -13,12 +22,20 @@ namespace poe {
 namespace {
 
 constexpr char kMagic[8] = {'P', 'O', 'E', 'P', 'O', 'O', 'L', '1'};
-// Version history: 1 = f32-only payload; 2 adds a serving-precision tag
-// and, for int8 pools, the per-channel quantized weight form plus static
-// activation scales (so Load reaches packed int8 serving with no f32
-// round-trip). The reader accepts both; the writer emits 2.
+// Version history: 1 = f32-only payload, whole-payload FNV checksum;
+// 2 adds a serving-precision tag and the int8 module form (still one FNV
+// over the whole payload); 3 splits the file into per-section CRC32C
+// frames with a commit footer and is written via tmp+fsync+rename. The
+// reader accepts all three; the writer emits 3.
 constexpr uint32_t kVersionF32 = 1;
-constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersionFnv = 2;
+constexpr uint32_t kVersion = 3;
+
+// v3 section tags.
+constexpr uint32_t kTagMeta = 1;
+constexpr uint32_t kTagLibrary = 2;
+constexpr uint32_t kTagExpert = 3;
+constexpr uint32_t kTagFooter = 0xF00Fu;
 
 // Low-level primitives. The on-disk layout is the host's little-endian
 // representation; the format is an internal cache, not an exchange format.
@@ -252,6 +269,407 @@ Status ReadActScales(std::istream& in, Module& module) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Shared meta payload (v2 inline, v3 as its own section): library config,
+// expert width, hierarchy, pool-level precision tag.
+
+void WritePoolMeta(std::ostream& out, const ExpertPool& pool) {
+  WriteWrnConfig(out, pool.library_config());
+  WritePod<double>(out, pool.expert_ks());
+  const ClassHierarchy& h = pool.hierarchy();
+  WritePod<int32_t>(out, h.num_tasks());
+  for (int t = 0; t < h.num_tasks(); ++t) {
+    const auto& classes = h.task_classes(t);
+    WritePod<int32_t>(out, static_cast<int32_t>(classes.size()));
+    for (int c : classes) WritePod<int32_t>(out, c);
+  }
+  const bool int8 = pool.serving_precision() == ServingPrecision::kInt8;
+  WritePod<uint8_t>(out, int8 ? 1 : 0);
+}
+
+struct PoolMeta {
+  WrnConfig library_cfg;
+  double expert_ks = 0.0;
+  std::vector<std::vector<int>> tasks;
+  bool int8 = false;
+};
+
+Status ReadPoolMeta(std::istream& in, bool has_precision, PoolMeta* meta) {
+  POE_RETURN_NOT_OK(ReadWrnConfig(in, &meta->library_cfg));
+  if (!ReadPod(in, &meta->expert_ks)) {
+    return Status::Corruption("truncated pool meta");
+  }
+  int32_t num_tasks = 0;
+  if (!ReadPod(in, &num_tasks) || num_tasks <= 0 || num_tasks > 100000) {
+    return Status::Corruption("bad task count");
+  }
+  meta->tasks.resize(num_tasks);
+  for (int t = 0; t < num_tasks; ++t) {
+    int32_t count = 0;
+    if (!ReadPod(in, &count) || count <= 0) {
+      return Status::Corruption("bad task size");
+    }
+    meta->tasks[t].resize(count);
+    for (int i = 0; i < count; ++i) {
+      int32_t c = 0;
+      if (!ReadPod(in, &c)) return Status::Corruption("truncated task");
+      meta->tasks[t][i] = c;
+    }
+  }
+  if (has_precision) {
+    uint8_t precision_tag = 0;
+    if (!ReadPod(in, &precision_tag) || precision_tag > 1) {
+      return Status::Corruption("bad precision tag");
+    }
+    meta->int8 = precision_tag == 1;
+  }
+  return Status::OK();
+}
+
+// v3 module section payload: a per-module precision byte, then the state.
+// The byte is per MODULE (not per pool) so a degraded int8 pool — where a
+// failed conversion left some expert serving f32 — saves faithfully.
+Status WriteModuleSection(std::ostream& out, Module& module) {
+  const bool int8 = module.Int8WeightBytes() > 0;
+  WritePod<uint8_t>(out, int8 ? 1 : 0);
+  if (int8) return WriteInt8ModuleState(out, module);
+  POE_RETURN_NOT_OK(WriteModuleState(out, module));
+  WriteActScales(out, module);
+  return Status::OK();
+}
+
+Status ReadModuleSection(std::istream& in, Module& module) {
+  uint8_t precision_tag = 0;
+  if (!ReadPod(in, &precision_tag) || precision_tag > 1) {
+    return Status::Corruption("bad module precision tag");
+  }
+  if (precision_tag == 1) return ReadInt8ModuleState(in, module);
+  POE_RETURN_NOT_OK(ReadModuleState(in, module));
+  return ReadActScales(in, module);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe file replacement (POSIX): write to path+".tmp", fsync, rename
+// over the target, fsync the parent directory. Readers observe either the
+// old complete file or the new one, never a torn mixture.
+
+#ifndef _WIN32
+
+bool WriteAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);  // best effort: the rename itself is already durable-ish
+    ::close(fd);
+  }
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& blob) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  {
+    // Injected write fault = crash mid-write: half the bytes land in the
+    // tmp file and nothing is cleaned up. The committed file at `path`
+    // must remain untouched and loadable — that is what the torn-write
+    // recovery test asserts.
+    const Status fault = PoeFaultHit("pool.save.write");
+    if (!fault.ok()) {
+      WriteAll(fd, blob.data(), blob.size() / 2);
+      ::close(fd);
+      return fault;
+    }
+  }
+  if (!WriteAll(fd, blob.data(), blob.size())) {
+    const Status s =
+        Status::IoError("failed writing " + tmp + ": " +
+                        std::strerror(errno));
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return s;
+  }
+  Status fault = PoeFaultHit("pool.save.sync");
+  if (fault.ok() && ::fsync(fd) != 0) {
+    fault = Status::IoError("fsync " + tmp + ": " + std::strerror(errno));
+  }
+  if (!fault.ok()) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return fault;
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("close " + tmp + ": " + std::strerror(errno));
+  }
+  fault = PoeFaultHit("pool.save.rename");
+  if (!fault.ok()) {
+    std::remove(tmp.c_str());
+    return fault;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status s =
+        Status::IoError("rename " + tmp + " -> " + path + ": " +
+                        std::strerror(errno));
+    std::remove(tmp.c_str());
+    return s;
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+#else  // _WIN32
+
+Status WriteFileAtomic(const std::string& path, const std::string& blob) {
+  const std::string tmp = path + ".tmp";
+  POE_RETURN_NOT_OK(PoeFaultHit("pool.save.write"));
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) return Status::IoError("cannot open " + tmp + " for writing");
+    file.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!file) {
+      std::remove(tmp.c_str());
+      return Status::IoError("failed writing " + tmp);
+    }
+  }
+  POE_RETURN_NOT_OK(PoeFaultHit("pool.save.sync"));
+  const Status fault = PoeFaultHit("pool.save.rename");
+  if (!fault.ok()) {
+    std::remove(tmp.c_str());
+    return fault;
+  }
+  std::remove(path.c_str());  // rename does not replace on Windows
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+#endif  // _WIN32
+
+// ---------------------------------------------------------------------------
+// v3 section framing.
+
+void AppendSection(std::string* blob, std::vector<uint32_t>* crcs,
+                   uint32_t tag, const std::string& payload) {
+  std::ostringstream frame;
+  WritePod<uint32_t>(frame, tag);
+  WritePod<uint64_t>(frame, static_cast<uint64_t>(payload.size()));
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  WritePod<uint32_t>(frame, crc);
+  *blob += frame.str();
+  *blob += payload;
+  if (crcs != nullptr) crcs->push_back(crc);
+}
+
+std::string BuildFooterPayload(const std::vector<uint32_t>& crcs) {
+  std::ostringstream payload;
+  WritePod<uint32_t>(payload, static_cast<uint32_t>(crcs.size()));
+  WritePod<uint32_t>(payload,
+                     Crc32c(crcs.data(), crcs.size() * sizeof(uint32_t)));
+  return payload.str();
+}
+
+struct SectionView {
+  uint32_t tag = 0;
+  size_t offset = 0;  ///< payload start within the file bytes
+  uint64_t len = 0;
+  uint32_t crc_stored = 0;
+  uint32_t crc_actual = 0;
+  bool crc_ok = false;
+};
+
+const char* SectionName(uint32_t tag) {
+  switch (tag) {
+    case kTagMeta:
+      return "meta";
+    case kTagLibrary:
+      return "library";
+    case kTagExpert:
+      return "expert";
+    case kTagFooter:
+      return "footer";
+    default:
+      return "unknown";
+  }
+}
+
+// Walks the v3 section frames (after the 16-byte header). Fills `out`
+// with every fully-framed section (CRCs computed but not enforced — fsck
+// wants the per-section verdicts) and returns Corruption on structural
+// damage: truncated frame, implausible count, trailing bytes, bad tag.
+Status WalkSections(const std::string& bytes, uint32_t section_count,
+                    std::vector<SectionView>* out) {
+  if (section_count == 0 || section_count > 1000000) {
+    return Status::Corruption("implausible section count " +
+                              std::to_string(section_count));
+  }
+  size_t pos = sizeof(kMagic) + 2 * sizeof(uint32_t);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    constexpr size_t kFrameHeader =
+        sizeof(uint32_t) + sizeof(uint64_t) + sizeof(uint32_t);
+    if (bytes.size() - pos < kFrameHeader) {
+      return Status::Corruption("truncated section header (section " +
+                                std::to_string(i) + ")");
+    }
+    SectionView view;
+    std::memcpy(&view.tag, bytes.data() + pos, sizeof(uint32_t));
+    std::memcpy(&view.len, bytes.data() + pos + sizeof(uint32_t),
+                sizeof(uint64_t));
+    std::memcpy(&view.crc_stored,
+                bytes.data() + pos + sizeof(uint32_t) + sizeof(uint64_t),
+                sizeof(uint32_t));
+    pos += kFrameHeader;
+    if (view.tag != kTagMeta && view.tag != kTagLibrary &&
+        view.tag != kTagExpert && view.tag != kTagFooter) {
+      return Status::Corruption("unknown section tag " +
+                                std::to_string(view.tag));
+    }
+    if (view.len > bytes.size() - pos) {
+      return Status::Corruption("truncated section payload (" +
+                                std::string(SectionName(view.tag)) + ")");
+    }
+    view.offset = pos;
+    view.crc_actual = Crc32c(bytes.data() + pos, view.len);
+    view.crc_ok = view.crc_actual == view.crc_stored;
+    pos += view.len;
+    out->push_back(view);
+  }
+  if (pos != bytes.size()) {
+    return Status::Corruption("trailing bytes after last section");
+  }
+  return Status::OK();
+}
+
+// Checks the commit footer: last section, correct tag, seals the count
+// and the CRC-of-CRCs of every data section. A torn write that dropped
+// the tail (or a header flip that shrank the count) fails here even when
+// each surviving section's own CRC is intact.
+Status CheckFooter(const std::vector<SectionView>& sections,
+                   const std::string& bytes) {
+  if (sections.empty() || sections.back().tag != kTagFooter) {
+    return Status::Corruption("missing commit footer");
+  }
+  const SectionView& footer = sections.back();
+  if (!footer.crc_ok) return Status::Corruption("footer checksum mismatch");
+  if (footer.len != 2 * sizeof(uint32_t)) {
+    return Status::Corruption("bad footer size");
+  }
+  uint32_t sealed_count = 0, sealed_crc = 0;
+  std::memcpy(&sealed_count, bytes.data() + footer.offset, sizeof(uint32_t));
+  std::memcpy(&sealed_crc,
+              bytes.data() + footer.offset + sizeof(uint32_t),
+              sizeof(uint32_t));
+  const uint32_t data_count = static_cast<uint32_t>(sections.size()) - 1;
+  if (sealed_count != data_count) {
+    return Status::Corruption("footer section count mismatch");
+  }
+  std::vector<uint32_t> crcs;
+  crcs.reserve(data_count);
+  for (uint32_t i = 0; i < data_count; ++i) {
+    crcs.push_back(sections[i].crc_stored);
+  }
+  if (Crc32c(crcs.data(), crcs.size() * sizeof(uint32_t)) != sealed_crc) {
+    return Status::Corruption("footer CRC-of-CRCs mismatch");
+  }
+  return Status::OK();
+}
+
+// Reads the whole file into memory. kNotFound when missing; the
+// pool.load.* fault sites model open and read failures.
+Result<std::string> ReadFileBytes(const std::string& path) {
+  POE_RETURN_NOT_OK(PoeFaultHit("pool.load.open"));
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open " + path);
+  std::ostringstream all;
+  all << file.rdbuf();
+  POE_RETURN_NOT_OK(PoeFaultHit("pool.load.read"));
+  return all.str();
+}
+
+// Rebuilds the pool from decoded meta plus a per-module section reader.
+// `read_module` is called with the library first, then each expert head
+// in task order.
+template <typename ReadModuleFn>
+Result<ExpertPool> AssemblePool(PoolMeta meta, ReadModuleFn read_module) {
+  POE_ASSIGN_OR_RETURN(ClassHierarchy hierarchy,
+                       ClassHierarchy::FromTasks(std::move(meta.tasks)));
+  // Rebuild module skeletons from the configs, then load states into them
+  // (for int8 modules the quantized state is adopted directly — the f32
+  // skeleton weights are released without ever being dequantized into).
+  Rng rng(0);  // weights are overwritten by the load
+  std::shared_ptr<Sequential> library =
+      BuildLibraryPart(meta.library_cfg, rng);
+  POE_RETURN_NOT_OK(read_module(0, *library));
+  library->SetTrainable(false);
+
+  std::vector<std::shared_ptr<Sequential>> experts;
+  const int num_tasks = hierarchy.num_tasks();
+  for (int t = 0; t < num_tasks; ++t) {
+    WrnConfig expert_cfg = meta.library_cfg;
+    expert_cfg.ks = meta.expert_ks;
+    expert_cfg.num_classes =
+        static_cast<int>(hierarchy.task_classes(t).size());
+    auto head = BuildExpertPart(expert_cfg,
+                                meta.library_cfg.conv3_channels(), rng);
+    POE_RETURN_NOT_OK(read_module(t + 1, *head));
+    experts.push_back(std::move(head));
+  }
+  ExpertPool pool(meta.library_cfg, meta.expert_ks, std::move(hierarchy),
+                  std::move(library), std::move(experts));
+  if (meta.int8) {
+    // Re-applies the pool-level precision. Already-converted modules are
+    // untouched (idempotent); an f32 module from a degraded save gets its
+    // conversion retried here, healing the degradation on reload.
+    POE_RETURN_NOT_OK(pool.SetServingPrecision(ServingPrecision::kInt8));
+  }
+  return pool;
+}
+
+Result<ExpertPool> LoadLegacyPool(const std::string& bytes, uint32_t version,
+                                  const std::string& path) {
+  constexpr size_t kHeader =
+      sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t);
+  if (bytes.size() < kHeader) {
+    return Status::Corruption("truncated pool header in " + path);
+  }
+  uint64_t checksum = 0;
+  std::memcpy(&checksum, bytes.data() + sizeof(kMagic) + sizeof(uint32_t),
+              sizeof(uint64_t));
+  const std::string payload = bytes.substr(kHeader);
+  if (Fnv1a(payload) != checksum) {
+    return Status::Corruption("pool checksum mismatch in " + path);
+  }
+  std::istringstream in(payload);
+  PoolMeta meta;
+  POE_RETURN_NOT_OK(ReadPoolMeta(in, /*has_precision=*/version >= 2, &meta));
+  const bool int8 = meta.int8;
+  return AssemblePool(std::move(meta), [&](int /*index*/, Module& module) {
+    if (int8) return ReadInt8ModuleState(in, module);
+    POE_RETURN_NOT_OK(ReadModuleState(in, module));
+    if (version >= 2) return ReadActScales(in, module);
+    return Status::OK();
+  });
+}
+
 }  // namespace
 
 int64_t ModuleStateBytes(Module& module) {
@@ -264,42 +682,216 @@ int64_t ModuleStateBytes(Module& module) {
 }
 
 Status SaveExpertPool(const ExpertPool& pool, const std::string& path) {
-  std::ostringstream payload;
-  WriteWrnConfig(payload, pool.library_config());
-  WritePod<double>(payload, pool.expert_ks());
-  // Hierarchy.
-  const ClassHierarchy& h = pool.hierarchy();
-  WritePod<int32_t>(payload, h.num_tasks());
-  for (int t = 0; t < h.num_tasks(); ++t) {
-    const auto& classes = h.task_classes(t);
-    WritePod<int32_t>(payload, static_cast<int32_t>(classes.size()));
-    for (int c : classes) WritePod<int32_t>(payload, c);
+  std::string blob;
+  std::vector<uint32_t> crcs;
+  {
+    std::ostringstream header;
+    header.write(kMagic, sizeof(kMagic));
+    WritePod<uint32_t>(header, kVersion);
+    // Data sections + the footer.
+    WritePod<uint32_t>(header,
+                       static_cast<uint32_t>(2 + pool.num_experts() + 1));
+    blob = header.str();
+  }
+  {
+    std::ostringstream meta;
+    WritePoolMeta(meta, pool);
+    AppendSection(&blob, &crcs, kTagMeta, meta.str());
+  }
+  {
+    std::ostringstream library;
+    POE_RETURN_NOT_OK(WriteModuleSection(library, *pool.library()));
+    AppendSection(&blob, &crcs, kTagLibrary, library.str());
+  }
+  for (int t = 0; t < pool.num_experts(); ++t) {
+    std::ostringstream expert;
+    POE_RETURN_NOT_OK(WriteModuleSection(expert, *pool.expert(t)));
+    AppendSection(&blob, &crcs, kTagExpert, expert.str());
+  }
+  AppendSection(&blob, nullptr, kTagFooter, BuildFooterPayload(crcs));
+  return WriteFileAtomic(path, blob);
+}
+
+Result<ExpertPool> LoadExpertPool(const std::string& path) {
+  POE_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  constexpr size_t kMinHeader = sizeof(kMagic) + sizeof(uint32_t);
+  if (bytes.size() < kMinHeader ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad pool magic in " + path);
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(uint32_t));
+  if (version == kVersionF32 || version == kVersionFnv) {
+    return LoadLegacyPool(bytes, version, path);
+  }
+  if (version != kVersion) {
+    return Status::Corruption("unsupported pool version " +
+                              std::to_string(version));
+  }
+  if (bytes.size() < kMinHeader + sizeof(uint32_t)) {
+    return Status::Corruption("truncated pool header in " + path);
+  }
+  uint32_t section_count = 0;
+  std::memcpy(&section_count, bytes.data() + kMinHeader, sizeof(uint32_t));
+  std::vector<SectionView> sections;
+  POE_RETURN_NOT_OK(WalkSections(bytes, section_count, &sections));
+  for (const SectionView& s : sections) {
+    if (!s.crc_ok) {
+      return Status::Corruption(std::string(SectionName(s.tag)) +
+                                " section checksum mismatch in " + path);
+    }
+  }
+  POE_RETURN_NOT_OK(CheckFooter(sections, bytes));
+
+  // Expected shape: meta, library, expert x N, footer.
+  if (sections.size() < 3 || sections[0].tag != kTagMeta ||
+      sections[1].tag != kTagLibrary) {
+    return Status::Corruption("unexpected section layout in " + path);
+  }
+  std::istringstream meta_in(
+      bytes.substr(sections[0].offset, sections[0].len));
+  PoolMeta meta;
+  POE_RETURN_NOT_OK(ReadPoolMeta(meta_in, /*has_precision=*/true, &meta));
+  const size_t num_experts = sections.size() - 3;
+  if (num_experts != meta.tasks.size()) {
+    return Status::Corruption("expert section count mismatch in " + path);
+  }
+  for (size_t i = 0; i < num_experts; ++i) {
+    if (sections[2 + i].tag != kTagExpert) {
+      return Status::Corruption("unexpected section layout in " + path);
+    }
+  }
+  return AssemblePool(std::move(meta), [&](int index, Module& module) {
+    const SectionView& s = sections[static_cast<size_t>(index) + 1];
+    std::istringstream in(bytes.substr(s.offset, s.len));
+    return ReadModuleSection(in, module);
+  });
+}
+
+Status SaveExpertPoolLegacy(const ExpertPool& pool, const std::string& path,
+                            uint32_t version) {
+  if (version != kVersionF32 && version != kVersionFnv) {
+    return Status::InvalidArgument("legacy writer supports versions 1-2");
   }
   const bool int8 = pool.serving_precision() == ServingPrecision::kInt8;
-  WritePod<uint8_t>(payload, int8 ? 1 : 0);
-  if (int8) {
-    POE_RETURN_NOT_OK(WriteInt8ModuleState(payload, *pool.library()));
-    for (int t = 0; t < pool.num_experts(); ++t) {
-      POE_RETURN_NOT_OK(WriteInt8ModuleState(payload, *pool.expert(t)));
-    }
+  if (int8 && version == kVersionF32) {
+    return Status::InvalidArgument("version 1 cannot represent int8 pools");
+  }
+  std::ostringstream payload;
+  if (version >= 2) {
+    WritePoolMeta(payload, pool);
   } else {
-    POE_RETURN_NOT_OK(WriteModuleState(payload, *pool.library()));
-    WriteActScales(payload, *pool.library());
-    for (int t = 0; t < pool.num_experts(); ++t) {
-      POE_RETURN_NOT_OK(WriteModuleState(payload, *pool.expert(t)));
-      WriteActScales(payload, *pool.expert(t));
+    // v1 meta lacks the precision tag.
+    WriteWrnConfig(payload, pool.library_config());
+    WritePod<double>(payload, pool.expert_ks());
+    const ClassHierarchy& h = pool.hierarchy();
+    WritePod<int32_t>(payload, h.num_tasks());
+    for (int t = 0; t < h.num_tasks(); ++t) {
+      const auto& classes = h.task_classes(t);
+      WritePod<int32_t>(payload, static_cast<int32_t>(classes.size()));
+      for (int c : classes) WritePod<int32_t>(payload, c);
     }
+  }
+  auto write_module = [&](Module& module) -> Status {
+    if (int8) return WriteInt8ModuleState(payload, module);
+    POE_RETURN_NOT_OK(WriteModuleState(payload, module));
+    if (version >= 2) WriteActScales(payload, module);
+    return Status::OK();
+  };
+  POE_RETURN_NOT_OK(write_module(*pool.library()));
+  for (int t = 0; t < pool.num_experts(); ++t) {
+    POE_RETURN_NOT_OK(write_module(*pool.expert(t)));
   }
 
   const std::string bytes = payload.str();
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) return Status::IoError("cannot open " + path + " for writing");
   file.write(kMagic, sizeof(kMagic));
-  WritePod<uint32_t>(file, kVersion);
+  WritePod<uint32_t>(file, version);
   WritePod<uint64_t>(file, Fnv1a(bytes));
   file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   if (!file) return Status::IoError("failed writing " + path);
   return Status::OK();
+}
+
+Result<PoolFsckReport> FsckExpertPool(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open " + path);
+  std::ostringstream all;
+  all << file.rdbuf();
+  const std::string bytes = all.str();
+
+  PoolFsckReport report;
+  constexpr size_t kMinHeader = sizeof(kMagic) + sizeof(uint32_t);
+  if (bytes.size() < kMinHeader ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    report.error = "bad pool magic";
+    return report;
+  }
+  std::memcpy(&report.version, bytes.data() + sizeof(kMagic),
+              sizeof(uint32_t));
+
+  if (report.version == kVersionF32 || report.version == kVersionFnv) {
+    // Legacy layout: one FNV-64 checksum over the whole payload.
+    constexpr size_t kHeader = kMinHeader + sizeof(uint64_t);
+    if (bytes.size() < kHeader) {
+      report.error = "truncated pool header";
+      return report;
+    }
+    uint64_t checksum = 0;
+    std::memcpy(&checksum, bytes.data() + kMinHeader, sizeof(uint64_t));
+    PoolSectionReport section;
+    section.name = "payload (legacy v" + std::to_string(report.version) + ")";
+    section.bytes = static_cast<int64_t>(bytes.size() - kHeader);
+    section.crc_ok = Fnv1a(bytes.substr(kHeader)) == checksum;
+    if (!section.crc_ok) section.detail = "FNV checksum mismatch";
+    report.sections.push_back(std::move(section));
+    report.ok = report.sections[0].crc_ok;
+    if (!report.ok) report.error = "payload checksum mismatch";
+    return report;
+  }
+  if (report.version != kVersion) {
+    report.error = "unsupported pool version " +
+                   std::to_string(report.version);
+    return report;
+  }
+  if (bytes.size() < kMinHeader + sizeof(uint32_t)) {
+    report.error = "truncated pool header";
+    return report;
+  }
+  uint32_t section_count = 0;
+  std::memcpy(&section_count, bytes.data() + kMinHeader, sizeof(uint32_t));
+  std::vector<SectionView> sections;
+  const Status walk = WalkSections(bytes, section_count, &sections);
+  int expert_index = 0;
+  for (const SectionView& s : sections) {
+    PoolSectionReport section;
+    section.tag = s.tag;
+    section.name = s.tag == kTagExpert
+                       ? "expert[" + std::to_string(expert_index++) + "]"
+                       : SectionName(s.tag);
+    section.bytes = static_cast<int64_t>(s.len);
+    section.crc_ok = s.crc_ok;
+    if (!s.crc_ok) section.detail = "CRC32C mismatch";
+    report.sections.push_back(std::move(section));
+  }
+  if (!walk.ok()) {
+    report.error = walk.message();
+    return report;
+  }
+  for (const PoolSectionReport& s : report.sections) {
+    if (!s.crc_ok) {
+      report.error = s.name + ": " + s.detail;
+      return report;
+    }
+  }
+  const Status footer = CheckFooter(sections, bytes);
+  if (!footer.ok()) {
+    report.error = footer.message();
+    return report;
+  }
+  report.ok = true;
+  return report;
 }
 
 namespace {
@@ -344,97 +936,6 @@ Result<std::shared_ptr<Wrn>> LoadWrnModel(const std::string& path) {
   auto model = std::make_shared<Wrn>(cfg, rng);
   POE_RETURN_NOT_OK(ReadModuleState(in, *model));
   return model;
-}
-
-Result<ExpertPool> LoadExpertPool(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::NotFound("cannot open " + path);
-  char magic[8];
-  file.read(magic, sizeof(magic));
-  if (!file || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("bad pool magic in " + path);
-  }
-  uint32_t version = 0;
-  uint64_t checksum = 0;
-  if (!ReadPod(file, &version) || !ReadPod(file, &checksum)) {
-    return Status::Corruption("truncated pool header");
-  }
-  if (version != kVersionF32 && version != kVersion) {
-    return Status::Corruption("unsupported pool version " +
-                              std::to_string(version));
-  }
-  std::ostringstream rest;
-  rest << file.rdbuf();
-  const std::string bytes = rest.str();
-  if (Fnv1a(bytes) != checksum) {
-    return Status::Corruption("pool checksum mismatch in " + path);
-  }
-
-  std::istringstream in(bytes);
-  WrnConfig library_cfg;
-  POE_RETURN_NOT_OK(ReadWrnConfig(in, &library_cfg));
-  double expert_ks = 0.0;
-  if (!ReadPod(in, &expert_ks)) return Status::Corruption("truncated pool");
-  int32_t num_tasks = 0;
-  if (!ReadPod(in, &num_tasks) || num_tasks <= 0 || num_tasks > 100000) {
-    return Status::Corruption("bad task count");
-  }
-  std::vector<std::vector<int>> tasks(num_tasks);
-  for (int t = 0; t < num_tasks; ++t) {
-    int32_t count = 0;
-    if (!ReadPod(in, &count) || count <= 0) {
-      return Status::Corruption("bad task size");
-    }
-    tasks[t].resize(count);
-    for (int i = 0; i < count; ++i) {
-      int32_t c = 0;
-      if (!ReadPod(in, &c)) return Status::Corruption("truncated task");
-      tasks[t][i] = c;
-    }
-  }
-  POE_ASSIGN_OR_RETURN(ClassHierarchy hierarchy,
-                       ClassHierarchy::FromTasks(std::move(tasks)));
-
-  bool int8 = false;
-  if (version >= 2) {
-    uint8_t precision_tag = 0;
-    if (!ReadPod(in, &precision_tag) || precision_tag > 1) {
-      return Status::Corruption("bad precision tag");
-    }
-    int8 = precision_tag == 1;
-  }
-
-  // Rebuild module skeletons from the configs, then load states into them
-  // (for int8 pools the quantized state is adopted directly — the f32
-  // skeleton weights are released without ever being dequantized into).
-  Rng rng(0);  // weights are overwritten by the load
-  std::shared_ptr<Sequential> library = BuildLibraryPart(library_cfg, rng);
-  POE_RETURN_NOT_OK(int8 ? ReadInt8ModuleState(in, *library)
-                         : ReadModuleState(in, *library));
-  if (!int8 && version >= 2) POE_RETURN_NOT_OK(ReadActScales(in, *library));
-  library->SetTrainable(false);
-
-  std::vector<std::shared_ptr<Sequential>> experts;
-  for (int t = 0; t < num_tasks; ++t) {
-    WrnConfig expert_cfg = library_cfg;
-    expert_cfg.ks = expert_ks;
-    expert_cfg.num_classes =
-        static_cast<int>(hierarchy.task_classes(t).size());
-    auto head =
-        BuildExpertPart(expert_cfg, library_cfg.conv3_channels(), rng);
-    POE_RETURN_NOT_OK(int8 ? ReadInt8ModuleState(in, *head)
-                           : ReadModuleState(in, *head));
-    if (!int8 && version >= 2) POE_RETURN_NOT_OK(ReadActScales(in, *head));
-    experts.push_back(std::move(head));
-  }
-  ExpertPool pool(library_cfg, expert_ks, std::move(hierarchy),
-                  std::move(library), std::move(experts));
-  if (int8) {
-    // Modules are already converted (adopted); this flips the pool-level
-    // precision flag and store accounting without touching weights.
-    POE_RETURN_NOT_OK(pool.SetServingPrecision(ServingPrecision::kInt8));
-  }
-  return pool;
 }
 
 }  // namespace poe

@@ -2,9 +2,11 @@
 #ifndef POE_CORE_SERIALIZATION_H_
 #define POE_CORE_SERIALIZATION_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "models/wrn.h"
 #include "nn/module.h"
@@ -26,20 +28,62 @@ Status ReadModuleState(std::istream& in, Module& module);
 /// Serialized byte size of a module's state (without pool headers).
 int64_t ModuleStateBytes(Module& module);
 
-/// Pool file format (little-endian):
-///   magic "POEPOOL1" | version u32 | FNV-1a checksum u64 of the payload |
-///   payload: library WrnConfig, expert_ks, hierarchy,
-///            [v2+] precision tag u8 (0 = f32, 1 = int8),
-///            library state, per-expert state.
-/// f32 module state is the full parameter/buffer tensor dump followed by
-/// the quantizable layers' static activation scales (so calibration
-/// survives a save/load cycle even before the int8 conversion); int8
-/// module state is the portable per-output-channel quantized form (+
-/// static activation scales) followed by the surviving f32 parameters
-/// and buffers, so Load reaches packed int8 serving without
-/// materializing f32 weights. Version 1 files (f32-only) still load.
+/// Pool file format, version 3 (little-endian):
+///
+///   magic "POEPOOL1" | version u32 | section_count u32 | sections...
+///   section: tag u32 | payload_len u64 | crc32c(payload) u32 | payload
+///
+/// Data sections, in order: one meta section (library WrnConfig,
+/// expert_ks, hierarchy, pool precision tag), one library section, one
+/// expert section per task (task-id order). Module sections lead with a
+/// per-module precision byte, so a partially degraded int8 pool (some
+/// expert kept f32 after a failed conversion) saves faithfully; on load
+/// the pool-level precision is re-applied, which retries the conversion.
+/// The final section is a commit footer sealing the data-section count
+/// and a CRC over all data-section CRCs — a torn write that loses the
+/// tail is detected even when every surviving section checks out.
+///
+/// SaveExpertPool is crash-safe: the blob is written to `path + ".tmp"`,
+/// fsync'd, and renamed over `path` (then the parent directory is
+/// fsync'd), so readers see either the old complete file or the new one.
+///
+/// LoadExpertPool verifies every CRC and the footer before decoding and
+/// returns kCorruption on any mismatch, truncation, or trailing garbage;
+/// kNotFound when the file is missing. Version 1 (f32-only) and version 2
+/// (whole-payload FNV checksum) files still load.
 Status SaveExpertPool(const ExpertPool& pool, const std::string& path);
 Result<ExpertPool> LoadExpertPool(const std::string& path);
+
+/// Writes `pool` in a legacy format (version 1 or 2) exactly as the old
+/// writers did — non-atomic, whole-payload checksum. Compatibility-test
+/// aid; version 1 cannot represent int8 pools (InvalidArgument).
+Status SaveExpertPoolLegacy(const ExpertPool& pool, const std::string& path,
+                            uint32_t version);
+
+/// One section's health as seen by FsckExpertPool.
+struct PoolSectionReport {
+  std::string name;   ///< "meta", "library", "expert[7]", "footer", ...
+  uint32_t tag = 0;
+  int64_t bytes = 0;  ///< payload bytes
+  bool crc_ok = false;
+  std::string detail;  ///< empty when healthy
+};
+
+/// Structural + checksum verification of a pool file, without rebuilding
+/// any modules. `ok` is the verdict; `error` names the first fatal
+/// problem (bad magic, truncation, footer mismatch, ...).
+struct PoolFsckReport {
+  uint32_t version = 0;
+  bool ok = false;
+  std::vector<PoolSectionReport> sections;
+  std::string error;
+};
+
+/// Verifies `path` section by section. Returns kNotFound if the file is
+/// missing; otherwise always returns a report (corruption is reported in
+/// it, not as an error Status). Legacy files report a single "payload"
+/// pseudo-section covered by their whole-file checksum.
+Result<PoolFsckReport> FsckExpertPool(const std::string& path);
 
 /// Whole-WRN persistence (config header + state), used to cache trained
 /// oracles between bench runs.

@@ -34,7 +34,13 @@ TaskModel::TaskModel(std::shared_ptr<Sequential> library,
     POE_CHECK(b != nullptr && b->head != nullptr);
     global_classes_.insert(global_classes_.end(), b->classes.begin(),
                            b->classes.end());
+    if (precision_ == ServingPrecision::kInt8 &&
+        b->precision == ServingPrecision::kFloat32) {
+      degraded_branches_++;
+    }
   }
+  trunk_degraded_ = precision_ == ServingPrecision::kInt8 &&
+                    library_->Int8WeightBytes() == 0;
 }
 
 TaskModel::TaskModel(std::shared_ptr<Sequential> library,

@@ -84,8 +84,22 @@ class TaskModel {
   /// memory footprint of an int8-served model.
   int64_t NumParams() const;
 
-  /// Precision the aliased pool modules serve at.
+  /// Precision the aliased pool modules serve at (the POOL's intent; see
+  /// degraded_branches() for what the branches actually run).
   ServingPrecision serving_precision() const { return precision_; }
+
+  /// Branches serving below the pool's intended precision (f32 under an
+  /// int8 pool, after a failed conversion). 0 on a healthy model. Mixed
+  /// precision is functionally transparent — inter-module tensors are f32
+  /// either way — but responses report it so clients can tell.
+  int degraded_branches() const { return degraded_branches_; }
+
+  /// True when the shared library trunk itself is degraded to f32 under
+  /// an int8 pool.
+  bool trunk_degraded() const { return trunk_degraded_; }
+
+  /// degraded_branches() > 0 or trunk_degraded().
+  bool degraded() const { return degraded_branches_ > 0 || trunk_degraded_; }
 
   /// Bytes of weight state this model would hold if its aliases were
   /// private copies (library + every branch). The serving layer charges
@@ -99,6 +113,8 @@ class TaskModel {
   std::vector<ExpertBranchHandle> branches_;
   std::vector<int> global_classes_;
   ServingPrecision precision_ = ServingPrecision::kFloat32;
+  int degraded_branches_ = 0;     // fixed at assembly
+  bool trunk_degraded_ = false;   // fixed at assembly
 };
 
 }  // namespace poe

@@ -1,9 +1,11 @@
 #include "serve/inference_server.h"
 
 #include <cstring>
+#include <exception>
 #include <utility>
 
 #include "tensor/ops.h"
+#include "util/fault.h"
 
 namespace poe {
 
@@ -51,6 +53,17 @@ std::future<InferenceResponse> InferenceServer::Submit(
 
   Pending pending;
   pending.key = CanonicalTaskKey(request.task_ids);
+  if (request.deadline_ms > 0) {
+    pending.deadline = Deadline::AfterMillis(request.deadline_ms);
+  }
+  if (pending.deadline.expired()) {
+    // A non-positive (but set) or microscopic budget: shed at the door.
+    // Counts as deadline_expired, not rejected — the request was well-
+    // formed and admitted; its budget was simply gone.
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    return ReadyResponse(
+        Status::DeadlineExceeded("deadline expired at submission"));
+  }
   pending.request = std::move(request);
   std::future<InferenceResponse> future = pending.promise.get_future();
   {
@@ -106,6 +119,28 @@ void InferenceServer::WorkerLoop() {
 }
 
 void InferenceServer::ServeBatch(std::vector<Pending> batch) {
+  try {
+    ServeBatchImpl(batch);
+  } catch (const std::exception& e) {
+    // No hung futures, ever: if the batch body threw (allocation failure
+    // mid-forward, ...), resolve whatever it left unresolved. set_value
+    // on an already-satisfied promise throws future_error — that is the
+    // "already resolved" signal, not an error.
+    const Status status = Status::Internal(
+        std::string("batch worker exception: ") + e.what());
+    for (Pending& pending : batch) {
+      InferenceResponse response;
+      response.status = status;
+      try {
+        pending.promise.set_value(std::move(response));
+        completed_.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::future_error&) {
+      }
+    }
+  }
+}
+
+void InferenceServer::ServeBatchImpl(std::vector<Pending>& batch) {
   // Each request's queue wait ends now, when processing starts (a
   // coalesced request waited less than the batch leader).
   std::vector<double> queue_ms(batch.size());
@@ -123,6 +158,48 @@ void InferenceServer::ServeBatch(std::vector<Pending> batch) {
     pending.promise.set_value(std::move(response));
   };
 
+  // Deadline shedding, not completion: the request never ran, so it skips
+  // the latency/QPS surface and lands in its own terminal counter.
+  auto expire = [&](size_t i) {
+    Pending& pending = batch[i];
+    InferenceResponse response;
+    response.status = Status::DeadlineExceeded(
+        "deadline expired after " +
+        std::to_string(pending.submitted.ElapsedMillis()) + " ms queued");
+    response.queue_ms = queue_ms[i];
+    response.total_ms = pending.submitted.ElapsedMillis();
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    pending.promise.set_value(std::move(response));
+  };
+
+  // Dequeue-time shedding: a request whose budget lapsed in the queue is
+  // resolved right here — the forward pass is never spent on it.
+  std::vector<size_t> live;
+  live.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].deadline.expired()) {
+      expire(i);
+    } else {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) return;
+
+  // Forward-path fault site: delay kinds model a slow expert (the batch
+  // simply takes longer and downstream deadline checks shed what lapsed);
+  // error kinds fail every live member of this batch.
+  {
+    const Status fault = PoeFaultHit("server.forward");
+    if (!fault.ok()) {
+      for (size_t i : live) {
+        InferenceResponse response;
+        response.status = fault;
+        finish(i, std::move(response));
+      }
+      return;
+    }
+  }
+
   // Group the batch by canonical task set (first-arrival order). Each
   // group is one model; groups sharing a trunk fuse their trunk forward.
   struct Group {
@@ -131,7 +208,7 @@ void InferenceServer::ServeBatch(std::vector<Pending> batch) {
     int64_t rows = 0;
   };
   std::vector<Group> groups;
-  for (size_t i = 0; i < batch.size(); ++i) {
+  for (size_t i : live) {
     Group* group = nullptr;
     for (Group& g : groups) {
       if (batch[g.members.front()].key == batch[i].key) {
@@ -147,12 +224,28 @@ void InferenceServer::ServeBatch(std::vector<Pending> batch) {
     group->rows += batch[i].request.input.dim(0);
   }
 
+  // The loosest (largest remaining) member budget bounds the group's
+  // assembly: the model also serves the member with the most time left,
+  // so tighter members must not cut its retry window short.
+  auto loosest_deadline = [&](const Group& g) -> Deadline {
+    const Deadline* best = nullptr;
+    for (size_t i : g.members) {
+      const Deadline& d = batch[i].deadline;
+      if (d.unlimited()) return Deadline();
+      if (best == nullptr || d.remaining_ms() > best->remaining_ms()) {
+        best = &d;
+      }
+    }
+    return best != nullptr ? *best : Deadline();
+  };
+
   // Assemble each group's model; a failed assembly fails only that
   // group's futures (a bad key must not poison co-batched requests).
   std::vector<Group*> valid;
   for (Group& g : groups) {
     auto model_result =
-        service_->Query(batch[g.members.front()].request.task_ids);
+        service_->Query(batch[g.members.front()].request.task_ids,
+                        loosest_deadline(g));
     if (!model_result.ok()) {
       for (size_t i : g.members) {
         InferenceResponse response;
@@ -162,7 +255,20 @@ void InferenceServer::ServeBatch(std::vector<Pending> batch) {
       continue;
     }
     g.model = model_result.ValueOrDie();
-    valid.push_back(&g);
+    // Post-assembly shedding: assembly (with retries/backoff) may have
+    // consumed a member's whole budget — drop it before the forward.
+    std::vector<size_t> members_left;
+    g.rows = 0;
+    for (size_t i : g.members) {
+      if (batch[i].deadline.expired()) {
+        expire(i);
+      } else {
+        members_left.push_back(i);
+        g.rows += batch[i].request.input.dim(0);
+      }
+    }
+    g.members = std::move(members_left);
+    if (!g.members.empty()) valid.push_back(&g);
   }
   if (valid.empty()) return;
 
@@ -196,6 +302,9 @@ void InferenceServer::ServeBatch(std::vector<Pending> batch) {
       const int64_t n = batch[i].request.input.dim(0);
       InferenceResponse response;
       response.status = Status::OK();
+      response.precision = g.model->serving_precision();
+      response.degraded_branches = g.model->degraded_branches();
+      response.trunk_degraded = g.model->trunk_degraded();
       if (g.members.size() == 1) {
         response.logits = std::move(logits);
       } else {
@@ -292,6 +401,25 @@ void InferenceServer::Shutdown() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+
+  // Defensive drain: workers only exit on an empty queue, so this should
+  // find nothing — but a hung future is the one failure mode this server
+  // promises away, so any straggler is resolved here rather than leaked.
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+  }
+  for (Pending& pending : leftover) {
+    InferenceResponse response;
+    response.status =
+        Status::FailedPrecondition("inference server is shut down");
+    try {
+      pending.promise.set_value(std::move(response));
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::future_error&) {
+    }
+  }
 }
 
 ServeStats InferenceServer::stats() const {
@@ -314,6 +442,8 @@ ServeStats InferenceServer::stats() const {
   stats.trunk_fused_batches =
       trunk_fused_batches_.load(std::memory_order_relaxed);
   stats.trunk_fused_rows = trunk_fused_rows_.load(std::memory_order_relaxed);
+  stats.deadline_expired =
+      deadline_expired_.load(std::memory_order_relaxed);
   stats.queue_depth = static_cast<int64_t>(queue_depth());
   return stats;
 }

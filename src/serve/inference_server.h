@@ -20,6 +20,7 @@
 #include "core/query_service.h"
 #include "serve/metrics.h"
 #include "tensor/tensor.h"
+#include "util/retry.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -30,6 +31,13 @@ namespace poe {
 struct InferenceRequest {
   std::vector<int> task_ids;
   Tensor input;
+  /// Per-request latency budget in milliseconds from Submit; <= 0 = none.
+  /// An expired request is SHED, never executed: checked at submission, at
+  /// dequeue, and again after model assembly (before the forward pass).
+  /// Shed requests resolve with kDeadlineExceeded and count into
+  /// ServeStats::deadline_expired, not completed/rejected. The remaining
+  /// budget also bounds assembly (retry backoff stops at the deadline).
+  double deadline_ms = 0.0;
 };
 
 /// The response delivered through the future. `status` gates every other
@@ -42,6 +50,12 @@ struct InferenceResponse {
   double queue_ms = 0.0;   ///< time spent waiting in the request queue
   double total_ms = 0.0;   ///< submit -> response
   int64_t batch_rows = 0;  ///< rows of the fused forward that served this
+  /// Precision the answering pool intends (kInt8 after conversion) and
+  /// how much of THIS model actually fell back to f32 (degraded mode
+  /// after failed conversions). 0 / false on a healthy model.
+  ServingPrecision precision = ServingPrecision::kFloat32;
+  int degraded_branches = 0;
+  bool trunk_degraded = false;
 };
 
 /// Bounded-queue batching server over a ModelQueryService.
@@ -110,10 +124,14 @@ class InferenceServer {
     InferenceRequest request;
     std::promise<InferenceResponse> promise;
     Stopwatch submitted;
+    Deadline deadline;  ///< unlimited when the request set no budget
   };
 
   void WorkerLoop();
+  /// Exception-guarded: every member promise is resolved even if the
+  /// batch body throws (no hung futures, ever).
   void ServeBatch(std::vector<Pending> batch);
+  void ServeBatchImpl(std::vector<Pending>& batch);
 
   ModelQueryService* service_;
   Options options_;
@@ -130,6 +148,7 @@ class InferenceServer {
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> deadline_expired_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> batched_requests_{0};
   std::atomic<int64_t> trunk_fused_batches_{0};

@@ -34,10 +34,13 @@ struct CacheShardStats {
 
 /// Aggregate serving metrics. Counter identity (enforced by tests):
 ///   queries == cache_hits + cache_misses + coalesced
-/// and for a drained server: submitted == completed + rejected (+
-/// queue_depth on a live one; requests inside an in-flight batch are in
-/// none of the three until their futures resolve, so the live identity
-/// can lag by up to num_workers * max_batch_rows requests).
+/// and for a drained server:
+///   submitted == completed + rejected + deadline_expired
+/// (+ queue_depth on a live one; requests inside an in-flight batch are
+/// in none of the buckets until their futures resolve, so the live
+/// identity can lag by up to num_workers * max_batch_rows requests).
+/// Every bucket is terminal and disjoint: a request that expired after
+/// admission counts ONLY in deadline_expired, never in completed.
 struct ServeStats {
   // --- query/cache side (ModelQueryService) ---
   int64_t queries = 0;
@@ -63,6 +66,11 @@ struct ServeStats {
   int64_t experts_referenced = 0;       ///< distinct experts live now
   int64_t referenced_expert_bytes = 0;  ///< their deduplicated bytes
   int64_t trunk_bytes = 0;              ///< shared library component bytes
+  /// Experts whose materialization hit permanent corruption (acquires of
+  /// them fail fast with kUnavailable; other experts are unaffected).
+  int64_t experts_poisoned = 0;
+  /// Experts still serving f32 under an int8 pool (failed conversion).
+  int64_t experts_degraded = 0;
   /// Σ StateBytes over cache-resident models: what model-granularity
   /// accounting would charge. Compare against
   /// trunk_bytes + referenced_expert_bytes (the deduplicated footprint).
@@ -82,6 +90,18 @@ struct ServeStats {
   /// those fused trunk passes.
   int64_t trunk_fused_batches = 0;
   int64_t trunk_fused_rows = 0;
+
+  // --- robustness side ---
+  /// Admitted requests shed because their deadline passed before (or
+  /// while) a batch would have run them. The forward pass is never spent
+  /// on an expired request.
+  int64_t deadline_expired = 0;
+  /// Backoff retries taken inside task-model assembly (pool- and
+  /// service-level transient-failure retries combined).
+  int64_t assembly_retries = 0;
+  /// Queries answered by a model with at least one degraded (f32-under-
+  /// int8) branch or a degraded trunk.
+  int64_t degraded_queries = 0;
 
   /// Average requests per fused forward pass (row counts per pass are
   /// reported per-response as InferenceResponse::batch_rows).

@@ -1,0 +1,37 @@
+#include "util/crc32c.h"
+
+namespace poe {
+
+namespace {
+
+// Byte-at-a-time table for the reflected Castagnoli polynomial, built once
+// at first use. Throughput is irrelevant here (checksums run at pool
+// save/load, not on the serving hot path); portability and zero global
+// init order issues are what matter.
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  static const Crc32cTable table;
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.entries[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace poe

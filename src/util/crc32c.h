@@ -1,0 +1,33 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41): the per-section checksum of
+// pool file format v3. Chosen over the legacy whole-payload FNV-1a because
+// a section granularity needs a checksum with well-understood burst/bit
+// error detection, and CRC32C is the storage-stack standard (ext4, btrfs,
+// RocksDB, iSCSI). Software table implementation - no ISA dependency, so
+// files verify identically on every kernel tier.
+#ifndef POE_UTIL_CRC32C_H_
+#define POE_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace poe {
+
+/// Extends a running CRC32C with `n` bytes. Pass the previous return value
+/// as `crc` to checksum data in chunks; start from 0.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of one contiguous buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+/// Masked CRC in the RocksDB/LevelDB idiom: storing the CRC of data that
+/// may itself embed CRCs (our commit footer seals the section CRC list)
+/// behaves better when the stored form is not a raw CRC value.
+inline uint32_t MaskCrc32c(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+}  // namespace poe
+
+#endif  // POE_UTIL_CRC32C_H_

@@ -1,0 +1,361 @@
+#include "util/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace poe {
+
+namespace {
+
+enum class FaultKind {
+  kIoError,
+  kCorruption,
+  kUnavailable,
+  kAllocFail,
+  kDeadline,
+  kDelay,
+};
+
+enum class TriggerMode { kAlways, kProb, kNth, kOnce, kAfter };
+
+struct SiteConfig {
+  FaultKind kind = FaultKind::kIoError;
+  double delay_ms = 0.0;  // kDelay only
+  TriggerMode mode = TriggerMode::kAlways;
+  double probability = 0.0;  // kProb
+  int64_t count = 0;         // kNth / kOnce / kAfter
+  uint64_t rng_state = 0;    // per-site splitmix64 stream (kProb)
+};
+
+struct SiteState {
+  SiteConfig config;
+  bool armed = false;
+  int64_t hits = 0;
+  int64_t triggers = 0;
+};
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashSiteName(const std::string& site) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : site) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+// Strict numeric parsing: the whole token must be the number. atof-style
+// leniency ("prob:nope" -> 0.0) would silently arm a no-op fault and fake
+// a green fault-injection run.
+bool ParseDoubleToken(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+bool ParseCountToken(const std::string& token, int64_t* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(token.c_str(), &end, 10);
+  return end == token.c_str() + token.size();
+}
+
+Status ParseSiteSpec(const std::string& site, const std::string& rhs,
+                     uint64_t seed, SiteConfig* out) {
+  const std::vector<std::string> tokens = SplitOn(rhs, ':');
+  size_t i = 0;
+  auto next = [&]() -> const std::string* {
+    return i < tokens.size() ? &tokens[i++] : nullptr;
+  };
+
+  const std::string* kind = next();
+  if (kind == nullptr || kind->empty()) {
+    return Status::InvalidArgument("fault spec for '" + site +
+                                   "' is missing a kind");
+  }
+  if (*kind == "io") {
+    out->kind = FaultKind::kIoError;
+  } else if (*kind == "corrupt") {
+    out->kind = FaultKind::kCorruption;
+  } else if (*kind == "unavail") {
+    out->kind = FaultKind::kUnavailable;
+  } else if (*kind == "alloc") {
+    out->kind = FaultKind::kAllocFail;
+  } else if (*kind == "deadline") {
+    out->kind = FaultKind::kDeadline;
+  } else if (*kind == "delay") {
+    out->kind = FaultKind::kDelay;
+    const std::string* ms = next();
+    if (ms == nullptr || !ParseDoubleToken(*ms, &out->delay_ms) ||
+        out->delay_ms < 0) {
+      return Status::InvalidArgument("delay fault at '" + site +
+                                     "' needs delay:<ms>");
+    }
+  } else {
+    return Status::InvalidArgument("unknown fault kind '" + *kind +
+                                   "' at '" + site + "'");
+  }
+
+  const std::string* trigger = next();
+  if (trigger == nullptr) {
+    return Status::InvalidArgument("fault spec for '" + site +
+                                   "' is missing a trigger");
+  }
+  if (*trigger == "always") {
+    out->mode = TriggerMode::kAlways;
+  } else if (*trigger == "prob") {
+    const std::string* p = next();
+    out->mode = TriggerMode::kProb;
+    if (p == nullptr || !ParseDoubleToken(*p, &out->probability) ||
+        out->probability < 0.0 || out->probability > 1.0) {
+      return Status::InvalidArgument("prob trigger at '" + site +
+                                     "' needs prob:<p> with p in [0,1]");
+    }
+  } else if (*trigger == "nth" || *trigger == "once" || *trigger == "after") {
+    const std::string* k = next();
+    out->mode = *trigger == "nth"
+                    ? TriggerMode::kNth
+                    : (*trigger == "once" ? TriggerMode::kOnce
+                                          : TriggerMode::kAfter);
+    if (k == nullptr || !ParseCountToken(*k, &out->count) ||
+        out->count < (out->mode == TriggerMode::kAfter ? 0 : 1)) {
+      return Status::InvalidArgument(*trigger + " trigger at '" + site +
+                                     "' needs a positive :<k>");
+    }
+  } else {
+    return Status::InvalidArgument("unknown trigger '" + *trigger +
+                                   "' at '" + site + "'");
+  }
+  if (i != tokens.size()) {
+    return Status::InvalidArgument("trailing tokens in fault spec at '" +
+                                   site + "'");
+  }
+  // Independent deterministic stream per (seed, site): replaying the same
+  // spec+seed replays the identical fault schedule, and renaming one site
+  // never perturbs another's stream.
+  out->rng_state = seed ^ HashSiteName(site);
+  return Status::OK();
+}
+
+Status MakeInjected(FaultKind kind, const std::string& site) {
+  const std::string msg = "injected fault at " + site;
+  switch (kind) {
+    case FaultKind::kIoError:
+      return Status::IoError(msg);
+    case FaultKind::kCorruption:
+      return Status::Corruption(msg);
+    case FaultKind::kUnavailable:
+      return Status::Unavailable(msg);
+    case FaultKind::kAllocFail:
+      return Status::ResourceExhausted(msg);
+    case FaultKind::kDeadline:
+      return Status::DeadlineExceeded(msg);
+    case FaultKind::kDelay:
+      return Status::OK();
+  }
+  return Status::Internal(msg);
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, SiteState> sites;
+  bool env_loaded = false;
+};
+
+FaultInjector::Impl* FaultInjector::impl() {
+  Impl* existing = impl_.load(std::memory_order_acquire);
+  if (existing != nullptr) return existing;
+  Impl* fresh = new Impl();
+  if (impl_.compare_exchange_strong(existing, fresh,
+                                    std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete fresh;
+  return existing;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = [] {
+    auto* injector = new FaultInjector();
+    const char* spec = std::getenv("POE_FAULTS");
+    if (spec != nullptr && spec[0] != '\0') {
+      const char* seed_env = std::getenv("POE_FAULTS_SEED");
+      const uint64_t seed =
+          seed_env != nullptr ? std::strtoull(seed_env, nullptr, 10) : 42;
+      const Status s = injector->Configure(spec, seed);
+      if (!s.ok()) {
+        // Env config errors must be loud: silently running WITHOUT the
+        // requested faults would fake a green fault-injection CI run.
+        std::fprintf(stderr, "POE_FAULTS rejected: %s\n",
+                     s.ToString().c_str());
+        std::abort();
+      }
+    }
+    return injector;
+  }();
+  return *instance;
+}
+
+Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
+  std::map<std::string, SiteState> fresh;
+  for (const std::string& entry : SplitOn(spec, ';')) {
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' is not site=kind:trigger");
+    }
+    const std::string site = entry.substr(0, eq);
+    SiteState state;
+    state.armed = true;
+    POE_RETURN_NOT_OK(
+        ParseSiteSpec(site, entry.substr(eq + 1), seed, &state.config));
+    fresh[site] = state;
+  }
+  Impl* i = impl();
+  {
+    std::lock_guard<std::mutex> lock(i->mu);
+    i->sites = std::move(fresh);
+    enabled_.store(!i->sites.empty(), std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Clear() {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  i->sites.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Hit(const char* site) {
+  if (!enabled()) return Status::OK();
+  Impl* i = impl();
+  FaultKind kind;
+  double delay_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(i->mu);
+    auto it = i->sites.find(site);
+    if (it == i->sites.end()) {
+      // Unarmed site while the injector is live: count the hit so tests
+      // can assert coverage ("control really passed pool.save.sync").
+      SiteState& state = i->sites[site];
+      state.armed = false;
+      state.hits++;
+      return Status::OK();
+    }
+    SiteState& state = it->second;
+    state.hits++;
+    if (!state.armed) return Status::OK();
+    bool fire = false;
+    switch (state.config.mode) {
+      case TriggerMode::kAlways:
+        fire = true;
+        break;
+      case TriggerMode::kProb: {
+        const uint64_t draw = SplitMix64(&state.config.rng_state);
+        fire = (draw >> 11) * 0x1.0p-53 < state.config.probability;
+        break;
+      }
+      case TriggerMode::kNth:
+        fire = state.hits % state.config.count == 0;
+        break;
+      case TriggerMode::kOnce:
+        fire = state.hits == state.config.count;
+        break;
+      case TriggerMode::kAfter:
+        fire = state.hits > state.config.count;
+        break;
+    }
+    if (!fire) return Status::OK();
+    state.triggers++;
+    kind = state.config.kind;
+    delay_ms = state.config.delay_ms;
+  }
+  // Sleep OUTSIDE the injector mutex: a delay fault models a slow expert,
+  // not a global stall of every other site.
+  if (kind == FaultKind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        delay_ms));
+  }
+  return MakeInjected(kind, site);
+}
+
+FaultSiteStats FaultInjector::SiteStats(const std::string& site) const {
+  FaultSiteStats out;
+  out.site = site;
+  Impl* i = const_cast<FaultInjector*>(this)->impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->sites.find(site);
+  if (it != i->sites.end()) {
+    out.hits = it->second.hits;
+    out.triggers = it->second.triggers;
+  }
+  return out;
+}
+
+std::vector<FaultSiteStats> FaultInjector::AllStats() const {
+  std::vector<FaultSiteStats> out;
+  Impl* i = const_cast<FaultInjector*>(this)->impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  for (const auto& [site, state] : i->sites) {
+    FaultSiteStats s;
+    s.site = site;
+    s.hits = state.hits;
+    s.triggers = state.triggers;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+int64_t FaultInjector::TotalTriggers() const {
+  Impl* i = const_cast<FaultInjector*>(this)->impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  int64_t total = 0;
+  for (const auto& [site, state] : i->sites) total += state.triggers;
+  return total;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const std::string& spec,
+                                           uint64_t seed) {
+  const Status s = FaultInjector::Global().Configure(spec, seed);
+  if (!s.ok()) {
+    std::fprintf(stderr, "ScopedFaultInjection: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  FaultInjector::Global().Clear();
+}
+
+}  // namespace poe

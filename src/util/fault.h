@@ -1,0 +1,124 @@
+// Deterministic, seeded fault injection for the serving and persistence
+// stack. Failure paths must be exercised systematically, not discovered in
+// production: code under test declares *sites* -
+//
+//   POE_FAULT_POINT("pool.load.read");          // returns injected Status
+//   Status f = PoeFaultHit("store.materialize"); // manual handling
+//
+// - and a test (or the POE_FAULTS env var) arms a subset of them with
+// per-site triggers. Unarmed runs pay one relaxed atomic load per site
+// (the injector is globally disabled until the first Configure), so the
+// hooks are effectively free in production builds.
+//
+// Spec grammar (POE_FAULTS or FaultInjector::Configure):
+//
+//   spec   := site '=' kind [':' kind-arg] ':' trigger [':' trig-arg]
+//             (';' spec)*
+//   kind   := io | corrupt | unavail | alloc | deadline | delay:<ms>
+//   trigger:= always | prob:<p> | nth:<k> | once:<k> | after:<k>
+//
+//   io       -> Status::IoError            (transient; retried)
+//   corrupt  -> Status::Corruption         (permanent; poisons experts)
+//   unavail  -> Status::Unavailable        (transient; retried)
+//   alloc    -> Status::ResourceExhausted  (allocation failure stand-in)
+//   deadline -> Status::DeadlineExceeded
+//   delay:<ms> -> sleeps <ms> then returns OK (slow-expert simulation)
+//
+//   always    fires on every hit
+//   prob:<p>  fires with probability p per hit (deterministic per-site
+//             RNG seeded from the global seed + site name, so a given
+//             (spec, seed) replays the identical fault schedule)
+//   nth:<k>   fires on every k-th hit (k, 2k, 3k, ...)
+//   once:<k>  fires exactly on the k-th hit, never again
+//   after:<k> fires on every hit past the first k
+//
+// Example:
+//   POE_FAULTS='store.materialize=unavail:nth:3;server.forward=delay:5:prob:0.5'
+//   POE_FAULTS_SEED=7
+#ifndef POE_UTIL_FAULT_H_
+#define POE_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace poe {
+
+/// Per-site observability: how often control passed the site and how often
+/// the injector fired. Tests reconcile retry/shed counters against these.
+struct FaultSiteStats {
+  std::string site;
+  int64_t hits = 0;      ///< times control reached the site while armed
+  int64_t triggers = 0;  ///< times a fault actually fired
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide injector every POE_FAULT_POINT consults. Reads the
+  /// POE_FAULTS / POE_FAULTS_SEED environment once at first access.
+  static FaultInjector& Global();
+
+  /// Replaces the armed configuration. An empty spec disarms everything.
+  /// InvalidArgument on a malformed spec (the previous config is kept).
+  Status Configure(const std::string& spec, uint64_t seed = 42);
+
+  /// Disarms every site and zeroes all counters.
+  void Clear();
+
+  /// True when any site is armed. Relaxed load - THE fast-path gate.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Evaluates the site: returns the injected error if its trigger fires,
+  /// sleeps for delay kinds, otherwise OK. Also OK (and uncounted) when
+  /// the injector is disabled.
+  Status Hit(const char* site);
+
+  /// Counters for one site (zeros if never hit while armed).
+  FaultSiteStats SiteStats(const std::string& site) const;
+  /// Counters for every site observed while armed (armed or not).
+  std::vector<FaultSiteStats> AllStats() const;
+  int64_t TotalTriggers() const;
+
+ private:
+  FaultInjector() = default;
+  struct Impl;
+  Impl* impl();  // lazily built; never freed (process-lifetime singleton)
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<Impl*> impl_{nullptr};
+};
+
+/// Manual form: evaluate a site and get the injected Status back.
+inline Status PoeFaultHit(const char* site) {
+  FaultInjector& f = FaultInjector::Global();
+  if (!f.enabled()) return Status::OK();
+  return f.Hit(site);
+}
+
+/// Declarative form: in a function returning Status or Result<T>,
+/// propagate an injected fault from this site.
+#define POE_FAULT_POINT(site)                               \
+  do {                                                      \
+    ::poe::FaultInjector& _fi = ::poe::FaultInjector::Global(); \
+    if (_fi.enabled()) {                                    \
+      ::poe::Status _fs = _fi.Hit(site);                    \
+      if (!_fs.ok()) return _fs;                            \
+    }                                                       \
+  } while (false)
+
+/// RAII config for tests: arms `spec` on construction, restores the
+/// disarmed state on destruction (even on test failure/exception).
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const std::string& spec, uint64_t seed = 42);
+  ~ScopedFaultInjection();
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace poe
+
+#endif  // POE_UTIL_FAULT_H_

@@ -1,0 +1,143 @@
+// Deadline tracking and bounded retry with exponential backoff.
+//
+// A Deadline is an absolute point on the steady clock (or "unlimited").
+// It is plumbed from InferenceServer::Submit down through task-model
+// assembly so every layer can stop doing work the caller no longer wants.
+//
+// RetryWithBackoff wraps a fallible operation and retries *transient*
+// failures (kUnavailable, kIoError, kResourceExhausted) up to
+// policy.max_attempts total attempts, sleeping an exponentially growing
+// backoff between attempts, capped by both policy.max_backoff_ms and the
+// remaining deadline budget. Permanent errors (kCorruption,
+// kInvalidArgument, ...) are returned immediately - retrying them would
+// only mask bugs and burn the deadline.
+#ifndef POE_UTIL_RETRY_H_
+#define POE_UTIL_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <type_traits>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace poe {
+
+/// An absolute wall-clock budget on the steady clock. Default-constructed
+/// deadlines are unlimited (never expire); AfterMillis builds a real one.
+/// Copies share the same absolute expiry, so a Deadline can be handed down
+/// through queueing and assembly layers without drift.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited: expired() is always false, remaining_ms() is +infinity.
+  Deadline() = default;
+
+  /// A deadline `budget_ms` from now. Non-positive budgets produce an
+  /// already-expired deadline (useful for "fail fast" tests).
+  static Deadline AfterMillis(double budget_ms) {
+    Deadline d;
+    d.unlimited_ = false;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       budget_ms));
+    return d;
+  }
+
+  bool unlimited() const { return unlimited_; }
+
+  bool expired() const {
+    return !unlimited_ && Clock::now() >= expiry_;
+  }
+
+  /// Milliseconds until expiry; +infinity when unlimited, never negative.
+  double remaining_ms() const {
+    if (unlimited_) return std::numeric_limits<double>::infinity();
+    const auto left = std::chrono::duration<double, std::milli>(
+        expiry_ - Clock::now());
+    return std::max(0.0, left.count());
+  }
+
+ private:
+  bool unlimited_ = true;
+  Clock::time_point expiry_{};
+};
+
+/// Bounds for RetryWithBackoff. The defaults suit in-process transient
+/// failures (a briefly contended expert slot, an injected outage): three
+/// total attempts, sub-millisecond first backoff, 2x growth.
+struct RetryPolicy {
+  int max_attempts = 3;            ///< total attempts, including the first
+  double initial_backoff_ms = 0.5; ///< sleep before the first retry
+  double multiplier = 2.0;         ///< backoff growth per retry
+  double max_backoff_ms = 8.0;     ///< per-sleep cap
+};
+
+/// True for errors worth retrying: the operation might succeed if repeated.
+inline bool IsTransient(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kIoError ||
+         s.code() == StatusCode::kResourceExhausted;
+}
+
+namespace retry_internal {
+
+inline const Status& AsStatus(const Status& s) { return s; }
+template <typename T>
+const Status& AsStatus(const Result<T>& r) {
+  return r.status();
+}
+
+}  // namespace retry_internal
+
+/// Runs `fn` (returning Status or Result<T>) with bounded retries.
+///
+/// - Non-transient errors and successes return immediately.
+/// - Transient errors retry up to policy.max_attempts total attempts with
+///   exponential backoff; each completed retry increments *retries when
+///   `retries` is non-null (callers feed this into ServeStats).
+/// - The deadline is honored twice per cycle: an attempt never *starts*
+///   expired, and a backoff sleep is capped at the remaining budget. On
+///   expiry the result is DeadlineExceeded carrying the last real error,
+///   so callers can still see what kept failing.
+template <typename Fn>
+auto RetryWithBackoff(const RetryPolicy& policy, const Deadline& deadline,
+                      Fn&& fn, int64_t* retries = nullptr)
+    -> decltype(fn()) {
+  double backoff_ms = policy.initial_backoff_ms;
+  const int attempts = std::max(1, policy.max_attempts);
+  std::string last_error;
+  for (int attempt = 1;; ++attempt) {
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded(
+          "deadline expired before attempt " + std::to_string(attempt) +
+          (last_error.empty() ? "" : "; last: " + last_error));
+    }
+    auto result = fn();
+    const Status& status = retry_internal::AsStatus(result);
+    if (status.ok() || !IsTransient(status) || attempt >= attempts) {
+      return result;
+    }
+    last_error = status.ToString();
+    const double sleep_ms =
+        std::min({backoff_ms, policy.max_backoff_ms, deadline.remaining_ms()});
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("deadline expired during retries; last: " +
+                                      status.ToString());
+    }
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(sleep_ms));
+    }
+    backoff_ms *= policy.multiplier;
+    if (retries != nullptr) ++*retries;
+  }
+}
+
+}  // namespace poe
+
+#endif  // POE_UTIL_RETRY_H_

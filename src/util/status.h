@@ -22,7 +22,17 @@ enum class StatusCode {
   kResourceExhausted,
   kUnimplemented,
   kInternal,
+  /// Transient inability to serve (poisoned expert, draining server,
+  /// injected outage). Retriable, unlike kFailedPrecondition.
+  kUnavailable,
+  /// The request's deadline passed before the work ran to completion.
+  kDeadlineExceeded,  // keep last: kNumStatusCodes derives from it
 };
+
+/// Number of distinct StatusCode values. status_test iterates the full
+/// range so a future code without a StatusCodeToString entry fails CI.
+constexpr int kNumStatusCodes =
+    static_cast<int>(StatusCode::kDeadlineExceeded) + 1;
 
 /// Returns a stable human-readable name for a StatusCode.
 const char* StatusCodeToString(StatusCode code);
@@ -64,6 +74,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,308 @@
+// Crash-safe pool persistence (format v3): sectioned CRCs + commit
+// footer, torn-write recovery through the atomic save path, fsck
+// reporting, legacy-format compatibility, and fuzzed corruption handling
+// (every mutilation must yield kCorruption - never UB, never a wrong
+// pool).
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/expert_pool.h"
+#include "distill/specialize.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+#include "util/fault.h"
+
+namespace poe {
+namespace {
+
+using testutil::TinyLibraryConfig;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Untrained pool from fresh modules: persistence fidelity does not care
+// how well the experts learned, and building one takes milliseconds.
+ExpertPool MakePool(uint64_t seed = 99) {
+  Rng rng(seed);
+  WrnConfig lib_cfg = TinyLibraryConfig();
+  auto library = BuildLibraryPart(lib_cfg, rng);
+  std::vector<std::vector<int>> tasks = {{0, 1}, {2, 3}, {4, 5}};
+  std::vector<std::shared_ptr<Sequential>> experts;
+  for (const auto& classes : tasks) {
+    WrnConfig ecfg = lib_cfg;
+    ecfg.ks = 0.5;
+    ecfg.num_classes = static_cast<int>(classes.size());
+    experts.push_back(BuildExpertPart(ecfg, lib_cfg.conv3_channels(), rng));
+  }
+  auto hierarchy = ClassHierarchy::FromTasks(std::move(tasks));
+  return ExpertPool(lib_cfg, 0.5, std::move(hierarchy).ValueOrDie(),
+                    std::move(library), std::move(experts));
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+Tensor Probe(uint64_t seed = 3) {
+  Rng rng(seed);
+  return Tensor::Randn({2, 3, 6, 6}, rng);
+}
+
+class PoolRecoveryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Clear(); }
+};
+
+TEST_F(PoolRecoveryTest, V3RoundTripAndFsckClean) {
+  ExpertPool pool = MakePool();
+  const std::string path = TempPath("recovery_v3.poe");
+  ASSERT_TRUE(SaveExpertPool(pool, path).ok());
+
+  auto fsck = FsckExpertPool(path);
+  ASSERT_TRUE(fsck.ok()) << fsck.status();
+  const PoolFsckReport report = std::move(fsck).ValueOrDie();
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.version, 3u);
+  // meta + library + 3 experts + footer, every CRC good.
+  ASSERT_EQ(report.sections.size(), 6u);
+  std::vector<std::string> names;
+  for (const PoolSectionReport& s : report.sections) {
+    names.push_back(s.name);
+    EXPECT_TRUE(s.crc_ok) << s.name << ": " << s.detail;
+    EXPECT_GT(s.bytes, 0) << s.name;
+  }
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"meta", "library", "expert[0]",
+                                      "expert[1]", "expert[2]", "footer"}));
+
+  auto loaded = LoadExpertPool(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpertPool pool2 = std::move(loaded).ValueOrDie();
+  Tensor x = Probe();
+  TaskModel m1 = pool.Query({0, 1, 2}).ValueOrDie();
+  TaskModel m2 = pool2.Query({0, 1, 2}).ValueOrDie();
+  EXPECT_EQ(MaxAbsDiff(m1.Logits(x), m2.Logits(x)), 0.0f);
+}
+
+TEST_F(PoolRecoveryTest, EveryTruncationIsCorruptionNeverUB) {
+  ExpertPool pool = MakePool();
+  const std::string path = TempPath("recovery_trunc_src.poe");
+  ASSERT_TRUE(SaveExpertPool(pool, path).ok());
+  const std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 200u);
+
+  // Every length in the header region, then a stride through the body,
+  // then each of the last bytes (footer truncation is the torn-write
+  // shape that whole-payload checksums historically missed).
+  std::set<size_t> lengths;
+  for (size_t n = 0; n < 64; ++n) lengths.insert(n);
+  for (size_t n = 64; n < bytes.size(); n += 97) lengths.insert(n);
+  for (size_t back = 1; back <= 24; ++back) {
+    lengths.insert(bytes.size() - back);
+  }
+
+  const std::string victim = TempPath("recovery_trunc.poe");
+  for (size_t n : lengths) {
+    WriteFile(victim, bytes.substr(0, n));
+    auto r = LoadExpertPool(victim);
+    ASSERT_FALSE(r.ok()) << "length " << n << " of " << bytes.size();
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption)
+        << "length " << n << ": " << r.status().ToString();
+    // fsck must agree, and must never error out on garbage.
+    auto fsck = FsckExpertPool(victim);
+    ASSERT_TRUE(fsck.ok()) << "length " << n;
+    EXPECT_FALSE(fsck.ValueOrDie().ok) << "length " << n;
+  }
+}
+
+TEST_F(PoolRecoveryTest, EveryBitFlipIsCorruption) {
+  ExpertPool pool = MakePool();
+  const std::string path = TempPath("recovery_flip_src.poe");
+  ASSERT_TRUE(SaveExpertPool(pool, path).ok());
+  const std::string bytes = ReadFile(path);
+
+  const std::string victim = TempPath("recovery_flip.poe");
+  for (size_t offset = 0; offset < bytes.size();
+       offset += 1 + bytes.size() / 151) {
+    std::string mutated = bytes;
+    mutated[offset] = static_cast<char>(mutated[offset] ^ 0x20);
+    WriteFile(victim, mutated);
+    auto r = LoadExpertPool(victim);
+    ASSERT_FALSE(r.ok()) << "flip at " << offset << " went undetected";
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption)
+        << "offset " << offset << ": " << r.status().ToString();
+  }
+}
+
+TEST_F(PoolRecoveryTest, FsckNamesTheBadSection) {
+  ExpertPool pool = MakePool();
+  const std::string path = TempPath("recovery_fsck_bad.poe");
+  ASSERT_TRUE(SaveExpertPool(pool, path).ok());
+  std::string bytes = ReadFile(path);
+  // Flip a byte ~2/3 in: lands inside a module payload, past the header.
+  bytes[bytes.size() * 2 / 3] ^= 0x10;
+  WriteFile(path, bytes);
+
+  auto fsck = FsckExpertPool(path);
+  ASSERT_TRUE(fsck.ok());
+  const PoolFsckReport report = std::move(fsck).ValueOrDie();
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.error.empty());
+  int bad = 0;
+  for (const PoolSectionReport& s : report.sections) bad += s.crc_ok ? 0 : 1;
+  EXPECT_GE(bad, 1) << "the flipped section must be flagged";
+}
+
+TEST_F(PoolRecoveryTest, TornWriteNeverDamagesTheCommittedFile) {
+  ExpertPool pool = MakePool();
+  const std::string path = TempPath("recovery_torn.poe");
+  ASSERT_TRUE(SaveExpertPool(pool, path).ok());
+  const std::string committed = ReadFile(path);
+
+  // Crash mid-write: the tmp file is half-written and left behind; the
+  // committed file must be untouched, byte for byte.
+  {
+    ScopedFaultInjection arm("pool.save.write=io:always");
+    Status s = SaveExpertPool(pool, path);
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+  }
+  EXPECT_EQ(ReadFile(path), committed);
+  EXPECT_TRUE(FileExists(path + ".tmp")) << "simulated crash leaves tmp";
+  // The stale tmp is itself a torn file; loading it must say corruption.
+  EXPECT_EQ(LoadExpertPool(path + ".tmp").status().code(),
+            StatusCode::kCorruption);
+
+  // Crash at fsync / at rename: same guarantee.
+  for (const char* site : {"pool.save.sync", "pool.save.rename"}) {
+    ScopedFaultInjection arm(std::string(site) + "=io:always");
+    EXPECT_FALSE(SaveExpertPool(pool, path).ok()) << site;
+    EXPECT_EQ(ReadFile(path), committed) << site;
+  }
+
+  // Recovery: the next clean save wins despite the stale tmp.
+  ASSERT_TRUE(SaveExpertPool(pool, path).ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  auto loaded = LoadExpertPool(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+}
+
+TEST_F(PoolRecoveryTest, LegacyFormatsStillLoad) {
+  ExpertPool pool = MakePool();
+  Tensor x = Probe();
+  Tensor want = pool.Query({0, 1, 2}).ValueOrDie().Logits(x);
+
+  for (uint32_t version : {1u, 2u}) {
+    const std::string path =
+        TempPath("recovery_legacy_v" + std::to_string(version) + ".poe");
+    ASSERT_TRUE(SaveExpertPoolLegacy(pool, path, version).ok());
+    auto loaded = LoadExpertPool(path);
+    ASSERT_TRUE(loaded.ok()) << "v" << version << ": " << loaded.status();
+    ExpertPool pool2 = std::move(loaded).ValueOrDie();
+    TaskModel m = pool2.Query({0, 1, 2}).ValueOrDie();
+    EXPECT_EQ(MaxAbsDiff(want, m.Logits(x)), 0.0f) << "v" << version;
+
+    // fsck understands legacy files too: one whole-payload pseudo-section.
+    auto fsck = FsckExpertPool(path);
+    ASSERT_TRUE(fsck.ok());
+    EXPECT_TRUE(fsck.ValueOrDie().ok);
+    EXPECT_EQ(fsck.ValueOrDie().version, version);
+
+    // ... and still detects legacy corruption.
+    std::string bytes = ReadFile(path);
+    bytes[bytes.size() / 2] ^= 0x08;
+    WriteFile(path, bytes);
+    EXPECT_EQ(LoadExpertPool(path).status().code(), StatusCode::kCorruption)
+        << "v" << version;
+    EXPECT_FALSE(FsckExpertPool(path).ValueOrDie().ok) << "v" << version;
+  }
+}
+
+TEST_F(PoolRecoveryTest, LegacyV1CannotRepresentInt8Pools) {
+  ExpertPool pool = MakePool();
+  ASSERT_TRUE(pool.SetServingPrecision(ServingPrecision::kInt8).ok());
+  Status s =
+      SaveExpertPoolLegacy(pool, TempPath("recovery_v1_int8.poe"), 1);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PoolRecoveryTest, UnsupportedVersionIsCorruption) {
+  ExpertPool pool = MakePool();
+  const std::string path = TempPath("recovery_badver.poe");
+  ASSERT_TRUE(SaveExpertPool(pool, path).ok());
+  std::string bytes = ReadFile(path);
+  bytes[8] = 99;  // version u32 sits right after the 8-byte magic
+  WriteFile(path, bytes);
+  auto r = LoadExpertPool(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PoolRecoveryTest, MissingFileIsNotFoundEverywhere) {
+  const std::string path = TempPath("recovery_missing.poe");
+  std::remove(path.c_str());
+  EXPECT_EQ(LoadExpertPool(path).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(FsckExpertPool(path).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PoolRecoveryTest, InjectedLoadFaultsSurfaceAsTheirCodes) {
+  ExpertPool pool = MakePool();
+  const std::string path = TempPath("recovery_loadfault.poe");
+  ASSERT_TRUE(SaveExpertPool(pool, path).ok());
+  {
+    ScopedFaultInjection arm("pool.load.open=io:always");
+    EXPECT_EQ(LoadExpertPool(path).status().code(), StatusCode::kIoError);
+  }
+  FaultInjector::Global().Clear();
+  {
+    ScopedFaultInjection arm("pool.load.read=io:always");
+    EXPECT_EQ(LoadExpertPool(path).status().code(), StatusCode::kIoError);
+  }
+}
+
+// A pool that degraded during int8 conversion (one expert kept f32) must
+// save faithfully and HEAL on load: SetServingPrecision is re-applied by
+// the loader, and with no fault armed the retry converts the straggler.
+TEST_F(PoolRecoveryTest, DegradedPoolSavesFaithfullyAndHealsOnLoad) {
+  ExpertPool pool = MakePool();
+  {
+    ScopedFaultInjection arm("store.int8.convert=alloc:nth:2");
+    ASSERT_TRUE(pool.SetServingPrecision(ServingPrecision::kInt8).ok());
+  }
+  TaskModel degraded = pool.Query({0, 1, 2}).ValueOrDie();
+  ASSERT_TRUE(degraded.degraded()) << "fixture must actually degrade";
+  ASSERT_EQ(degraded.degraded_branches(), 1);
+
+  const std::string path = TempPath("recovery_degraded.poe");
+  ASSERT_TRUE(SaveExpertPool(pool, path).ok());
+  auto loaded = LoadExpertPool(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpertPool pool2 = std::move(loaded).ValueOrDie();
+  EXPECT_EQ(pool2.serving_precision(), ServingPrecision::kInt8);
+  TaskModel healed = pool2.Query({0, 1, 2}).ValueOrDie();
+  EXPECT_FALSE(healed.degraded())
+      << "clean load must retry the failed conversion";
+}
+
+}  // namespace
+}  // namespace poe

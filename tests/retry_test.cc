@@ -1,0 +1,187 @@
+// Deadline and RetryWithBackoff semantics: what retries, how often, how
+// long it may sleep, and what the caller sees when the budget runs out.
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+
+#include "util/result.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace poe {
+namespace {
+
+TEST(DeadlineTest, DefaultIsUnlimited) {
+  Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_ms()));
+}
+
+TEST(DeadlineTest, AfterMillisExpires) {
+  Deadline d = Deadline::AfterMillis(10);
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 0.0);
+  EXPECT_LE(d.remaining_ms(), 10.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0.0);  // clamped, never negative
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsBornExpired) {
+  EXPECT_TRUE(Deadline::AfterMillis(0).expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5).expired());
+}
+
+TEST(DeadlineTest, CopiesShareTheAbsoluteExpiry) {
+  Deadline a = Deadline::AfterMillis(5);
+  Deadline b = a;  // handed down a layer; budget must not reset
+  std::this_thread::sleep_for(std::chrono::milliseconds(8));
+  EXPECT_TRUE(a.expired());
+  EXPECT_TRUE(b.expired());
+}
+
+TEST(RetryTest, TransientCodes) {
+  EXPECT_TRUE(IsTransient(Status::Unavailable("x")));
+  EXPECT_TRUE(IsTransient(Status::IoError("x")));
+  EXPECT_TRUE(IsTransient(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsTransient(Status::OK()));
+  EXPECT_FALSE(IsTransient(Status::Corruption("x")));
+  EXPECT_FALSE(IsTransient(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsTransient(Status::DeadlineExceeded("x")));
+}
+
+RetryPolicy FastPolicy(int attempts) {
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.initial_backoff_ms = 0.01;
+  p.max_backoff_ms = 0.05;
+  return p;
+}
+
+TEST(RetryTest, SuccessNeedsOneAttempt) {
+  int calls = 0;
+  int64_t retries = 0;
+  Status s = RetryWithBackoff(FastPolicy(3), Deadline(),
+                              [&] {
+                                ++calls;
+                                return Status::OK();
+                              },
+                              &retries);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries, 0);
+}
+
+TEST(RetryTest, TransientFailureRetriesUpToMaxAttempts) {
+  int calls = 0;
+  int64_t retries = 0;
+  Status s = RetryWithBackoff(FastPolicy(3), Deadline(),
+                              [&] {
+                                ++calls;
+                                return Status::Unavailable("flaky");
+                              },
+                              &retries);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2);  // attempts - 1 completed backoff cycles
+}
+
+TEST(RetryTest, RecoversMidway) {
+  int calls = 0;
+  Status s = RetryWithBackoff(FastPolicy(5), Deadline(), [&] {
+    return ++calls < 3 ? Status::IoError("blip") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, PermanentErrorReturnsImmediately) {
+  int calls = 0;
+  Status s = RetryWithBackoff(FastPolicy(5), Deadline(), [&] {
+    ++calls;
+    return Status::Corruption("bit rot");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1) << "retrying corruption would only mask it";
+}
+
+TEST(RetryTest, ResultFormCarriesTheValue) {
+  int calls = 0;
+  int64_t retries = 0;
+  Result<std::string> r = RetryWithBackoff(
+      FastPolicy(4), Deadline(),
+      [&]() -> Result<std::string> {
+        if (++calls < 2) return Status::Unavailable("warming up");
+        return std::string("served");
+      },
+      &retries);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), "served");
+  EXPECT_EQ(retries, 1);
+}
+
+TEST(RetryTest, ExpiredDeadlineFailsBeforeTheFirstAttempt) {
+  int calls = 0;
+  Status s = RetryWithBackoff(FastPolicy(3), Deadline::AfterMillis(-1),
+                              [&] {
+                                ++calls;
+                                return Status::OK();
+                              });
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 0) << "no work may start on an expired budget";
+}
+
+TEST(RetryTest, DeadlineCutsRetriesShortAndReportsTheLastError) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_ms = 5;
+  policy.max_backoff_ms = 5;
+  int calls = 0;
+  Result<int> r = RetryWithBackoff(policy, Deadline::AfterMillis(20),
+                                   [&]() -> Result<int> {
+                                     ++calls;
+                                     return Status::Unavailable("outage");
+                                   });
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  // The terminal status still names what kept failing underneath.
+  EXPECT_NE(r.status().message().find("UNAVAILABLE"), std::string::npos);
+  EXPECT_LT(calls, 100) << "the deadline, not max_attempts, ended the loop";
+  EXPECT_GE(calls, 1);
+}
+
+TEST(RetryTest, BackoffSleepIsCappedByTheRemainingBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff_ms = 1000;  // would blow way past the deadline
+  policy.max_backoff_ms = 1000;
+  Stopwatch sw;
+  Status s = RetryWithBackoff(policy, Deadline::AfterMillis(25),
+                              [&] { return Status::IoError("blip"); });
+  // One capped sleep (<= ~25ms) then the second attempt fails normally;
+  // without the cap this would take a full second.
+  EXPECT_LT(sw.ElapsedMillis(), 500.0);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(RetryTest, ZeroAndNegativeMaxAttemptsStillRunOnce) {
+  for (int attempts : {0, -3}) {
+    RetryPolicy policy = FastPolicy(attempts);
+    int calls = 0;
+    Status s = RetryWithBackoff(policy, Deadline(), [&] {
+      ++calls;
+      return Status::Unavailable("x");
+    });
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  }
+}
+
+}  // namespace
+}  // namespace poe

@@ -1,0 +1,289 @@
+// Robust serving semantics, end to end: deadline shedding (an expired
+// request is NEVER executed), degraded-mode f32 fallback (bitwise
+// identical to a pure-f32 pool), poisoned-expert isolation, per-response
+// precision reporting, and the Submit-vs-Shutdown race (every future
+// resolves; run under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/query_service.h"
+#include "distill/specialize.h"
+#include "serve/inference_server.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+#include "util/fault.h"
+
+namespace poe {
+namespace {
+
+using testutil::TinyLibraryConfig;
+
+// Untrained pool from fresh modules - robustness semantics do not care
+// how well the experts learned, and this builds in milliseconds.
+ExpertPool MakePool(uint64_t seed = 77) {
+  Rng rng(seed);
+  WrnConfig lib_cfg = TinyLibraryConfig();
+  auto library = BuildLibraryPart(lib_cfg, rng);
+  std::vector<std::vector<int>> tasks = {{0, 1}, {2, 3}, {4, 5}};
+  std::vector<std::shared_ptr<Sequential>> experts;
+  for (const auto& classes : tasks) {
+    WrnConfig ecfg = lib_cfg;
+    ecfg.ks = 0.5;
+    ecfg.num_classes = static_cast<int>(classes.size());
+    experts.push_back(BuildExpertPart(ecfg, lib_cfg.conv3_channels(), rng));
+  }
+  auto hierarchy = ClassHierarchy::FromTasks(std::move(tasks));
+  return ExpertPool(lib_cfg, 0.5, std::move(hierarchy).ValueOrDie(),
+                    std::move(library), std::move(experts));
+}
+
+Tensor Probe(uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Randn({1, 3, 6, 6}, rng);
+}
+
+class RobustServingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Clear(); }
+};
+
+// THE deadline pin: requests whose budget lapses in the queue are shed -
+// resolved with kDeadlineExceeded, counted ONLY in deadline_expired, and
+// the forward pass is never spent on them.
+TEST_F(RobustServingTest, ExpiredRequestsAreNeverExecuted) {
+  ModelQueryService service(MakePool(), /*cache_capacity=*/4);
+  InferenceServer::Options opts;
+  opts.num_workers = 1;      // serialize: the slow batch blocks the rest
+  opts.max_batch_rows = 1;   // no coalescing: each request is its own batch
+  InferenceServer server(&service, opts);
+
+  // The first (unbounded) request holds the only worker for ~60ms; the
+  // deadline-bounded ones behind it expire while queued.
+  ScopedFaultInjection arm("server.forward=delay:60:once:1");
+  InferenceRequest slow;
+  slow.task_ids = {0};
+  slow.input = Probe(1);
+  std::future<InferenceResponse> slow_future = server.Submit(std::move(slow));
+
+  constexpr int kBounded = 4;
+  std::vector<std::future<InferenceResponse>> bounded;
+  for (int i = 0; i < kBounded; ++i) {
+    InferenceRequest req;
+    req.task_ids = {0};
+    req.input = Probe(2 + i);
+    req.deadline_ms = 5;  // far less than the 60ms the worker is held
+    bounded.push_back(server.Submit(std::move(req)));
+  }
+
+  InferenceResponse slow_res = slow_future.get();
+  EXPECT_TRUE(slow_res.status.ok()) << slow_res.status.ToString();
+  for (auto& f : bounded) {
+    InferenceResponse res = f.get();
+    EXPECT_EQ(res.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_FALSE(res.logits.defined()) << "shed requests carry no result";
+  }
+  server.Shutdown();
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_expired, kBounded);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.submitted,
+            stats.completed + stats.rejected + stats.deadline_expired);
+  // The forward surface ran exactly once - for the unbounded request.
+  EXPECT_EQ(stats.batches, 1);
+}
+
+TEST_F(RobustServingTest, MicroscopicBudgetIsShedAtSubmission) {
+  ModelQueryService service(MakePool(), 4);
+  InferenceServer server(&service, {});
+  InferenceRequest req;
+  req.task_ids = {0};
+  req.input = Probe(9);
+  req.deadline_ms = 1e-7;  // expires before the queue is even reached
+  InferenceResponse res = server.Submit(std::move(req)).get();
+  EXPECT_EQ(res.status.code(), StatusCode::kDeadlineExceeded);
+  server.Shutdown();
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_expired, 1);
+  EXPECT_EQ(stats.rejected, 0) << "shed is not rejection";
+  EXPECT_EQ(stats.completed, 0);
+}
+
+TEST_F(RobustServingTest, UnlimitedAndGenerousDeadlinesServeNormally) {
+  ModelQueryService service(MakePool(), 4);
+  InferenceServer server(&service, {});
+  for (double budget : {0.0, 10000.0}) {  // none / generous
+    InferenceRequest req;
+    req.task_ids = {0, 1};
+    req.input = Probe(10);
+    req.deadline_ms = budget;
+    InferenceResponse res = server.Submit(std::move(req)).get();
+    EXPECT_TRUE(res.status.ok()) << res.status.ToString();
+    EXPECT_EQ(res.predictions.size(), 1u);
+  }
+}
+
+// THE degraded-mode pin (acceptance): a pool whose int8 conversion failed
+// everywhere keeps serving - on the f32 path - with logits bitwise
+// identical to a pool that never attempted conversion.
+TEST_F(RobustServingTest, FullyDegradedInt8PoolServesBitwiseF32) {
+  ExpertPool f32_pool = MakePool();
+  ExpertPool degraded_pool = f32_pool;  // same weights, separate masters
+  {
+    ScopedFaultInjection arm(
+        "store.int8.convert=alloc:always;"
+        "pool.int8.convert.library=alloc:always");
+    ASSERT_TRUE(
+        degraded_pool.SetServingPrecision(ServingPrecision::kInt8).ok());
+  }
+  FaultInjector::Global().Clear();
+
+  Rng rng(21);
+  Tensor x = Tensor::Randn({3, 3, 6, 6}, rng);
+  TaskModel pure = f32_pool.Query({0, 1, 2}).ValueOrDie();
+  TaskModel fallback = degraded_pool.Query({0, 1, 2}).ValueOrDie();
+
+  // The degraded model knows exactly what it is ...
+  EXPECT_EQ(fallback.serving_precision(), ServingPrecision::kInt8);
+  EXPECT_TRUE(fallback.trunk_degraded());
+  EXPECT_EQ(fallback.degraded_branches(), fallback.num_branches());
+  // ... and serves the pure-f32 answer, bit for bit.
+  Tensor y_pure = pure.Logits(x);
+  Tensor y_fallback = fallback.Logits(x);
+  ASSERT_EQ(y_pure.numel(), y_fallback.numel());
+  EXPECT_EQ(MaxAbsDiff(y_pure, y_fallback), 0.0f);
+}
+
+// Partial degradation: only the faulted expert falls back; the response
+// surface reports the intended precision and the actual degradation.
+TEST_F(RobustServingTest, ResponseReportsPrecisionAndDegradation) {
+  ExpertPool pool = MakePool();
+  {
+    ScopedFaultInjection arm("store.int8.convert=alloc:nth:2");
+    ASSERT_TRUE(pool.SetServingPrecision(ServingPrecision::kInt8).ok());
+  }
+  FaultInjector::Global().Clear();
+
+  ModelQueryService service(std::move(pool), 4);
+  InferenceServer server(&service, {});
+  InferenceRequest req;
+  req.task_ids = {0, 1, 2};
+  req.input = Probe(31);
+  InferenceResponse res = server.Submit(std::move(req)).get();
+  ASSERT_TRUE(res.status.ok()) << res.status.ToString();
+  EXPECT_EQ(res.precision, ServingPrecision::kInt8);
+  EXPECT_EQ(res.degraded_branches, 1);
+  EXPECT_FALSE(res.trunk_degraded);
+  server.Shutdown();
+  EXPECT_GE(server.stats().degraded_queries, 1);
+  EXPECT_EQ(server.stats().experts_degraded, 1);
+}
+
+// Poisoning: permanent corruption during materialization quarantines THAT
+// expert; queries touching it fail fast, everything else serves.
+TEST_F(RobustServingTest, PoisonedExpertIsIsolated) {
+  ExpertPool pool = MakePool();
+  {
+    ScopedFaultInjection arm("store.materialize=corrupt:once:1");
+    auto first = pool.Query({0});
+    ASSERT_FALSE(first.ok());
+    EXPECT_EQ(first.status().code(), StatusCode::kCorruption);
+  }
+  FaultInjector::Global().Clear();
+
+  // The fault is long gone, but the poisoned expert stays quarantined.
+  auto again = pool.Query({0});
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kUnavailable);
+  // Composite queries touching it fail; disjoint ones are untouched.
+  EXPECT_EQ(pool.Query({0, 1}).status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(pool.Query({1, 2}).ok());
+  EXPECT_EQ(pool.expert_store()->stats().experts_poisoned, 1);
+
+  // A fresh copy of the pool gets fresh slots: poison does not follow
+  // the weights, only the failed materialization.
+  ExpertPool clone = pool;
+  EXPECT_TRUE(clone.Query({0}).ok());
+}
+
+// Transient assembly faults are absorbed by retry/backoff; the counters
+// record the work. A permanently-unavailable store exhausts its attempts.
+TEST_F(RobustServingTest, AssemblyRetriesAbsorbTransientFaults) {
+  {
+    ModelQueryService service(MakePool(), 4);
+    ScopedFaultInjection arm("store.materialize=unavail:once:1");
+    auto model = service.Query({0, 1});
+    ASSERT_TRUE(model.ok()) << model.status();
+    EXPECT_GE(service.serve_stats().assembly_retries, 1);
+  }
+  FaultInjector::Global().Clear();
+  {
+    ModelQueryService service(MakePool(), 4);
+    ScopedFaultInjection arm("service.assemble=unavail:always");
+    auto model = service.Query({0});
+    ASSERT_FALSE(model.ok());
+    EXPECT_EQ(model.status().code(), StatusCode::kUnavailable);
+    EXPECT_GE(service.serve_stats().assembly_retries, 2);
+  }
+}
+
+TEST_F(RobustServingTest, ExpiredDeadlineFailsAssemblyBeforeAnyWork) {
+  ModelQueryService service(MakePool(), 4);
+  auto model = service.Query({0, 1}, Deadline::AfterMillis(-1));
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// The Submit-vs-Shutdown window: clients hammering Submit while the
+// server shuts down must ALL get resolved futures - accepted requests
+// drain, late ones get kFailedPrecondition, and nothing hangs. TSan runs
+// this in CI to pin the data-race-freedom half.
+TEST_F(RobustServingTest, SubmitDuringShutdownNeverHangsAFuture) {
+  ModelQueryService service(MakePool(), 4);
+  auto* server = new InferenceServer(&service, {});
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::atomic<int> resolved{0}, weird{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i) {
+        InferenceRequest req;
+        req.task_ids = {t % 3};
+        req.input = Probe(100 + t * kPerThread + i);
+        InferenceResponse res = server->Submit(std::move(req)).get();
+        resolved.fetch_add(1);
+        if (!res.status.ok() &&
+            res.status.code() != StatusCode::kFailedPrecondition &&
+            res.status.code() != StatusCode::kResourceExhausted) {
+          weird.fetch_add(1);
+        }
+      }
+    });
+  }
+  go.store(true);
+  // Shut down mid-traffic; the destructor's Shutdown must also be safe.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server->Shutdown();
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(resolved.load(), kThreads * kPerThread)
+      << "every Submit must resolve its future";
+  EXPECT_EQ(weird.load(), 0);
+  ServeStats stats = server->stats();
+  EXPECT_EQ(stats.submitted,
+            stats.completed + stats.rejected + stats.deadline_expired);
+  delete server;
+}
+
+}  // namespace
+}  // namespace poe

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "util/result.h"
 
 namespace poe {
@@ -35,6 +38,34 @@ TEST(StatusTest, AllCodesHaveNames) {
                "ALREADY_EXISTS");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
                "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+}
+
+// Whole-enum sweep: every code stringifies to a real (non-fallback) name,
+// and no two codes share one. A code added without a ToString case - or a
+// renumbering that aliases two codes - fails here, not in a log message.
+TEST(StatusTest, EveryCodeHasAUniqueName) {
+  std::set<std::string> names;
+  for (int c = 0; c < kNumStatusCodes; ++c) {
+    const char* name = StatusCodeToString(static_cast<StatusCode>(c));
+    EXPECT_STRNE(name, "UNKNOWN") << "code " << c << " has no name";
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate status name " << name;
+  }
+  EXPECT_EQ(static_cast<int>(names.size()), kNumStatusCodes);
+}
+
+TEST(StatusTest, RobustnessFactories) {
+  Status unavailable = Status::Unavailable("expert poisoned");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "UNAVAILABLE: expert poisoned");
+  Status deadline = Status::DeadlineExceeded("budget gone");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DEADLINE_EXCEEDED: budget gone");
 }
 
 Status Propagate(bool fail) {

@@ -21,6 +21,10 @@
 //       cache + batching inference server) with client threads issuing
 //       composite queries + probe inference, then prints the full
 //       ServeStats surface (percentiles, QPS, per-shard hit rates).
+//   poectl fsck <pool.poe>
+//       Offline integrity check: walks the pool file's sections, verifies
+//       each CRC32C and the commit footer, and prints a per-section
+//       report. Exit 0 = clean, non-zero = corrupt/truncated/missing.
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -320,6 +324,33 @@ int CmdServeBench(const std::string& path, int clients,
   return 0;
 }
 
+int CmdFsck(const std::string& path) {
+  auto checked = FsckExpertPool(path);
+  if (!checked.ok()) {
+    std::fprintf(stderr, "fsck failed: %s\n",
+                 checked.status().ToString().c_str());
+    return 1;
+  }
+  const PoolFsckReport report = std::move(checked).ValueOrDie();
+  std::printf("pool: %s (format v%u)\n", path.c_str(), report.version);
+  TablePrinter table({"Section", "Tag", "Bytes", "CRC", "Detail"});
+  for (const PoolSectionReport& section : report.sections) {
+    char tag[16];
+    std::snprintf(tag, sizeof(tag), "0x%04X", section.tag);
+    table.AddRow({section.name, tag,
+                  TablePrinter::HumanBytes(section.bytes),
+                  section.crc_ok ? "ok" : "BAD", section.detail});
+  }
+  std::printf("%s", table.ToString().c_str());
+  if (!report.ok) {
+    std::fprintf(stderr, "fsck: CORRUPT: %s\n", report.error.c_str());
+    return 1;
+  }
+  std::printf("fsck: clean (%zu sections verified)\n",
+              report.sections.size());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -329,7 +360,8 @@ int Usage() {
                "  poectl bench <pool.poe> [num_queries]\n"
                "  poectl calibrate <pool.poe> <out.poe> [num_samples] [hw]\n"
                "  poectl serve-bench <pool.poe> [clients] "
-               "[queries_per_client]\n");
+               "[queries_per_client]\n"
+               "  poectl fsck  <pool.poe>\n");
   return 2;
 }
 
@@ -338,6 +370,7 @@ int Main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "build") return CmdBuild(argc, argv);
   if (cmd == "info") return CmdInfo(argv[2]);
+  if (cmd == "fsck") return CmdFsck(argv[2]);
   if (cmd == "query" && argc >= 4) return CmdQuery(argv[2], argv[3]);
   if (cmd == "bench") {
     return CmdBench(argv[2], argc > 3 ? std::atoi(argv[3]) : 100);
