@@ -1,0 +1,363 @@
+// Loopback load generator for the net front-end: drives a NetServer over
+// 127.0.0.1 with real request/response frames and reports wire-level
+// throughput and latency.
+//
+// Two traffic shapes per connection count:
+//   - closed: each connection is a synchronous client - send one request,
+//     wait for its response, repeat. Latency is a pure round trip.
+//   - open: each connection keeps a window of requests pipelined
+//     (Send/Receive with request_id matching), the shape a fan-in
+//     front-end produces. Throughput reflects batching; latency includes
+//     queueing behind the window.
+//
+// Usage:
+//   net_throughput [--json out.json] [--seconds 0.3] [--conns 1,2,4]
+//                  [--window 8] [--epochs 2]
+//
+// The JSON is merged under the "net_loopback" key of
+// BENCH_serving_throughput.json by tools/bench_to_json.sh --with-net.
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/expert_pool.h"
+#include "core/query_service.h"
+#include "data/synthetic.h"
+#include "distill/specialize.h"
+#include "eval/metrics.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
+#include "serve/inference_server.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace poe {
+namespace {
+
+struct RunResult {
+  std::string mode;       // "closed" | "open"
+  int conns = 0;
+  int window = 1;         // in-flight per connection (1 for closed)
+  double seconds = 0.0;
+  int64_t ops = 0;        // completed round trips
+  int64_t errors = 0;     // transport or server-status failures
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double avg_batch = 0.0;  // server-side fused batch size over the run
+};
+
+/// Closed loop: `conns` synchronous clients, each its own connection and
+/// thread, each blocking on one round trip at a time.
+RunResult RunClosed(const NetServer& net, int conns, double seconds,
+                    int image_hw) {
+  LatencyHistogram hist;
+  std::atomic<int64_t> total_ops{0};
+  std::atomic<int64_t> total_errors{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> clients;
+  Stopwatch wall;
+  for (int t = 0; t < conns; ++t) {
+    clients.emplace_back([&, t] {
+      NetClient client;
+      if (!client.Connect("127.0.0.1", net.port()).ok()) {
+        total_errors.fetch_add(1);
+        return;
+      }
+      Rng rng(100 + t);
+      Tensor probe = Tensor::Randn({1, 3, image_hw, image_hw}, rng);
+      int64_t ops = 0, errors = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Stopwatch sw;
+        auto r = client.Query({t % 4, (t % 4) + 1}, probe);
+        if (r.ok() && r.ValueOrDie().status.ok()) {
+          hist.Record(sw.ElapsedMillis());
+          ++ops;
+        } else {
+          ++errors;
+          if (!r.ok()) break;  // transport gone - stop this connection
+        }
+      }
+      total_ops.fetch_add(ops);
+      total_errors.fetch_add(errors);
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1e3)));
+  stop.store(true);
+  for (auto& c : clients) c.join();
+
+  RunResult r;
+  r.mode = "closed";
+  r.conns = conns;
+  r.window = 1;
+  r.seconds = wall.ElapsedSeconds();
+  r.ops = total_ops.load();
+  r.errors = total_errors.load();
+  r.qps = static_cast<double>(r.ops) / r.seconds;
+  r.p50_ms = hist.Percentile(0.50);
+  r.p99_ms = hist.Percentile(0.99);
+  return r;
+}
+
+/// Open loop: each connection keeps `window` requests in flight. Every
+/// Receive() retires one in-flight slot (matched by request_id, since the
+/// server answers in completion order) and refills it with a fresh Send.
+RunResult RunOpen(const NetServer& net, int conns, int window, double seconds,
+                  int image_hw) {
+  LatencyHistogram hist;
+  std::atomic<int64_t> total_ops{0};
+  std::atomic<int64_t> total_errors{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> clients;
+  Stopwatch wall;
+  for (int t = 0; t < conns; ++t) {
+    clients.emplace_back([&, t] {
+      NetClient client;
+      if (!client.Connect("127.0.0.1", net.port()).ok()) {
+        total_errors.fetch_add(1);
+        return;
+      }
+      Rng rng(200 + t);
+      Tensor probe = Tensor::Randn({1, 3, image_hw, image_hw}, rng);
+      const std::vector<int> tasks = {t % 4, (t % 4) + 1};
+      std::map<uint64_t, Stopwatch> inflight;
+      int64_t ops = 0, errors = 0;
+
+      auto send_one = [&]() -> bool {
+        auto id = client.Send(tasks, probe);
+        if (!id.ok()) return false;
+        inflight.emplace(id.ValueOrDie(), Stopwatch());
+        return true;
+      };
+      auto retire_one = [&]() -> bool {
+        auto r = client.Receive();
+        if (!r.ok()) return false;
+        auto it = inflight.find(r.ValueOrDie().request_id);
+        if (it != inflight.end()) {
+          if (r.ValueOrDie().status.ok()) {
+            hist.Record(it->second.ElapsedMillis());
+            ++ops;
+          } else {
+            ++errors;
+          }
+          inflight.erase(it);
+        }
+        return true;
+      };
+
+      bool alive = true;
+      for (int i = 0; i < window && alive; ++i) alive = send_one();
+      while (alive && !stop.load(std::memory_order_relaxed)) {
+        alive = retire_one() && send_one();
+      }
+      // Drain what is still pipelined so the run's ops are fully counted.
+      while (alive && !inflight.empty()) alive = retire_one();
+      if (!alive) ++errors;
+      total_ops.fetch_add(ops);
+      total_errors.fetch_add(errors);
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1e3)));
+  stop.store(true);
+  for (auto& c : clients) c.join();
+
+  RunResult r;
+  r.mode = "open";
+  r.conns = conns;
+  r.window = window;
+  r.seconds = wall.ElapsedSeconds();
+  r.ops = total_ops.load();
+  r.errors = total_errors.load();
+  r.qps = static_cast<double>(r.ops) / r.seconds;
+  r.p50_ms = hist.Percentile(0.50);
+  r.p99_ms = hist.Percentile(0.99);
+  return r;
+}
+
+void PrintTable(const std::vector<RunResult>& results) {
+  std::printf("%-8s %6s %7s %10s %8s %10s %10s %8s %7s\n", "mode", "conns",
+              "window", "qps", "ops", "p50_ms", "p99_ms", "batch", "errors");
+  for (const RunResult& r : results) {
+    std::printf("%-8s %6d %7d %10.0f %8lld %10.4f %10.4f %8.1f %7lld\n",
+                r.mode.c_str(), r.conns, r.window, r.qps,
+                static_cast<long long>(r.ops), r.p50_ms, r.p99_ms,
+                r.avg_batch, static_cast<long long>(r.errors));
+  }
+}
+
+void WriteJson(const std::string& path, const std::vector<RunResult>& results,
+               const NetStats& net_stats) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"context\": {\n");
+  std::fprintf(f, "    \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "    \"transport\": \"loopback_tcp\"\n  },\n");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"conns\": %d, \"window\": %d, "
+        "\"seconds\": %.3f, \"ops\": %lld, \"errors\": %lld, "
+        "\"qps\": %.1f, \"p50_ms\": %.5f, \"p99_ms\": %.5f, "
+        "\"avg_batch\": %.2f}%s\n",
+        r.mode.c_str(), r.conns, r.window, r.seconds,
+        static_cast<long long>(r.ops), static_cast<long long>(r.errors),
+        r.qps, r.p50_ms, r.p99_ms, r.avg_batch,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"server\": {\n");
+  std::fprintf(f,
+               "    \"bytes_in\": %lld,\n    \"bytes_out\": %lld,\n"
+               "    \"frames_decoded\": %lld,\n"
+               "    \"responses_sent\": %lld,\n"
+               "    \"protocol_errors\": %lld,\n"
+               "    \"conns_accepted\": %lld\n  }\n}\n",
+               static_cast<long long>(net_stats.bytes_in),
+               static_cast<long long>(net_stats.bytes_out),
+               static_cast<long long>(net_stats.frames_decoded),
+               static_cast<long long>(net_stats.responses_sent),
+               static_cast<long long>(net_stats.protocol_errors),
+               static_cast<long long>(net_stats.conns_accepted));
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path;
+  double seconds = 0.3;
+  int epochs = 2;
+  int window = 8;
+  std::vector<int> conn_counts = {1, 2, 4};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--seconds" && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (arg == "--epochs" && i + 1 < argc) {
+      epochs = std::atoi(argv[++i]);
+    } else if (arg == "--window" && i + 1 < argc) {
+      window = std::atoi(argv[++i]);
+    } else if (arg == "--conns" && i + 1 < argc) {
+      conn_counts.clear();
+      std::string spec = argv[++i];
+      std::string cur;
+      for (char c : spec + ",") {
+        if (c == ',') {
+          if (!cur.empty()) conn_counts.push_back(std::atoi(cur.c_str()));
+          cur.clear();
+        } else {
+          cur += c;
+        }
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: net_throughput [--json out.json] [--seconds s] "
+                   "[--conns 1,2,4] [--window n] [--epochs n]\n");
+      return 2;
+    }
+  }
+
+  SyntheticDataConfig dc;
+  dc.num_tasks = 6;
+  dc.classes_per_task = 3;
+  dc.train_per_class = 12;
+  dc.test_per_class = 2;
+  dc.noise = 0.8f;
+  SyntheticDataset data = GenerateSyntheticDataset(dc);
+  Rng rng(3);
+  WrnConfig oracle_cfg;
+  oracle_cfg.kc = 1.0;
+  oracle_cfg.ks = 1.0;
+  oracle_cfg.num_classes = data.hierarchy.num_classes();
+  Wrn oracle(oracle_cfg, rng);
+  TrainOptions topts;
+  topts.epochs = epochs;
+  std::printf("[bench] building pool (%d tasks, %d epochs)...\n",
+              dc.num_tasks, epochs);
+  TrainScratch(oracle, data.train, topts);
+  PoeBuildConfig build;
+  build.library_config = oracle_cfg;
+  build.expert_ks = 0.25;
+  build.library_options = topts;
+  build.expert_options = topts;
+  ExpertPool pool =
+      ExpertPool::Preprocess(ModelLogits(oracle), data, build, rng);
+
+  ModelQueryService service(pool, /*cache_capacity=*/64);
+  InferenceServer::Options sopts;
+  sopts.num_workers = 2;
+  sopts.queue_capacity = 1024;
+  sopts.max_batch_rows = 32;
+  InferenceServer server(&service, sopts);
+
+  NetServer::Options nopts;
+  nopts.num_workers = 2;
+  NetServer net(&server, nopts);
+  const Status started = net.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "net.Start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("[bench] serving on 127.0.0.1:%d, %.1fs per run, window %d\n",
+              net.port(), seconds, window);
+
+  std::vector<RunResult> results;
+  for (int conns : conn_counts) {
+    ServeStats before = server.stats();
+    RunResult r = RunClosed(net, conns, seconds, dc.height);
+    ServeStats after = server.stats();
+    const int64_t batches = after.batches - before.batches;
+    r.avg_batch = batches > 0
+                      ? static_cast<double>(after.batched_requests -
+                                            before.batched_requests) /
+                            static_cast<double>(batches)
+                      : 0.0;
+    results.push_back(r);
+  }
+  for (int conns : conn_counts) {
+    ServeStats before = server.stats();
+    RunResult r = RunOpen(net, conns, window, seconds, dc.height);
+    ServeStats after = server.stats();
+    const int64_t batches = after.batches - before.batches;
+    r.avg_batch = batches > 0
+                      ? static_cast<double>(after.batched_requests -
+                                            before.batched_requests) /
+                            static_cast<double>(batches)
+                      : 0.0;
+    results.push_back(r);
+  }
+
+  net.Stop();
+  PrintTable(results);
+
+  const NetStats n = net.stats();
+  std::printf("[bench] wire: %lld frames in, %lld responses, %lld bytes in, "
+              "%lld bytes out, %lld protocol errors\n",
+              static_cast<long long>(n.frames_decoded),
+              static_cast<long long>(n.responses_sent),
+              static_cast<long long>(n.bytes_in),
+              static_cast<long long>(n.bytes_out),
+              static_cast<long long>(n.protocol_errors));
+  if (!json_path.empty()) WriteJson(json_path, results, n);
+  return 0;
+}
+
+}  // namespace
+}  // namespace poe
+
+int main(int argc, char** argv) { return poe::Main(argc, argv); }

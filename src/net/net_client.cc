@@ -1,0 +1,143 @@
+#include "net/net_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace poe {
+
+NetClient::~NetClient() { Close(); }
+
+Status NetClient::Connect(const std::string& host, int port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Status::Unavailable(
+        "connect " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetClient::WriteFull(const void* buf, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::Unavailable(std::string("send: ") +
+                                 std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status NetClient::ReadFull(void* buf, size_t len) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::Unavailable(std::string("recv: ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) {
+      Close();
+      return Status::Unavailable("connection closed by server");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status NetClient::SendRaw(const void* data, size_t len) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  return WriteFull(data, len);
+}
+
+Result<uint64_t> NetClient::Send(const std::vector<int>& task_ids,
+                                 const Tensor& input, double deadline_ms,
+                                 WirePrecision precision) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (!input.defined() || input.ndim() != 4) {
+    return Status::InvalidArgument("input must be a [n,c,h,w] tensor");
+  }
+  if (task_ids.empty() ||
+      task_ids.size() > static_cast<size_t>(kMaxWireTasks)) {
+    return Status::InvalidArgument("task count out of wire range");
+  }
+  const uint64_t id = next_id_++;
+  const std::vector<uint8_t> frame =
+      EncodeRequestFrame(id, task_ids, input, deadline_ms, precision);
+  POE_RETURN_NOT_OK(WriteFull(frame.data(), frame.size()));
+  return id;
+}
+
+Result<WireResponse> NetClient::Receive() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  uint8_t hbuf[kWireHeaderBytes];
+  POE_RETURN_NOT_OK(ReadFull(hbuf, sizeof(hbuf)));
+  WireHeader header;
+  POE_RETURN_NOT_OK(DecodeHeader(hbuf, sizeof(hbuf), kWireTypeResponse,
+                                 max_body_bytes_, &header));
+  std::vector<uint8_t> body(header.body_len);
+  POE_RETURN_NOT_OK(ReadFull(body.data(), body.size()));
+  if (Crc32c(body.data(), body.size()) != header.body_crc) {
+    Close();
+    return Status::Corruption("response body CRC mismatch");
+  }
+  WireResponse response;
+  POE_RETURN_NOT_OK(
+      DecodeResponseBody(body.data(), body.size(), header, &response));
+  return response;
+}
+
+Result<WireResponse> NetClient::Query(const std::vector<int>& task_ids,
+                                      const Tensor& input, double deadline_ms,
+                                      WirePrecision precision) {
+  uint64_t id = 0;
+  POE_ASSIGN_OR_RETURN(id, Send(task_ids, input, deadline_ms, precision));
+  WireResponse response;
+  POE_ASSIGN_OR_RETURN(response, Receive());
+  if (response.request_id != id) {
+    Close();
+    return Status::Internal(
+        "response correlation mismatch (pipelining misuse?)");
+  }
+  return response;
+}
+
+}  // namespace poe

@@ -1,0 +1,71 @@
+// Blocking client for the wire protocol: connect, send request frames,
+// read response frames. One instance drives ONE connection and is not
+// thread-safe (a load generator runs one client per connection/thread).
+//
+// Two usage styles:
+//   - Query(): one synchronous round trip (closed-loop traffic).
+//   - Send()/Receive(): explicit pipelining - keep several requests in
+//     flight on the connection and match responses by request_id
+//     (responses come back in completion order, not send order).
+//
+// Transport failures (refused, reset, EOF mid-frame) surface as
+// kUnavailable; malformed response frames as protocol errors
+// (kInvalidArgument / kCorruption for a CRC mismatch). Server-side
+// statuses arrive INSIDE a well-formed response frame and are returned
+// as WireResponse::status, not as a transport error.
+#ifndef POE_NET_NET_CLIENT_H_
+#define POE_NET_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace poe {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One blocking round trip. The returned WireResponse carries the
+  /// server's status (which may itself be an error) when the frame
+  /// exchange succeeded; a Result error means the exchange itself broke.
+  Result<WireResponse> Query(const std::vector<int>& task_ids,
+                             const Tensor& input, double deadline_ms = 0.0,
+                             WirePrecision precision = WirePrecision::kAny);
+
+  /// Pipelined send; returns the request_id to match the response by.
+  Result<uint64_t> Send(const std::vector<int>& task_ids, const Tensor& input,
+                        double deadline_ms = 0.0,
+                        WirePrecision precision = WirePrecision::kAny);
+
+  /// Blocks for the next response frame on the connection.
+  Result<WireResponse> Receive();
+
+  /// Sends raw bytes as-is - the protocol-robustness tests use this to
+  /// put malformed frames on the wire.
+  Status SendRaw(const void* data, size_t len);
+
+ private:
+  Status ReadFull(void* buf, size_t len);
+  Status WriteFull(const void* buf, size_t len);
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  uint32_t max_body_bytes_ = kDefaultMaxBodyBytes;
+};
+
+}  // namespace poe
+
+#endif  // POE_NET_NET_CLIENT_H_

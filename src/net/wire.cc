@@ -1,0 +1,264 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace poe {
+
+namespace {
+
+// Little-endian put/get through memcpy: well-defined for any alignment,
+// and compiles to plain loads/stores on x86-64.
+template <typename T>
+void Put(std::vector<uint8_t>& buf, T v) {
+  const size_t at = buf.size();
+  buf.resize(at + sizeof(T));
+  std::memcpy(buf.data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+T Get(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+/// Writes the 24-byte header in place at buf[0..24) once the body that
+/// follows it is final (body_len/body_crc are computed here).
+void SealHeader(std::vector<uint8_t>& frame, uint8_t type,
+                uint64_t request_id) {
+  const uint32_t body_len =
+      static_cast<uint32_t>(frame.size() - kWireHeaderBytes);
+  const uint32_t body_crc =
+      Crc32c(frame.data() + kWireHeaderBytes, body_len);
+  uint8_t* h = frame.data();
+  const uint32_t magic = WireMagic();
+  std::memcpy(h, &magic, 4);
+  h[4] = kWireVersion;
+  h[5] = type;
+  h[6] = 0;
+  h[7] = 0;
+  std::memcpy(h + 8, &body_len, 4);
+  std::memcpy(h + 12, &body_crc, 4);
+  std::memcpy(h + 16, &request_id, 8);
+}
+
+Status ProtocolError(const std::string& what) {
+  return Status::InvalidArgument("wire protocol: " + what);
+}
+
+}  // namespace
+
+uint32_t WireMagic() {
+  const uint8_t bytes[4] = {'P', 'O', 'E', '1'};
+  uint32_t magic;
+  std::memcpy(&magic, bytes, 4);
+  return magic;
+}
+
+std::vector<uint8_t> EncodeRequestFrame(uint64_t request_id,
+                                        const std::vector<int>& task_ids,
+                                        const Tensor& input,
+                                        double deadline_ms,
+                                        WirePrecision precision) {
+  std::vector<uint8_t> frame(kWireHeaderBytes);
+  frame.reserve(kWireHeaderBytes + kWireRequestMetaBytes +
+                4 * task_ids.size() + sizeof(float) * input.numel());
+  Put<double>(frame, deadline_ms);
+  Put<uint8_t>(frame, static_cast<uint8_t>(precision));
+  Put<uint8_t>(frame, 4);  // ndim
+  Put<uint16_t>(frame, static_cast<uint16_t>(task_ids.size()));
+  for (int d = 0; d < 4; ++d) {
+    Put<int64_t>(frame, input.ndim() == 4 ? input.dim(d) : 0);
+  }
+  for (int t : task_ids) Put<int32_t>(frame, static_cast<int32_t>(t));
+  const size_t at = frame.size();
+  const size_t payload = sizeof(float) * static_cast<size_t>(input.numel());
+  frame.resize(at + payload);
+  if (payload > 0) std::memcpy(frame.data() + at, input.data(), payload);
+  SealHeader(frame, kWireTypeRequest, request_id);
+  return frame;
+}
+
+std::vector<uint8_t> EncodeResponseFrame(uint64_t request_id,
+                                         const InferenceResponse& response) {
+  const bool ok = response.status.ok();
+  const std::string& msg = response.status.message();
+  const int64_t rows = ok && response.logits.defined()
+                           ? response.logits.dim(0)
+                           : 0;
+  const uint32_t num_classes =
+      ok && response.logits.defined()
+          ? static_cast<uint32_t>(response.logits.dim(1))
+          : 0;
+
+  std::vector<uint8_t> frame(kWireHeaderBytes);
+  Put<int32_t>(frame, static_cast<int32_t>(response.status.code()));
+  Put<uint8_t>(frame,
+               response.precision == ServingPrecision::kInt8 ? 1 : 0);
+  Put<uint8_t>(frame, response.trunk_degraded ? 1 : 0);
+  Put<uint16_t>(frame, static_cast<uint16_t>(response.degraded_branches));
+  Put<double>(frame, response.queue_ms);
+  Put<double>(frame, response.total_ms);
+  Put<uint32_t>(frame, static_cast<uint32_t>(msg.size()));
+  Put<uint32_t>(frame, num_classes);
+  Put<int64_t>(frame, rows);
+  const size_t at = frame.size();
+  frame.resize(at + msg.size());
+  std::memcpy(frame.data() + at, msg.data(), msg.size());
+  for (uint32_t c = 0; c < num_classes; ++c) {
+    Put<int32_t>(frame, response.global_classes[c]);
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    Put<int32_t>(frame, response.predictions[r]);
+  }
+  if (rows > 0) {
+    const size_t logit_bytes =
+        sizeof(float) * static_cast<size_t>(rows) * num_classes;
+    const size_t lat = frame.size();
+    frame.resize(lat + logit_bytes);
+    std::memcpy(frame.data() + lat, response.logits.data(), logit_bytes);
+  }
+  SealHeader(frame, kWireTypeResponse, request_id);
+  return frame;
+}
+
+std::vector<uint8_t> EncodeErrorFrame(uint64_t request_id,
+                                      const Status& status) {
+  InferenceResponse response;
+  response.status = status;
+  return EncodeResponseFrame(request_id, response);
+}
+
+Status DecodeHeader(const uint8_t* data, size_t len, uint8_t expected_type,
+                    uint32_t max_body_bytes, WireHeader* out) {
+  if (len < kWireHeaderBytes) {
+    return ProtocolError("short header (" + std::to_string(len) + " bytes)");
+  }
+  if (Get<uint32_t>(data) != WireMagic()) {
+    return ProtocolError("bad magic");
+  }
+  out->version = data[4];
+  out->type = data[5];
+  if (out->version != kWireVersion) {
+    return ProtocolError("unsupported version " +
+                         std::to_string(out->version));
+  }
+  if (out->type != expected_type) {
+    return ProtocolError("unexpected frame type " +
+                         std::to_string(out->type));
+  }
+  if (Get<uint16_t>(data + 6) != 0) {
+    return ProtocolError("nonzero reserved field");
+  }
+  out->body_len = Get<uint32_t>(data + 8);
+  out->body_crc = Get<uint32_t>(data + 12);
+  out->request_id = Get<uint64_t>(data + 16);
+  if (out->body_len > max_body_bytes) {
+    return ProtocolError("oversized body (" + std::to_string(out->body_len) +
+                         " > " + std::to_string(max_body_bytes) + " bytes)");
+  }
+  const size_t min_body = expected_type == kWireTypeRequest
+                              ? kWireRequestMetaBytes
+                              : kWireResponseFixedBytes;
+  if (out->body_len < min_body) {
+    return ProtocolError("undersized body (" +
+                         std::to_string(out->body_len) + " bytes)");
+  }
+  return Status::OK();
+}
+
+Status DecodeRequestMeta(const uint8_t* data, size_t len,
+                         const WireHeader& header, WireRequestMeta* out) {
+  if (len < kWireRequestMetaBytes) {
+    return ProtocolError("short request meta");
+  }
+  out->deadline_ms = Get<double>(data);
+  const uint8_t precision = data[8];
+  if (precision > 2) {
+    return ProtocolError("bad precision byte " + std::to_string(precision));
+  }
+  out->precision = static_cast<WirePrecision>(precision);
+  if (data[9] != 4) {
+    return ProtocolError("ndim must be 4, got " + std::to_string(data[9]));
+  }
+  out->num_tasks = Get<uint16_t>(data + 10);
+  if (out->num_tasks < 1 || out->num_tasks > kMaxWireTasks) {
+    return ProtocolError("bad task count " + std::to_string(out->num_tasks));
+  }
+  int64_t elems = 1;
+  for (int d = 0; d < 4; ++d) {
+    out->dims[d] = Get<int64_t>(data + 12 + 8 * d);
+    if (out->dims[d] < 1) {
+      return ProtocolError("non-positive dim " + std::to_string(out->dims[d]));
+    }
+    // Overflow-safe accumulation: bail before the product can wrap.
+    if (elems > (1ll << 40) / out->dims[d]) {
+      return ProtocolError("tensor too large");
+    }
+    elems *= out->dims[d];
+  }
+  const uint64_t want = kWireRequestMetaBytes +
+                        static_cast<uint64_t>(out->task_bytes()) +
+                        static_cast<uint64_t>(4) * elems;
+  if (want != header.body_len) {
+    return ProtocolError("body length " + std::to_string(header.body_len) +
+                         " does not match meta (expected " +
+                         std::to_string(want) + ")");
+  }
+  return Status::OK();
+}
+
+Status DecodeResponseBody(const uint8_t* data, size_t len,
+                          const WireHeader& header, WireResponse* out) {
+  if (len != header.body_len || len < kWireResponseFixedBytes) {
+    return ProtocolError("response body size mismatch");
+  }
+  out->request_id = header.request_id;
+  const int32_t code = Get<int32_t>(data);
+  if (code < 0 || code >= kNumStatusCodes) {
+    return ProtocolError("bad status code " + std::to_string(code));
+  }
+  out->precision =
+      data[4] == 1 ? ServingPrecision::kInt8 : ServingPrecision::kFloat32;
+  out->trunk_degraded = data[5] != 0;
+  out->degraded_branches = Get<uint16_t>(data + 6);
+  out->queue_ms = Get<double>(data + 8);
+  out->total_ms = Get<double>(data + 16);
+  const uint32_t msg_len = Get<uint32_t>(data + 24);
+  const uint32_t num_classes = Get<uint32_t>(data + 28);
+  const int64_t rows = Get<int64_t>(data + 32);
+  if (rows < 0) return ProtocolError("negative row count");
+  const uint64_t want =
+      kWireResponseFixedBytes + static_cast<uint64_t>(msg_len) +
+      4ull * num_classes + 4ull * static_cast<uint64_t>(rows) +
+      4ull * static_cast<uint64_t>(rows) * num_classes;
+  if (want != len) {
+    return ProtocolError("response body length mismatch");
+  }
+  const uint8_t* p = data + kWireResponseFixedBytes;
+  std::string msg(reinterpret_cast<const char*>(p), msg_len);
+  out->status = Status(static_cast<StatusCode>(code), std::move(msg));
+  p += msg_len;
+  out->global_classes.resize(num_classes);
+  for (uint32_t c = 0; c < num_classes; ++c) {
+    out->global_classes[c] = Get<int32_t>(p);
+    p += 4;
+  }
+  out->predictions.resize(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    out->predictions[static_cast<size_t>(r)] = Get<int32_t>(p);
+    p += 4;
+  }
+  if (rows > 0 && num_classes > 0) {
+    out->logits = Tensor({rows, static_cast<int64_t>(num_classes)});
+    std::memcpy(out->logits.data(), p,
+                sizeof(float) * static_cast<size_t>(rows) * num_classes);
+  } else {
+    out->logits = Tensor();
+  }
+  return Status::OK();
+}
+
+}  // namespace poe

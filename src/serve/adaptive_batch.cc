@@ -1,0 +1,55 @@
+#include "serve/adaptive_batch.h"
+
+#include <algorithm>
+
+namespace poe {
+
+AdaptiveBatchLimiter::AdaptiveBatchLimiter(
+    const AdaptiveBatchOptions& options, int64_t initial_rows)
+    : options_(options) {
+  if (options_.min_rows < 1) options_.min_rows = 1;
+  if (options_.max_rows <= 0) options_.max_rows = initial_rows;
+  if (options_.max_rows < options_.min_rows) {
+    options_.max_rows = options_.min_rows;
+  }
+  if (options_.epoch_samples < 4) options_.epoch_samples = 4;
+  if (options_.regrow_headroom <= 0.0 || options_.regrow_headroom >= 1.0) {
+    options_.regrow_headroom = 0.5;
+  }
+  int64_t start = initial_rows;
+  start = std::max(options_.min_rows, std::min(options_.max_rows, start));
+  rows_.store(start, std::memory_order_relaxed);
+  samples_.reserve(static_cast<size_t>(options_.epoch_samples));
+}
+
+void AdaptiveBatchLimiter::Record(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(ms < 0.0 ? 0.0 : ms);
+  if (samples_.size() < static_cast<size_t>(options_.epoch_samples)) return;
+
+  // Close the epoch: exact p99 by selection (the buffer is small).
+  const size_t rank =
+      std::min(samples_.size() - 1,
+               static_cast<size_t>(0.99 * static_cast<double>(samples_.size())));
+  std::nth_element(samples_.begin(), samples_.begin() + rank, samples_.end());
+  const double p99 = samples_[rank];
+  samples_.clear();
+  last_p99_ms_ = p99;
+  epochs_.fetch_add(1, std::memory_order_relaxed);
+
+  const int64_t cur = rows_.load(std::memory_order_relaxed);
+  int64_t next = cur;
+  if (p99 > options_.p99_budget_ms) {
+    next = std::max(options_.min_rows, cur / 2);
+  } else if (p99 < options_.regrow_headroom * options_.p99_budget_ms) {
+    next = std::min(options_.max_rows, cur * 2);
+  }
+  if (next != cur) rows_.store(next, std::memory_order_relaxed);
+}
+
+double AdaptiveBatchLimiter::last_p99_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_p99_ms_;
+}
+
+}  // namespace poe

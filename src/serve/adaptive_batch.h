@@ -1,0 +1,80 @@
+// Adaptive batch-cap control: derive InferenceServer's max_batch_rows
+// from the live end-to-end latency distribution instead of a fixed
+// constant. Bigger batches buy throughput until the fused forward itself
+// becomes the latency floor; the limiter watches p99 over fixed-size
+// sample epochs and walks the cap down when the configured budget is
+// blown, back up when there is comfortable headroom.
+//
+// Control law (multiplicative-increase/multiplicative-decrease, the same
+// shape TCP congestion control uses for the same reason - fast reaction
+// to overload, geometric probing toward headroom):
+//   epoch p99 >  p99_budget_ms            -> rows = max(min_rows, rows/2)
+//   epoch p99 <  regrow_headroom * budget -> rows = min(max_rows, rows*2)
+// Epochs are EXACT percentiles over the last `epoch_samples` completions
+// (nth_element over a small buffer), not the cumulative histogram - a
+// cumulative p99 is sticky and would never recover after one bad burst.
+#ifndef POE_SERVE_ADAPTIVE_BATCH_H_
+#define POE_SERVE_ADAPTIVE_BATCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace poe {
+
+struct AdaptiveBatchOptions {
+  /// Off by default: the server uses its fixed max_batch_rows.
+  bool enabled = false;
+  /// The p99 latency the server should stay under, in milliseconds.
+  /// Required > 0 when enabled.
+  double p99_budget_ms = 0.0;
+  /// The cap never shrinks below this (a floor of 1 = batch-of-one).
+  int64_t min_rows = 1;
+  /// The cap never grows above this; 0 = inherit the server's
+  /// max_batch_rows (which is also the starting cap).
+  int64_t max_rows = 0;
+  /// Completions per control epoch. Smaller = faster reaction, noisier
+  /// p99 estimate.
+  int epoch_samples = 64;
+  /// Regrow when epoch p99 < regrow_headroom * p99_budget_ms. The dead
+  /// band between headroom and budget keeps the cap from oscillating on
+  /// workloads that sit near the budget.
+  double regrow_headroom = 0.5;
+};
+
+/// Thread-safe: Record() is called from every server worker; rows() is a
+/// relaxed atomic load on the batch-assembly path.
+class AdaptiveBatchLimiter {
+ public:
+  /// `initial_rows` seeds the cap (the server's configured
+  /// max_batch_rows); options are sanitized (min >= 1, max >= min).
+  AdaptiveBatchLimiter(const AdaptiveBatchOptions& options,
+                       int64_t initial_rows);
+
+  /// Feeds one end-to-end latency sample; every epoch_samples-th call
+  /// closes the epoch and moves the cap.
+  void Record(double ms);
+
+  /// The current batch-row cap.
+  int64_t rows() const { return rows_.load(std::memory_order_relaxed); }
+
+  /// Control epochs completed so far.
+  int64_t epochs() const { return epochs_.load(std::memory_order_relaxed); }
+
+  /// The p99 of the last closed epoch (0 before the first).
+  double last_p99_ms() const;
+
+ private:
+  AdaptiveBatchOptions options_;
+  std::atomic<int64_t> rows_;
+  std::atomic<int64_t> epochs_{0};
+
+  mutable std::mutex mu_;        ///< guards samples_ and last_p99_ms_
+  std::vector<double> samples_;  ///< current epoch, cleared at close
+  double last_p99_ms_ = 0.0;
+};
+
+}  // namespace poe
+
+#endif  // POE_SERVE_ADAPTIVE_BATCH_H_

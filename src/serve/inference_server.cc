@@ -11,14 +11,6 @@ namespace poe {
 
 namespace {
 
-std::future<InferenceResponse> ReadyResponse(Status status) {
-  std::promise<InferenceResponse> promise;
-  InferenceResponse response;
-  response.status = std::move(status);
-  promise.set_value(std::move(response));
-  return promise.get_future();
-}
-
 /// True when two [n,c,h,w] inputs can share one fused forward (same image
 /// geometry; row counts may differ).
 bool SameGeometry(const Tensor& a, const Tensor& b) {
@@ -33,6 +25,10 @@ InferenceServer::InferenceServer(ModelQueryService* service, Options options)
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
   if (options_.max_batch_rows < 1) options_.max_batch_rows = 1;
+  if (options_.adaptive.enabled && options_.adaptive.p99_budget_ms > 0.0) {
+    limiter_ = std::make_unique<AdaptiveBatchLimiter>(options_.adaptive,
+                                                      options_.max_batch_rows);
+  }
   workers_.reserve(options_.num_workers);
   for (int w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -43,15 +39,49 @@ InferenceServer::~InferenceServer() { Shutdown(); }
 
 std::future<InferenceResponse> InferenceServer::Submit(
     InferenceRequest request) {
+  Pending pending;
+  std::future<InferenceResponse> future = pending.promise.get_future();
+  Enqueue(std::move(request), std::move(pending));
+  return future;
+}
+
+void InferenceServer::SubmitAsync(
+    InferenceRequest request, std::function<void(InferenceResponse)> done) {
+  Pending pending;
+  pending.callback = std::move(done);
+  Enqueue(std::move(request), std::move(pending));
+}
+
+bool InferenceServer::Resolve(Pending& pending, InferenceResponse response) {
+  if (pending.callback) {
+    // Exactly-once by construction: the callback is consumed here, so a
+    // second Resolve on the same pending is a no-op.
+    std::function<void(InferenceResponse)> done = std::move(pending.callback);
+    pending.callback = nullptr;
+    done(std::move(response));
+    return true;
+  }
+  try {
+    pending.promise.set_value(std::move(response));
+    return true;
+  } catch (const std::future_error&) {
+    // Already satisfied — the "second resolve" signal, not an error.
+    return false;
+  }
+}
+
+void InferenceServer::Enqueue(InferenceRequest request, Pending pending) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (!request.input.defined() || request.input.ndim() != 4 ||
       request.input.dim(0) < 1) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    return ReadyResponse(
-        Status::InvalidArgument("input must be a non-empty [n,c,h,w] batch"));
+    rejected_.fetch_add(1, std::memory_order_release);
+    InferenceResponse response;
+    response.status =
+        Status::InvalidArgument("input must be a non-empty [n,c,h,w] batch");
+    Resolve(pending, std::move(response));
+    return;
   }
 
-  Pending pending;
   pending.key = CanonicalTaskKey(request.task_ids);
   if (request.deadline_ms > 0) {
     pending.deadline = Deadline::AfterMillis(request.deadline_ms);
@@ -60,30 +90,37 @@ std::future<InferenceResponse> InferenceServer::Submit(
     // A non-positive (but set) or microscopic budget: shed at the door.
     // Counts as deadline_expired, not rejected — the request was well-
     // formed and admitted; its budget was simply gone.
-    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
-    return ReadyResponse(
-        Status::DeadlineExceeded("deadline expired at submission"));
+    deadline_expired_.fetch_add(1, std::memory_order_release);
+    InferenceResponse response;
+    response.status = Status::DeadlineExceeded("deadline expired at submission");
+    Resolve(pending, std::move(response));
+    return;
   }
   pending.request = std::move(request);
-  std::future<InferenceResponse> future = pending.promise.get_future();
+  Status reject = Status::OK();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      return ReadyResponse(
-          Status::FailedPrecondition("inference server is shut down"));
-    }
-    if (queue_.size() >= options_.queue_capacity) {
+      reject = Status::FailedPrecondition("inference server is shut down");
+    } else if (queue_.size() >= options_.queue_capacity) {
       // Backpressure: fail fast instead of queueing unbounded latency.
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      return ReadyResponse(Status::ResourceExhausted(
+      reject = Status::ResourceExhausted(
           "request queue full (" + std::to_string(options_.queue_capacity) +
-          " pending)"));
+          " pending)");
+    } else {
+      queue_.push_back(std::move(pending));
     }
-    queue_.push_back(std::move(pending));
+  }
+  if (!reject.ok()) {
+    // Resolved OUTSIDE mu_: an async callback may re-enter stats() or
+    // queue_depth().
+    rejected_.fetch_add(1, std::memory_order_release);
+    InferenceResponse response;
+    response.status = std::move(reject);
+    Resolve(pending, std::move(response));
+    return;
   }
   cv_.notify_one();
-  return future;
 }
 
 void InferenceServer::WorkerLoop() {
@@ -100,12 +137,14 @@ void InferenceServer::WorkerLoop() {
       // geometry until the row budget is hit. With trunk fusion on, the
       // task set may differ - different models still share one trunk
       // pass; off, only same-model requests ride along (legacy batching).
+      // The cap is re-read per batch so the adaptive limiter's moves take
+      // effect on the very next assembly.
+      const int64_t max_rows = current_max_batch_rows();
       int64_t rows = batch.front().request.input.dim(0);
-      for (auto it = queue_.begin();
-           it != queue_.end() && rows < options_.max_batch_rows;) {
+      for (auto it = queue_.begin(); it != queue_.end() && rows < max_rows;) {
         if ((options_.fuse_trunk || it->key == batch.front().key) &&
             SameGeometry(it->request.input, batch.front().request.input) &&
-            rows + it->request.input.dim(0) <= options_.max_batch_rows) {
+            rows + it->request.input.dim(0) <= max_rows) {
           rows += it->request.input.dim(0);
           batch.push_back(std::move(*it));
           it = queue_.erase(it);
@@ -131,10 +170,8 @@ void InferenceServer::ServeBatch(std::vector<Pending> batch) {
     for (Pending& pending : batch) {
       InferenceResponse response;
       response.status = status;
-      try {
-        pending.promise.set_value(std::move(response));
-        completed_.fetch_add(1, std::memory_order_relaxed);
-      } catch (const std::future_error&) {
+      if (Resolve(pending, std::move(response))) {
+        completed_.fetch_add(1, std::memory_order_release);
       }
     }
   }
@@ -153,9 +190,10 @@ void InferenceServer::ServeBatchImpl(std::vector<Pending>& batch) {
     response.queue_ms = queue_ms[i];
     response.total_ms = pending.submitted.ElapsedMillis();
     latency_.Record(response.total_ms);
+    if (limiter_) limiter_->Record(response.total_ms);
     qps_.Record();
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    pending.promise.set_value(std::move(response));
+    completed_.fetch_add(1, std::memory_order_release);
+    Resolve(pending, std::move(response));
   };
 
   // Deadline shedding, not completion: the request never ran, so it skips
@@ -168,8 +206,8 @@ void InferenceServer::ServeBatchImpl(std::vector<Pending>& batch) {
         std::to_string(pending.submitted.ElapsedMillis()) + " ms queued");
     response.queue_ms = queue_ms[i];
     response.total_ms = pending.submitted.ElapsedMillis();
-    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
-    pending.promise.set_value(std::move(response));
+    deadline_expired_.fetch_add(1, std::memory_order_release);
+    Resolve(pending, std::move(response));
   };
 
   // Dequeue-time shedding: a request whose budget lapsed in the queue is
@@ -414,10 +452,8 @@ void InferenceServer::Shutdown() {
     InferenceResponse response;
     response.status =
         Status::FailedPrecondition("inference server is shut down");
-    try {
-      pending.promise.set_value(std::move(response));
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-    } catch (const std::future_error&) {
+    if (Resolve(pending, std::move(response))) {
+      rejected_.fetch_add(1, std::memory_order_release);
     }
   }
 }
@@ -426,24 +462,31 @@ ServeStats InferenceServer::stats() const {
   ServeStats stats = service_->serve_stats();
   // The latency surface of a server is end-to-end (queue wait + assembly
   // + forward), so the server's histogram replaces the service's
-  // assembly-only percentiles.
-  stats.p50_ms = latency_.Percentile(0.50);
-  stats.p95_ms = latency_.Percentile(0.95);
-  stats.p99_ms = latency_.Percentile(0.99);
-  stats.max_ms = latency_.max_ms();
-  stats.avg_ms = latency_.avg_ms();
+  // assembly-only percentiles. ONE snapshot feeds every percentile so
+  // they describe a single state even under concurrent completions.
+  const HistogramSnapshot latency = latency_.snapshot();
+  stats.p50_ms = latency.Percentile(0.50);
+  stats.p95_ms = latency.Percentile(0.95);
+  stats.p99_ms = latency.Percentile(0.99);
+  stats.max_ms = latency.max_ms();
+  stats.avg_ms = latency.avg_ms();
   stats.qps = qps_.Rate();
-  stats.submitted = submitted_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
-  stats.completed = completed_.load(std::memory_order_relaxed);
+  // Terminal buckets load BEFORE submitted: with acquire/release pairing
+  // on the terminal stores this read order makes the live identity
+  //   submitted >= completed + rejected + deadline_expired
+  // one-sided — a concurrent request can be counted submitted but not yet
+  // terminal, never the reverse. (All four equal out after a drain.)
+  stats.rejected = rejected_.load(std::memory_order_acquire);
+  stats.completed = completed_.load(std::memory_order_acquire);
+  stats.deadline_expired = deadline_expired_.load(std::memory_order_acquire);
+  stats.submitted = submitted_.load(std::memory_order_acquire);
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.batched_requests =
       batched_requests_.load(std::memory_order_relaxed);
   stats.trunk_fused_batches =
       trunk_fused_batches_.load(std::memory_order_relaxed);
   stats.trunk_fused_rows = trunk_fused_rows_.load(std::memory_order_relaxed);
-  stats.deadline_expired =
-      deadline_expired_.load(std::memory_order_relaxed);
+  stats.batch_rows_cap = current_max_batch_rows();
   stats.queue_depth = static_cast<int64_t>(queue_depth());
   return stats;
 }

@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "core/query_service.h"
+#include "serve/adaptive_batch.h"
 #include "serve/metrics.h"
 #include "tensor/tensor.h"
 #include "util/retry.h"
@@ -92,6 +94,11 @@ class InferenceServer {
     /// batch, not the effect. Turn this off (and max_batch_rows = 1)
     /// where bit-stable int8 logits matter more than throughput.
     bool fuse_trunk = true;
+    /// Adaptive batch-cap control (see adaptive_batch.h). When enabled
+    /// (with a positive p99 budget), max_batch_rows becomes the STARTING
+    /// cap and the limiter moves the effective cap with observed latency;
+    /// current_max_batch_rows() / ServeStats::batch_rows_cap report it.
+    AdaptiveBatchOptions adaptive;
   };
 
   /// `service` must outlive the server (the server adds batching and
@@ -107,6 +114,16 @@ class InferenceServer {
   /// response carries the error status.
   std::future<InferenceResponse> Submit(InferenceRequest request);
 
+  /// Callback form of Submit for embedders that must not block a thread
+  /// per request (event-loop transports). `done` is invoked EXACTLY once
+  /// for every call — inline (on the caller's thread) for requests
+  /// rejected at submission, otherwise on whichever worker thread
+  /// resolves the request. The callback must not block for long and must
+  /// not call Shutdown() (a worker cannot join itself); Submit/stats/
+  /// queue_depth from inside it are fine.
+  void SubmitAsync(InferenceRequest request,
+                   std::function<void(InferenceResponse)> done);
+
   /// Stops accepting new requests, drains everything already queued, and
   /// joins the workers. Idempotent; also run by the destructor.
   void Shutdown();
@@ -118,14 +135,35 @@ class InferenceServer {
 
   size_t queue_depth() const;
 
+  /// The batch-row cap in effect now (== options.max_batch_rows unless
+  /// adaptive batching is enabled and has moved it).
+  int64_t current_max_batch_rows() const {
+    return limiter_ ? limiter_->rows() : options_.max_batch_rows;
+  }
+
+  /// The adaptive limiter, or nullptr when adaptive batching is off.
+  /// Exposed for tests/telemetry; the limiter itself is thread-safe.
+  const AdaptiveBatchLimiter* batch_limiter() const { return limiter_.get(); }
+
  private:
   struct Pending {
     std::vector<int> key;  ///< canonical (sorted, deduped) task ids
     InferenceRequest request;
     std::promise<InferenceResponse> promise;
+    /// Set only for SubmitAsync requests; then the promise is inert.
+    std::function<void(InferenceResponse)> callback;
     Stopwatch submitted;
     Deadline deadline;  ///< unlimited when the request set no budget
   };
+
+  /// Shared tail of Submit/SubmitAsync: validate, stamp the deadline,
+  /// admit or reject. Counters move before the pending resolves.
+  void Enqueue(InferenceRequest request, Pending pending);
+
+  /// Resolves a pending exactly once (callback or promise). Returns
+  /// false when the promise was already satisfied (the double-resolve
+  /// guard of the exception path).
+  static bool Resolve(Pending& pending, InferenceResponse response);
 
   void WorkerLoop();
   /// Exception-guarded: every member promise is resolved even if the
@@ -135,6 +173,7 @@ class InferenceServer {
 
   ModelQueryService* service_;
   Options options_;
+  std::unique_ptr<AdaptiveBatchLimiter> limiter_;  ///< null = fixed cap
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

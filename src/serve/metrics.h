@@ -90,6 +90,9 @@ struct ServeStats {
   /// those fused trunk passes.
   int64_t trunk_fused_batches = 0;
   int64_t trunk_fused_rows = 0;
+  /// The batch-row cap in effect NOW: the configured max_batch_rows, or
+  /// the adaptive limiter's current value when adaptive batching is on.
+  int64_t batch_rows_cap = 0;
 
   // --- robustness side ---
   /// Admitted requests shed because their deadline passed before (or

@@ -10,16 +10,65 @@ namespace {
 // last bound at 1e-3ms * kGrowth^63 ~ 1.6e5 ms (~160 s).
 constexpr double kFirstUpperMs = 1e-3;
 constexpr double kGrowth = 1.35;
+
+const std::array<double, kLatencyHistogramBuckets>& BucketUppersMs() {
+  static const std::array<double, kLatencyHistogramBuckets> uppers = [] {
+    std::array<double, kLatencyHistogramBuckets> u{};
+    double upper = kFirstUpperMs;
+    for (int i = 0; i < kLatencyHistogramBuckets; ++i) {
+      u[i] = upper;
+      upper *= kGrowth;
+    }
+    return u;
+  }();
+  return uppers;
+}
 }  // namespace
 
+double HistogramSnapshot::Percentile(double p) const {
+  if (count <= 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const std::array<double, kLatencyHistogramBuckets>& uppers =
+      BucketUppersMs();
+  // Rank of the requested quantile (1-based), then walk the buckets.
+  const double rank = p * static_cast<double>(count);
+  int64_t seen = 0;
+  for (int i = 0; i < kLatencyHistogramBuckets; ++i) {
+    const int64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      const double lower = i == 0 ? 0.0 : uppers[i - 1];
+      // The last bucket is open-ended; cap interpolation at the true max.
+      const double upper =
+          i == kLatencyHistogramBuckets - 1 ? max_ms() : uppers[i];
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      const double v = lower + (upper - lower) * (frac < 0.0 ? 0.0 : frac);
+      const double cap = max_ms();
+      return cap > 0.0 && v > cap ? cap : v;
+    }
+    seen += in_bucket;
+  }
+  return max_ms();
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (int i = 0; i < kLatencyHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum_ns += other.sum_ns;
+  if (other.max_ns > max_ns) max_ns = other.max_ns;
+}
+
 LatencyHistogram::LatencyHistogram() {
-  double upper = kFirstUpperMs;
   for (int i = 0; i < kNumBuckets; ++i) {
-    upper_ms_[i] = upper;
-    upper *= kGrowth;
     buckets_[i].store(0, std::memory_order_relaxed);
   }
 }
+
+double LatencyHistogram::bucket_upper_ms(int i) { return BucketUppersMs()[i]; }
 
 int LatencyHistogram::BucketIndex(double ms) const {
   if (ms <= kFirstUpperMs) return 0;
@@ -42,31 +91,20 @@ void LatencyHistogram::Record(double ms) {
   }
 }
 
-double LatencyHistogram::Percentile(double p) const {
-  const int64_t n = count();
-  if (n <= 0) return 0.0;
-  if (p < 0.0) p = 0.0;
-  if (p > 1.0) p = 1.0;
-  // Rank of the requested quantile (1-based), then walk the buckets.
-  const double rank = p * static_cast<double>(n);
-  int64_t seen = 0;
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
   for (int i = 0; i < kNumBuckets; ++i) {
-    const int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
-    if (in_bucket == 0) continue;
-    if (static_cast<double>(seen + in_bucket) >= rank) {
-      const double lower = i == 0 ? 0.0 : upper_ms_[i - 1];
-      // The last bucket is open-ended; cap interpolation at the true max.
-      const double upper =
-          i == kNumBuckets - 1 ? max_ms() : upper_ms_[i];
-      const double frac =
-          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
-      const double v = lower + (upper - lower) * (frac < 0.0 ? 0.0 : frac);
-      const double cap = max_ms();
-      return cap > 0.0 && v > cap ? cap : v;
-    }
-    seen += in_bucket;
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
   }
-  return max_ms();
+  // count is the bucket sum, NOT count_: a concurrent Record() bumps the
+  // bucket before the global counter, and a percentile walk whose rank
+  // exceeds its own bucket mass would fall off the end. sum/max may lag
+  // the buckets by the samples landing right now - gauges, not
+  // accounting counters.
+  snap.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  snap.max_ns = max_ns_.load(std::memory_order_relaxed);
+  return snap;
 }
 
 QpsWindow::QpsWindow(int window_seconds)

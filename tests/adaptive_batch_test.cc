@@ -1,0 +1,165 @@
+// AdaptiveBatchLimiter unit tests (exact, pinned cap trajectories) and
+// InferenceServer integration: the effective max_batch_rows must shrink
+// when the observed p99 blows the budget and regrow on headroom.
+#include "serve/adaptive_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/metrics.h"
+#include "serve/inference_server.h"
+#include "test_util.h"
+#include "util/fault.h"
+
+namespace poe {
+namespace {
+
+using testutil::FastTrainOptions;
+using testutil::TinyDataConfig;
+using testutil::TinyLibraryConfig;
+using testutil::TinyOracleConfig;
+
+ExpertPool BuildPool() {
+  static SyntheticDataset* data =
+      new SyntheticDataset(GenerateSyntheticDataset(TinyDataConfig()));
+  static Wrn* oracle = [] {
+    Rng rng(41);
+    Wrn* w = new Wrn(TinyOracleConfig(), rng);
+    TrainScratch(*w, data->train, FastTrainOptions(4));
+    return w;
+  }();
+  PoeBuildConfig cfg;
+  cfg.library_config = TinyLibraryConfig();
+  cfg.expert_ks = 0.5;
+  cfg.library_options = FastTrainOptions(2);
+  cfg.expert_options = FastTrainOptions(2);
+  Rng rng(42);
+  return ExpertPool::Preprocess(ModelLogits(*oracle), *data, cfg, rng);
+}
+
+AdaptiveBatchOptions TestOptions() {
+  AdaptiveBatchOptions opts;
+  opts.enabled = true;
+  opts.p99_budget_ms = 100.0;
+  opts.min_rows = 1;
+  opts.max_rows = 64;
+  opts.epoch_samples = 4;
+  opts.regrow_headroom = 0.5;
+  return opts;
+}
+
+void FeedEpoch(AdaptiveBatchLimiter& limiter, double ms, int samples = 4) {
+  for (int i = 0; i < samples; ++i) limiter.Record(ms);
+}
+
+TEST(AdaptiveBatchLimiterTest, CapHalvesPerOverBudgetEpochDownToFloor) {
+  AdaptiveBatchLimiter limiter(TestOptions(), /*initial_rows=*/64);
+  EXPECT_EQ(64, limiter.rows());
+
+  // Pinned trajectory: each 200ms epoch (over the 100ms budget) halves.
+  const std::vector<int64_t> expected{32, 16, 8, 4, 2, 1, 1};
+  for (int64_t want : expected) {
+    FeedEpoch(limiter, 200.0);
+    EXPECT_EQ(want, limiter.rows());
+  }
+  EXPECT_EQ(7, limiter.epochs());
+  EXPECT_DOUBLE_EQ(200.0, limiter.last_p99_ms());
+}
+
+TEST(AdaptiveBatchLimiterTest, CapDoublesOnHeadroomUpToCeiling) {
+  AdaptiveBatchLimiter limiter(TestOptions(), 64);
+  while (limiter.rows() > 1) FeedEpoch(limiter, 200.0);
+
+  // p99 well under headroom (0.5 * 100ms): regrow geometrically.
+  const std::vector<int64_t> expected{2, 4, 8, 16, 32, 64, 64};
+  for (int64_t want : expected) {
+    FeedEpoch(limiter, 10.0);
+    EXPECT_EQ(want, limiter.rows());
+  }
+}
+
+TEST(AdaptiveBatchLimiterTest, DeadBandHoldsTheCapSteady) {
+  AdaptiveBatchLimiter limiter(TestOptions(), 16);
+  // Between headroom (50ms) and budget (100ms): no movement either way.
+  for (int e = 0; e < 5; ++e) {
+    FeedEpoch(limiter, 80.0);
+    EXPECT_EQ(16, limiter.rows());
+  }
+  EXPECT_EQ(5, limiter.epochs());
+}
+
+TEST(AdaptiveBatchLimiterTest, EpochP99IsExactNotSticky) {
+  AdaptiveBatchLimiter limiter(TestOptions(), 64);
+  // One catastrophic epoch...
+  FeedEpoch(limiter, 500.0);
+  EXPECT_EQ(32, limiter.rows());
+  // ...must not haunt later epochs: a cumulative p99 would still be
+  // 500ms here, but the epoch p99 is fresh and the cap regrows.
+  FeedEpoch(limiter, 5.0);
+  EXPECT_EQ(64, limiter.rows());
+}
+
+TEST(AdaptiveBatchLimiterTest, SanitizesDegenerateOptions) {
+  AdaptiveBatchOptions opts;
+  opts.enabled = true;
+  opts.p99_budget_ms = 10.0;
+  opts.min_rows = -5;          // -> 1
+  opts.max_rows = 0;           // -> inherit initial
+  opts.epoch_samples = 1;      // -> 4
+  opts.regrow_headroom = 2.0;  // -> 0.5
+  AdaptiveBatchLimiter limiter(opts, 8);
+  EXPECT_EQ(8, limiter.rows());
+  FeedEpoch(limiter, 100.0);  // over budget after 4 samples
+  EXPECT_EQ(4, limiter.rows());
+  for (int e = 0; e < 6; ++e) FeedEpoch(limiter, 100.0);
+  EXPECT_EQ(1, limiter.rows());  // floor respected
+  for (int e = 0; e < 6; ++e) FeedEpoch(limiter, 1.0);
+  EXPECT_EQ(8, limiter.rows());  // ceiling = initial when max_rows == 0
+}
+
+TEST(AdaptiveBatchServerTest, ServerCapShrinksUnderLoadAndRegrows) {
+  ModelQueryService service(BuildPool(), 8);
+  InferenceServer::Options opts;
+  opts.num_workers = 1;
+  opts.max_batch_rows = 32;
+  opts.adaptive.enabled = true;
+  opts.adaptive.p99_budget_ms = 100.0;
+  opts.adaptive.min_rows = 2;
+  opts.adaptive.epoch_samples = 4;
+  opts.adaptive.regrow_headroom = 0.5;
+  InferenceServer server(&service, opts);
+
+  ASSERT_NE(nullptr, server.batch_limiter());
+  EXPECT_EQ(32, server.current_max_batch_rows());
+  EXPECT_EQ(32, server.stats().batch_rows_cap);
+
+  auto submit_one = [&](int seed) {
+    Rng rng(seed);
+    InferenceRequest req;
+    req.task_ids = {0, 1};
+    req.input = Tensor::Randn({1, 3, 6, 6}, rng);
+    InferenceResponse res = server.Submit(std::move(req)).get();
+    ASSERT_TRUE(res.status.ok()) << res.status.ToString();
+  };
+
+  {
+    // Every forward takes ~300ms: p99 blows the 100ms budget and the cap
+    // must walk down. 8 sequential completions = 2 closed epochs.
+    ScopedFaultInjection slow("server.forward=delay:300:always");
+    for (int i = 0; i < 8; ++i) submit_one(10 + i);
+  }
+  const int64_t shrunk = server.current_max_batch_rows();
+  EXPECT_LT(shrunk, 32);
+  EXPECT_GE(shrunk, 2);
+  EXPECT_EQ(shrunk, server.stats().batch_rows_cap);
+  EXPECT_GE(server.batch_limiter()->epochs(), 2);
+
+  // Disarmed, the tiny model serves in a few ms - far under the 50ms
+  // regrow threshold - so the cap recovers.
+  for (int i = 0; i < 16; ++i) submit_one(50 + i);
+  EXPECT_GT(server.current_max_batch_rows(), shrunk);
+}
+
+}  // namespace
+}  // namespace poe

@@ -81,6 +81,64 @@ TEST(LatencyHistogramTest, ConcurrentRecordsLoseNothing) {
   EXPECT_NEAR(hist.sum_ms(), kThreads * kPerThread, 1e-3);
 }
 
+TEST(HistogramSnapshotTest, SnapshotCountIsAlwaysTheBucketSum) {
+  LatencyHistogram hist;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    double ms = 0.01;
+    while (!stop.load(std::memory_order_relaxed)) {
+      hist.Record(ms);
+      ms = ms > 1000.0 ? 0.01 : ms * 1.7;
+    }
+  });
+  // However the snapshot interleaves with concurrent Record()s, its count
+  // must equal the sum of ITS buckets - that is the consistency contract
+  // percentile walks rely on.
+  for (int i = 0; i < 2000; ++i) {
+    const HistogramSnapshot snap = hist.snapshot();
+    int64_t sum = 0;
+    for (int64_t b : snap.buckets) sum += b;
+    ASSERT_EQ(sum, snap.count);
+    ASSERT_LE(snap.Percentile(1.0), snap.max_ms() + 1e-9);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+TEST(HistogramSnapshotTest, SnapshotPercentilesMatchLivePercentiles) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 500; ++i) hist.Record(static_cast<double>(i));
+  const HistogramSnapshot snap = hist.snapshot();
+  for (double p : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(hist.Percentile(p), snap.Percentile(p));
+  }
+  EXPECT_EQ(hist.count(), snap.count);
+  EXPECT_NEAR(hist.sum_ms(), snap.sum_ms(), 1e-9);
+  EXPECT_NEAR(hist.max_ms(), snap.max_ms(), 1e-9);
+}
+
+TEST(HistogramSnapshotTest, MergeAggregatesPerWorkerHistograms) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(1.0);
+  for (int i = 0; i < 100; ++i) b.Record(100.0);
+
+  HistogramSnapshot merged = a.snapshot();
+  merged.Merge(b.snapshot());
+  EXPECT_EQ(200, merged.count);
+  EXPECT_NEAR(merged.sum_ms(), 100 * 1.0 + 100 * 100.0, 1e-6);
+  EXPECT_NEAR(merged.max_ms(), 100.0, 1e-6);
+  // Half the mass at ~1ms, half at ~100ms: the median must sit in the low
+  // mode and p99 in the high mode.
+  EXPECT_LT(merged.Percentile(0.49), 2.0);
+  EXPECT_GT(merged.Percentile(0.99), 50.0);
+
+  // Merge with an empty snapshot is the identity.
+  HistogramSnapshot copy = merged;
+  copy.Merge(HistogramSnapshot{});
+  EXPECT_EQ(merged.count, copy.count);
+  EXPECT_DOUBLE_EQ(merged.Percentile(0.5), copy.Percentile(0.5));
+}
+
 TEST(QpsWindowTest, RateReflectsRecordedEvents) {
   QpsWindow qps(10);
   for (int i = 0; i < 100; ++i) qps.Record();

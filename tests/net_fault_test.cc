@@ -1,0 +1,146 @@
+// Seeded fault injection on the transport: with net.read/net.write armed
+// the server drops connections mid-stream, and every client call must
+// still resolve (transport error or well-formed response - never a hang),
+// after which the server serves normally and its counters reconcile.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
+#include "serve/inference_server.h"
+#include "test_util.h"
+#include "util/fault.h"
+
+namespace poe {
+namespace {
+
+using testutil::FastTrainOptions;
+using testutil::TinyDataConfig;
+using testutil::TinyLibraryConfig;
+using testutil::TinyOracleConfig;
+
+ExpertPool BuildPool() {
+  static SyntheticDataset* data =
+      new SyntheticDataset(GenerateSyntheticDataset(TinyDataConfig()));
+  static Wrn* oracle = [] {
+    Rng rng(41);
+    Wrn* w = new Wrn(TinyOracleConfig(), rng);
+    TrainScratch(*w, data->train, FastTrainOptions(4));
+    return w;
+  }();
+  PoeBuildConfig cfg;
+  cfg.library_config = TinyLibraryConfig();
+  cfg.expert_ks = 0.5;
+  cfg.library_options = FastTrainOptions(2);
+  cfg.expert_options = FastTrainOptions(2);
+  Rng rng(42);
+  return ExpertPool::Preprocess(ModelLogits(*oracle), *data, cfg, rng);
+}
+
+Tensor MakeInput(int rows, int seed) {
+  Rng rng(seed);
+  return Tensor::Randn({rows, 3, 6, 6}, rng);
+}
+
+TEST(NetFaultTest, EveryCallResolvesUnderSeededTransportFaults) {
+  ModelQueryService service(BuildPool(), 8);
+  InferenceServer server(&service, {});
+  NetServer net(&server, {});
+  ASSERT_TRUE(net.Start().ok());
+
+  std::atomic<int> served{0};
+  std::atomic<int> failed{0};
+  {
+    // Deterministic schedule: every (spec, seed) pair replays the same
+    // connection kills. Probabilities are high enough that both sites
+    // fire within the run.
+    ScopedFaultInjection faults(
+        "net.read=io:prob:0.15;net.write=io:prob:0.15", /*seed=*/7);
+
+    constexpr int kThreads = 3;
+    constexpr int kCallsPerThread = 30;
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&, t] {
+        NetClient client;
+        for (int i = 0; i < kCallsPerThread; ++i) {
+          if (!client.connected()) {
+            client.Close();
+            if (!client.Connect("127.0.0.1", net.port()).ok()) {
+              ++failed;
+              continue;
+            }
+          }
+          auto r = client.Query({0, 1}, MakeInput(1, 1000 + t * 100 + i));
+          if (r.ok() && r.ValueOrDie().status.ok()) {
+            ++served;
+          } else {
+            // A killed connection surfaces as kUnavailable (EOF/reset);
+            // the next iteration reconnects.
+            ++failed;
+          }
+        }
+      });
+    }
+    for (std::thread& c : clients) c.join();
+
+    // Every call came back - the exactly-once accounting held.
+    EXPECT_EQ(kThreads * kCallsPerThread, served.load() + failed.load());
+    // The schedule actually fired on the transport sites.
+    const int64_t read_triggers =
+        FaultInjector::Global().SiteStats("net.read").triggers;
+    const int64_t write_triggers =
+        FaultInjector::Global().SiteStats("net.write").triggers;
+    EXPECT_GT(read_triggers + write_triggers, 0);
+    EXPECT_GT(served.load(), 0);
+    EXPECT_GT(failed.load(), 0);
+  }
+
+  // Disarmed, the server serves as if nothing happened.
+  NetClient probe;
+  ASSERT_TRUE(probe.Connect("127.0.0.1", net.port()).ok());
+  auto r = probe.Query({0, 1}, MakeInput(1, 4));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.ValueOrDie().status.ok());
+  probe.Close();
+  net.Stop();
+
+  const NetStats n = net.stats();
+  EXPECT_EQ(n.conns_accepted, n.conns_open + n.conns_dropped);
+  EXPECT_EQ(0, n.conns_open);
+  // Dropped-mid-flight requests still resolved inside the inference
+  // server even though their response frames had nowhere to go.
+  const ServeStats s = server.stats();
+  EXPECT_EQ(s.submitted, s.completed + s.rejected + s.deadline_expired);
+}
+
+TEST(NetFaultTest, WriteFaultDropsConnectionButNotTheServer) {
+  ModelQueryService service(BuildPool(), 8);
+  InferenceServer server(&service, {});
+  NetServer net(&server, {});
+  ASSERT_TRUE(net.Start().ok());
+
+  {
+    ScopedFaultInjection faults("net.write=io:always", /*seed=*/3);
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", net.port()).ok());
+    auto r = client.Query({0}, MakeInput(1, 5));
+    // The response write always faults, so the round trip must fail as
+    // a transport error - never hang.
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(StatusCode::kUnavailable, r.status().code());
+  }
+
+  NetClient probe;
+  ASSERT_TRUE(probe.Connect("127.0.0.1", net.port()).ok());
+  auto r = probe.Query({0}, MakeInput(1, 6));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.ValueOrDie().status.ok());
+}
+
+}  // namespace
+}  // namespace poe

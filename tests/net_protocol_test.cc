@@ -1,0 +1,252 @@
+// Protocol-robustness tests: a NetServer fed truncated, oversized,
+// bit-flipped, and garbage frames must answer with a clean protocol
+// error (or silently close when the header is not even ours), never
+// corrupt state, hang a request, or stop serving other connections.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
+#include "net/wire.h"
+#include "serve/inference_server.h"
+#include "test_util.h"
+#include "util/crc32c.h"
+
+namespace poe {
+namespace {
+
+using testutil::FastTrainOptions;
+using testutil::TinyDataConfig;
+using testutil::TinyLibraryConfig;
+using testutil::TinyOracleConfig;
+
+ExpertPool BuildPool() {
+  static SyntheticDataset* data =
+      new SyntheticDataset(GenerateSyntheticDataset(TinyDataConfig()));
+  static Wrn* oracle = [] {
+    Rng rng(41);
+    Wrn* w = new Wrn(TinyOracleConfig(), rng);
+    TrainScratch(*w, data->train, FastTrainOptions(4));
+    return w;
+  }();
+  PoeBuildConfig cfg;
+  cfg.library_config = TinyLibraryConfig();
+  cfg.expert_ks = 0.5;
+  cfg.library_options = FastTrainOptions(2);
+  cfg.expert_options = FastTrainOptions(2);
+  Rng rng(42);
+  return ExpertPool::Preprocess(ModelLogits(*oracle), *data, cfg, rng);
+}
+
+Tensor MakeInput(int rows, int seed) {
+  Rng rng(seed);
+  return Tensor::Randn({rows, 3, 6, 6}, rng);
+}
+
+std::vector<uint8_t> ValidFrame(uint64_t id = 1) {
+  return EncodeRequestFrame(id, {0, 1}, MakeInput(2, 55), /*deadline_ms=*/0.0,
+                            WirePrecision::kAny);
+}
+
+/// Polls until the server's protocol_errors counter reaches `want`
+/// (connection teardown is asynchronous).
+void WaitForProtocolErrors(const NetServer& net, int64_t want) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (net.stats().protocol_errors < want &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(want, net.stats().protocol_errors);
+}
+
+/// The server must still serve a well-formed request after whatever a
+/// test just threw at it.
+void ExpectStillHealthy(const NetServer& net) {
+  NetClient probe;
+  ASSERT_TRUE(probe.Connect("127.0.0.1", net.port()).ok());
+  auto r = probe.Query({0, 1}, MakeInput(1, 56));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.ValueOrDie().status.ok())
+      << r.ValueOrDie().status.ToString();
+}
+
+class NetProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = std::make_unique<ModelQueryService>(BuildPool(), 8);
+    server_ = std::make_unique<InferenceServer>(service_.get(),
+                                                InferenceServer::Options{});
+    net_ = std::make_unique<NetServer>(server_.get(), NetServer::Options{});
+    ASSERT_TRUE(net_->Start().ok());
+  }
+
+  std::unique_ptr<ModelQueryService> service_;
+  std::unique_ptr<InferenceServer> server_;
+  std::unique_ptr<NetServer> net_;
+};
+
+TEST_F(NetProtocolTest, TruncationAtEveryBoundaryIsACleanError) {
+  const std::vector<uint8_t> frame = ValidFrame();
+  const size_t tasks_end = kWireHeaderBytes + kWireRequestMetaBytes + 4 * 2;
+
+  // Every byte position through header+meta+tasks, then a stride through
+  // the payload, plus the exact stage boundaries and full-1.
+  std::vector<size_t> cuts;
+  for (size_t cut = 1; cut <= tasks_end; ++cut) cuts.push_back(cut);
+  for (size_t cut = tasks_end + 13; cut < frame.size(); cut += 97) {
+    cuts.push_back(cut);
+  }
+  cuts.push_back(frame.size() - 1);
+
+  int64_t expected_errors = 0;
+  for (size_t cut : cuts) {
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+    ASSERT_TRUE(client.SendRaw(frame.data(), cut).ok());
+    client.Close();  // EOF mid-frame: a truncated frame
+    ++expected_errors;
+  }
+  WaitForProtocolErrors(*net_, expected_errors);
+  // Nothing reached the inference queue and nothing hangs.
+  EXPECT_EQ(0, server_->stats().submitted);
+  ExpectStillHealthy(*net_);
+}
+
+TEST_F(NetProtocolTest, CleanEofAtFrameBoundaryIsNotAnError) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  auto r = client.Query({0, 1}, MakeInput(1, 57));
+  ASSERT_TRUE(r.ok());
+  client.Close();  // EOF exactly between frames
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (net_->stats().conns_dropped < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(0, net_->stats().protocol_errors);
+}
+
+TEST_F(NetProtocolTest, OversizedLengthHeaderGetsErrorReplyThenClose) {
+  // Sound prefix (magic/version/type), absurd body_len: the server can
+  // trust request_id, so it must answer before closing.
+  std::vector<uint8_t> frame = ValidFrame(/*id=*/42);
+  const uint32_t huge = kDefaultMaxBodyBytes + 1;
+  std::memcpy(frame.data() + 8, &huge, sizeof(huge));
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  ASSERT_TRUE(client.SendRaw(frame.data(), kWireHeaderBytes).ok());
+  auto r = client.Receive();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(42u, r.ValueOrDie().request_id);
+  EXPECT_EQ(StatusCode::kInvalidArgument, r.ValueOrDie().status.code());
+  // ... and then the connection is gone.
+  EXPECT_FALSE(client.Receive().ok());
+  WaitForProtocolErrors(*net_, 1);
+  ExpectStillHealthy(*net_);
+}
+
+TEST_F(NetProtocolTest, BitFlippedPayloadIsCorruptionNotLogits) {
+  std::vector<uint8_t> frame = ValidFrame(/*id=*/7);
+  frame[frame.size() - 5] ^= 0x10;  // flip one payload bit
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  ASSERT_TRUE(client.SendRaw(frame.data(), frame.size()).ok());
+  auto r = client.Receive();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(7u, r.ValueOrDie().request_id);
+  EXPECT_EQ(StatusCode::kCorruption, r.ValueOrDie().status.code());
+  EXPECT_FALSE(client.Receive().ok());
+  WaitForProtocolErrors(*net_, 1);
+  EXPECT_EQ(0, server_->stats().submitted);
+  ExpectStillHealthy(*net_);
+}
+
+TEST_F(NetProtocolTest, BitFlippedTaskIdsAreCaughtByTheCrcToo) {
+  std::vector<uint8_t> frame = ValidFrame(/*id=*/8);
+  frame[kWireHeaderBytes + kWireRequestMetaBytes + 1] ^= 0x01;
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  ASSERT_TRUE(client.SendRaw(frame.data(), frame.size()).ok());
+  auto r = client.Receive();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(StatusCode::kCorruption, r.ValueOrDie().status.code());
+  WaitForProtocolErrors(*net_, 1);
+  ExpectStillHealthy(*net_);
+}
+
+TEST_F(NetProtocolTest, MalformedMagicClosesWithoutReply) {
+  std::vector<uint8_t> frame = ValidFrame();
+  frame[0] ^= 0xFF;
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  ASSERT_TRUE(client.SendRaw(frame.data(), frame.size()).ok());
+  // Not our protocol: no reply can be trusted, so the server just
+  // closes. The client sees EOF, not a frame.
+  auto r = client.Receive();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, r.status().code());
+  WaitForProtocolErrors(*net_, 1);
+  ExpectStillHealthy(*net_);
+}
+
+TEST_F(NetProtocolTest, ResponseTypeFrameToServerCloses) {
+  std::vector<uint8_t> frame = ValidFrame();
+  frame[5] = kWireTypeResponse;  // wrong direction
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  ASSERT_TRUE(client.SendRaw(frame.data(), frame.size()).ok());
+  EXPECT_FALSE(client.Receive().ok());
+  WaitForProtocolErrors(*net_, 1);
+  ExpectStillHealthy(*net_);
+}
+
+TEST_F(NetProtocolTest, MalformedMetaGetsInvalidArgumentReply) {
+  std::vector<uint8_t> frame = ValidFrame(/*id=*/9);
+  frame[kWireHeaderBytes + 9] = 3;  // ndim must be 4
+  // Re-seal the CRC so the error is attributed to the meta, not the CRC.
+  const uint32_t crc = Crc32c(frame.data() + kWireHeaderBytes,
+                              frame.size() - kWireHeaderBytes);
+  std::memcpy(frame.data() + 12, &crc, sizeof(crc));
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  ASSERT_TRUE(client.SendRaw(frame.data(), frame.size()).ok());
+  auto r = client.Receive();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(StatusCode::kInvalidArgument, r.ValueOrDie().status.code());
+  WaitForProtocolErrors(*net_, 1);
+  ExpectStillHealthy(*net_);
+}
+
+TEST_F(NetProtocolTest, GarbageFloodNeverWedgesTheServer) {
+  Rng rng(99);
+  std::vector<uint8_t> garbage(4096);
+  for (uint8_t& b : garbage) {
+    b = static_cast<uint8_t>(rng.NextInt(256));
+  }
+  for (int i = 0; i < 4; ++i) {
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+    ASSERT_TRUE(client.SendRaw(garbage.data(), garbage.size()).ok());
+    client.Close();
+  }
+  WaitForProtocolErrors(*net_, 4);
+  EXPECT_EQ(0, server_->stats().submitted);
+  ExpectStillHealthy(*net_);
+}
+
+}  // namespace
+}  // namespace poe

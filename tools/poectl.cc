@@ -25,6 +25,16 @@
 //       Offline integrity check: walks the pool file's sections, verifies
 //       each CRC32C and the commit footer, and prints a per-section
 //       report. Exit 0 = clean, non-zero = corrupt/truncated/missing.
+//   poectl net-serve <pool.poe> [port] [net_workers]
+//       Serves the pool over TCP on 127.0.0.1 (port 0 = pick a free one;
+//       the chosen port is printed as "listening on 127.0.0.1:PORT").
+//       SIGINT/SIGTERM shut the front-end and inference server down
+//       gracefully and exit 0.
+//   poectl net-query <host:port|port> <task,task,...> [hw]
+//       Sends one inference request over the wire protocol (a random
+//       probe image of side `hw`, default 8 to match poectl-built pools)
+//       and prints the response status, latency, and predictions.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -40,6 +50,8 @@
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "models/cost.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
 #include "serve/inference_server.h"
 #include "util/stopwatch.h"
 
@@ -351,6 +363,113 @@ int CmdFsck(const std::string& path) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int CmdNetServe(const std::string& path, int port, int net_workers) {
+  auto loaded = ExpertPool::Load(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  ModelQueryService service(std::move(loaded).ValueOrDie(),
+                            /*cache_capacity=*/32);
+  InferenceServer::Options sopts;
+  sopts.num_workers = 2;
+  sopts.queue_capacity = 256;
+  InferenceServer server(&service, sopts);
+
+  NetServer::Options nopts;
+  nopts.port = port;
+  nopts.num_workers = net_workers;
+  NetServer net(&server, nopts);
+  Status started = net.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "net-serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%d\n", net.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Front-end first (no new submissions, in-flight responses flushed),
+  // then the inference server drains.
+  net.Stop();
+  server.Shutdown();
+  const NetStats n = net.stats();
+  const ServeStats s = server.stats();
+  std::printf("shutdown: %lld frames served (%lld bytes in, %lld out), "
+              "%lld protocol errors, %lld conns; %lld submitted = "
+              "%lld completed + %lld rejected + %lld expired\n",
+              static_cast<long long>(n.responses_sent),
+              static_cast<long long>(n.bytes_in),
+              static_cast<long long>(n.bytes_out),
+              static_cast<long long>(n.protocol_errors),
+              static_cast<long long>(n.conns_accepted),
+              static_cast<long long>(s.submitted),
+              static_cast<long long>(s.completed),
+              static_cast<long long>(s.rejected),
+              static_cast<long long>(s.deadline_expired));
+  return 0;
+}
+
+int CmdNetQuery(const std::string& target, const std::string& task_arg,
+                int hw) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    port = std::atoi(target.c_str());
+  } else {
+    host = target.substr(0, colon);
+    port = std::atoi(target.c_str() + colon + 1);
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "net-query: bad target '%s'\n", target.c_str());
+    return 2;
+  }
+
+  NetClient client;
+  Status s = client.Connect(host, port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "net-query: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  Rng rng(5);
+  Tensor probe = Tensor::Randn({1, 3, hw, hw}, rng);
+  Stopwatch sw;
+  auto r = client.Query(ParseTaskList(task_arg), probe);
+  const double rtt_ms = sw.ElapsedMillis();
+  if (!r.ok()) {
+    std::fprintf(stderr, "net-query: transport: %s\n",
+                 r.status().ToString().c_str());
+    return 1;
+  }
+  const WireResponse& res = r.ValueOrDie();
+  if (!res.status.ok()) {
+    std::fprintf(stderr, "net-query: server: %s\n",
+                 res.status.ToString().c_str());
+    return 1;
+  }
+  std::string preds;
+  for (int32_t p : res.predictions) {
+    preds += (preds.empty() ? "" : ",") + std::to_string(p);
+  }
+  std::printf("ok: %zu classes, predictions [%s], precision %s%s, "
+              "rtt %.3fms (queue %.3fms, server %.3fms)\n",
+              res.global_classes.size(), preds.c_str(),
+              res.precision == ServingPrecision::kInt8 ? "int8" : "f32",
+              res.trunk_degraded ? ", trunk degraded" : "", rtt_ms,
+              res.queue_ms, res.total_ms);
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -361,7 +480,9 @@ int Usage() {
                "  poectl calibrate <pool.poe> <out.poe> [num_samples] [hw]\n"
                "  poectl serve-bench <pool.poe> [clients] "
                "[queries_per_client]\n"
-               "  poectl fsck  <pool.poe>\n");
+               "  poectl fsck  <pool.poe>\n"
+               "  poectl net-serve <pool.poe> [port] [net_workers]\n"
+               "  poectl net-query <host:port|port> <task,task,...> [hw]\n");
   return 2;
 }
 
@@ -382,6 +503,13 @@ int Main(int argc, char** argv) {
   if (cmd == "serve-bench") {
     return CmdServeBench(argv[2], argc > 3 ? std::atoi(argv[3]) : 4,
                          argc > 4 ? std::atoi(argv[4]) : 100);
+  }
+  if (cmd == "net-serve") {
+    return CmdNetServe(argv[2], argc > 3 ? std::atoi(argv[3]) : 0,
+                       argc > 4 ? std::atoi(argv[4]) : 2);
+  }
+  if (cmd == "net-query" && argc >= 4) {
+    return CmdNetQuery(argv[2], argv[3], argc > 4 ? std::atoi(argv[4]) : 8);
   }
   return Usage();
 }
