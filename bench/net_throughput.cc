@@ -13,6 +13,15 @@
 // Usage:
 //   net_throughput [--json out.json] [--seconds 0.3] [--conns 1,2,4]
 //                  [--window 8] [--epochs 2]
+//                  [--target host:port] [--max-task N] [--hw N]
+//
+// By default the bench builds its own in-process pool + NetServer. With
+// --target it instead drives an EXTERNAL server (e.g. `poectl net-serve`)
+// — the load half of the upgrade-under-load smoke: traffic keeps flowing
+// while the operator hot-swaps the pool, and the bench exits nonzero if
+// ANY request failed. --max-task bounds the task ids used (clients issue
+// pairs {i, i+1} with i+1 <= max-task; default 4), --hw the probe image
+// side (default 8, matching poectl-built pools).
 //
 // The JSON is merged under the "net_loopback" key of
 // BENCH_serving_throughput.json by tools/bench_to_json.sh --with-net.
@@ -52,10 +61,18 @@ struct RunResult {
   double avg_batch = 0.0;  // server-side fused batch size over the run
 };
 
+/// The composite task a client thread queries: adjacent pairs {i, i+1}
+/// cycling over [0, max_task] so overlapping composites exercise both the
+/// flight cache and expert-level sharing.
+std::vector<int> TasksFor(int t, int max_task) {
+  const int lo = max_task > 0 ? t % max_task : 0;
+  return {lo, lo + 1};
+}
+
 /// Closed loop: `conns` synchronous clients, each its own connection and
 /// thread, each blocking on one round trip at a time.
-RunResult RunClosed(const NetServer& net, int conns, double seconds,
-                    int image_hw) {
+RunResult RunClosed(const std::string& host, int port, int conns,
+                    double seconds, int image_hw, int max_task) {
   LatencyHistogram hist;
   std::atomic<int64_t> total_ops{0};
   std::atomic<int64_t> total_errors{0};
@@ -66,16 +83,17 @@ RunResult RunClosed(const NetServer& net, int conns, double seconds,
   for (int t = 0; t < conns; ++t) {
     clients.emplace_back([&, t] {
       NetClient client;
-      if (!client.Connect("127.0.0.1", net.port()).ok()) {
+      if (!client.Connect(host, port).ok()) {
         total_errors.fetch_add(1);
         return;
       }
       Rng rng(100 + t);
       Tensor probe = Tensor::Randn({1, 3, image_hw, image_hw}, rng);
+      const std::vector<int> tasks = TasksFor(t, max_task);
       int64_t ops = 0, errors = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         Stopwatch sw;
-        auto r = client.Query({t % 4, (t % 4) + 1}, probe);
+        auto r = client.Query(tasks, probe);
         if (r.ok() && r.ValueOrDie().status.ok()) {
           hist.Record(sw.ElapsedMillis());
           ++ops;
@@ -109,8 +127,8 @@ RunResult RunClosed(const NetServer& net, int conns, double seconds,
 /// Open loop: each connection keeps `window` requests in flight. Every
 /// Receive() retires one in-flight slot (matched by request_id, since the
 /// server answers in completion order) and refills it with a fresh Send.
-RunResult RunOpen(const NetServer& net, int conns, int window, double seconds,
-                  int image_hw) {
+RunResult RunOpen(const std::string& host, int port, int conns, int window,
+                  double seconds, int image_hw, int max_task) {
   LatencyHistogram hist;
   std::atomic<int64_t> total_ops{0};
   std::atomic<int64_t> total_errors{0};
@@ -121,13 +139,13 @@ RunResult RunOpen(const NetServer& net, int conns, int window, double seconds,
   for (int t = 0; t < conns; ++t) {
     clients.emplace_back([&, t] {
       NetClient client;
-      if (!client.Connect("127.0.0.1", net.port()).ok()) {
+      if (!client.Connect(host, port).ok()) {
         total_errors.fetch_add(1);
         return;
       }
       Rng rng(200 + t);
       Tensor probe = Tensor::Randn({1, 3, image_hw, image_hw}, rng);
-      const std::vector<int> tasks = {t % 4, (t % 4) + 1};
+      const std::vector<int> tasks = TasksFor(t, max_task);
       std::map<uint64_t, Stopwatch> inflight;
       int64_t ops = 0, errors = 0;
 
@@ -238,20 +256,29 @@ void WriteJson(const std::string& path, const std::vector<RunResult>& results,
 
 int Main(int argc, char** argv) {
   std::string json_path;
+  std::string target;
   double seconds = 0.3;
   int epochs = 2;
   int window = 8;
+  int max_task = 4;
+  int image_hw = 8;
   std::vector<int> conn_counts = {1, 2, 4};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--target" && i + 1 < argc) {
+      target = argv[++i];
     } else if (arg == "--seconds" && i + 1 < argc) {
       seconds = std::atof(argv[++i]);
     } else if (arg == "--epochs" && i + 1 < argc) {
       epochs = std::atoi(argv[++i]);
     } else if (arg == "--window" && i + 1 < argc) {
       window = std::atoi(argv[++i]);
+    } else if (arg == "--max-task" && i + 1 < argc) {
+      max_task = std::atoi(argv[++i]);
+    } else if (arg == "--hw" && i + 1 < argc) {
+      image_hw = std::atoi(argv[++i]);
     } else if (arg == "--conns" && i + 1 < argc) {
       conn_counts.clear();
       std::string spec = argv[++i];
@@ -267,9 +294,58 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: net_throughput [--json out.json] [--seconds s] "
-                   "[--conns 1,2,4] [--window n] [--epochs n]\n");
+                   "[--conns 1,2,4] [--window n] [--epochs n] "
+                   "[--target host:port] [--max-task n] [--hw n]\n");
       return 2;
     }
+  }
+
+  if (!target.empty()) {
+    // External-target mode: drive an already-running server (the load
+    // half of the upgrade-under-load smoke). No pool, no in-process
+    // server, no per-run batch stats — and any failed request fails the
+    // whole run, because a live upgrade must not drop traffic.
+    std::string host = "127.0.0.1";
+    int port = 0;
+    const size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      port = std::atoi(target.c_str());
+    } else {
+      host = target.substr(0, colon);
+      port = std::atoi(target.c_str() + colon + 1);
+    }
+    if (port <= 0) {
+      std::fprintf(stderr, "bad --target '%s'\n", target.c_str());
+      return 2;
+    }
+    std::printf("[bench] driving external %s:%d, %.1fs per run, window %d, "
+                "tasks <= %d\n",
+                host.c_str(), port, seconds, window, max_task);
+    std::vector<RunResult> results;
+    for (int conns : conn_counts) {
+      results.push_back(
+          RunClosed(host, port, conns, seconds, image_hw, max_task));
+    }
+    for (int conns : conn_counts) {
+      results.push_back(
+          RunOpen(host, port, conns, window, seconds, image_hw, max_task));
+    }
+    PrintTable(results);
+    if (!json_path.empty()) WriteJson(json_path, results, NetStats());
+    int64_t total_errors = 0, total_ops = 0;
+    for (const RunResult& r : results) {
+      total_errors += r.errors;
+      total_ops += r.ops;
+    }
+    if (total_ops == 0 || total_errors > 0) {
+      std::fprintf(stderr, "[bench] FAILED: %lld errors over %lld ops\n",
+                   static_cast<long long>(total_errors),
+                   static_cast<long long>(total_ops));
+      return 1;
+    }
+    std::printf("[bench] ok: %lld ops, 0 errors\n",
+                static_cast<long long>(total_ops));
+    return 0;
   }
 
   SyntheticDataConfig dc;
@@ -319,7 +395,9 @@ int Main(int argc, char** argv) {
   std::vector<RunResult> results;
   for (int conns : conn_counts) {
     ServeStats before = server.stats();
-    RunResult r = RunClosed(net, conns, seconds, dc.height);
+    RunResult r =
+        RunClosed("127.0.0.1", net.port(), conns, seconds, dc.height,
+                  max_task);
     ServeStats after = server.stats();
     const int64_t batches = after.batches - before.batches;
     r.avg_batch = batches > 0
@@ -331,7 +409,8 @@ int Main(int argc, char** argv) {
   }
   for (int conns : conn_counts) {
     ServeStats before = server.stats();
-    RunResult r = RunOpen(net, conns, window, seconds, dc.height);
+    RunResult r = RunOpen("127.0.0.1", net.port(), conns, window, seconds,
+                          dc.height, max_task);
     ServeStats after = server.stats();
     const int64_t batches = after.batches - before.batches;
     r.avg_batch = batches > 0

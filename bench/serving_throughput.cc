@@ -27,6 +27,7 @@
 
 #include "core/expert_pool.h"
 #include "core/query_service.h"
+#include "core/request.h"
 #include "data/synthetic.h"
 #include "distill/specialize.h"
 #include "eval/metrics.h"
@@ -457,6 +458,107 @@ DedupResult DedupScenario(const ExpertPool& pool, int num_tasks) {
   return r;
 }
 
+// ------------------------------------------------------- live pool upgrade
+/// Mixed hot-key traffic through a ModelQueryService while the pool is
+/// live-upgraded several times mid-run (each upgrade perturbs ONE expert,
+/// so only that expert's composite keys are invalidated). 10% of queries
+/// pin generation 1 via PoolRequest, so after the first swap they count
+/// into stale_generation_queries. The scenario's claim: zero failed
+/// queries across every swap, and invalidation stays selective.
+struct SwapResult {
+  RunResult run;
+  int64_t swaps = 0;
+  int64_t keys_invalidated = 0;
+  int64_t stale_pins = 0;
+  uint64_t final_generation = 0;
+};
+
+SwapResult SwapScenario(const ExpertPool& pool, int num_tasks, int threads,
+                        double seconds, int image_hw) {
+  constexpr int kSwaps = 3;
+  ModelQueryService service(pool, kCacheCapacity);
+
+  // Next generations: Save/Load deep copies (the copy constructor shares
+  // masters, which would diff as a no-op), each with one expert perturbed.
+  const std::string tmp = "serving_swap_gen.poe.tmp";
+  std::vector<ExpertPool> nexts;
+  if (!pool.Save(tmp).ok()) {
+    std::fprintf(stderr, "[bench] swap scenario: cannot save %s\n",
+                 tmp.c_str());
+    return SwapResult{};
+  }
+  for (int i = 0; i < kSwaps; ++i) {
+    auto loaded = ExpertPool::Load(tmp);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "[bench] swap scenario: reload failed\n");
+      std::remove(tmp.c_str());
+      return SwapResult{};
+    }
+    ExpertPool next = std::move(loaded).ValueOrDie();
+    auto params = next.expert(i % num_tasks)->Parameters();
+    if (!params.empty()) params.front()->value.data()[0] += 0.5f;
+    nexts.push_back(std::move(next));
+  }
+  std::remove(tmp.c_str());
+
+  // Warm the single-task hot set.
+  for (int t = 0; t < num_tasks; ++t) service.Query({t});
+
+  std::atomic<int64_t> failed{0};
+  Rng probe_rng(800);
+  Tensor probe = Tensor::Randn({1, 3, image_hw, image_hw}, probe_rng);
+  std::thread swapper([&] {
+    const auto gap = std::chrono::duration<double>(seconds / (kSwaps + 1));
+    for (auto& next : nexts) {
+      std::this_thread::sleep_for(gap);
+      auto diff = service.UpgradePool(std::move(next));
+      if (!diff.ok()) failed.fetch_add(1);
+    }
+  });
+  std::vector<unsigned> states(threads);
+  for (size_t t = 0; t < states.size(); ++t) {
+    states[t] = 0x9e3779b9u * static_cast<unsigned>(t + 1) + 5;
+  }
+  RunResult run = RunTimed(
+      "sharded_upgrade", "f32", "mixed_swap", threads, seconds,
+      [&](int t, int64_t i) {
+        unsigned* s = &states[t];
+        *s = *s * 1664525u + 1013904223u;
+        const int task = static_cast<int>((*s >> 8) % num_tasks);
+        if (i % 10 == 0) {
+          // Generation-pinned request: stale after the first swap.
+          auto r = service.Query(PoolRequestBuilder()
+                                     .Tasks({task})
+                                     .Input(probe)
+                                     .Generation(1)
+                                     .Build());
+          if (!r.ok()) failed.fetch_add(1);
+        } else {
+          if (!service.Query({task}).ok()) failed.fetch_add(1);
+        }
+      });
+  swapper.join();
+
+  ServeStats stats = service.serve_stats();
+  SwapResult result;
+  result.run = run;
+  result.swaps = stats.generations_swapped;
+  result.keys_invalidated = stats.cache_keys_invalidated;
+  result.stale_pins = stats.stale_generation_queries;
+  result.final_generation = stats.generation;
+  std::printf(
+      "[bench] live upgrade: %lld swaps under %.0f qps mixed load, "
+      "%lld keys invalidated, %lld stale pins, %lld failed queries, "
+      "final generation %llu\n",
+      static_cast<long long>(result.swaps), run.qps,
+      static_cast<long long>(result.keys_invalidated),
+      static_cast<long long>(result.stale_pins),
+      static_cast<long long>(failed.load()),
+      static_cast<unsigned long long>(result.final_generation));
+  if (failed.load() > 0) result.run.service = "sharded_upgrade_FAILED";
+  return result;
+}
+
 // ------------------------------------------------------- simulated assembly
 // On the real pool, assembly is pointer wiring (~1us), so the cost a miss
 // imposes on concurrent traffic is hard to see on few cores. These two
@@ -539,7 +641,7 @@ double FindQps(const std::vector<RunResult>& results,
 
 void WriteJson(const std::string& path, const std::vector<RunResult>& results,
                const std::vector<int>& thread_counts,
-               const DedupResult& dedup) {
+               const DedupResult& dedup, const SwapResult& swap) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -577,6 +679,17 @@ void WriteJson(const std::string& path, const std::vector<RunResult>& results,
                static_cast<long long>(dedup.deduped_bytes),
                static_cast<long long>(dedup.shared_bytes_saved),
                static_cast<long long>(dedup.expert_hits));
+  std::fprintf(f, "  \"generation_swap\": {\n");
+  std::fprintf(f,
+               "    \"swaps\": %lld,\n    \"keys_invalidated\": %lld,\n"
+               "    \"stale_pins\": %lld,\n    \"final_generation\": %llu,\n"
+               "    \"qps_under_swap\": %.1f,\n"
+               "    \"p99_ms_under_swap\": %.5f\n  },\n",
+               static_cast<long long>(swap.swaps),
+               static_cast<long long>(swap.keys_invalidated),
+               static_cast<long long>(swap.stale_pins),
+               static_cast<unsigned long long>(swap.final_generation),
+               swap.run.qps, swap.run.p99_ms);
   std::fprintf(f, "  \"derived\": {\n");
   const int top = thread_counts.back();
   for (const char* prec : {"f32", "int8", "sim"}) {
@@ -718,6 +831,14 @@ int Main(int argc, char** argv) {
   };
 
   run_precision("f32");
+
+  // Live pool upgrade under mixed load (f32; the pool is converted to
+  // int8 just below, and SwapScenario deep-copies via Save/Load).
+  const SwapResult swap =
+      SwapScenario(pool, dc.num_tasks, thread_counts.back(), seconds,
+                   dc.height);
+  results.push_back(swap.run);
+
   const Status to_int8 = pool.SetServingPrecision(ServingPrecision::kInt8);
   if (!to_int8.ok()) {
     std::fprintf(stderr, "int8 conversion failed: %s\n",
@@ -766,7 +887,9 @@ int Main(int argc, char** argv) {
                 "fused %.0f qps (%.2fx)\n",
                 prec, top, off, fused, off > 0 ? fused / off : 0.0);
   }
-  if (!json_path.empty()) WriteJson(json_path, results, thread_counts, dedup);
+  if (!json_path.empty()) {
+    WriteJson(json_path, results, thread_counts, dedup, swap);
+  }
   return 0;
 }
 

@@ -49,6 +49,17 @@ WrnConfig ExpertPool::ExpertConfig(int task_id) const {
   return cfg;
 }
 
+void ExpertPool::AdoptUnchangedFrom(const ExpertPool& prev,
+                                    const std::vector<int>& unchanged_experts,
+                                    bool adopt_library) {
+  for (int t : unchanged_experts) {
+    POE_CHECK_GE(t, 0);
+    POE_CHECK_LT(t, std::min(num_experts(), prev.num_experts()));
+    store_->AdoptMaster(t, prev.store_->module(t));
+  }
+  if (adopt_library) library_ = prev.library_;
+}
+
 ExpertPool ExpertPool::Preprocess(const LogitFn& oracle,
                                   const SyntheticDataset& data,
                                   const PoeBuildConfig& config, Rng& rng,

@@ -151,6 +151,18 @@ class ExpertPool {
   Status Save(const std::string& path) const;
   static Result<ExpertPool> Load(const std::string& path);
 
+  /// Adopts master modules from `prev` for the listed experts (and the
+  /// library trunk when `adopt_library`). VersionedPool calls this before
+  /// publishing a new generation, for exactly the experts whose content
+  /// CRC did NOT change across the upgrade: unchanged weights are then
+  /// shared by pointer across generations (no byte duplication, prepacked
+  /// panels stay warm) and the trunk keeps its pointer identity, which is
+  /// what lets the serving layer's trunk fusion keep batching across a
+  /// swap. Must run before this pool serves anything.
+  void AdoptUnchangedFrom(const ExpertPool& prev,
+                          const std::vector<int>& unchanged_experts,
+                          bool adopt_library);
+
   /// Retry bounds for transient branch-acquisition failures inside the
   /// deadline-aware Query. Tests tighten this to make fault schedules
   /// deterministic; copies inherit it.

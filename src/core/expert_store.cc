@@ -21,6 +21,20 @@ int ExpertStore::AddExpert(std::shared_ptr<Sequential> module,
   return static_cast<int>(slots_.size()) - 1;
 }
 
+void ExpertStore::AdoptMaster(int task_id,
+                              std::shared_ptr<Sequential> module) {
+  POE_CHECK(module != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  POE_CHECK_GE(task_id, 0);
+  POE_CHECK_LT(task_id, static_cast<int>(slots_.size()));
+  Slot& slot = slots_[task_id];
+  // Adoption happens strictly pre-publish: a live branch would mean this
+  // store already served the module being replaced out from under it.
+  POE_CHECK(slot.live.expired());
+  slot.module = std::move(module);
+  slot.bytes = HeldStateBytes(*slot.module);
+}
+
 std::unique_ptr<ExpertStore> ExpertStore::Clone() const {
   std::lock_guard<std::mutex> lock(mu_);
   auto clone = std::make_unique<ExpertStore>();

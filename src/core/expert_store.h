@@ -102,6 +102,16 @@ class ExpertStore {
   int AddExpert(std::shared_ptr<Sequential> module, std::vector<int> classes,
                 WrnConfig config);
 
+  /// Replaces the master module of `task_id` with `module`, keeping the
+  /// slot's classes/config. VersionedPool uses this before publishing a
+  /// new generation: an expert whose content CRC is unchanged adopts the
+  /// OLD generation's master, so its bytes (and already-built prepacked
+  /// panels) are shared across generations instead of duplicated, and
+  /// pointer-identity dedup keeps working across the swap. Only legal
+  /// while the slot has no live branch (the pre-publish pool has served
+  /// nothing yet).
+  void AdoptMaster(int task_id, std::shared_ptr<Sequential> module);
+
   /// A store over the SAME master modules but with fresh sharing state:
   /// no live branches, zeroed counters. ExpertPool's copy constructor
   /// uses this so each pool copy (each service) gets independent

@@ -1,6 +1,7 @@
 #include "core/query_service.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/fault.h"
 #include "util/logging.h"
@@ -8,10 +9,30 @@
 
 namespace poe {
 
+namespace {
+
+// Service precision policy runs BEFORE the pool becomes generation 1, so
+// the facade's fingerprints (and its serving-precision invariant) see the
+// pool's actual serving form.
+ExpertPool PrepareInitialPool(ExpertPool pool, ServingPrecision precision) {
+  // kFloat32 leaves the pool at whatever precision it already serves
+  // (an already-converted int8 pool stays int8); kInt8 converts now.
+  if (precision != ServingPrecision::kFloat32) {
+    const Status status = pool.SetServingPrecision(precision);
+    POE_CHECK(status.ok()) << status.ToString();
+  }
+  // Pack once, serve many: the library trunk's persistent GEMM panels are
+  // built here; expert branches prepack lazily at store acquisition.
+  pool.PrepackForServing();
+  return pool;
+}
+
+}  // namespace
+
 ModelQueryService::ModelQueryService(ExpertPool pool, size_t cache_capacity,
                                      ServingPrecision precision,
                                      int cache_shards)
-    : pool_(std::move(pool)),
+    : versioned_(PrepareInitialPool(std::move(pool), precision)),
       cache_(ShardedModelCache::Options{
           cache_capacity, cache_shards,
           // Charge each resident composite its PRIVATE-copy bytes; the
@@ -20,24 +41,42 @@ ModelQueryService::ModelQueryService(ExpertPool pool, size_t cache_capacity,
           // sharing saved.
           [](const std::shared_ptr<TaskModel>& m) {
             return m->StateBytes();
-          }}) {
-  // kFloat32 leaves the pool at whatever precision it already serves
-  // (an already-converted int8 pool stays int8); kInt8 converts now.
-  if (precision != ServingPrecision::kFloat32) {
-    const Status status = pool_.SetServingPrecision(precision);
-    POE_CHECK(status.ok()) << status.ToString();
-  }
-  // Pack once, serve many: the library trunk's persistent GEMM panels are
-  // built here; expert branches prepack lazily at store acquisition.
-  pool_.PrepackForServing();
-}
+          },
+          // Generation guard: a hit whose model predates the last content
+          // change of ANY key expert is dropped instead of served. This
+          // closes the swap race the post-swap sweep cannot: an assembly
+          // pinned to the old generation may insert AFTER the sweep ran.
+          [this](const std::vector<int>& key,
+                 const std::shared_ptr<TaskModel>& m) {
+            return GenerationCoversKey(*versioned_.Current(), key,
+                                       m->generation());
+          }}) {}
 
 Result<std::shared_ptr<TaskModel>> ModelQueryService::Query(
     const std::vector<int>& task_ids) {
-  return Query(task_ids, Deadline());
+  return QueryInternal(task_ids, Deadline());
 }
 
 Result<std::shared_ptr<TaskModel>> ModelQueryService::Query(
+    const std::vector<int>& task_ids, const Deadline& deadline) {
+  return QueryInternal(task_ids, deadline);
+}
+
+Result<std::shared_ptr<TaskModel>> ModelQueryService::Query(
+    const PoolRequest& request) {
+  POE_RETURN_NOT_OK(ValidatePoolRequest(request));
+  const Deadline deadline = request.deadline_ms > 0
+                                ? Deadline::AfterMillis(request.deadline_ms)
+                                : Deadline();
+  auto result = QueryInternal(request.task_ids, deadline);
+  if (result.ok() && request.generation != 0 &&
+      result.ValueOrDie()->generation() != request.generation) {
+    NoteStaleGeneration();
+  }
+  return result;
+}
+
+Result<std::shared_ptr<TaskModel>> ModelQueryService::QueryInternal(
     const std::vector<int>& task_ids, const Deadline& deadline) {
   Stopwatch clock;
 
@@ -59,6 +98,12 @@ Result<std::shared_ptr<TaskModel>> ModelQueryService::Query(
   auto result = cache_.GetOrAssemble(
       key, [this, &deadline](const std::vector<int>& canonical)
                -> Result<std::shared_ptr<TaskModel>> {
+        // The assembly leader pins ONE generation for its whole run: the
+        // pool it queries and the generation it stamps cannot disagree,
+        // and a concurrent swap cannot free anything under it. Pinning
+        // at assembly (not at submission) means a query that merely
+        // raced a swap still assembles against the NEW pool.
+        const PoolGenerationHandle gen = versioned_.Current();
         int64_t retries = 0;
         // Two retry layers: the pool retries each expert acquire close to
         // the failing store; this outer loop additionally restarts the
@@ -66,13 +111,15 @@ Result<std::shared_ptr<TaskModel>> ModelQueryService::Query(
         // level fault site below, or a pool whose per-expert budget was
         // exhausted by a burst that has since passed).
         auto assembled = RetryWithBackoff(
-            pool_.retry_policy(), deadline,
+            gen->pool.retry_policy(), deadline,
             [&]() -> Result<std::shared_ptr<TaskModel>> {
               POE_RETURN_NOT_OK(PoeFaultHit("service.assemble"));
-              auto model = pool_.Query(canonical, deadline, &retries);
+              auto model = gen->pool.Query(canonical, deadline, &retries);
               if (!model.ok()) return model.status();
-              return std::make_shared<TaskModel>(
+              auto shared = std::make_shared<TaskModel>(
                   std::move(model).ValueOrDie());
+              shared->set_generation(gen->id);
+              return shared;
             },
             &retries);
         assembly_retries_.fetch_add(retries, std::memory_order_relaxed);
@@ -87,7 +134,26 @@ Result<std::shared_ptr<TaskModel>> ModelQueryService::Query(
   return result;
 }
 
+Result<GenerationDiff> ModelQueryService::UpgradePool(ExpertPool next) {
+  auto diff_result = versioned_.Swap(std::move(next));
+  if (!diff_result.ok()) return diff_result.status();
+  // Selective invalidation: sweep exactly the keys the new generation no
+  // longer covers (those naming a changed/removed expert, or any key if
+  // the trunk changed - last_changed bumps make that judgment local).
+  // Unchanged composites stay resident and keep hitting; their old-
+  // generation models remain correct because every master they alias was
+  // adopted by pointer into the new generation. The sweep count lands in
+  // per-shard `invalidated`, summed by serve_stats().
+  const PoolGenerationHandle gen = versioned_.Current();
+  cache_.EraseMatching([&gen](const std::vector<int>& key,
+                              const std::shared_ptr<TaskModel>& m) {
+    return !GenerationCoversKey(*gen, key, m->generation());
+  });
+  return diff_result;
+}
+
 QueryStats ModelQueryService::stats() const {
+  const PoolGenerationHandle gen = versioned_.Current();
   QueryStats stats;
   for (const CacheShardStats& shard : cache_.ShardStats()) {
     stats.num_queries += shard.lookups();
@@ -95,12 +161,13 @@ QueryStats ModelQueryService::stats() const {
   }
   stats.total_ms = latency_.sum_ms();
   stats.max_ms = latency_.max_ms();
-  stats.precision = pool_.serving_precision();
-  stats.pool_bytes = pool_.ServingBytes();
+  stats.precision = gen->pool.serving_precision();
+  stats.pool_bytes = gen->pool.ServingBytes();
   return stats;
 }
 
 ServeStats ModelQueryService::serve_stats() const {
+  const PoolGenerationHandle gen = versioned_.Current();
   ServeStats stats;
   stats.shards = cache_.ShardStats();
   for (const CacheShardStats& shard : stats.shards) {
@@ -108,9 +175,13 @@ ServeStats ModelQueryService::serve_stats() const {
     stats.cache_misses += shard.misses;
     stats.coalesced += shard.coalesced;
     stats.resident_model_bytes += shard.resident_bytes;
+    stats.cache_keys_invalidated += shard.invalidated;
   }
   stats.queries = stats.cache_hits + stats.cache_misses + stats.coalesced;
-  const ExpertStoreStats store = pool_.expert_store()->stats();
+  // Store counters are per-generation: a swap starts a fresh store for
+  // changed experts (adopted masters keep their bytes, not their
+  // counters). serve_stats() reports the CURRENT generation's store.
+  const ExpertStoreStats store = gen->pool.expert_store()->stats();
   stats.expert_hits = store.expert_hits;
   stats.expert_misses = store.expert_misses;
   stats.shared_bytes_saved = store.shared_bytes_saved;
@@ -118,17 +189,21 @@ ServeStats ModelQueryService::serve_stats() const {
   stats.referenced_expert_bytes = store.referenced_bytes;
   stats.experts_poisoned = store.experts_poisoned;
   stats.experts_degraded = store.experts_degraded;
-  stats.trunk_bytes = HeldStateBytes(*pool_.library());
+  stats.trunk_bytes = HeldStateBytes(*gen->pool.library());
   stats.assembly_retries = assembly_retries_.load(std::memory_order_relaxed);
   stats.degraded_queries = degraded_queries_.load(std::memory_order_relaxed);
+  stats.generation = gen->id;
+  stats.generations_swapped = versioned_.generations_swapped();
+  stats.stale_generation_queries =
+      stale_generation_queries_.load(std::memory_order_relaxed);
   stats.p50_ms = latency_.Percentile(0.50);
   stats.p95_ms = latency_.Percentile(0.95);
   stats.p99_ms = latency_.Percentile(0.99);
   stats.max_ms = latency_.max_ms();
   stats.avg_ms = latency_.avg_ms();
   stats.qps = qps_.Rate();
-  stats.precision = pool_.serving_precision();
-  stats.pool_bytes = pool_.ServingBytes();
+  stats.precision = gen->pool.serving_precision();
+  stats.pool_bytes = gen->pool.ServingBytes();
   return stats;
 }
 

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/expert_pool.h"
+#include "core/request.h"
+#include "core/versioned_pool.h"
 #include "serve/metrics.h"
 #include "serve/model_cache.h"
 #include "util/histogram.h"
@@ -33,7 +35,7 @@ struct QueryStats {
   }
 };
 
-/// Thread-safe front-end over an ExpertPool: clients submit composite
+/// Thread-safe front-end over a VersionedPool: clients submit composite
 /// tasks, the service assembles (or serves from the sharded model cache)
 /// the task-specific model and records latency. Assembly is train-free, so
 /// serving is dominated by pointer wiring - this is the system's headline
@@ -44,6 +46,14 @@ struct QueryStats {
 /// `ExpertPool::Query` always runs outside every lock - concurrent misses
 /// on different keys assemble in parallel, concurrent misses on the same
 /// key share one assembly, and hits never wait behind an assembly.
+///
+/// Live upgrade: UpgradePool() atomically publishes a new pool generation
+/// while in-flight queries finish on the old one (each assembly pins ONE
+/// generation handle for its whole run). The flight cache then drops ONLY
+/// the keys whose expert set changed between generations — unchanged
+/// composites keep hitting across the swap — and a stale model that an
+/// in-flight assembly inserts after the sweep is caught by the cache's
+/// validate hook on its first would-be hit.
 class ModelQueryService {
  public:
   /// `cache_capacity` = 0 disables the assembled-model cache. `precision`
@@ -76,19 +86,61 @@ class ModelQueryService {
   Result<std::shared_ptr<TaskModel>> Query(const std::vector<int>& task_ids,
                                            const Deadline& deadline);
 
+  /// Canonical-request form: validates through ValidatePoolRequest (the
+  /// one shared admission check), derives the deadline from deadline_ms,
+  /// and accounts a stale generation pin (request.generation set but not
+  /// the generation that answers) into stale_generation_queries.
+  Result<std::shared_ptr<TaskModel>> Query(const PoolRequest& request);
+
+  /// Atomically publishes `next` as the new serving generation. In-flight
+  /// queries complete on the generation they pinned; new queries (and
+  /// assemblies) see `next` immediately. Only cache keys whose expert set
+  /// CHANGED between the generations are invalidated (the count lands in
+  /// serve_stats().cache_keys_invalidated); unchanged composites keep
+  /// hitting, served by the old generation's models — safe because their
+  /// masters were adopted by pointer into the new generation. Precision
+  /// is a service invariant: an f32 `next` under an int8 service is
+  /// converted, an int8 `next` under an f32 service is rejected.
+  Result<GenerationDiff> UpgradePool(ExpertPool next);
+
+  /// The serving generation now (1 + number of successful upgrades).
+  uint64_t generation() const { return versioned_.generation(); }
+
+  /// Pins the current generation (for callers that need a consistent pool
+  /// view across several calls — e.g. tests asserting on byte counters).
+  PoolGenerationHandle PinGeneration() const { return versioned_.Current(); }
+
+  /// Accounts requests answered by a different generation than the one
+  /// they pinned. The InferenceServer calls this at delivery (it knows
+  /// the answering model); direct Query(PoolRequest) calls it internally.
+  void NoteStaleGeneration(int64_t n = 1) {
+    stale_generation_queries_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   QueryStats stats() const;
-  /// Full serving metrics: latency percentiles, QPS, per-shard hit rates.
+  /// Full serving metrics: latency percentiles, QPS, per-shard hit rates,
+  /// and the generation counters (generation, generations_swapped,
+  /// cache_keys_invalidated, stale_generation_queries).
   ServeStats serve_stats() const;
-  const ExpertPool& pool() const { return pool_; }
+
+  /// The CURRENT generation's pool (compat shim for pre-generation call
+  /// sites). The reference stays valid until the next UpgradePool; callers
+  /// that may race an upgrade should PinGeneration() instead.
+  const ExpertPool& pool() const { return versioned_.Current()->pool; }
+
   size_t cache_size() const { return cache_.size(); }
 
  private:
-  ExpertPool pool_;
+  Result<std::shared_ptr<TaskModel>> QueryInternal(
+      const std::vector<int>& task_ids, const Deadline& deadline);
+
+  VersionedPool versioned_;
   ShardedModelCache cache_;
   LatencyHistogram latency_;
   QpsWindow qps_;
   std::atomic<int64_t> assembly_retries_{0};
   std::atomic<int64_t> degraded_queries_{0};
+  std::atomic<int64_t> stale_generation_queries_{0};
 };
 
 }  // namespace poe

@@ -681,6 +681,13 @@ int64_t ModuleStateBytes(Module& module) {
   return bytes;
 }
 
+Result<uint32_t> ModuleContentCrc(Module& module) {
+  std::ostringstream section;
+  POE_RETURN_NOT_OK(WriteModuleSection(section, module));
+  const std::string bytes = section.str();
+  return Crc32c(bytes.data(), bytes.size());
+}
+
 Status SaveExpertPool(const ExpertPool& pool, const std::string& path) {
   std::string blob;
   std::vector<uint32_t> crcs;

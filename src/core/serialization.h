@@ -28,6 +28,14 @@ Status ReadModuleState(std::istream& in, Module& module);
 /// Serialized byte size of a module's state (without pool headers).
 int64_t ModuleStateBytes(Module& module);
 
+/// CRC32C over the module's v3 section payload (precision byte + state) —
+/// the same bytes SaveExpertPool checksums per section, computed without
+/// touching disk. Two modules with equal content CRCs serialize (and thus
+/// serve) identically; a precision change, weight change, or activation-
+/// scale change all change the CRC. VersionedPool diffs generations with
+/// this to decide which experts actually changed across an upgrade.
+Result<uint32_t> ModuleContentCrc(Module& module);
+
 /// Pool file format, version 3 (little-endian):
 ///
 ///   magic "POEPOOL1" | version u32 | section_count u32 | sections...

@@ -2,6 +2,7 @@
 #ifndef POE_CORE_TASK_MODEL_H_
 #define POE_CORE_TASK_MODEL_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -101,6 +102,15 @@ class TaskModel {
   /// degraded_branches() > 0 or trunk_degraded().
   bool degraded() const { return degraded_branches_ > 0 || trunk_degraded_; }
 
+  /// Pool generation this model was assembled against (0 = unversioned,
+  /// e.g. ad-hoc models built by tests). Stamped by ModelQueryService at
+  /// assembly; the flight cache validates hits against the CURRENT
+  /// generation's per-expert change table, so a model whose expert set
+  /// changed in a later generation stops being served the moment the swap
+  /// publishes.
+  uint64_t generation() const { return generation_; }
+  void set_generation(uint64_t generation) { generation_ = generation; }
+
   /// Bytes of weight state this model would hold if its aliases were
   /// private copies (library + every branch). The serving layer charges
   /// composites only for UNSHARED bytes; the difference against the
@@ -115,6 +125,7 @@ class TaskModel {
   ServingPrecision precision_ = ServingPrecision::kFloat32;
   int degraded_branches_ = 0;     // fixed at assembly
   bool trunk_degraded_ = false;   // fixed at assembly
+  uint64_t generation_ = 0;       // 0 = unversioned (ad-hoc models)
 };
 
 }  // namespace poe

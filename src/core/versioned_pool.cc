@@ -1,0 +1,174 @@
+#include "core/versioned_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/serialization.h"
+#include "util/crc32c.h"
+#include "util/logging.h"
+
+namespace poe {
+
+namespace {
+
+std::string JoinIds(const std::vector<int>& ids) {
+  std::string out;
+  for (int t : ids) out += (out.empty() ? "" : ",") + std::to_string(t);
+  return out;
+}
+
+}  // namespace
+
+std::string GenerationDiff::ToString() const {
+  std::string out = "generation " + std::to_string(from) + " -> " +
+                    std::to_string(to) + ": ";
+  if (noop()) {
+    out += "no content changes (" + std::to_string(unchanged) + " experts)";
+    return out;
+  }
+  out += std::to_string(changed.size()) + " changed";
+  if (!changed.empty()) out += " [" + JoinIds(changed) + "]";
+  out += ", " + std::to_string(added.size()) + " added";
+  if (!added.empty()) out += " [" + JoinIds(added) + "]";
+  out += ", " + std::to_string(removed.size()) + " removed";
+  if (!removed.empty()) out += " [" + JoinIds(removed) + "]";
+  out += ", " + std::to_string(unchanged) + " unchanged, library ";
+  out += library_changed ? "CHANGED" : "unchanged";
+  return out;
+}
+
+bool GenerationCoversKey(const PoolGeneration& gen,
+                         const std::vector<int>& key,
+                         uint64_t model_generation) {
+  if (model_generation == 0) return false;
+  for (int t : key) {
+    if (t < 0 || t >= static_cast<int>(gen.last_changed.size())) {
+      return false;  // expert removed (or never existed) in `gen`
+    }
+    if (gen.last_changed[t] > model_generation) return false;
+  }
+  return true;
+}
+
+Result<VersionedPool::Fingerprint> VersionedPool::FingerprintPool(
+    const ExpertPool& pool) {
+  Fingerprint fp;
+  auto library_crc = ModuleContentCrc(*pool.library());
+  if (!library_crc.ok()) return library_crc.status();
+  fp.library_crc = library_crc.ValueOrDie();
+  fp.expert_crcs.reserve(pool.num_experts());
+  for (int t = 0; t < pool.num_experts(); ++t) {
+    auto crc = ModuleContentCrc(*pool.expert(t));
+    if (!crc.ok()) return crc.status();
+    // Fold the class list in: an expert with identical weights but a
+    // different class mapping predicts differently and must register as
+    // changed.
+    uint32_t combined = crc.ValueOrDie();
+    for (int c : pool.hierarchy().task_classes(t)) {
+      const int32_t c32 = static_cast<int32_t>(c);
+      combined = Crc32cExtend(combined, &c32, sizeof(c32));
+    }
+    fp.expert_crcs.push_back(combined);
+  }
+  return fp;
+}
+
+VersionedPool::VersionedPool(ExpertPool initial) {
+  auto fp_result = FingerprintPool(initial);
+  POE_CHECK(fp_result.ok()) << "initial pool does not fingerprint: "
+                            << fp_result.status().ToString();
+  Fingerprint fp = std::move(fp_result).ValueOrDie();
+  auto gen = std::make_shared<PoolGeneration>(1, std::move(initial));
+  gen->library_crc = fp.library_crc;
+  gen->expert_crcs = std::move(fp.expert_crcs);
+  gen->last_changed.assign(gen->expert_crcs.size(), 1);
+  current_ = std::move(gen);
+}
+
+PoolGenerationHandle VersionedPool::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t VersionedPool::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->id;
+}
+
+Result<GenerationDiff> VersionedPool::Swap(ExpertPool next) {
+  // swap_mu_ serializes whole swaps; mu_ is only ever held for the brief
+  // current_ reads/writes, so the heavy work below (int8 conversion,
+  // fingerprinting, prepack) never stalls Current() — serving continues
+  // on the old generation until the one pointer publish at the end.
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  PoolGenerationHandle old_handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old_handle = current_;
+  }
+  const PoolGeneration& old = *old_handle;
+
+  // Precision reconciliation BEFORE fingerprinting: the diff must compare
+  // the serving forms, and int8 conversion is deterministic (same weights
+  // + same calibration scales => same packed bytes), so a faithful reload
+  // of the current pool still diffs as a no-op after conversion.
+  const ServingPrecision serving = old.pool.serving_precision();
+  if (serving == ServingPrecision::kInt8 &&
+      next.serving_precision() != ServingPrecision::kInt8) {
+    POE_RETURN_NOT_OK(next.SetServingPrecision(ServingPrecision::kInt8));
+  } else if (serving == ServingPrecision::kFloat32 &&
+             next.serving_precision() == ServingPrecision::kInt8) {
+    return Status::FailedPrecondition(
+        "cannot swap an int8 pool into an f32-serving facade (int8 "
+        "conversion is irreversible; restart to change precision)");
+  }
+
+  auto fp_result = FingerprintPool(next);
+  if (!fp_result.ok()) return fp_result.status();
+  Fingerprint fp = std::move(fp_result).ValueOrDie();
+
+  GenerationDiff diff;
+  diff.from = old.id;
+  diff.to = old.id + 1;
+  diff.library_changed = fp.library_crc != old.library_crc;
+  const int old_n = static_cast<int>(old.expert_crcs.size());
+  const int new_n = static_cast<int>(fp.expert_crcs.size());
+  std::vector<int> unchanged_ids;
+  for (int t = 0; t < std::min(old_n, new_n); ++t) {
+    if (fp.expert_crcs[t] == old.expert_crcs[t]) {
+      unchanged_ids.push_back(t);
+      diff.unchanged++;
+    } else {
+      diff.changed.push_back(t);
+    }
+  }
+  for (int t = old_n; t < new_n; ++t) diff.added.push_back(t);
+  for (int t = new_n; t < old_n; ++t) diff.removed.push_back(t);
+
+  // Cross-generation sharing: unchanged masters (and an unchanged trunk)
+  // are adopted by pointer, then the new pool prepacks — a no-op for
+  // adopted modules whose panels already exist, real work only for what
+  // actually changed. All of this happens BEFORE publish, so no query
+  // ever sees a half-adopted generation.
+  next.AdoptUnchangedFrom(old.pool, unchanged_ids, !diff.library_changed);
+  next.set_retry_policy(old.pool.retry_policy());
+  next.PrepackForServing();
+
+  auto gen = std::make_shared<PoolGeneration>(diff.to, std::move(next));
+  gen->library_crc = fp.library_crc;
+  gen->expert_crcs = std::move(fp.expert_crcs);
+  gen->last_changed.resize(new_n);
+  for (int t = 0; t < new_n; ++t) {
+    const bool carried = t < old_n &&
+                         gen->expert_crcs[t] == old.expert_crcs[t];
+    gen->last_changed[t] = carried ? old.last_changed[t] : gen->id;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(gen);
+  }
+  swapped_.fetch_add(1, std::memory_order_relaxed);
+  return diff;
+}
+
+}  // namespace poe

@@ -104,6 +104,7 @@ std::vector<uint8_t> EncodeResponseFrame(uint64_t request_id,
   Put<uint32_t>(frame, static_cast<uint32_t>(msg.size()));
   Put<uint32_t>(frame, num_classes);
   Put<int64_t>(frame, rows);
+  Put<uint64_t>(frame, response.generation);
   const size_t at = frame.size();
   frame.resize(at + msg.size());
   std::memcpy(frame.data() + at, msg.data(), msg.size());
@@ -230,6 +231,7 @@ Status DecodeResponseBody(const uint8_t* data, size_t len,
   const uint32_t num_classes = Get<uint32_t>(data + 28);
   const int64_t rows = Get<int64_t>(data + 32);
   if (rows < 0) return ProtocolError("negative row count");
+  out->generation = Get<uint64_t>(data + 40);
   const uint64_t want =
       kWireResponseFixedBytes + static_cast<uint64_t>(msg_len) +
       4ull * num_classes + 4ull * static_cast<uint64_t>(rows) +

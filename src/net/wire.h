@@ -8,7 +8,8 @@
 //
 //   header (24 bytes)
 //     [ 0] u32  magic        'P' 'O' 'E' '1'
-//     [ 4] u8   version      kWireVersion (1)
+//     [ 4] u8   version      kWireVersion (2; v1 lacked the response
+//                            generation field and is rejected)
 //     [ 5] u8   type         1 = request, 2 = response
 //     [ 6] u16  reserved     must be 0
 //     [ 8] u32  body_len     bytes following the header (bounded)
@@ -25,7 +26,7 @@
 //     [44] i32  task_ids[num_tasks]
 //     [..] f32  payload[n*c*h*w]   raw row-major input tensor
 //
-//   response body = fixed part (40 bytes) + message + result arrays
+//   response body = fixed part (48 bytes) + message + result arrays
 //     [ 0] i32  status_code  poe::StatusCode
 //     [ 4] u8   precision    0 = f32, 1 = int8 (precision actually served)
 //     [ 5] u8   trunk_degraded
@@ -35,7 +36,9 @@
 //     [24] u32  msg_len      status message bytes
 //     [28] u32  num_classes  0 on error
 //     [32] i64  rows         0 on error
-//     [40] char msg[msg_len]
+//     [40] u64  generation   pool generation that served (0 on admission/
+//                            protocol errors that never reached a model)
+//     [48] char msg[msg_len]
 //     [..] i32  global_classes[num_classes]
 //     [..] i32  predictions[rows]
 //     [..] f32  logits[rows * num_classes]
@@ -62,12 +65,12 @@
 
 namespace poe {
 
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr uint8_t kWireTypeRequest = 1;
 inline constexpr uint8_t kWireTypeResponse = 2;
 inline constexpr size_t kWireHeaderBytes = 24;
 inline constexpr size_t kWireRequestMetaBytes = 44;
-inline constexpr size_t kWireResponseFixedBytes = 40;
+inline constexpr size_t kWireResponseFixedBytes = 48;
 inline constexpr int kMaxWireTasks = 4096;
 /// Default body-size bound (NetServer::Options can lower it). 64 MiB
 /// bounds a request at ~16M f32 elements - far beyond any sane batch.
@@ -121,6 +124,10 @@ struct WireResponse {
   bool trunk_degraded = false;
   double queue_ms = 0.0;
   double total_ms = 0.0;
+  /// Pool generation that served this response (0 on errors that never
+  /// reached a model). Lets clients observe live upgrades: the id advances
+  /// in-place on the same connection when the server swaps pools.
+  uint64_t generation = 0;
 };
 
 // ------------------------------------------------------------- encoding

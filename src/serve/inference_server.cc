@@ -72,12 +72,12 @@ bool InferenceServer::Resolve(Pending& pending, InferenceResponse response) {
 
 void InferenceServer::Enqueue(InferenceRequest request, Pending pending) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  if (!request.input.defined() || request.input.ndim() != 4 ||
-      request.input.dim(0) < 1) {
+  // The one shared admission check (core/request.h): wire decode, direct
+  // service queries, and this server all validate the same way.
+  if (const Status invalid = ValidatePoolRequest(request); !invalid.ok()) {
     rejected_.fetch_add(1, std::memory_order_release);
     InferenceResponse response;
-    response.status =
-        Status::InvalidArgument("input must be a non-empty [n,c,h,w] batch");
+    response.status = invalid;
     Resolve(pending, std::move(response));
     return;
   }
@@ -343,6 +343,13 @@ void InferenceServer::ServeBatchImpl(std::vector<Pending>& batch) {
       response.precision = g.model->serving_precision();
       response.degraded_branches = g.model->degraded_branches();
       response.trunk_degraded = g.model->trunk_degraded();
+      response.generation = g.model->generation();
+      if (batch[i].request.generation != 0 &&
+          batch[i].request.generation != g.model->generation()) {
+        // The client pinned a generation this answer does not come from —
+        // telemetry for upgrade observability, never an error.
+        service_->NoteStaleGeneration();
+      }
       if (g.members.size() == 1) {
         response.logits = std::move(logits);
       } else {

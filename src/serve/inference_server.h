@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/query_service.h"
+#include "core/request.h"
 #include "serve/adaptive_batch.h"
 #include "serve/metrics.h"
 #include "tensor/tensor.h"
@@ -28,19 +29,22 @@
 
 namespace poe {
 
-/// One classification request: which composite task, and a [n,c,h,w] batch
-/// of images to run through M(Q).
-struct InferenceRequest {
-  std::vector<int> task_ids;
-  Tensor input;
-  /// Per-request latency budget in milliseconds from Submit; <= 0 = none.
-  /// An expired request is SHED, never executed: checked at submission, at
-  /// dequeue, and again after model assembly (before the forward pass).
-  /// Shed requests resolve with kDeadlineExceeded and count into
-  /// ServeStats::deadline_expired, not completed/rejected. The remaining
-  /// budget also bounds assembly (retry backoff stops at the deadline).
-  double deadline_ms = 0.0;
-};
+/// One classification request. The server's request shape IS the canonical
+/// PoolRequest (core/request.h) — wire decoding, direct service queries,
+/// and server submission all build the same struct through the same
+/// builder and validation.
+///
+/// Server semantics of the shared fields: `deadline_ms` <= 0 means no
+/// budget; an expired request is SHED, never executed — checked at
+/// submission, at dequeue, and again after model assembly (before the
+/// forward pass). Shed requests resolve with kDeadlineExceeded and count
+/// into ServeStats::deadline_expired, not completed/rejected; the
+/// remaining budget also bounds assembly (retry backoff stops at the
+/// deadline). `generation`, when nonzero, pins an expected pool
+/// generation: answers from any other generation are still delivered
+/// (responses say which generation served) but count into
+/// ServeStats::stale_generation_queries.
+using InferenceRequest = PoolRequest;
 
 /// The response delivered through the future. `status` gates every other
 /// field.
@@ -58,6 +62,10 @@ struct InferenceResponse {
   ServingPrecision precision = ServingPrecision::kFloat32;
   int degraded_branches = 0;
   bool trunk_degraded = false;
+  /// Pool generation of the model that answered (0 only on error paths
+  /// that never reached a model). Under a live upgrade, a client that
+  /// pinned request.generation compares it against this.
+  uint64_t generation = 0;
 };
 
 /// Bounded-queue batching server over a ModelQueryService.

@@ -18,6 +18,10 @@ struct CacheShardStats {
   int64_t misses = 0;     ///< assemblies this shard led
   int64_t coalesced = 0;  ///< misses that waited on another thread's assembly
   int64_t evictions = 0;
+  /// Entries dropped because their value no longer validates (stale pool
+  /// generation): the swap-time sweep plus any stale hit caught by the
+  /// validate hook. Disjoint from `evictions` (capacity pressure).
+  int64_t invalidated = 0;
   int64_t size = 0;       ///< resident entries now
   /// Σ value_bytes over resident entries — the bytes this shard's
   /// composites would occupy if each were a private copy. The expert
@@ -56,6 +60,26 @@ struct ServeStats {
   std::vector<CacheShardStats> shards;
   ServingPrecision precision = ServingPrecision::kFloat32;
   int64_t pool_bytes = 0;
+
+  // --- pool-generation side (VersionedPool; reconcile by construction:
+  //     generation == 1 + generations_swapped, and cache_keys_invalidated
+  //     == Σ shards[i].invalidated — both sides of each identity are
+  //     derived from the same underlying state, never counted twice) ---
+  /// Generation currently serving (the first pool is generation 1;
+  /// 0 only on a stats() default object).
+  uint64_t generation = 0;
+  /// Successful VersionedPool::Swap calls (no-op upgrades included: they
+  /// still publish a new generation id).
+  int64_t generations_swapped = 0;
+  /// Cache entries dropped across all swaps because their expert set
+  /// changed between generations — the swap-time sweep plus stale hits
+  /// caught by the validate hook. Unchanged composites are NOT in here;
+  /// they keep hitting across swaps.
+  int64_t cache_keys_invalidated = 0;
+  /// Requests that pinned a generation other than the one that served
+  /// them (telemetry, not an error: serving always answers from the
+  /// current generation and the response reports which one).
+  int64_t stale_generation_queries = 0;
 
   // --- expert-granularity sharing (ExpertStore; see its stats struct) ---
   int64_t expert_hits = 0;    ///< branch acquires served by a live branch

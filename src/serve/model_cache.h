@@ -82,6 +82,14 @@ class ShardedFlightCache {
     /// a composite — and reconciles it against the expert store's
     /// deduplicated bytes to report what sharing saved.
     std::function<int64_t(const V&)> value_bytes;
+    /// Optional staleness check, run on every would-be hit: return false
+    /// and the entry is dropped (counted into CacheShardStats::invalidated)
+    /// and the lookup proceeds as a miss. This closes the swap/insert race
+    /// that a one-shot sweep (EraseMatching) cannot: an assembly that was
+    /// in flight across a pool-generation swap inserts a stale model AFTER
+    /// the sweep ran, and this hook catches it on its first hit. Must be
+    /// cheap — it runs under the shard lock.
+    std::function<bool(const Key&, const V&)> validate;
   };
 
   explicit ShardedFlightCache(Options options) : options_(options) {
@@ -114,12 +122,22 @@ class ShardedFlightCache {
       std::lock_guard<std::mutex> lock(shard.mu);
       auto it = shard.index.find(key);
       if (it != shard.index.end()) {
-        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-        shard.lru.front().stamp =
-            clock_.fetch_add(1, std::memory_order_relaxed) + 1;
-        shard.stats.hits++;
-        if (hit != nullptr) *hit = true;
-        return shard.lru.front().value;
+        if (options_.validate && !options_.validate(key, it->second->value)) {
+          // Stale entry (assembled against a superseded pool generation):
+          // drop it and fall through to the miss/flight path below.
+          shard.stats.resident_bytes -= it->second->bytes;
+          shard.lru.erase(it->second);
+          shard.index.erase(it);
+          shard.stats.invalidated++;
+          size_.fetch_sub(1, std::memory_order_relaxed);
+        } else {
+          shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+          shard.lru.front().stamp =
+              clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+          shard.stats.hits++;
+          if (hit != nullptr) *hit = true;
+          return shard.lru.front().value;
+        }
       }
       auto in = shard.inflight.find(key);
       if (in != shard.inflight.end()) {
@@ -188,6 +206,33 @@ class ShardedFlightCache {
 
     if (result.ok()) EvictOverCapacity();
     return result;
+  }
+
+  /// Drops every resident entry for which `pred(key, value)` is true,
+  /// counting each into its shard's `invalidated`. Returns how many were
+  /// dropped. The pool-generation swap runs this with "expert set changed
+  /// between generations" as the predicate, so unchanged composites keep
+  /// hitting. In-flight assemblies are untouched — their insert may land
+  /// after this sweep, which is exactly what Options::validate catches.
+  size_t EraseMatching(const std::function<bool(const Key&, const V&)>& pred) {
+    size_t erased = 0;
+    for (int s = 0; s < options_.num_shards; ++s) {
+      Shard& shard = shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+        if (pred(it->key, it->value)) {
+          shard.stats.resident_bytes -= it->bytes;
+          shard.index.erase(it->key);
+          it = shard.lru.erase(it);
+          shard.stats.invalidated++;
+          size_.fetch_sub(1, std::memory_order_relaxed);
+          ++erased;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return erased;
   }
 
   /// Resident entries across all shards.

@@ -53,7 +53,7 @@ TEST(QueryServiceTest, ServesModelsAndCountsQueries) {
 TEST(QueryServiceTest, PropagatesQueryErrors) {
   ModelQueryService service(BuildPool());
   EXPECT_FALSE(service.Query({42}).ok());
-  EXPECT_FALSE(service.Query({}).ok());
+  EXPECT_FALSE(service.Query(std::vector<int>{}).ok());
 }
 
 TEST(QueryServiceTest, CacheHitsOnRepeatedQueries) {

@@ -1,50 +1,40 @@
-// poectl: command-line front-end for building, inspecting, and querying
-// expert pools.
+// poectl: command-line front-end for building, inspecting, querying, and
+// live-upgrading expert pools.
 //
-//   poectl build <pool.poe> [tasks] [classes_per_task] [epochs]
-//       Generates a synthetic benchmark, trains an oracle, runs the PoE
-//       preprocessing phase, and saves the pool.
-//   poectl info <pool.poe>
-//       Prints the pool's architecture, hierarchy, and storage volumes.
-//   poectl query <pool.poe> <task,task,...>
-//       Assembles the task-specific model and reports its size/latency.
-//   poectl bench <pool.poe> [num_queries]
-//       Measures service-phase latency over random composite queries.
-//   poectl calibrate <pool.poe> <out.poe> [num_samples] [hw]
-//       Static activation calibration: runs a sample batch through every
-//       layer recording activation ranges, converts the pool to packed
-//       int8 serving with those static scales, and saves the int8 pool —
-//       which then loads straight to dequant-free, prepacked serving (no
-//       f32 round-trip, no per-forward max-abs pass).
-//   poectl serve-bench <pool.poe> [clients] [queries_per_client]
-//       Drives the concurrent serving runtime (sharded single-flight
-//       cache + batching inference server) with client threads issuing
-//       composite queries + probe inference, then prints the full
-//       ServeStats surface (percentiles, QPS, per-shard hit rates).
-//   poectl fsck <pool.poe>
-//       Offline integrity check: walks the pool file's sections, verifies
-//       each CRC32C and the commit footer, and prints a per-section
-//       report. Exit 0 = clean, non-zero = corrupt/truncated/missing.
-//   poectl net-serve <pool.poe> [port] [net_workers]
-//       Serves the pool over TCP on 127.0.0.1 (port 0 = pick a free one;
-//       the chosen port is printed as "listening on 127.0.0.1:PORT").
-//       SIGINT/SIGTERM shut the front-end and inference server down
-//       gracefully and exit 0.
-//   poectl net-query <host:port|port> <task,task,...> [hw]
-//       Sends one inference request over the wire protocol (a random
-//       probe image of side `hw`, default 8 to match poectl-built pools)
-//       and prints the response status, latency, and predictions.
+// Commands are declared in one registry (kCommands): each entry carries
+// its name, synopsis, summary, positional-argument bounds, and allowed
+// flags, and the help text is GENERATED from the table — adding a command
+// is one entry plus one handler, and usage can never drift from dispatch.
+//
+// Invocation grammar (uniform across every command):
+//   poectl <command> [positionals...] [--flag=value | --flag]...
+// Flags may appear anywhere after the command name. Exit codes are
+// uniform: 0 = success, 1 = operational failure (bad pool file, failed
+// query, transport error), 2 = usage error (unknown command, bad
+// arguments, unknown flag).
+//
+// The pool lifecycle family (`poectl pool <verb>`) groups the mutation-
+// oriented verbs; `pool create`, `pool info`, and `pool fsck` are the
+// registry-level names of build/info/fsck (both spellings work), and
+// `pool upgrade` is the zero-downtime generation swap described in
+// docs/POOL_LIFECYCLE.md.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <future>
+#include <cstring>
+#include <cerrno>
+#include <functional>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <signal.h>  // kill() — <csignal> only guarantees raise()
+
 #include "core/expert_pool.h"
 #include "core/query_service.h"
 #include "core/serialization.h"
+#include "core/versioned_pool.h"
 #include "data/synthetic.h"
 #include "distill/specialize.h"
 #include "eval/metrics.h"
@@ -57,6 +47,37 @@
 
 namespace poe {
 namespace {
+
+// ------------------------------------------------------------ arg parsing
+
+/// Everything after the command name, split into positionals and
+/// `--name[=value]` flags.
+struct ParsedArgs {
+  std::vector<std::string> pos;
+  std::map<std::string, std::string> flags;
+
+  bool HasFlag(const std::string& name) const {
+    return flags.find(name) != flags.end();
+  }
+  int IntFlag(const std::string& name, int fallback) const {
+    auto it = flags.find(name);
+    return it != flags.end() ? std::atoi(it->second.c_str()) : fallback;
+  }
+  /// Positional `i` as int, or `fallback` when absent.
+  int IntPos(size_t i, int fallback) const {
+    return i < pos.size() ? std::atoi(pos[i].c_str()) : fallback;
+  }
+};
+
+struct CommandSpec {
+  const char* name;      ///< "build" or a two-word family name "pool upgrade"
+  const char* synopsis;  ///< positional/flag synopsis for the help text
+  const char* summary;   ///< one-line description
+  size_t min_pos;
+  size_t max_pos;
+  std::vector<std::string> flags;  ///< allowed flag names
+  std::function<int(const ParsedArgs&)> run;
+};
 
 std::vector<int> ParseTaskList(const std::string& arg) {
   std::vector<int> tasks;
@@ -72,11 +93,23 @@ std::vector<int> ParseTaskList(const std::string& arg) {
   return tasks;
 }
 
-int CmdBuild(int argc, char** argv) {
-  const std::string path = argv[2];
-  const int tasks = argc > 3 ? std::atoi(argv[3]) : 8;
-  const int classes = argc > 4 ? std::atoi(argv[4]) : 4;
-  const int epochs = argc > 5 ? std::atoi(argv[5]) : 10;
+/// Loads a pool or prints the error; the `Result` carries the outcome.
+Result<ExpertPool> LoadPoolOrComplain(const std::string& path) {
+  auto loaded = ExpertPool::Load(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+  }
+  return loaded;
+}
+
+// --------------------------------------------------------------- handlers
+
+int CmdBuild(const ParsedArgs& a) {
+  const std::string path = a.pos[0];
+  const int tasks = a.IntPos(1, 8);
+  const int classes = a.IntPos(2, 4);
+  const int epochs = a.IntPos(3, 10);
+  const int seed = a.IntFlag("seed", 1);
 
   SyntheticDataConfig dc;
   dc.num_tasks = tasks;
@@ -87,7 +120,10 @@ int CmdBuild(int argc, char** argv) {
   SyntheticDataset data = GenerateSyntheticDataset(dc);
   std::printf("dataset: %d tasks x %d classes\n", tasks, classes);
 
-  Rng rng(1);
+  // The seed varies oracle init and distillation sampling: two builds with
+  // different seeds over the same dataset yield content-distinct experts —
+  // the cheap way to produce a "changed" pool for upgrade testing.
+  Rng rng(seed);
   WrnConfig oracle_cfg;
   oracle_cfg.kc = 2.0;
   oracle_cfg.ks = 2.0;
@@ -127,13 +163,13 @@ int CmdBuild(int argc, char** argv) {
   return 0;
 }
 
-int CmdCalibrate(const std::string& in_path, const std::string& out_path,
-                 int num_samples, int hw) {
-  auto loaded = ExpertPool::Load(in_path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
+int CmdCalibrate(const ParsedArgs& a) {
+  const std::string in_path = a.pos[0];
+  const std::string out_path = a.pos[1];
+  const int num_samples = a.IntPos(2, 64);
+  const int hw = a.IntPos(3, 8);
+  auto loaded = LoadPoolOrComplain(in_path);
+  if (!loaded.ok()) return 1;
   ExpertPool pool = std::move(loaded).ValueOrDie();
   Rng rng(11);
   Tensor samples = Tensor::Randn(
@@ -162,12 +198,10 @@ int CmdCalibrate(const std::string& in_path, const std::string& out_path,
   return 0;
 }
 
-int CmdInfo(const std::string& path) {
-  auto loaded = ExpertPool::Load(path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
+int CmdInfo(const ParsedArgs& a) {
+  const std::string path = a.pos[0];
+  auto loaded = LoadPoolOrComplain(path);
+  if (!loaded.ok()) return 1;
   ExpertPool pool = std::move(loaded).ValueOrDie();
   const bool int8 = pool.serving_precision() == ServingPrecision::kInt8;
   std::printf("pool: %s (serving %s, %lld weight bytes)\n", path.c_str(),
@@ -191,14 +225,11 @@ int CmdInfo(const std::string& path) {
   return 0;
 }
 
-int CmdQuery(const std::string& path, const std::string& task_arg) {
-  auto loaded = ExpertPool::Load(path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
+int CmdQuery(const ParsedArgs& a) {
+  auto loaded = LoadPoolOrComplain(a.pos[0]);
+  if (!loaded.ok()) return 1;
   ExpertPool pool = std::move(loaded).ValueOrDie();
-  std::vector<int> tasks = ParseTaskList(task_arg);
+  std::vector<int> tasks = ParseTaskList(a.pos[1]);
   Stopwatch sw;
   auto model = pool.Query(tasks);
   const double ms = sw.ElapsedMillis();
@@ -215,12 +246,10 @@ int CmdQuery(const std::string& path, const std::string& task_arg) {
   return 0;
 }
 
-int CmdBench(const std::string& path, int num_queries) {
-  auto loaded = ExpertPool::Load(path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
+int CmdBench(const ParsedArgs& a) {
+  auto loaded = LoadPoolOrComplain(a.pos[0]);
+  if (!loaded.ok()) return 1;
+  const int num_queries = a.IntPos(1, 100);
   ModelQueryService service(std::move(loaded).ValueOrDie(),
                             /*cache_capacity=*/32);
   const int n = service.pool().num_experts();
@@ -239,13 +268,11 @@ int CmdBench(const std::string& path, int num_queries) {
   return 0;
 }
 
-int CmdServeBench(const std::string& path, int clients,
-                  int queries_per_client) {
-  auto loaded = ExpertPool::Load(path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
+int CmdServeBench(const ParsedArgs& a) {
+  auto loaded = LoadPoolOrComplain(a.pos[0]);
+  if (!loaded.ok()) return 1;
+  const int clients = a.IntPos(1, 4);
+  const int queries_per_client = a.IntPos(2, 100);
   ModelQueryService service(std::move(loaded).ValueOrDie(),
                             /*cache_capacity=*/32,
                             ServingPrecision::kFloat32, /*cache_shards=*/8);
@@ -336,7 +363,8 @@ int CmdServeBench(const std::string& path, int clients,
   return 0;
 }
 
-int CmdFsck(const std::string& path) {
+int CmdFsck(const ParsedArgs& a) {
+  const std::string path = a.pos[0];
   auto checked = FsckExpertPool(path);
   if (!checked.ok()) {
     std::fprintf(stderr, "fsck failed: %s\n",
@@ -363,16 +391,64 @@ int CmdFsck(const std::string& path) {
   return 0;
 }
 
-volatile std::sig_atomic_t g_stop_requested = 0;
+int CmdPoolUpgrade(const ParsedArgs& a) {
+  const std::string old_path = a.pos[0];
+  const std::string new_path = a.pos[1];
+  auto old_loaded = LoadPoolOrComplain(old_path);
+  if (!old_loaded.ok()) return 1;
+  auto new_loaded = LoadPoolOrComplain(new_path);
+  if (!new_loaded.ok()) return 1;
 
-void HandleStopSignal(int) { g_stop_requested = 1; }
-
-int CmdNetServe(const std::string& path, int port, int net_workers) {
-  auto loaded = ExpertPool::Load(path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+  // Dry-run the swap through the same machinery a live service uses, so
+  // the printed diff is EXACTLY what an in-process UpgradePool would see
+  // (content CRCs, precision policy, adoption — all of it).
+  VersionedPool versioned(std::move(old_loaded).ValueOrDie());
+  auto diff = versioned.Swap(std::move(new_loaded).ValueOrDie());
+  if (!diff.ok()) {
+    std::fprintf(stderr, "pool upgrade: %s\n",
+                 diff.status().ToString().c_str());
     return 1;
   }
+  std::printf("%s\n", diff.ValueOrDie().ToString().c_str());
+
+  if (a.HasFlag("apply")) {
+    // rename(2) is atomic on the same filesystem: readers see the old
+    // bytes or the new bytes, never a torn file.
+    if (::rename(new_path.c_str(), old_path.c_str()) != 0) {
+      std::fprintf(stderr, "pool upgrade: rename %s -> %s: %s\n",
+                   new_path.c_str(), old_path.c_str(), std::strerror(errno));
+      return 1;
+    }
+    std::printf("applied: %s -> %s\n", new_path.c_str(), old_path.c_str());
+  }
+  if (a.HasFlag("pid")) {
+    const int pid = a.IntFlag("pid", 0);
+    if (pid <= 0) {
+      std::fprintf(stderr, "pool upgrade: bad --pid value\n");
+      return 2;
+    }
+    if (::kill(pid, SIGHUP) != 0) {
+      std::fprintf(stderr, "pool upgrade: kill(%d, SIGHUP): %s\n", pid,
+                   std::strerror(errno));
+      return 1;
+    }
+    std::printf("sent SIGHUP to %d (net-serve reloads its pool file)\n", pid);
+  }
+  return 0;
+}
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_reload_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+void HandleReloadSignal(int) { g_reload_requested = 1; }
+
+int CmdNetServe(const ParsedArgs& a) {
+  const std::string path = a.pos[0];
+  const int port = a.IntPos(1, 0);
+  const int net_workers = a.IntPos(2, 2);
+  auto loaded = LoadPoolOrComplain(path);
+  if (!loaded.ok()) return 1;
   ModelQueryService service(std::move(loaded).ValueOrDie(),
                             /*cache_capacity=*/32);
   InferenceServer::Options sopts;
@@ -394,7 +470,37 @@ int CmdNetServe(const std::string& path, int port, int net_workers) {
 
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
+  // SIGHUP = reload the pool FILE and hot-swap it in as the next
+  // generation, without dropping a single connection or in-flight request
+  // (`poectl pool upgrade old new --apply --pid=$SRV` does rename+signal).
+  std::signal(SIGHUP, HandleReloadSignal);
   while (g_stop_requested == 0) {
+    if (g_reload_requested != 0) {
+      g_reload_requested = 0;
+      auto next = ExpertPool::Load(path);
+      if (!next.ok()) {
+        std::fprintf(stderr, "reload: %s\n",
+                     next.status().ToString().c_str());
+      } else {
+        const int64_t invalidated_before =
+            service.serve_stats().cache_keys_invalidated;
+        auto diff = service.UpgradePool(std::move(next).ValueOrDie());
+        if (!diff.ok()) {
+          std::fprintf(stderr, "upgrade failed: %s\n",
+                       diff.status().ToString().c_str());
+        } else {
+          const int64_t invalidated =
+              service.serve_stats().cache_keys_invalidated -
+              invalidated_before;
+          std::printf("upgraded to generation %llu: %s, %lld cache keys "
+                      "invalidated\n",
+                      static_cast<unsigned long long>(service.generation()),
+                      diff.ValueOrDie().ToString().c_str(),
+                      static_cast<long long>(invalidated));
+          std::fflush(stdout);
+        }
+      }
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
@@ -416,11 +522,19 @@ int CmdNetServe(const std::string& path, int port, int net_workers) {
               static_cast<long long>(s.completed),
               static_cast<long long>(s.rejected),
               static_cast<long long>(s.deadline_expired));
+  std::printf("generation %llu (%lld swapped), %lld cache keys invalidated, "
+              "%lld stale-generation pins\n",
+              static_cast<unsigned long long>(s.generation),
+              static_cast<long long>(s.generations_swapped),
+              static_cast<long long>(s.cache_keys_invalidated),
+              static_cast<long long>(s.stale_generation_queries));
   return 0;
 }
 
-int CmdNetQuery(const std::string& target, const std::string& task_arg,
-                int hw) {
+int CmdNetQuery(const ParsedArgs& a) {
+  const std::string target = a.pos[0];
+  const std::string task_arg = a.pos[1];
+  const int hw = a.IntPos(2, 8);
   std::string host = "127.0.0.1";
   int port = 0;
   const size_t colon = target.rfind(':');
@@ -462,56 +576,142 @@ int CmdNetQuery(const std::string& target, const std::string& task_arg,
     preds += (preds.empty() ? "" : ",") + std::to_string(p);
   }
   std::printf("ok: %zu classes, predictions [%s], precision %s%s, "
-              "rtt %.3fms (queue %.3fms, server %.3fms)\n",
+              "generation %llu, rtt %.3fms (queue %.3fms, server %.3fms)\n",
               res.global_classes.size(), preds.c_str(),
               res.precision == ServingPrecision::kInt8 ? "int8" : "f32",
-              res.trunk_degraded ? ", trunk degraded" : "", rtt_ms,
+              res.trunk_degraded ? ", trunk degraded" : "",
+              static_cast<unsigned long long>(res.generation), rtt_ms,
               res.queue_ms, res.total_ms);
   return 0;
 }
 
+// --------------------------------------------------------------- registry
+
+const std::vector<CommandSpec>& Commands() {
+  static const std::vector<CommandSpec> kCommands = {
+      {"build", "<pool.poe> [tasks] [classes] [epochs] [--seed=N]",
+       "train an oracle and distill a pool of experts from it", 1, 4,
+       {"seed"}, CmdBuild},
+      {"info", "<pool.poe>",
+       "print the pool's architecture, hierarchy, and storage volumes", 1, 1,
+       {}, CmdInfo},
+      {"query", "<pool.poe> <task,task,...>",
+       "assemble the task-specific model and report size/latency", 2, 2,
+       {}, CmdQuery},
+      {"bench", "<pool.poe> [num_queries]",
+       "measure service-phase latency over random composite queries", 1, 2,
+       {}, CmdBench},
+      {"calibrate", "<pool.poe> <out.poe> [num_samples] [hw]",
+       "record static activation scales and save a packed int8 pool", 2, 4,
+       {}, CmdCalibrate},
+      {"serve-bench", "<pool.poe> [clients] [queries_per_client]",
+       "drive the concurrent serving runtime and print ServeStats", 1, 3,
+       {}, CmdServeBench},
+      {"fsck", "<pool.poe>",
+       "verify the pool file's section CRCs and commit footer", 1, 1,
+       {}, CmdFsck},
+      {"net-serve", "<pool.poe> [port] [net_workers]",
+       "serve over TCP; SIGHUP hot-reloads the pool file as a new "
+       "generation, SIGINT/SIGTERM drain and exit", 1, 3,
+       {}, CmdNetServe},
+      {"net-query", "<host:port|port> <task,task,...> [hw]",
+       "send one inference request over the wire protocol", 2, 3,
+       {}, CmdNetQuery},
+      // Pool lifecycle family: create/info/fsck are the registry-level
+      // names of the verbs above; upgrade is the generation swap.
+      {"pool create", "<pool.poe> [tasks] [classes] [epochs] [--seed=N]",
+       "alias of build", 1, 4, {"seed"}, CmdBuild},
+      {"pool info", "<pool.poe>", "alias of info", 1, 1, {}, CmdInfo},
+      {"pool fsck", "<pool.poe>", "alias of fsck", 1, 1, {}, CmdFsck},
+      {"pool upgrade", "<old.poe> <new.poe> [--apply] [--pid=N]",
+       "diff two pools as generations; --apply renames new over old "
+       "atomically, --pid=N SIGHUPs a running net-serve to hot-swap", 2, 2,
+       {"apply", "pid"}, CmdPoolUpgrade},
+  };
+  return kCommands;
+}
+
 int Usage() {
+  std::fprintf(stderr, "usage: poectl <command> [args...] [--flag=value]\n");
   std::fprintf(stderr,
-               "usage:\n"
-               "  poectl build <pool.poe> [tasks] [classes] [epochs]\n"
-               "  poectl info  <pool.poe>\n"
-               "  poectl query <pool.poe> <task,task,...>\n"
-               "  poectl bench <pool.poe> [num_queries]\n"
-               "  poectl calibrate <pool.poe> <out.poe> [num_samples] [hw]\n"
-               "  poectl serve-bench <pool.poe> [clients] "
-               "[queries_per_client]\n"
-               "  poectl fsck  <pool.poe>\n"
-               "  poectl net-serve <pool.poe> [port] [net_workers]\n"
-               "  poectl net-query <host:port|port> <task,task,...> [hw]\n");
+               "exit codes: 0 = ok, 1 = operational failure, 2 = usage\n\n");
+  std::fprintf(stderr, "commands:\n");
+  for (const CommandSpec& cmd : Commands()) {
+    std::fprintf(stderr, "  poectl %s %s\n      %s\n", cmd.name, cmd.synopsis,
+                 cmd.summary);
+  }
+  return 2;
+}
+
+int UsageFor(const CommandSpec& cmd) {
+  std::fprintf(stderr, "usage: poectl %s %s\n  %s\n", cmd.name, cmd.synopsis,
+               cmd.summary);
   return 2;
 }
 
 int Main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const std::string cmd = argv[1];
-  if (cmd == "build") return CmdBuild(argc, argv);
-  if (cmd == "info") return CmdInfo(argv[2]);
-  if (cmd == "fsck") return CmdFsck(argv[2]);
-  if (cmd == "query" && argc >= 4) return CmdQuery(argv[2], argv[3]);
-  if (cmd == "bench") {
-    return CmdBench(argv[2], argc > 3 ? std::atoi(argv[3]) : 100);
+  if (argc < 2) return Usage();
+  const std::string first = argv[1];
+  if (first == "help" || first == "--help" || first == "-h") {
+    Usage();
+    return 0;
   }
-  if (cmd == "calibrate" && argc >= 4) {
-    return CmdCalibrate(argv[2], argv[3], argc > 4 ? std::atoi(argv[4]) : 64,
-                        argc > 5 ? std::atoi(argv[5]) : 8);
+
+  // Longest-match command resolution: a two-word family name ("pool
+  // upgrade") wins over a one-word one when both could match.
+  const CommandSpec* cmd = nullptr;
+  int consumed = 0;
+  if (argc >= 3) {
+    const std::string two_words = first + " " + argv[2];
+    for (const CommandSpec& c : Commands()) {
+      if (two_words == c.name) {
+        cmd = &c;
+        consumed = 3;
+        break;
+      }
+    }
   }
-  if (cmd == "serve-bench") {
-    return CmdServeBench(argv[2], argc > 3 ? std::atoi(argv[3]) : 4,
-                         argc > 4 ? std::atoi(argv[4]) : 100);
+  if (cmd == nullptr) {
+    for (const CommandSpec& c : Commands()) {
+      if (first == c.name) {
+        cmd = &c;
+        consumed = 2;
+        break;
+      }
+    }
   }
-  if (cmd == "net-serve") {
-    return CmdNetServe(argv[2], argc > 3 ? std::atoi(argv[3]) : 0,
-                       argc > 4 ? std::atoi(argv[4]) : 2);
+  if (cmd == nullptr) {
+    std::fprintf(stderr, "poectl: unknown command '%s'\n", first.c_str());
+    return Usage();
   }
-  if (cmd == "net-query" && argc >= 4) {
-    return CmdNetQuery(argv[2], argv[3], argc > 4 ? std::atoi(argv[4]) : 8);
+
+  ParsedArgs args;
+  for (int i = consumed; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      const std::string name =
+          eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+      const std::string value =
+          eq == std::string::npos ? "" : arg.substr(eq + 1);
+      bool allowed = false;
+      for (const std::string& f : cmd->flags) allowed |= (f == name);
+      if (!allowed) {
+        std::fprintf(stderr, "poectl %s: unknown flag --%s\n", cmd->name,
+                     name.c_str());
+        return UsageFor(*cmd);
+      }
+      args.flags[name] = value;
+    } else {
+      args.pos.push_back(arg);
+    }
   }
-  return Usage();
+  if (args.pos.size() < cmd->min_pos || args.pos.size() > cmd->max_pos) {
+    std::fprintf(stderr, "poectl %s: expected %zu..%zu arguments, got %zu\n",
+                 cmd->name, cmd->min_pos, cmd->max_pos, args.pos.size());
+    return UsageFor(*cmd);
+  }
+  return cmd->run(args);
 }
 
 }  // namespace
