@@ -19,9 +19,12 @@
 // --target it instead drives an EXTERNAL server (e.g. `poectl net-serve`)
 // — the load half of the upgrade-under-load smoke: traffic keeps flowing
 // while the operator hot-swaps the pool, and the bench exits nonzero if
-// ANY request failed. --max-task bounds the task ids used (clients issue
-// pairs {i, i+1} with i+1 <= max-task; default 4), --hw the probe image
-// side (default 8, matching poectl-built pools).
+// ANY request failed. --allow=status,... whitelists failure statuses for
+// fault smokes (the kill-a-node smoke allows exactly the cluster
+// whitelist unavailable,deadline_exceeded,resource_exhausted — those
+// count separately and do not fail the run). --max-task bounds the task
+// ids used (clients issue pairs {i, i+1} with i+1 <= max-task; default
+// 4), --hw the probe image side (default 8, matching poectl-built pools).
 //
 // The JSON is merged under the "net_loopback" key of
 // BENCH_serving_throughput.json by tools/bench_to_json.sh --with-net.
@@ -55,11 +58,50 @@ struct RunResult {
   double seconds = 0.0;
   int64_t ops = 0;        // completed round trips
   int64_t errors = 0;     // transport or server-status failures
+  int64_t allowed = 0;    // failures whose status was --allow whitelisted
   double qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double avg_batch = 0.0;  // server-side fused batch size over the run
 };
+
+/// The `--allow` whitelist: failure statuses that do NOT fail a --target
+/// run. The kill-a-node smoke drives load while a peer is SIGKILLed, so
+/// it allows exactly the cluster status whitelist {Unavailable,
+/// DeadlineExceeded, ResourceExhausted} — every other failure (protocol
+/// error, InvalidArgument, a hang surfacing as zero ops) still fails.
+struct AllowList {
+  std::vector<StatusCode> codes;
+
+  bool Allows(StatusCode code) const {
+    for (StatusCode c : codes) {
+      if (c == code) return true;
+    }
+    return false;
+  }
+};
+
+bool ParseAllowList(const std::string& spec, AllowList* allow) {
+  static const std::map<std::string, StatusCode> kNames = {
+      {"unavailable", StatusCode::kUnavailable},
+      {"deadline_exceeded", StatusCode::kDeadlineExceeded},
+      {"resource_exhausted", StatusCode::kResourceExhausted},
+      {"io_error", StatusCode::kIoError},
+  };
+  std::string cur;
+  for (char c : spec + ",") {
+    if (c != ',') {
+      cur += c;
+      continue;
+    }
+    if (cur.empty()) continue;
+    auto it = kNames.find(cur);
+    if (it == kNames.end()) return false;
+    allow->codes.push_back(it->second);
+    cur.clear();
+  }
+  return true;
+}
 
 /// The composite task a client thread queries: adjacent pairs {i, i+1}
 /// cycling over [0, max_task] so overlapping composites exercise both the
@@ -72,10 +114,12 @@ std::vector<int> TasksFor(int t, int max_task) {
 /// Closed loop: `conns` synchronous clients, each its own connection and
 /// thread, each blocking on one round trip at a time.
 RunResult RunClosed(const std::string& host, int port, int conns,
-                    double seconds, int image_hw, int max_task) {
+                    double seconds, int image_hw, int max_task,
+                    const AllowList& allow = {}) {
   LatencyHistogram hist;
   std::atomic<int64_t> total_ops{0};
   std::atomic<int64_t> total_errors{0};
+  std::atomic<int64_t> total_allowed{0};
   std::atomic<bool> stop{false};
 
   std::vector<std::thread> clients;
@@ -90,7 +134,7 @@ RunResult RunClosed(const std::string& host, int port, int conns,
       Rng rng(100 + t);
       Tensor probe = Tensor::Randn({1, 3, image_hw, image_hw}, rng);
       const std::vector<int> tasks = TasksFor(t, max_task);
-      int64_t ops = 0, errors = 0;
+      int64_t ops = 0, errors = 0, allowed = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         Stopwatch sw;
         auto r = client.Query(tasks, probe);
@@ -98,12 +142,19 @@ RunResult RunClosed(const std::string& host, int port, int conns,
           hist.Record(sw.ElapsedMillis());
           ++ops;
         } else {
-          ++errors;
+          const StatusCode code =
+              r.ok() ? r.ValueOrDie().status.code() : r.status().code();
+          if (allow.Allows(code)) {
+            ++allowed;
+          } else {
+            ++errors;
+          }
           if (!r.ok()) break;  // transport gone - stop this connection
         }
       }
       total_ops.fetch_add(ops);
       total_errors.fetch_add(errors);
+      total_allowed.fetch_add(allowed);
     });
   }
   std::this_thread::sleep_for(
@@ -118,6 +169,7 @@ RunResult RunClosed(const std::string& host, int port, int conns,
   r.seconds = wall.ElapsedSeconds();
   r.ops = total_ops.load();
   r.errors = total_errors.load();
+  r.allowed = total_allowed.load();
   r.qps = static_cast<double>(r.ops) / r.seconds;
   r.p50_ms = hist.Percentile(0.50);
   r.p99_ms = hist.Percentile(0.99);
@@ -128,10 +180,12 @@ RunResult RunClosed(const std::string& host, int port, int conns,
 /// Receive() retires one in-flight slot (matched by request_id, since the
 /// server answers in completion order) and refills it with a fresh Send.
 RunResult RunOpen(const std::string& host, int port, int conns, int window,
-                  double seconds, int image_hw, int max_task) {
+                  double seconds, int image_hw, int max_task,
+                  const AllowList& allow = {}) {
   LatencyHistogram hist;
   std::atomic<int64_t> total_ops{0};
   std::atomic<int64_t> total_errors{0};
+  std::atomic<int64_t> total_allowed{0};
   std::atomic<bool> stop{false};
 
   std::vector<std::thread> clients;
@@ -147,7 +201,7 @@ RunResult RunOpen(const std::string& host, int port, int conns, int window,
       Tensor probe = Tensor::Randn({1, 3, image_hw, image_hw}, rng);
       const std::vector<int> tasks = TasksFor(t, max_task);
       std::map<uint64_t, Stopwatch> inflight;
-      int64_t ops = 0, errors = 0;
+      int64_t ops = 0, errors = 0, allowed = 0;
 
       auto send_one = [&]() -> bool {
         auto id = client.Send(tasks, probe);
@@ -163,6 +217,8 @@ RunResult RunOpen(const std::string& host, int port, int conns, int window,
           if (r.ValueOrDie().status.ok()) {
             hist.Record(it->second.ElapsedMillis());
             ++ops;
+          } else if (allow.Allows(r.ValueOrDie().status.code())) {
+            ++allowed;
           } else {
             ++errors;
           }
@@ -181,6 +237,7 @@ RunResult RunOpen(const std::string& host, int port, int conns, int window,
       if (!alive) ++errors;
       total_ops.fetch_add(ops);
       total_errors.fetch_add(errors);
+      total_allowed.fetch_add(allowed);
     });
   }
   std::this_thread::sleep_for(
@@ -195,6 +252,7 @@ RunResult RunOpen(const std::string& host, int port, int conns, int window,
   r.seconds = wall.ElapsedSeconds();
   r.ops = total_ops.load();
   r.errors = total_errors.load();
+  r.allowed = total_allowed.load();
   r.qps = static_cast<double>(r.ops) / r.seconds;
   r.p50_ms = hist.Percentile(0.50);
   r.p99_ms = hist.Percentile(0.99);
@@ -202,13 +260,15 @@ RunResult RunOpen(const std::string& host, int port, int conns, int window,
 }
 
 void PrintTable(const std::vector<RunResult>& results) {
-  std::printf("%-8s %6s %7s %10s %8s %10s %10s %8s %7s\n", "mode", "conns",
-              "window", "qps", "ops", "p50_ms", "p99_ms", "batch", "errors");
+  std::printf("%-8s %6s %7s %10s %8s %10s %10s %8s %7s %7s\n", "mode",
+              "conns", "window", "qps", "ops", "p50_ms", "p99_ms", "batch",
+              "errors", "allowed");
   for (const RunResult& r : results) {
-    std::printf("%-8s %6d %7d %10.0f %8lld %10.4f %10.4f %8.1f %7lld\n",
+    std::printf("%-8s %6d %7d %10.0f %8lld %10.4f %10.4f %8.1f %7lld %7lld\n",
                 r.mode.c_str(), r.conns, r.window, r.qps,
                 static_cast<long long>(r.ops), r.p50_ms, r.p99_ms,
-                r.avg_batch, static_cast<long long>(r.errors));
+                r.avg_batch, static_cast<long long>(r.errors),
+                static_cast<long long>(r.allowed));
   }
 }
 
@@ -230,12 +290,12 @@ void WriteJson(const std::string& path, const std::vector<RunResult>& results,
         f,
         "    {\"mode\": \"%s\", \"conns\": %d, \"window\": %d, "
         "\"seconds\": %.3f, \"ops\": %lld, \"errors\": %lld, "
-        "\"qps\": %.1f, \"p50_ms\": %.5f, \"p99_ms\": %.5f, "
-        "\"avg_batch\": %.2f}%s\n",
+        "\"allowed\": %lld, \"qps\": %.1f, \"p50_ms\": %.5f, "
+        "\"p99_ms\": %.5f, \"avg_batch\": %.2f}%s\n",
         r.mode.c_str(), r.conns, r.window, r.seconds,
         static_cast<long long>(r.ops), static_cast<long long>(r.errors),
-        r.qps, r.p50_ms, r.p99_ms, r.avg_batch,
-        i + 1 < results.size() ? "," : "");
+        static_cast<long long>(r.allowed), r.qps, r.p50_ms, r.p99_ms,
+        r.avg_batch, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"server\": {\n");
   std::fprintf(f,
@@ -262,6 +322,7 @@ int Main(int argc, char** argv) {
   int window = 8;
   int max_task = 4;
   int image_hw = 8;
+  AllowList allow;
   std::vector<int> conn_counts = {1, 2, 4};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -269,6 +330,13 @@ int Main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--target" && i + 1 < argc) {
       target = argv[++i];
+    } else if (arg == "--allow" && i + 1 < argc) {
+      if (!ParseAllowList(argv[++i], &allow)) {
+        std::fprintf(stderr, "bad --allow '%s' (known: unavailable, "
+                     "deadline_exceeded, resource_exhausted, io_error)\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (arg == "--seconds" && i + 1 < argc) {
       seconds = std::atof(argv[++i]);
     } else if (arg == "--epochs" && i + 1 < argc) {
@@ -295,7 +363,8 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: net_throughput [--json out.json] [--seconds s] "
                    "[--conns 1,2,4] [--window n] [--epochs n] "
-                   "[--target host:port] [--max-task n] [--hw n]\n");
+                   "[--target host:port] [--allow status,...] "
+                   "[--max-task n] [--hw n]\n");
       return 2;
     }
   }
@@ -324,27 +393,34 @@ int Main(int argc, char** argv) {
     std::vector<RunResult> results;
     for (int conns : conn_counts) {
       results.push_back(
-          RunClosed(host, port, conns, seconds, image_hw, max_task));
+          RunClosed(host, port, conns, seconds, image_hw, max_task, allow));
     }
     for (int conns : conn_counts) {
-      results.push_back(
-          RunOpen(host, port, conns, window, seconds, image_hw, max_task));
+      results.push_back(RunOpen(host, port, conns, window, seconds,
+                                image_hw, max_task, allow));
     }
     PrintTable(results);
     if (!json_path.empty()) WriteJson(json_path, results, NetStats());
-    int64_t total_errors = 0, total_ops = 0;
+    int64_t total_errors = 0, total_ops = 0, total_allowed = 0;
     for (const RunResult& r : results) {
       total_errors += r.errors;
       total_ops += r.ops;
+      total_allowed += r.allowed;
     }
-    if (total_ops == 0 || total_errors > 0) {
-      std::fprintf(stderr, "[bench] FAILED: %lld errors over %lld ops\n",
+    // Liveness: SOMETHING must have resolved — a whitelisted failure is
+    // a resolved future (the kill smoke's point), silence is a hang.
+    if ((total_ops == 0 && total_allowed == 0) || total_errors > 0) {
+      std::fprintf(stderr, "[bench] FAILED: %lld errors over %lld ops "
+                   "(%lld whitelisted)\n",
                    static_cast<long long>(total_errors),
-                   static_cast<long long>(total_ops));
+                   static_cast<long long>(total_ops),
+                   static_cast<long long>(total_allowed));
       return 1;
     }
-    std::printf("[bench] ok: %lld ops, 0 errors\n",
-                static_cast<long long>(total_ops));
+    std::printf("[bench] ok: %lld ops, 0 errors, %lld whitelisted "
+                "failures\n",
+                static_cast<long long>(total_ops),
+                static_cast<long long>(total_allowed));
     return 0;
   }
 

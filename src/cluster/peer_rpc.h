@@ -1,0 +1,135 @@
+// Peer RPC: the wire half of the cluster layer.
+//
+// Rides the data plane's 24-byte header + CRC32C framing (SealWireFrame)
+// with its own frame types — 3/4 fetch-expert, 5/6 membership-ping — so
+// one framing discipline covers both planes while a NetServer that sees a
+// peer frame (or a PeerServer that sees a client frame) rejects it as an
+// unexpected type: the planes cannot be confused for each other.
+//
+// Body layouts (little-endian, like the data plane):
+//
+//   fetch-expert (3):        [0] i32 expert_id
+//   fetch-expert-reply (4):  [0] i32 status_code | [4] u32 msg_len |
+//                            msg | u64 payload_len | payload
+//                            (payload = v3 expert-section bytes; empty on
+//                            a non-OK status)
+//   membership-ping (5) and ping-reply (6): one MembershipView —
+//                            u64 epoch | u32 num_nodes | per node:
+//                            i32 node_id | u8 state | i32 peer_port |
+//                            i32 serve_port | u16 host_len | host bytes
+//                            (epoch 0 on a ping = status probe: the
+//                            receiver answers with its view but adopts
+//                            nothing)
+//
+// PeerServer is the control plane's listener: blocking accept loop, one
+// thread per connection. Peer traffic is tiny and rare (a handful of
+// fetches at warmup, sub-Hz gossip), so thread-per-connection is the
+// simple correct shape — the epoll NetServer stays dedicated to the query
+// data plane.
+#ifndef POE_CLUSTER_PEER_RPC_H_
+#define POE_CLUSTER_PEER_RPC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/membership.h"
+#include "cluster/transport.h"
+#include "net/wire.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace poe {
+
+// ------------------------------------------------------------ codecs
+
+std::vector<uint8_t> EncodeFetchExpertFrame(uint64_t request_id,
+                                            int expert_id);
+Status DecodeFetchExpertBody(const uint8_t* data, size_t len,
+                             int* expert_id);
+
+std::vector<uint8_t> EncodeFetchExpertReplyFrame(uint64_t request_id,
+                                                 const Status& status,
+                                                 const std::string& payload);
+Status DecodeFetchExpertReplyBody(const uint8_t* data, size_t len,
+                                  Status* status, std::string* payload);
+
+/// Encodes a view as a ping (type 5) or ping-reply (type 6) frame.
+std::vector<uint8_t> EncodeViewFrame(uint64_t request_id, uint8_t type,
+                                     const MembershipView& view);
+Status DecodeViewBody(const uint8_t* data, size_t len, MembershipView* view);
+
+// ------------------------------------------------------------ server
+
+/// Listens for peer frames and dispatches them to a PeerEndpoint.
+class PeerServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;  ///< 0 = ephemeral; read the bound port from port()
+    uint32_t max_body_bytes = kDefaultMaxBodyBytes;
+  };
+
+  /// `endpoint` may be nullptr at construction (connections are refused
+  /// until SetEndpoint) — lets a caller bind the port FIRST, put the real
+  /// port into the membership view, build the node from that view, and
+  /// only then wire the node in. No port guessing, no bind race.
+  PeerServer(PeerEndpoint* endpoint, Options options);
+  ~PeerServer();
+
+  void SetEndpoint(PeerEndpoint* endpoint) {
+    endpoint_.store(endpoint, std::memory_order_release);
+  }
+
+  Status Start();
+  void Stop();
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::atomic<PeerEndpoint*> endpoint_;
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> conn_threads_;
+  std::mutex conn_mu_;
+};
+
+// ------------------------------------------------------------ client
+
+/// TCP transport: one fresh connection per exchange. Peer RPCs are rare
+/// (one fetch per expert ever, sub-Hz gossip), so connection reuse would
+/// buy nothing and per-call connections make the transport trivially
+/// thread-safe — concurrent Acquires can fetch from different peers at
+/// once with no shared client state.
+class WireTransport : public PeerTransport {
+ public:
+  /// `resolve` maps a node id to its current NodeInfo (host + peer_port);
+  /// ClusterNode passes a closure over its membership view. `timeout_ms`
+  /// caps each exchange (connect + I/O) so a hung peer surfaces as a
+  /// transient kUnavailable, not a stuck thread.
+  WireTransport(std::function<MembershipView()> view_provider,
+                double timeout_ms);
+
+  Result<FetchExpertResult> FetchExpert(int node_id, int expert_id) override;
+  Result<MembershipView> Ping(int node_id,
+                              const MembershipView& view) override;
+
+ private:
+  Result<NodeInfo> Resolve(int node_id);
+
+  std::function<MembershipView()> view_provider_;
+  double timeout_ms_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace poe
+
+#endif  // POE_CLUSTER_PEER_RPC_H_

@@ -1,0 +1,61 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+namespace poe {
+
+namespace {
+
+/// splitmix64 — the same mixer the membership fingerprint uses.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<int> ExpertOwners(int expert_id, const std::vector<int>& node_ids,
+                              const PlacementConfig& config) {
+  if (node_ids.empty()) return {};
+  const int replication =
+      std::min<int>(std::max(config.replication, 1),
+                    static_cast<int>(node_ids.size()));
+  const int vnodes = std::max(config.vnodes, 1);
+
+  // ring point -> node id. Rebuilt per lookup: pools are a handful of
+  // nodes, so sorting ~n*vnodes pairs is noise next to a branch forward.
+  std::vector<std::pair<uint64_t, int>> ring;
+  ring.reserve(node_ids.size() * static_cast<size_t>(vnodes));
+  for (int id : node_ids) {
+    for (int v = 0; v < vnodes; ++v) {
+      ring.emplace_back(
+          Mix64(static_cast<uint64_t>(static_cast<uint32_t>(id)) << 32 |
+                static_cast<uint32_t>(v)),
+          id);
+    }
+  }
+  std::sort(ring.begin(), ring.end());
+
+  const uint64_t point =
+      Mix64(0x9d5c0ff0e2f1ab13ull ^ static_cast<uint64_t>(expert_id));
+  size_t start = 0;
+  while (start < ring.size() && ring[start].first < point) ++start;
+
+  std::vector<int> owners;
+  owners.reserve(replication);
+  for (size_t step = 0; step < ring.size() &&
+                        owners.size() < static_cast<size_t>(replication);
+       ++step) {
+    const int candidate = ring[(start + step) % ring.size()].second;
+    if (std::find(owners.begin(), owners.end(), candidate) == owners.end()) {
+      owners.push_back(candidate);
+    }
+  }
+  return owners;
+}
+
+}  // namespace poe

@@ -1,0 +1,41 @@
+// Consistent-hash expert placement: which nodes own which experts.
+//
+// The ring is built from the CONFIGURED node ids only — never from node
+// states — so every node computes the identical owner list for every
+// expert regardless of what it currently believes about peer liveness.
+// State enters one layer up: fetch routing walks the owner list and picks
+// the first owner whose membership state CanServeFetches(); placement
+// itself is a pure function.
+//
+// Each node projects `vnodes` points onto a 64-bit ring (splitmix64 of
+// node_id x vnode_index); an expert hashes to a ring position and its
+// owners are the first `replication` DISTINCT nodes clockwise. Virtual
+// nodes smooth the load: with 16 points per node the heaviest node of a
+// small pool carries within ~2x of the mean instead of the ~n x skew a
+// single point per node can produce.
+#ifndef POE_CLUSTER_PLACEMENT_H_
+#define POE_CLUSTER_PLACEMENT_H_
+
+#include <vector>
+
+namespace poe {
+
+struct PlacementConfig {
+  /// Distinct owner nodes per expert. owners[0] is the primary; later
+  /// entries are replicas a fetch falls back to. Clamped to the pool size.
+  int replication = 2;
+  /// Ring points per node. More points = smoother balance, linearly more
+  /// ring to sort (done once per owner lookup; node counts are tiny).
+  int vnodes = 16;
+};
+
+/// Owner nodes of `expert_id`, primary first. `node_ids` is the stable
+/// set of configured ids (MembershipView::NodeIds()); order does not
+/// matter — the ring position of a node depends only on its id. Returns
+/// empty when `node_ids` is empty.
+std::vector<int> ExpertOwners(int expert_id, const std::vector<int>& node_ids,
+                              const PlacementConfig& config);
+
+}  // namespace poe
+
+#endif  // POE_CLUSTER_PLACEMENT_H_

@@ -35,10 +35,38 @@ void ExpertStore::AdoptMaster(int task_id,
   slot.bytes = HeldStateBytes(*slot.module);
 }
 
+Status ExpertStore::ReleaseMaster(int task_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  POE_CHECK_GE(task_id, 0);
+  POE_CHECK_LT(task_id, static_cast<int>(slots_.size()));
+  Slot& slot = slots_[task_id];
+  if (!slot.live.expired()) {
+    return Status::FailedPrecondition(
+        "expert " + std::to_string(task_id) +
+        " has a live branch; cannot release its master");
+  }
+  slot.module = nullptr;
+  slot.bytes = 0;
+  return Status::OK();
+}
+
+void ExpertStore::SetRemoteMaterializer(RemoteMaterializer fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  remote_ = std::move(fn);
+}
+
+bool ExpertStore::resident(int task_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  POE_CHECK_GE(task_id, 0);
+  POE_CHECK_LT(task_id, static_cast<int>(slots_.size()));
+  return slots_[task_id].module != nullptr;
+}
+
 std::unique_ptr<ExpertStore> ExpertStore::Clone() const {
   std::lock_guard<std::mutex> lock(mu_);
   auto clone = std::make_unique<ExpertStore>();
   clone->precision_ = precision_;
+  clone->remote_ = remote_;
   clone->slots_.reserve(slots_.size());
   for (const Slot& slot : slots_) {
     Slot fresh;
@@ -53,6 +81,7 @@ std::unique_ptr<ExpertStore> ExpertStore::Clone() const {
 
 Result<ExpertBranchHandle> ExpertStore::Acquire(int task_id) {
   std::shared_ptr<Sequential> module;
+  RemoteMaterializer remote;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (task_id < 0 || task_id >= static_cast<int>(slots_.size())) {
@@ -72,6 +101,39 @@ Result<ExpertBranchHandle> ExpertStore::Acquire(int task_id) {
       expert_hits_++;
       shared_bytes_saved_ += slot.bytes;
       return live;
+    }
+    module = slot.module;
+    if (module == nullptr) remote = remote_;
+  }
+  if (module == nullptr) {
+    // Non-resident master (cluster residency shedding): fetch it OUTSIDE
+    // the mutex — a slow peer must not stall acquires of other experts.
+    // Two threads racing the first acquire may both fetch; the install
+    // below is first-wins and the loser adopts the winner's module.
+    if (!remote) {
+      return Status::Unavailable("expert " + std::to_string(task_id) +
+                                 " is not resident and no remote "
+                                 "materializer is installed");
+    }
+    auto fetched = remote(task_id);
+    if (!fetched.ok()) {
+      if (fetched.status().code() == StatusCode::kCorruption) {
+        // A corrupt payload is permanent for this slot, exactly like a
+        // corrupt local materialization.
+        std::lock_guard<std::mutex> lock(mu_);
+        Slot& slot = slots_[task_id];
+        if (!slot.poisoned) {
+          slot.poisoned = true;
+          slot.poison_reason = fetched.status().message();
+        }
+      }
+      return fetched.status();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& slot = slots_[task_id];
+    if (slot.module == nullptr) {
+      slot.module = std::move(fetched).ValueOrDie();
+      slot.bytes = HeldStateBytes(*slot.module);
     }
     module = slot.module;
   }
@@ -133,6 +195,9 @@ void ExpertStore::PrepareInt8Serving() {
   std::lock_guard<std::mutex> lock(mu_);
   precision_ = ServingPrecision::kInt8;
   for (Slot& slot : slots_) {
+    // Non-resident slots have nothing to convert; a later fetch ships the
+    // owner's serving form (its payload carries its own precision byte).
+    if (slot.module == nullptr) continue;
     // Degraded mode: a failed conversion keeps this expert on f32 instead
     // of failing the whole pool conversion. Its branches will report f32
     // and stats().experts_degraded counts it.
@@ -170,7 +235,9 @@ std::vector<int> ExpertStore::classes(int task_id) const {
 int64_t ExpertStore::MasterBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   int64_t bytes = 0;
-  for (const Slot& slot : slots_) bytes += HeldStateBytes(*slot.module);
+  for (const Slot& slot : slots_) {
+    if (slot.module != nullptr) bytes += HeldStateBytes(*slot.module);
+  }
   return bytes;
 }
 
@@ -195,6 +262,10 @@ ExpertStoreStats ExpertStore::stats() const {
       stats.referenced_bytes += slot.bytes;
     }
     if (slot.poisoned) stats.experts_poisoned++;
+    if (slot.module == nullptr) {
+      stats.experts_nonresident++;
+      continue;
+    }
     // Derived from the module, not a cached flag: pool copies share
     // masters, so a conversion done through one store heals the others.
     if (precision_ == ServingPrecision::kInt8 &&

@@ -29,6 +29,7 @@
 #define POE_CORE_EXPERT_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -90,10 +91,23 @@ struct ExpertStoreStats {
   int64_t experts_poisoned = 0;
   /// Slots still serving f32 under an int8 store (failed conversion).
   int64_t experts_degraded = 0;
+  /// Slots with no resident master module (cluster residency shedding):
+  /// acquiring one goes through the remote materializer. A successful
+  /// remote fetch installs the master, so the slot leaves this count —
+  /// fetched experts are cached, not re-fetched per query.
+  int64_t experts_nonresident = 0;
 };
 
 class ExpertStore {
  public:
+  /// Produces the master module of a non-resident expert (cluster serving:
+  /// fetch it from the peer that owns it). Called OUTSIDE the store mutex.
+  /// Transient failures (kUnavailable/kIoError/kResourceExhausted) bubble
+  /// to the pool's per-expert retry loop; kCorruption poisons the slot
+  /// like any other materialization corruption.
+  using RemoteMaterializer =
+      std::function<Result<std::shared_ptr<Sequential>>(int task_id)>;
+
   ExpertStore() = default;
   ExpertStore(const ExpertStore&) = delete;
   ExpertStore& operator=(const ExpertStore&) = delete;
@@ -140,6 +154,23 @@ class ExpertStore {
   /// actual precision.
   void PrepareInt8Serving();
 
+  /// Releases the master module of `task_id` (cluster residency shedding:
+  /// a node keeps resident only the experts placement assigns it). Only
+  /// legal while the slot has no live branch. The slot keeps its classes
+  /// and config — fetch replies and placement still need them — and a
+  /// later Acquire materializes through the remote materializer, whose
+  /// fetched module is installed back into the slot (cached residency).
+  /// FailedPrecondition when a composite still references the branch.
+  Status ReleaseMaster(int task_id);
+
+  /// Installs the hook Acquire uses for slots with no resident master.
+  /// Clones share it (a pool copy made after shedding must still be able
+  /// to materialize).
+  void SetRemoteMaterializer(RemoteMaterializer fn);
+
+  /// True when the slot holds its master module locally.
+  bool resident(int task_id) const;
+
   /// Precision newly materialized branches are prepacked for.
   ServingPrecision serving_precision() const;
 
@@ -162,7 +193,7 @@ class ExpertStore {
 
  private:
   struct Slot {
-    std::shared_ptr<Sequential> module;
+    std::shared_ptr<Sequential> module;  ///< null = non-resident (remote)
     std::vector<int> classes;
     WrnConfig config;
     std::weak_ptr<const ExpertBranch> live;  ///< current branch, if any
@@ -173,6 +204,7 @@ class ExpertStore {
 
   mutable std::mutex mu_;
   std::vector<Slot> slots_;
+  RemoteMaterializer remote_;  ///< null until SetRemoteMaterializer
   ServingPrecision precision_ = ServingPrecision::kFloat32;
   int64_t expert_hits_ = 0;
   int64_t expert_misses_ = 0;

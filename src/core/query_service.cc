@@ -189,6 +189,7 @@ ServeStats ModelQueryService::serve_stats() const {
   stats.referenced_expert_bytes = store.referenced_bytes;
   stats.experts_poisoned = store.experts_poisoned;
   stats.experts_degraded = store.experts_degraded;
+  stats.experts_nonresident = store.experts_nonresident;
   stats.trunk_bytes = HeldStateBytes(*gen->pool.library());
   stats.assembly_retries = assembly_retries_.load(std::memory_order_relaxed);
   stats.degraded_queries = degraded_queries_.load(std::memory_order_relaxed);

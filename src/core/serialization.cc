@@ -688,6 +688,23 @@ Result<uint32_t> ModuleContentCrc(Module& module) {
   return Crc32c(bytes.data(), bytes.size());
 }
 
+Result<std::string> SerializeModulePayload(Module& module) {
+  std::ostringstream section;
+  POE_RETURN_NOT_OK(WriteModuleSection(section, module));
+  return section.str();
+}
+
+Status DeserializeModulePayload(const std::string& payload, Module& module) {
+  std::istringstream in(payload);
+  POE_RETURN_NOT_OK(ReadModuleSection(in, module));
+  // Trailing garbage means the payload was not produced by the serializer
+  // for THIS architecture — reject it rather than silently ignore bytes.
+  if (in.peek() != std::char_traits<char>::eof()) {
+    return Status::Corruption("module payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
 Status SaveExpertPool(const ExpertPool& pool, const std::string& path) {
   std::string blob;
   std::vector<uint32_t> crcs;

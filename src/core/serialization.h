@@ -36,6 +36,18 @@ int64_t ModuleStateBytes(Module& module);
 /// this to decide which experts actually changed across an upgrade.
 Result<uint32_t> ModuleContentCrc(Module& module);
 
+/// The v3 expert-section payload of `module` (per-module precision byte +
+/// serialized state + activation scales) as a byte string — exactly the
+/// bytes SaveExpertPool stores per expert section. The cluster layer ships
+/// this over its fetch-expert RPC: a fetched expert is bit-identical to
+/// one loaded from the same pool file.
+Result<std::string> SerializeModulePayload(Module& module);
+
+/// Restores a SerializeModulePayload byte string into an identically-
+/// structured module skeleton (see BuildExpertPart for expert heads).
+/// kCorruption on shape mismatch, truncation, or trailing bytes.
+Status DeserializeModulePayload(const std::string& payload, Module& module);
+
 /// Pool file format, version 3 (little-endian):
 ///
 ///   magic "POEPOOL1" | version u32 | section_count u32 | sections...

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -12,6 +13,25 @@
 #include "util/crc32c.h"
 
 namespace poe {
+
+namespace {
+
+/// Errnos a retry might cure: the peer is down, restarting, or dropped the
+/// connection mid-stream. Everything else (EBADF, EACCES, EINVAL, ...)
+/// would fail identically on every attempt.
+bool TransientSocketErrno(int err) {
+  return err == ECONNREFUSED || err == ECONNRESET || err == EPIPE ||
+         err == ETIMEDOUT || err == EHOSTUNREACH || err == ENETUNREACH ||
+         err == ENETDOWN || err == EAGAIN || err == EWOULDBLOCK;
+}
+
+Status SocketError(const std::string& op, int err) {
+  const std::string msg = op + ": " + std::strerror(err);
+  return TransientSocketErrno(err) ? Status::Unavailable(msg)
+                                   : Status::IoError(msg);
+}
+
+}  // namespace
 
 NetClient::~NetClient() { Close(); }
 
@@ -28,9 +48,8 @@ Status NetClient::Connect(const std::string& host, int port) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status s = Status::Unavailable(
-        "connect " + host + ":" + std::to_string(port) + ": " +
-        std::strerror(errno));
+    const Status s =
+        SocketError("connect " + host + ":" + std::to_string(port), errno);
     ::close(fd);
     return s;
   }
@@ -54,9 +73,9 @@ Status NetClient::WriteFull(const void* buf, size_t len) {
     const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const int err = errno;
       Close();
-      return Status::Unavailable(std::string("send: ") +
-                                 std::strerror(errno));
+      return SocketError("send", err);
     }
     sent += static_cast<size_t>(n);
   }
@@ -70,9 +89,9 @@ Status NetClient::ReadFull(void* buf, size_t len) {
     const ssize_t n = ::recv(fd_, p + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const int err = errno;
       Close();
-      return Status::Unavailable(std::string("recv: ") +
-                                 std::strerror(errno));
+      return SocketError("recv", err);
     }
     if (n == 0) {
       Close();
@@ -86,6 +105,45 @@ Status NetClient::ReadFull(void* buf, size_t len) {
 Status NetClient::SendRaw(const void* data, size_t len) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
   return WriteFull(data, len);
+}
+
+Status NetClient::SetIoTimeout(double timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1e3);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_ms - 1e3 * static_cast<double>(tv.tv_sec)) * 1e3);
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return SocketError("setsockopt", errno);
+  }
+  return Status::OK();
+}
+
+Status NetClient::Call(const std::vector<uint8_t>& frame,
+                       uint8_t expected_type, WireHeader* header,
+                       std::vector<uint8_t>* body) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  POE_RETURN_NOT_OK(WriteFull(frame.data(), frame.size()));
+  uint8_t hbuf[kWireHeaderBytes];
+  POE_RETURN_NOT_OK(ReadFull(hbuf, sizeof(hbuf)));
+  const Status decoded =
+      DecodeHeader(hbuf, sizeof(hbuf), expected_type, max_body_bytes_, header);
+  if (!decoded.ok()) {
+    // A framing error poisons the connection by design — nothing after a
+    // bad header can be trusted to be frame-aligned.
+    Close();
+    return decoded;
+  }
+  body->resize(header->body_len);
+  POE_RETURN_NOT_OK(ReadFull(body->data(), body->size()));
+  if (Crc32c(body->data(), body->size()) != header->body_crc) {
+    Close();
+    return Status::Corruption("frame body CRC mismatch");
+  }
+  return Status::OK();
 }
 
 Result<uint64_t> NetClient::Send(const std::vector<int>& task_ids,

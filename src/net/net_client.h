@@ -8,8 +8,13 @@
 //     flight on the connection and match responses by request_id
 //     (responses come back in completion order, not send order).
 //
-// Transport failures (refused, reset, EOF mid-frame) surface as
-// kUnavailable; malformed response frames as protocol errors
+// Transport failures surface as kUnavailable when the errno is one a
+// retry might cure — ECONNREFUSED (peer not up yet), ECONNRESET / EPIPE
+// (peer died mid-stream), EOF mid-frame, timeouts — so RetryWithBackoff
+// applies uniformly to connect and mid-stream failures: a caller can wrap
+// "reconnect + query" in one retry loop and both failure shapes take the
+// same path. Errnos that repeating cannot fix (EBADF, EACCES, ...) are
+// kIoError. Malformed response frames are protocol errors
 // (kInvalidArgument / kCorruption for a CRC mismatch). Server-side
 // statuses arrive INSIDE a well-formed response frame and are returned
 // as WireResponse::status, not as a transport error.
@@ -56,6 +61,19 @@ class NetClient {
   /// Sends raw bytes as-is - the protocol-robustness tests use this to
   /// put malformed frames on the wire.
   Status SendRaw(const void* data, size_t len);
+
+  /// One generic frame round trip: writes a pre-sealed frame, reads one
+  /// frame of `expected_type` back, verifies its body CRC. The cluster
+  /// peer-RPC client drives its fetch-expert / membership-ping exchanges
+  /// through this so every frame type shares one transport-error and
+  /// framing discipline.
+  Status Call(const std::vector<uint8_t>& frame, uint8_t expected_type,
+              WireHeader* header, std::vector<uint8_t>* body);
+
+  /// Caps recv/send blocking time (0 restores "block forever"). The
+  /// cluster layer sets this to its per-fetch budget so a hung peer
+  /// surfaces as a transient timeout instead of a stuck thread.
+  Status SetIoTimeout(double timeout_ms);
 
  private:
   Status ReadFull(void* buf, size_t len);

@@ -24,10 +24,14 @@ T Get(const uint8_t* p) {
   return v;
 }
 
-/// Writes the 24-byte header in place at buf[0..24) once the body that
-/// follows it is final (body_len/body_crc are computed here).
-void SealHeader(std::vector<uint8_t>& frame, uint8_t type,
-                uint64_t request_id) {
+Status ProtocolError(const std::string& what) {
+  return Status::InvalidArgument("wire protocol: " + what);
+}
+
+}  // namespace
+
+void SealWireFrame(std::vector<uint8_t>& frame, uint8_t type,
+                   uint64_t request_id) {
   const uint32_t body_len =
       static_cast<uint32_t>(frame.size() - kWireHeaderBytes);
   const uint32_t body_crc =
@@ -43,12 +47,6 @@ void SealHeader(std::vector<uint8_t>& frame, uint8_t type,
   std::memcpy(h + 12, &body_crc, 4);
   std::memcpy(h + 16, &request_id, 8);
 }
-
-Status ProtocolError(const std::string& what) {
-  return Status::InvalidArgument("wire protocol: " + what);
-}
-
-}  // namespace
 
 uint32_t WireMagic() {
   const uint8_t bytes[4] = {'P', 'O', 'E', '1'};
@@ -77,7 +75,7 @@ std::vector<uint8_t> EncodeRequestFrame(uint64_t request_id,
   const size_t payload = sizeof(float) * static_cast<size_t>(input.numel());
   frame.resize(at + payload);
   if (payload > 0) std::memcpy(frame.data() + at, input.data(), payload);
-  SealHeader(frame, kWireTypeRequest, request_id);
+  SealWireFrame(frame, kWireTypeRequest, request_id);
   return frame;
 }
 
@@ -121,7 +119,7 @@ std::vector<uint8_t> EncodeResponseFrame(uint64_t request_id,
     frame.resize(lat + logit_bytes);
     std::memcpy(frame.data() + lat, response.logits.data(), logit_bytes);
   }
-  SealHeader(frame, kWireTypeResponse, request_id);
+  SealWireFrame(frame, kWireTypeResponse, request_id);
   return frame;
 }
 
@@ -160,9 +158,11 @@ Status DecodeHeader(const uint8_t* data, size_t len, uint8_t expected_type,
     return ProtocolError("oversized body (" + std::to_string(out->body_len) +
                          " > " + std::to_string(max_body_bytes) + " bytes)");
   }
-  const size_t min_body = expected_type == kWireTypeRequest
-                              ? kWireRequestMetaBytes
-                              : kWireResponseFixedBytes;
+  // Peer-RPC frames (types 3..6) have no fixed minimum here; their codecs
+  // validate body layout themselves after the CRC check.
+  size_t min_body = 0;
+  if (expected_type == kWireTypeRequest) min_body = kWireRequestMetaBytes;
+  if (expected_type == kWireTypeResponse) min_body = kWireResponseFixedBytes;
   if (out->body_len < min_body) {
     return ProtocolError("undersized body (" +
                          std::to_string(out->body_len) + " bytes)");

@@ -68,6 +68,19 @@ namespace poe {
 inline constexpr uint8_t kWireVersion = 2;
 inline constexpr uint8_t kWireTypeRequest = 1;
 inline constexpr uint8_t kWireTypeResponse = 2;
+// Peer-RPC frame types of the cluster layer (src/cluster/peer_rpc.h).
+// They ride the same 24-byte header + CRC32C framing; a NetServer that
+// receives one closes the connection (unexpected type), so the data plane
+// and the control plane cannot be confused for each other. Body layouts
+// are owned by the cluster layer: the net layer only frames them.
+//   3 = fetch-expert        (request: expert id)
+//   4 = fetch-expert-reply  (status + classes + serialized module section)
+//   5 = membership-ping     (sender's membership view — epoch gossip)
+//   6 = membership-ping-reply (receiver's view after merging)
+inline constexpr uint8_t kWireTypeFetchExpert = 3;
+inline constexpr uint8_t kWireTypeFetchExpertReply = 4;
+inline constexpr uint8_t kWireTypePing = 5;
+inline constexpr uint8_t kWireTypePingReply = 6;
 inline constexpr size_t kWireHeaderBytes = 24;
 inline constexpr size_t kWireRequestMetaBytes = 44;
 inline constexpr size_t kWireResponseFixedBytes = 48;
@@ -147,6 +160,13 @@ std::vector<uint8_t> EncodeResponseFrame(uint64_t request_id,
 /// admission errors that never reached the inference server.
 std::vector<uint8_t> EncodeErrorFrame(uint64_t request_id,
                                       const Status& status);
+
+/// Seals a frame whose body was appended after a kWireHeaderBytes-sized
+/// prefix: writes magic/version/type/body_len/body_crc/request_id into the
+/// prefix. The peer-RPC codecs build their bodies with this so every frame
+/// type shares ONE header format and CRC discipline.
+void SealWireFrame(std::vector<uint8_t>& frame, uint8_t type,
+                   uint64_t request_id);
 
 // ------------------------------------------------------------- decoding
 

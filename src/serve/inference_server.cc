@@ -82,6 +82,26 @@ void InferenceServer::Enqueue(InferenceRequest request, Pending pending) {
     return;
   }
 
+  if (options_.max_generation_lag > 0 && request.generation != 0) {
+    // Generation-aware admission: a pin further behind the serving
+    // generation than the configured lag is refused up front, not
+    // answered by a pool the client no longer expects.
+    const uint64_t current = service_->generation();
+    if (current > request.generation &&
+        current - request.generation > options_.max_generation_lag) {
+      rejected_.fetch_add(1, std::memory_order_release);
+      InferenceResponse response;
+      response.status = Status::FailedPrecondition(
+          "pinned generation " + std::to_string(request.generation) +
+          " is " + std::to_string(current - request.generation) +
+          " behind serving generation " + std::to_string(current) +
+          " (max lag " + std::to_string(options_.max_generation_lag) + ")");
+      response.generation = current;
+      Resolve(pending, std::move(response));
+      return;
+    }
+  }
+
   pending.key = CanonicalTaskKey(request.task_ids);
   if (request.deadline_ms > 0) {
     pending.deadline = Deadline::AfterMillis(request.deadline_ms);

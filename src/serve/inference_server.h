@@ -107,6 +107,15 @@ class InferenceServer {
     /// cap and the limiter moves the effective cap with observed latency;
     /// current_max_batch_rows() / ServeStats::batch_rows_cap report it.
     AdaptiveBatchOptions adaptive;
+    /// Generation-aware admission. 0 (default) = off: a stale generation
+    /// pin is telemetry only (stale_generation_queries). > 0 = a request
+    /// pinning generation g is REJECTED with FailedPrecondition when the
+    /// serving generation N has moved past it by more than this many
+    /// swaps (N - g > max_generation_lag) — clients that old must refresh
+    /// their view instead of silently being answered by a pool they no
+    /// longer expect. Unpinned requests (generation == 0) and pins at or
+    /// ahead of N are never lag-rejected.
+    uint64_t max_generation_lag = 0;
   };
 
   /// `service` must outlive the server (the server adds batching and

@@ -130,6 +130,36 @@ struct ServeStats {
   /// int8) branch or a degraded trunk.
   int64_t degraded_queries = 0;
 
+  // --- cluster side (ClusterNode; all zero on a single-node server).
+  //     Identities, enforced by the cluster tests:
+  //       remote_fetch_requests == remote_fetch_ok + remote_fetch_failed
+  //     (every fetch attempt terminates in exactly one bucket) and
+  //       remote_fetch_replica <= remote_fetch_ok. ---
+  /// Membership epoch of this node's view (1 at cluster start; every
+  /// accepted transition/merge that changes the view advances it).
+  uint64_t cluster_epoch = 0;
+  /// Experts this node keeps non-resident (owned by peers).
+  int64_t experts_nonresident = 0;
+  /// Remote materialization attempts (one per Acquire that found no
+  /// resident master; the pool's per-expert retry re-enters here).
+  int64_t remote_fetch_requests = 0;
+  /// Fetches that produced a module — from any owner.
+  int64_t remote_fetch_ok = 0;
+  /// Subset of remote_fetch_ok answered by a non-primary owner (the
+  /// primary was down or refused).
+  int64_t remote_fetch_replica = 0;
+  /// Fetches that exhausted every owner; the acquire fails kUnavailable
+  /// and the query serves degraded or errors within the whitelist.
+  int64_t remote_fetch_failed = 0;
+  /// Fetch-expert RPCs this node answered with a module.
+  int64_t peer_fetches_served = 0;
+  /// Membership views adopted from peers (strictly newer epoch, or the
+  /// deterministic equal-epoch tie-break).
+  int64_t gossip_merges = 0;
+  /// Pings this node sent / pings that failed (feeds failure detection).
+  int64_t pings_sent = 0;
+  int64_t ping_failures = 0;
+
   /// Average requests per fused forward pass (row counts per pass are
   /// reported per-response as InferenceResponse::batch_rows).
   double avg_batch() const {

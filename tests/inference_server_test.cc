@@ -342,5 +342,49 @@ TEST(InferenceServerTest, ShutdownDrainsPendingAndRejectsNew) {
   EXPECT_EQ(res.status.code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(InferenceServerTest, MaxGenerationLagRejectsOnlyTooStalePins) {
+  ModelQueryService service(BuildPool(), 8);
+  InferenceServer::Options opts;
+  opts.max_generation_lag = 1;
+  InferenceServer server(&service, opts);
+
+  // Advance the serving generation to 3 via no-op upgrades (each swap
+  // still publishes a new generation id).
+  ASSERT_TRUE(service.UpgradePool(BuildPool()).ok());
+  ASSERT_TRUE(service.UpgradePool(BuildPool()).ok());
+  ASSERT_EQ(service.generation(), 3u);
+
+  // Unpinned requests are never lag-checked.
+  EXPECT_TRUE(server.Submit(MakeRequest({0}, 1, 21)).get().status.ok());
+
+  // A pin within the lag budget (3 - 2 <= 1) is served; the answer still
+  // reports the generation that answered and counts as stale telemetry.
+  InferenceRequest within = MakeRequest({0}, 1, 22);
+  within.generation = 2;
+  InferenceResponse served = server.Submit(std::move(within)).get();
+  EXPECT_TRUE(served.status.ok()) << served.status.ToString();
+  EXPECT_EQ(served.generation, 3u);
+
+  // A pin beyond the budget (3 - 1 > 1) is refused with a precondition
+  // error carrying the serving generation, so the client can refresh.
+  InferenceRequest stale = MakeRequest({0}, 1, 23);
+  stale.generation = 1;
+  InferenceResponse refused = server.Submit(std::move(stale)).get();
+  EXPECT_EQ(refused.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(refused.generation, 3u);
+
+  // A pin AHEAD of the serving generation (a client that raced an
+  // upgrade announcement) is never lag-rejected.
+  InferenceRequest ahead = MakeRequest({0}, 1, 24);
+  ahead.generation = 9;
+  EXPECT_TRUE(server.Submit(std::move(ahead)).get().status.ok());
+
+  server.Shutdown();
+  const ServeStats s = server.stats();
+  // The refusal is a rejection, not a completion or a shed.
+  EXPECT_EQ(s.submitted, s.completed + s.rejected + s.deadline_expired);
+  EXPECT_GE(s.rejected, 1);
+}
+
 }  // namespace
 }  // namespace poe

@@ -142,5 +142,79 @@ TEST(NetFaultTest, WriteFaultDropsConnectionButNotTheServer) {
   EXPECT_TRUE(r.ValueOrDie().status.ok());
 }
 
+// --- transient-errno mapping: connect and mid-stream failures take the
+// --- same retry path ---
+
+TEST(NetFaultTest, ConnectionRefusedIsTransientUnavailable) {
+  // Reserve a port that nothing listens on: ECONNREFUSED is "the peer is
+  // not up YET" - a retry might cure it, so it must map to kUnavailable
+  // (kIoError would make RetryWithBackoff give up immediately).
+  NetServer::Options opts;
+  ModelQueryService service(BuildPool(), 8);
+  InferenceServer server(&service, {});
+  NetServer net(&server, opts);
+  ASSERT_TRUE(net.Start().ok());
+  const int port = net.port();
+  net.Stop();  // the port is now dead
+
+  NetClient client;
+  const Status s = client.Connect("127.0.0.1", port);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, s.code()) << s.ToString();
+}
+
+TEST(NetFaultTest, OneRetryLoopCoversReconnectAndMidStreamFailure) {
+  // The uniformity contract end-to-end: a client wraps "ensure connected
+  // + query" in ONE RetryWithBackoff. First the server is down (connect
+  // fails kUnavailable), then it comes up mid-retries and the SAME loop
+  // completes the query - no special-casing per failure shape.
+  ModelQueryService service(BuildPool(), 8);
+  InferenceServer server(&service, {});
+  NetServer net(&server, NetServer::Options{});
+  ASSERT_TRUE(net.Start().ok());
+  const int port = net.port();
+  net.Stop();
+
+  NetServer revived(&server, [&] {
+    NetServer::Options o;
+    o.port = port;
+    return o;
+  }());
+  std::thread reviver([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_TRUE(revived.Start().ok());
+  });
+
+  NetClient client;
+  int64_t retries = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff_ms = 5.0;
+  policy.multiplier = 1.5;
+  policy.max_backoff_ms = 40.0;
+  auto result = RetryWithBackoff(
+      policy, Deadline::AfterMillis(5000),
+      [&]() -> Result<WireResponse> {
+        if (!client.connected()) {
+          client.Close();
+          POE_RETURN_NOT_OK(client.Connect("127.0.0.1", port));
+        }
+        return client.Query({0, 1}, MakeInput(1, 7));
+      },
+      &retries);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.ValueOrDie().status.ok());
+  EXPECT_GT(retries, 0);  // the down phase was actually observed
+  reviver.join();
+
+  // Mid-stream death of the revived server takes the same path: the next
+  // call on the (now dead) connection is kUnavailable, not kIoError.
+  revived.Stop();
+  auto dead = client.Query({0, 1}, MakeInput(1, 8));
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, dead.status().code())
+      << dead.status().ToString();
+}
+
 }  // namespace
 }  // namespace poe

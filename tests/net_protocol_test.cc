@@ -248,5 +248,62 @@ TEST_F(NetProtocolTest, GarbageFloodNeverWedgesTheServer) {
   ExpectStillHealthy(*net_);
 }
 
+// --- deadline edge cases on the wire ---
+
+TEST_F(NetProtocolTest, WireDeadlineZeroMeansNoDeadlineNotBornExpired) {
+  // deadline_ms = 0.0 crosses the wire as "no budget" (the <= 0 contract
+  // in the frame spec), NOT as a deadline that expired at birth - the
+  // request must be served.
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  auto r = client.Query({0, 1}, MakeInput(1, 60), /*deadline_ms=*/0.0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.ValueOrDie().status.ok())
+      << r.ValueOrDie().status.ToString();
+  EXPECT_EQ(0, server_->stats().deadline_expired);
+}
+
+TEST_F(NetProtocolTest, WireDeadlineTinyPositiveIsShedAsExpired) {
+  // The smallest representable positive budget IS a real deadline and has
+  // long passed by the time the frame crosses the socket: the request is
+  // shed with a well-formed kDeadlineExceeded response (never executed,
+  // never a protocol error).
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  auto r = client.Query({0, 1}, MakeInput(1, 61), /*deadline_ms=*/1e-6);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(StatusCode::kDeadlineExceeded, r.ValueOrDie().status.code());
+  EXPECT_EQ(0, net_->stats().protocol_errors);
+  EXPECT_EQ(1, server_->stats().deadline_expired);
+  ExpectStillHealthy(*net_);
+}
+
+TEST_F(NetProtocolTest, DeadlineLongerThanTheConnectionIsHarmless) {
+  // A client that sets an hour-long budget and hangs up right after
+  // sending must not leave the server holding anything: the request
+  // resolves (the response is written to a dead socket and dropped with
+  // the connection), counters reconcile, and the next connection serves.
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  ASSERT_TRUE(
+      client.Send({0, 1}, MakeInput(1, 62), /*deadline_ms=*/3.6e6).ok());
+  client.Close();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ServeStats s = server_->stats();
+    if (s.submitted >= 1 &&
+        s.submitted == s.completed + s.rejected + s.deadline_expired) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const ServeStats s = server_->stats();
+  EXPECT_GE(s.submitted, 1);
+  EXPECT_EQ(s.submitted, s.completed + s.rejected + s.deadline_expired);
+  ExpectStillHealthy(*net_);
+}
+
 }  // namespace
 }  // namespace poe

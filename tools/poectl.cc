@@ -31,6 +31,8 @@
 
 #include <signal.h>  // kill() — <csignal> only guarantees raise()
 
+#include "cluster/cluster_node.h"
+#include "cluster/peer_rpc.h"
 #include "core/expert_pool.h"
 #include "core/query_service.h"
 #include "core/serialization.h"
@@ -585,6 +587,312 @@ int CmdNetQuery(const ParsedArgs& a) {
   return 0;
 }
 
+// ------------------------------------------------------- cluster family
+
+/// Parses "host:port" (or a bare port, host defaulting to 127.0.0.1).
+bool ParseHostPort(const std::string& target, std::string* host, int* port) {
+  *host = "127.0.0.1";
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    *port = std::atoi(target.c_str());
+  } else {
+    *host = target.substr(0, colon);
+    *port = std::atoi(target.c_str() + colon + 1);
+  }
+  return *port > 0;
+}
+
+/// Parses `--nodes=id:peer_port:serve_port[,...]` (3 fields, host
+/// 127.0.0.1) or `id:host:peer_port:serve_port` (4 fields). Every node
+/// starts ONLINE; the state machine takes over from there.
+bool ParseClusterNodes(const std::string& spec,
+                       std::vector<NodeInfo>* nodes) {
+  std::string entry;
+  for (char c : spec + ",") {
+    if (c != ',') {
+      entry += c;
+      continue;
+    }
+    if (entry.empty()) continue;
+    std::vector<std::string> fields;
+    std::string field;
+    for (char f : entry + ":") {
+      if (f == ':') {
+        fields.push_back(field);
+        field.clear();
+      } else {
+        field += f;
+      }
+    }
+    NodeInfo node;
+    if (fields.size() == 3) {
+      node.host = "127.0.0.1";
+      node.node_id = std::atoi(fields[0].c_str());
+      node.peer_port = std::atoi(fields[1].c_str());
+      node.serve_port = std::atoi(fields[2].c_str());
+    } else if (fields.size() == 4) {
+      node.node_id = std::atoi(fields[0].c_str());
+      node.host = fields[1];
+      node.peer_port = std::atoi(fields[2].c_str());
+      node.serve_port = std::atoi(fields[3].c_str());
+    } else {
+      return false;
+    }
+    node.state = NodeState::kOnline;
+    nodes->push_back(node);
+    entry.clear();
+  }
+  return !nodes->empty();
+}
+
+/// One membership-ping round trip. An epoch-0 `view` is a pure status
+/// probe (the receiver adopts nothing); a higher-epoch view is a pushed
+/// transition the receiver merges. Either way the reply is the target's
+/// post-merge view.
+Result<MembershipView> PeerViewExchange(const std::string& host, int port,
+                                        const MembershipView& view) {
+  NetClient client;
+  POE_RETURN_NOT_OK(client.Connect(host, port));
+  POE_RETURN_NOT_OK(client.SetIoTimeout(2000.0));
+  WireHeader header;
+  std::vector<uint8_t> body;
+  POE_RETURN_NOT_OK(client.Call(EncodeViewFrame(1, kWireTypePing, view),
+                                kWireTypePingReply, &header, &body));
+  MembershipView reply;
+  POE_RETURN_NOT_OK(DecodeViewBody(body.data(), body.size(), &reply));
+  return reply;
+}
+
+int CmdClusterServe(const ParsedArgs& a) {
+  const std::string path = a.pos[0];
+  if (!a.HasFlag("nodes")) {
+    std::fprintf(stderr, "cluster serve: --nodes is required\n");
+    return 2;
+  }
+  const int self_id = a.IntFlag("id", 0);
+  std::vector<NodeInfo> members;
+  if (!ParseClusterNodes(a.flags.at("nodes"), &members)) {
+    std::fprintf(stderr, "cluster serve: bad --nodes spec '%s'\n",
+                 a.flags.at("nodes").c_str());
+    return 2;
+  }
+  NodeInfo* self = nullptr;
+  for (NodeInfo& node : members) {
+    if (node.node_id == self_id) self = &node;
+  }
+  if (self == nullptr) {
+    std::fprintf(stderr, "cluster serve: --id=%d is not in --nodes\n",
+                 self_id);
+    return 2;
+  }
+
+  auto loaded = LoadPoolOrComplain(path);
+  if (!loaded.ok()) return 1;
+
+  // Bind the peer listener FIRST so the membership view always carries
+  // the real port (an ephemeral self.peer_port=0 is resolved here).
+  PeerServer::Options popts;
+  popts.host = self->host;
+  popts.port = self->peer_port;
+  PeerServer peer_server(nullptr, popts);
+  Status started = peer_server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cluster serve: peer listener: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  self->peer_port = peer_server.port();
+
+  MembershipView view;
+  view.nodes = members;
+  ClusterNodeOptions options;
+  options.node_id = self_id;
+  options.placement.replication = a.IntFlag("replication", 2);
+  options.gossip_interval_ms = a.IntFlag("gossip-ms", 250);
+  options.start_gossip = true;
+  options.serve.num_workers = 2;
+  ClusterNode node(std::move(loaded).ValueOrDie(), view, options);
+  WireTransport transport([&node] { return node.view(); },
+                          options.fetch_timeout_ms);
+  node.SetTransport(&transport);
+  peer_server.SetEndpoint(&node);
+  started = node.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cluster serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  NetServer::Options nopts;
+  nopts.port = self->serve_port;
+  nopts.num_workers = a.IntFlag("workers", 2);
+  NetServer net(&node.server(), nopts);
+  started = net.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cluster serve: data plane: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  std::string owned;
+  for (int t : node.OwnedExperts()) {
+    owned += (owned.empty() ? "" : ",") + std::to_string(t);
+  }
+  std::printf("cluster node %d: peer %s:%d, serving on %s:%d, owns [%s]\n",
+              self_id, self->host.c_str(), peer_server.port(),
+              self->host.c_str(), net.port(), owned.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Data plane first (no new submissions), then the node drains its
+  // inference server, then the control plane stops answering peers.
+  net.Stop();
+  node.Stop();
+  peer_server.Stop();
+
+  const ServeStats s = node.stats();
+  std::printf("cluster shutdown node %d: %lld submitted = %lld completed + "
+              "%lld rejected + %lld expired\n",
+              self_id, static_cast<long long>(s.submitted),
+              static_cast<long long>(s.completed),
+              static_cast<long long>(s.rejected),
+              static_cast<long long>(s.deadline_expired));
+  std::printf("cluster fetches node %d: %lld requests = %lld ok + %lld "
+              "failed (%lld replica), %lld served to peers\n",
+              self_id, static_cast<long long>(s.remote_fetch_requests),
+              static_cast<long long>(s.remote_fetch_ok),
+              static_cast<long long>(s.remote_fetch_failed),
+              static_cast<long long>(s.remote_fetch_replica),
+              static_cast<long long>(s.peer_fetches_served));
+  std::printf("cluster membership node %d: epoch %llu, self %s, %lld "
+              "merges, %lld pings, %lld ping failures\n",
+              self_id, static_cast<unsigned long long>(s.cluster_epoch),
+              NodeStateName(node.SelfState()),
+              static_cast<long long>(s.gossip_merges),
+              static_cast<long long>(s.pings_sent),
+              static_cast<long long>(s.ping_failures));
+  return 0;
+}
+
+int CmdClusterStatus(const ParsedArgs& a) {
+  std::string host;
+  int port = 0;
+  if (!ParseHostPort(a.pos[0], &host, &port)) {
+    std::fprintf(stderr, "cluster status: bad target '%s'\n",
+                 a.pos[0].c_str());
+    return 2;
+  }
+  auto reply = PeerViewExchange(host, port, MembershipView{});
+  if (!reply.ok()) {
+    std::fprintf(stderr, "cluster status: %s\n",
+                 reply.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", reply.ValueOrDie().ToString().c_str());
+  return 0;
+}
+
+/// Probes the target, applies `mutate` to a local copy of its view (each
+/// accepted transition bumps the epoch, so the push is strictly newer),
+/// pushes it back, and verifies the reply shows `node_id` in `want`.
+int PushTransition(const std::string& verb, const std::string& target,
+                   int node_id, NodeState want,
+                   const std::function<Status(PoolMembership&)>& mutate) {
+  std::string host;
+  int port = 0;
+  if (!ParseHostPort(target, &host, &port)) {
+    std::fprintf(stderr, "cluster %s: bad target '%s'\n", verb.c_str(),
+                 target.c_str());
+    return 2;
+  }
+  auto probe = PeerViewExchange(host, port, MembershipView{});
+  if (!probe.ok()) {
+    std::fprintf(stderr, "cluster %s: probe: %s\n", verb.c_str(),
+                 probe.status().ToString().c_str());
+    return 1;
+  }
+  PoolMembership membership(std::move(probe).ValueOrDie());
+  const Status mutated = mutate(membership);
+  if (!mutated.ok()) {
+    std::fprintf(stderr, "cluster %s: %s\n", verb.c_str(),
+                 mutated.ToString().c_str());
+    return 1;
+  }
+  auto pushed = PeerViewExchange(host, port, membership.View());
+  if (!pushed.ok()) {
+    std::fprintf(stderr, "cluster %s: push: %s\n", verb.c_str(),
+                 pushed.status().ToString().c_str());
+    return 1;
+  }
+  const MembershipView& after = pushed.ValueOrDie();
+  const NodeInfo* info = after.Find(node_id);
+  if (info == nullptr || info->state != want) {
+    std::fprintf(stderr,
+                 "cluster %s: target did not adopt the transition:\n%s\n",
+                 verb.c_str(), after.ToString().c_str());
+    return 1;
+  }
+  std::printf("node %d is %s\n%s\n", node_id, NodeStateName(want),
+              after.ToString().c_str());
+  return 0;
+}
+
+int CmdClusterDrain(const ParsedArgs& a) {
+  const int node_id = a.IntPos(1, -1);
+  return PushTransition(
+      "drain", a.pos[0], node_id, NodeState::kDraining,
+      [node_id](PoolMembership& m) {
+        return m.Transition(node_id, NodeState::kDraining);
+      });
+}
+
+int CmdClusterJoin(const ParsedArgs& a) {
+  const int node_id = a.IntPos(1, -1);
+  // Walk the node to ONLINE along legal edges (OFFLINE -> REINTEGRATING
+  // -> ONLINE; a DRAINING node goes through OFFLINE first). Each step
+  // burns an epoch, so the whole walk pushes as one strictly-newer view.
+  return PushTransition(
+      "join", a.pos[0], node_id, NodeState::kOnline,
+      [node_id](PoolMembership& m) -> Status {
+        for (int step = 0; step < 4; ++step) {
+          const NodeInfo* info = m.View().Find(node_id);
+          if (info == nullptr) {
+            return Status::InvalidArgument("unknown node " +
+                                           std::to_string(node_id));
+          }
+          if (info->state == NodeState::kOnline) return Status::OK();
+          const NodeState next =
+              info->state == NodeState::kOffline ? NodeState::kReintegrating
+              : info->state == NodeState::kReintegrating
+                  ? NodeState::kOnline
+                  : NodeState::kOffline;  // DRAINING drains out first
+          POE_RETURN_NOT_OK(m.Transition(node_id, next));
+        }
+        return Status::OK();
+      });
+}
+
+int CmdClusterKill(const ParsedArgs& a) {
+  const int pid = a.IntPos(0, 0);
+  if (pid <= 0) {
+    std::fprintf(stderr, "cluster kill: bad pid '%s'\n", a.pos[0].c_str());
+    return 2;
+  }
+  if (::kill(pid, SIGKILL) != 0) {
+    std::fprintf(stderr, "cluster kill: kill(%d, SIGKILL): %s\n", pid,
+                 std::strerror(errno));
+    return 1;
+  }
+  std::printf("sent SIGKILL to %d (gossip will detect the death and mark "
+              "the node OFFLINE)\n",
+              pid);
+  return 0;
+}
+
 // --------------------------------------------------------------- registry
 
 const std::vector<CommandSpec>& Commands() {
@@ -627,6 +935,27 @@ const std::vector<CommandSpec>& Commands() {
        "diff two pools as generations; --apply renames new over old "
        "atomically, --pid=N SIGHUPs a running net-serve to hot-swap", 2, 2,
        {"apply", "pid"}, CmdPoolUpgrade},
+      // Cluster family: one process per node; peer fetches + gossip ride
+      // the wire protocol's control-plane frame types (docs/CLUSTER.md).
+      {"cluster serve",
+       "<pool.poe> --id=N --nodes=id:peer:serve[,...] [--replication=N] "
+       "[--gossip-ms=N] [--workers=N]",
+       "serve as one member of a distributed expert pool: shed non-owned "
+       "experts, fetch them from peers on demand, gossip membership", 1, 1,
+       {"id", "nodes", "replication", "gossip-ms", "workers"},
+       CmdClusterServe},
+      {"cluster status", "<host:port|port>",
+       "probe a node's membership view (an epoch-0 ping adopts nothing)",
+       1, 1, {}, CmdClusterStatus},
+      {"cluster drain", "<host:port|port> <node_id>",
+       "mark a node DRAINING on the target's view and push it via gossip",
+       2, 2, {}, CmdClusterDrain},
+      {"cluster join", "<host:port|port> <node_id>",
+       "walk a node back to ONLINE (OFFLINE -> REINTEGRATING -> ONLINE) "
+       "on the target's view and push it", 2, 2, {}, CmdClusterJoin},
+      {"cluster kill", "<pid>",
+       "SIGKILL a cluster-serve process - the crash half of the "
+       "kill-a-node demo", 1, 1, {}, CmdClusterKill},
   };
   return kCommands;
 }
